@@ -1,0 +1,353 @@
+//! Aria (Lu et al., VLDB '20): a deterministic database that does **not**
+//! need read/write sets in advance. Transactions are grouped into batches by
+//! a sequencing layer; every partition executes the whole batch against the
+//! same snapshot while recording write *reservations*; after a cluster-wide
+//! barrier each transaction commits only if no smaller-sequence transaction
+//! reserved a conflicting write (WAW / RAW checks). Conflicting transactions
+//! are aborted deterministically and retried in a later batch.
+//!
+//! Durability comes from logging the *inputs* in the sequencing layer before
+//! execution, so there is no group-commit wait at the end — but the batch
+//! barriers (`wait_batch`) and the sequencing delay (`sequence`) sit squarely
+//! on the latency path, which is what Fig 4c/5c show.
+
+use crate::common::{BaselineCtx, ReadGuard};
+use parking_lot::{Condvar, Mutex};
+use primo_common::sim_time::{charge_latency_us, now_us};
+use primo_common::{AbortReason, Key, PartitionId, Phase, PhaseTimers, TableId, TxnError, TxnId, TxnResult};
+use primo_runtime::cluster::Cluster;
+use primo_runtime::protocol::{CommittedTxn, Protocol};
+use primo_runtime::txn::TxnProgram;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Aria tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct AriaConfig {
+    /// How long a batch stays open collecting transactions (the sequencing
+    /// epoch; the paper's setup uses a 10 ms Calvin-style sequencer).
+    pub batch_window_us: u64,
+    /// Upper bound on barrier waits (safety valve only).
+    pub barrier_timeout: Duration,
+}
+
+impl Default for AriaConfig {
+    fn default() -> Self {
+        AriaConfig {
+            batch_window_us: 5_000,
+            barrier_timeout: Duration::from_millis(100),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct BatchState {
+    joined: usize,
+    executed: usize,
+    decided: usize,
+}
+
+#[derive(Debug)]
+struct Batch {
+    id: u64,
+    open_until_us: u64,
+    state: Mutex<BatchState>,
+    cond: Condvar,
+    /// Write reservations: key -> smallest transaction priority that wants to
+    /// write it in this batch.
+    reservations: Mutex<HashMap<(u32, u32, Key), u64>>,
+}
+
+impl Batch {
+    fn new(id: u64, open_until_us: u64) -> Self {
+        Batch {
+            id,
+            open_until_us,
+            state: Mutex::new(BatchState::default()),
+            cond: Condvar::new(),
+            reservations: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// The Aria protocol.
+pub struct AriaProtocol {
+    cfg: AriaConfig,
+    current: Mutex<Option<Arc<Batch>>>,
+    next_batch_id: AtomicU64,
+}
+
+impl std::fmt::Debug for AriaProtocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AriaProtocol").field("cfg", &self.cfg).finish()
+    }
+}
+
+impl AriaProtocol {
+    pub fn new(cfg: AriaConfig) -> Self {
+        AriaProtocol {
+            cfg,
+            current: Mutex::new(None),
+            next_batch_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Join (or open) the current batch; returns the batch and this
+    /// transaction's join index within it.
+    fn join_batch(&self) -> (Arc<Batch>, usize) {
+        let mut cur = self.current.lock();
+        let now = now_us();
+        let need_new = match cur.as_ref() {
+            Some(b) => now >= b.open_until_us,
+            None => true,
+        };
+        if need_new {
+            let id = self.next_batch_id.fetch_add(1, Ordering::Relaxed);
+            *cur = Some(Arc::new(Batch::new(id, now + self.cfg.batch_window_us)));
+        }
+        let batch = Arc::clone(cur.as_ref().unwrap());
+        let mut st = batch.state.lock();
+        st.joined += 1;
+        let idx = st.joined - 1;
+        drop(st);
+        (batch, idx)
+    }
+
+    fn barrier(&self, batch: &Batch, advance: impl FnOnce(&mut BatchState), reached: impl Fn(&BatchState) -> bool) {
+        let mut st = batch.state.lock();
+        advance(&mut st);
+        batch.cond.notify_all();
+        let deadline = std::time::Instant::now() + self.cfg.barrier_timeout;
+        while !reached(&st) && std::time::Instant::now() < deadline {
+            batch.cond.wait_for(&mut st, Duration::from_millis(1));
+        }
+    }
+
+    fn reservation_key(p: PartitionId, t: TableId, k: Key) -> (u32, u32, Key) {
+        (p.0, t.0, k)
+    }
+}
+
+impl Protocol for AriaProtocol {
+    fn name(&self) -> &'static str {
+        "Aria"
+    }
+
+    fn manages_durability(&self) -> bool {
+        // Inputs are logged by the sequencing layer before execution.
+        true
+    }
+
+    fn execute_once(
+        &self,
+        cluster: &Cluster,
+        txn: TxnId,
+        program: &dyn TxnProgram,
+        _ticket: &primo_wal::TxnTicket,
+        timers: &mut PhaseTimers,
+    ) -> TxnResult<CommittedTxn> {
+        let home = program.home_partition();
+        let priority = txn.pack();
+
+        // ---- Sequencing: wait for the batch to close. ----
+        let (batch, join_idx) = self.join_batch();
+        timers.time(Phase::Sequence, || {
+            let now = now_us();
+            if batch.open_until_us > now {
+                charge_latency_us(batch.open_until_us - now);
+            }
+        });
+
+        // ---- Execution phase: run against the current snapshot, no locks. ----
+        let mut ctx = BaselineCtx::new(cluster, txn, home, ReadGuard::Optimistic);
+        let exec = timers.time(Phase::Execute, || program.execute(&mut ctx));
+        let exec_failed = exec.is_err() || ctx.dead.is_some();
+        if !exec_failed {
+            // Record write reservations (smallest priority wins).
+            let mut res = batch.reservations.lock();
+            for w in &ctx.access.writes {
+                let entry = res
+                    .entry(Self::reservation_key(w.partition, w.table, w.key))
+                    .or_insert(priority);
+                if *entry > priority {
+                    *entry = priority;
+                }
+            }
+        }
+
+        // ---- Barrier 1: everyone finished execution & reservations. ----
+        timers.time(Phase::WaitBatch, || {
+            self.barrier(&batch, |st| st.executed += 1, |st| st.executed >= st.joined);
+        });
+        // One cross-partition synchronization per batch (charged by the first
+        // member so the cost is per-batch, not per-transaction).
+        if join_idx == 0 && cluster.num_partitions() > 1 {
+            timers.time(Phase::TwoPc, || {
+                let others: Vec<PartitionId> = cluster
+                    .partition_ids()
+                    .into_iter()
+                    .filter(|p| *p != home)
+                    .collect();
+                cluster.net.round_trip_multi(home, &others);
+            });
+        }
+
+        // ---- Commit phase: deterministic conflict checks, then install. ----
+        let decision: TxnResult<CommittedTxn> = if exec_failed {
+            let reason = ctx
+                .dead
+                .or(exec.err().map(|e| e.reason()))
+                .unwrap_or(AbortReason::UserAbort);
+            Err(TxnError::Aborted(reason))
+        } else {
+            let conflict = timers.time(Phase::Commit, || {
+                let res = batch.reservations.lock();
+                // WAW: a smaller-priority transaction reserved one of our writes.
+                for w in &ctx.access.writes {
+                    if let Some(p) = res.get(&Self::reservation_key(w.partition, w.table, w.key)) {
+                        if *p < priority {
+                            return Err(AbortReason::DeterministicConflict);
+                        }
+                    }
+                }
+                // RAW: a smaller-priority transaction writes something we read.
+                for r in &ctx.access.reads {
+                    if let Some(p) = res.get(&Self::reservation_key(r.partition, r.table, r.key)) {
+                        if *p < priority {
+                            return Err(AbortReason::DeterministicConflict);
+                        }
+                    }
+                }
+                Ok(())
+            });
+            match conflict {
+                Err(reason) => Err(TxnError::Aborted(reason)),
+                Ok(()) => {
+                    let ops = ctx.access.ops();
+                    let distributed = ctx.access.is_distributed(home);
+                    timers.time(Phase::Commit, || {
+                        for w in &ctx.access.writes {
+                            let record = ctx
+                                .record_at(w.partition, w.table, w.key, true)
+                                .expect("create=true yields a record");
+                            record.install_next_version(w.value.clone());
+                        }
+                    });
+                    Ok(CommittedTxn {
+                        ts: 0,
+                        ops,
+                        distributed,
+                    })
+                }
+            }
+        };
+
+        // ---- Barrier 2: everyone decided; the batch is finished. ----
+        timers.time(Phase::WaitBatch, || {
+            self.barrier(&batch, |st| st.decided += 1, |st| st.decided >= st.joined);
+        });
+        let _ = batch.id;
+
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primo_common::config::ClusterConfig;
+    use primo_common::Value;
+    use primo_runtime::txn::IncrementProgram;
+    use primo_runtime::worker::run_single_txn;
+
+    fn loaded(n: usize) -> Arc<Cluster> {
+        let cluster = Cluster::new(ClusterConfig::for_tests(n));
+        for p in 0..n as u32 {
+            for k in 0..32u64 {
+                cluster
+                    .partition(PartitionId(p))
+                    .store
+                    .insert(TableId(0), k, Value::from_u64(0));
+            }
+        }
+        cluster
+    }
+
+    fn quick_cfg() -> AriaConfig {
+        AriaConfig {
+            batch_window_us: 500,
+            barrier_timeout: Duration::from_millis(50),
+        }
+    }
+
+    #[test]
+    fn single_transaction_commits_in_its_own_batch() {
+        let cluster = loaded(2);
+        let protocol = AriaProtocol::new(quick_cfg());
+        let prog = IncrementProgram {
+            home: PartitionId(0),
+            accesses: vec![(PartitionId(0), TableId(0), 1), (PartitionId(1), TableId(0), 1)],
+        };
+        run_single_txn(&cluster, &protocol, &prog).unwrap();
+        assert_eq!(
+            cluster
+                .partition(PartitionId(1))
+                .store
+                .get(TableId(0), 1)
+                .unwrap()
+                .read()
+                .value
+                .as_u64(),
+            1
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn conflicting_batch_members_abort_deterministically() {
+        // Two transactions in the same batch writing the same key: the one
+        // with the larger TID must abort with a deterministic conflict.
+        let cluster = loaded(1);
+        let protocol = Arc::new(AriaProtocol::new(AriaConfig {
+            batch_window_us: 20_000,
+            barrier_timeout: Duration::from_millis(200),
+        }));
+        let t_old = cluster.next_txn_id(PartitionId(0));
+        let t_new = cluster.next_txn_id(PartitionId(0));
+        let mut handles = Vec::new();
+        for txn in [t_old, t_new] {
+            let cluster = Arc::clone(&cluster);
+            let protocol = Arc::clone(&protocol);
+            handles.push(std::thread::spawn(move || {
+                let prog = IncrementProgram {
+                    home: PartitionId(0),
+                    accesses: vec![(PartitionId(0), TableId(0), 7)],
+                };
+                let ticket = cluster.group_commit.begin_txn(PartitionId(0), txn);
+                let mut timers = PhaseTimers::new();
+                protocol
+                    .execute_once(&cluster, txn, &prog, &ticket, &mut timers)
+                    .map(|c| c.ops)
+                    .map_err(|e| e.reason())
+            }));
+        }
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let commits = results.iter().filter(|r| r.is_ok()).count();
+        let det_aborts = results
+            .iter()
+            .filter(|r| matches!(r, Err(AbortReason::DeterministicConflict)))
+            .count();
+        assert_eq!(commits, 1, "exactly one of the two may commit: {results:?}");
+        assert_eq!(det_aborts, 1, "the other aborts deterministically");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn aria_manages_its_own_durability() {
+        let protocol = AriaProtocol::new(quick_cfg());
+        assert!(protocol.manages_durability());
+        assert_eq!(protocol.name(), "Aria");
+    }
+}

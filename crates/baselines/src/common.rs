@@ -1,0 +1,300 @@
+//! Shared building blocks for the baseline protocols: an OCC-style execution
+//! context (reads without locks or with shared locks, buffered writes) and
+//! helpers for the 2PC commit rounds.
+
+use primo_common::{
+    AbortReason, Key, PartitionId, TableId, TxnError, TxnId, TxnResult, Value,
+};
+use primo_runtime::access::{AccessSet, ReadEntry, WriteEntry};
+use primo_runtime::cluster::Cluster;
+use primo_runtime::txn::TxnContext;
+use primo_storage::{LockMode, LockPolicy, LockRequestResult, Record};
+use std::sync::Arc;
+
+/// How the execution phase guards reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadGuard {
+    /// No lock; remember the observed version/timestamps (Silo, Sundial,
+    /// TAPIR, Aria).
+    Optimistic,
+    /// Shared lock for the whole transaction (2PL).
+    SharedLock(LockPolicy),
+}
+
+/// Execution context shared by every baseline.
+pub struct BaselineCtx<'a> {
+    pub cluster: &'a Cluster,
+    pub txn: TxnId,
+    pub home: PartitionId,
+    pub guard: ReadGuard,
+    pub access: AccessSet,
+    pub dead: Option<AbortReason>,
+}
+
+impl<'a> BaselineCtx<'a> {
+    pub fn new(cluster: &'a Cluster, txn: TxnId, home: PartitionId, guard: ReadGuard) -> Self {
+        BaselineCtx {
+            cluster,
+            txn,
+            home,
+            guard,
+            access: AccessSet::new(),
+            dead: None,
+        }
+    }
+
+    fn fail(&mut self, reason: AbortReason) -> TxnError {
+        self.dead = Some(reason);
+        TxnError::Aborted(reason)
+    }
+
+    /// Release all locks and notify participants of the abort.
+    pub fn abort_cleanup(&mut self) {
+        let parts = self.access.participants(self.home);
+        if !parts.is_empty() {
+            self.cluster.net.one_way_multi(self.home, &parts);
+        }
+        self.access.release_all_locks(self.txn);
+    }
+
+    /// Fetch (creating if requested) the record for a key.
+    pub fn record_at(
+        &self,
+        p: PartitionId,
+        table: TableId,
+        key: Key,
+        create: bool,
+    ) -> Option<Arc<Record>> {
+        let store = &self.cluster.partition(p).store;
+        match store.get(table, key) {
+            Some(r) => Some(r),
+            None if create => Some(store.table(table).insert_if_absent(key, Value::zeroed(0)).0),
+            None => None,
+        }
+    }
+}
+
+impl TxnContext for BaselineCtx<'_> {
+    fn read(&mut self, p: PartitionId, table: TableId, key: Key) -> TxnResult<Value> {
+        if let Some(reason) = self.dead {
+            return Err(TxnError::Aborted(reason));
+        }
+        if let Some(i) = self.access.find_write(p, table, key) {
+            return Ok(self.access.writes[i].value.clone());
+        }
+        if let Some(i) = self.access.find_read(p, table, key) {
+            return Ok(self.access.reads[i].record.read().value);
+        }
+        let remote = p != self.home;
+        if remote {
+            if !self.cluster.net.round_trip(self.home, p) {
+                return Err(self.fail(AbortReason::RemoteUnavailable));
+            }
+        } else if self.cluster.net.is_crashed(p) {
+            return Err(self.fail(AbortReason::RemoteUnavailable));
+        }
+        let record = self
+            .record_at(p, table, key, false)
+            .ok_or_else(|| self.fail(AbortReason::UserAbort))?;
+        let locked = match self.guard {
+            ReadGuard::Optimistic => None,
+            ReadGuard::SharedLock(policy) => {
+                if record.acquire(self.txn, LockMode::Shared, policy) != LockRequestResult::Granted
+                {
+                    let reason = match policy {
+                        LockPolicy::NoWait => AbortReason::LockConflict,
+                        LockPolicy::WaitDie => AbortReason::WaitDie,
+                    };
+                    return Err(self.fail(reason));
+                }
+                Some(LockMode::Shared)
+            }
+        };
+        let row = record.read();
+        let value = row.value.clone();
+        self.access.reads.push(ReadEntry {
+            partition: p,
+            table,
+            key,
+            record,
+            wts: row.wts,
+            rts: row.rts,
+            locked,
+            dummy: false,
+        });
+        Ok(value)
+    }
+
+    fn write(&mut self, p: PartitionId, table: TableId, key: Key, value: Value) -> TxnResult<()> {
+        if let Some(reason) = self.dead {
+            return Err(TxnError::Aborted(reason));
+        }
+        self.access.buffer_write(WriteEntry {
+            partition: p,
+            table,
+            key,
+            value,
+        });
+        Ok(())
+    }
+}
+
+/// Outcome of locking the write set during a prepare phase.
+#[derive(Debug)]
+pub struct LockedWriteSet {
+    pub records: Vec<(usize, Arc<Record>)>,
+}
+
+impl LockedWriteSet {
+    pub fn release(&self, txn: TxnId) {
+        for (_, r) in &self.records {
+            r.release(txn);
+        }
+    }
+}
+
+/// Lock every write record (creating records for inserts) with the given
+/// policy. Returns the locked set or the abort reason.
+pub fn lock_write_set(
+    ctx: &BaselineCtx<'_>,
+    policy: LockPolicy,
+) -> Result<LockedWriteSet, AbortReason> {
+    let mut locked = LockedWriteSet {
+        records: Vec::with_capacity(ctx.access.writes.len()),
+    };
+    for (i, w) in ctx.access.writes.iter().enumerate() {
+        let record = ctx
+            .record_at(w.partition, w.table, w.key, true)
+            .expect("create=true always yields a record");
+        if record.acquire(ctx.txn, LockMode::Exclusive, policy) != LockRequestResult::Granted {
+            locked.release(ctx.txn);
+            return Err(match policy {
+                LockPolicy::NoWait => AbortReason::LockConflict,
+                LockPolicy::WaitDie => AbortReason::WaitDie,
+            });
+        }
+        locked.records.push((i, record));
+    }
+    Ok(locked)
+}
+
+/// Charge the 2PC prepare round (write-set shipping + vote collection) and
+/// register the participants with the group-commit scheme.
+pub fn prepare_round(
+    ctx: &BaselineCtx<'_>,
+    ticket: &primo_wal::TxnTicket,
+) -> Result<Vec<PartitionId>, AbortReason> {
+    let parts = ctx.access.participants(ctx.home);
+    for p in &parts {
+        ctx.cluster.group_commit.add_participant(ticket, *p, 0);
+    }
+    if !parts.is_empty() && !ctx.cluster.net.round_trip_multi(ctx.home, &parts) {
+        return Err(AbortReason::RemoteUnavailable);
+    }
+    Ok(parts)
+}
+
+/// Charge the 2PC commit (decision) round.
+pub fn commit_round(ctx: &BaselineCtx<'_>, parts: &[PartitionId]) {
+    if !parts.is_empty() {
+        ctx.cluster.net.round_trip_multi(ctx.home, parts);
+    }
+}
+
+/// Charge a one-way abort notification.
+pub fn abort_round(ctx: &BaselineCtx<'_>, parts: &[PartitionId]) {
+    if !parts.is_empty() {
+        ctx.cluster.net.one_way_multi(ctx.home, parts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primo_common::config::ClusterConfig;
+
+    fn setup() -> (Arc<Cluster>, TxnId) {
+        let cluster = Cluster::new(ClusterConfig::for_tests(2));
+        for p in 0..2u32 {
+            for k in 0..32u64 {
+                cluster
+                    .partition(PartitionId(p))
+                    .store
+                    .insert(TableId(0), k, Value::from_u64(k));
+            }
+        }
+        let txn = cluster.next_txn_id(PartitionId(0));
+        (cluster, txn)
+    }
+
+    #[test]
+    fn optimistic_reads_take_no_locks() {
+        let (cluster, txn) = setup();
+        let mut ctx = BaselineCtx::new(&cluster, txn, PartitionId(0), ReadGuard::Optimistic);
+        ctx.read(PartitionId(0), TableId(0), 1).unwrap();
+        ctx.read(PartitionId(1), TableId(0), 2).unwrap();
+        assert!(ctx.access.reads.iter().all(|r| r.locked.is_none()));
+        assert!(ctx.access.is_distributed(PartitionId(0)));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn shared_lock_reads_hold_locks() {
+        let (cluster, txn) = setup();
+        let mut ctx = BaselineCtx::new(
+            &cluster,
+            txn,
+            PartitionId(0),
+            ReadGuard::SharedLock(LockPolicy::NoWait),
+        );
+        ctx.read(PartitionId(0), TableId(0), 1).unwrap();
+        let rec = cluster
+            .partition(PartitionId(0))
+            .store
+            .get(TableId(0), 1)
+            .unwrap();
+        assert!(rec.lock().held_by(txn));
+        ctx.abort_cleanup();
+        assert!(!rec.lock().is_locked());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn lock_write_set_rolls_back_on_conflict() {
+        let (cluster, txn) = setup();
+        let other = cluster.next_txn_id(PartitionId(0));
+        // `other` exclusively locks key 3.
+        let rec3 = cluster
+            .partition(PartitionId(0))
+            .store
+            .get(TableId(0), 3)
+            .unwrap();
+        rec3.acquire(other, LockMode::Exclusive, LockPolicy::NoWait);
+        let mut ctx = BaselineCtx::new(&cluster, txn, PartitionId(0), ReadGuard::Optimistic);
+        ctx.write(PartitionId(0), TableId(0), 2, Value::from_u64(1))
+            .unwrap();
+        ctx.write(PartitionId(0), TableId(0), 3, Value::from_u64(1))
+            .unwrap();
+        let err = lock_write_set(&ctx, LockPolicy::NoWait).unwrap_err();
+        assert_eq!(err, AbortReason::LockConflict);
+        // Key 2's lock (acquired before the failure) was rolled back.
+        let rec2 = cluster
+            .partition(PartitionId(0))
+            .store
+            .get(TableId(0), 2)
+            .unwrap();
+        assert!(!rec2.lock().is_locked());
+        rec3.release(other);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn read_your_writes_in_baseline_ctx() {
+        let (cluster, txn) = setup();
+        let mut ctx = BaselineCtx::new(&cluster, txn, PartitionId(0), ReadGuard::Optimistic);
+        ctx.write(PartitionId(0), TableId(0), 9, Value::from_u64(77))
+            .unwrap();
+        assert_eq!(ctx.read(PartitionId(0), TableId(0), 9).unwrap().as_u64(), 77);
+        cluster.shutdown();
+    }
+}

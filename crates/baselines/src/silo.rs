@@ -1,0 +1,225 @@
+//! Silo-style OCC (Tu et al., SOSP '13) in its distributed variant from COCO:
+//! reads record versions without locks; at commit the write set is locked and
+//! the read set validated (unchanged versions, no foreign locks) as part of
+//! the 2PC prepare round; the decision round releases the locks.
+
+use crate::common::{abort_round, commit_round, lock_write_set, prepare_round, BaselineCtx, ReadGuard};
+use primo_common::{AbortReason, Phase, PhaseTimers, TxnError, TxnId, TxnResult};
+use primo_runtime::cluster::Cluster;
+use primo_runtime::protocol::{CommittedTxn, Protocol};
+use primo_runtime::txn::TxnProgram;
+use primo_storage::LockPolicy;
+use primo_wal::TxnTicket;
+
+/// Distributed Silo (OCC).
+#[derive(Debug, Clone, Default)]
+pub struct SiloProtocol;
+
+impl SiloProtocol {
+    pub fn new() -> Self {
+        SiloProtocol
+    }
+}
+
+impl Protocol for SiloProtocol {
+    fn name(&self) -> &'static str {
+        "Silo"
+    }
+
+    fn execute_once(
+        &self,
+        cluster: &Cluster,
+        txn: TxnId,
+        program: &dyn TxnProgram,
+        ticket: &TxnTicket,
+        timers: &mut PhaseTimers,
+    ) -> TxnResult<CommittedTxn> {
+        let home = program.home_partition();
+        let mut ctx = BaselineCtx::new(cluster, txn, home, ReadGuard::Optimistic);
+
+        // Execution phase: optimistic reads, buffered writes.
+        let exec = timers.time(Phase::Execute, || program.execute(&mut ctx));
+        if let Err(e) = exec {
+            let reason = ctx.dead.unwrap_or(e.reason());
+            ctx.abort_cleanup();
+            return Err(TxnError::Aborted(reason));
+        }
+        let distributed = ctx.access.is_distributed(home);
+
+        // Prepare round: ship write-sets + validation requests.
+        let parts = match timers.time(Phase::TwoPc, || prepare_round(&ctx, ticket)) {
+            Ok(p) => p,
+            Err(reason) => {
+                ctx.abort_cleanup();
+                return Err(TxnError::Aborted(reason));
+            }
+        };
+
+        // Phase 1 of Silo's commit: lock the write set.
+        let locked = match timers.time(Phase::Commit, || lock_write_set(&ctx, LockPolicy::NoWait)) {
+            Ok(l) => l,
+            Err(reason) => {
+                abort_round(&ctx, &parts);
+                ctx.abort_cleanup();
+                return Err(TxnError::Aborted(reason));
+            }
+        };
+
+        // Phase 2: validate the read set — every read record must still carry
+        // the observed version and must not be locked by another transaction.
+        let validation = timers.time(Phase::Commit, || {
+            for r in &ctx.access.reads {
+                let in_write_set = ctx.access.find_write(r.partition, r.table, r.key).is_some();
+                let (wts_now, _) = r.record.timestamps();
+                if wts_now != r.wts {
+                    return Err(AbortReason::Validation);
+                }
+                if !in_write_set && r.record.lock().exclusively_locked_by_other(txn) {
+                    return Err(AbortReason::Validation);
+                }
+            }
+            Ok(())
+        });
+        if let Err(reason) = validation {
+            locked.release(txn);
+            abort_round(&ctx, &parts);
+            ctx.abort_cleanup();
+            return Err(TxnError::Aborted(reason));
+        }
+
+        // Phase 3: install the writes (version bump).
+        let ops = ctx.access.ops();
+        timers.time(Phase::Commit, || {
+            for (i, record) in &locked.records {
+                let w = &ctx.access.writes[*i];
+                record.install_next_version(w.value.clone());
+            }
+        });
+
+        // Decision round, then unlock.
+        timers.time(Phase::TwoPc, || commit_round(&ctx, &parts));
+        locked.release(txn);
+        ctx.access.release_all_locks(txn);
+
+        Ok(CommittedTxn {
+            ts: 0,
+            ops,
+            distributed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primo_common::config::ClusterConfig;
+    use primo_common::{PartitionId, TableId, Value};
+    use primo_runtime::txn::{IncrementProgram, TxnContext};
+    use primo_runtime::worker::run_single_txn;
+    use std::sync::Arc;
+
+    fn loaded(n: usize) -> Arc<Cluster> {
+        let cluster = Cluster::new(ClusterConfig::for_tests(n));
+        for p in 0..n as u32 {
+            for k in 0..32u64 {
+                cluster
+                    .partition(PartitionId(p))
+                    .store
+                    .insert(TableId(0), k, Value::from_u64(0));
+            }
+        }
+        cluster
+    }
+
+    #[test]
+    fn silo_commits_read_modify_writes() {
+        let cluster = loaded(2);
+        let protocol = SiloProtocol::new();
+        let prog = IncrementProgram {
+            home: PartitionId(0),
+            accesses: vec![(PartitionId(0), TableId(0), 1), (PartitionId(1), TableId(0), 1)],
+        };
+        run_single_txn(&cluster, &protocol, &prog).unwrap();
+        for p in 0..2u32 {
+            assert_eq!(
+                cluster
+                    .partition(PartitionId(p))
+                    .store
+                    .get(TableId(0), 1)
+                    .unwrap()
+                    .read()
+                    .value
+                    .as_u64(),
+                1
+            );
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn silo_validation_detects_stale_read() {
+        struct StaleRead;
+        impl TxnProgram for StaleRead {
+            fn execute(&self, ctx: &mut dyn TxnContext) -> TxnResult<()> {
+                let v = ctx.read(PartitionId(0), TableId(0), 3)?;
+                // Simulate a long computation during which another txn
+                // overwrites the record — done by the test below between
+                // execute and commit is impossible here, so instead the test
+                // mutates the record via a second protocol run. This program
+                // just does a plain RMW.
+                ctx.write(PartitionId(0), TableId(0), 3, Value::from_u64(v.as_u64() + 1))
+            }
+            fn home_partition(&self) -> PartitionId {
+                PartitionId(0)
+            }
+        }
+        let cluster = loaded(1);
+        let protocol = SiloProtocol::new();
+        // Warm-up commit to bump the version.
+        run_single_txn(&cluster, &protocol, &StaleRead).unwrap();
+        // Direct validation check: read then externally modify then commit.
+        let txn = cluster.next_txn_id(PartitionId(0));
+        let ticket = cluster.group_commit.begin_txn(PartitionId(0), txn);
+        let mut ctx = BaselineCtx::new(&cluster, txn, PartitionId(0), ReadGuard::Optimistic);
+        ctx.read(PartitionId(0), TableId(0), 3).unwrap();
+        ctx.write(PartitionId(0), TableId(0), 3, Value::from_u64(99))
+            .unwrap();
+        // External writer changes the record's version under us.
+        cluster
+            .partition(PartitionId(0))
+            .store
+            .get(TableId(0), 3)
+            .unwrap()
+            .install_next_version(Value::from_u64(1000));
+        // Now finish the attempt through the protocol's commit logic by
+        // replaying the same accesses in a fresh attempt — the stale ctx is
+        // validated manually here.
+        let locked = lock_write_set(&ctx, LockPolicy::NoWait).unwrap();
+        let stale = ctx.access.reads[0].wts
+            != cluster
+                .partition(PartitionId(0))
+                .store
+                .get(TableId(0), 3)
+                .unwrap()
+                .wts();
+        assert!(stale, "version must have changed");
+        locked.release(txn);
+        ctx.abort_cleanup();
+        let _ = ticket;
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn silo_distributed_txn_charges_two_commit_rounds() {
+        let cluster = loaded(2);
+        let protocol = SiloProtocol::new();
+        let before = cluster.net.round_trips_charged();
+        let prog = IncrementProgram {
+            home: PartitionId(0),
+            accesses: vec![(PartitionId(1), TableId(0), 9)],
+        };
+        run_single_txn(&cluster, &protocol, &prog).unwrap();
+        assert_eq!(cluster.net.round_trips_charged() - before, 3);
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,202 @@
+//! 2PL + 2PC (§2.1): shared locks for reads during execution, exclusive
+//! locks + write installation during the 2PC prepare round, decision in the
+//! commit round, locks held until the decision is propagated.
+//!
+//! Two deadlock-handling variants, as in the paper: NO_WAIT (abort on any
+//! conflict) and WAIT_DIE (older transactions wait).
+
+use crate::common::{abort_round, commit_round, lock_write_set, prepare_round, BaselineCtx, ReadGuard};
+use primo_common::{Phase, PhaseTimers, TxnError, TxnId, TxnResult};
+use primo_runtime::cluster::Cluster;
+use primo_runtime::protocol::{CommittedTxn, Protocol};
+use primo_runtime::txn::TxnProgram;
+use primo_storage::LockPolicy;
+use primo_wal::TxnTicket;
+
+/// 2PL + 2PC.
+#[derive(Debug, Clone)]
+pub struct TwoPlProtocol {
+    policy: LockPolicy,
+    label: &'static str,
+}
+
+impl TwoPlProtocol {
+    pub fn no_wait() -> Self {
+        TwoPlProtocol {
+            policy: LockPolicy::NoWait,
+            label: "2PL(NW)",
+        }
+    }
+
+    pub fn wait_die() -> Self {
+        TwoPlProtocol {
+            policy: LockPolicy::WaitDie,
+            label: "2PL(WD)",
+        }
+    }
+
+    pub fn policy(&self) -> LockPolicy {
+        self.policy
+    }
+}
+
+impl Protocol for TwoPlProtocol {
+    fn name(&self) -> &'static str {
+        self.label
+    }
+
+    fn execute_once(
+        &self,
+        cluster: &Cluster,
+        txn: TxnId,
+        program: &dyn TxnProgram,
+        ticket: &TxnTicket,
+        timers: &mut PhaseTimers,
+    ) -> TxnResult<CommittedTxn> {
+        let home = program.home_partition();
+        let mut ctx = BaselineCtx::new(cluster, txn, home, ReadGuard::SharedLock(self.policy));
+
+        // Execution phase: shared-lock reads, buffered writes.
+        let exec = timers.time(Phase::Execute, || program.execute(&mut ctx));
+        if let Err(e) = exec {
+            let reason = ctx.dead.unwrap_or(e.reason());
+            ctx.abort_cleanup();
+            return Err(TxnError::Aborted(reason));
+        }
+        // Remote participants were contacted during execution; the group
+        // commit needs to know about them for watermark bookkeeping.
+        let distributed = ctx.access.is_distributed(home);
+
+        // Commit phase = 2PC.
+        // Prepare: ship write-sets, upgrade to exclusive locks, install.
+        let parts = match timers.time(Phase::TwoPc, || prepare_round(&ctx, ticket)) {
+            Ok(p) => p,
+            Err(reason) => {
+                ctx.abort_cleanup();
+                return Err(TxnError::Aborted(reason));
+            }
+        };
+        let locked = match timers.time(Phase::TwoPc, || lock_write_set(&ctx, self.policy)) {
+            Ok(l) => l,
+            Err(reason) => {
+                abort_round(&ctx, &parts);
+                ctx.abort_cleanup();
+                return Err(TxnError::Aborted(reason));
+            }
+        };
+
+        // Install the writes (participants do the same when they vote YES).
+        let ops = ctx.access.ops();
+        timers.time(Phase::Commit, || {
+            for (i, record) in &locked.records {
+                let w = &ctx.access.writes[*i];
+                record.install_next_version(w.value.clone());
+            }
+        });
+
+        // Commit round: propagate the decision, then release every lock.
+        timers.time(Phase::TwoPc, || commit_round(&ctx, &parts));
+        locked.release(txn);
+        ctx.access.release_all_locks(txn);
+
+        Ok(CommittedTxn {
+            ts: 0,
+            ops,
+            distributed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primo_common::config::ClusterConfig;
+    use primo_common::{PartitionId, TableId, Value};
+    use primo_runtime::txn::IncrementProgram;
+    use primo_runtime::worker::run_single_txn;
+    use std::sync::Arc;
+
+    fn loaded(n: usize) -> Arc<Cluster> {
+        let cluster = Cluster::new(ClusterConfig::for_tests(n));
+        for p in 0..n as u32 {
+            for k in 0..32u64 {
+                cluster
+                    .partition(PartitionId(p))
+                    .store
+                    .insert(TableId(0), k, Value::from_u64(0));
+            }
+        }
+        cluster
+    }
+
+    #[test]
+    fn two_pl_commits_local_and_distributed() {
+        for protocol in [TwoPlProtocol::no_wait(), TwoPlProtocol::wait_die()] {
+            let cluster = loaded(2);
+            let local = IncrementProgram {
+                home: PartitionId(0),
+                accesses: vec![(PartitionId(0), TableId(0), 1)],
+            };
+            let dist = IncrementProgram {
+                home: PartitionId(0),
+                accesses: vec![(PartitionId(0), TableId(0), 2), (PartitionId(1), TableId(0), 2)],
+            };
+            run_single_txn(&cluster, &protocol, &local).unwrap();
+            run_single_txn(&cluster, &protocol, &dist).unwrap();
+            assert_eq!(
+                cluster
+                    .partition(PartitionId(1))
+                    .store
+                    .get(TableId(0), 2)
+                    .unwrap()
+                    .read()
+                    .value
+                    .as_u64(),
+                1
+            );
+            cluster.shutdown();
+        }
+    }
+
+    #[test]
+    fn two_pl_distributed_pays_prepare_and_commit_rounds() {
+        let cluster = loaded(2);
+        let protocol = TwoPlProtocol::no_wait();
+        let before = cluster.net.round_trips_charged();
+        let dist = IncrementProgram {
+            home: PartitionId(0),
+            accesses: vec![(PartitionId(1), TableId(0), 5)],
+        };
+        run_single_txn(&cluster, &protocol, &dist).unwrap();
+        // 1 remote read + prepare + commit.
+        assert_eq!(cluster.net.round_trips_charged() - before, 3);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn no_wait_aborts_on_conflict_rather_than_blocking() {
+        let cluster = loaded(1);
+        let protocol = TwoPlProtocol::no_wait();
+        // Hold an exclusive lock from a fake older transaction.
+        let blocker = cluster.next_txn_id(PartitionId(0));
+        let rec = cluster
+            .partition(PartitionId(0))
+            .store
+            .get(TableId(0), 7)
+            .unwrap();
+        rec.acquire(blocker, primo_storage::LockMode::Exclusive, LockPolicy::NoWait);
+        let prog = IncrementProgram {
+            home: PartitionId(0),
+            accesses: vec![(PartitionId(0), TableId(0), 7)],
+        };
+        let ticket = cluster.group_commit.begin_txn(PartitionId(0), cluster.next_txn_id(PartitionId(0)));
+        let mut timers = PhaseTimers::new();
+        let txn = cluster.next_txn_id(PartitionId(0));
+        let err = protocol
+            .execute_once(&cluster, txn, &prog, &ticket, &mut timers)
+            .unwrap_err();
+        assert!(err.reason().is_conflict());
+        rec.release(blocker);
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,135 @@
+//! Criterion micro-benchmarks of the building blocks on Primo's critical
+//! path: the lock table, TicToc record operations, the Zipf generator, the
+//! WAL append path and a small end-to-end single-transaction comparison of
+//! Primo against a 2PC baseline (the per-transaction cost that Fig 4
+//! aggregates into throughput).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use primo_baselines::TwoPlProtocol;
+use primo_common::config::ClusterConfig;
+use primo_common::{FastRng, PartitionId, TableId, TxnId, Value, ZipfGen};
+use primo_core::PrimoProtocol;
+use primo_runtime::cluster::Cluster;
+use primo_runtime::txn::IncrementProgram;
+use primo_runtime::worker::run_single_txn;
+use primo_storage::{LockMode, LockPolicy, Record};
+use primo_wal::{LogPayload, PartitionWal};
+use std::sync::Arc;
+
+fn bench_lock_table(c: &mut Criterion) {
+    let record = Record::new(Value::from_u64(0));
+    let txn = TxnId::new(PartitionId(0), 1);
+    c.bench_function("lock/exclusive_acquire_release", |b| {
+        b.iter(|| {
+            record.acquire(txn, LockMode::Exclusive, LockPolicy::NoWait);
+            record.release(txn);
+        })
+    });
+    c.bench_function("lock/shared_acquire_release", |b| {
+        b.iter(|| {
+            record.acquire(txn, LockMode::Shared, LockPolicy::WaitDie);
+            record.release(txn);
+        })
+    });
+}
+
+fn bench_tictoc_record(c: &mut Criterion) {
+    let record = Record::new(Value::zeroed(100));
+    c.bench_function("record/read_snapshot", |b| b.iter(|| record.read()));
+    c.bench_function("record/extend_rts", |b| {
+        let mut ts = 1u64;
+        b.iter(|| {
+            ts += 1;
+            record.extend_rts(ts);
+        })
+    });
+    c.bench_function("record/install", |b| {
+        let v = Value::zeroed(100);
+        let mut ts = 1u64;
+        b.iter(|| {
+            ts += 1;
+            record.install(v.clone(), ts);
+        })
+    });
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let zipf = ZipfGen::new(1_000_000, 0.6);
+    let mut rng = FastRng::new(1);
+    c.bench_function("zipf/sample_theta_0.6", |b| b.iter(|| zipf.sample(&mut rng)));
+    let uniform = ZipfGen::new(1_000_000, 0.0);
+    c.bench_function("zipf/sample_uniform", |b| b.iter(|| uniform.sample(&mut rng)));
+}
+
+fn bench_wal_append(c: &mut Criterion) {
+    let wal = PartitionWal::new(PartitionId(0), 500);
+    c.bench_function("wal/append_watermark", |b| {
+        let mut wp = 0u64;
+        b.iter(|| {
+            wp += 1;
+            wal.append(LogPayload::Watermark { wp })
+        })
+    });
+}
+
+fn loaded_cluster() -> Arc<Cluster> {
+    let cluster = Cluster::new(ClusterConfig::for_tests(2));
+    for p in 0..2u32 {
+        for k in 0..1_000u64 {
+            cluster
+                .partition(PartitionId(p))
+                .store
+                .insert(TableId(0), k, Value::from_u64(0));
+        }
+    }
+    cluster
+}
+
+fn bench_single_txn(c: &mut Criterion) {
+    // Per-transaction cost of a distributed read-modify-write pair under
+    // Primo (no 2PC) vs 2PL+2PC — the microscopic version of Fig 4a.
+    let cluster = loaded_cluster();
+    let primo = PrimoProtocol::full();
+    let twopl = TwoPlProtocol::no_wait();
+    let mut group = c.benchmark_group("distributed_txn");
+    group.sample_size(30);
+    group.bench_function("primo_wcf", |b| {
+        let mut rng = FastRng::new(3);
+        b.iter_batched(
+            || IncrementProgram {
+                home: PartitionId(0),
+                accesses: vec![
+                    (PartitionId(0), TableId(0), rng.next_below(1_000)),
+                    (PartitionId(1), TableId(0), rng.next_below(1_000)),
+                ],
+            },
+            |prog| run_single_txn(&cluster, &primo, &prog).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("twopl_2pc", |b| {
+        let mut rng = FastRng::new(4);
+        b.iter_batched(
+            || IncrementProgram {
+                home: PartitionId(0),
+                accesses: vec![
+                    (PartitionId(0), TableId(0), rng.next_below(1_000)),
+                    (PartitionId(1), TableId(0), rng.next_below(1_000)),
+                ],
+            },
+            |prog| run_single_txn(&cluster, &twopl, &prog).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lock_table,
+    bench_tictoc_record,
+    bench_zipf,
+    bench_wal_append,
+    bench_single_txn
+);
+criterion_main!(benches);

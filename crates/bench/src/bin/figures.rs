@@ -1,0 +1,72 @@
+//! Regenerate the paper's figures on the simulated cluster.
+//!
+//! ```text
+//! figures <fig4|fig5|...|fig15|appendixA|all> [--quick|--full]
+//!         [--duration-ms N] [--partitions N] [--workers N]
+//! ```
+
+use primo_bench::figures;
+use primo_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+    let which = args[0].to_lowercase();
+    let mut scale = if args.iter().any(|a| a == "--full") {
+        Scale::full()
+    } else {
+        Scale::quick()
+    };
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--duration-ms" => {
+                scale.duration_ms = args[i + 1].parse().expect("--duration-ms N");
+                i += 2;
+            }
+            "--partitions" => {
+                scale.partitions = args[i + 1].parse().expect("--partitions N");
+                i += 2;
+            }
+            "--workers" => {
+                scale.workers_per_partition = args[i + 1].parse().expect("--workers N");
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+
+    println!(
+        "# scale: {} partitions x {} workers, {} ms per data point, {} YCSB keys/partition",
+        scale.partitions, scale.workers_per_partition, scale.duration_ms, scale.ycsb_keys_per_partition
+    );
+
+    match which.as_str() {
+        "fig4" => figures::fig4(&scale),
+        "fig5" => figures::fig5(&scale),
+        "fig6" => figures::fig6(&scale),
+        "fig7" => figures::fig7(&scale),
+        "fig8" => figures::fig8(&scale),
+        "fig9" => figures::fig9(&scale),
+        "fig10" => figures::fig10(&scale),
+        "fig11" => figures::fig11(&scale),
+        "fig12" => figures::fig12(&scale),
+        "fig13" => figures::fig13(&scale),
+        "fig14" => figures::fig14(&scale),
+        "fig15" => figures::fig15(&scale),
+        "appendixa" => figures::appendix_a(),
+        "all" => figures::all(&scale),
+        other => {
+            eprintln!("unknown figure: {other}");
+            print_usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage: figures <fig4..fig15|appendixA|all> [--quick|--full] [--duration-ms N] [--partitions N] [--workers N]");
+}

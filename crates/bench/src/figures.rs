@@ -1,0 +1,542 @@
+//! One harness per figure of the paper's evaluation (§6).
+//!
+//! Every function prints the series the corresponding figure plots and
+//! returns nothing; the `figures` binary dispatches to them. Absolute numbers
+//! differ from the paper (simulated cluster vs. a real one); the shapes —
+//! which protocol wins, by roughly what factor, where crossovers happen — are
+//! what EXPERIMENTS.md compares.
+
+use crate::setup::{build_protocol, run_tpcc, run_ycsb, Scale};
+use primo_common::config::{LoggingScheme, ProtocolKind};
+use primo_common::{MetricsSnapshot, PartitionId, Phase};
+use primo_core::analysis::{self, ModelParams};
+use primo_runtime::experiment::{CrashPlan, ExperimentOptions};
+use std::time::Duration;
+
+const HEADLINE: [ProtocolKind; 6] = [
+    ProtocolKind::TwoPlNoWait,
+    ProtocolKind::TwoPlWaitDie,
+    ProtocolKind::Silo,
+    ProtocolKind::Sundial,
+    ProtocolKind::Aria,
+    ProtocolKind::Primo,
+];
+
+fn header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+fn print_row(label: &str, snap: &MetricsSnapshot) {
+    println!(
+        "{label:<22} {:>10.1} ktps   abort {:>5.1}%   lat {:>7.2} ms   p99 {:>8.2} ms",
+        snap.ktps(),
+        snap.abort_rate * 100.0,
+        snap.mean_latency_ms,
+        snap.p99_latency_ms
+    );
+}
+
+fn print_breakdown(label: &str, snap: &MetricsSnapshot) {
+    let mut parts = String::new();
+    for p in Phase::ALL {
+        let v = snap.phase(p);
+        if v > 0.0005 {
+            parts.push_str(&format!("{}={:.2}ms ", p.label(), v));
+        }
+    }
+    println!("{label:<22} {parts}");
+}
+
+/// Fig. 4: YCSB default setting — throughput, factor breakdown, latency
+/// breakdown and tail latency.
+pub fn fig4(scale: &Scale) {
+    header("Fig 4a: YCSB throughput (default setting)");
+    let mut snaps = Vec::new();
+    for kind in HEADLINE {
+        let snap = run_ycsb(kind, scale, None, |_| {}, |_| {});
+        print_row(build_protocol(kind).name(), &snap);
+        snaps.push((kind, snap));
+    }
+
+    header("Fig 4b: factor breakdown (normalised to Sundial)");
+    let sundial = snaps
+        .iter()
+        .find(|(k, _)| *k == ProtocolKind::Sundial)
+        .map(|(_, s)| s.ktps())
+        .unwrap_or(1.0);
+    for kind in [
+        ProtocolKind::Sundial,
+        ProtocolKind::PrimoNoWcfNoWm,
+        ProtocolKind::PrimoNoWm,
+        ProtocolKind::Primo,
+    ] {
+        let snap = if let Some((_, s)) = snaps.iter().find(|(k, _)| *k == kind) {
+            s.clone()
+        } else {
+            run_ycsb(kind, scale, None, |_| {}, |_| {})
+        };
+        println!(
+            "{:<22} {:>10.1} ktps   {:.2}x vs Sundial",
+            build_protocol(kind).name(),
+            snap.ktps(),
+            snap.ktps() / sundial.max(1e-9)
+        );
+    }
+
+    header("Fig 4c: latency breakdown (ms per committed txn)");
+    for (kind, snap) in &snaps {
+        print_breakdown(build_protocol(*kind).name(), snap);
+    }
+
+    header("Fig 4d: 99th-percentile latency (ms)");
+    for (kind, snap) in &snaps {
+        println!(
+            "{:<22} {:>8.2} ms",
+            build_protocol(*kind).name(),
+            snap.p99_latency_ms
+        );
+    }
+}
+
+/// Fig. 5: the same four panels on TPC-C.
+pub fn fig5(scale: &Scale) {
+    header("Fig 5a: TPC-C throughput (default setting)");
+    let mut snaps = Vec::new();
+    for kind in HEADLINE {
+        let snap = run_tpcc(kind, scale, None, |_| {}, |_| {});
+        print_row(build_protocol(kind).name(), &snap);
+        snaps.push((kind, snap));
+    }
+
+    header("Fig 5b: factor breakdown (normalised to Sundial)");
+    let sundial = snaps
+        .iter()
+        .find(|(k, _)| *k == ProtocolKind::Sundial)
+        .map(|(_, s)| s.ktps())
+        .unwrap_or(1.0);
+    for kind in [
+        ProtocolKind::Sundial,
+        ProtocolKind::PrimoNoWcfNoWm,
+        ProtocolKind::PrimoNoWm,
+        ProtocolKind::Primo,
+    ] {
+        let snap = if let Some((_, s)) = snaps.iter().find(|(k, _)| *k == kind) {
+            s.clone()
+        } else {
+            run_tpcc(kind, scale, None, |_| {}, |_| {})
+        };
+        println!(
+            "{:<22} {:>10.1} ktps   {:.2}x vs Sundial",
+            build_protocol(kind).name(),
+            snap.ktps(),
+            snap.ktps() / sundial.max(1e-9)
+        );
+    }
+
+    header("Fig 5c: latency breakdown (ms per committed txn)");
+    for (kind, snap) in &snaps {
+        print_breakdown(build_protocol(*kind).name(), snap);
+    }
+
+    header("Fig 5d: 99th-percentile latency (ms)");
+    for (kind, snap) in &snaps {
+        println!(
+            "{:<22} {:>8.2} ms",
+            build_protocol(*kind).name(),
+            snap.p99_latency_ms
+        );
+    }
+}
+
+/// Fig. 6: impact of contention (YCSB skew 0–0.99): throughput + abort rate.
+pub fn fig6(scale: &Scale) {
+    header("Fig 6: impact of contention (YCSB skew sweep)");
+    let skews = [0.0, 0.2, 0.4, 0.6, 0.8, 0.99];
+    println!("{:<22} {}", "protocol", skews.map(|s| format!("{s:>8.2}")).join(" "));
+    for kind in HEADLINE {
+        let mut tputs = Vec::new();
+        let mut aborts = Vec::new();
+        for skew in skews {
+            let snap = run_ycsb(kind, scale, None, |y| y.zipf_theta = skew, |_| {});
+            tputs.push(format!("{:>8.1}", snap.ktps()));
+            aborts.push(format!("{:>8.3}", snap.abort_rate));
+        }
+        println!("{:<22} {}   (ktps)", build_protocol(kind).name(), tputs.join(" "));
+        println!("{:<22} {}   (abort rate)", "", aborts.join(" "));
+    }
+}
+
+/// Fig. 7: impact of the ratio of distributed transactions under low and
+/// high contention.
+pub fn fig7(scale: &Scale) {
+    let ratios = [0.05, 0.2, 0.4, 0.6, 0.8, 1.0];
+    for (title, skew) in [("Fig 7a: low contention (skew 0.0)", 0.0), ("Fig 7b: high contention (skew 0.9)", 0.9)] {
+        header(title);
+        println!(
+            "{:<22} {}",
+            "protocol",
+            ratios.map(|r| format!("{:>8}", format!("{}%", (r * 100.0) as u32))).join(" ")
+        );
+        for kind in HEADLINE {
+            let mut row = Vec::new();
+            for r in ratios {
+                let snap = run_ycsb(
+                    kind,
+                    scale,
+                    None,
+                    |y| {
+                        y.zipf_theta = skew;
+                        y.distributed_ratio = r;
+                    },
+                    |_| {},
+                );
+                row.push(format!("{:>8.1}", snap.ktps()));
+            }
+            println!("{:<22} {}", build_protocol(kind).name(), row.join(" "));
+        }
+    }
+}
+
+/// Fig. 8: impact of the read-write ratio at 20% and 80% distributed.
+pub fn fig8(scale: &Scale) {
+    let write_pcts = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+    for (title, dist) in [("Fig 8a: 20% distributed", 0.2), ("Fig 8b: 80% distributed", 0.8)] {
+        header(title);
+        println!(
+            "{:<22} {}",
+            "protocol (% writes)",
+            write_pcts.map(|w| format!("{:>8}", format!("{}%", (w * 100.0) as u32))).join(" ")
+        );
+        for kind in HEADLINE {
+            let mut row = Vec::new();
+            for w in write_pcts {
+                let snap = run_ycsb(
+                    kind,
+                    scale,
+                    None,
+                    |y| {
+                        y.distributed_ratio = dist;
+                        y.read_ratio = 1.0 - w;
+                    },
+                    |_| {},
+                );
+                row.push(format!("{:>8.1}", snap.ktps()));
+            }
+            println!("{:<22} {}", build_protocol(kind).name(), row.join(" "));
+        }
+    }
+}
+
+/// Fig. 9: impact of the blind-write ratio (Primo vs Sundial).
+pub fn fig9(scale: &Scale) {
+    header("Fig 9: impact of the blind-write ratio (Primo vs Sundial)");
+    let ratios = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+    println!(
+        "{:<22} {}",
+        "protocol",
+        ratios.map(|r| format!("{:>8}", format!("{}%", (r * 100.0) as u32))).join(" ")
+    );
+    for kind in [ProtocolKind::Primo, ProtocolKind::Sundial] {
+        let mut row = Vec::new();
+        for r in ratios {
+            let snap = run_ycsb(kind, scale, None, |y| y.blind_write_ratio = r, |_| {});
+            row.push(format!("{:>8.1}", snap.ktps()));
+        }
+        println!("{:<22} {}", build_protocol(kind).name(), row.join(" "));
+    }
+}
+
+/// Fig. 10: impact of the number of warehouses per partition in TPC-C.
+pub fn fig10(scale: &Scale) {
+    header("Fig 10: TPC-C warehouses per partition");
+    let warehouses = [1u64, 8, 16, 32, 64, 128];
+    println!(
+        "{:<22} {}",
+        "protocol",
+        warehouses.map(|w| format!("{w:>8}")).join(" ")
+    );
+    for kind in HEADLINE {
+        let mut row = Vec::new();
+        for w in warehouses {
+            let snap = run_tpcc(kind, scale, None, |t| t.warehouses_per_partition = w, |_| {});
+            row.push(format!("{:>8.1}", snap.ktps()));
+        }
+        println!("{:<22} {}", build_protocol(kind).name(), row.join(" "));
+    }
+}
+
+/// Fig. 11: logging schemes (CLV vs COCO vs Watermark) under each
+/// concurrency-control protocol, YCSB and TPC-C.
+pub fn fig11(scale: &Scale) {
+    let protocols = [
+        ProtocolKind::TwoPlNoWait,
+        ProtocolKind::TwoPlWaitDie,
+        ProtocolKind::Silo,
+        ProtocolKind::Sundial,
+        ProtocolKind::Primo,
+    ];
+    let schemes = [LoggingScheme::Clv, LoggingScheme::CocoEpoch, LoggingScheme::Watermark];
+    for (title, tpcc) in [("Fig 11a: YCSB", false), ("Fig 11b: TPC-C", true)] {
+        header(title);
+        println!(
+            "{:<22} {:>10} {:>10} {:>10}",
+            "protocol", "CLV", "COCO", "Watermark"
+        );
+        for kind in protocols {
+            let mut row = Vec::new();
+            for scheme in schemes {
+                let snap = if tpcc {
+                    run_tpcc(kind, scale, None, |_| {}, |c| c.wal.scheme = scheme)
+                } else {
+                    run_ycsb(kind, scale, None, |_| {}, |c| c.wal.scheme = scheme)
+                };
+                row.push(format!("{:>10.1}", snap.ktps()));
+            }
+            println!("{:<22} {}", build_protocol(kind).name(), row.join(" "));
+        }
+    }
+}
+
+/// Fig. 12: watermark interval / epoch size trade-off: latency, crash-abort
+/// rate (a partition is killed mid-run), throughput — WM vs COCO, both over
+/// Primo's WCF concurrency control.
+pub fn fig12(scale: &Scale) {
+    header("Fig 12: watermark interval / epoch size (Primo CC under WM vs COCO)");
+    let sizes_ms = [20u64, 40, 60, 80, 100];
+    println!(
+        "{:<12} {:>10} {:>12} {:>14} {:>12}",
+        "scheme", "size(ms)", "latency(ms)", "crash-abort", "ktps"
+    );
+    for scheme in [LoggingScheme::Watermark, LoggingScheme::CocoEpoch] {
+        for size in sizes_ms {
+            let opts = ExperimentOptions {
+                warmup: Duration::from_millis(scale.warmup_ms),
+                duration: Duration::from_millis(scale.duration_ms.max(3 * size)),
+                crash: Some(CrashPlan {
+                    partition: PartitionId(1),
+                    at: Duration::from_millis(scale.duration_ms.max(3 * size) / 2),
+                    recover_after: Duration::from_millis(20),
+                }),
+                ..Default::default()
+            };
+            let snap = run_ycsb(
+                ProtocolKind::Primo,
+                scale,
+                Some(opts),
+                |_| {},
+                |c| {
+                    c.wal.scheme = scheme;
+                    c.wal.interval_ms = size;
+                },
+            );
+            println!(
+                "{:<12} {:>10} {:>12.2} {:>14.4} {:>12.1}",
+                scheme.label(),
+                size,
+                snap.mean_latency_ms,
+                snap.crash_abort_rate,
+                snap.ktps()
+            );
+        }
+    }
+}
+
+/// Fig. 13: lagging watermarks/epochs: (a) delayed control messages from one
+/// partition; (b) a slow partition, with and without force-update.
+pub fn fig13(scale: &Scale) {
+    header("Fig 13a: control-message delay from one partition");
+    let delays_ms = [0u64, 5, 10, 20, 30];
+    println!(
+        "{:<26} {}",
+        "scheme",
+        delays_ms.map(|d| format!("{d:>8}ms")).join(" ")
+    );
+    for (label, scheme, force) in [
+        ("Watermark", LoggingScheme::Watermark, true),
+        ("Watermark(no force)", LoggingScheme::Watermark, false),
+        ("COCO", LoggingScheme::CocoEpoch, false),
+    ] {
+        let mut tput = Vec::new();
+        let mut lat = Vec::new();
+        for d in delays_ms {
+            let opts = ExperimentOptions {
+                lag_partition: Some((PartitionId(1), d * 1000)),
+                ..scale.options()
+            };
+            let snap = run_ycsb(
+                ProtocolKind::Primo,
+                scale,
+                Some(opts),
+                |_| {},
+                |c| {
+                    c.wal.scheme = scheme;
+                    c.wal.force_update = force;
+                },
+            );
+            tput.push(format!("{:>9.1}", snap.ktps()));
+            lat.push(format!("{:>9.2}", snap.mean_latency_ms));
+        }
+        println!("{label:<26} {}  (ktps)", tput.join(" "));
+        println!("{:<26} {}  (latency ms)", "", lat.join(" "));
+    }
+
+    header("Fig 13b: slow partition (masked cores)");
+    let slowdowns_us = [0u64, 50, 100, 200, 400];
+    println!(
+        "{:<26} {}",
+        "scheme",
+        slowdowns_us.map(|s| format!("{s:>8}us")).join(" ")
+    );
+    for (label, force) in [("Watermark", true), ("Watermark(no force)", false)] {
+        let mut lat = Vec::new();
+        let mut tput = Vec::new();
+        for s in slowdowns_us {
+            let opts = ExperimentOptions {
+                slow_partition: Some((PartitionId(1), s)),
+                ..scale.options()
+            };
+            let snap = run_ycsb(
+                ProtocolKind::Primo,
+                scale,
+                Some(opts),
+                |_| {},
+                |c| {
+                    c.wal.scheme = LoggingScheme::Watermark;
+                    c.wal.force_update = force;
+                },
+            );
+            lat.push(format!("{:>9.2}", snap.mean_latency_ms));
+            tput.push(format!("{:>9.1}", snap.ktps()));
+        }
+        println!("{label:<26} {}  (latency ms)", lat.join(" "));
+        println!("{:<26} {}  (ktps)", "", tput.join(" "));
+    }
+}
+
+/// Fig. 14: scalability with the number of partitions (YCSB and TPC-C),
+/// including Primo with COCO group commit ("Primo(COCO)").
+pub fn fig14(scale: &Scale) {
+    let partition_counts = [1usize, 2, 4, 8, 12, 16];
+    for (title, tpcc) in [("Fig 14a: YCSB scalability", false), ("Fig 14b: TPC-C scalability", true)] {
+        header(title);
+        println!(
+            "{:<22} {}",
+            "protocol",
+            partition_counts.map(|n| format!("{n:>8}")).join(" ")
+        );
+        let mut kinds: Vec<(String, ProtocolKind, Option<LoggingScheme>)> = HEADLINE
+            .iter()
+            .map(|k| (build_protocol(*k).name().to_string(), *k, None))
+            .collect();
+        kinds.push((
+            "Primo(COCO)".to_string(),
+            ProtocolKind::Primo,
+            Some(LoggingScheme::CocoEpoch),
+        ));
+        for (label, kind, scheme_override) in kinds {
+            let mut row = Vec::new();
+            for n in partition_counts {
+                let s = scale.with_partitions(n);
+                let snap = if tpcc {
+                    run_tpcc(kind, &s, None, |_| {}, |c| {
+                        if let Some(sch) = scheme_override {
+                            c.wal.scheme = sch;
+                        }
+                    })
+                } else {
+                    run_ycsb(kind, &s, None, |_| {}, |c| {
+                        if let Some(sch) = scheme_override {
+                            c.wal.scheme = sch;
+                        }
+                    })
+                };
+                row.push(format!("{:>8.1}", snap.ktps()));
+            }
+            println!("{label:<22} {}", row.join(" "));
+        }
+    }
+}
+
+/// Fig. 15: comparison with TAPIR (single worker per partition), low/high
+/// contention × 20 %/80 % distributed.
+pub fn fig15(scale: &Scale) {
+    header("Fig 15: Primo vs TAPIR (1 worker thread per partition)");
+    println!(
+        "{:<10} {:<18} {:>10} {:>12} {:>12} {:>12}",
+        "protocol", "setting", "ktps", "avg lat(ms)", "p99 lat(ms)", "abort rate"
+    );
+    for (contention, skew) in [("low", 0.0), ("high", 0.9)] {
+        for dist in [0.2, 0.8] {
+            for kind in [ProtocolKind::Primo, ProtocolKind::Tapir] {
+                let single = Scale {
+                    workers_per_partition: 1,
+                    ..*scale
+                };
+                let snap = run_ycsb(
+                    kind,
+                    &single,
+                    None,
+                    |y| {
+                        y.zipf_theta = skew;
+                        y.distributed_ratio = dist;
+                    },
+                    |_| {},
+                );
+                println!(
+                    "{:<10} {:<18} {:>10.1} {:>12.2} {:>12.2} {:>12.3}",
+                    build_protocol(kind).name(),
+                    format!("{contention}, {}% dist", (dist * 100.0) as u32),
+                    snap.ktps(),
+                    snap.mean_latency_ms,
+                    snap.p99_latency_ms,
+                    snap.abort_rate
+                );
+            }
+        }
+    }
+}
+
+/// Appendix A: the analytical conflict-rate model.
+pub fn appendix_a() {
+    header("Appendix A: analytical conflict rates (CR_2PC vs CR_Primo)");
+    println!(
+        "{:>8} {:>8} {:>14} {:>14} {:>10}",
+        "Rr", "Rd", "CR_2PC", "CR_Primo", "advantage"
+    );
+    for rr in [0.0, 0.2, 0.5, 0.8, 0.9] {
+        for rd in [0.2, 0.8] {
+            let p = ModelParams {
+                read_ratio: rr,
+                distributed_ratio: rd,
+                conflict_prob: 1e-6,
+                ..Default::default()
+            };
+            println!(
+                "{:>8.1} {:>8.1} {:>14.5} {:>14.5} {:>10.2}x",
+                rr,
+                rd,
+                analysis::conflict_rate_2pc(&p),
+                analysis::conflict_rate_primo(&p),
+                analysis::advantage_ratio(&p)
+            );
+        }
+    }
+}
+
+/// Run every figure.
+pub fn all(scale: &Scale) {
+    fig4(scale);
+    fig5(scale);
+    fig6(scale);
+    fig7(scale);
+    fig8(scale);
+    fig9(scale);
+    fig10(scale);
+    fig11(scale);
+    fig12(scale);
+    fig13(scale);
+    fig14(scale);
+    fig15(scale);
+    appendix_a();
+}

@@ -1,0 +1,19 @@
+//! Experiment harness: regenerates every figure of the paper's evaluation
+//! (§6) on the simulated cluster.
+//!
+//! Use the `figures` binary:
+//!
+//! ```text
+//! cargo run -p primo-bench --release --bin figures -- fig4
+//! cargo run -p primo-bench --release --bin figures -- all --quick
+//! ```
+//!
+//! Each harness prints the same series the paper plots (throughput in kilo
+//! transactions per second, abort rates, latency breakdowns, ...), so the
+//! *shape* of every figure can be compared directly; see `EXPERIMENTS.md` for
+//! the recorded comparison.
+
+pub mod figures;
+pub mod setup;
+
+pub use setup::{build_protocol, cluster_config_for, Scale};

@@ -1,0 +1,221 @@
+//! Shared experiment plumbing: protocol construction, cluster configuration
+//! per protocol (which group-commit scheme it pairs with, §6.1.3) and the
+//! run-scale knobs (quick vs. full).
+
+use primo_baselines::{AriaProtocol, SiloProtocol, SundialProtocol, TapirProtocol, TwoPlProtocol};
+use primo_common::config::{ClusterConfig, LoggingScheme, ProtocolKind};
+use primo_common::MetricsSnapshot;
+use primo_core::PrimoProtocol;
+use primo_runtime::experiment::{run_experiment, ExperimentOptions};
+use primo_runtime::protocol::Protocol;
+use primo_runtime::txn::Workload;
+use primo_workloads::{TpccConfig, TpccWorkload, YcsbConfig, YcsbWorkload};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Run-scale: how long each data point runs and how big the data set is.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    pub partitions: usize,
+    pub workers_per_partition: usize,
+    pub ycsb_keys_per_partition: u64,
+    pub duration_ms: u64,
+    pub warmup_ms: u64,
+}
+
+impl Scale {
+    /// Quick mode: every figure in a few minutes (used by CI and the recorded
+    /// outputs in EXPERIMENTS.md).
+    pub fn quick() -> Self {
+        Scale {
+            partitions: 4,
+            workers_per_partition: 4,
+            ycsb_keys_per_partition: 50_000,
+            duration_ms: 400,
+            warmup_ms: 100,
+        }
+    }
+
+    /// Full mode: longer runs and larger tables for smoother numbers.
+    pub fn full() -> Self {
+        Scale {
+            partitions: 4,
+            workers_per_partition: 8,
+            ycsb_keys_per_partition: 200_000,
+            duration_ms: 2_000,
+            warmup_ms: 300,
+        }
+    }
+
+    pub fn with_partitions(mut self, n: usize) -> Self {
+        self.partitions = n;
+        self
+    }
+
+    pub fn options(&self) -> ExperimentOptions {
+        ExperimentOptions {
+            warmup: Duration::from_millis(self.warmup_ms),
+            duration: Duration::from_millis(self.duration_ms),
+            ..Default::default()
+        }
+    }
+}
+
+/// Build a protocol instance for any [`ProtocolKind`], including the Primo
+/// variants.
+pub fn build_protocol(kind: ProtocolKind) -> Arc<dyn Protocol> {
+    match kind {
+        ProtocolKind::TwoPlNoWait => Arc::new(TwoPlProtocol::no_wait()),
+        ProtocolKind::TwoPlWaitDie => Arc::new(TwoPlProtocol::wait_die()),
+        ProtocolKind::Silo => Arc::new(SiloProtocol::new()),
+        ProtocolKind::Sundial => Arc::new(SundialProtocol::new()),
+        ProtocolKind::Aria => Arc::new(AriaProtocol::new(Default::default())),
+        ProtocolKind::Tapir => Arc::new(TapirProtocol::new()),
+        ProtocolKind::Primo => Arc::new(PrimoProtocol::full()),
+        ProtocolKind::PrimoNoWm => Arc::new(PrimoProtocol::full().labeled("Primo w/o WM")),
+        ProtocolKind::PrimoNoWcfNoWm => {
+            Arc::new(PrimoProtocol::without_wcf().labeled("Primo w/o WM & WCF"))
+        }
+    }
+}
+
+/// Which group-commit scheme a protocol is paired with, following §6.1.3:
+/// every baseline gets COCO's distributed group commit; full Primo gets the
+/// watermark scheme; the ablations get COCO.
+pub fn logging_scheme_for(kind: ProtocolKind) -> LoggingScheme {
+    match kind {
+        ProtocolKind::Primo => LoggingScheme::Watermark,
+        ProtocolKind::Aria | ProtocolKind::Tapir => LoggingScheme::Watermark, // unused: they manage durability
+        _ => LoggingScheme::CocoEpoch,
+    }
+}
+
+/// Cluster configuration for one protocol at one scale.
+pub fn cluster_config_for(kind: ProtocolKind, scale: &Scale) -> ClusterConfig {
+    let mut cfg = ClusterConfig::default();
+    cfg.num_partitions = scale.partitions;
+    cfg.workers_per_partition = scale.workers_per_partition;
+    cfg.wal.scheme = logging_scheme_for(kind);
+    // Paper §6.2: the epoch size of COCO and the watermark interval of WM are
+    // unified (20 ms) so all protocols see ~10 ms average commit latency.
+    cfg.wal.interval_ms = 20;
+    cfg
+}
+
+/// Default YCSB config for a scale.
+pub fn ycsb_config(scale: &Scale) -> YcsbConfig {
+    YcsbConfig::paper_default(scale.partitions, scale.ycsb_keys_per_partition)
+}
+
+/// Default TPC-C config for a scale.
+pub fn tpcc_config(scale: &Scale) -> TpccConfig {
+    TpccConfig::paper_default(scale.partitions)
+}
+
+/// Run one protocol on one workload and return the metrics.
+pub fn run(
+    kind: ProtocolKind,
+    workload: Arc<dyn Workload>,
+    scale: &Scale,
+    options: Option<ExperimentOptions>,
+    tweak: impl FnOnce(&mut ClusterConfig),
+) -> MetricsSnapshot {
+    let mut cfg = cluster_config_for(kind, scale);
+    tweak(&mut cfg);
+    let protocol = build_protocol(kind);
+    let options = options.unwrap_or_else(|| scale.options());
+    run_experiment(cfg, protocol, workload, &options)
+}
+
+/// Run a protocol on YCSB with a config tweak.
+pub fn run_ycsb(
+    kind: ProtocolKind,
+    scale: &Scale,
+    options: Option<ExperimentOptions>,
+    ycsb_tweak: impl FnOnce(&mut YcsbConfig),
+    cluster_tweak: impl FnOnce(&mut ClusterConfig),
+) -> MetricsSnapshot {
+    let mut ycsb = ycsb_config(scale);
+    ycsb_tweak(&mut ycsb);
+    run(
+        kind,
+        Arc::new(YcsbWorkload::new(ycsb)),
+        scale,
+        options,
+        cluster_tweak,
+    )
+}
+
+/// Run a protocol on TPC-C with a config tweak.
+pub fn run_tpcc(
+    kind: ProtocolKind,
+    scale: &Scale,
+    options: Option<ExperimentOptions>,
+    tpcc_tweak: impl FnOnce(&mut TpccConfig),
+    cluster_tweak: impl FnOnce(&mut ClusterConfig),
+) -> MetricsSnapshot {
+    let mut tpcc = tpcc_config(scale);
+    tpcc_tweak(&mut tpcc);
+    run(
+        kind,
+        Arc::new(TpccWorkload::new(tpcc)),
+        scale,
+        options,
+        cluster_tweak,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_protocol_kind_builds() {
+        for kind in [
+            ProtocolKind::TwoPlNoWait,
+            ProtocolKind::TwoPlWaitDie,
+            ProtocolKind::Silo,
+            ProtocolKind::Sundial,
+            ProtocolKind::Aria,
+            ProtocolKind::Tapir,
+            ProtocolKind::Primo,
+            ProtocolKind::PrimoNoWm,
+            ProtocolKind::PrimoNoWcfNoWm,
+        ] {
+            let p = build_protocol(kind);
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn primo_uses_watermark_baselines_use_coco() {
+        assert_eq!(
+            logging_scheme_for(ProtocolKind::Primo),
+            LoggingScheme::Watermark
+        );
+        assert_eq!(
+            logging_scheme_for(ProtocolKind::Sundial),
+            LoggingScheme::CocoEpoch
+        );
+        let cfg = cluster_config_for(ProtocolKind::Primo, &Scale::quick());
+        assert_eq!(cfg.wal.interval_ms, 20);
+        assert_eq!(cfg.num_partitions, 4);
+    }
+
+    #[test]
+    fn quick_scale_end_to_end_smoke() {
+        // A tiny end-to-end run: Primo on a shrunken YCSB must commit
+        // transactions.
+        let scale = Scale {
+            partitions: 2,
+            workers_per_partition: 2,
+            ycsb_keys_per_partition: 2_000,
+            duration_ms: 150,
+            warmup_ms: 30,
+        };
+        let snap = run_ycsb(ProtocolKind::Primo, &scale, None, |_| {}, |c| {
+            c.wal.interval_ms = 5;
+        });
+        assert!(snap.committed > 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Identifier types used across the cluster.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies one shared-nothing partition (one "server" in the paper's
+/// terminology — each partition has a leader that owns a horizontal slice of
+/// every table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PartitionId(pub u32);
+
+impl PartitionId {
+    /// Index into per-partition vectors.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifies a logical table (YCSB main table, TPC-C warehouse, district, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TableId(pub u32);
+
+/// Identifies a worker thread inside a partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub u32);
+
+/// Logical (TicToc) timestamp. Independent of the wall clock and of [`TxnId`].
+pub type Ts = u64;
+
+/// Globally unique transaction identifier.
+///
+/// Following §4.1 of the paper, a TID combines the coordinator's server id with
+/// a local counter incremented for every new transaction. The `Ord` order is
+/// used by the WAIT_DIE deadlock-prevention policy: a *smaller* TID is an
+/// *older* (higher-priority) transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TxnId {
+    /// Local sequence number at the coordinator (major component so older
+    /// transactions across the cluster compare as smaller).
+    pub seq: u64,
+    /// Coordinator partition that assigned this TID.
+    pub coord: u32,
+}
+
+impl TxnId {
+    pub fn new(coord: PartitionId, seq: u64) -> Self {
+        TxnId { seq, coord: coord.0 }
+    }
+
+    /// The coordinator partition encoded in this TID.
+    pub fn coordinator(&self) -> PartitionId {
+        PartitionId(self.coord)
+    }
+
+    /// Pack into a single u64 for lock-word style storage. The sequence is
+    /// truncated to 48 bits which is far beyond what any experiment reaches.
+    pub fn pack(&self) -> u64 {
+        (self.seq << 16) | (self.coord as u64 & 0xFFFF)
+    }
+
+    /// Inverse of [`TxnId::pack`].
+    pub fn unpack(raw: u64) -> Self {
+        TxnId {
+            seq: raw >> 16,
+            coord: (raw & 0xFFFF) as u32,
+        }
+    }
+}
+
+impl PartialOrd for TxnId {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TxnId {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Older (smaller seq) first; coordinator id breaks ties.
+        (self.seq, self.coord).cmp(&(other.seq, other.coord))
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}.{}", self.coord, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_id_pack_roundtrip() {
+        let id = TxnId::new(PartitionId(7), 123_456);
+        assert_eq!(TxnId::unpack(id.pack()), id);
+    }
+
+    #[test]
+    fn txn_id_order_is_age_order() {
+        let old = TxnId::new(PartitionId(3), 10);
+        let young = TxnId::new(PartitionId(1), 11);
+        assert!(old < young, "smaller sequence number must be older");
+    }
+
+    #[test]
+    fn txn_id_order_breaks_ties_by_coordinator() {
+        let a = TxnId::new(PartitionId(1), 10);
+        let b = TxnId::new(PartitionId(2), 10);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn partition_display() {
+        assert_eq!(PartitionId(4).to_string(), "P4");
+        assert_eq!(TxnId::new(PartitionId(1), 2).to_string(), "T1.2");
+    }
+}

@@ -1,0 +1,24 @@
+//! Common types shared by every crate in the Primo reproduction workspace.
+//!
+//! This crate deliberately has no dependency on the storage, network or
+//! protocol crates: it defines the vocabulary (identifiers, values, abort
+//! reasons, configuration, statistics) that all of them speak.
+
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod phase;
+pub mod rng;
+pub mod sim_time;
+pub mod stats;
+pub mod value;
+
+pub use config::{
+    CcScheme, ClusterConfig, LoggingScheme, NetConfig, PrimoConfig, ProtocolKind, WalConfig,
+};
+pub use error::{AbortReason, TxnError, TxnResult};
+pub use ids::{PartitionId, TableId, ThreadId, Ts, TxnId};
+pub use phase::{Phase, PhaseTimers};
+pub use rng::{FastRng, ZipfGen};
+pub use stats::{Histogram, Metrics, MetricsSnapshot};
+pub use value::{Key, Row, Value};

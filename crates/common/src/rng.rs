@@ -1,0 +1,215 @@
+//! Fast per-thread random number generation and the Zipf key distribution
+//! used by YCSB (Gray et al., "Quickly generating billion-record synthetic
+//! databases", SIGMOD '94 — the same generator the paper cites [31]).
+
+/// A small, fast xorshift* PRNG. Each worker thread owns one, seeded from the
+/// thread id so experiments are reproducible yet threads are decorrelated.
+#[derive(Debug, Clone)]
+pub struct FastRng {
+    state: u64,
+}
+
+impl FastRng {
+    pub fn new(seed: u64) -> Self {
+        // Avoid the all-zero state which xorshift cannot leave.
+        FastRng {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        }
+    }
+
+    /// Seed from a partition id and thread id for reproducible experiments.
+    pub fn for_worker(partition: u32, thread: u32, salt: u64) -> Self {
+        FastRng::new(((partition as u64) << 40) ^ ((thread as u64) << 20) ^ salt ^ 0xC0FFEE)
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, bound)`. `bound` must be non-zero.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn next_range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(hi >= lo);
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    #[inline]
+    pub fn flip(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Non-uniform random value per the TPC-C specification (clause 2.1.6).
+    pub fn nurand(&mut self, a: u64, x: u64, y: u64, c: u64) -> u64 {
+        (((self.next_range(0, a) | self.next_range(x, y)) + c) % (y - x + 1)) + x
+    }
+}
+
+/// Zipfian generator over `[0, n)` with skew parameter `theta`.
+///
+/// `theta = 0` degenerates to uniform; the paper sweeps `theta` from 0 to
+/// 0.99 in Fig 6. Precomputes `zeta(n, theta)` once, so construction is
+/// `O(n)` but each sample is `O(1)`.
+#[derive(Debug, Clone)]
+pub struct ZipfGen {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl ZipfGen {
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "Zipf domain must be non-empty");
+        assert!((0.0..1.0).contains(&theta) || theta < 1.0001, "theta must be < 1");
+        if theta <= f64::EPSILON {
+            return ZipfGen {
+                n,
+                theta: 0.0,
+                alpha: 0.0,
+                zetan: 0.0,
+                eta: 0.0,
+            };
+        }
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        ZipfGen {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        let mut sum = 0.0;
+        for i in 1..=n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        sum
+    }
+
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draw a key in `[0, n)`.
+    pub fn sample(&self, rng: &mut FastRng) -> u64 {
+        if self.theta <= f64::EPSILON {
+            return rng.next_below(self.n);
+        }
+        let u = rng.next_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let mut a = FastRng::new(42);
+        let mut b = FastRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn rng_range_respects_bounds() {
+        let mut r = FastRng::new(7);
+        for _ in 0..10_000 {
+            let v = r.next_range(10, 20);
+            assert!((10..=20).contains(&v));
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn nurand_is_in_range() {
+        let mut r = FastRng::new(3);
+        for _ in 0..10_000 {
+            let v = r.nurand(255, 0, 999, 123);
+            assert!(v <= 999);
+        }
+    }
+
+    #[test]
+    fn zipf_uniform_when_theta_zero() {
+        let g = ZipfGen::new(1000, 0.0);
+        let mut r = FastRng::new(1);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..100_000 {
+            counts[(g.sample(&mut r) / 100) as usize] += 1;
+        }
+        // Each decile should hold roughly 10% of the samples.
+        for c in counts {
+            assert!((7_000..13_000).contains(&c), "decile count {c} not uniform");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_towards_small_keys() {
+        let g = ZipfGen::new(1_000_000, 0.9);
+        let mut r = FastRng::new(2);
+        let mut hot = 0u32;
+        let total = 100_000;
+        for _ in 0..total {
+            if g.sample(&mut r) < 1_000 {
+                hot += 1;
+            }
+        }
+        // With theta=0.9 the hottest 0.1% of keys receive far more than 0.1%
+        // of the accesses.
+        assert!(hot as f64 / total as f64 > 0.2, "hot fraction {hot}");
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_domain() {
+        for theta in [0.0, 0.2, 0.6, 0.8, 0.99] {
+            let g = ZipfGen::new(100, theta);
+            let mut r = FastRng::new(5);
+            for _ in 0..10_000 {
+                assert!(g.sample(&mut r) < 100);
+            }
+        }
+    }
+}

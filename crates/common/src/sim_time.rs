@@ -1,0 +1,71 @@
+//! Helpers for charging simulated latency to the calling thread.
+//!
+//! The paper measures a real cluster; this reproduction runs every partition
+//! in one process and charges network / disk latency by making the calling
+//! thread wait. Short waits (< ~200 µs) are spin-waits so that the scheduler
+//! does not add millisecond-level noise; longer waits sleep.
+
+use std::time::{Duration, Instant};
+
+/// Threshold below which we spin instead of sleeping.
+const SPIN_THRESHOLD_US: u64 = 200;
+
+/// Block the calling thread for `us` microseconds of simulated latency.
+pub fn charge_latency_us(us: u64) {
+    if us == 0 {
+        return;
+    }
+    if us <= SPIN_THRESHOLD_US {
+        spin_us(us);
+    } else {
+        std::thread::sleep(Duration::from_micros(us));
+    }
+}
+
+/// Busy-wait for `us` microseconds.
+pub fn spin_us(us: u64) {
+    let start = Instant::now();
+    let target = Duration::from_micros(us);
+    while start.elapsed() < target {
+        std::hint::spin_loop();
+    }
+}
+
+/// Monotonic microseconds since an arbitrary process-wide origin.
+pub fn now_us() -> u64 {
+    use std::sync::OnceLock;
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    let origin = ORIGIN.get_or_init(Instant::now);
+    origin.elapsed().as_micros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_latency_waits_roughly_right() {
+        let start = Instant::now();
+        charge_latency_us(100);
+        let el = start.elapsed();
+        assert!(el >= Duration::from_micros(95), "waited only {el:?}");
+        assert!(el < Duration::from_millis(20), "waited far too long {el:?}");
+    }
+
+    #[test]
+    fn zero_latency_is_free() {
+        let start = Instant::now();
+        for _ in 0..1000 {
+            charge_latency_us(0);
+        }
+        assert!(start.elapsed() < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn now_us_is_monotonic() {
+        let a = now_us();
+        spin_us(10);
+        let b = now_us();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,326 @@
+//! Experiment metrics: throughput counters, latency histograms, abort
+//! accounting and per-phase breakdowns.
+
+use crate::error::AbortReason;
+use crate::phase::{Phase, PhaseTimers};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A log-scale latency histogram (microsecond resolution, ~4% relative error)
+/// supporting percentile queries. Cheap enough to update on every commit.
+#[derive(Debug)]
+pub struct Histogram {
+    /// buckets[i] counts samples whose value rounds into bucket i.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+const BUCKETS_PER_OCTAVE: usize = 16;
+const NUM_OCTAVES: usize = 40; // covers up to ~2^40 us
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        let n = BUCKETS_PER_OCTAVE * NUM_OCTAVES;
+        let mut buckets = Vec::with_capacity(n);
+        for _ in 0..n {
+            buckets.push(AtomicU64::new(0));
+        }
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_index(us: u64) -> usize {
+        if us < 2 {
+            return us as usize;
+        }
+        let octave = 63 - us.leading_zeros() as usize; // floor(log2(us))
+        let base = 1u64 << octave;
+        let frac = ((us - base) * BUCKETS_PER_OCTAVE as u64 / base) as usize;
+        (octave * BUCKETS_PER_OCTAVE + frac).min(BUCKETS_PER_OCTAVE * NUM_OCTAVES - 1)
+    }
+
+    fn bucket_value(idx: usize) -> u64 {
+        if idx < 2 {
+            return idx as u64;
+        }
+        let octave = idx / BUCKETS_PER_OCTAVE;
+        let frac = idx % BUCKETS_PER_OCTAVE;
+        let base = 1u64 << octave;
+        base + base * frac as u64 / BUCKETS_PER_OCTAVE as u64
+    }
+
+    pub fn record_us(&self, us: u64) {
+        self.buckets[Self::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn mean_us(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) as f64 / c as f64
+        }
+    }
+
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// Latency at the given percentile (0.0–1.0).
+    pub fn percentile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return Self::bucket_value(i);
+            }
+        }
+        self.max_us()
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&self, other: &Histogram) {
+        for (a, b) in self.buckets.iter().zip(other.buckets.iter()) {
+            a.fetch_add(b.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_us
+            .fetch_add(other.sum_us.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max_us
+            .fetch_max(other.max_us.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+/// Shared, thread-safe metric sink for one experiment run.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    committed: AtomicU64,
+    aborted_attempts: AtomicU64,
+    /// Transactions abandoned permanently (user aborts).
+    abandoned: AtomicU64,
+    latency: Histogram,
+    /// Aborts by reason.
+    abort_reasons: Mutex<HashMap<AbortReason, u64>>,
+    /// Aggregated per-phase time across committed transactions (nanoseconds).
+    phase_nanos: [AtomicU64; 8],
+    /// Messages sent (filled in by the network layer via `add_messages`).
+    messages: AtomicU64,
+    /// Remote (cross-partition) read/write requests issued.
+    remote_ops: AtomicU64,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record_commit(&self, latency_us: u64, phases: &PhaseTimers) {
+        self.committed.fetch_add(1, Ordering::Relaxed);
+        self.latency.record_us(latency_us);
+        let arr = phases.as_array();
+        for (slot, v) in self.phase_nanos.iter().zip(arr.iter()) {
+            slot.fetch_add(*v, Ordering::Relaxed);
+        }
+    }
+
+    pub fn record_abort(&self, reason: AbortReason) {
+        self.aborted_attempts.fetch_add(1, Ordering::Relaxed);
+        *self.abort_reasons.lock().entry(reason).or_insert(0) += 1;
+    }
+
+    pub fn record_abandoned(&self) {
+        self.abandoned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_messages(&self, n: u64) {
+        self.messages.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_remote_ops(&self, n: u64) {
+        self.remote_ops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn committed(&self) -> u64 {
+        self.committed.load(Ordering::Relaxed)
+    }
+
+    pub fn aborted_attempts(&self) -> u64 {
+        self.aborted_attempts.load(Ordering::Relaxed)
+    }
+
+    /// Produce an immutable snapshot with derived quantities.
+    pub fn snapshot(&self, elapsed_secs: f64) -> MetricsSnapshot {
+        let committed = self.committed();
+        let aborted = self.aborted_attempts();
+        let attempts = committed + aborted;
+        let mut phase_ms = HashMap::new();
+        if committed > 0 {
+            for (i, p) in Phase::ALL.iter().enumerate() {
+                let ns = self.phase_nanos[i].load(Ordering::Relaxed);
+                phase_ms.insert(*p, ns as f64 / committed as f64 / 1e6);
+            }
+        }
+        let abort_reasons = self.abort_reasons.lock().clone();
+        let crash_aborts: u64 = abort_reasons
+            .iter()
+            .filter(|(r, _)| r.is_crash())
+            .map(|(_, c)| *c)
+            .sum();
+        MetricsSnapshot {
+            elapsed_secs,
+            committed,
+            aborted_attempts: aborted,
+            abandoned: self.abandoned.load(Ordering::Relaxed),
+            throughput_tps: if elapsed_secs > 0.0 {
+                committed as f64 / elapsed_secs
+            } else {
+                0.0
+            },
+            abort_rate: if attempts > 0 {
+                aborted as f64 / attempts as f64
+            } else {
+                0.0
+            },
+            crash_abort_rate: if attempts > 0 {
+                crash_aborts as f64 / attempts as f64
+            } else {
+                0.0
+            },
+            mean_latency_ms: self.latency.mean_us() / 1000.0,
+            p50_latency_ms: self.latency.percentile_us(0.50) as f64 / 1000.0,
+            p99_latency_ms: self.latency.percentile_us(0.99) as f64 / 1000.0,
+            max_latency_ms: self.latency.max_us() as f64 / 1000.0,
+            phase_ms,
+            abort_reasons,
+            messages: self.messages.load(Ordering::Relaxed),
+            remote_ops: self.remote_ops.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable result of one experiment run.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    pub elapsed_secs: f64,
+    pub committed: u64,
+    pub aborted_attempts: u64,
+    pub abandoned: u64,
+    pub throughput_tps: f64,
+    /// Aborted attempts / total attempts.
+    pub abort_rate: f64,
+    /// Crash-induced aborted attempts / total attempts (Fig 12b).
+    pub crash_abort_rate: f64,
+    pub mean_latency_ms: f64,
+    pub p50_latency_ms: f64,
+    pub p99_latency_ms: f64,
+    pub max_latency_ms: f64,
+    /// Average milliseconds per committed transaction spent in each phase.
+    pub phase_ms: HashMap<Phase, f64>,
+    pub abort_reasons: HashMap<AbortReason, u64>,
+    pub messages: u64,
+    pub remote_ops: u64,
+}
+
+impl MetricsSnapshot {
+    /// Throughput in kilo-transactions per second (the unit used in figures).
+    pub fn ktps(&self) -> f64 {
+        self.throughput_tps / 1000.0
+    }
+
+    pub fn phase(&self, p: Phase) -> f64 {
+        self.phase_ms.get(&p).copied().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn histogram_percentiles_are_ordered() {
+        let h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record_us(i);
+        }
+        let p50 = h.percentile_us(0.5);
+        let p99 = h.percentile_us(0.99);
+        assert!(p50 <= p99);
+        assert!((400..700).contains(&p50), "p50={p50}");
+        assert!(p99 >= 900, "p99={p99}");
+        assert_eq!(h.count(), 1000);
+        assert!(h.mean_us() > 400.0 && h.mean_us() < 600.0);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record_us(10);
+        b.record_us(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max_us(), 1000);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile_us(0.99), 0);
+        assert_eq!(h.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn bucket_roundtrip_error_is_bounded() {
+        for us in [1u64, 5, 17, 100, 999, 12345, 1_000_000] {
+            let v = Histogram::bucket_value(Histogram::bucket_index(us));
+            let err = (v as f64 - us as f64).abs() / us as f64;
+            assert!(err < 0.07, "us={us} decoded {v} err {err}");
+        }
+    }
+
+    #[test]
+    fn metrics_snapshot_derives_rates() {
+        let m = Metrics::new();
+        let mut ph = PhaseTimers::new();
+        ph.add(Phase::Execute, Duration::from_micros(100));
+        m.record_commit(500, &ph);
+        m.record_commit(1500, &ph);
+        m.record_abort(AbortReason::LockConflict);
+        m.record_abort(AbortReason::CrashAbort);
+        let s = m.snapshot(2.0);
+        assert_eq!(s.committed, 2);
+        assert_eq!(s.aborted_attempts, 2);
+        assert!((s.throughput_tps - 1.0).abs() < 1e-9);
+        assert!((s.abort_rate - 0.5).abs() < 1e-9);
+        assert!((s.crash_abort_rate - 0.25).abs() < 1e-9);
+        assert!(s.phase(Phase::Execute) > 0.0);
+        assert_eq!(s.ktps() * 1000.0, s.throughput_tps);
+    }
+}

@@ -1,0 +1,119 @@
+//! Keys and values stored in the partitioned tables.
+
+/// Primary-key type. Composite keys (e.g. TPC-C `(w_id, d_id, c_id)`) are
+/// encoded into a single `u64` by the workload crates.
+pub type Key = u64;
+
+/// An opaque row payload.
+///
+/// The engine never interprets the payload; workloads encode their columns
+/// into it (YCSB uses fixed-size filler, TPC-C serialises typed rows). The
+/// payload is reference-counted so that reads do not copy the full row while
+/// a transaction is running.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Value(pub std::sync::Arc<Vec<u8>>);
+
+impl Value {
+    pub fn new(bytes: Vec<u8>) -> Self {
+        Value(std::sync::Arc::new(bytes))
+    }
+
+    /// A value holding `n` zero bytes — used by YCSB-style fillers.
+    pub fn zeroed(n: usize) -> Self {
+        Value::new(vec![0u8; n])
+    }
+
+    /// Encode a `u64` counter as a value (used by Smallbank/YCSB counters).
+    pub fn from_u64(x: u64) -> Self {
+        Value::new(x.to_le_bytes().to_vec())
+    }
+
+    /// Decode a value previously produced by [`Value::from_u64`].
+    /// Returns 0 for payloads that are too short.
+    pub fn as_u64(&self) -> u64 {
+        let b = self.0.as_slice();
+        if b.len() >= 8 {
+            u64::from_le_bytes(b[..8].try_into().unwrap())
+        } else {
+            0
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::new(v)
+    }
+}
+
+impl From<&[u8]> for Value {
+    fn from(v: &[u8]) -> Self {
+        Value::new(v.to_vec())
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::from_u64(v)
+    }
+}
+
+/// A row as seen by a transaction: the payload plus the TicToc metadata that
+/// was current at read time. Protocols that do not use TicToc simply ignore
+/// the timestamps.
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub value: Value,
+    /// Write timestamp of the version that was read.
+    pub wts: u64,
+    /// Read timestamp (end of the valid interval) observed at read time.
+    pub rts: u64,
+}
+
+impl Row {
+    pub fn new(value: Value, wts: u64, rts: u64) -> Self {
+        Row { value, wts, rts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_u64_roundtrip() {
+        let v = Value::from_u64(0xDEAD_BEEF_0BAD_F00D);
+        assert_eq!(v.as_u64(), 0xDEAD_BEEF_0BAD_F00D);
+    }
+
+    #[test]
+    fn short_value_decodes_to_zero() {
+        assert_eq!(Value::new(vec![1, 2, 3]).as_u64(), 0);
+    }
+
+    #[test]
+    fn zeroed_has_requested_length() {
+        assert_eq!(Value::zeroed(100).len(), 100);
+        assert!(!Value::zeroed(1).is_empty());
+        assert!(Value::new(vec![]).is_empty());
+    }
+
+    #[test]
+    fn value_clone_shares_allocation() {
+        let v = Value::zeroed(64);
+        let w = v.clone();
+        assert!(std::sync::Arc::ptr_eq(&v.0, &w.0));
+    }
+}

@@ -1,0 +1,211 @@
+//! Appendix A of the paper: an analytical model of the conflict rate of a
+//! local transaction under Primo versus a 2PC-based scheme.
+//!
+//! The model is used by the `appendixA` harness (and by tests) to check the
+//! paper's analytical conclusions: Primo wins whenever the read ratio is not
+//! extreme, and the advantage grows with contention, the distributed-ratio,
+//! and the relative cost of a network round trip.
+
+/// Workload / system parameters of the analytical model (Appendix A).
+#[derive(Debug, Clone, Copy)]
+pub struct ModelParams {
+    /// Number of partitions `n`.
+    pub partitions: usize,
+    /// Worker threads per partition `h`.
+    pub threads_per_partition: usize,
+    /// Keys accessed per transaction `m`.
+    pub ops_per_txn: usize,
+    /// Fraction of reads `R_r` among the `m` accesses.
+    pub read_ratio: f64,
+    /// Fraction of distributed transactions `R_d`.
+    pub distributed_ratio: f64,
+    /// Probability two random operations touch the same record `P_c`
+    /// (captures contention / skew).
+    pub conflict_prob: f64,
+    /// Fraction of read records whose `rts` must be extended `R_u`
+    /// (the paper measures at most 0.6).
+    pub rts_update_ratio: f64,
+    /// Local execution time `t_l` (any unit).
+    pub local_time: f64,
+    /// Remote round-trip time `t_r` (same unit as `local_time`).
+    pub remote_time: f64,
+    /// Local transactions concurrent with the observed one `N_l`.
+    pub concurrent_local: f64,
+}
+
+impl Default for ModelParams {
+    fn default() -> Self {
+        // Roughly the default YCSB setting of §6.1.
+        ModelParams {
+            partitions: 4,
+            threads_per_partition: 16,
+            ops_per_txn: 10,
+            read_ratio: 0.5,
+            distributed_ratio: 0.2,
+            conflict_prob: 1e-5,
+            rts_update_ratio: 0.6,
+            local_time: 10.0,
+            remote_time: 200.0,
+            concurrent_local: 48.0,
+        }
+    }
+}
+
+/// Probability that a local transaction conflicts with one given concurrent
+/// transaction under a 2PC-based scheme (Appendix A, Eq. 1).
+pub fn conflict_with_one_2pc(p: &ModelParams) -> f64 {
+    let m = p.ops_per_txn as f64;
+    let rr = p.read_ratio;
+    1.0 - (1.0 - p.conflict_prob).powf(m * m * (1.0 - rr * rr))
+}
+
+/// Probability that a local transaction conflicts with one given concurrent
+/// *distributed* transaction under Primo (Appendix A, Eq. 2).
+pub fn conflict_with_one_primo_dist(p: &ModelParams) -> f64 {
+    let m = p.ops_per_txn as f64;
+    let rr = p.read_ratio;
+    let ru = p.rts_update_ratio;
+    1.0 - (1.0 - p.conflict_prob).powf(m * m * (1.0 - rr * rr + rr * rr * ru))
+}
+
+/// Expected number of concurrent distributed transactions under 2PC
+/// (Appendix A, Eq. 3).
+pub fn concurrent_distributed_2pc(p: &ModelParams) -> f64 {
+    let nh = (p.partitions * p.threads_per_partition) as f64;
+    p.distributed_ratio * nh * (2.0 + 2.0 * p.remote_time / p.local_time)
+}
+
+/// Expected number of concurrent distributed transactions under Primo
+/// (Appendix A, Eq. 4).
+pub fn concurrent_distributed_primo(p: &ModelParams) -> f64 {
+    let nh = (p.partitions * p.threads_per_partition) as f64;
+    p.distributed_ratio * nh * (2.0 + p.remote_time / p.local_time)
+}
+
+/// Conflict rate of a local transaction under a 2PC-based scheme
+/// (Appendix A, Eq. 5).
+pub fn conflict_rate_2pc(p: &ModelParams) -> f64 {
+    let c = conflict_with_one_2pc(p);
+    let n_dist = concurrent_distributed_2pc(p);
+    1.0 - (1.0 - c).powf(n_dist + p.concurrent_local)
+}
+
+/// Conflict rate of a local transaction under Primo (Appendix A, Eq. 6).
+pub fn conflict_rate_primo(p: &ModelParams) -> f64 {
+    let c_local = conflict_with_one_2pc(p);
+    let c_dist = conflict_with_one_primo_dist(p);
+    let n_dist = concurrent_distributed_primo(p);
+    1.0 - (1.0 - c_dist).powf(n_dist) * (1.0 - c_local).powf(p.concurrent_local)
+}
+
+/// Convenience: the ratio `CR_2PC / CR_Primo` (> 1 means Primo has the lower
+/// conflict rate and is expected to win).
+pub fn advantage_ratio(p: &ModelParams) -> f64 {
+    let primo = conflict_rate_primo(p);
+    let twopc = conflict_rate_2pc(p);
+    if primo <= f64::EPSILON {
+        f64::INFINITY
+    } else {
+        twopc / primo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primo_wins_at_moderate_read_ratio() {
+        // The paper: with Ru = 0.6, Primo shows a definite advantage when
+        // Rr < 0.8.
+        for rr in [0.0, 0.2, 0.5, 0.7] {
+            let p = ModelParams {
+                read_ratio: rr,
+                conflict_prob: 1e-4,
+                ..Default::default()
+            };
+            assert!(
+                advantage_ratio(&p) > 1.0,
+                "Primo should win at read ratio {rr}"
+            );
+        }
+    }
+
+    #[test]
+    fn read_heavy_mostly_distributed_favours_2pc() {
+        // The paper's exception (§4.3 / Appendix A): with the conservative
+        // Ru = 0.6, a read-heavy (Rr ≈ 0.9+) and mostly-distributed workload
+        // makes the extra exclusive locks outweigh the saved round trips, so
+        // Primo should fall back to 2PC there.
+        let read_heavy = ModelParams {
+            read_ratio: 0.95,
+            distributed_ratio: 0.8,
+            conflict_prob: 1e-7,
+            ..Default::default()
+        };
+        assert!(advantage_ratio(&read_heavy) < 1.0);
+        let mixed = ModelParams {
+            read_ratio: 0.5,
+            distributed_ratio: 0.8,
+            conflict_prob: 1e-7,
+            ..Default::default()
+        };
+        assert!(advantage_ratio(&mixed) > 1.0);
+        assert!(advantage_ratio(&mixed) > advantage_ratio(&read_heavy));
+    }
+
+    #[test]
+    fn advantage_grows_with_contention_and_distribution() {
+        let base = ModelParams {
+            conflict_prob: 1e-7,
+            ..Default::default()
+        };
+        let contended = ModelParams {
+            conflict_prob: 1e-5,
+            ..Default::default()
+        };
+        assert!(conflict_rate_2pc(&contended) > conflict_rate_2pc(&base));
+        let more_dist = ModelParams {
+            distributed_ratio: 0.8,
+            conflict_prob: 1e-7,
+            ..Default::default()
+        };
+        let less_dist = ModelParams {
+            distributed_ratio: 0.1,
+            conflict_prob: 1e-7,
+            ..Default::default()
+        };
+        // The absolute gap between the schemes grows with the ratio of
+        // distributed transactions (away from saturation).
+        let gap_more = conflict_rate_2pc(&more_dist) - conflict_rate_primo(&more_dist);
+        let gap_less = conflict_rate_2pc(&less_dist) - conflict_rate_primo(&less_dist);
+        assert!(gap_more > gap_less);
+    }
+
+    #[test]
+    fn conflict_rates_are_probabilities() {
+        for rr in [0.0, 0.5, 0.9] {
+            for pc in [1e-6, 1e-4, 1e-2] {
+                let p = ModelParams {
+                    read_ratio: rr,
+                    conflict_prob: pc,
+                    ..Default::default()
+                };
+                for v in [
+                    conflict_rate_2pc(&p),
+                    conflict_rate_primo(&p),
+                    conflict_with_one_2pc(&p),
+                    conflict_with_one_primo_dist(&p),
+                ] {
+                    assert!((0.0..=1.0).contains(&v), "value {v} out of range");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn primo_has_fewer_concurrent_distributed_txns() {
+        let p = ModelParams::default();
+        assert!(concurrent_distributed_primo(&p) < concurrent_distributed_2pc(&p));
+    }
+}

@@ -1,0 +1,475 @@
+//! The transaction context Primo hands to a running program.
+//!
+//! A transaction starts in **local mode** (TicToc: reads take no locks) and
+//! switches to **distributed mode** on its first remote access (§4.2.2).
+//! In distributed mode every read — local or remote — takes an *exclusive*
+//! lock (the WCF rule), blind writes are pre-locked through dummy reads, and
+//! remote reads raise the watermark floor of the records they touch (§5.1,
+//! rule R2 case 2).
+//!
+//! With `wcf = false` (the "Primo w/o WCF" ablation and the read-heavy 2PC
+//! fallback) distributed reads take shared locks instead and the commit phase
+//! runs classic 2PC (see [`crate::protocol`]).
+
+use primo_common::{
+    AbortReason, Key, PartitionId, TableId, TxnError, TxnId, TxnResult, Value,
+};
+use primo_runtime::access::{AccessSet, ReadEntry, WriteEntry};
+use primo_runtime::cluster::Cluster;
+use primo_runtime::txn::TxnContext;
+use primo_storage::{LockMode, LockPolicy, LockRequestResult, Record};
+use primo_wal::TxnTicket;
+use std::sync::Arc;
+
+/// Execution mode of a Primo transaction (§4.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// No remote access seen yet: plain TicToc, no locks on reads.
+    Local,
+    /// Distributed: exclusive (or shared, for the non-WCF variant) locks on
+    /// every read.
+    Distributed,
+}
+
+/// The context for one Primo transaction attempt.
+pub struct PrimoCtx<'a> {
+    pub(crate) cluster: &'a Cluster,
+    pub(crate) ticket: &'a TxnTicket,
+    pub(crate) txn: TxnId,
+    pub(crate) home: PartitionId,
+    pub(crate) mode: Mode,
+    /// True = WCF (exclusive locks for distributed reads); false = shared
+    /// locks + 2PC commit (ablation / read-heavy fallback).
+    pub(crate) wcf: bool,
+    pub(crate) access: AccessSet,
+    /// Sticky abort: once an operation fails, all further operations fail
+    /// with the same reason (the program unwinds by propagating the error).
+    pub(crate) dead: Option<AbortReason>,
+}
+
+impl<'a> PrimoCtx<'a> {
+    pub fn new(
+        cluster: &'a Cluster,
+        ticket: &'a TxnTicket,
+        txn: TxnId,
+        home: PartitionId,
+        wcf: bool,
+    ) -> Self {
+        PrimoCtx {
+            cluster,
+            ticket,
+            txn,
+            home,
+            mode: Mode::Local,
+            wcf,
+            access: AccessSet::new(),
+            dead: None,
+        }
+    }
+
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    pub fn access(&self) -> &AccessSet {
+        &self.access
+    }
+
+    fn fail(&mut self, reason: AbortReason) -> TxnError {
+        self.dead = Some(reason);
+        TxnError::Aborted(reason)
+    }
+
+    fn read_lock_mode(&self) -> LockMode {
+        if self.wcf {
+            LockMode::Exclusive
+        } else {
+            LockMode::Shared
+        }
+    }
+
+    /// Fetch (or create, for inserts) the record backing `(table, key)` on
+    /// partition `p`.
+    fn record_at(&self, p: PartitionId, table: TableId, key: Key, create: bool) -> Option<Arc<Record>> {
+        let store = &self.cluster.partition(p).store;
+        match store.get(table, key) {
+            Some(r) => Some(r),
+            None if create => Some(store.table(table).insert_if_absent(key, Value::zeroed(0)).0),
+            None => None,
+        }
+    }
+
+    /// Acquire a lock for this transaction under WAIT_DIE.
+    fn acquire(&self, record: &Record, mode: LockMode) -> LockRequestResult {
+        record.acquire(self.txn, mode, LockPolicy::WaitDie)
+    }
+
+    /// Switch from local to distributed mode: lock every record read so far
+    /// and verify it has not changed since the unlocked (TicToc) read; lock
+    /// dummy reads for any blind writes buffered while still local (§4.2.2).
+    fn switch_to_distributed(&mut self) -> TxnResult<()> {
+        debug_assert_eq!(self.mode, Mode::Local);
+        let mode = self.read_lock_mode();
+        for i in 0..self.access.reads.len() {
+            let (record, observed_wts) = {
+                let e = &self.access.reads[i];
+                (Arc::clone(&e.record), e.wts)
+            };
+            if self.acquire(&record, mode) != LockRequestResult::Granted {
+                return Err(self.fail(AbortReason::WaitDie));
+            }
+            self.access.reads[i].locked = Some(mode);
+            if record.wts() != observed_wts {
+                // The record changed between the optimistic local read and
+                // the lock acquisition: abort and retry in distributed mode.
+                return Err(self.fail(AbortReason::ModeSwitch));
+            }
+        }
+        self.mode = Mode::Distributed;
+        if self.wcf {
+            // Blind writes buffered while local need their dummy reads now so
+            // that write-set ⊆ read-set holds before the commit phase.
+            let pending: Vec<WriteEntry> = self
+                .access
+                .writes
+                .iter()
+                .filter(|w| self.access.find_read(w.partition, w.table, w.key).is_none())
+                .cloned()
+                .collect();
+            for w in pending {
+                self.dummy_read(w.partition, w.table, w.key)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Acquire an exclusive lock on a record only to cover a blind write
+    /// (dummy read, §4.2.2 "Blind-write Handling").
+    fn dummy_read(&mut self, p: PartitionId, table: TableId, key: Key) -> TxnResult<()> {
+        if self.access.find_read(p, table, key).is_some() {
+            return Ok(());
+        }
+        let remote = p != self.home;
+        if remote {
+            // A dummy read that cannot piggyback on another remote read costs
+            // an extra round trip (studied in Fig 9).
+            if !self.cluster.net.round_trip(self.home, p) {
+                return Err(self.fail(AbortReason::RemoteUnavailable));
+            }
+        }
+        let record = self
+            .record_at(p, table, key, true)
+            .expect("record_at with create=true always returns a record");
+        if self.acquire(&record, LockMode::Exclusive) != LockRequestResult::Granted {
+            return Err(self.fail(AbortReason::WaitDie));
+        }
+        if remote {
+            let floor = self.cluster.group_commit.ts_floor(p);
+            record.raise_watermark_floor(floor);
+            let row = record.read();
+            self.cluster
+                .group_commit
+                .add_participant(self.ticket, p, row.wts);
+        }
+        let row = record.read();
+        self.access.reads.push(ReadEntry {
+            partition: p,
+            table,
+            key,
+            record,
+            wts: row.wts,
+            rts: row.rts,
+            locked: Some(LockMode::Exclusive),
+            dummy: true,
+        });
+        Ok(())
+    }
+
+    /// Abort cleanup: release every lock and notify participants (one-way
+    /// ABORT messages — no acknowledgements are needed, §4.2.2).
+    pub(crate) fn abort_cleanup(&mut self) {
+        let parts = self.access.participants(self.home);
+        if !parts.is_empty() {
+            self.cluster.net.one_way_multi(self.home, &parts);
+        }
+        self.access.release_all_locks(self.txn);
+    }
+}
+
+impl TxnContext for PrimoCtx<'_> {
+    fn read(&mut self, p: PartitionId, table: TableId, key: Key) -> TxnResult<Value> {
+        if let Some(reason) = self.dead {
+            return Err(TxnError::Aborted(reason));
+        }
+        // Read-your-own-writes from the buffer.
+        if let Some(i) = self.access.find_write(p, table, key) {
+            return Ok(self.access.writes[i].value.clone());
+        }
+        // Repeated read of the same record.
+        if let Some(i) = self.access.find_read(p, table, key) {
+            let e = &self.access.reads[i];
+            if !e.dummy {
+                return Ok(e.record.read().value);
+            }
+        }
+
+        if self.mode == Mode::Local && p != self.home {
+            self.switch_to_distributed()?;
+        }
+
+        match self.mode {
+            Mode::Local => {
+                // TicToc read: no lock, remember the observed interval.
+                let record = self
+                    .record_at(p, table, key, false)
+                    .ok_or_else(|| self.fail(AbortReason::UserAbort))?;
+                let row = record.read();
+                let value = row.value.clone();
+                self.access.reads.push(ReadEntry {
+                    partition: p,
+                    table,
+                    key,
+                    record,
+                    wts: row.wts,
+                    rts: row.rts,
+                    locked: None,
+                    dummy: false,
+                });
+                Ok(value)
+            }
+            Mode::Distributed => {
+                let remote = p != self.home;
+                if remote {
+                    if !self.cluster.net.round_trip(self.home, p) {
+                        return Err(self.fail(AbortReason::RemoteUnavailable));
+                    }
+                } else if self.cluster.net.is_crashed(p) {
+                    return Err(self.fail(AbortReason::RemoteUnavailable));
+                }
+                let record = self
+                    .record_at(p, table, key, false)
+                    .ok_or_else(|| self.fail(AbortReason::UserAbort))?;
+                let mode = self.read_lock_mode();
+                if self.acquire(&record, mode) != LockRequestResult::Granted {
+                    return Err(self.fail(AbortReason::WaitDie));
+                }
+                if remote && self.wcf {
+                    // Rule R2 (participant side): make sure the transaction's
+                    // final timestamp will exceed the participant's watermark.
+                    let floor = self.cluster.group_commit.ts_floor(p);
+                    record.raise_watermark_floor(floor);
+                }
+                let row = record.read();
+                if remote {
+                    self.cluster
+                        .group_commit
+                        .add_participant(self.ticket, p, row.wts);
+                }
+                let value = row.value.clone();
+                self.access.reads.push(ReadEntry {
+                    partition: p,
+                    table,
+                    key,
+                    record,
+                    wts: row.wts,
+                    rts: row.rts,
+                    locked: Some(mode),
+                    dummy: false,
+                });
+                Ok(value)
+            }
+        }
+    }
+
+    fn write(&mut self, p: PartitionId, table: TableId, key: Key, value: Value) -> TxnResult<()> {
+        if let Some(reason) = self.dead {
+            return Err(TxnError::Aborted(reason));
+        }
+        // A write to a remote partition makes the transaction distributed
+        // even if nothing was read remotely (blind remote write).
+        if self.mode == Mode::Local && p != self.home {
+            self.switch_to_distributed()?;
+        }
+        self.access.buffer_write(WriteEntry {
+            partition: p,
+            table,
+            key,
+            value,
+        });
+        if self.mode == Mode::Distributed
+            && self.wcf
+            && self.access.find_read(p, table, key).is_none()
+        {
+            // Blind write in distributed mode: pre-lock via a dummy read so
+            // that installing the write-set can never conflict.
+            self.dummy_read(p, table, key)?;
+        }
+        Ok(())
+    }
+
+    fn insert(&mut self, p: PartitionId, table: TableId, key: Key, value: Value) -> TxnResult<()> {
+        // Inserts behave like blind writes; the record is created at commit
+        // (or by the dummy read in distributed mode).
+        self.write(p, table, key, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primo_common::config::ClusterConfig;
+    use std::sync::Arc as StdArc;
+
+    fn setup() -> (StdArc<Cluster>, TxnId) {
+        let cluster = Cluster::new(ClusterConfig::for_tests(2));
+        for p in 0..2u32 {
+            for k in 0..100u64 {
+                cluster
+                    .partition(PartitionId(p))
+                    .store
+                    .insert(TableId(0), k, Value::from_u64(k));
+            }
+        }
+        let txn = cluster.next_txn_id(PartitionId(0));
+        (cluster, txn)
+    }
+
+    #[test]
+    fn local_reads_take_no_locks() {
+        let (cluster, txn) = setup();
+        let ticket = cluster.group_commit.begin_txn(PartitionId(0), txn);
+        let mut ctx = PrimoCtx::new(&cluster, &ticket, txn, PartitionId(0), true);
+        let v = ctx.read(PartitionId(0), TableId(0), 7).unwrap();
+        assert_eq!(v.as_u64(), 7);
+        assert_eq!(ctx.mode(), Mode::Local);
+        let rec = cluster
+            .partition(PartitionId(0))
+            .store
+            .get(TableId(0), 7)
+            .unwrap();
+        assert!(!rec.lock().is_locked());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn remote_read_switches_mode_and_locks_exclusively() {
+        let (cluster, txn) = setup();
+        let ticket = cluster.group_commit.begin_txn(PartitionId(0), txn);
+        let mut ctx = PrimoCtx::new(&cluster, &ticket, txn, PartitionId(0), true);
+        ctx.read(PartitionId(0), TableId(0), 1).unwrap();
+        ctx.read(PartitionId(1), TableId(0), 2).unwrap();
+        assert_eq!(ctx.mode(), Mode::Distributed);
+        // Both the earlier local read and the remote read are now X-locked.
+        let local = cluster
+            .partition(PartitionId(0))
+            .store
+            .get(TableId(0), 1)
+            .unwrap();
+        let remote = cluster
+            .partition(PartitionId(1))
+            .store
+            .get(TableId(0), 2)
+            .unwrap();
+        assert!(local.lock().held_by(txn));
+        assert!(remote.lock().held_by(txn));
+        assert!(remote.lock().exclusively_locked_by_other(TxnId::new(PartitionId(1), 999)));
+        assert_eq!(ticket.participants(), vec![PartitionId(1)]);
+        ctx.abort_cleanup();
+        assert!(!local.lock().is_locked());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn blind_write_gets_dummy_read_lock() {
+        let (cluster, txn) = setup();
+        let ticket = cluster.group_commit.begin_txn(PartitionId(0), txn);
+        let mut ctx = PrimoCtx::new(&cluster, &ticket, txn, PartitionId(0), true);
+        // Force distributed mode with a remote read, then blind-write another
+        // remote key.
+        ctx.read(PartitionId(1), TableId(0), 3).unwrap();
+        ctx.write(PartitionId(1), TableId(0), 4, Value::from_u64(99))
+            .unwrap();
+        let rec = cluster
+            .partition(PartitionId(1))
+            .store
+            .get(TableId(0), 4)
+            .unwrap();
+        assert!(rec.lock().held_by(txn));
+        let dummy = ctx
+            .access()
+            .reads
+            .iter()
+            .find(|r| r.key == 4)
+            .expect("dummy read entry exists");
+        assert!(dummy.dummy);
+        ctx.abort_cleanup();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn read_your_own_writes() {
+        let (cluster, txn) = setup();
+        let ticket = cluster.group_commit.begin_txn(PartitionId(0), txn);
+        let mut ctx = PrimoCtx::new(&cluster, &ticket, txn, PartitionId(0), true);
+        ctx.write(PartitionId(0), TableId(0), 5, Value::from_u64(777))
+            .unwrap();
+        assert_eq!(ctx.read(PartitionId(0), TableId(0), 5).unwrap().as_u64(), 777);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn conflicting_younger_txn_dies() {
+        let (cluster, txn_old) = setup();
+        let txn_young = cluster.next_txn_id(PartitionId(0));
+        assert!(txn_old < txn_young);
+        let ticket_old = cluster.group_commit.begin_txn(PartitionId(0), txn_old);
+        let ticket_young = cluster.group_commit.begin_txn(PartitionId(0), txn_young);
+        let mut old = PrimoCtx::new(&cluster, &ticket_old, txn_old, PartitionId(0), true);
+        let mut young = PrimoCtx::new(&cluster, &ticket_young, txn_young, PartitionId(0), true);
+        // Old transaction holds the exclusive lock (distributed mode).
+        old.read(PartitionId(1), TableId(0), 10).unwrap();
+        // Young transaction in distributed mode on the same record must die.
+        young.read(PartitionId(1), TableId(0), 11).unwrap();
+        let err = young.read(PartitionId(1), TableId(0), 10).unwrap_err();
+        assert_eq!(err.reason(), AbortReason::WaitDie);
+        // Sticky failure.
+        assert!(young.read(PartitionId(0), TableId(0), 1).is_err());
+        old.abort_cleanup();
+        young.abort_cleanup();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn crashed_partition_fails_remote_read() {
+        let (cluster, txn) = setup();
+        let ticket = cluster.group_commit.begin_txn(PartitionId(0), txn);
+        let mut ctx = PrimoCtx::new(&cluster, &ticket, txn, PartitionId(0), true);
+        cluster.net.set_crashed(PartitionId(1), true);
+        let err = ctx.read(PartitionId(1), TableId(0), 1).unwrap_err();
+        assert_eq!(err.reason(), AbortReason::RemoteUnavailable);
+        ctx.abort_cleanup();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn non_wcf_variant_uses_shared_locks() {
+        let (cluster, txn) = setup();
+        let ticket = cluster.group_commit.begin_txn(PartitionId(0), txn);
+        let mut ctx = PrimoCtx::new(&cluster, &ticket, txn, PartitionId(0), false);
+        ctx.read(PartitionId(1), TableId(0), 20).unwrap();
+        let rec = cluster
+            .partition(PartitionId(1))
+            .store
+            .get(TableId(0), 20)
+            .unwrap();
+        // Another transaction can still share-lock the record.
+        let other = TxnId::new(PartitionId(1), 999_999);
+        assert_eq!(
+            rec.acquire(other, LockMode::Shared, LockPolicy::NoWait),
+            LockRequestResult::Granted
+        );
+        rec.release(other);
+        ctx.abort_cleanup();
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,221 @@
+//! `PrimoDb` — an embedded-style facade over a Primo cluster.
+//!
+//! Downstream users (and the examples in this repository) interact with the
+//! system through this type: create a cluster, load data, and run
+//! transactions expressed as closures over a [`TxnContext`]. Each closure may
+//! branch on what it reads — exactly the generality the paper targets.
+//!
+//! ```
+//! use primo_core::PrimoDb;
+//! use primo_common::{PartitionId, TableId, Value};
+//!
+//! let db = PrimoDb::with_partitions(2);
+//! const ACCOUNTS: TableId = TableId(0);
+//! db.load(PartitionId(0), ACCOUNTS, 1, Value::from_u64(100));
+//! db.load(PartitionId(1), ACCOUNTS, 2, Value::from_u64(50));
+//!
+//! // Transfer 10 from account 1 (partition 0) to account 2 (partition 1).
+//! db.transaction(PartitionId(0), |ctx| {
+//!     let a = ctx.read(PartitionId(0), ACCOUNTS, 1)?.as_u64();
+//!     let b = ctx.read(PartitionId(1), ACCOUNTS, 2)?.as_u64();
+//!     ctx.write(PartitionId(0), ACCOUNTS, 1, Value::from_u64(a - 10))?;
+//!     ctx.write(PartitionId(1), ACCOUNTS, 2, Value::from_u64(b + 10))?;
+//!     Ok(())
+//! })
+//! .unwrap();
+//!
+//! assert_eq!(db.get(PartitionId(0), ACCOUNTS, 1).unwrap().as_u64(), 90);
+//! assert_eq!(db.get(PartitionId(1), ACCOUNTS, 2).unwrap().as_u64(), 60);
+//! db.shutdown();
+//! ```
+
+use crate::protocol::PrimoProtocol;
+use primo_common::config::ClusterConfig;
+use primo_common::{AbortReason, Key, PartitionId, TableId, TxnResult, Value};
+use primo_runtime::cluster::Cluster;
+use primo_runtime::txn::{TxnContext, TxnProgram};
+use primo_runtime::worker::run_single_txn;
+use std::sync::Arc;
+
+/// A transaction program defined by a closure.
+pub struct ClosureProgram<F>
+where
+    F: Fn(&mut dyn TxnContext) -> TxnResult<()> + Send + Sync,
+{
+    home: PartitionId,
+    read_only: bool,
+    body: F,
+}
+
+impl<F> ClosureProgram<F>
+where
+    F: Fn(&mut dyn TxnContext) -> TxnResult<()> + Send + Sync,
+{
+    pub fn new(home: PartitionId, body: F) -> Self {
+        ClosureProgram {
+            home,
+            read_only: false,
+            body,
+        }
+    }
+
+    pub fn read_only(mut self) -> Self {
+        self.read_only = true;
+        self
+    }
+}
+
+impl<F> TxnProgram for ClosureProgram<F>
+where
+    F: Fn(&mut dyn TxnContext) -> TxnResult<()> + Send + Sync,
+{
+    fn execute(&self, ctx: &mut dyn TxnContext) -> TxnResult<()> {
+        (self.body)(ctx)
+    }
+
+    fn home_partition(&self) -> PartitionId {
+        self.home
+    }
+
+    fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    fn label(&self) -> &'static str {
+        "closure"
+    }
+}
+
+/// An embedded Primo database: a cluster plus the Primo protocol, with a
+/// closure-based transaction API.
+pub struct PrimoDb {
+    cluster: Arc<Cluster>,
+    protocol: PrimoProtocol,
+}
+
+impl PrimoDb {
+    /// Open a database with an explicit configuration.
+    pub fn open(config: ClusterConfig) -> Self {
+        PrimoDb {
+            cluster: Cluster::new(config),
+            protocol: PrimoProtocol::full(),
+        }
+    }
+
+    /// Open a database with `n` partitions and fast (test-friendly) timing.
+    pub fn with_partitions(n: usize) -> Self {
+        Self::open(ClusterConfig::for_tests(n))
+    }
+
+    /// The underlying cluster (for advanced integration, experiments, ...).
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    pub fn num_partitions(&self) -> usize {
+        self.cluster.num_partitions()
+    }
+
+    /// Load a record directly (outside any transaction) — initial population.
+    pub fn load(&self, partition: PartitionId, table: TableId, key: Key, value: Value) {
+        self.cluster.partition(partition).store.insert(table, key, value);
+    }
+
+    /// Read the latest committed value of a record (outside any transaction).
+    pub fn get(&self, partition: PartitionId, table: TableId, key: Key) -> Option<Value> {
+        self.cluster
+            .partition(partition)
+            .store
+            .get(table, key)
+            .map(|r| r.read().value)
+    }
+
+    /// Run a transaction to completion (retrying conflict aborts with
+    /// back-off). Returns the number of attempts it took, or the abort
+    /// reason if the transaction rolled back permanently (user abort).
+    pub fn transaction<F>(&self, home: PartitionId, body: F) -> Result<usize, AbortReason>
+    where
+        F: Fn(&mut dyn TxnContext) -> TxnResult<()> + Send + Sync,
+    {
+        let program = ClosureProgram::new(home, body);
+        run_single_txn(&self.cluster, &self.protocol, &program)
+    }
+
+    /// Run a pre-built [`TxnProgram`].
+    pub fn run_program(&self, program: &dyn TxnProgram) -> Result<usize, AbortReason> {
+        run_single_txn(&self.cluster, &self.protocol, program)
+    }
+
+    /// Stop background threads. The database must not be used afterwards.
+    pub fn shutdown(&self) {
+        self.cluster.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: TableId = TableId(0);
+
+    #[test]
+    fn transfer_between_partitions_is_atomic() {
+        let db = PrimoDb::with_partitions(2);
+        db.load(PartitionId(0), T, 1, Value::from_u64(100));
+        db.load(PartitionId(1), T, 2, Value::from_u64(100));
+        db.transaction(PartitionId(0), |ctx| {
+            let a = ctx.read(PartitionId(0), T, 1)?.as_u64();
+            let b = ctx.read(PartitionId(1), T, 2)?.as_u64();
+            ctx.write(PartitionId(0), T, 1, Value::from_u64(a - 30))?;
+            ctx.write(PartitionId(1), T, 2, Value::from_u64(b + 30))?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(db.get(PartitionId(0), T, 1).unwrap().as_u64(), 70);
+        assert_eq!(db.get(PartitionId(1), T, 2).unwrap().as_u64(), 130);
+        db.shutdown();
+    }
+
+    #[test]
+    fn user_rollback_has_no_effect() {
+        let db = PrimoDb::with_partitions(1);
+        db.load(PartitionId(0), T, 1, Value::from_u64(5));
+        let err = db
+            .transaction(PartitionId(0), |ctx| {
+                ctx.write(PartitionId(0), T, 1, Value::from_u64(999))?;
+                Err(primo_common::TxnError::Aborted(AbortReason::UserAbort))
+            })
+            .unwrap_err();
+        assert_eq!(err, AbortReason::UserAbort);
+        assert_eq!(db.get(PartitionId(0), T, 1).unwrap().as_u64(), 5);
+        db.shutdown();
+    }
+
+    #[test]
+    fn branching_on_query_results_works() {
+        // The "general workload" the paper motivates: the write target depends
+        // on what was read.
+        let db = PrimoDb::with_partitions(2);
+        db.load(PartitionId(0), T, 1, Value::from_u64(7)); // odd -> write key 100
+        db.load(PartitionId(1), T, 100, Value::from_u64(0));
+        db.load(PartitionId(1), T, 200, Value::from_u64(0));
+        db.transaction(PartitionId(0), |ctx| {
+            let v = ctx.read(PartitionId(0), T, 1)?.as_u64();
+            let target = if v % 2 == 1 { 100 } else { 200 };
+            ctx.write(PartitionId(1), T, target, Value::from_u64(v))?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(db.get(PartitionId(1), T, 100).unwrap().as_u64(), 7);
+        assert_eq!(db.get(PartitionId(1), T, 200).unwrap().as_u64(), 0);
+        db.shutdown();
+    }
+
+    #[test]
+    fn get_of_missing_key_is_none() {
+        let db = PrimoDb::with_partitions(1);
+        assert!(db.get(PartitionId(0), T, 404).is_none());
+        assert_eq!(db.num_partitions(), 1);
+        db.shutdown();
+    }
+}

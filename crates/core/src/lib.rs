@@ -1,0 +1,29 @@
+//! **Primo** — the paper's contribution: a distributed transaction protocol
+//! that eliminates two-phase commit while staying general.
+//!
+//! The two pillars:
+//!
+//! * [`context`] / [`protocol`] — the **write-conflict-free (WCF)**
+//!   concurrency control of §4: local transactions run plain TicToc;
+//!   a transaction switches to distributed mode on its first remote access
+//!   and from then on acquires *exclusive* locks for every read, so that the
+//!   commit phase can never hit a conflict and needs no prepare round.
+//!   Blind writes are covered by dummy reads, deadlocks are prevented by
+//!   WAIT_DIE, and an optional 2PC fallback handles the read-heavy corner the
+//!   paper's analysis identifies (§4.3).
+//! * the **watermark-based group commit** of §5 lives in `primo-wal`
+//!   ([`primo_wal::WatermarkCommit`]); this crate wires the protocol to it:
+//!   coordinators constrain timestamps by the watermark floor, participants
+//!   raise record floors on remote reads, and the worker returns a result
+//!   only once the global watermark passes the transaction's timestamp.
+//!
+//! [`db::PrimoDb`] offers a small embedded-style facade over a whole cluster
+//! for examples and downstream users.
+
+pub mod analysis;
+pub mod context;
+pub mod db;
+pub mod protocol;
+
+pub use db::{ClosureProgram, PrimoDb};
+pub use protocol::PrimoProtocol;

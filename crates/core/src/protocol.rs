@@ -1,0 +1,681 @@
+//! The Primo protocol: execution + commit paths (Algorithm 1 of the paper).
+
+use crate::context::{Mode, PrimoCtx};
+use primo_common::{
+    AbortReason, PartitionId, Phase, PhaseTimers, Ts, TxnError, TxnId, TxnResult,
+};
+use primo_runtime::access::AccessSet;
+use primo_runtime::cluster::Cluster;
+use primo_runtime::protocol::{CommittedTxn, Protocol};
+use primo_runtime::txn::TxnProgram;
+use primo_storage::{LockMode, LockPolicy, LockRequestResult, Record};
+use primo_wal::TxnTicket;
+use std::sync::Arc;
+
+/// Primo (optionally with WCF disabled, which is the "Primo w/o WM & WCF"
+/// ablation of Fig 4b/5b: TicToc for local transactions, classic 2PL + 2PC
+/// for distributed ones).
+#[derive(Debug, Clone)]
+pub struct PrimoProtocol {
+    wcf_enabled: bool,
+    label: &'static str,
+    /// Distributed transactions whose declared read fraction is at or above
+    /// this threshold use the 2PC fallback path (§4.3). `None` disables the
+    /// fallback.
+    read_heavy_fallback: Option<f64>,
+}
+
+impl PrimoProtocol {
+    /// Full Primo: WCF concurrency control (pair with the watermark group
+    /// commit for the complete system).
+    pub fn full() -> Self {
+        PrimoProtocol {
+            wcf_enabled: true,
+            label: "Primo",
+            read_heavy_fallback: None,
+        }
+    }
+
+    /// Ablation: WCF disabled — distributed transactions use shared-lock
+    /// reads and a 2PC commit, local transactions still use TicToc.
+    pub fn without_wcf() -> Self {
+        PrimoProtocol {
+            wcf_enabled: false,
+            label: "Primo w/o WCF",
+            read_heavy_fallback: None,
+        }
+    }
+
+    /// Full Primo with the read-heavy 2PC fallback enabled at `threshold`
+    /// (e.g. 0.8 per the paper's analysis).
+    pub fn with_read_heavy_fallback(threshold: f64) -> Self {
+        PrimoProtocol {
+            wcf_enabled: true,
+            label: "Primo",
+            read_heavy_fallback: Some(threshold),
+        }
+    }
+
+    /// Override the display label (used for the ablation variants in figures).
+    pub fn labeled(mut self, label: &'static str) -> Self {
+        self.label = label;
+        self
+    }
+
+    fn use_wcf_for(&self, program: &dyn TxnProgram) -> bool {
+        if !self.wcf_enabled {
+            return false;
+        }
+        match self.read_heavy_fallback {
+            Some(thr) => program.read_fraction_hint() < thr,
+            None => true,
+        }
+    }
+
+    /// Compute the TicToc commit timestamp for the access set (Algorithm 1
+    /// line 17), also respecting the watermark floor (rule R2, coordinator
+    /// side). Assumes write records are already covered by read entries
+    /// (dummy reads) in WCF mode or locked separately otherwise.
+    fn compute_ts(cluster: &Cluster, home: PartitionId, access: &AccessSet) -> Ts {
+        let mut ts = cluster.group_commit.ts_floor(home) + 1;
+        for r in &access.reads {
+            if !r.dummy {
+                ts = ts.max(r.wts);
+            }
+        }
+        for w in &access.writes {
+            if let Some(i) = access.find_read(w.partition, w.table, w.key) {
+                let (_, rts) = access.reads[i].record.timestamps();
+                ts = ts.max(rts + 1);
+            }
+        }
+        ts
+    }
+
+    /// Commit a purely local transaction with TicToc (§4.2.1).
+    fn commit_local_tictoc(
+        &self,
+        cluster: &Cluster,
+        txn: TxnId,
+        ctx: &mut PrimoCtx<'_>,
+        timers: &mut PhaseTimers,
+    ) -> TxnResult<CommittedTxn> {
+        let home = ctx.home;
+        // 1. Lock the write set (abort immediately on conflict, as TicToc /
+        //    Silo do).
+        let mut locked: Vec<Arc<Record>> = Vec::new();
+        let lock_result = timers.time(Phase::Commit, || {
+            for w in &ctx.access.writes {
+                let store = &cluster.partition(w.partition).store;
+                let record = match store.get(w.table, w.key) {
+                    Some(r) => r,
+                    None => store.table(w.table).insert_if_absent(w.key, w.value.clone()).0,
+                };
+                if ctx.access.find_read(w.partition, w.table, w.key).is_none()
+                    || ctx.access.reads[ctx
+                        .access
+                        .find_read(w.partition, w.table, w.key)
+                        .unwrap()]
+                    .locked
+                    .is_none()
+                {
+                    if record.acquire(txn, LockMode::Exclusive, LockPolicy::NoWait)
+                        != LockRequestResult::Granted
+                    {
+                        return Err(AbortReason::Validation);
+                    }
+                    locked.push(Arc::clone(&record));
+                }
+            }
+            Ok(())
+        });
+        if let Err(reason) = lock_result {
+            for r in &locked {
+                r.release(txn);
+            }
+            ctx.abort_cleanup();
+            return Err(TxnError::Aborted(reason));
+        }
+
+        // 2. Compute the commit timestamp (including the rts of blind-write
+        //    records, which have no read entry but are locked above).
+        let mut ts = timers.time(Phase::Timestamp, || Self::compute_ts(cluster, home, &ctx.access));
+        for r in &locked {
+            let (_, rts) = r.timestamps();
+            ts = ts.max(rts + 1);
+        }
+
+        // 3. Validate the read set (extend rts where needed).
+        let validation = timers.time(Phase::Commit, || {
+            for r in &ctx.access.reads {
+                if r.dummy {
+                    continue;
+                }
+                let in_write_set = ctx.access.find_write(r.partition, r.table, r.key).is_some();
+                if r.rts >= ts {
+                    continue;
+                }
+                // Need to extend the valid interval of this record to ts.
+                let (wts_now, _) = r.record.timestamps();
+                if wts_now != r.wts {
+                    return Err(AbortReason::Validation);
+                }
+                if !in_write_set && r.record.lock().exclusively_locked_by_other(txn) {
+                    return Err(AbortReason::Validation);
+                }
+                r.record.extend_rts(ts);
+            }
+            Ok(())
+        });
+        if let Err(reason) = validation {
+            for r in &locked {
+                r.release(txn);
+            }
+            ctx.abort_cleanup();
+            return Err(TxnError::Aborted(reason));
+        }
+
+        // 4. Install the writes and release.
+        let ops = ctx.access.ops();
+        timers.time(Phase::Commit, || {
+            for w in &ctx.access.writes {
+                let store = &cluster.partition(w.partition).store;
+                if let Some(record) = store.get(w.table, w.key) {
+                    record.install(w.value.clone(), ts);
+                }
+            }
+            for r in &locked {
+                r.release(txn);
+            }
+        });
+        ctx.access.release_all_locks(txn);
+        Ok(CommittedTxn {
+            ts,
+            ops,
+            distributed: false,
+        })
+    }
+
+    /// Commit a distributed transaction under WCF (Algorithm 1 commit phase):
+    /// no prepare round, no possibility of conflict.
+    fn commit_wcf(
+        &self,
+        cluster: &Cluster,
+        txn: TxnId,
+        ticket: &TxnTicket,
+        ctx: &mut PrimoCtx<'_>,
+        timers: &mut PhaseTimers,
+    ) -> TxnResult<CommittedTxn> {
+        let home = ctx.home;
+        let ts = timers.time(Phase::Timestamp, || Self::compute_ts(cluster, home, &ctx.access));
+        cluster.group_commit.update_ts(ticket, ts);
+        let ops = ctx.access.ops();
+        let participants = ctx.access.participants(home);
+
+        timers.time(Phase::Commit, || {
+            // Local part: prolong valid intervals of reads, install writes,
+            // release locks — all without any communication.
+            for r in &ctx.access.reads {
+                if r.partition == home
+                    && ctx.access.find_write(r.partition, r.table, r.key).is_none()
+                {
+                    r.record.extend_rts(ts);
+                }
+            }
+            for w in &ctx.access.writes {
+                if w.partition == home {
+                    Self::install_write(cluster, w.partition, w.table, w.key, &w.value, ts);
+                }
+            }
+            for r in &mut ctx.access.reads {
+                if r.partition == home && r.locked.is_some() {
+                    r.record.release(txn);
+                    r.locked = None;
+                }
+            }
+
+            // Remote part: ship the write-set (with ts) to each participant in
+            // one one-way batch; no acknowledgement and no further round trip
+            // is needed because the exclusive locks are already held there.
+            if !participants.is_empty() {
+                cluster.net.one_way_multi(home, &participants);
+            }
+            for p in &participants {
+                for r in &ctx.access.reads {
+                    if r.partition == *p
+                        && ctx.access.find_write(r.partition, r.table, r.key).is_none()
+                    {
+                        r.record.extend_rts(ts);
+                    }
+                }
+                for w in &ctx.access.writes {
+                    if w.partition == *p {
+                        Self::install_write(cluster, w.partition, w.table, w.key, &w.value, ts);
+                    }
+                }
+                for r in &mut ctx.access.reads {
+                    if r.partition == *p && r.locked.is_some() {
+                        r.record.release(txn);
+                        r.locked = None;
+                    }
+                }
+            }
+        });
+
+        Ok(CommittedTxn {
+            ts,
+            ops,
+            distributed: true,
+        })
+    }
+
+    /// Commit a distributed transaction with classic 2PC (shared-lock reads
+    /// during execution): the ablation path and the read-heavy fallback.
+    fn commit_2pc(
+        &self,
+        cluster: &Cluster,
+        txn: TxnId,
+        ticket: &TxnTicket,
+        ctx: &mut PrimoCtx<'_>,
+        timers: &mut PhaseTimers,
+    ) -> TxnResult<CommittedTxn> {
+        let home = ctx.home;
+        let participants = ctx.access.participants(home);
+
+        // Prepare round: ship write-sets, acquire exclusive locks everywhere
+        // (upgrading shared read locks), wait for every participant's vote.
+        let prepare_ok = timers.time(Phase::TwoPc, || {
+            if !participants.is_empty() && !cluster.net.round_trip_multi(home, &participants) {
+                return Err(AbortReason::RemoteUnavailable);
+            }
+            Ok(())
+        });
+        if let Err(reason) = prepare_ok {
+            ctx.abort_cleanup();
+            return Err(TxnError::Aborted(reason));
+        }
+
+        let mut locked: Vec<Arc<Record>> = Vec::new();
+        let lock_result = timers.time(Phase::TwoPc, || {
+            for w in &ctx.access.writes {
+                let store = &cluster.partition(w.partition).store;
+                let record = match store.get(w.table, w.key) {
+                    Some(r) => r,
+                    None => store.table(w.table).insert_if_absent(w.key, w.value.clone()).0,
+                };
+                if record.acquire(txn, LockMode::Exclusive, LockPolicy::WaitDie)
+                    != LockRequestResult::Granted
+                {
+                    return Err(AbortReason::LockConflict);
+                }
+                locked.push(record);
+            }
+            Ok(())
+        });
+        if let Err(reason) = lock_result {
+            for r in &locked {
+                r.release(txn);
+            }
+            // Abort decision still needs to reach the participants.
+            if !participants.is_empty() {
+                cluster.net.one_way_multi(home, &participants);
+            }
+            ctx.abort_cleanup();
+            return Err(TxnError::Aborted(reason));
+        }
+
+        // Timestamp + read validation (TicToc-style, so local transactions
+        // can still commit around us).
+        let ts = timers.time(Phase::Timestamp, || Self::compute_ts(cluster, home, &ctx.access));
+        cluster.group_commit.update_ts(ticket, ts);
+        let validation = timers.time(Phase::Commit, || {
+            for r in &ctx.access.reads {
+                if r.dummy {
+                    continue;
+                }
+                if r.rts >= ts {
+                    continue;
+                }
+                let (wts_now, _) = r.record.timestamps();
+                if wts_now != r.wts {
+                    return Err(AbortReason::Validation);
+                }
+                r.record.extend_rts(ts);
+            }
+            Ok(())
+        });
+        if let Err(reason) = validation {
+            for r in &locked {
+                r.release(txn);
+            }
+            if !participants.is_empty() {
+                cluster.net.one_way_multi(home, &participants);
+            }
+            ctx.abort_cleanup();
+            return Err(TxnError::Aborted(reason));
+        }
+
+        // Install writes.
+        let ops = ctx.access.ops();
+        timers.time(Phase::Commit, || {
+            for w in &ctx.access.writes {
+                Self::install_write(cluster, w.partition, w.table, w.key, &w.value, ts);
+            }
+        });
+
+        // Commit round: propagate the decision, then release all locks.
+        timers.time(Phase::TwoPc, || {
+            if !participants.is_empty() {
+                cluster.net.round_trip_multi(home, &participants);
+            }
+        });
+        for r in &locked {
+            r.release(txn);
+        }
+        ctx.access.release_all_locks(txn);
+
+        Ok(CommittedTxn {
+            ts,
+            ops,
+            distributed: true,
+        })
+    }
+
+    fn install_write(
+        cluster: &Cluster,
+        p: PartitionId,
+        table: primo_common::TableId,
+        key: primo_common::Key,
+        value: &primo_common::Value,
+        ts: Ts,
+    ) {
+        let store = &cluster.partition(p).store;
+        match store.get(table, key) {
+            Some(record) => record.install(value.clone(), ts),
+            None => {
+                let (record, _) = store.table(table).insert_if_absent(key, value.clone());
+                record.install(value.clone(), ts);
+            }
+        }
+    }
+}
+
+impl Protocol for PrimoProtocol {
+    fn name(&self) -> &'static str {
+        self.label
+    }
+
+    fn execute_once(
+        &self,
+        cluster: &Cluster,
+        txn: TxnId,
+        program: &dyn TxnProgram,
+        ticket: &TxnTicket,
+        timers: &mut PhaseTimers,
+    ) -> TxnResult<CommittedTxn> {
+        let home = program.home_partition();
+        let wcf = self.use_wcf_for(program);
+        let mut ctx = PrimoCtx::new(cluster, ticket, txn, home, wcf);
+
+        // Execution phase: run the program (reads lock per mode, writes are
+        // buffered).
+        let exec = timers.time(Phase::Execute, || program.execute(&mut ctx));
+        if let Err(e) = exec {
+            let reason = ctx.dead.unwrap_or(e.reason());
+            ctx.abort_cleanup();
+            return Err(TxnError::Aborted(reason));
+        }
+        if let Some(reason) = ctx.dead {
+            ctx.abort_cleanup();
+            return Err(TxnError::Aborted(reason));
+        }
+
+        match ctx.mode() {
+            Mode::Local => self.commit_local_tictoc(cluster, txn, &mut ctx, timers),
+            Mode::Distributed => {
+                if wcf {
+                    self.commit_wcf(cluster, txn, ticket, &mut ctx, timers)
+                } else {
+                    self.commit_2pc(cluster, txn, ticket, &mut ctx, timers)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primo_common::config::ClusterConfig;
+    use primo_common::{TableId, Value};
+    use primo_runtime::txn::{IncrementProgram, TxnContext};
+    use primo_runtime::worker::run_single_txn;
+
+    fn loaded_cluster(n: usize) -> Arc<Cluster> {
+        let cluster = Cluster::new(ClusterConfig::for_tests(n));
+        for p in 0..n as u32 {
+            for k in 0..64u64 {
+                cluster
+                    .partition(PartitionId(p))
+                    .store
+                    .insert(TableId(0), k, Value::from_u64(0));
+            }
+        }
+        cluster
+    }
+
+    #[test]
+    fn local_transaction_commits_and_installs() {
+        let cluster = loaded_cluster(2);
+        let protocol = PrimoProtocol::full();
+        let prog = IncrementProgram {
+            home: PartitionId(0),
+            accesses: vec![(PartitionId(0), TableId(0), 1), (PartitionId(0), TableId(0), 2)],
+        };
+        run_single_txn(&cluster, &protocol, &prog).unwrap();
+        assert_eq!(
+            cluster
+                .partition(PartitionId(0))
+                .store
+                .get(TableId(0), 1)
+                .unwrap()
+                .read()
+                .value
+                .as_u64(),
+            1
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn distributed_transaction_commits_without_2pc_roundtrips() {
+        let cluster = loaded_cluster(3);
+        let protocol = PrimoProtocol::full();
+        let before = cluster.net.round_trips_charged();
+        let prog = IncrementProgram {
+            home: PartitionId(0),
+            accesses: vec![
+                (PartitionId(0), TableId(0), 1),
+                (PartitionId(1), TableId(0), 1),
+                (PartitionId(2), TableId(0), 1),
+            ],
+        };
+        run_single_txn(&cluster, &protocol, &prog).unwrap();
+        let used = cluster.net.round_trips_charged() - before;
+        // One round trip per remote read; zero extra for commit.
+        assert_eq!(used, 2, "WCF must not add prepare/commit round trips");
+        for p in 0..3u32 {
+            assert_eq!(
+                cluster
+                    .partition(PartitionId(p))
+                    .store
+                    .get(TableId(0), 1)
+                    .unwrap()
+                    .read()
+                    .value
+                    .as_u64(),
+                1
+            );
+        }
+        // All locks are released after commit.
+        for p in 0..3u32 {
+            assert!(!cluster
+                .partition(PartitionId(p))
+                .store
+                .get(TableId(0), 1)
+                .unwrap()
+                .lock()
+                .is_locked());
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn non_wcf_variant_pays_2pc_roundtrips() {
+        let cluster = loaded_cluster(2);
+        let protocol = PrimoProtocol::without_wcf();
+        let before = cluster.net.round_trips_charged();
+        let prog = IncrementProgram {
+            home: PartitionId(0),
+            accesses: vec![(PartitionId(0), TableId(0), 3), (PartitionId(1), TableId(0), 3)],
+        };
+        run_single_txn(&cluster, &protocol, &prog).unwrap();
+        let used = cluster.net.round_trips_charged() - before;
+        // 1 remote read + prepare + commit = 3 round trips.
+        assert_eq!(used, 3, "2PC path must pay prepare and commit rounds");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn writes_carry_the_same_timestamp_on_all_partitions() {
+        let cluster = loaded_cluster(2);
+        let protocol = PrimoProtocol::full();
+        let prog = IncrementProgram {
+            home: PartitionId(0),
+            accesses: vec![(PartitionId(0), TableId(0), 7), (PartitionId(1), TableId(0), 7)],
+        };
+        run_single_txn(&cluster, &protocol, &prog).unwrap();
+        let (w0, r0) = cluster
+            .partition(PartitionId(0))
+            .store
+            .get(TableId(0), 7)
+            .unwrap()
+            .timestamps();
+        let (w1, r1) = cluster
+            .partition(PartitionId(1))
+            .store
+            .get(TableId(0), 7)
+            .unwrap()
+            .timestamps();
+        assert_eq!(w0, w1);
+        assert_eq!(r0, r1);
+        assert!(w0 > 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn user_abort_leaves_no_effects_and_no_locks() {
+        struct AbortingProgram;
+        impl TxnProgram for AbortingProgram {
+            fn execute(&self, ctx: &mut dyn TxnContext) -> TxnResult<()> {
+                ctx.read(PartitionId(1), TableId(0), 9)?;
+                ctx.write(PartitionId(1), TableId(0), 9, Value::from_u64(123))?;
+                Err(TxnError::Aborted(AbortReason::UserAbort))
+            }
+            fn home_partition(&self) -> PartitionId {
+                PartitionId(0)
+            }
+        }
+        let cluster = loaded_cluster(2);
+        let protocol = PrimoProtocol::full();
+        let err = run_single_txn(&cluster, &protocol, &AbortingProgram).unwrap_err();
+        assert_eq!(err, AbortReason::UserAbort);
+        let rec = cluster
+            .partition(PartitionId(1))
+            .store
+            .get(TableId(0), 9)
+            .unwrap();
+        assert_eq!(rec.read().value.as_u64(), 0, "no effects installed");
+        assert!(!rec.lock().is_locked(), "locks released after user abort");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn read_heavy_fallback_routes_to_2pc() {
+        struct ReadHeavy;
+        impl TxnProgram for ReadHeavy {
+            fn execute(&self, ctx: &mut dyn TxnContext) -> TxnResult<()> {
+                ctx.read(PartitionId(1), TableId(0), 1)?;
+                ctx.read(PartitionId(1), TableId(0), 2)?;
+                Ok(())
+            }
+            fn home_partition(&self) -> PartitionId {
+                PartitionId(0)
+            }
+            fn read_fraction_hint(&self) -> f64 {
+                0.95
+            }
+        }
+        let cluster = loaded_cluster(2);
+        let protocol = PrimoProtocol::with_read_heavy_fallback(0.8);
+        let before = cluster.net.round_trips_charged();
+        run_single_txn(&cluster, &protocol, &ReadHeavy).unwrap();
+        // Fallback = 2PC path: 2 remote reads + prepare + commit = 4.
+        assert_eq!(cluster.net.round_trips_charged() - before, 4);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn concurrent_increments_preserve_the_sum() {
+        // Serializability smoke test: N concurrent transactions increment the
+        // same two records (one local, one remote); the final sum must equal
+        // the number of committed increments times 2.
+        let cluster = loaded_cluster(2);
+        let protocol = Arc::new(PrimoProtocol::full());
+        let mut handles = Vec::new();
+        let committed = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        for w in 0..4 {
+            let cluster = Arc::clone(&cluster);
+            let protocol = Arc::clone(&protocol);
+            let committed = Arc::clone(&committed);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10 {
+                    let prog = IncrementProgram {
+                        home: PartitionId((w % 2) as u32),
+                        accesses: vec![
+                            (PartitionId(0), TableId(0), 42),
+                            (PartitionId(1), TableId(0), 42),
+                        ],
+                    };
+                    if run_single_txn(&cluster, protocol.as_ref(), &prog).is_ok() {
+                        committed.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    }
+                    let _ = i;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let n = committed.load(std::sync::atomic::Ordering::SeqCst);
+        let v0 = cluster
+            .partition(PartitionId(0))
+            .store
+            .get(TableId(0), 42)
+            .unwrap()
+            .read()
+            .value
+            .as_u64();
+        let v1 = cluster
+            .partition(PartitionId(1))
+            .store
+            .get(TableId(0), 42)
+            .unwrap()
+            .read()
+            .value
+            .as_u64();
+        assert_eq!(v0, n, "partition 0 counter must equal committed count");
+        assert_eq!(v1, n, "partition 1 counter must equal committed count");
+        cluster.shutdown();
+    }
+}

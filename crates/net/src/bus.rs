@@ -1,0 +1,262 @@
+//! Asynchronous control-message bus with simulated delivery delay.
+//!
+//! Partition watermarks (§5.1) and COCO epoch messages are *not* on the
+//! transaction critical path; they are broadcast asynchronously and may be
+//! delayed (Fig 13a studies exactly that). The [`DelayedBus`] delivers
+//! messages to per-partition mailboxes after `base_delay + per-destination
+//! extra delay`, using a background pump thread.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use primo_common::sim_time::now_us;
+use primo_common::PartitionId;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Control messages exchanged between partition leaders outside the
+/// transaction critical path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BusMessage {
+    /// A partition advertises its partition-watermark `Wp` (§5.1).
+    PartitionWatermark { from: PartitionId, wp: u64 },
+    /// COCO group-prepare for an epoch (coordinator -> all).
+    EpochPrepare { epoch: u64 },
+    /// COCO group-ready response (partition -> coordinator).
+    EpochReady { from: PartitionId, epoch: u64 },
+    /// COCO group-commit / group-abort decision (coordinator -> all).
+    EpochDecision { epoch: u64, commit: bool },
+    /// Recovery: a partition publishes its latest persisted watermark so the
+    /// cluster can agree on a rollback point (§5.2).
+    RecoveryWatermark { from: PartitionId, wp: u64, term: u64 },
+}
+
+#[derive(Debug)]
+struct Pending {
+    deliver_at_us: u64,
+    to: PartitionId,
+    msg: BusMessage,
+    seq: u64,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at_us == other.deliver_at_us && self.seq == other.seq
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by delivery time (BinaryHeap is a max-heap, so reverse).
+        other
+            .deliver_at_us
+            .cmp(&self.deliver_at_us)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Delay-injecting broadcast bus for control messages.
+#[derive(Debug)]
+pub struct DelayedBus {
+    inboxes: Vec<(Sender<BusMessage>, Receiver<BusMessage>)>,
+    queue: Arc<Mutex<BinaryHeap<Pending>>>,
+    /// Base one-way delay for control messages, microseconds.
+    base_delay_us: AtomicU64,
+    /// Extra delay applied to messages *from* a given partition (simulates a
+    /// lagging sender, Fig 13a).
+    extra_from_us: Vec<AtomicU64>,
+    seq: AtomicU64,
+    stop: Arc<AtomicBool>,
+    pump: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl DelayedBus {
+    pub fn new(num_partitions: usize, base_delay_us: u64) -> Arc<Self> {
+        let inboxes = (0..num_partitions).map(|_| unbounded()).collect();
+        let bus = Arc::new(DelayedBus {
+            inboxes,
+            queue: Arc::new(Mutex::new(BinaryHeap::new())),
+            base_delay_us: AtomicU64::new(base_delay_us),
+            extra_from_us: (0..num_partitions).map(|_| AtomicU64::new(0)).collect(),
+            seq: AtomicU64::new(0),
+            stop: Arc::new(AtomicBool::new(false)),
+            pump: Mutex::new(None),
+        });
+        bus.start_pump();
+        bus
+    }
+
+    fn start_pump(self: &Arc<Self>) {
+        let me = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name("bus-pump".into())
+            .spawn(move || me.pump_loop())
+            .expect("spawn bus pump");
+        *self.pump.lock() = Some(handle);
+    }
+
+    fn pump_loop(&self) {
+        while !self.stop.load(Ordering::Relaxed) {
+            let now = now_us();
+            let mut delivered_any = false;
+            {
+                let mut q = self.queue.lock();
+                while let Some(top) = q.peek() {
+                    if top.deliver_at_us > now {
+                        break;
+                    }
+                    let p = q.pop().unwrap();
+                    // Ignore send errors: receiver may be gone during shutdown.
+                    let _ = self.inboxes[p.to.idx()].0.send(p.msg);
+                    delivered_any = true;
+                }
+            }
+            if !delivered_any {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+
+    pub fn set_base_delay_us(&self, us: u64) {
+        self.base_delay_us.store(us, Ordering::Relaxed);
+    }
+
+    /// Simulate a lagging sender: all control messages originating from
+    /// `from` are delayed by an additional `us`.
+    pub fn set_extra_delay_from(&self, from: PartitionId, us: u64) {
+        self.extra_from_us[from.idx()].store(us, Ordering::Relaxed);
+    }
+
+    fn delay_for(&self, from: PartitionId) -> u64 {
+        self.base_delay_us.load(Ordering::Relaxed)
+            + self.extra_from_us[from.idx()].load(Ordering::Relaxed)
+    }
+
+    /// Send a message to one partition (delivered after the configured delay).
+    pub fn send(&self, from: PartitionId, to: PartitionId, msg: BusMessage) {
+        let deliver_at = now_us() + self.delay_for(from);
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.queue.lock().push(Pending {
+            deliver_at_us: deliver_at,
+            to,
+            msg,
+            seq,
+        });
+    }
+
+    /// Broadcast to every partition except the sender.
+    pub fn broadcast(&self, from: PartitionId, msg: BusMessage) {
+        for p in 0..self.inboxes.len() {
+            if p != from.idx() {
+                self.send(from, PartitionId(p as u32), msg.clone());
+            }
+        }
+    }
+
+    /// Drain all messages currently available for a partition.
+    pub fn drain(&self, me: PartitionId) -> Vec<BusMessage> {
+        let mut out = Vec::new();
+        while let Ok(m) = self.inboxes[me.idx()].1.try_recv() {
+            out.push(m);
+        }
+        out
+    }
+
+    /// Blocking receive with timeout for coordinator threads.
+    pub fn recv_timeout(&self, me: PartitionId, timeout: Duration) -> Option<BusMessage> {
+        self.inboxes[me.idx()].1.recv_timeout(timeout).ok()
+    }
+
+    /// Stop the pump thread. Called on cluster shutdown.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.pump.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for DelayedBus {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.pump.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_is_delivered_after_delay() {
+        let bus = DelayedBus::new(2, 2_000);
+        bus.send(
+            PartitionId(0),
+            PartitionId(1),
+            BusMessage::PartitionWatermark {
+                from: PartitionId(0),
+                wp: 42,
+            },
+        );
+        // Immediately: nothing yet (2 ms delay).
+        assert!(bus.drain(PartitionId(1)).is_empty());
+        std::thread::sleep(Duration::from_millis(10));
+        let got = bus.drain(PartitionId(1));
+        assert_eq!(
+            got,
+            vec![BusMessage::PartitionWatermark {
+                from: PartitionId(0),
+                wp: 42
+            }]
+        );
+        bus.shutdown();
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_but_sender() {
+        let bus = DelayedBus::new(3, 0);
+        bus.broadcast(PartitionId(1), BusMessage::EpochPrepare { epoch: 7 });
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(bus.drain(PartitionId(1)).is_empty());
+        assert_eq!(bus.drain(PartitionId(0)).len(), 1);
+        assert_eq!(bus.drain(PartitionId(2)).len(), 1);
+        bus.shutdown();
+    }
+
+    #[test]
+    fn lagging_sender_is_delayed_more() {
+        let bus = DelayedBus::new(2, 0);
+        bus.set_extra_delay_from(PartitionId(0), 50_000);
+        bus.send(
+            PartitionId(0),
+            PartitionId(1),
+            BusMessage::EpochReady {
+                from: PartitionId(0),
+                epoch: 1,
+            },
+        );
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(bus.drain(PartitionId(1)).is_empty(), "should still be in flight");
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(bus.drain(PartitionId(1)).len(), 1);
+        bus.shutdown();
+    }
+
+    #[test]
+    fn recv_timeout_returns_none_when_idle() {
+        let bus = DelayedBus::new(1, 0);
+        assert!(bus
+            .recv_timeout(PartitionId(0), Duration::from_millis(5))
+            .is_none());
+        bus.shutdown();
+    }
+}

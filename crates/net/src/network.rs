@@ -1,0 +1,255 @@
+//! Latency-charging simulated network with crash injection.
+
+use parking_lot::RwLock;
+use primo_common::config::NetConfig;
+use primo_common::sim_time::charge_latency_us;
+use primo_common::{FastRng, PartitionId};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// The simulated network connecting all partitions.
+///
+/// All methods are cheap and thread-safe; latency is charged by blocking the
+/// calling thread for the configured duration (spin for short waits).
+#[derive(Debug)]
+pub struct SimNetwork {
+    cfg: RwLock<NetConfig>,
+    num_partitions: usize,
+    /// Extra one-way delay per destination partition, microseconds. Used by
+    /// Fig 13a (delayed watermark/epoch messages) and general asymmetry
+    /// experiments.
+    extra_delay_us: Vec<AtomicU64>,
+    /// Crash flags per partition: a crashed partition does not answer.
+    crashed: Vec<AtomicBool>,
+    /// Total messages "sent" (one per one-way hop).
+    messages: AtomicU64,
+    /// Total round trips charged.
+    round_trips: AtomicU64,
+    /// Jitter source (per-call cheap hash, not a shared RNG, to avoid
+    /// contention).
+    jitter_salt: u64,
+}
+
+impl SimNetwork {
+    pub fn new(num_partitions: usize, cfg: NetConfig) -> Self {
+        SimNetwork {
+            cfg: RwLock::new(cfg),
+            num_partitions,
+            extra_delay_us: (0..num_partitions).map(|_| AtomicU64::new(0)).collect(),
+            crashed: (0..num_partitions).map(|_| AtomicBool::new(false)).collect(),
+            messages: AtomicU64::new(0),
+            round_trips: AtomicU64::new(0),
+            jitter_salt: 0x5EED,
+        }
+    }
+
+    pub fn num_partitions(&self) -> usize {
+        self.num_partitions
+    }
+
+    pub fn config(&self) -> NetConfig {
+        *self.cfg.read()
+    }
+
+    pub fn set_config(&self, cfg: NetConfig) {
+        *self.cfg.write() = cfg;
+    }
+
+    /// Add an extra per-destination one-way delay (Fig 13a lag injection).
+    pub fn set_extra_delay_us(&self, to: PartitionId, us: u64) {
+        self.extra_delay_us[to.idx()].store(us, Ordering::Relaxed);
+    }
+
+    pub fn extra_delay_us(&self, to: PartitionId) -> u64 {
+        self.extra_delay_us[to.idx()].load(Ordering::Relaxed)
+    }
+
+    /// Mark a partition as crashed (it will not be reachable) or recovered.
+    pub fn set_crashed(&self, p: PartitionId, crashed: bool) {
+        self.crashed[p.idx()].store(crashed, Ordering::SeqCst);
+    }
+
+    pub fn is_crashed(&self, p: PartitionId) -> bool {
+        self.crashed[p.idx()].load(Ordering::SeqCst)
+    }
+
+    fn one_way_latency_us(&self, from: PartitionId, to: PartitionId) -> u64 {
+        if from == to {
+            return 0;
+        }
+        let cfg = *self.cfg.read();
+        let jitter = if cfg.jitter_us > 0 {
+            // Cheap stateless jitter: hash of a counter.
+            let x = self
+                .messages
+                .load(Ordering::Relaxed)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ self.jitter_salt;
+            x % (cfg.jitter_us + 1)
+        } else {
+            0
+        };
+        cfg.one_way_us + jitter + self.extra_delay_us[to.idx()].load(Ordering::Relaxed)
+    }
+
+    /// Charge a one-way message from `from` to `to`. Returns `false` if the
+    /// destination is crashed (message lost).
+    pub fn one_way(&self, from: PartitionId, to: PartitionId) -> bool {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        charge_latency_us(self.one_way_latency_us(from, to));
+        !self.is_crashed(to)
+    }
+
+    /// Charge a request/response round trip. Returns `false` if the remote
+    /// partition is crashed.
+    pub fn round_trip(&self, from: PartitionId, to: PartitionId) -> bool {
+        if from == to {
+            return !self.is_crashed(to);
+        }
+        self.messages.fetch_add(2, Ordering::Relaxed);
+        self.round_trips.fetch_add(1, Ordering::Relaxed);
+        if self.is_crashed(to) {
+            // The request times out: charge only the outbound latency.
+            charge_latency_us(self.one_way_latency_us(from, to));
+            return false;
+        }
+        charge_latency_us(2 * self.one_way_latency_us(from, to));
+        true
+    }
+
+    /// Charge one round trip that fans out to several destinations in
+    /// parallel (e.g. a 2PC prepare to all participants): the cost is the
+    /// slowest destination, not the sum. Returns `false` if any destination
+    /// is crashed.
+    pub fn round_trip_multi(&self, from: PartitionId, to: &[PartitionId]) -> bool {
+        let remote: Vec<_> = to.iter().copied().filter(|p| *p != from).collect();
+        if remote.is_empty() {
+            return true;
+        }
+        self.messages
+            .fetch_add(2 * remote.len() as u64, Ordering::Relaxed);
+        self.round_trips.fetch_add(1, Ordering::Relaxed);
+        let mut max_us = 0;
+        let mut ok = true;
+        for p in &remote {
+            max_us = max_us.max(self.one_way_latency_us(from, *p));
+            if self.is_crashed(*p) {
+                ok = false;
+            }
+        }
+        charge_latency_us(2 * max_us);
+        ok
+    }
+
+    /// One-way fan-out (e.g. Primo's write-set dissemination, which needs no
+    /// acknowledgement). Returns `false` if any destination is crashed.
+    pub fn one_way_multi(&self, from: PartitionId, to: &[PartitionId]) -> bool {
+        let remote: Vec<_> = to.iter().copied().filter(|p| *p != from).collect();
+        if remote.is_empty() {
+            return true;
+        }
+        self.messages
+            .fetch_add(remote.len() as u64, Ordering::Relaxed);
+        // The sender does not wait for delivery: sending is effectively free
+        // for the caller beyond a small serialization cost.
+        charge_latency_us(1);
+        remote.iter().all(|p| !self.is_crashed(*p))
+    }
+
+    /// Number of one-way messages charged so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Number of round trips charged so far.
+    pub fn round_trips_charged(&self) -> u64 {
+        self.round_trips.load(Ordering::Relaxed)
+    }
+
+    /// Jitter helper exposed for deterministic tests.
+    pub fn sample_latency_us(&self, from: PartitionId, to: PartitionId, _rng: &mut FastRng) -> u64 {
+        self.one_way_latency_us(from, to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    fn net(one_way_us: u64) -> SimNetwork {
+        SimNetwork::new(
+            4,
+            NetConfig {
+                one_way_us,
+                jitter_us: 0,
+                control_msg_extra_us: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn local_access_is_free() {
+        let n = net(1000);
+        let start = Instant::now();
+        assert!(n.round_trip(PartitionId(0), PartitionId(0)));
+        assert!(start.elapsed().as_micros() < 500);
+        assert_eq!(n.messages_sent(), 0);
+    }
+
+    #[test]
+    fn round_trip_charges_twice_one_way() {
+        let n = net(100);
+        let start = Instant::now();
+        assert!(n.round_trip(PartitionId(0), PartitionId(1)));
+        let el = start.elapsed().as_micros();
+        assert!(el >= 190, "elapsed {el}us");
+        assert_eq!(n.messages_sent(), 2);
+        assert_eq!(n.round_trips_charged(), 1);
+    }
+
+    #[test]
+    fn multi_round_trip_costs_slowest_not_sum() {
+        let n = net(100);
+        let start = Instant::now();
+        assert!(n.round_trip_multi(
+            PartitionId(0),
+            &[PartitionId(1), PartitionId(2), PartitionId(3)]
+        ));
+        let el = start.elapsed().as_micros();
+        assert!(el >= 190, "elapsed {el}us");
+        assert!(el < 450, "fan-out should be parallel, elapsed {el}us");
+        assert_eq!(n.messages_sent(), 6);
+    }
+
+    #[test]
+    fn crashed_partition_breaks_round_trip() {
+        let n = net(10);
+        n.set_crashed(PartitionId(2), true);
+        assert!(!n.round_trip(PartitionId(0), PartitionId(2)));
+        assert!(!n.round_trip_multi(PartitionId(0), &[PartitionId(1), PartitionId(2)]));
+        n.set_crashed(PartitionId(2), false);
+        assert!(n.round_trip(PartitionId(0), PartitionId(2)));
+    }
+
+    #[test]
+    fn extra_delay_applies_to_destination() {
+        let n = net(10);
+        n.set_extra_delay_us(PartitionId(1), 300);
+        assert_eq!(n.extra_delay_us(PartitionId(1)), 300);
+        let start = Instant::now();
+        n.round_trip(PartitionId(0), PartitionId(1));
+        assert!(start.elapsed().as_micros() >= 600);
+        let start = Instant::now();
+        n.round_trip(PartitionId(0), PartitionId(2));
+        assert!(start.elapsed().as_micros() < 500);
+    }
+
+    #[test]
+    fn one_way_multi_does_not_block_sender() {
+        let n = net(5000);
+        let start = Instant::now();
+        assert!(n.one_way_multi(PartitionId(0), &[PartitionId(1), PartitionId(2)]));
+        assert!(start.elapsed().as_millis() < 3);
+        assert_eq!(n.messages_sent(), 2);
+    }
+}

@@ -1,0 +1,204 @@
+//! Read/write-set bookkeeping shared by all protocol implementations.
+//!
+//! Every protocol needs to remember which records it read (and the TicToc /
+//! version metadata it observed), which writes it buffered, which locks it
+//! holds and which partitions it touched — and must be able to undo all of it
+//! on abort. Keeping this in one place keeps the protocol implementations
+//! focused on their actual decision logic.
+
+use primo_common::{Key, PartitionId, TableId, TxnId, Value};
+use primo_storage::{LockMode, Record};
+use std::sync::Arc;
+
+/// One record read by the transaction.
+#[derive(Debug, Clone)]
+pub struct ReadEntry {
+    pub partition: PartitionId,
+    pub table: TableId,
+    pub key: Key,
+    pub record: Arc<Record>,
+    /// Observed write timestamp (TicToc `wts`, Silo version).
+    pub wts: u64,
+    /// Observed read timestamp (TicToc `rts`).
+    pub rts: u64,
+    /// Whether the transaction holds a lock on the record, and in which mode.
+    pub locked: Option<LockMode>,
+    /// True if this entry is a dummy read added only to pre-lock a blind
+    /// write (it adds no read-write dependency, §4.2.2).
+    pub dummy: bool,
+}
+
+/// One buffered write.
+#[derive(Debug, Clone)]
+pub struct WriteEntry {
+    pub partition: PartitionId,
+    pub table: TableId,
+    pub key: Key,
+    pub value: Value,
+}
+
+/// The complete access set of one transaction attempt.
+#[derive(Debug, Default)]
+pub struct AccessSet {
+    pub reads: Vec<ReadEntry>,
+    pub writes: Vec<WriteEntry>,
+}
+
+impl AccessSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up a read entry by (partition, table, key).
+    pub fn find_read(&self, partition: PartitionId, table: TableId, key: Key) -> Option<usize> {
+        self.reads
+            .iter()
+            .position(|r| r.partition == partition && r.table == table && r.key == key)
+    }
+
+    /// Look up a buffered write by (partition, table, key).
+    pub fn find_write(&self, partition: PartitionId, table: TableId, key: Key) -> Option<usize> {
+        self.writes
+            .iter()
+            .position(|w| w.partition == partition && w.table == table && w.key == key)
+    }
+
+    /// Buffer a write, overwriting a previous buffered value for the same key.
+    pub fn buffer_write(&mut self, entry: WriteEntry) {
+        if let Some(i) = self.find_write(entry.partition, entry.table, entry.key) {
+            self.writes[i] = entry;
+        } else {
+            self.writes.push(entry);
+        }
+    }
+
+    /// Remote partitions involved, i.e. everything other than `home`.
+    pub fn participants(&self, home: PartitionId) -> Vec<PartitionId> {
+        let mut out: Vec<PartitionId> = Vec::new();
+        for p in self
+            .reads
+            .iter()
+            .map(|r| r.partition)
+            .chain(self.writes.iter().map(|w| w.partition))
+        {
+            if p != home && !out.contains(&p) {
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    /// Whether the transaction touched a partition other than `home`.
+    pub fn is_distributed(&self, home: PartitionId) -> bool {
+        !self.participants(home).is_empty()
+    }
+
+    /// Number of record operations performed (non-dummy reads plus writes).
+    pub fn ops(&self) -> usize {
+        self.reads.iter().filter(|r| !r.dummy).count() + self.writes.len()
+    }
+
+    /// Release every lock recorded as held by `txn` in the read set.
+    pub fn release_all_locks(&mut self, txn: TxnId) {
+        for r in &mut self.reads {
+            if r.locked.is_some() {
+                r.record.release(txn);
+                r.locked = None;
+            }
+        }
+    }
+
+    /// Fraction of accesses that are reads (excluding dummy reads).
+    pub fn read_fraction(&self) -> f64 {
+        let reads = self.reads.iter().filter(|r| !r.dummy).count();
+        let writes = self.writes.len();
+        if reads + writes == 0 {
+            return 1.0;
+        }
+        reads as f64 / (reads + writes) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primo_storage::LockPolicy;
+
+    fn entry(p: u32, key: Key, locked: bool) -> ReadEntry {
+        ReadEntry {
+            partition: PartitionId(p),
+            table: TableId(0),
+            key,
+            record: Arc::new(Record::new(Value::from_u64(key))),
+            wts: 0,
+            rts: 0,
+            locked: locked.then_some(LockMode::Exclusive),
+            dummy: false,
+        }
+    }
+
+    #[test]
+    fn participants_excludes_home_and_dedups() {
+        let mut a = AccessSet::new();
+        a.reads.push(entry(0, 1, false));
+        a.reads.push(entry(1, 2, false));
+        a.reads.push(entry(1, 3, false));
+        a.buffer_write(WriteEntry {
+            partition: PartitionId(2),
+            table: TableId(0),
+            key: 9,
+            value: Value::from_u64(0),
+        });
+        let parts = a.participants(PartitionId(0));
+        assert_eq!(parts, vec![PartitionId(1), PartitionId(2)]);
+        assert!(a.is_distributed(PartitionId(0)));
+        assert!(!AccessSet::new().is_distributed(PartitionId(0)));
+    }
+
+    #[test]
+    fn buffer_write_overwrites_same_key() {
+        let mut a = AccessSet::new();
+        for v in [1u64, 2, 3] {
+            a.buffer_write(WriteEntry {
+                partition: PartitionId(0),
+                table: TableId(0),
+                key: 7,
+                value: Value::from_u64(v),
+            });
+        }
+        assert_eq!(a.writes.len(), 1);
+        assert_eq!(a.writes[0].value.as_u64(), 3);
+        assert_eq!(a.find_write(PartitionId(0), TableId(0), 7), Some(0));
+    }
+
+    #[test]
+    fn release_all_locks_releases_only_held() {
+        let txn = TxnId::new(PartitionId(0), 1);
+        let mut a = AccessSet::new();
+        a.reads.push(entry(0, 1, false));
+        a.reads.push(entry(0, 2, false));
+        // Actually acquire the lock for key 2 so release has something to do.
+        a.reads[1]
+            .record
+            .acquire(txn, LockMode::Exclusive, LockPolicy::NoWait);
+        a.reads[1].locked = Some(LockMode::Exclusive);
+        a.release_all_locks(txn);
+        assert!(a.reads.iter().all(|r| r.locked.is_none()));
+        assert!(!a.reads[1].record.lock().is_locked());
+    }
+
+    #[test]
+    fn read_fraction_counts_non_dummy_reads() {
+        let mut a = AccessSet::new();
+        a.reads.push(entry(0, 1, false));
+        a.reads.push(entry(0, 2, false));
+        a.buffer_write(WriteEntry {
+            partition: PartitionId(0),
+            table: TableId(0),
+            key: 2,
+            value: Value::from_u64(0),
+        });
+        assert!((a.read_fraction() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(AccessSet::new().read_fraction(), 1.0);
+    }
+}

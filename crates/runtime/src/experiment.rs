@@ -1,0 +1,256 @@
+//! The experiment driver: build a cluster, load the workload, run workers for
+//! a fixed duration (with warm-up), optionally inject a partition crash, and
+//! return aggregated metrics.
+
+use crate::cluster::Cluster;
+use crate::protocol::Protocol;
+use crate::txn::Workload;
+use crate::worker::spawn_workers;
+use primo_common::config::ClusterConfig;
+use primo_common::{Metrics, MetricsSnapshot, PartitionId};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A scheduled partition crash (Fig 12b measures the resulting crash-abort
+/// rate; §5.2 describes the recovery).
+#[derive(Debug, Clone, Copy)]
+pub struct CrashPlan {
+    /// Which partition's leader crashes.
+    pub partition: PartitionId,
+    /// When (after measurement starts).
+    pub at: Duration,
+    /// How long until a replica takes over and the partition is reachable
+    /// again.
+    pub recover_after: Duration,
+}
+
+/// Knobs for one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentOptions {
+    pub warmup: Duration,
+    pub duration: Duration,
+    pub crash: Option<CrashPlan>,
+    /// Extra one-way delay for control (watermark / epoch) messages sent by
+    /// this partition — Fig 13a.
+    pub lag_partition: Option<(PartitionId, u64)>,
+    /// Extra per-transaction execution time on this partition — Fig 13b
+    /// ("masked cores").
+    pub slow_partition: Option<(PartitionId, u64)>,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions {
+            warmup: Duration::from_millis(200),
+            duration: Duration::from_secs(1),
+            crash: None,
+            lag_partition: None,
+            slow_partition: None,
+        }
+    }
+}
+
+impl ExperimentOptions {
+    pub fn quick() -> Self {
+        ExperimentOptions {
+            warmup: Duration::from_millis(50),
+            duration: Duration::from_millis(300),
+            ..Default::default()
+        }
+    }
+}
+
+/// Run one experiment on an existing, already-loaded cluster.
+pub fn run_on_cluster(
+    cluster: &Arc<Cluster>,
+    protocol: Arc<dyn Protocol>,
+    workload: Arc<dyn Workload>,
+    options: &ExperimentOptions,
+) -> MetricsSnapshot {
+    let metrics = Arc::new(Metrics::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let recording = Arc::new(AtomicBool::new(false));
+
+    if let Some((p, us)) = options.lag_partition {
+        cluster.bus.set_extra_delay_from(p, us);
+        cluster.net.set_extra_delay_us(p, us);
+    }
+    if let Some((p, us)) = options.slow_partition {
+        cluster.partition(p).set_slowdown_us(us);
+    }
+
+    let handles = spawn_workers(cluster, &protocol, &workload, &metrics, &stop, &recording);
+
+    std::thread::sleep(options.warmup);
+    recording.store(true, Ordering::SeqCst);
+    let started = Instant::now();
+
+    // Crash injection runs on this driver thread so the timeline is exact.
+    if let Some(crash) = options.crash {
+        let remaining = options.duration;
+        let to_crash = crash.at.min(remaining);
+        std::thread::sleep(to_crash);
+        cluster.net.set_crashed(crash.partition, true);
+        cluster.group_commit.on_partition_crash(crash.partition);
+        let recover = crash.recover_after.min(remaining.saturating_sub(to_crash));
+        std::thread::sleep(recover);
+        cluster.net.set_crashed(crash.partition, false);
+        let rest = remaining.saturating_sub(to_crash + recover);
+        std::thread::sleep(rest);
+    } else {
+        std::thread::sleep(options.duration);
+    }
+
+    let elapsed = started.elapsed();
+    recording.store(false, Ordering::SeqCst);
+    stop.store(true, Ordering::SeqCst);
+    for h in handles {
+        let _ = h.join();
+    }
+    let mut snap = metrics.snapshot(elapsed.as_secs_f64());
+    snap.messages = cluster.net.messages_sent();
+    snap
+}
+
+/// Build a fresh cluster for `config`, load `workload` into it, run the
+/// experiment and shut the cluster down.
+pub fn run_experiment(
+    config: ClusterConfig,
+    protocol: Arc<dyn Protocol>,
+    workload: Arc<dyn Workload>,
+    options: &ExperimentOptions,
+) -> MetricsSnapshot {
+    let cluster = Cluster::new(config);
+    for p in cluster.partition_ids() {
+        workload.load_partition(&cluster.partition(p).store, p);
+    }
+    let snap = run_on_cluster(&cluster, protocol, workload, options);
+    cluster.shutdown();
+    snap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::CommittedTxn;
+    use crate::txn::{TxnContext, TxnProgram};
+    use primo_common::{
+        FastRng, Key, PhaseTimers, TableId, TxnId, TxnResult, Value,
+    };
+    use primo_storage::PartitionStore;
+    use primo_wal::TxnTicket;
+
+    /// A protocol that simply installs a counter increment on the home
+    /// partition — enough to exercise the whole driver pipeline.
+    struct CounterProtocol;
+
+    struct CounterCtx<'a> {
+        cluster: &'a Cluster,
+    }
+
+    impl TxnContext for CounterCtx<'_> {
+        fn read(&mut self, p: PartitionId, t: TableId, k: Key) -> TxnResult<Value> {
+            Ok(self
+                .cluster
+                .partition(p)
+                .store
+                .get(t, k)
+                .map(|r| r.read().value)
+                .unwrap_or_else(|| Value::from_u64(0)))
+        }
+        fn write(&mut self, p: PartitionId, t: TableId, k: Key, v: Value) -> TxnResult<()> {
+            self.cluster.partition(p).store.insert(t, k, v);
+            Ok(())
+        }
+    }
+
+    impl Protocol for CounterProtocol {
+        fn name(&self) -> &'static str {
+            "counter"
+        }
+        fn execute_once(
+            &self,
+            cluster: &Cluster,
+            _txn: TxnId,
+            program: &dyn TxnProgram,
+            _ticket: &TxnTicket,
+            _timers: &mut PhaseTimers,
+        ) -> TxnResult<CommittedTxn> {
+            let mut ctx = CounterCtx { cluster };
+            program.execute(&mut ctx)?;
+            Ok(CommittedTxn {
+                ts: 0,
+                ops: 1,
+                distributed: false,
+            })
+        }
+    }
+
+    struct CounterWorkload;
+    struct CounterTxn {
+        home: PartitionId,
+        key: Key,
+    }
+
+    impl TxnProgram for CounterTxn {
+        fn execute(&self, ctx: &mut dyn TxnContext) -> TxnResult<()> {
+            let v = ctx.read(self.home, TableId(0), self.key)?;
+            ctx.write(self.home, TableId(0), self.key, Value::from_u64(v.as_u64() + 1))
+        }
+        fn home_partition(&self) -> PartitionId {
+            self.home
+        }
+    }
+
+    impl Workload for CounterWorkload {
+        fn name(&self) -> &'static str {
+            "counter"
+        }
+        fn load_partition(&self, store: &PartitionStore, _p: PartitionId) {
+            for k in 0..16u64 {
+                store.insert(TableId(0), k, Value::from_u64(0));
+            }
+        }
+        fn generate(&self, rng: &mut FastRng, home: PartitionId) -> Box<dyn TxnProgram> {
+            Box::new(CounterTxn {
+                home,
+                key: rng.next_below(16),
+            })
+        }
+    }
+
+    #[test]
+    fn experiment_driver_produces_throughput() {
+        let snap = run_experiment(
+            ClusterConfig::for_tests(2),
+            Arc::new(CounterProtocol),
+            Arc::new(CounterWorkload),
+            &ExperimentOptions::quick(),
+        );
+        assert!(snap.committed > 0, "no transactions committed");
+        assert!(snap.throughput_tps > 0.0);
+        assert!(snap.mean_latency_ms >= 0.0);
+    }
+
+    #[test]
+    fn crash_plan_is_survivable() {
+        let opts = ExperimentOptions {
+            warmup: Duration::from_millis(20),
+            duration: Duration::from_millis(300),
+            crash: Some(CrashPlan {
+                partition: PartitionId(1),
+                at: Duration::from_millis(100),
+                recover_after: Duration::from_millis(50),
+            }),
+            ..Default::default()
+        };
+        let snap = run_experiment(
+            ClusterConfig::for_tests(2),
+            Arc::new(CounterProtocol),
+            Arc::new(CounterWorkload),
+            &opts,
+        );
+        assert!(snap.committed > 0);
+    }
+}

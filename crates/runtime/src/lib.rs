@@ -1,0 +1,23 @@
+//! Cluster runtime: partitions, workers, the protocol abstraction and the
+//! experiment driver.
+//!
+//! The runtime is protocol-agnostic. A [`Protocol`](protocol::Protocol)
+//! implements one *attempt* of a transaction; the [`worker`] loop supplies
+//! retries with exponential back-off, ties the attempt to the group-commit
+//! scheme and records metrics; the [`experiment`] driver assembles a cluster,
+//! loads a workload, runs workers for a fixed duration and returns a
+//! [`primo_common::MetricsSnapshot`].
+
+pub mod access;
+pub mod cluster;
+pub mod experiment;
+pub mod protocol;
+pub mod txn;
+pub mod worker;
+
+pub use access::{AccessSet, ReadEntry, WriteEntry};
+pub use cluster::{Cluster, Partition};
+pub use experiment::{run_experiment, run_on_cluster, CrashPlan, ExperimentOptions};
+pub use protocol::{CommittedTxn, Protocol};
+pub use txn::{TxnContext, TxnProgram, Workload};
+pub use worker::run_single_txn;

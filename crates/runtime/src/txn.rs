@@ -1,0 +1,193 @@
+//! Transactions as programs.
+//!
+//! The paper's central generality argument is that read/write sets cannot be
+//! known before execution (transactions branch on query results, §1). We
+//! therefore model a transaction as an arbitrary program over a
+//! [`TxnContext`]: the engine learns about each access only when the program
+//! performs it.
+
+use primo_common::{FastRng, Key, PartitionId, TableId, TxnResult, Value};
+
+/// The access interface a running transaction sees.
+///
+/// Each protocol provides its own implementation (locking reads, OCC reads,
+/// buffered writes, ...). Accesses name the owning partition explicitly: the
+/// workload knows its partitioning function, the engine does not.
+pub trait TxnContext {
+    /// Read a record. Returns the payload visible to this transaction.
+    fn read(&mut self, partition: PartitionId, table: TableId, key: Key) -> TxnResult<Value>;
+
+    /// Buffer a write. The value is installed at commit.
+    fn write(
+        &mut self,
+        partition: PartitionId,
+        table: TableId,
+        key: Key,
+        value: Value,
+    ) -> TxnResult<()>;
+
+    /// Insert a new record (buffered like a write; creates the record at
+    /// commit if it does not exist).
+    fn insert(
+        &mut self,
+        partition: PartitionId,
+        table: TableId,
+        key: Key,
+        value: Value,
+    ) -> TxnResult<()> {
+        self.write(partition, table, key, value)
+    }
+
+    /// Read-modify-write convenience: read, transform, write back.
+    fn update_with(
+        &mut self,
+        partition: PartitionId,
+        table: TableId,
+        key: Key,
+        f: &mut dyn FnMut(Value) -> Value,
+    ) -> TxnResult<()> {
+        let v = self.read(partition, table, key)?;
+        self.write(partition, table, key, f(v))
+    }
+}
+
+/// A transaction program, produced by a workload generator.
+pub trait TxnProgram: Send + Sync {
+    /// Run the transaction body against the protocol-provided context.
+    /// Returning an error aborts the transaction (e.g. user rollback).
+    fn execute(&self, ctx: &mut dyn TxnContext) -> TxnResult<()>;
+
+    /// The partition the client submits the transaction to (its coordinator).
+    fn home_partition(&self) -> PartitionId;
+
+    /// Whether the transaction is declared read-only (stored procedure with
+    /// no UPDATE/INSERT). Primo serves these from a snapshot without locks.
+    fn is_read_only(&self) -> bool {
+        false
+    }
+
+    /// Declared fraction of read operations. Only used by Primo's optional
+    /// read-heavy 2PC fallback (§4.3); protocols never rely on it for
+    /// correctness.
+    fn read_fraction_hint(&self) -> f64 {
+        0.5
+    }
+
+    /// Short label for debugging ("ycsb", "new_order", ...).
+    fn label(&self) -> &'static str {
+        "txn"
+    }
+}
+
+/// A workload: knows how to load the initial database and how to generate
+/// transaction programs for a given home partition.
+pub trait Workload: Send + Sync {
+    /// Human-readable name ("YCSB", "TPC-C").
+    fn name(&self) -> &'static str;
+
+    /// Populate the given partition's share of the database.
+    fn load_partition(&self, store: &primo_storage::PartitionStore, partition: PartitionId);
+
+    /// Generate the next transaction for a worker whose home is `home`.
+    fn generate(&self, rng: &mut FastRng, home: PartitionId) -> Box<dyn TxnProgram>;
+}
+
+/// A trivially simple program used by runtime-level tests: read a set of
+/// keys and increment each by one.
+pub struct IncrementProgram {
+    pub home: PartitionId,
+    pub accesses: Vec<(PartitionId, TableId, Key)>,
+}
+
+impl TxnProgram for IncrementProgram {
+    fn execute(&self, ctx: &mut dyn TxnContext) -> TxnResult<()> {
+        for (p, t, k) in &self.accesses {
+            let v = ctx.read(*p, *t, *k)?;
+            ctx.write(*p, *t, *k, Value::from_u64(v.as_u64() + 1))?;
+        }
+        Ok(())
+    }
+
+    fn home_partition(&self) -> PartitionId {
+        self.home
+    }
+
+    fn read_fraction_hint(&self) -> f64 {
+        0.5
+    }
+
+    fn label(&self) -> &'static str {
+        "increment"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primo_common::{AbortReason, TxnError};
+    use std::collections::HashMap;
+
+    /// A toy in-memory context for exercising program logic without a
+    /// protocol.
+    #[derive(Default)]
+    struct MapContext {
+        data: HashMap<(u32, u32, Key), u64>,
+        writes: usize,
+    }
+
+    impl TxnContext for MapContext {
+        fn read(&mut self, p: PartitionId, t: TableId, k: Key) -> TxnResult<Value> {
+            self.data
+                .get(&(p.0, t.0, k))
+                .map(|v| Value::from_u64(*v))
+                .ok_or(TxnError::Aborted(AbortReason::UserAbort))
+        }
+
+        fn write(&mut self, p: PartitionId, t: TableId, k: Key, v: Value) -> TxnResult<()> {
+            self.data.insert((p.0, t.0, k), v.as_u64());
+            self.writes += 1;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn increment_program_updates_every_key() {
+        let mut ctx = MapContext::default();
+        ctx.data.insert((0, 0, 1), 10);
+        ctx.data.insert((1, 0, 2), 20);
+        let prog = IncrementProgram {
+            home: PartitionId(0),
+            accesses: vec![
+                (PartitionId(0), TableId(0), 1),
+                (PartitionId(1), TableId(0), 2),
+            ],
+        };
+        prog.execute(&mut ctx).unwrap();
+        assert_eq!(ctx.data[&(0, 0, 1)], 11);
+        assert_eq!(ctx.data[&(1, 0, 2)], 21);
+        assert_eq!(ctx.writes, 2);
+        assert_eq!(prog.home_partition(), PartitionId(0));
+        assert!(!prog.is_read_only());
+    }
+
+    #[test]
+    fn update_with_reads_then_writes() {
+        let mut ctx = MapContext::default();
+        ctx.data.insert((0, 0, 7), 5);
+        ctx.update_with(PartitionId(0), TableId(0), 7, &mut |v| {
+            Value::from_u64(v.as_u64() * 2)
+        })
+        .unwrap();
+        assert_eq!(ctx.data[&(0, 0, 7)], 10);
+    }
+
+    #[test]
+    fn missing_key_aborts() {
+        let mut ctx = MapContext::default();
+        let prog = IncrementProgram {
+            home: PartitionId(0),
+            accesses: vec![(PartitionId(0), TableId(0), 99)],
+        };
+        assert!(prog.execute(&mut ctx).is_err());
+    }
+}

@@ -1,0 +1,267 @@
+//! The worker loop: generate → attempt → (back-off & retry) → group commit →
+//! record metrics.
+//!
+//! Mirrors the paper's DBx1000 setup (§6.1.3): each partition leader runs a
+//! fixed number of worker threads; an aborted transaction backs off
+//! exponentially starting at 0.5 ms and is retried with the *same* TID (so
+//! WAIT_DIE priorities age and starvation is avoided).
+
+use crate::cluster::Cluster;
+use crate::protocol::Protocol;
+use crate::txn::Workload;
+use primo_common::sim_time::charge_latency_us;
+use primo_common::{AbortReason, FastRng, Metrics, PartitionId, Phase, PhaseTimers};
+use primo_wal::{CommitOutcome, CommitWaiter};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Hard cap on attempts per transaction so a pathological configuration can
+/// never wedge a worker forever.
+const MAX_ATTEMPTS: usize = 1_000;
+
+/// How many transactions a worker may have waiting for the group commit
+/// before it applies back-pressure (blocks on the oldest). Mirrors the
+/// paper's setup where a worker "initiates a new transaction when the running
+/// transaction is waiting" (§6.1.3) — the client waits, the worker does not.
+const MAX_PENDING_COMMITS: usize = 512;
+
+/// A transaction whose write-set is installed but whose result has not yet
+/// been confirmed durable by the group commit.
+struct PendingCommit {
+    waiter: CommitWaiter,
+    started: Instant,
+    committed_at: Instant,
+    timers: PhaseTimers,
+}
+
+/// Everything a worker thread needs.
+pub struct WorkerContext {
+    pub cluster: Arc<Cluster>,
+    pub protocol: Arc<dyn Protocol>,
+    pub workload: Arc<dyn Workload>,
+    pub metrics: Arc<Metrics>,
+    pub home: PartitionId,
+    pub worker_idx: u32,
+    pub stop: Arc<AtomicBool>,
+    pub recording: Arc<AtomicBool>,
+}
+
+/// Resolve (without blocking) every pending transaction whose group-commit
+/// outcome is now known.
+fn drain_pending(ctx: &WorkerContext, pending: &mut VecDeque<PendingCommit>) {
+    while let Some(front) = pending.front() {
+        match ctx.cluster.group_commit.try_outcome(&front.waiter) {
+            Some(outcome) => {
+                let mut done = pending.pop_front().unwrap();
+                done.timers
+                    .add(Phase::Return, done.committed_at.elapsed());
+                if ctx.recording.load(Ordering::Relaxed) {
+                    match outcome {
+                        CommitOutcome::Committed => {
+                            let latency_us = done.started.elapsed().as_micros() as u64;
+                            ctx.metrics.record_commit(latency_us, &done.timers);
+                        }
+                        CommitOutcome::CrashAborted => {
+                            ctx.metrics.record_abort(AbortReason::CrashAbort);
+                        }
+                    }
+                }
+            }
+            None => break,
+        }
+    }
+}
+
+/// Block on the oldest pending transaction (back-pressure when the group
+/// commit falls far behind execution).
+fn block_on_oldest(ctx: &WorkerContext, pending: &mut VecDeque<PendingCommit>) {
+    if let Some(mut oldest) = pending.pop_front() {
+        let outcome = ctx.cluster.group_commit.wait_durable(&oldest.waiter);
+        oldest
+            .timers
+            .add(Phase::Return, oldest.committed_at.elapsed());
+        if ctx.recording.load(Ordering::Relaxed) {
+            match outcome {
+                CommitOutcome::Committed => {
+                    let latency_us = oldest.started.elapsed().as_micros() as u64;
+                    ctx.metrics.record_commit(latency_us, &oldest.timers);
+                }
+                CommitOutcome::CrashAborted => ctx.metrics.record_abort(AbortReason::CrashAbort),
+            }
+        }
+    }
+}
+
+/// Run the worker loop until the stop flag is raised.
+pub fn worker_loop(ctx: WorkerContext) {
+    let mut rng = FastRng::for_worker(ctx.home.0, ctx.worker_idx, 0xAB5);
+    let backoff_initial = ctx.cluster.config.backoff_initial_us;
+    let backoff_max = ctx.cluster.config.backoff_max_us;
+    let mut pending: VecDeque<PendingCommit> = VecDeque::new();
+
+    while !ctx.stop.load(Ordering::Relaxed) {
+        // Report results of transactions whose group commit finished while we
+        // were executing newer ones.
+        drain_pending(&ctx, &mut pending);
+        if pending.len() >= MAX_PENDING_COMMITS {
+            block_on_oldest(&ctx, &mut pending);
+        }
+
+        // COCO-style schemes may briefly forbid starting new transactions.
+        ctx.cluster.group_commit.execution_gate(ctx.home);
+        if ctx.stop.load(Ordering::Relaxed) {
+            break;
+        }
+
+        let program = ctx.workload.generate(&mut rng, ctx.home);
+        let txn = ctx.cluster.next_txn_id(ctx.home);
+        let mut timers = PhaseTimers::new();
+        let started = Instant::now();
+        let mut backoff_us = backoff_initial;
+        let slowdown = ctx.cluster.partition(ctx.home).slowdown_us();
+
+        let mut attempts = 0;
+        'attempts: while attempts < MAX_ATTEMPTS && !ctx.stop.load(Ordering::Relaxed) {
+            attempts += 1;
+            if slowdown > 0 {
+                // Simulated slow partition (Fig 13b): extra CPU time per
+                // attempt, charged as execution time.
+                timers.time(Phase::Execute, || charge_latency_us(slowdown));
+            }
+            let ticket = ctx.cluster.group_commit.begin_txn(ctx.home, txn);
+            let result =
+                ctx.protocol
+                    .execute_once(&ctx.cluster, txn, program.as_ref(), &ticket, &mut timers);
+            match result {
+                Ok(commit) => {
+                    let waiter =
+                        ctx.cluster
+                            .group_commit
+                            .txn_committed(&ticket, commit.ts, commit.ops);
+                    if ctx.protocol.manages_durability() {
+                        if ctx.recording.load(Ordering::Relaxed) {
+                            let latency_us = started.elapsed().as_micros() as u64;
+                            ctx.metrics.record_commit(latency_us, &timers);
+                        }
+                    } else {
+                        // The client keeps waiting for the watermark / epoch;
+                        // the worker moves on to the next transaction.
+                        pending.push_back(PendingCommit {
+                            waiter,
+                            started,
+                            committed_at: Instant::now(),
+                            timers: std::mem::take(&mut timers),
+                        });
+                    }
+                    break 'attempts;
+                }
+                Err(e) => {
+                    ctx.cluster.group_commit.txn_aborted(&ticket);
+                    let reason = e.reason();
+                    if ctx.recording.load(Ordering::Relaxed) {
+                        ctx.metrics.record_abort(reason);
+                    }
+                    if !reason.is_retryable() {
+                        if ctx.recording.load(Ordering::Relaxed) {
+                            ctx.metrics.record_abandoned();
+                        }
+                        break 'attempts;
+                    }
+                }
+            }
+            // Exponential back-off before the next attempt (paper: 0.5 ms
+            // initial, doubling).
+            timers.time(Phase::Backoff, || {
+                let jitter = rng.next_below(backoff_us.max(1) / 2 + 1);
+                charge_latency_us(backoff_us / 2 + jitter);
+            });
+            backoff_us = (backoff_us * 2).min(backoff_max);
+        }
+    }
+
+    // Resolve whatever is still in flight so late commits are counted.
+    let deadline = Instant::now() + Duration::from_millis(200);
+    while !pending.is_empty() && Instant::now() < deadline {
+        drain_pending(&ctx, &mut pending);
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Spawn all worker threads for an experiment. Returns their join handles.
+pub fn spawn_workers(
+    cluster: &Arc<Cluster>,
+    protocol: &Arc<dyn Protocol>,
+    workload: &Arc<dyn Workload>,
+    metrics: &Arc<Metrics>,
+    stop: &Arc<AtomicBool>,
+    recording: &Arc<AtomicBool>,
+) -> Vec<std::thread::JoinHandle<()>> {
+    let mut handles = Vec::new();
+    for p in 0..cluster.num_partitions() {
+        for w in 0..cluster.config.workers_per_partition {
+            let ctx = WorkerContext {
+                cluster: Arc::clone(cluster),
+                protocol: Arc::clone(protocol),
+                workload: Arc::clone(workload),
+                metrics: Arc::clone(metrics),
+                home: PartitionId(p as u32),
+                worker_idx: w as u32,
+                stop: Arc::clone(stop),
+                recording: Arc::clone(recording),
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("worker-{p}-{w}"))
+                    .spawn(move || worker_loop(ctx))
+                    .expect("spawn worker"),
+            );
+        }
+    }
+    handles
+}
+
+/// Helper used by tests and examples: run a single transaction to completion
+/// (with retries) outside the throughput-measurement machinery. Returns the
+/// number of attempts on success.
+pub fn run_single_txn(
+    cluster: &Arc<Cluster>,
+    protocol: &dyn Protocol,
+    program: &dyn crate::txn::TxnProgram,
+) -> Result<usize, AbortReason> {
+    let home = program.home_partition();
+    let txn = cluster.next_txn_id(home);
+    let mut attempts = 0;
+    let mut backoff_us = cluster.config.backoff_initial_us;
+    loop {
+        attempts += 1;
+        if attempts > MAX_ATTEMPTS {
+            return Err(AbortReason::LockConflict);
+        }
+        let ticket = cluster.group_commit.begin_txn(home, txn);
+        let mut timers = PhaseTimers::new();
+        match protocol.execute_once(cluster, txn, program, &ticket, &mut timers) {
+            Ok(commit) => {
+                let waiter = cluster
+                    .group_commit
+                    .txn_committed(&ticket, commit.ts, commit.ops);
+                if protocol.manages_durability() {
+                    return Ok(attempts);
+                }
+                match cluster.group_commit.wait_durable(&waiter) {
+                    CommitOutcome::Committed => return Ok(attempts),
+                    CommitOutcome::CrashAborted => {}
+                }
+            }
+            Err(e) => {
+                cluster.group_commit.txn_aborted(&ticket);
+                if !e.reason().is_retryable() {
+                    return Err(e.reason());
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_micros(backoff_us));
+        backoff_us = (backoff_us * 2).min(cluster.config.backoff_max_us);
+    }
+}

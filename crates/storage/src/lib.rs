@@ -1,0 +1,17 @@
+//! In-memory shared-nothing storage: records with TicToc metadata, a
+//! record-granularity lock manager (NO_WAIT / WAIT_DIE), sharded tables and
+//! the per-partition store.
+//!
+//! Every protocol in the workspace (Primo, 2PL+2PC, Silo, Sundial, Aria,
+//! TAPIR) runs on top of this same substrate, mirroring the paper's
+//! methodology of implementing all competitors in one framework (§6.1.3).
+
+pub mod lock;
+pub mod partition;
+pub mod record;
+pub mod table;
+
+pub use lock::{LockMode, LockPolicy, LockRequestResult, RecordLock};
+pub use partition::PartitionStore;
+pub use record::{Record, RecordData};
+pub use table::Table;

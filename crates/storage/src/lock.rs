@@ -1,0 +1,300 @@
+//! Record-granularity lock manager.
+//!
+//! Supports shared/exclusive modes, lock upgrades, and the two
+//! deadlock-handling policies used in the paper: NO_WAIT (abort on any
+//! conflict) and WAIT_DIE (an older transaction may wait for a younger
+//! holder; a younger requester dies immediately). Primo's WCF uses
+//! exclusive-only locking with WAIT_DIE (§4.2.2).
+
+use parking_lot::{Condvar, Mutex};
+use primo_common::TxnId;
+use std::time::Duration;
+
+/// Requested/held lock mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    Shared,
+    Exclusive,
+}
+
+/// Deadlock-handling policy for lock acquisition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockPolicy {
+    /// Abort the requester on any conflict.
+    NoWait,
+    /// Older requester waits, younger requester aborts ("dies").
+    WaitDie,
+}
+
+/// Outcome of a lock request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockRequestResult {
+    Granted,
+    /// The requester must abort (conflict under NO_WAIT, or it was younger
+    /// under WAIT_DIE, or waiting timed out).
+    Abort,
+}
+
+/// Upper bound on how long a WAIT_DIE waiter blocks before giving up. WAIT_DIE
+/// guarantees no deadlock, so this only fires if a holder crashed without
+/// releasing; treating it as an abort keeps the experiment progressing.
+const WAIT_TIMEOUT: Duration = Duration::from_millis(100);
+
+#[derive(Debug, Default)]
+struct LockState {
+    /// Transactions currently holding the lock. Multiple entries only in
+    /// shared mode.
+    holders: Vec<TxnId>,
+    exclusive: bool,
+    /// Number of threads currently blocked waiting on this lock.
+    waiters: usize,
+}
+
+impl LockState {
+    fn held(&self) -> bool {
+        !self.holders.is_empty()
+    }
+
+    fn held_by(&self, txn: TxnId) -> bool {
+        self.holders.contains(&txn)
+    }
+
+    fn sole_holder(&self, txn: TxnId) -> bool {
+        self.holders.len() == 1 && self.holders[0] == txn
+    }
+
+    /// True if `txn` is older (higher priority) than every current holder.
+    fn older_than_all_holders(&self, txn: TxnId) -> bool {
+        self.holders.iter().all(|h| txn < *h)
+    }
+}
+
+/// A per-record lock with shared/exclusive modes and policy-driven conflict
+/// resolution.
+#[derive(Debug, Default)]
+pub struct RecordLock {
+    state: Mutex<LockState>,
+    cond: Condvar,
+}
+
+impl RecordLock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Acquire the lock in `mode` for `txn`, resolving conflicts with
+    /// `policy`. Re-entrant: if `txn` already holds a compatible (or stronger)
+    /// lock the request is granted immediately; a shared holder requesting
+    /// exclusive is treated as an upgrade.
+    pub fn acquire(&self, txn: TxnId, mode: LockMode, policy: LockPolicy) -> LockRequestResult {
+        let mut st = self.state.lock();
+        loop {
+            // Re-entrant / upgrade handling.
+            if st.held_by(txn) {
+                match mode {
+                    LockMode::Shared => return LockRequestResult::Granted,
+                    LockMode::Exclusive => {
+                        if st.exclusive {
+                            return LockRequestResult::Granted;
+                        }
+                        if st.sole_holder(txn) {
+                            st.exclusive = true;
+                            return LockRequestResult::Granted;
+                        }
+                        // Upgrade blocked by other shared holders.
+                    }
+                }
+            } else if !st.held() {
+                st.holders.push(txn);
+                st.exclusive = mode == LockMode::Exclusive;
+                return LockRequestResult::Granted;
+            } else if mode == LockMode::Shared && !st.exclusive {
+                st.holders.push(txn);
+                return LockRequestResult::Granted;
+            }
+
+            // Conflict.
+            match policy {
+                LockPolicy::NoWait => return LockRequestResult::Abort,
+                LockPolicy::WaitDie => {
+                    if !st.older_than_all_holders(txn) {
+                        return LockRequestResult::Abort;
+                    }
+                    st.waiters += 1;
+                    let timed_out = self
+                        .cond
+                        .wait_for(&mut st, WAIT_TIMEOUT)
+                        .timed_out();
+                    st.waiters -= 1;
+                    if timed_out {
+                        return LockRequestResult::Abort;
+                    }
+                    // Loop and re-check.
+                }
+            }
+        }
+    }
+
+    /// Release any lock held by `txn`. Releasing a lock that is not held is a
+    /// no-op (protocol abort paths may release conservatively).
+    pub fn release(&self, txn: TxnId) {
+        let mut st = self.state.lock();
+        let before = st.holders.len();
+        st.holders.retain(|h| *h != txn);
+        if st.holders.is_empty() {
+            st.exclusive = false;
+        }
+        let released = st.holders.len() != before;
+        let has_waiters = st.waiters > 0;
+        drop(st);
+        if released && has_waiters {
+            self.cond.notify_all();
+        }
+    }
+
+    /// True if the lock is currently held in exclusive mode by a transaction
+    /// other than `txn`. Used by TicToc validation: extending the `rts` of a
+    /// record that someone else has write-locked must abort.
+    pub fn exclusively_locked_by_other(&self, txn: TxnId) -> bool {
+        let st = self.state.lock();
+        st.exclusive && !st.held_by(txn)
+    }
+
+    /// True if `txn` currently holds this lock (in any mode).
+    pub fn held_by(&self, txn: TxnId) -> bool {
+        self.state.lock().held_by(txn)
+    }
+
+    /// True if anyone holds the lock.
+    pub fn is_locked(&self) -> bool {
+        self.state.lock().held()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primo_common::PartitionId;
+    use std::sync::Arc;
+
+    fn t(seq: u64) -> TxnId {
+        TxnId::new(PartitionId(0), seq)
+    }
+
+    #[test]
+    fn exclusive_excludes() {
+        let l = RecordLock::new();
+        assert_eq!(
+            l.acquire(t(1), LockMode::Exclusive, LockPolicy::NoWait),
+            LockRequestResult::Granted
+        );
+        assert_eq!(
+            l.acquire(t(2), LockMode::Exclusive, LockPolicy::NoWait),
+            LockRequestResult::Abort
+        );
+        assert_eq!(
+            l.acquire(t(2), LockMode::Shared, LockPolicy::NoWait),
+            LockRequestResult::Abort
+        );
+        l.release(t(1));
+        assert_eq!(
+            l.acquire(t(2), LockMode::Exclusive, LockPolicy::NoWait),
+            LockRequestResult::Granted
+        );
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let l = RecordLock::new();
+        assert_eq!(
+            l.acquire(t(1), LockMode::Shared, LockPolicy::NoWait),
+            LockRequestResult::Granted
+        );
+        assert_eq!(
+            l.acquire(t(2), LockMode::Shared, LockPolicy::NoWait),
+            LockRequestResult::Granted
+        );
+        // Exclusive blocked while two sharers exist.
+        assert_eq!(
+            l.acquire(t(3), LockMode::Exclusive, LockPolicy::NoWait),
+            LockRequestResult::Abort
+        );
+    }
+
+    #[test]
+    fn reentrant_and_upgrade() {
+        let l = RecordLock::new();
+        assert_eq!(
+            l.acquire(t(1), LockMode::Shared, LockPolicy::NoWait),
+            LockRequestResult::Granted
+        );
+        // Re-entrant shared.
+        assert_eq!(
+            l.acquire(t(1), LockMode::Shared, LockPolicy::NoWait),
+            LockRequestResult::Granted
+        );
+        // Upgrade succeeds as the sole holder.
+        assert_eq!(
+            l.acquire(t(1), LockMode::Exclusive, LockPolicy::NoWait),
+            LockRequestResult::Granted
+        );
+        assert!(l.exclusively_locked_by_other(t(2)));
+        assert!(!l.exclusively_locked_by_other(t(1)));
+    }
+
+    #[test]
+    fn upgrade_blocked_by_other_sharer() {
+        let l = RecordLock::new();
+        l.acquire(t(1), LockMode::Shared, LockPolicy::NoWait);
+        l.acquire(t(2), LockMode::Shared, LockPolicy::NoWait);
+        assert_eq!(
+            l.acquire(t(1), LockMode::Exclusive, LockPolicy::NoWait),
+            LockRequestResult::Abort
+        );
+    }
+
+    #[test]
+    fn wait_die_younger_dies_older_waits() {
+        let l = Arc::new(RecordLock::new());
+        assert_eq!(
+            l.acquire(t(5), LockMode::Exclusive, LockPolicy::WaitDie),
+            LockRequestResult::Granted
+        );
+        // Younger (larger seq) dies immediately.
+        assert_eq!(
+            l.acquire(t(9), LockMode::Exclusive, LockPolicy::WaitDie),
+            LockRequestResult::Abort
+        );
+        // Older (smaller seq) waits until release.
+        let l2 = Arc::clone(&l);
+        let waiter = std::thread::spawn(move || {
+            l2.acquire(t(1), LockMode::Exclusive, LockPolicy::WaitDie)
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        l.release(t(5));
+        assert_eq!(waiter.join().unwrap(), LockRequestResult::Granted);
+    }
+
+    #[test]
+    fn wait_die_times_out_eventually() {
+        let l = RecordLock::new();
+        l.acquire(t(5), LockMode::Exclusive, LockPolicy::WaitDie);
+        // Older waiter, but the holder never releases: the request must not
+        // hang forever.
+        let start = std::time::Instant::now();
+        assert_eq!(
+            l.acquire(t(1), LockMode::Exclusive, LockPolicy::WaitDie),
+            LockRequestResult::Abort
+        );
+        assert!(start.elapsed() >= Duration::from_millis(90));
+    }
+
+    #[test]
+    fn release_of_non_holder_is_noop() {
+        let l = RecordLock::new();
+        l.acquire(t(1), LockMode::Exclusive, LockPolicy::NoWait);
+        l.release(t(2));
+        assert!(l.held_by(t(1)));
+        assert!(l.is_locked());
+    }
+}

@@ -1,0 +1,101 @@
+//! Per-partition store: the set of tables owned by one partition leader.
+
+use crate::record::Record;
+use crate::table::Table;
+use parking_lot::RwLock;
+use primo_common::{Key, PartitionId, TableId, Value};
+use std::sync::Arc;
+
+/// All data owned by one partition.
+///
+/// Tables are created lazily on first access so workloads can define their
+/// schema simply by writing to table ids.
+#[derive(Debug)]
+pub struct PartitionStore {
+    partition: PartitionId,
+    tables: RwLock<Vec<Option<Arc<Table>>>>,
+}
+
+impl PartitionStore {
+    pub fn new(partition: PartitionId) -> Self {
+        PartitionStore {
+            partition,
+            tables: RwLock::new(Vec::new()),
+        }
+    }
+
+    pub fn partition(&self) -> PartitionId {
+        self.partition
+    }
+
+    /// Get (or lazily create) a table.
+    pub fn table(&self, id: TableId) -> Arc<Table> {
+        let idx = id.0 as usize;
+        {
+            let tables = self.tables.read();
+            if let Some(Some(t)) = tables.get(idx) {
+                return Arc::clone(t);
+            }
+        }
+        let mut tables = self.tables.write();
+        if tables.len() <= idx {
+            tables.resize(idx + 1, None);
+        }
+        if tables[idx].is_none() {
+            tables[idx] = Some(Arc::new(Table::new()));
+        }
+        Arc::clone(tables[idx].as_ref().unwrap())
+    }
+
+    /// Look up a record.
+    pub fn get(&self, table: TableId, key: Key) -> Option<Arc<Record>> {
+        self.table(table).get(key)
+    }
+
+    /// Insert (or overwrite) a record during loading or transaction install.
+    pub fn insert(&self, table: TableId, key: Key, value: Value) -> Arc<Record> {
+        self.table(table).insert(key, value)
+    }
+
+    /// Number of records across all tables.
+    pub fn total_records(&self) -> usize {
+        self.tables
+            .read()
+            .iter()
+            .flatten()
+            .map(|t| t.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lazy_table_creation() {
+        let s = PartitionStore::new(PartitionId(0));
+        assert!(s.get(TableId(3), 1).is_none());
+        s.insert(TableId(3), 1, Value::from_u64(9));
+        assert_eq!(s.get(TableId(3), 1).unwrap().read().value.as_u64(), 9);
+        assert_eq!(s.total_records(), 1);
+        assert_eq!(s.partition(), PartitionId(0));
+    }
+
+    #[test]
+    fn same_table_returns_same_instance() {
+        let s = PartitionStore::new(PartitionId(1));
+        let a = s.table(TableId(0));
+        let b = s.table(TableId(0));
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn tables_are_isolated() {
+        let s = PartitionStore::new(PartitionId(0));
+        s.insert(TableId(0), 5, Value::from_u64(1));
+        s.insert(TableId(1), 5, Value::from_u64(2));
+        assert_eq!(s.get(TableId(0), 5).unwrap().read().value.as_u64(), 1);
+        assert_eq!(s.get(TableId(1), 5).unwrap().read().value.as_u64(), 2);
+    }
+}

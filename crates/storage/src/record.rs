@@ -1,0 +1,180 @@
+//! A single record: payload + TicToc timestamps + its lock.
+
+use crate::lock::{LockMode, LockPolicy, LockRequestResult, RecordLock};
+use parking_lot::Mutex;
+use primo_common::{Row, TxnId, Value};
+
+/// The versioned payload of a record together with its TicToc metadata.
+///
+/// `wts` is the logical time the current version was written; `rts` is the
+/// end of the interval in which the version is known to be valid
+/// (`rts >= wts`, §4.2.1).
+#[derive(Debug, Clone)]
+pub struct RecordData {
+    pub value: Value,
+    pub wts: u64,
+    pub rts: u64,
+}
+
+/// A record stored in a partition.
+///
+/// The payload/timestamps are protected by a short-critical-section mutex;
+/// transaction-duration ownership is expressed through the embedded
+/// [`RecordLock`]. Protocols combine the two as they see fit: 2PL/WCF hold
+/// the lock across the transaction, OCC schemes only lock during
+/// validation/installation.
+#[derive(Debug)]
+pub struct Record {
+    data: Mutex<RecordData>,
+    lock: RecordLock,
+}
+
+impl Record {
+    pub fn new(value: Value) -> Self {
+        Record {
+            data: Mutex::new(RecordData {
+                value,
+                wts: 0,
+                rts: 0,
+            }),
+            lock: RecordLock::new(),
+        }
+    }
+
+    /// Atomically snapshot the payload and timestamps.
+    pub fn read(&self) -> Row {
+        let d = self.data.lock();
+        Row::new(d.value.clone(), d.wts, d.rts)
+    }
+
+    /// Current `(wts, rts)` pair.
+    pub fn timestamps(&self) -> (u64, u64) {
+        let d = self.data.lock();
+        (d.wts, d.rts)
+    }
+
+    /// Current write timestamp (doubles as Silo's TID word / version).
+    pub fn wts(&self) -> u64 {
+        self.data.lock().wts
+    }
+
+    /// Install a new version with `wts = rts = ts` (TicToc write rule).
+    pub fn install(&self, value: Value, ts: u64) {
+        let mut d = self.data.lock();
+        d.value = value;
+        d.wts = ts;
+        d.rts = ts;
+    }
+
+    /// Install a new version, bumping the version counter by one (used by
+    /// protocols without logical timestamps, e.g. plain 2PL and Silo).
+    pub fn install_next_version(&self, value: Value) -> u64 {
+        let mut d = self.data.lock();
+        d.value = value;
+        d.wts += 1;
+        d.rts = d.wts;
+        d.wts
+    }
+
+    /// Extend the valid interval so that it covers `ts` (TicToc
+    /// `rts = max(rts, ts)`).
+    pub fn extend_rts(&self, ts: u64) {
+        let mut d = self.data.lock();
+        if d.rts < ts {
+            d.rts = ts;
+        }
+    }
+
+    /// Raise both timestamps to at least `floor`. Used by participants to
+    /// enforce watermark monotonicity (R2 in §5.1): if `wts <= Wp`, set
+    /// `wts = rts = Wp + 1` before returning the record to the coordinator.
+    pub fn raise_watermark_floor(&self, floor: u64) {
+        let mut d = self.data.lock();
+        if d.wts <= floor {
+            d.wts = floor + 1;
+            if d.rts < d.wts {
+                d.rts = d.wts;
+            }
+        }
+    }
+
+    /// The record's lock.
+    pub fn lock(&self) -> &RecordLock {
+        &self.lock
+    }
+
+    /// Convenience: acquire this record's lock.
+    pub fn acquire(&self, txn: TxnId, mode: LockMode, policy: LockPolicy) -> LockRequestResult {
+        self.lock.acquire(txn, mode, policy)
+    }
+
+    /// Convenience: release this record's lock.
+    pub fn release(&self, txn: TxnId) {
+        self.lock.release(txn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primo_common::PartitionId;
+
+    fn t(seq: u64) -> TxnId {
+        TxnId::new(PartitionId(0), seq)
+    }
+
+    #[test]
+    fn install_sets_both_timestamps() {
+        let r = Record::new(Value::from_u64(1));
+        r.install(Value::from_u64(2), 7);
+        let row = r.read();
+        assert_eq!(row.value.as_u64(), 2);
+        assert_eq!((row.wts, row.rts), (7, 7));
+    }
+
+    #[test]
+    fn extend_rts_never_shrinks() {
+        let r = Record::new(Value::from_u64(0));
+        r.install(Value::from_u64(1), 5);
+        r.extend_rts(9);
+        assert_eq!(r.timestamps(), (5, 9));
+        r.extend_rts(3);
+        assert_eq!(r.timestamps(), (5, 9));
+    }
+
+    #[test]
+    fn next_version_increments() {
+        let r = Record::new(Value::from_u64(0));
+        let v1 = r.install_next_version(Value::from_u64(1));
+        let v2 = r.install_next_version(Value::from_u64(2));
+        assert!(v2 > v1);
+        assert_eq!(r.wts(), v2);
+    }
+
+    #[test]
+    fn watermark_floor_raises_old_records() {
+        let r = Record::new(Value::from_u64(0));
+        r.install(Value::from_u64(1), 3);
+        r.raise_watermark_floor(10);
+        assert_eq!(r.timestamps(), (11, 11));
+        // Already-new records are untouched.
+        r.install(Value::from_u64(2), 20);
+        r.raise_watermark_floor(10);
+        assert_eq!(r.timestamps(), (20, 20));
+    }
+
+    #[test]
+    fn record_lock_is_usable_through_record() {
+        let r = Record::new(Value::from_u64(0));
+        assert_eq!(
+            r.acquire(t(1), LockMode::Exclusive, LockPolicy::NoWait),
+            LockRequestResult::Granted
+        );
+        assert_eq!(
+            r.acquire(t(2), LockMode::Exclusive, LockPolicy::NoWait),
+            LockRequestResult::Abort
+        );
+        r.release(t(1));
+        assert!(!r.lock().is_locked());
+    }
+}

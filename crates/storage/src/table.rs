@@ -1,0 +1,156 @@
+//! A sharded hash table mapping keys to records.
+//!
+//! Shards reduce contention on the table structure itself (not to be confused
+//! with transaction-level record locks). Inserts are supported at runtime
+//! (TPC-C NewOrder inserts orders and order-lines).
+
+use crate::record::Record;
+use parking_lot::RwLock;
+use primo_common::{Key, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const DEFAULT_SHARDS: usize = 64;
+
+/// A single table's worth of records owned by one partition.
+#[derive(Debug)]
+pub struct Table {
+    shards: Vec<RwLock<HashMap<Key, Arc<Record>>>>,
+}
+
+impl Default for Table {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Table {
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    pub fn with_shards(n: usize) -> Self {
+        assert!(n > 0);
+        Table {
+            shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    #[inline]
+    fn shard_of(&self, key: Key) -> usize {
+        // Fibonacci hashing spreads sequential keys across shards.
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48) as usize % self.shards.len()
+    }
+
+    /// Look up a record by key.
+    pub fn get(&self, key: Key) -> Option<Arc<Record>> {
+        self.shards[self.shard_of(key)].read().get(&key).cloned()
+    }
+
+    /// Insert a record, replacing any existing one. Returns the record.
+    pub fn insert(&self, key: Key, value: Value) -> Arc<Record> {
+        let rec = Arc::new(Record::new(value));
+        self.shards[self.shard_of(key)]
+            .write()
+            .insert(key, Arc::clone(&rec));
+        rec
+    }
+
+    /// Insert only if absent; returns the (existing or new) record and whether
+    /// an insert happened. Used for constraint checking (unique keys).
+    pub fn insert_if_absent(&self, key: Key, value: Value) -> (Arc<Record>, bool) {
+        let mut shard = self.shards[self.shard_of(key)].write();
+        if let Some(existing) = shard.get(&key) {
+            return (Arc::clone(existing), false);
+        }
+        let rec = Arc::new(Record::new(value));
+        shard.insert(key, Arc::clone(&rec));
+        (rec, true)
+    }
+
+    /// Remove a record.
+    pub fn remove(&self, key: Key) -> bool {
+        self.shards[self.shard_of(key)].write().remove(&key).is_some()
+    }
+
+    pub fn contains(&self, key: Key) -> bool {
+        self.shards[self.shard_of(key)].read().contains_key(&key)
+    }
+
+    /// Number of records (O(shards), used by loaders and tests).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Scan all keys satisfying a predicate. Primo handles large scans by
+    /// falling back to shared predicate locks / 2PC (§4.2.2 corner cases);
+    /// the scan itself is provided here.
+    pub fn scan_keys(&self, mut pred: impl FnMut(Key) -> bool) -> Vec<Key> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for k in shard.read().keys() {
+                if pred(*k) {
+                    out.push(*k);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let t = Table::new();
+        assert!(t.get(42).is_none());
+        t.insert(42, Value::from_u64(7));
+        assert_eq!(t.get(42).unwrap().read().value.as_u64(), 7);
+        assert!(t.contains(42));
+        assert_eq!(t.len(), 1);
+        assert!(t.remove(42));
+        assert!(!t.remove(42));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn insert_if_absent_respects_existing() {
+        let t = Table::new();
+        let (_, inserted) = t.insert_if_absent(1, Value::from_u64(10));
+        assert!(inserted);
+        let (rec, inserted) = t.insert_if_absent(1, Value::from_u64(20));
+        assert!(!inserted);
+        assert_eq!(rec.read().value.as_u64(), 10);
+    }
+
+    #[test]
+    fn many_keys_distribute_over_shards() {
+        let t = Table::with_shards(8);
+        for k in 0..10_000u64 {
+            t.insert(k, Value::from_u64(k));
+        }
+        assert_eq!(t.len(), 10_000);
+        for k in (0..10_000u64).step_by(997) {
+            assert_eq!(t.get(k).unwrap().read().value.as_u64(), k);
+        }
+    }
+
+    #[test]
+    fn scan_keys_filters() {
+        let t = Table::new();
+        for k in 0..100u64 {
+            t.insert(k, Value::from_u64(k));
+        }
+        let mut even = t.scan_keys(|k| k % 2 == 0);
+        even.sort_unstable();
+        assert_eq!(even.len(), 50);
+        assert_eq!(even[0], 0);
+        assert_eq!(even[49], 98);
+    }
+}

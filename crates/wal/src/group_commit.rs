@@ -1,0 +1,170 @@
+//! The [`GroupCommit`] trait: how protocols hand transactions over to the
+//! durability layer, and how they learn the final (durable) outcome.
+//!
+//! The life-cycle, shared by every scheme:
+//!
+//! 1. [`GroupCommit::begin_txn`] — the worker registers a new transaction on
+//!    its coordinator partition (needed for watermark generation rule R1).
+//! 2. [`GroupCommit::add_participant`] — every remote partition the
+//!    transaction touches is registered too.
+//! 3. [`GroupCommit::update_ts`] — as soon as a logical timestamp (or a lower
+//!    bound) is known it is reported, so partition watermarks never overtake
+//!    active transactions.
+//! 4. [`GroupCommit::txn_committed`] / [`GroupCommit::txn_aborted`] — the
+//!    protocol finished installing the write-set (or gave up).
+//! 5. [`GroupCommit::wait_durable`] — the worker blocks until the group commit
+//!    confirms (or crash-aborts) the transaction. This is the `return` phase
+//!    of the latency breakdown (Fig 4c).
+
+use parking_lot::Mutex;
+use primo_common::{PartitionId, Ts, TxnId};
+use std::sync::Arc;
+
+/// Final, durable outcome of a transaction that finished its commit phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// The transaction is durable on every involved partition; its result may
+    /// be returned to the client.
+    Committed,
+    /// A crash forced the transaction (or its whole epoch) to be rolled back
+    /// before it became durable.
+    CrashAborted,
+}
+
+/// Per-transaction registration handle.
+///
+/// Shared (via `Arc`) between the protocol and the group-commit scheme so the
+/// scheme can observe timestamp updates and participants without extra maps.
+#[derive(Debug)]
+pub struct TxnTicket {
+    pub txn: TxnId,
+    pub coordinator: PartitionId,
+    /// Epoch assigned at begin (COCO); 0 for schemes without epochs.
+    pub epoch: u64,
+    pub(crate) state: Mutex<TicketState>,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct TicketState {
+    /// Latest known logical timestamp or lower bound (`lts`).
+    pub ts: Ts,
+    /// Remote partitions involved so far.
+    pub participants: Vec<PartitionId>,
+}
+
+impl TxnTicket {
+    pub fn new(txn: TxnId, coordinator: PartitionId, epoch: u64) -> Arc<Self> {
+        Arc::new(TxnTicket {
+            txn,
+            coordinator,
+            epoch,
+            state: Mutex::new(TicketState::default()),
+        })
+    }
+
+    pub fn current_ts(&self) -> Ts {
+        self.state.lock().ts
+    }
+
+    pub fn participants(&self) -> Vec<PartitionId> {
+        self.state.lock().participants.clone()
+    }
+
+    /// All partitions involved (coordinator + participants).
+    pub fn involved(&self) -> Vec<PartitionId> {
+        let mut v = self.participants();
+        if !v.contains(&self.coordinator) {
+            v.push(self.coordinator);
+        }
+        v
+    }
+}
+
+/// Handle the worker blocks on during the `return` phase.
+#[derive(Debug)]
+pub struct CommitWaiter {
+    pub txn: TxnId,
+    pub coordinator: PartitionId,
+    pub ts: Ts,
+    pub epoch: u64,
+    /// Set for schemes that resolve the outcome immediately (e.g. CLV / sync
+    /// compute a deadline instead of waiting on a watermark).
+    pub ready_at_us: Option<u64>,
+}
+
+/// A distributed group-commit / durability scheme.
+pub trait GroupCommit: Send + Sync {
+    /// Register a new transaction starting on `coord`.
+    fn begin_txn(&self, coord: PartitionId, txn: TxnId) -> Arc<TxnTicket>;
+
+    /// Report the transaction's logical timestamp (or a lower bound `lts`).
+    fn update_ts(&self, ticket: &TxnTicket, ts: Ts) {
+        let mut st = ticket.state.lock();
+        st.ts = st.ts.max(ts);
+    }
+
+    /// Register a remote participant; `lts` is the lower bound of the
+    /// transaction's final timestamp as known by that participant (the `wts`
+    /// of its first accessed record there, §5.1 R1).
+    fn add_participant(&self, ticket: &TxnTicket, p: PartitionId, lts: Ts);
+
+    /// The transaction aborted during execution; deregister it everywhere.
+    fn txn_aborted(&self, ticket: &TxnTicket);
+
+    /// The transaction finished installing its write-set with final timestamp
+    /// `ts`; `ops` is the number of records it touched (used by CLV to model
+    /// dependency-tracking cost). Returns the waiter for the `return` phase.
+    fn txn_committed(&self, ticket: &TxnTicket, ts: Ts, ops: usize) -> CommitWaiter;
+
+    /// Block until the outcome of the transaction is known.
+    fn wait_durable(&self, waiter: &CommitWaiter) -> CommitOutcome;
+
+    /// Non-blocking probe of the outcome. Workers use this to keep executing
+    /// new transactions while earlier ones wait for the group commit (the
+    /// paper's workers likewise never idle on durability; only the *client*
+    /// response is delayed).
+    fn try_outcome(&self, waiter: &CommitWaiter) -> Option<CommitOutcome>;
+
+    /// The current timestamp floor new transactions must exceed on this
+    /// partition (watermark rule R2). Zero for schemes without watermarks.
+    fn ts_floor(&self, _partition: PartitionId) -> Ts {
+        0
+    }
+
+    /// Block while the scheme forbids starting new transactions (COCO closes
+    /// this gate while it synchronously commits an epoch). Other schemes
+    /// never block.
+    fn execution_gate(&self, _partition: PartitionId) {}
+
+    /// A partition crashed. The scheme agrees on a rollback point, resolves
+    /// the affected pending waiters as [`CommitOutcome::CrashAborted`] and
+    /// returns the agreed watermark / epoch for reporting.
+    fn on_partition_crash(&self, p: PartitionId) -> Ts;
+
+    /// Scheme label (for figures).
+    fn label(&self) -> &'static str;
+
+    /// Stop background threads.
+    fn shutdown(&self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticket_tracks_participants_and_ts() {
+        let t = TxnTicket::new(TxnId::new(PartitionId(0), 1), PartitionId(0), 0);
+        assert_eq!(t.current_ts(), 0);
+        {
+            let mut st = t.state.lock();
+            st.ts = 42;
+            st.participants.push(PartitionId(2));
+        }
+        assert_eq!(t.current_ts(), 42);
+        assert_eq!(t.participants(), vec![PartitionId(2)]);
+        let mut inv = t.involved();
+        inv.sort();
+        assert_eq!(inv, vec![PartitionId(0), PartitionId(2)]);
+    }
+}

@@ -1,0 +1,55 @@
+//! Durability layer: write-ahead logging and the distributed group-commit
+//! schemes compared in the paper.
+//!
+//! * [`watermark`] — Primo's **watermark-based asynchronous group commit**
+//!   (§5): partitions persist logs independently, publish partition
+//!   watermarks `Wp`, and a transaction's result is returned once the global
+//!   watermark `Wg = min(Wp)` passes its logical timestamp.
+//! * [`coco`] — **COCO-style epoch group commit** (§2.3): a global
+//!   coordinator synchronously runs GROUP-PREPARE / GROUP-READY /
+//!   GROUP-COMMIT rounds per epoch.
+//! * [`clv`] — **Controlled Lock Violation**: locks are released early and a
+//!   commit is acknowledged once the transaction's log (and its dependencies)
+//!   are durable; models CLV's fine-grained dependency-tracking overhead.
+//! * [`sync`] — classic synchronous per-transaction flush (reference point).
+//!
+//! All schemes implement the [`GroupCommit`] trait so every protocol can be
+//! paired with every durability scheme (Fig 11).
+
+pub mod clv;
+pub mod coco;
+pub mod group_commit;
+pub mod log;
+pub mod sync;
+pub mod watermark;
+
+pub use group_commit::{CommitOutcome, CommitWaiter, GroupCommit, TxnTicket};
+pub use log::{LogEntry, LogPayload, PartitionWal};
+pub use watermark::WatermarkCommit;
+
+use primo_common::config::{LoggingScheme, WalConfig};
+use primo_common::PartitionId;
+use primo_net::DelayedBus;
+use std::sync::Arc;
+
+/// Construct the configured group-commit scheme for a cluster of
+/// `num_partitions` partitions.
+pub fn build_group_commit(
+    num_partitions: usize,
+    cfg: WalConfig,
+    bus: Arc<DelayedBus>,
+) -> Arc<dyn GroupCommit> {
+    match cfg.scheme {
+        LoggingScheme::Watermark => Arc::new(WatermarkCommit::new(num_partitions, cfg, bus)),
+        LoggingScheme::CocoEpoch => coco::CocoCommit::new(num_partitions, cfg, bus),
+        LoggingScheme::Clv => Arc::new(clv::ClvCommit::new(num_partitions, cfg)),
+        LoggingScheme::SyncPerTxn => Arc::new(sync::SyncCommit::new(num_partitions, cfg)),
+    }
+}
+
+/// Convenience used by tests: build the WALs for every partition.
+pub fn build_wals(num_partitions: usize, cfg: WalConfig) -> Vec<Arc<PartitionWal>> {
+    (0..num_partitions)
+        .map(|p| Arc::new(PartitionWal::new(PartitionId(p as u32), cfg.persist_delay_us)))
+        .collect()
+}

@@ -1,0 +1,230 @@
+//! Per-partition write-ahead log with simulated asynchronous persistence.
+//!
+//! The paper's partitions replicate their log through Raft and persist it to
+//! local SSD; here a record appended at time `t` becomes durable at
+//! `t + persist_delay`. The log retains entries so recovery tests can replay
+//! a prefix bounded by a watermark.
+
+use parking_lot::Mutex;
+use primo_common::sim_time::now_us;
+use primo_common::{Key, PartitionId, TableId, Ts, TxnId, Value};
+
+/// What a log entry describes.
+#[derive(Debug, Clone)]
+pub enum LogPayload {
+    /// A committed transaction's write-set on this partition.
+    TxnWrites {
+        txn: TxnId,
+        ts: Ts,
+        writes: Vec<(TableId, Key, Value)>,
+    },
+    /// A persisted partition watermark (§5.1: `Wp` is logged before being
+    /// broadcast so the new leader can recover it).
+    Watermark { wp: Ts },
+    /// An epoch boundary (COCO).
+    EpochBoundary { epoch: u64 },
+    /// A periodic checkpoint marker.
+    Checkpoint { up_to_ts: Ts },
+}
+
+/// One record in the log.
+#[derive(Debug, Clone)]
+pub struct LogEntry {
+    pub lsn: u64,
+    pub appended_at_us: u64,
+    pub payload: LogPayload,
+}
+
+#[derive(Debug, Default)]
+struct WalInner {
+    entries: Vec<LogEntry>,
+    next_lsn: u64,
+}
+
+/// The write-ahead log of one partition.
+#[derive(Debug)]
+pub struct PartitionWal {
+    partition: PartitionId,
+    persist_delay_us: u64,
+    inner: Mutex<WalInner>,
+}
+
+impl PartitionWal {
+    pub fn new(partition: PartitionId, persist_delay_us: u64) -> Self {
+        PartitionWal {
+            partition,
+            persist_delay_us,
+            inner: Mutex::new(WalInner::default()),
+        }
+    }
+
+    pub fn partition(&self) -> PartitionId {
+        self.partition
+    }
+
+    /// Append a record; returns its LSN. Appending never blocks on I/O —
+    /// persistence happens in the background (that is the whole point of
+    /// taking durability off the critical path).
+    pub fn append(&self, payload: LogPayload) -> u64 {
+        let mut inner = self.inner.lock();
+        let lsn = inner.next_lsn;
+        inner.next_lsn += 1;
+        inner.entries.push(LogEntry {
+            lsn,
+            appended_at_us: now_us(),
+            payload,
+        });
+        lsn
+    }
+
+    /// Highest LSN that is durable "now" (append time + persist delay has
+    /// elapsed). Returns `None` if nothing is durable yet.
+    pub fn durable_lsn(&self) -> Option<u64> {
+        let now = now_us();
+        let inner = self.inner.lock();
+        inner
+            .entries
+            .iter()
+            .rev()
+            .find(|e| e.appended_at_us + self.persist_delay_us <= now)
+            .map(|e| e.lsn)
+    }
+
+    /// Whether a specific LSN is durable.
+    pub fn is_durable(&self, lsn: u64) -> bool {
+        self.durable_lsn().map(|d| d >= lsn).unwrap_or(false)
+    }
+
+    /// The latest durable watermark record, if any (recovery reads this —
+    /// §5.2 "the new leader retrieves the latest Wp in its Raft log").
+    pub fn latest_durable_watermark(&self) -> Option<Ts> {
+        let now = now_us();
+        let inner = self.inner.lock();
+        inner
+            .entries
+            .iter()
+            .rev()
+            .filter(|e| e.appended_at_us + self.persist_delay_us <= now)
+            .find_map(|e| match e.payload {
+                LogPayload::Watermark { wp } => Some(wp),
+                _ => None,
+            })
+    }
+
+    /// Replay all durable transaction writes with `ts < up_to`, in log order.
+    /// This is what recovery applies after a crash; everything at or above
+    /// `up_to` is rolled back (i.e. simply not replayed).
+    pub fn replay_prefix(&self, up_to: Ts) -> Vec<(TxnId, Ts, Vec<(TableId, Key, Value)>)> {
+        let now = now_us();
+        let inner = self.inner.lock();
+        inner
+            .entries
+            .iter()
+            .filter(|e| e.appended_at_us + self.persist_delay_us <= now)
+            .filter_map(|e| match &e.payload {
+                LogPayload::TxnWrites { txn, ts, writes } if *ts < up_to => {
+                    Some((*txn, *ts, writes.clone()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of entries appended so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Truncate the log up to (and excluding) `lsn` after a checkpoint.
+    pub fn truncate_before(&self, lsn: u64) {
+        let mut inner = self.inner.lock();
+        inner.entries.retain(|e| e.lsn >= lsn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn txn(seq: u64) -> TxnId {
+        TxnId::new(PartitionId(0), seq)
+    }
+
+    fn writes(k: Key) -> Vec<(TableId, Key, Value)> {
+        vec![(TableId(0), k, Value::from_u64(k))]
+    }
+
+    #[test]
+    fn append_assigns_increasing_lsns() {
+        let wal = PartitionWal::new(PartitionId(0), 0);
+        let a = wal.append(LogPayload::Watermark { wp: 1 });
+        let b = wal.append(LogPayload::Watermark { wp: 2 });
+        assert!(b > a);
+        assert_eq!(wal.len(), 2);
+    }
+
+    #[test]
+    fn durability_respects_persist_delay() {
+        let wal = PartitionWal::new(PartitionId(0), 20_000); // 20 ms
+        let lsn = wal.append(LogPayload::Watermark { wp: 5 });
+        assert!(!wal.is_durable(lsn));
+        assert!(wal.latest_durable_watermark().is_none());
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(wal.is_durable(lsn));
+        assert_eq!(wal.latest_durable_watermark(), Some(5));
+    }
+
+    #[test]
+    fn replay_prefix_excludes_rolled_back_txns() {
+        let wal = PartitionWal::new(PartitionId(0), 0);
+        wal.append(LogPayload::TxnWrites {
+            txn: txn(1),
+            ts: 5,
+            writes: writes(1),
+        });
+        wal.append(LogPayload::TxnWrites {
+            txn: txn(2),
+            ts: 9,
+            writes: writes(2),
+        });
+        wal.append(LogPayload::TxnWrites {
+            txn: txn(3),
+            ts: 15,
+            writes: writes(3),
+        });
+        std::thread::sleep(Duration::from_millis(1));
+        let replayed = wal.replay_prefix(10);
+        assert_eq!(replayed.len(), 2);
+        assert!(replayed.iter().all(|(_, ts, _)| *ts < 10));
+    }
+
+    #[test]
+    fn truncate_drops_old_entries() {
+        let wal = PartitionWal::new(PartitionId(1), 0);
+        for i in 0..10u64 {
+            wal.append(LogPayload::Watermark { wp: i });
+        }
+        wal.truncate_before(5);
+        assert_eq!(wal.len(), 5);
+        assert_eq!(wal.partition(), PartitionId(1));
+    }
+
+    #[test]
+    fn latest_durable_watermark_takes_newest() {
+        let wal = PartitionWal::new(PartitionId(0), 0);
+        wal.append(LogPayload::Watermark { wp: 3 });
+        wal.append(LogPayload::TxnWrites {
+            txn: txn(1),
+            ts: 4,
+            writes: writes(1),
+        });
+        wal.append(LogPayload::Watermark { wp: 8 });
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(wal.latest_durable_watermark(), Some(8));
+    }
+}

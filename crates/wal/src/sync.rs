@@ -1,0 +1,102 @@
+//! Classic synchronous per-transaction durability.
+//!
+//! Not used in the paper's figures (all baselines get group commit for
+//! fairness, §6.1.3) but kept as a reference point and for ablation
+//! experiments: it shows what the durability delay costs when it sits on the
+//! transaction's critical path.
+
+use crate::group_commit::{CommitOutcome, CommitWaiter, GroupCommit, TxnTicket};
+use primo_common::config::WalConfig;
+use primo_common::sim_time::charge_latency_us;
+use primo_common::{PartitionId, Ts, TxnId};
+
+/// Synchronous per-transaction flush.
+#[derive(Debug)]
+pub struct SyncCommit {
+    cfg: WalConfig,
+    num_partitions: usize,
+}
+
+impl SyncCommit {
+    pub fn new(num_partitions: usize, cfg: WalConfig) -> Self {
+        SyncCommit {
+            cfg,
+            num_partitions,
+        }
+    }
+
+    pub fn num_partitions(&self) -> usize {
+        self.num_partitions
+    }
+}
+
+impl GroupCommit for SyncCommit {
+    fn begin_txn(&self, coord: PartitionId, txn: TxnId) -> std::sync::Arc<TxnTicket> {
+        TxnTicket::new(txn, coord, 0)
+    }
+
+    fn add_participant(&self, ticket: &TxnTicket, p: PartitionId, _lts: Ts) {
+        let mut st = ticket.state.lock();
+        if !st.participants.contains(&p) {
+            st.participants.push(p);
+        }
+    }
+
+    fn txn_aborted(&self, _ticket: &TxnTicket) {}
+
+    fn txn_committed(&self, ticket: &TxnTicket, ts: Ts, _ops: usize) -> CommitWaiter {
+        // The flush happens right here, synchronously, while the worker (and
+        // in a 2PC protocol, the prepare/commit handling) is still pending.
+        charge_latency_us(self.cfg.persist_delay_us);
+        CommitWaiter {
+            txn: ticket.txn,
+            coordinator: ticket.coordinator,
+            ts,
+            epoch: 0,
+            ready_at_us: None,
+        }
+    }
+
+    fn wait_durable(&self, _waiter: &CommitWaiter) -> CommitOutcome {
+        CommitOutcome::Committed
+    }
+
+    fn try_outcome(&self, _waiter: &CommitWaiter) -> Option<CommitOutcome> {
+        Some(CommitOutcome::Committed)
+    }
+
+    fn on_partition_crash(&self, _p: PartitionId) -> Ts {
+        0
+    }
+
+    fn label(&self) -> &'static str {
+        "Sync"
+    }
+
+    fn shutdown(&self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primo_common::config::LoggingScheme;
+
+    #[test]
+    fn sync_commit_charges_flush_on_critical_path() {
+        let gc = SyncCommit::new(
+            1,
+            WalConfig {
+                scheme: LoggingScheme::SyncPerTxn,
+                interval_ms: 10,
+                persist_delay_us: 400,
+                force_update: false,
+            },
+        );
+        let ticket = gc.begin_txn(PartitionId(0), TxnId::new(PartitionId(0), 1));
+        let start = std::time::Instant::now();
+        let waiter = gc.txn_committed(&ticket, 1, 1);
+        assert!(start.elapsed().as_micros() >= 380);
+        assert_eq!(gc.wait_durable(&waiter), CommitOutcome::Committed);
+        assert_eq!(gc.num_partitions(), 1);
+    }
+}

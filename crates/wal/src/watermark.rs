@@ -1,0 +1,552 @@
+//! Primo's watermark-based asynchronous distributed group commit (§5).
+//!
+//! Each partition leader runs a lightweight agent that
+//!
+//! 1. every `t_m` generates a partition watermark `Wp` — the minimum logical
+//!    timestamp (or lower bound `lts`) of the transactions still active on
+//!    that partition (rule R1);
+//! 2. publishes `Wp` only after the simulated log-persist/replication delay,
+//!    so `Wp` never claims durability it does not have;
+//! 3. receives other partitions' watermarks over the (delayed, asynchronous)
+//!    control bus, maintains the global watermark `Wg = min(all Wp)` and wakes
+//!    transactions waiting for their result to become returnable.
+//!
+//! Rule R2 (new transactions must exceed the freshly generated `Wp`) is
+//! exposed through [`GroupCommit::ts_floor`]; Primo's coordinator adds the
+//! floor as a timestamp constraint and participants raise the floor of the
+//! records they serve (`Record::raise_watermark_floor`).
+//!
+//! The force-update mechanism (§5.1) keeps a lagging partition's watermark
+//! close to the cluster average so that it does not detain `Wg` (Fig 13b).
+
+use crate::group_commit::{CommitOutcome, CommitWaiter, GroupCommit, TxnTicket};
+use parking_lot::{Condvar, Mutex};
+use primo_common::config::WalConfig;
+use primo_common::sim_time::now_us;
+use primo_common::{PartitionId, Ts, TxnId};
+use primo_net::{BusMessage, DelayedBus};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often each agent drains the bus and re-evaluates `Wg`, independent of
+/// the (much larger) watermark generation interval `t_m`.
+const AGENT_TICK_US: u64 = 500;
+
+#[derive(Debug, Default)]
+struct WgState {
+    /// This partition's view of the global watermark.
+    wg: Ts,
+    /// Rollback thresholds of past recoveries: pending transactions with
+    /// `ts >= threshold` at recovery time were crash-aborted.
+    rollbacks: Vec<Ts>,
+}
+
+#[derive(Debug)]
+struct PartitionWm {
+    id: PartitionId,
+    /// Active transactions on this partition -> current ts (or lts); 0 means
+    /// "not known yet", which pins the watermark.
+    active: Mutex<HashMap<TxnId, Ts>>,
+    /// Latest *generated* watermark (rule R2 floor).
+    wp_generated: AtomicU64,
+    /// Latest *published* (durable + broadcast) watermark.
+    wp_published: AtomicU64,
+    /// Additional floor pushed by the force-update mechanism.
+    force_floor: AtomicU64,
+    /// Generated watermarks waiting for the persist delay before publication.
+    pending_publish: Mutex<VecDeque<(u64, Ts)>>,
+    /// Highest logical timestamp this partition has seen being committed —
+    /// lets an idle partition's watermark jump straight past everything it
+    /// has already processed instead of creeping one tick at a time.
+    max_seen_ts: AtomicU64,
+    /// Latest watermark received from every partition (including self).
+    table: Mutex<Vec<Ts>>,
+    /// Global-watermark view and crash-rollback bookkeeping.
+    wg: Mutex<WgState>,
+    wg_cond: Condvar,
+    /// Time of the last watermark generation.
+    last_generate_us: AtomicU64,
+}
+
+impl PartitionWm {
+    fn new(id: PartitionId, n: usize) -> Self {
+        PartitionWm {
+            id,
+            active: Mutex::new(HashMap::new()),
+            wp_generated: AtomicU64::new(0),
+            wp_published: AtomicU64::new(0),
+            force_floor: AtomicU64::new(0),
+            max_seen_ts: AtomicU64::new(0),
+            pending_publish: Mutex::new(VecDeque::new()),
+            table: Mutex::new(vec![0; n]),
+            wg: Mutex::new(WgState::default()),
+            wg_cond: Condvar::new(),
+            last_generate_us: AtomicU64::new(0),
+        }
+    }
+
+    fn floor(&self) -> Ts {
+        // New transactions must exceed (a) the latest generated watermark
+        // (rule R2), (b) the force-update floor for lagging partitions and
+        // (c) the highest timestamp this partition has already processed —
+        // (c) keeps the logical-timestamp domain and the watermark domain
+        // aligned so the watermark can track committed work closely.
+        self.wp_generated
+            .load(Ordering::Acquire)
+            .max(self.force_floor.load(Ordering::Acquire))
+            .max(self.max_seen_ts.load(Ordering::Acquire))
+    }
+}
+
+/// Watermark-based group commit (the paper's WM scheme).
+pub struct WatermarkCommit {
+    cfg: WalConfig,
+    num_partitions: usize,
+    bus: Arc<DelayedBus>,
+    parts: Vec<Arc<PartitionWm>>,
+    /// Sequence source for protocols that do not maintain logical timestamps
+    /// themselves (2PL / Silo under WM in Fig 11).
+    seq_ts: AtomicU64,
+    stop: Arc<AtomicBool>,
+    agents: Mutex<Vec<JoinHandle<()>>>,
+    /// Counts crash recoveries (used by waiters to detect rollbacks that
+    /// happened after they registered).
+    crash_seq: AtomicU64,
+}
+
+impl std::fmt::Debug for WatermarkCommit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WatermarkCommit")
+            .field("num_partitions", &self.num_partitions)
+            .finish()
+    }
+}
+
+impl WatermarkCommit {
+    pub fn new(num_partitions: usize, cfg: WalConfig, bus: Arc<DelayedBus>) -> Self {
+        let parts: Vec<_> = (0..num_partitions)
+            .map(|p| Arc::new(PartitionWm::new(PartitionId(p as u32), num_partitions)))
+            .collect();
+        let wm = WatermarkCommit {
+            cfg,
+            num_partitions,
+            bus,
+            parts,
+            seq_ts: AtomicU64::new(1),
+            stop: Arc::new(AtomicBool::new(false)),
+            agents: Mutex::new(Vec::new()),
+            crash_seq: AtomicU64::new(0),
+        };
+        wm.start_agents();
+        wm
+    }
+
+    fn start_agents(&self) {
+        let mut agents = self.agents.lock();
+        for p in 0..self.num_partitions {
+            let part = Arc::clone(&self.parts[p]);
+            let bus = Arc::clone(&self.bus);
+            let stop = Arc::clone(&self.stop);
+            let cfg = self.cfg;
+            let all: Vec<Arc<PartitionWm>> = self.parts.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("wm-agent-{p}"))
+                .spawn(move || agent_loop(part, all, bus, cfg, stop))
+                .expect("spawn watermark agent");
+            agents.push(handle);
+        }
+    }
+
+    /// Assign a commit sequence timestamp for protocols without logical
+    /// timestamps, respecting the watermark floor of the coordinator.
+    pub fn assign_seq_ts(&self, coord: PartitionId) -> Ts {
+        let floor = self.parts[coord.idx()].floor();
+        let v = self.seq_ts.fetch_add(1, Ordering::Relaxed);
+        v.max(floor + 1)
+    }
+
+    /// Current partition watermark (published) — exposed for tests/benches.
+    pub fn partition_watermark(&self, p: PartitionId) -> Ts {
+        self.parts[p.idx()].wp_published.load(Ordering::Acquire)
+    }
+
+    /// Current global watermark as seen by a partition.
+    pub fn global_watermark(&self, p: PartitionId) -> Ts {
+        self.parts[p.idx()].wg.lock().wg
+    }
+}
+
+fn agent_loop(
+    me: Arc<PartitionWm>,
+    all: Vec<Arc<PartitionWm>>,
+    bus: Arc<DelayedBus>,
+    cfg: WalConfig,
+    stop: Arc<AtomicBool>,
+) {
+    let interval_us = cfg.interval_ms * 1000;
+    while !stop.load(Ordering::Relaxed) {
+        let now = now_us();
+
+        // 1. Drain control messages and update the watermark table.
+        let msgs = bus.drain(me.id);
+        if !msgs.is_empty() {
+            let mut table = me.table.lock();
+            for m in msgs {
+                if let BusMessage::PartitionWatermark { from, wp } = m {
+                    let slot = &mut table[from.idx()];
+                    if *slot < wp {
+                        *slot = wp;
+                    }
+                }
+            }
+        }
+
+        // 2. Recompute this partition's view of the global watermark.
+        {
+            let table = me.table.lock();
+            let min = table.iter().copied().min().unwrap_or(0);
+            drop(table);
+            let mut wg = me.wg.lock();
+            if min > wg.wg {
+                wg.wg = min;
+                me.wg_cond.notify_all();
+            }
+        }
+
+        // 3. Generate a new partition watermark every t_m.
+        if now.saturating_sub(me.last_generate_us.load(Ordering::Relaxed)) >= interval_us {
+            me.last_generate_us.store(now, Ordering::Relaxed);
+            let prev = me.wp_generated.load(Ordering::Acquire);
+            let candidate = {
+                // The watermark chases the highest timestamp this partition
+                // has processed: everything at or below it is either already
+                // durable by publication time or — for transactions that
+                // commit after this candidate is generated — forced above it
+                // by the ts-floor constraint (rule R2). In-flight *remote*
+                // transactions registered by `add_participant` cap the
+                // candidate (rule R1), because their timestamps are decided
+                // by another coordinator's floor.
+                let target = (prev + 1).max(me.max_seen_ts.load(Ordering::Acquire));
+                let active = me.active.lock();
+                match active.values().copied().min() {
+                    Some(min_active) => prev.max(target.min(min_active)),
+                    None => target,
+                }
+            };
+            // Force-update: if we lag behind the average of the other
+            // partitions, push the floor so future transactions (and hence
+            // the next watermark) catch up (§5.1, Fig 13b).
+            let mut candidate = candidate;
+            if cfg.force_update && all.len() > 1 {
+                let table = me.table.lock();
+                let others: Vec<Ts> = (0..all.len())
+                    .filter(|i| *i != me.id.idx())
+                    .map(|i| table[i])
+                    .collect();
+                drop(table);
+                let avg = others.iter().sum::<Ts>() / others.len().max(1) as Ts;
+                if candidate < avg {
+                    let delta = avg - candidate;
+                    let active_empty = me.active.lock().is_empty();
+                    if active_empty {
+                        candidate += delta;
+                    } else {
+                        me.force_floor
+                            .fetch_max(candidate + delta, Ordering::AcqRel);
+                    }
+                }
+            }
+            if candidate > prev {
+                me.wp_generated.store(candidate, Ordering::Release);
+            }
+            // The watermark becomes publishable only after the log persist /
+            // replication delay (it is itself a log record, §5.1).
+            me.pending_publish
+                .lock()
+                .push_back((now + cfg.persist_delay_us, candidate));
+        }
+
+        // 4. Publish watermarks whose persist delay has elapsed.
+        {
+            let mut pending = me.pending_publish.lock();
+            while let Some((ready_at, wp)) = pending.front().copied() {
+                if ready_at > now {
+                    break;
+                }
+                pending.pop_front();
+                if wp > me.wp_published.load(Ordering::Acquire) {
+                    me.wp_published.store(wp, Ordering::Release);
+                    me.table.lock()[me.id.idx()] = wp;
+                    bus.broadcast(me.id, BusMessage::PartitionWatermark { from: me.id, wp });
+                }
+            }
+        }
+
+        std::thread::sleep(Duration::from_micros(AGENT_TICK_US));
+    }
+}
+
+impl GroupCommit for WatermarkCommit {
+    fn begin_txn(&self, coord: PartitionId, txn: TxnId) -> Arc<TxnTicket> {
+        // Coordinator-side transactions need no registration in the active
+        // table: rule R2 already forces their final timestamp above whatever
+        // watermark the coordinator generates later (the `ts_floor`
+        // constraint), so they can never fall below a published `Wp`. Only
+        // *participants* must pin the watermark (see `add_participant`),
+        // because their remote transaction's timestamp is chosen by a
+        // different partition's floor.
+        TxnTicket::new(txn, coord, 0)
+    }
+
+    fn update_ts(&self, ticket: &TxnTicket, ts: Ts) {
+        {
+            let mut st = ticket.state.lock();
+            st.ts = st.ts.max(ts);
+        }
+        let ts = ticket.current_ts();
+        // Propagate to every partition where the transaction is registered.
+        let mut involved = ticket.participants();
+        involved.push(ticket.coordinator);
+        for p in involved {
+            let part = &self.parts[p.idx()];
+            part.max_seen_ts.fetch_max(ts, Ordering::AcqRel);
+            if let Some(slot) = part.active.lock().get_mut(&ticket.txn) {
+                if *slot < ts {
+                    *slot = ts;
+                }
+            }
+        }
+    }
+
+    fn add_participant(&self, ticket: &TxnTicket, p: PartitionId, lts: Ts) {
+        {
+            let mut st = ticket.state.lock();
+            if !st.participants.contains(&p) {
+                st.participants.push(p);
+            }
+        }
+        let known = ticket.current_ts().max(lts);
+        self.parts[p.idx()]
+            .active
+            .lock()
+            .insert(ticket.txn, known);
+    }
+
+    fn txn_aborted(&self, ticket: &TxnTicket) {
+        for p in ticket.involved() {
+            self.parts[p.idx()].active.lock().remove(&ticket.txn);
+        }
+    }
+
+    fn txn_committed(&self, ticket: &TxnTicket, ts: Ts, ops: usize) -> CommitWaiter {
+        let _ = ops;
+        let final_ts = if ts > 0 {
+            ts
+        } else if ticket.current_ts() > 0 {
+            ticket.current_ts()
+        } else {
+            self.assign_seq_ts(ticket.coordinator)
+        };
+        let crash_idx = self.parts[ticket.coordinator.idx()].wg.lock().rollbacks.len();
+        for p in ticket.involved() {
+            let part = &self.parts[p.idx()];
+            part.max_seen_ts.fetch_max(final_ts, Ordering::AcqRel);
+            part.active.lock().remove(&ticket.txn);
+        }
+        CommitWaiter {
+            txn: ticket.txn,
+            coordinator: ticket.coordinator,
+            ts: final_ts,
+            epoch: crash_idx as u64,
+            ready_at_us: None,
+        }
+    }
+
+    fn try_outcome(&self, waiter: &CommitWaiter) -> Option<CommitOutcome> {
+        let part = &self.parts[waiter.coordinator.idx()];
+        let wg = part.wg.lock();
+        if wg.rollbacks[waiter.epoch as usize..]
+            .iter()
+            .any(|thr| waiter.ts >= *thr)
+        {
+            return Some(CommitOutcome::CrashAborted);
+        }
+        if wg.wg > waiter.ts {
+            return Some(CommitOutcome::Committed);
+        }
+        None
+    }
+
+    fn wait_durable(&self, waiter: &CommitWaiter) -> CommitOutcome {
+        let part = &self.parts[waiter.coordinator.idx()];
+        let mut wg = part.wg.lock();
+        loop {
+            // Crash rollbacks that happened after this transaction committed.
+            if wg.rollbacks[waiter.epoch as usize..]
+                .iter()
+                .any(|thr| waiter.ts >= *thr)
+            {
+                return CommitOutcome::CrashAborted;
+            }
+            if wg.wg > waiter.ts {
+                return CommitOutcome::Committed;
+            }
+            part.wg_cond
+                .wait_for(&mut wg, Duration::from_millis(5));
+        }
+    }
+
+    fn ts_floor(&self, partition: PartitionId) -> Ts {
+        self.parts[partition.idx()].floor()
+    }
+
+    fn on_partition_crash(&self, p: PartitionId) -> Ts {
+        self.crash_seq.fetch_add(1, Ordering::SeqCst);
+        // Agreement (§5.2): every leader publishes its current view of the
+        // global watermark; the maximum of those views is adopted. It is
+        // >= every view ever used to report results (safe for clients) and
+        // <= every partition's durable watermark (safe for durability).
+        let agreed = self
+            .parts
+            .iter()
+            .map(|part| part.wg.lock().wg)
+            .max()
+            .unwrap_or(0);
+        for part in &self.parts {
+            let mut wg = part.wg.lock();
+            wg.rollbacks.push(agreed);
+            // The crashed partition recovers from its durable log; the whole
+            // cluster resumes from the agreed watermark.
+            if wg.wg < agreed {
+                wg.wg = agreed;
+            }
+            part.wg_cond.notify_all();
+            {
+                let mut table = part.table.lock();
+                if table[p.idx()] < agreed {
+                    table[p.idx()] = agreed;
+                }
+            }
+            part.wp_generated.fetch_max(agreed, Ordering::AcqRel);
+            part.force_floor.fetch_max(agreed, Ordering::AcqRel);
+        }
+        // Abort every transaction still active on the crashed partition.
+        self.parts[p.idx()].active.lock().clear();
+        agreed
+    }
+
+    fn label(&self) -> &'static str {
+        "Watermark"
+    }
+
+    fn shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let mut agents = self.agents.lock();
+        for h in agents.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WatermarkCommit {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make(n: usize, interval_ms: u64) -> (WatermarkCommit, Arc<DelayedBus>) {
+        let bus = DelayedBus::new(n, 100);
+        let cfg = WalConfig {
+            scheme: primo_common::config::LoggingScheme::Watermark,
+            interval_ms,
+            persist_delay_us: 100,
+            force_update: true,
+        };
+        (WatermarkCommit::new(n, cfg, Arc::clone(&bus)), bus)
+    }
+
+    fn tid(seq: u64) -> TxnId {
+        TxnId::new(PartitionId(0), seq)
+    }
+
+    #[test]
+    fn idle_cluster_watermark_advances() {
+        let (wm, _bus) = make(2, 1);
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(wm.partition_watermark(PartitionId(0)) > 0);
+        assert!(wm.global_watermark(PartitionId(0)) > 0);
+        wm.shutdown();
+    }
+
+    #[test]
+    fn committed_txn_becomes_durable() {
+        let (wm, _bus) = make(2, 1);
+        let ticket = wm.begin_txn(PartitionId(0), tid(1));
+        wm.update_ts(&ticket, 5);
+        let waiter = wm.txn_committed(&ticket, 5, 4);
+        let outcome = wm.wait_durable(&waiter);
+        assert_eq!(outcome, CommitOutcome::Committed);
+        wm.shutdown();
+    }
+
+    #[test]
+    fn in_flight_remote_txn_pins_participant_watermark() {
+        let (wm, _bus) = make(2, 1);
+        // A transaction coordinated by P0 remote-reads on P1 with a lower
+        // bound of 3: P1's watermark must not overtake it while it is active.
+        let ticket = wm.begin_txn(PartitionId(0), tid(1));
+        wm.add_participant(&ticket, PartitionId(1), 3);
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(wm.partition_watermark(PartitionId(1)) <= 3);
+        // Finishing the transaction unpins it.
+        let waiter = wm.txn_committed(&ticket, 3, 1);
+        assert_eq!(wm.wait_durable(&waiter), CommitOutcome::Committed);
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(wm.partition_watermark(PartitionId(1)) > 3);
+        wm.shutdown();
+    }
+
+    #[test]
+    fn ts_floor_grows_over_time() {
+        let (wm, _bus) = make(2, 1);
+        std::thread::sleep(Duration::from_millis(30));
+        let f1 = wm.ts_floor(PartitionId(0));
+        std::thread::sleep(Duration::from_millis(30));
+        let f2 = wm.ts_floor(PartitionId(0));
+        assert!(f2 >= f1);
+        assert!(f2 > 0);
+        wm.shutdown();
+    }
+
+    #[test]
+    fn crash_aborts_pending_transaction() {
+        let (wm, _bus) = make(2, 200); // long interval: Wg will not advance
+        let ticket = wm.begin_txn(PartitionId(0), tid(7));
+        wm.update_ts(&ticket, 1_000_000);
+        let waiter = wm.txn_committed(&ticket, 1_000_000, 2);
+        // Crash partition 1 before the watermark can cover ts=1_000_000.
+        let agreed = wm.on_partition_crash(PartitionId(1));
+        assert!(agreed < 1_000_000);
+        assert_eq!(wm.wait_durable(&waiter), CommitOutcome::CrashAborted);
+        wm.shutdown();
+    }
+
+    #[test]
+    fn seq_ts_is_monotonic_and_above_floor() {
+        let (wm, _bus) = make(2, 1);
+        std::thread::sleep(Duration::from_millis(20));
+        let a = wm.assign_seq_ts(PartitionId(0));
+        let b = wm.assign_seq_ts(PartitionId(0));
+        assert!(b > 0);
+        assert!(a > wm.partition_watermark(PartitionId(0)).saturating_sub(1));
+        // Not necessarily a < b when the floor jumps, but both exceed 0.
+        wm.shutdown();
+    }
+}

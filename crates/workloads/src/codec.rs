@@ -1,0 +1,81 @@
+//! A tiny row codec: rows are fixed sequences of `u64` fields plus optional
+//! filler bytes. Enough structure for TPC-C's numeric columns while keeping
+//! the storage engine completely schema-agnostic.
+
+use primo_common::Value;
+
+/// Encode a row of `u64` fields, padding with `filler` extra bytes.
+pub fn encode_fields(fields: &[u64], filler: usize) -> Value {
+    let mut bytes = Vec::with_capacity(fields.len() * 8 + filler);
+    for f in fields {
+        bytes.extend_from_slice(&f.to_le_bytes());
+    }
+    bytes.resize(fields.len() * 8 + filler, 0xAB);
+    Value::new(bytes)
+}
+
+/// Decode the `u64` fields of a row encoded with [`encode_fields`].
+pub fn decode_fields(value: &Value, n: usize) -> Vec<u64> {
+    let bytes = value.as_bytes();
+    (0..n)
+        .map(|i| {
+            let start = i * 8;
+            if bytes.len() >= start + 8 {
+                u64::from_le_bytes(bytes[start..start + 8].try_into().unwrap())
+            } else {
+                0
+            }
+        })
+        .collect()
+}
+
+/// Read one field without decoding the whole row.
+pub fn field(value: &Value, idx: usize) -> u64 {
+    decode_fields(value, idx + 1)[idx]
+}
+
+/// Return a copy of the row with one field replaced.
+pub fn with_field(value: &Value, idx: usize, new: u64) -> Value {
+    let mut bytes = value.as_bytes().to_vec();
+    let start = idx * 8;
+    if bytes.len() < start + 8 {
+        bytes.resize(start + 8, 0);
+    }
+    bytes[start..start + 8].copy_from_slice(&new.to_le_bytes());
+    Value::new(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_fields() {
+        let v = encode_fields(&[1, 2, 3, u64::MAX], 20);
+        assert_eq!(decode_fields(&v, 4), vec![1, 2, 3, u64::MAX]);
+        assert_eq!(v.len(), 4 * 8 + 20);
+    }
+
+    #[test]
+    fn field_access_and_update() {
+        let v = encode_fields(&[10, 20, 30], 0);
+        assert_eq!(field(&v, 1), 20);
+        let v2 = with_field(&v, 1, 99);
+        assert_eq!(field(&v2, 1), 99);
+        assert_eq!(field(&v2, 0), 10);
+        assert_eq!(field(&v2, 2), 30);
+    }
+
+    #[test]
+    fn decode_short_row_yields_zeroes() {
+        let v = encode_fields(&[7], 0);
+        assert_eq!(decode_fields(&v, 3), vec![7, 0, 0]);
+    }
+
+    #[test]
+    fn with_field_extends_short_rows() {
+        let v = Value::new(vec![]);
+        let v2 = with_field(&v, 2, 5);
+        assert_eq!(field(&v2, 2), 5);
+    }
+}

@@ -1,0 +1,15 @@
+//! OLTP workloads used in the paper's evaluation (§6.1.2): YCSB and TPC-C,
+//! plus Smallbank as an additional example workload.
+//!
+//! Workloads produce [`primo_runtime::txn::TxnProgram`]s — programs that
+//! branch on what they read — so nothing in the engine ever sees a read/write
+//! set in advance.
+
+pub mod codec;
+pub mod smallbank;
+pub mod tpcc;
+pub mod ycsb;
+
+pub use smallbank::{SmallbankConfig, SmallbankWorkload};
+pub use tpcc::{TpccConfig, TpccWorkload};
+pub use ycsb::{YcsbConfig, YcsbWorkload};

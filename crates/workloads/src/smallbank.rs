@@ -1,0 +1,340 @@
+//! Smallbank (Alomari et al., ICDE '08) — a small banking workload the paper
+//! cites as another example where read-sets cover write-sets. Used by the
+//! examples and as an extra workload for integration tests; it also provides
+//! an easy-to-check invariant (money conservation across accounts).
+
+use crate::codec::{encode_fields, field, with_field};
+use primo_common::{FastRng, PartitionId, TableId, TxnResult};
+use primo_runtime::txn::{TxnContext, TxnProgram, Workload};
+use primo_storage::PartitionStore;
+
+/// Checking-account table.
+pub const CHECKING: TableId = TableId(0);
+/// Savings-account table.
+pub const SAVINGS: TableId = TableId(1);
+
+/// Smallbank parameters.
+#[derive(Debug, Clone)]
+pub struct SmallbankConfig {
+    pub num_partitions: usize,
+    pub accounts_per_partition: u64,
+    /// Initial balance per account (checking and savings each).
+    pub initial_balance: u64,
+    /// Fraction of transactions that touch an account on another partition.
+    pub distributed_ratio: f64,
+    /// Zipf-ish hotspot: fraction of accesses that go to the first
+    /// `hot_accounts` accounts.
+    pub hotspot_fraction: f64,
+    pub hot_accounts: u64,
+}
+
+impl Default for SmallbankConfig {
+    fn default() -> Self {
+        SmallbankConfig {
+            num_partitions: 2,
+            accounts_per_partition: 10_000,
+            initial_balance: 10_000,
+            distributed_ratio: 0.2,
+            hotspot_fraction: 0.25,
+            hot_accounts: 100,
+        }
+    }
+}
+
+/// The six Smallbank transaction types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmallbankKind {
+    Balance,
+    DepositChecking,
+    TransactSavings,
+    Amalgamate,
+    WriteCheck,
+    SendPayment,
+}
+
+/// One Smallbank transaction.
+#[derive(Debug, Clone)]
+pub struct SmallbankTxn {
+    pub kind: SmallbankKind,
+    pub home: PartitionId,
+    pub account_a: (PartitionId, u64),
+    pub account_b: (PartitionId, u64),
+    pub amount: u64,
+}
+
+impl TxnProgram for SmallbankTxn {
+    fn execute(&self, ctx: &mut dyn TxnContext) -> TxnResult<()> {
+        let (pa, a) = self.account_a;
+        let (pb, b) = self.account_b;
+        match self.kind {
+            SmallbankKind::Balance => {
+                let _ = ctx.read(pa, CHECKING, a)?;
+                let _ = ctx.read(pa, SAVINGS, a)?;
+            }
+            SmallbankKind::DepositChecking => {
+                let c = ctx.read(pa, CHECKING, a)?;
+                ctx.write(pa, CHECKING, a, with_field(&c, 0, field(&c, 0) + self.amount))?;
+            }
+            SmallbankKind::TransactSavings => {
+                let s = ctx.read(pa, SAVINGS, a)?;
+                ctx.write(pa, SAVINGS, a, with_field(&s, 0, field(&s, 0) + self.amount))?;
+            }
+            SmallbankKind::Amalgamate => {
+                // Move everything from A's savings+checking into B's checking.
+                let s = ctx.read(pa, SAVINGS, a)?;
+                let c = ctx.read(pa, CHECKING, a)?;
+                let total = field(&s, 0) + field(&c, 0);
+                let bc = ctx.read(pb, CHECKING, b)?;
+                ctx.write(pa, SAVINGS, a, with_field(&s, 0, 0))?;
+                ctx.write(pa, CHECKING, a, with_field(&c, 0, 0))?;
+                ctx.write(pb, CHECKING, b, with_field(&bc, 0, field(&bc, 0) + total))?;
+            }
+            SmallbankKind::WriteCheck => {
+                let s = ctx.read(pa, SAVINGS, a)?;
+                let c = ctx.read(pa, CHECKING, a)?;
+                let available = field(&s, 0) + field(&c, 0);
+                let deduction = if available < self.amount {
+                    self.amount + 1 // overdraft penalty
+                } else {
+                    self.amount
+                };
+                ctx.write(
+                    pa,
+                    CHECKING,
+                    a,
+                    with_field(&c, 0, field(&c, 0).saturating_sub(deduction)),
+                )?;
+            }
+            SmallbankKind::SendPayment => {
+                let ca = ctx.read(pa, CHECKING, a)?;
+                let cb = ctx.read(pb, CHECKING, b)?;
+                let avail = field(&ca, 0);
+                // Branch on the read result: only transfer what is available.
+                let amount = self.amount.min(avail);
+                ctx.write(pa, CHECKING, a, with_field(&ca, 0, avail - amount))?;
+                ctx.write(pb, CHECKING, b, with_field(&cb, 0, field(&cb, 0) + amount))?;
+            }
+        }
+        Ok(())
+    }
+
+    fn home_partition(&self) -> PartitionId {
+        self.home
+    }
+
+    fn is_read_only(&self) -> bool {
+        self.kind == SmallbankKind::Balance
+    }
+
+    fn read_fraction_hint(&self) -> f64 {
+        match self.kind {
+            SmallbankKind::Balance => 1.0,
+            _ => 0.5,
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self.kind {
+            SmallbankKind::Balance => "balance",
+            SmallbankKind::DepositChecking => "deposit_checking",
+            SmallbankKind::TransactSavings => "transact_savings",
+            SmallbankKind::Amalgamate => "amalgamate",
+            SmallbankKind::WriteCheck => "write_check",
+            SmallbankKind::SendPayment => "send_payment",
+        }
+    }
+}
+
+/// The Smallbank workload.
+#[derive(Debug)]
+pub struct SmallbankWorkload {
+    cfg: SmallbankConfig,
+}
+
+impl SmallbankWorkload {
+    pub fn new(cfg: SmallbankConfig) -> Self {
+        SmallbankWorkload { cfg }
+    }
+
+    pub fn config(&self) -> &SmallbankConfig {
+        &self.cfg
+    }
+
+    fn pick_account(&self, rng: &mut FastRng, partition: PartitionId) -> (PartitionId, u64) {
+        let acct = if rng.flip(self.cfg.hotspot_fraction) {
+            rng.next_below(self.cfg.hot_accounts.min(self.cfg.accounts_per_partition))
+        } else {
+            rng.next_below(self.cfg.accounts_per_partition)
+        };
+        (partition, acct)
+    }
+
+    /// Total money across all partitions (checking + savings) — the invariant
+    /// integration tests check.
+    pub fn total_money(&self, partitions: &[&PartitionStore]) -> u64 {
+        let mut total = 0u64;
+        for store in partitions {
+            for table in [CHECKING, SAVINGS] {
+                let t = store.table(table);
+                for k in 0..self.cfg.accounts_per_partition {
+                    if let Some(r) = t.get(k) {
+                        total += field(&r.read().value, 0);
+                    }
+                }
+            }
+        }
+        total
+    }
+}
+
+impl Workload for SmallbankWorkload {
+    fn name(&self) -> &'static str {
+        "Smallbank"
+    }
+
+    fn load_partition(&self, store: &PartitionStore, _partition: PartitionId) {
+        for table in [CHECKING, SAVINGS] {
+            let t = store.table(table);
+            for k in 0..self.cfg.accounts_per_partition {
+                t.insert(k, encode_fields(&[self.cfg.initial_balance], 8));
+            }
+        }
+    }
+
+    fn generate(&self, rng: &mut FastRng, home: PartitionId) -> Box<dyn TxnProgram> {
+        let kind = match rng.next_below(6) {
+            0 => SmallbankKind::Balance,
+            1 => SmallbankKind::DepositChecking,
+            2 => SmallbankKind::TransactSavings,
+            3 => SmallbankKind::Amalgamate,
+            4 => SmallbankKind::WriteCheck,
+            _ => SmallbankKind::SendPayment,
+        };
+        let account_a = self.pick_account(rng, home);
+        let remote = self.cfg.num_partitions > 1 && rng.flip(self.cfg.distributed_ratio);
+        let b_partition = if remote {
+            let mut p = rng.next_below(self.cfg.num_partitions as u64) as u32;
+            while p == home.0 {
+                p = rng.next_below(self.cfg.num_partitions as u64) as u32;
+            }
+            PartitionId(p)
+        } else {
+            home
+        };
+        let account_b = self.pick_account(rng, b_partition);
+        Box::new(SmallbankTxn {
+            kind,
+            home,
+            account_a,
+            account_b,
+            amount: rng.next_range(1, 100),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loader_creates_both_tables() {
+        let cfg = SmallbankConfig {
+            accounts_per_partition: 50,
+            ..Default::default()
+        };
+        let w = SmallbankWorkload::new(cfg);
+        let store = PartitionStore::new(PartitionId(0));
+        w.load_partition(&store, PartitionId(0));
+        assert_eq!(store.table(CHECKING).len(), 50);
+        assert_eq!(store.table(SAVINGS).len(), 50);
+        assert_eq!(w.total_money(&[&store]), 50 * 2 * 10_000);
+    }
+
+    #[test]
+    fn send_payment_conserves_money_in_a_map() {
+        use primo_common::{Key, Value};
+        use std::collections::HashMap;
+        struct MapCtx(HashMap<(u32, u32, Key), Value>);
+        impl TxnContext for MapCtx {
+            fn read(
+                &mut self,
+                p: PartitionId,
+                t: TableId,
+                k: Key,
+            ) -> TxnResult<Value> {
+                Ok(self
+                    .0
+                    .get(&(p.0, t.0, k))
+                    .cloned()
+                    .unwrap_or_else(|| encode_fields(&[100], 0)))
+            }
+            fn write(&mut self, p: PartitionId, t: TableId, k: Key, v: Value) -> TxnResult<()> {
+                self.0.insert((p.0, t.0, k), v);
+                Ok(())
+            }
+        }
+        let txn = SmallbankTxn {
+            kind: SmallbankKind::SendPayment,
+            home: PartitionId(0),
+            account_a: (PartitionId(0), 1),
+            account_b: (PartitionId(1), 2),
+            amount: 30,
+        };
+        let mut ctx = MapCtx(HashMap::new());
+        txn.execute(&mut ctx).unwrap();
+        let a = field(&ctx.0[&(0, CHECKING.0, 1)], 0);
+        let b = field(&ctx.0[&(1, CHECKING.0, 2)], 0);
+        assert_eq!(a + b, 200, "money conserved");
+        assert_eq!(a, 70);
+    }
+
+    #[test]
+    fn write_check_never_underflows() {
+        use primo_common::{Key, Value};
+        use std::collections::HashMap;
+        struct MapCtx(HashMap<(u32, u32, Key), Value>);
+        impl TxnContext for MapCtx {
+            fn read(&mut self, p: PartitionId, t: TableId, k: Key) -> TxnResult<Value> {
+                Ok(self
+                    .0
+                    .get(&(p.0, t.0, k))
+                    .cloned()
+                    .unwrap_or_else(|| encode_fields(&[10], 0)))
+            }
+            fn write(&mut self, p: PartitionId, t: TableId, k: Key, v: Value) -> TxnResult<()> {
+                self.0.insert((p.0, t.0, k), v);
+                Ok(())
+            }
+        }
+        let txn = SmallbankTxn {
+            kind: SmallbankKind::WriteCheck,
+            home: PartitionId(0),
+            account_a: (PartitionId(0), 1),
+            account_b: (PartitionId(0), 1),
+            amount: 500,
+        };
+        let mut ctx = MapCtx(HashMap::new());
+        txn.execute(&mut ctx).unwrap();
+        // Saturating subtraction: balance clamps at 0 rather than wrapping.
+        assert_eq!(field(&ctx.0[&(0, CHECKING.0, 1)], 0), 0);
+    }
+
+    #[test]
+    fn generator_produces_all_kinds_and_valid_accounts() {
+        let cfg = SmallbankConfig {
+            num_partitions: 3,
+            accounts_per_partition: 100,
+            distributed_ratio: 0.5,
+            ..Default::default()
+        };
+        let w = SmallbankWorkload::new(cfg);
+        let mut rng = FastRng::new(9);
+        let mut labels = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let t = w.generate(&mut rng, PartitionId(1));
+            labels.insert(t.label());
+            assert_eq!(t.home_partition(), PartitionId(1));
+        }
+        assert!(labels.len() >= 5, "should see most transaction kinds");
+    }
+}

@@ -1,0 +1,56 @@
+//! TPC-C on a simulated shared-nothing cluster: the wholesale-business
+//! workload the paper's introduction motivates (NewOrder chooses how much
+//! stock to deduct based on what it reads; 10 % of order lines are supplied
+//! by a remote warehouse; 15 % of payments cross warehouses).
+//!
+//! Runs Primo on a 4-partition cluster (16 warehouses per partition) and
+//! prints throughput plus the per-phase latency breakdown.
+//!
+//! Run with: `cargo run --release --example tpcc_cluster`
+
+use primo_repro::common::config::ClusterConfig;
+use primo_repro::common::Phase;
+use primo_repro::core::PrimoProtocol;
+use primo_repro::runtime::experiment::{run_experiment, ExperimentOptions};
+use primo_repro::workloads::{TpccConfig, TpccWorkload};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let partitions = 4;
+    let tpcc = TpccConfig::paper_default(partitions);
+    let cfg = ClusterConfig {
+        num_partitions: partitions,
+        workers_per_partition: 4,
+        ..Default::default()
+    };
+    let options = ExperimentOptions {
+        warmup: Duration::from_millis(100),
+        duration: Duration::from_millis(600),
+        ..Default::default()
+    };
+
+    println!(
+        "TPC-C: {} partitions x {} warehouses, NewOrder/Payment mix",
+        partitions, tpcc.warehouses_per_partition
+    );
+    let snap = run_experiment(
+        cfg,
+        Arc::new(PrimoProtocol::full()),
+        Arc::new(TpccWorkload::new(tpcc)),
+        &options,
+    );
+
+    println!("committed:     {}", snap.committed);
+    println!("throughput:    {:.1} ktps", snap.ktps());
+    println!("abort rate:    {:.3}", snap.abort_rate);
+    println!("avg latency:   {:.2} ms", snap.mean_latency_ms);
+    println!("p99 latency:   {:.2} ms", snap.p99_latency_ms);
+    println!("latency breakdown per committed transaction:");
+    for phase in Phase::ALL {
+        let ms = snap.phase(phase);
+        if ms > 0.0005 {
+            println!("  {:<12} {:.3} ms", phase.label(), ms);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! YCSB shoot-out: Primo vs Sundial vs 2PL(NO_WAIT) on the paper's default
+//! YCSB setting (10 ops/txn, 50 % writes, Zipf 0.6, 20 % distributed), on a
+//! small simulated 4-partition cluster.
+//!
+//! This is a miniature of Fig 4a; the full sweep lives in the bench crate
+//! (`cargo run -p primo-bench --release --bin figures -- fig4`).
+//!
+//! Run with: `cargo run --release --example ycsb_shootout`
+
+use primo_repro::baselines::{SundialProtocol, TwoPlProtocol};
+use primo_repro::common::config::{ClusterConfig, LoggingScheme};
+use primo_repro::core::PrimoProtocol;
+use primo_repro::runtime::experiment::{run_experiment, ExperimentOptions};
+use primo_repro::runtime::protocol::Protocol;
+use primo_repro::workloads::{YcsbConfig, YcsbWorkload};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let partitions = 4;
+    let ycsb = YcsbConfig::paper_default(partitions, 20_000);
+    let options = ExperimentOptions {
+        warmup: Duration::from_millis(100),
+        duration: Duration::from_millis(500),
+        ..Default::default()
+    };
+
+    let entries: Vec<(Arc<dyn Protocol>, LoggingScheme)> = vec![
+        (Arc::new(PrimoProtocol::full()), LoggingScheme::Watermark),
+        (Arc::new(SundialProtocol::new()), LoggingScheme::CocoEpoch),
+        (Arc::new(TwoPlProtocol::no_wait()), LoggingScheme::CocoEpoch),
+    ];
+
+    println!("YCSB, {partitions} partitions, 20k keys/partition, 500 ms measured");
+    println!("{:<12} {:>12} {:>12} {:>12} {:>12}", "protocol", "ktps", "abort rate", "avg lat ms", "p99 lat ms");
+    for (protocol, scheme) in entries {
+        let mut cfg = ClusterConfig {
+            num_partitions: partitions,
+            workers_per_partition: 4,
+            ..Default::default()
+        };
+        cfg.wal.scheme = scheme;
+        let name = protocol.name();
+        let snap = run_experiment(
+            cfg,
+            protocol,
+            Arc::new(YcsbWorkload::new(ycsb.clone())),
+            &options,
+        );
+        println!(
+            "{:<12} {:>12.1} {:>12.3} {:>12.2} {:>12.2}",
+            name,
+            snap.ktps(),
+            snap.abort_rate,
+            snap.mean_latency_ms,
+            snap.p99_latency_ms
+        );
+    }
+}

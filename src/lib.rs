@@ -1,0 +1,12 @@
+//! Umbrella crate for the Primo reproduction workspace.
+//!
+//! Re-exports the public API of every sub-crate so that examples and
+//! integration tests can use a single `primo_repro::...` namespace.
+pub use primo_baselines as baselines;
+pub use primo_common as common;
+pub use primo_core as core;
+pub use primo_net as net;
+pub use primo_runtime as runtime;
+pub use primo_storage as storage;
+pub use primo_wal as wal;
+pub use primo_workloads as workloads;

@@ -1,0 +1,151 @@
+//! Property-based tests (proptest) over the core data structures and
+//! protocol invariants.
+
+use proptest::prelude::*;
+use primo_repro::common::{FastRng, PartitionId, TableId, TxnId, Value, ZipfGen};
+use primo_repro::core::PrimoDb;
+use primo_repro::storage::{LockMode, LockPolicy, LockRequestResult, Record};
+use primo_repro::wal::{LogPayload, PartitionWal};
+
+proptest! {
+    /// TxnId packing is lossless for realistic sequence numbers.
+    #[test]
+    fn txn_id_pack_roundtrip(seq in 0u64..(1 << 40), coord in 0u32..1024) {
+        let id = TxnId::new(PartitionId(coord), seq);
+        prop_assert_eq!(TxnId::unpack(id.pack()), id);
+    }
+
+    /// TxnId ordering is by age (sequence number) first.
+    #[test]
+    fn txn_id_order_is_by_sequence(a in 0u64..1_000_000, b in 0u64..1_000_000,
+                                   ca in 0u32..64, cb in 0u32..64) {
+        let x = TxnId::new(PartitionId(ca), a);
+        let y = TxnId::new(PartitionId(cb), b);
+        if a < b {
+            prop_assert!(x < y);
+        } else if a > b {
+            prop_assert!(x > y);
+        }
+    }
+
+    /// Zipf samples always stay inside the domain, for any skew.
+    #[test]
+    fn zipf_stays_in_domain(n in 1u64..50_000, theta in 0.0f64..0.99, seed in any::<u64>()) {
+        let gen = ZipfGen::new(n, theta);
+        let mut rng = FastRng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(gen.sample(&mut rng) < n);
+        }
+    }
+
+    /// A record's valid interval never shrinks and installs always leave
+    /// `wts == rts`.
+    #[test]
+    fn record_interval_invariants(ops in prop::collection::vec((0u8..3, 1u64..1_000_000), 1..50)) {
+        let record = Record::new(Value::from_u64(0));
+        let mut last_wts = 0u64;
+        for (kind, ts) in ops {
+            let (w_before, r_before) = record.timestamps();
+            match kind {
+                0 => {
+                    record.extend_rts(ts);
+                    let (w, r) = record.timestamps();
+                    prop_assert_eq!(w, w_before);
+                    prop_assert!(r >= r_before);
+                }
+                1 => {
+                    record.install(Value::from_u64(ts), ts);
+                    let (w, r) = record.timestamps();
+                    prop_assert_eq!(w, ts);
+                    prop_assert_eq!(r, ts);
+                    last_wts = ts;
+                }
+                _ => {
+                    record.raise_watermark_floor(ts);
+                    let (w, r) = record.timestamps();
+                    prop_assert!(w > ts || w > last_wts || w == w_before);
+                    prop_assert!(r >= w);
+                }
+            }
+            let (w, r) = record.timestamps();
+            prop_assert!(r >= w, "rts must never fall below wts");
+        }
+    }
+
+    /// Exclusive locks are mutually exclusive no matter the request order.
+    #[test]
+    fn lock_exclusivity(holders in prop::collection::vec(1u64..100, 2..10)) {
+        let record = Record::new(Value::from_u64(0));
+        let mut granted = Vec::new();
+        for seq in &holders {
+            let txn = TxnId::new(PartitionId(0), *seq);
+            if record.acquire(txn, LockMode::Exclusive, LockPolicy::NoWait)
+                == LockRequestResult::Granted
+            {
+                granted.push(txn);
+            }
+        }
+        // Only one distinct transaction may ever hold the exclusive lock.
+        granted.dedup();
+        prop_assert_eq!(granted.len(), 1);
+        record.release(granted[0]);
+        prop_assert!(!record.lock().is_locked());
+    }
+
+    /// The WAL replays exactly the prefix below the requested watermark.
+    #[test]
+    fn wal_replay_is_a_prefix(ts_list in prop::collection::vec(1u64..1_000, 1..40), cut in 1u64..1_000) {
+        let wal = PartitionWal::new(PartitionId(0), 0);
+        for (i, ts) in ts_list.iter().enumerate() {
+            wal.append(LogPayload::TxnWrites {
+                txn: TxnId::new(PartitionId(0), i as u64),
+                ts: *ts,
+                writes: vec![(TableId(0), i as u64, Value::from_u64(*ts))],
+            });
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let replayed = wal.replay_prefix(cut);
+        let expected = ts_list.iter().filter(|t| **t < cut).count();
+        prop_assert_eq!(replayed.len(), expected);
+        prop_assert!(replayed.iter().all(|(_, ts, _)| *ts < cut));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random sequences of transfers through the full Primo stack conserve
+    /// the total balance.
+    #[test]
+    fn primo_transfers_conserve_money(transfers in prop::collection::vec(
+        (0u64..8, 0u64..8, 0u32..2, 0u32..2, 1u64..50), 1..15)) {
+        const T: TableId = TableId(0);
+        let db = PrimoDb::with_partitions(2);
+        for p in 0..2u32 {
+            for k in 0..8u64 {
+                db.load(PartitionId(p), T, k, Value::from_u64(100));
+            }
+        }
+        for (from, to, pf, pt, amount) in transfers {
+            let _ = db.transaction(PartitionId(pf), move |ctx| {
+                let a = ctx.read(PartitionId(pf), T, from)?.as_u64();
+                let b = ctx.read(PartitionId(pt), T, to)?.as_u64();
+                let amt = amount.min(a);
+                if (pf, from) == (pt, to) {
+                    return Ok(());
+                }
+                ctx.write(PartitionId(pf), T, from, Value::from_u64(a - amt))?;
+                ctx.write(PartitionId(pt), T, to, Value::from_u64(b + amt))?;
+                Ok(())
+            });
+        }
+        let mut total = 0;
+        for p in 0..2u32 {
+            for k in 0..8u64 {
+                total += db.get(PartitionId(p), T, k).unwrap().as_u64();
+            }
+        }
+        db.shutdown();
+        prop_assert_eq!(total, 2 * 8 * 100);
+    }
+}

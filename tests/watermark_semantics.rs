@@ -1,0 +1,139 @@
+//! Integration tests of the watermark-based group commit's three guarantees
+//! (§5: monotonicity, durability, consistency) observed through the public
+//! cluster API.
+
+use primo_repro::common::config::{ClusterConfig, LoggingScheme};
+use primo_repro::common::{PartitionId, TableId, Value};
+use primo_repro::core::PrimoProtocol;
+use primo_repro::runtime::cluster::Cluster;
+use primo_repro::runtime::txn::IncrementProgram;
+use primo_repro::runtime::worker::run_single_txn;
+use primo_repro::wal::{CommitOutcome, GroupCommit, WatermarkCommit};
+use primo_repro::net::DelayedBus;
+use primo_repro::common::config::WalConfig;
+use primo_repro::common::TxnId;
+use std::time::Duration;
+
+fn wm(n: usize, interval_ms: u64) -> WatermarkCommit {
+    let bus = DelayedBus::new(n, 50);
+    WatermarkCommit::new(
+        n,
+        WalConfig {
+            scheme: LoggingScheme::Watermark,
+            interval_ms,
+            persist_delay_us: 100,
+            force_update: true,
+        },
+        bus,
+    )
+}
+
+#[test]
+fn global_watermark_is_monotonic_on_every_partition() {
+    let wm = wm(3, 1);
+    let mut last = vec![0u64; 3];
+    for _ in 0..20 {
+        std::thread::sleep(Duration::from_millis(3));
+        for p in 0..3 {
+            let g = wm.global_watermark(PartitionId(p as u32));
+            assert!(g >= last[p], "global watermark went backwards on P{p}");
+            last[p] = g;
+        }
+    }
+    assert!(last.iter().all(|g| *g > 0), "watermark never advanced");
+    wm.shutdown();
+}
+
+#[test]
+fn global_watermark_never_exceeds_any_partition_watermark_seen() {
+    let wm = wm(3, 1);
+    std::thread::sleep(Duration::from_millis(40));
+    for p in 0..3u32 {
+        let g = wm.global_watermark(PartitionId(p));
+        for q in 0..3u32 {
+            // The published watermark of q can only be >= what p has seen.
+            assert!(wm.partition_watermark(PartitionId(q)) + 1 >= g.min(1));
+        }
+        assert!(g <= wm.partition_watermark(PartitionId(p)) + 1_000_000);
+    }
+    wm.shutdown();
+}
+
+#[test]
+fn transactions_below_recovered_watermark_stay_committed() {
+    let wm = wm(2, 1);
+    // Commit a transaction and wait until it is durable.
+    let t1 = TxnId::new(PartitionId(0), 1);
+    let ticket = wm.begin_txn(PartitionId(0), t1);
+    wm.update_ts(&ticket, 2);
+    let waiter = wm.txn_committed(&ticket, 2, 1);
+    assert_eq!(wm.wait_durable(&waiter), CommitOutcome::Committed);
+    // A crash afterwards must not un-commit it: the agreed watermark is at
+    // least as large as any watermark used to report results.
+    let agreed = wm.on_partition_crash(PartitionId(1));
+    assert!(agreed >= 2, "agreed watermark {agreed} would roll back a reported result");
+    wm.shutdown();
+}
+
+#[test]
+fn committed_effects_survive_a_crash_of_another_partition() {
+    // End-to-end: run a distributed transaction, let it become durable, crash
+    // the other partition, recover, and check both partitions still show the
+    // transaction's effects.
+    let mut cfg = ClusterConfig::for_tests(2);
+    cfg.wal.scheme = LoggingScheme::Watermark;
+    let cluster = Cluster::new(cfg);
+    for p in 0..2u32 {
+        cluster
+            .partition(PartitionId(p))
+            .store
+            .insert(TableId(0), 1, Value::from_u64(0));
+    }
+    let protocol = PrimoProtocol::full();
+    let prog = IncrementProgram {
+        home: PartitionId(0),
+        accesses: vec![(PartitionId(0), TableId(0), 1), (PartitionId(1), TableId(0), 1)],
+    };
+    run_single_txn(&cluster, &protocol, &prog).unwrap();
+
+    cluster.net.set_crashed(PartitionId(1), true);
+    cluster.group_commit.on_partition_crash(PartitionId(1));
+    cluster.net.set_crashed(PartitionId(1), false);
+
+    for p in 0..2u32 {
+        assert_eq!(
+            cluster
+                .partition(PartitionId(p))
+                .store
+                .get(TableId(0), 1)
+                .unwrap()
+                .read()
+                .value
+                .as_u64(),
+            1,
+            "durable effect lost on P{p}"
+        );
+    }
+    // And the cluster keeps working after recovery.
+    run_single_txn(&cluster, &protocol, &prog).unwrap();
+    cluster.shutdown();
+}
+
+#[test]
+fn ts_floor_prevents_new_transactions_below_the_watermark() {
+    let wm = wm(2, 1);
+    std::thread::sleep(Duration::from_millis(30));
+    let floor = wm.ts_floor(PartitionId(0));
+    assert!(floor > 0);
+    // A transaction whose coordinator respects the floor commits above it and
+    // therefore waits for a later watermark — never below an already
+    // published one.
+    let t = TxnId::new(PartitionId(0), 99);
+    let ticket = wm.begin_txn(PartitionId(0), t);
+    let ts = floor + 1;
+    wm.update_ts(&ticket, ts);
+    let waiter = wm.txn_committed(&ticket, ts, 1);
+    assert_eq!(wm.wait_durable(&waiter), CommitOutcome::Committed);
+    assert!(wm.global_watermark(PartitionId(0)) > ts || wm.partition_watermark(PartitionId(0)) > ts);
+    wm.shutdown();
+}
