@@ -14,7 +14,10 @@
 use crate::common::{BaselineCtx, ReadGuard};
 use parking_lot::{Condvar, Mutex};
 use primo_common::sim_time::{charge_latency_us, now_us};
-use primo_common::{AbortReason, Key, PartitionId, Phase, PhaseTimers, TableId, TxnError, TxnId, TxnResult};
+use primo_common::{
+    AbortReason, Key, PartitionId, Phase, PhaseTimers, TableId, TxnError, TxnId, TxnResult,
+};
+use primo_runtime::access::WriteKind;
 use primo_runtime::cluster::Cluster;
 use primo_runtime::protocol::{CommittedTxn, Protocol};
 use primo_runtime::txn::TxnProgram;
@@ -81,7 +84,9 @@ pub struct AriaProtocol {
 
 impl std::fmt::Debug for AriaProtocol {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("AriaProtocol").field("cfg", &self.cfg).finish()
+        f.debug_struct("AriaProtocol")
+            .field("cfg", &self.cfg)
+            .finish()
     }
 }
 
@@ -115,7 +120,12 @@ impl AriaProtocol {
         (batch, idx)
     }
 
-    fn barrier(&self, batch: &Batch, advance: impl FnOnce(&mut BatchState), reached: impl Fn(&BatchState) -> bool) {
+    fn barrier(
+        &self,
+        batch: &Batch,
+        advance: impl FnOnce(&mut BatchState),
+        reached: impl Fn(&BatchState) -> bool,
+    ) {
         let mut st = batch.state.lock();
         advance(&mut st);
         batch.cond.notify_all();
@@ -220,6 +230,20 @@ impl Protocol for AriaProtocol {
                         }
                     }
                 }
+                // Put/insert contract (checked at the decision point — after
+                // it, Aria's deterministic install cannot abort): a plain
+                // write to a record that does not exist is an error, matching
+                // every other protocol's NotFound behaviour. Checked *after*
+                // the reservation checks so a same-batch insert of the same
+                // key deterministically wins as a WAW conflict (retryable)
+                // instead of racing install order into a permanent NotFound.
+                for w in &ctx.access.writes {
+                    if w.kind == WriteKind::Put
+                        && ctx.record_at(w.partition, w.table, w.key, false).is_none()
+                    {
+                        return Err(AbortReason::NotFound);
+                    }
+                }
                 Ok(())
             });
             match conflict {
@@ -288,7 +312,10 @@ mod tests {
         let protocol = AriaProtocol::new(quick_cfg());
         let prog = IncrementProgram {
             home: PartitionId(0),
-            accesses: vec![(PartitionId(0), TableId(0), 1), (PartitionId(1), TableId(0), 1)],
+            accesses: vec![
+                (PartitionId(0), TableId(0), 1),
+                (PartitionId(1), TableId(0), 1),
+            ],
         };
         run_single_txn(&cluster, &protocol, &prog).unwrap();
         assert_eq!(

@@ -2,10 +2,8 @@
 //! context (reads without locks or with shared locks, buffered writes) and
 //! helpers for the 2PC commit rounds.
 
-use primo_common::{
-    AbortReason, Key, PartitionId, TableId, TxnError, TxnId, TxnResult, Value,
-};
-use primo_runtime::access::{AccessSet, ReadEntry, WriteEntry};
+use primo_common::{AbortReason, Key, PartitionId, TableId, TxnError, TxnId, TxnResult, Value};
+use primo_runtime::access::{resolve_write_record, AccessSet, ReadEntry, WriteEntry};
 use primo_runtime::cluster::Cluster;
 use primo_runtime::txn::TxnContext;
 use primo_storage::{LockMode, LockPolicy, LockRequestResult, Record};
@@ -95,7 +93,7 @@ impl TxnContext for BaselineCtx<'_> {
         }
         let record = self
             .record_at(p, table, key, false)
-            .ok_or_else(|| self.fail(AbortReason::UserAbort))?;
+            .ok_or_else(|| self.fail(AbortReason::NotFound))?;
         let locked = match self.guard {
             ReadGuard::Optimistic => None,
             ReadGuard::SharedLock(policy) => {
@@ -129,12 +127,17 @@ impl TxnContext for BaselineCtx<'_> {
         if let Some(reason) = self.dead {
             return Err(TxnError::Aborted(reason));
         }
-        self.access.buffer_write(WriteEntry {
-            partition: p,
-            table,
-            key,
-            value,
-        });
+        self.access
+            .buffer_write(WriteEntry::put(p, table, key, value));
+        Ok(())
+    }
+
+    fn insert(&mut self, p: PartitionId, table: TableId, key: Key, value: Value) -> TxnResult<()> {
+        if let Some(reason) = self.dead {
+            return Err(TxnError::Aborted(reason));
+        }
+        self.access
+            .buffer_write(WriteEntry::insert(p, table, key, value));
         Ok(())
     }
 }
@@ -153,8 +156,10 @@ impl LockedWriteSet {
     }
 }
 
-/// Lock every write record (creating records for inserts) with the given
-/// policy. Returns the locked set or the abort reason.
+/// Lock every write record with the given policy, creating records only for
+/// `insert`-kind writes. A plain write whose record does not exist aborts
+/// with [`AbortReason::NotFound`]. Returns the locked set or the abort
+/// reason.
 pub fn lock_write_set(
     ctx: &BaselineCtx<'_>,
     policy: LockPolicy,
@@ -163,9 +168,14 @@ pub fn lock_write_set(
         records: Vec::with_capacity(ctx.access.writes.len()),
     };
     for (i, w) in ctx.access.writes.iter().enumerate() {
-        let record = ctx
-            .record_at(w.partition, w.table, w.key, true)
-            .expect("create=true always yields a record");
+        let store = &ctx.cluster.partition(w.partition).store;
+        let record = match resolve_write_record(store, w) {
+            Ok(r) => r,
+            Err(reason) => {
+                locked.release(ctx.txn);
+                return Err(reason);
+            }
+        };
         if record.acquire(ctx.txn, LockMode::Exclusive, policy) != LockRequestResult::Granted {
             locked.release(ctx.txn);
             return Err(match policy {
@@ -294,7 +304,10 @@ mod tests {
         let mut ctx = BaselineCtx::new(&cluster, txn, PartitionId(0), ReadGuard::Optimistic);
         ctx.write(PartitionId(0), TableId(0), 9, Value::from_u64(77))
             .unwrap();
-        assert_eq!(ctx.read(PartitionId(0), TableId(0), 9).unwrap().as_u64(), 77);
+        assert_eq!(
+            ctx.read(PartitionId(0), TableId(0), 9).unwrap().as_u64(),
+            77
+        );
         cluster.shutdown();
     }
 }

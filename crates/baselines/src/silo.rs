@@ -3,7 +3,9 @@
 //! the read set validated (unchanged versions, no foreign locks) as part of
 //! the 2PC prepare round; the decision round releases the locks.
 
-use crate::common::{abort_round, commit_round, lock_write_set, prepare_round, BaselineCtx, ReadGuard};
+use crate::common::{
+    abort_round, commit_round, lock_write_set, prepare_round, BaselineCtx, ReadGuard,
+};
 use primo_common::{AbortReason, Phase, PhaseTimers, TxnError, TxnId, TxnResult};
 use primo_runtime::cluster::Cluster;
 use primo_runtime::protocol::{CommittedTxn, Protocol};
@@ -137,7 +139,10 @@ mod tests {
         let protocol = SiloProtocol::new();
         let prog = IncrementProgram {
             home: PartitionId(0),
-            accesses: vec![(PartitionId(0), TableId(0), 1), (PartitionId(1), TableId(0), 1)],
+            accesses: vec![
+                (PartitionId(0), TableId(0), 1),
+                (PartitionId(1), TableId(0), 1),
+            ],
         };
         run_single_txn(&cluster, &protocol, &prog).unwrap();
         for p in 0..2u32 {
@@ -167,7 +172,12 @@ mod tests {
                 // execute and commit is impossible here, so instead the test
                 // mutates the record via a second protocol run. This program
                 // just does a plain RMW.
-                ctx.write(PartitionId(0), TableId(0), 3, Value::from_u64(v.as_u64() + 1))
+                ctx.write(
+                    PartitionId(0),
+                    TableId(0),
+                    3,
+                    Value::from_u64(v.as_u64() + 1),
+                )
             }
             fn home_partition(&self) -> PartitionId {
                 PartitionId(0)

@@ -7,7 +7,9 @@
 //! read-validation aborts occur; but it still needs the 2PC prepare/commit
 //! rounds that Primo eliminates.
 
-use crate::common::{abort_round, commit_round, lock_write_set, prepare_round, BaselineCtx, ReadGuard};
+use crate::common::{
+    abort_round, commit_round, lock_write_set, prepare_round, BaselineCtx, ReadGuard,
+};
 use primo_common::{AbortReason, Phase, PhaseTimers, Ts, TxnError, TxnId, TxnResult};
 use primo_runtime::cluster::Cluster;
 use primo_runtime::protocol::{CommittedTxn, Protocol};
@@ -161,7 +163,10 @@ mod tests {
         let protocol = SundialProtocol::new();
         let prog = IncrementProgram {
             home: PartitionId(0),
-            accesses: vec![(PartitionId(0), TableId(0), 1), (PartitionId(1), TableId(0), 2)],
+            accesses: vec![
+                (PartitionId(0), TableId(0), 1),
+                (PartitionId(1), TableId(0), 2),
+            ],
         };
         run_single_txn(&cluster, &protocol, &prog).unwrap();
         let (wts, rts) = cluster

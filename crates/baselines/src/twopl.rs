@@ -5,7 +5,9 @@
 //! Two deadlock-handling variants, as in the paper: NO_WAIT (abort on any
 //! conflict) and WAIT_DIE (older transactions wait).
 
-use crate::common::{abort_round, commit_round, lock_write_set, prepare_round, BaselineCtx, ReadGuard};
+use crate::common::{
+    abort_round, commit_round, lock_write_set, prepare_round, BaselineCtx, ReadGuard,
+};
 use primo_common::{Phase, PhaseTimers, TxnError, TxnId, TxnResult};
 use primo_runtime::cluster::Cluster;
 use primo_runtime::protocol::{CommittedTxn, Protocol};
@@ -139,7 +141,10 @@ mod tests {
             };
             let dist = IncrementProgram {
                 home: PartitionId(0),
-                accesses: vec![(PartitionId(0), TableId(0), 2), (PartitionId(1), TableId(0), 2)],
+                accesses: vec![
+                    (PartitionId(0), TableId(0), 2),
+                    (PartitionId(1), TableId(0), 2),
+                ],
             };
             run_single_txn(&cluster, &protocol, &local).unwrap();
             run_single_txn(&cluster, &protocol, &dist).unwrap();
@@ -184,12 +189,18 @@ mod tests {
             .store
             .get(TableId(0), 7)
             .unwrap();
-        rec.acquire(blocker, primo_storage::LockMode::Exclusive, LockPolicy::NoWait);
+        rec.acquire(
+            blocker,
+            primo_storage::LockMode::Exclusive,
+            LockPolicy::NoWait,
+        );
         let prog = IncrementProgram {
             home: PartitionId(0),
             accesses: vec![(PartitionId(0), TableId(0), 7)],
         };
-        let ticket = cluster.group_commit.begin_txn(PartitionId(0), cluster.next_txn_id(PartitionId(0)));
+        let ticket = cluster
+            .group_commit
+            .begin_txn(PartitionId(0), cluster.next_txn_id(PartitionId(0)));
         let mut timers = PhaseTimers::new();
         let txn = cluster.next_txn_id(PartitionId(0));
         let err = protocol

@@ -1,135 +1,140 @@
-//! Criterion micro-benchmarks of the building blocks on Primo's critical
-//! path: the lock table, TicToc record operations, the Zipf generator, the
-//! WAL append path and a small end-to-end single-transaction comparison of
-//! Primo against a 2PC baseline (the per-transaction cost that Fig 4
-//! aggregates into throughput).
+//! Micro-benchmarks of the building blocks on Primo's critical path: the
+//! lock table, TicToc record operations, the Zipf generator, the WAL append
+//! path and a small end-to-end single-transaction comparison of Primo
+//! against a 2PC baseline (the per-transaction cost that Fig 4 aggregates
+//! into throughput).
+//!
+//! The registry is offline in this environment, so instead of criterion this
+//! uses a small built-in harness (`harness = false`): each benchmark is
+//! calibrated to run for ~0.2 s and reports ns/op. Run with:
+//!
+//! ```text
+//! cargo bench -p primo-bench
+//! ```
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use primo_baselines::TwoPlProtocol;
-use primo_common::config::ClusterConfig;
-use primo_common::{FastRng, PartitionId, TableId, TxnId, Value, ZipfGen};
-use primo_core::PrimoProtocol;
-use primo_runtime::cluster::Cluster;
-use primo_runtime::txn::IncrementProgram;
-use primo_runtime::worker::run_single_txn;
-use primo_storage::{LockMode, LockPolicy, Record};
-use primo_wal::{LogPayload, PartitionWal};
-use std::sync::Arc;
+use primo_repro::storage::{LockMode, LockPolicy, Record};
+use primo_repro::wal::{LogPayload, PartitionWal};
+use primo_repro::{
+    ClosureProgram, FastRng, PartitionId, Primo, ProtocolKind, TableId, Value, ZipfGen,
+};
 
-fn bench_lock_table(c: &mut Criterion) {
+/// Measure `f` with a calibrated iteration count and print ns/op.
+fn bench(name: &str, mut f: impl FnMut()) {
+    use std::time::{Duration, Instant};
+    // Warm-up + calibration: find an iteration count that runs ~0.2 s.
+    let mut iters: u64 = 8;
+    loop {
+        let started = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = started.elapsed();
+        if elapsed >= Duration::from_millis(50) || iters >= 1 << 28 {
+            let per_op = elapsed.as_nanos() as f64 / iters as f64;
+            println!("{name:<40} {per_op:>12.1} ns/op   ({iters} iters)");
+            return;
+        }
+        iters = iters.saturating_mul(4);
+    }
+}
+
+fn bench_lock_table() {
     let record = Record::new(Value::from_u64(0));
-    let txn = TxnId::new(PartitionId(0), 1);
-    c.bench_function("lock/exclusive_acquire_release", |b| {
-        b.iter(|| {
-            record.acquire(txn, LockMode::Exclusive, LockPolicy::NoWait);
-            record.release(txn);
-        })
+    let txn = primo_repro::TxnId::new(PartitionId(0), 1);
+    bench("lock/exclusive_acquire_release", || {
+        record.acquire(txn, LockMode::Exclusive, LockPolicy::NoWait);
+        record.release(txn);
     });
-    c.bench_function("lock/shared_acquire_release", |b| {
-        b.iter(|| {
-            record.acquire(txn, LockMode::Shared, LockPolicy::WaitDie);
-            record.release(txn);
-        })
+    bench("lock/shared_acquire_release", || {
+        record.acquire(txn, LockMode::Shared, LockPolicy::WaitDie);
+        record.release(txn);
     });
 }
 
-fn bench_tictoc_record(c: &mut Criterion) {
+fn bench_tictoc_record() {
     let record = Record::new(Value::zeroed(100));
-    c.bench_function("record/read_snapshot", |b| b.iter(|| record.read()));
-    c.bench_function("record/extend_rts", |b| {
-        let mut ts = 1u64;
-        b.iter(|| {
-            ts += 1;
-            record.extend_rts(ts);
-        })
+    bench("record/read_snapshot", || {
+        std::hint::black_box(record.read());
     });
-    c.bench_function("record/install", |b| {
-        let v = Value::zeroed(100);
-        let mut ts = 1u64;
-        b.iter(|| {
-            ts += 1;
-            record.install(v.clone(), ts);
-        })
+    let mut ts = 1u64;
+    bench("record/extend_rts", || {
+        ts += 1;
+        record.extend_rts(ts);
+    });
+    let v = Value::zeroed(100);
+    let mut ts = 1u64;
+    bench("record/install", || {
+        ts += 1;
+        record.install(v.clone(), ts);
     });
 }
 
-fn bench_zipf(c: &mut Criterion) {
+fn bench_zipf() {
     let zipf = ZipfGen::new(1_000_000, 0.6);
     let mut rng = FastRng::new(1);
-    c.bench_function("zipf/sample_theta_0.6", |b| b.iter(|| zipf.sample(&mut rng)));
+    bench("zipf/sample_theta_0.6", || {
+        std::hint::black_box(zipf.sample(&mut rng));
+    });
     let uniform = ZipfGen::new(1_000_000, 0.0);
-    c.bench_function("zipf/sample_uniform", |b| b.iter(|| uniform.sample(&mut rng)));
-}
-
-fn bench_wal_append(c: &mut Criterion) {
-    let wal = PartitionWal::new(PartitionId(0), 500);
-    c.bench_function("wal/append_watermark", |b| {
-        let mut wp = 0u64;
-        b.iter(|| {
-            wp += 1;
-            wal.append(LogPayload::Watermark { wp })
-        })
+    bench("zipf/sample_uniform", || {
+        std::hint::black_box(uniform.sample(&mut rng));
     });
 }
 
-fn loaded_cluster() -> Arc<Cluster> {
-    let cluster = Cluster::new(ClusterConfig::for_tests(2));
+fn bench_wal_append() {
+    let wal = PartitionWal::new(PartitionId(0), 500);
+    let mut wp = 0u64;
+    bench("wal/append_watermark", || {
+        wp += 1;
+        wal.append(LogPayload::Watermark { wp });
+    });
+}
+
+fn loaded_primo(kind: ProtocolKind) -> Primo {
+    let primo = Primo::builder()
+        .partitions(2)
+        .protocol(kind)
+        .fast_local()
+        .build();
+    let session = primo.session();
     for p in 0..2u32 {
         for k in 0..1_000u64 {
-            cluster
-                .partition(PartitionId(p))
-                .store
-                .insert(TableId(0), k, Value::from_u64(0));
+            session.load(PartitionId(p), TableId(0), k, Value::from_u64(0));
         }
     }
-    cluster
+    primo
 }
 
-fn bench_single_txn(c: &mut Criterion) {
+fn bench_single_txn() {
     // Per-transaction cost of a distributed read-modify-write pair under
     // Primo (no 2PC) vs 2PL+2PC — the microscopic version of Fig 4a.
-    let cluster = loaded_cluster();
-    let primo = PrimoProtocol::full();
-    let twopl = TwoPlProtocol::no_wait();
-    let mut group = c.benchmark_group("distributed_txn");
-    group.sample_size(30);
-    group.bench_function("primo_wcf", |b| {
+    for (name, kind) in [
+        ("distributed_txn/primo_wcf", ProtocolKind::Primo),
+        ("distributed_txn/twopl_2pc", ProtocolKind::TwoPlNoWait),
+    ] {
+        let primo = loaded_primo(kind);
+        let session = primo.session();
         let mut rng = FastRng::new(3);
-        b.iter_batched(
-            || IncrementProgram {
-                home: PartitionId(0),
-                accesses: vec![
-                    (PartitionId(0), TableId(0), rng.next_below(1_000)),
-                    (PartitionId(1), TableId(0), rng.next_below(1_000)),
-                ],
-            },
-            |prog| run_single_txn(&cluster, &primo, &prog).unwrap(),
-            BatchSize::SmallInput,
-        )
-    });
-    group.bench_function("twopl_2pc", |b| {
-        let mut rng = FastRng::new(4);
-        b.iter_batched(
-            || IncrementProgram {
-                home: PartitionId(0),
-                accesses: vec![
-                    (PartitionId(0), TableId(0), rng.next_below(1_000)),
-                    (PartitionId(1), TableId(0), rng.next_below(1_000)),
-                ],
-            },
-            |prog| run_single_txn(&cluster, &twopl, &prog).unwrap(),
-            BatchSize::SmallInput,
-        )
-    });
-    group.finish();
+        bench(name, || {
+            let (a, b) = (rng.next_below(1_000), rng.next_below(1_000));
+            let program = ClosureProgram::new(PartitionId(0), move |ctx| {
+                for (p, k) in [(PartitionId(0), a), (PartitionId(1), b)] {
+                    let v = ctx.read(p, TableId(0), k)?.as_u64();
+                    ctx.write(p, TableId(0), k, Value::from_u64(v + 1))?;
+                }
+                Ok(())
+            });
+            session.run_program(&program).unwrap();
+        });
+        primo.shutdown();
+    }
 }
 
-criterion_group!(
-    benches,
-    bench_lock_table,
-    bench_tictoc_record,
-    bench_zipf,
-    bench_wal_append,
-    bench_single_txn
-);
-criterion_main!(benches);
+fn main() {
+    println!("primo micro-benchmarks (ns/op, built-in harness)");
+    bench_lock_table();
+    bench_tictoc_record();
+    bench_zipf();
+    bench_wal_append();
+    bench_single_txn();
+}

@@ -41,7 +41,10 @@ fn main() {
 
     println!(
         "# scale: {} partitions x {} workers, {} ms per data point, {} YCSB keys/partition",
-        scale.partitions, scale.workers_per_partition, scale.duration_ms, scale.ycsb_keys_per_partition
+        scale.partitions,
+        scale.workers_per_partition,
+        scale.duration_ms,
+        scale.ycsb_keys_per_partition
     );
 
     match which.as_str() {

@@ -5,12 +5,14 @@
 //! differ from the paper (simulated cluster vs. a real one); the shapes —
 //! which protocol wins, by roughly what factor, where crossovers happen — are
 //! what EXPERIMENTS.md compares.
+//!
+//! All runs go through [`Experiment`], so a figure is exactly "a loop over
+//! protocol kinds and one swept knob".
 
-use crate::setup::{build_protocol, run_tpcc, run_ycsb, Scale};
-use primo_common::config::{LoggingScheme, ProtocolKind};
-use primo_common::{MetricsSnapshot, PartitionId, Phase};
-use primo_core::analysis::{self, ModelParams};
-use primo_runtime::experiment::{CrashPlan, ExperimentOptions};
+use primo_repro::core::analysis::{self, ModelParams};
+use primo_repro::{
+    CrashPlan, Experiment, LoggingScheme, MetricsSnapshot, PartitionId, Phase, ProtocolKind, Scale,
+};
 use std::time::Duration;
 
 const HEADLINE: [ProtocolKind; 6] = [
@@ -48,14 +50,28 @@ fn print_breakdown(label: &str, snap: &MetricsSnapshot) {
     println!("{label:<22} {parts}");
 }
 
+/// Default-setting YCSB run for one protocol at one scale.
+fn ycsb(kind: ProtocolKind, scale: &Scale) -> MetricsSnapshot {
+    Experiment::new().protocol(kind).scale(*scale).run()
+}
+
+/// Default-setting TPC-C run for one protocol at one scale.
+fn tpcc(kind: ProtocolKind, scale: &Scale) -> MetricsSnapshot {
+    Experiment::new()
+        .protocol(kind)
+        .scale(*scale)
+        .tpcc_with(|_| {})
+        .run()
+}
+
 /// Fig. 4: YCSB default setting — throughput, factor breakdown, latency
 /// breakdown and tail latency.
 pub fn fig4(scale: &Scale) {
     header("Fig 4a: YCSB throughput (default setting)");
     let mut snaps = Vec::new();
     for kind in HEADLINE {
-        let snap = run_ycsb(kind, scale, None, |_| {}, |_| {});
-        print_row(build_protocol(kind).name(), &snap);
+        let snap = ycsb(kind, scale);
+        print_row(kind.label(), &snap);
         snaps.push((kind, snap));
     }
 
@@ -74,11 +90,11 @@ pub fn fig4(scale: &Scale) {
         let snap = if let Some((_, s)) = snaps.iter().find(|(k, _)| *k == kind) {
             s.clone()
         } else {
-            run_ycsb(kind, scale, None, |_| {}, |_| {})
+            ycsb(kind, scale)
         };
         println!(
             "{:<22} {:>10.1} ktps   {:.2}x vs Sundial",
-            build_protocol(kind).name(),
+            kind.label(),
             snap.ktps(),
             snap.ktps() / sundial.max(1e-9)
         );
@@ -86,16 +102,12 @@ pub fn fig4(scale: &Scale) {
 
     header("Fig 4c: latency breakdown (ms per committed txn)");
     for (kind, snap) in &snaps {
-        print_breakdown(build_protocol(*kind).name(), snap);
+        print_breakdown(kind.label(), snap);
     }
 
     header("Fig 4d: 99th-percentile latency (ms)");
     for (kind, snap) in &snaps {
-        println!(
-            "{:<22} {:>8.2} ms",
-            build_protocol(*kind).name(),
-            snap.p99_latency_ms
-        );
+        println!("{:<22} {:>8.2} ms", kind.label(), snap.p99_latency_ms);
     }
 }
 
@@ -104,8 +116,8 @@ pub fn fig5(scale: &Scale) {
     header("Fig 5a: TPC-C throughput (default setting)");
     let mut snaps = Vec::new();
     for kind in HEADLINE {
-        let snap = run_tpcc(kind, scale, None, |_| {}, |_| {});
-        print_row(build_protocol(kind).name(), &snap);
+        let snap = tpcc(kind, scale);
+        print_row(kind.label(), &snap);
         snaps.push((kind, snap));
     }
 
@@ -124,11 +136,11 @@ pub fn fig5(scale: &Scale) {
         let snap = if let Some((_, s)) = snaps.iter().find(|(k, _)| *k == kind) {
             s.clone()
         } else {
-            run_tpcc(kind, scale, None, |_| {}, |_| {})
+            tpcc(kind, scale)
         };
         println!(
             "{:<22} {:>10.1} ktps   {:.2}x vs Sundial",
-            build_protocol(kind).name(),
+            kind.label(),
             snap.ktps(),
             snap.ktps() / sundial.max(1e-9)
         );
@@ -136,16 +148,12 @@ pub fn fig5(scale: &Scale) {
 
     header("Fig 5c: latency breakdown (ms per committed txn)");
     for (kind, snap) in &snaps {
-        print_breakdown(build_protocol(*kind).name(), snap);
+        print_breakdown(kind.label(), snap);
     }
 
     header("Fig 5d: 99th-percentile latency (ms)");
     for (kind, snap) in &snaps {
-        println!(
-            "{:<22} {:>8.2} ms",
-            build_protocol(*kind).name(),
-            snap.p99_latency_ms
-        );
+        println!("{:<22} {:>8.2} ms", kind.label(), snap.p99_latency_ms);
     }
 }
 
@@ -153,16 +161,24 @@ pub fn fig5(scale: &Scale) {
 pub fn fig6(scale: &Scale) {
     header("Fig 6: impact of contention (YCSB skew sweep)");
     let skews = [0.0, 0.2, 0.4, 0.6, 0.8, 0.99];
-    println!("{:<22} {}", "protocol", skews.map(|s| format!("{s:>8.2}")).join(" "));
+    println!(
+        "{:<22} {}",
+        "protocol",
+        skews.map(|s| format!("{s:>8.2}")).join(" ")
+    );
     for kind in HEADLINE {
         let mut tputs = Vec::new();
         let mut aborts = Vec::new();
         for skew in skews {
-            let snap = run_ycsb(kind, scale, None, |y| y.zipf_theta = skew, |_| {});
+            let snap = Experiment::new()
+                .protocol(kind)
+                .scale(*scale)
+                .ycsb_with(move |y| y.zipf_theta = skew)
+                .run();
             tputs.push(format!("{:>8.1}", snap.ktps()));
             aborts.push(format!("{:>8.3}", snap.abort_rate));
         }
-        println!("{:<22} {}   (ktps)", build_protocol(kind).name(), tputs.join(" "));
+        println!("{:<22} {}   (ktps)", kind.label(), tputs.join(" "));
         println!("{:<22} {}   (abort rate)", "", aborts.join(" "));
     }
 }
@@ -171,29 +187,32 @@ pub fn fig6(scale: &Scale) {
 /// high contention.
 pub fn fig7(scale: &Scale) {
     let ratios = [0.05, 0.2, 0.4, 0.6, 0.8, 1.0];
-    for (title, skew) in [("Fig 7a: low contention (skew 0.0)", 0.0), ("Fig 7b: high contention (skew 0.9)", 0.9)] {
+    for (title, skew) in [
+        ("Fig 7a: low contention (skew 0.0)", 0.0),
+        ("Fig 7b: high contention (skew 0.9)", 0.9),
+    ] {
         header(title);
         println!(
             "{:<22} {}",
             "protocol",
-            ratios.map(|r| format!("{:>8}", format!("{}%", (r * 100.0) as u32))).join(" ")
+            ratios
+                .map(|r| format!("{:>8}", format!("{}%", (r * 100.0) as u32)))
+                .join(" ")
         );
         for kind in HEADLINE {
             let mut row = Vec::new();
             for r in ratios {
-                let snap = run_ycsb(
-                    kind,
-                    scale,
-                    None,
-                    |y| {
+                let snap = Experiment::new()
+                    .protocol(kind)
+                    .scale(*scale)
+                    .ycsb_with(move |y| {
                         y.zipf_theta = skew;
                         y.distributed_ratio = r;
-                    },
-                    |_| {},
-                );
+                    })
+                    .run();
                 row.push(format!("{:>8.1}", snap.ktps()));
             }
-            println!("{:<22} {}", build_protocol(kind).name(), row.join(" "));
+            println!("{:<22} {}", kind.label(), row.join(" "));
         }
     }
 }
@@ -201,29 +220,32 @@ pub fn fig7(scale: &Scale) {
 /// Fig. 8: impact of the read-write ratio at 20% and 80% distributed.
 pub fn fig8(scale: &Scale) {
     let write_pcts = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
-    for (title, dist) in [("Fig 8a: 20% distributed", 0.2), ("Fig 8b: 80% distributed", 0.8)] {
+    for (title, dist) in [
+        ("Fig 8a: 20% distributed", 0.2),
+        ("Fig 8b: 80% distributed", 0.8),
+    ] {
         header(title);
         println!(
             "{:<22} {}",
             "protocol (% writes)",
-            write_pcts.map(|w| format!("{:>8}", format!("{}%", (w * 100.0) as u32))).join(" ")
+            write_pcts
+                .map(|w| format!("{:>8}", format!("{}%", (w * 100.0) as u32)))
+                .join(" ")
         );
         for kind in HEADLINE {
             let mut row = Vec::new();
             for w in write_pcts {
-                let snap = run_ycsb(
-                    kind,
-                    scale,
-                    None,
-                    |y| {
+                let snap = Experiment::new()
+                    .protocol(kind)
+                    .scale(*scale)
+                    .ycsb_with(move |y| {
                         y.distributed_ratio = dist;
                         y.read_ratio = 1.0 - w;
-                    },
-                    |_| {},
-                );
+                    })
+                    .run();
                 row.push(format!("{:>8.1}", snap.ktps()));
             }
-            println!("{:<22} {}", build_protocol(kind).name(), row.join(" "));
+            println!("{:<22} {}", kind.label(), row.join(" "));
         }
     }
 }
@@ -235,15 +257,21 @@ pub fn fig9(scale: &Scale) {
     println!(
         "{:<22} {}",
         "protocol",
-        ratios.map(|r| format!("{:>8}", format!("{}%", (r * 100.0) as u32))).join(" ")
+        ratios
+            .map(|r| format!("{:>8}", format!("{}%", (r * 100.0) as u32)))
+            .join(" ")
     );
     for kind in [ProtocolKind::Primo, ProtocolKind::Sundial] {
         let mut row = Vec::new();
         for r in ratios {
-            let snap = run_ycsb(kind, scale, None, |y| y.blind_write_ratio = r, |_| {});
+            let snap = Experiment::new()
+                .protocol(kind)
+                .scale(*scale)
+                .ycsb_with(move |y| y.blind_write_ratio = r)
+                .run();
             row.push(format!("{:>8.1}", snap.ktps()));
         }
-        println!("{:<22} {}", build_protocol(kind).name(), row.join(" "));
+        println!("{:<22} {}", kind.label(), row.join(" "));
     }
 }
 
@@ -259,10 +287,14 @@ pub fn fig10(scale: &Scale) {
     for kind in HEADLINE {
         let mut row = Vec::new();
         for w in warehouses {
-            let snap = run_tpcc(kind, scale, None, |t| t.warehouses_per_partition = w, |_| {});
+            let snap = Experiment::new()
+                .protocol(kind)
+                .scale(*scale)
+                .tpcc_with(move |t| t.warehouses_per_partition = w)
+                .run();
             row.push(format!("{:>8.1}", snap.ktps()));
         }
-        println!("{:<22} {}", build_protocol(kind).name(), row.join(" "));
+        println!("{:<22} {}", kind.label(), row.join(" "));
     }
 }
 
@@ -276,8 +308,12 @@ pub fn fig11(scale: &Scale) {
         ProtocolKind::Sundial,
         ProtocolKind::Primo,
     ];
-    let schemes = [LoggingScheme::Clv, LoggingScheme::CocoEpoch, LoggingScheme::Watermark];
-    for (title, tpcc) in [("Fig 11a: YCSB", false), ("Fig 11b: TPC-C", true)] {
+    let schemes = [
+        LoggingScheme::Clv,
+        LoggingScheme::CocoEpoch,
+        LoggingScheme::Watermark,
+    ];
+    for (title, use_tpcc) in [("Fig 11a: YCSB", false), ("Fig 11b: TPC-C", true)] {
         header(title);
         println!(
             "{:<22} {:>10} {:>10} {:>10}",
@@ -286,14 +322,14 @@ pub fn fig11(scale: &Scale) {
         for kind in protocols {
             let mut row = Vec::new();
             for scheme in schemes {
-                let snap = if tpcc {
-                    run_tpcc(kind, scale, None, |_| {}, |c| c.wal.scheme = scheme)
-                } else {
-                    run_ycsb(kind, scale, None, |_| {}, |c| c.wal.scheme = scheme)
-                };
-                row.push(format!("{:>10.1}", snap.ktps()));
+                let exp = Experiment::new()
+                    .protocol(kind)
+                    .scale(*scale)
+                    .logging(scheme);
+                let exp = if use_tpcc { exp.tpcc_with(|_| {}) } else { exp };
+                row.push(format!("{:>10.1}", exp.run().ktps()));
             }
-            println!("{:<22} {}", build_protocol(kind).name(), row.join(" "));
+            println!("{:<22} {}", kind.label(), row.join(" "));
         }
     }
 }
@@ -310,26 +346,19 @@ pub fn fig12(scale: &Scale) {
     );
     for scheme in [LoggingScheme::Watermark, LoggingScheme::CocoEpoch] {
         for size in sizes_ms {
-            let opts = ExperimentOptions {
-                warmup: Duration::from_millis(scale.warmup_ms),
-                duration: Duration::from_millis(scale.duration_ms.max(3 * size)),
-                crash: Some(CrashPlan {
+            let duration_ms = scale.duration_ms.max(3 * size);
+            let snap = Experiment::new()
+                .protocol(ProtocolKind::Primo)
+                .scale(*scale)
+                .duration_ms(duration_ms)
+                .crash(CrashPlan {
                     partition: PartitionId(1),
-                    at: Duration::from_millis(scale.duration_ms.max(3 * size) / 2),
+                    at: Duration::from_millis(duration_ms / 2),
                     recover_after: Duration::from_millis(20),
-                }),
-                ..Default::default()
-            };
-            let snap = run_ycsb(
-                ProtocolKind::Primo,
-                scale,
-                Some(opts),
-                |_| {},
-                |c| {
-                    c.wal.scheme = scheme;
-                    c.wal.interval_ms = size;
-                },
-            );
+                })
+                .logging(scheme)
+                .wal_interval_ms(size)
+                .run();
             println!(
                 "{:<12} {:>10} {:>12.2} {:>14.4} {:>12.1}",
                 scheme.label(),
@@ -360,20 +389,13 @@ pub fn fig13(scale: &Scale) {
         let mut tput = Vec::new();
         let mut lat = Vec::new();
         for d in delays_ms {
-            let opts = ExperimentOptions {
-                lag_partition: Some((PartitionId(1), d * 1000)),
-                ..scale.options()
-            };
-            let snap = run_ycsb(
-                ProtocolKind::Primo,
-                scale,
-                Some(opts),
-                |_| {},
-                |c| {
-                    c.wal.scheme = scheme;
-                    c.wal.force_update = force;
-                },
-            );
+            let snap = Experiment::new()
+                .protocol(ProtocolKind::Primo)
+                .scale(*scale)
+                .lag_partition(PartitionId(1), d * 1000)
+                .logging(scheme)
+                .tweak_cluster(move |c| c.wal.force_update = force)
+                .run();
             tput.push(format!("{:>9.1}", snap.ktps()));
             lat.push(format!("{:>9.2}", snap.mean_latency_ms));
         }
@@ -392,20 +414,13 @@ pub fn fig13(scale: &Scale) {
         let mut lat = Vec::new();
         let mut tput = Vec::new();
         for s in slowdowns_us {
-            let opts = ExperimentOptions {
-                slow_partition: Some((PartitionId(1), s)),
-                ..scale.options()
-            };
-            let snap = run_ycsb(
-                ProtocolKind::Primo,
-                scale,
-                Some(opts),
-                |_| {},
-                |c| {
-                    c.wal.scheme = LoggingScheme::Watermark;
-                    c.wal.force_update = force;
-                },
-            );
+            let snap = Experiment::new()
+                .protocol(ProtocolKind::Primo)
+                .scale(*scale)
+                .slow_partition(PartitionId(1), s)
+                .logging(LoggingScheme::Watermark)
+                .tweak_cluster(move |c| c.wal.force_update = force)
+                .run();
             lat.push(format!("{:>9.2}", snap.mean_latency_ms));
             tput.push(format!("{:>9.1}", snap.ktps()));
         }
@@ -418,7 +433,10 @@ pub fn fig13(scale: &Scale) {
 /// including Primo with COCO group commit ("Primo(COCO)").
 pub fn fig14(scale: &Scale) {
     let partition_counts = [1usize, 2, 4, 8, 12, 16];
-    for (title, tpcc) in [("Fig 14a: YCSB scalability", false), ("Fig 14b: TPC-C scalability", true)] {
+    for (title, use_tpcc) in [
+        ("Fig 14a: YCSB scalability", false),
+        ("Fig 14b: TPC-C scalability", true),
+    ] {
         header(title);
         println!(
             "{:<22} {}",
@@ -427,7 +445,7 @@ pub fn fig14(scale: &Scale) {
         );
         let mut kinds: Vec<(String, ProtocolKind, Option<LoggingScheme>)> = HEADLINE
             .iter()
-            .map(|k| (build_protocol(*k).name().to_string(), *k, None))
+            .map(|k| (k.label().to_string(), *k, None))
             .collect();
         kinds.push((
             "Primo(COCO)".to_string(),
@@ -437,21 +455,16 @@ pub fn fig14(scale: &Scale) {
         for (label, kind, scheme_override) in kinds {
             let mut row = Vec::new();
             for n in partition_counts {
-                let s = scale.with_partitions(n);
-                let snap = if tpcc {
-                    run_tpcc(kind, &s, None, |_| {}, |c| {
-                        if let Some(sch) = scheme_override {
-                            c.wal.scheme = sch;
-                        }
-                    })
-                } else {
-                    run_ycsb(kind, &s, None, |_| {}, |c| {
-                        if let Some(sch) = scheme_override {
-                            c.wal.scheme = sch;
-                        }
-                    })
-                };
-                row.push(format!("{:>8.1}", snap.ktps()));
+                let mut exp = Experiment::new()
+                    .protocol(kind)
+                    .scale(scale.with_partitions(n));
+                if let Some(scheme) = scheme_override {
+                    exp = exp.logging(scheme);
+                }
+                if use_tpcc {
+                    exp = exp.tpcc_with(|_| {});
+                }
+                row.push(format!("{:>8.1}", exp.run().ktps()));
             }
             println!("{label:<22} {}", row.join(" "));
         }
@@ -469,23 +482,17 @@ pub fn fig15(scale: &Scale) {
     for (contention, skew) in [("low", 0.0), ("high", 0.9)] {
         for dist in [0.2, 0.8] {
             for kind in [ProtocolKind::Primo, ProtocolKind::Tapir] {
-                let single = Scale {
-                    workers_per_partition: 1,
-                    ..*scale
-                };
-                let snap = run_ycsb(
-                    kind,
-                    &single,
-                    None,
-                    |y| {
+                let snap = Experiment::new()
+                    .protocol(kind)
+                    .scale(scale.with_workers(1))
+                    .ycsb_with(move |y| {
                         y.zipf_theta = skew;
                         y.distributed_ratio = dist;
-                    },
-                    |_| {},
-                );
+                    })
+                    .run();
                 println!(
                     "{:<10} {:<18} {:>10.1} {:>12.2} {:>12.2} {:>12.3}",
-                    build_protocol(kind).name(),
+                    kind.label(),
                     format!("{contention}, {}% dist", (dist * 100.0) as u32),
                     snap.ktps(),
                     snap.mean_latency_ms,

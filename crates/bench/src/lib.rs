@@ -1,5 +1,7 @@
 //! Experiment harness: regenerates every figure of the paper's evaluation
-//! (§6) on the simulated cluster.
+//! (§6) on the simulated cluster, written entirely against the
+//! [`primo_repro`] facade ([`primo_repro::Experiment`],
+//! [`primo_repro::ProtocolRegistry`]).
 //!
 //! Use the `figures` binary:
 //!
@@ -14,6 +16,5 @@
 //! the recorded comparison.
 
 pub mod figures;
-pub mod setup;
 
-pub use setup::{build_protocol, cluster_config_for, Scale};
+pub use primo_repro::Scale;

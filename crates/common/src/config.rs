@@ -4,11 +4,9 @@
 //! round-trip, 10 ms watermark interval / COCO epoch, exponential back-off
 //! starting at 0.5 ms.
 
-use serde::{Deserialize, Serialize};
-
 /// Which concurrency-control scheme a protocol uses for its *local* accesses
 /// and validation logic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CcScheme {
     /// Two-phase locking, aborting immediately on conflict.
     TwoPlNoWait,
@@ -24,7 +22,7 @@ pub enum CcScheme {
 }
 
 /// The distributed transaction protocol under test.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProtocolKind {
     /// 2PL(NO_WAIT) + 2PC (Spanner-like, §2.1).
     TwoPlNoWait,
@@ -77,7 +75,7 @@ impl ProtocolKind {
 }
 
 /// How durability is confirmed (Fig 11–13 compare these).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LoggingScheme {
     /// Synchronous per-transaction log flush (classic, not used in figures).
     SyncPerTxn,
@@ -102,7 +100,7 @@ impl LoggingScheme {
 }
 
 /// Simulated network parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetConfig {
     /// One-way latency between any two partitions, in microseconds.
     pub one_way_us: u64,
@@ -126,7 +124,7 @@ impl Default for NetConfig {
 }
 
 /// Durability / group-commit parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WalConfig {
     pub scheme: LoggingScheme,
     /// Watermark interval `t_m` or COCO epoch length, in milliseconds.
@@ -151,7 +149,7 @@ impl Default for WalConfig {
 }
 
 /// Primo-specific knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PrimoConfig {
     /// Fall back to 2PC for read-heavy workloads (§4.3). When `Some(r)`, a
     /// distributed transaction whose declared read ratio exceeds `r` uses the
@@ -171,7 +169,7 @@ impl Default for PrimoConfig {
 }
 
 /// Top-level cluster configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
     pub num_partitions: usize,
     /// Worker threads per partition leader.
@@ -250,15 +248,10 @@ mod tests {
     }
 
     #[test]
-    fn config_serde_roundtrip() {
-        let c = ClusterConfig::default();
-        let s = serde_json_like(&c);
+    fn config_debug_lists_every_section() {
+        let s = format!("{:?}", ClusterConfig::default());
         assert!(s.contains("num_partitions"));
-    }
-
-    // serde_json is not a dependency; use the Debug representation to check
-    // that the derives exist and the struct is serialisable in principle.
-    fn serde_json_like(c: &ClusterConfig) -> String {
-        format!("{c:?}")
+        assert!(s.contains("wal"));
+        assert!(s.contains("primo"));
     }
 }

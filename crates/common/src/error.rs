@@ -22,6 +22,9 @@ pub enum AbortReason {
     /// The application explicitly rolled back (`Rollback` in a stored
     /// procedure or an interactive transaction).
     UserAbort,
+    /// The transaction read or updated a key that does not exist (and was
+    /// not created with `insert`). Retrying cannot succeed.
+    NotFound,
     /// A participant or the group-commit layer aborted the transaction because
     /// of a (simulated) partition crash.
     CrashAbort,
@@ -38,7 +41,7 @@ pub enum AbortReason {
 impl AbortReason {
     /// True for aborts that the worker loop should retry with back-off.
     pub fn is_retryable(self) -> bool {
-        !matches!(self, AbortReason::UserAbort)
+        !matches!(self, AbortReason::UserAbort | AbortReason::NotFound)
     }
 
     /// True if this abort was caused by a concurrency conflict (as opposed to
@@ -109,6 +112,7 @@ mod tests {
     #[test]
     fn user_abort_is_not_retryable() {
         assert!(!AbortReason::UserAbort.is_retryable());
+        assert!(!AbortReason::NotFound.is_retryable());
         assert!(AbortReason::LockConflict.is_retryable());
         assert!(AbortReason::CrashAbort.is_retryable());
     }
@@ -121,6 +125,7 @@ mod tests {
             AbortReason::Validation,
             AbortReason::ModeSwitch,
             AbortReason::UserAbort,
+            AbortReason::NotFound,
             AbortReason::CrashAbort,
             AbortReason::RemoteUnavailable,
             AbortReason::EpochAbort,

@@ -1,12 +1,11 @@
 //! Identifier types used across the cluster.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies one shared-nothing partition (one "server" in the paper's
 /// terminology — each partition has a leader that owns a horizontal slice of
 /// every table).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PartitionId(pub u32);
 
 impl PartitionId {
@@ -24,7 +23,7 @@ impl fmt::Display for PartitionId {
 }
 
 /// Identifies a logical table (YCSB main table, TPC-C warehouse, district, ...).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TableId(pub u32);
 
 /// Identifies a worker thread inside a partition.
@@ -40,7 +39,7 @@ pub type Ts = u64;
 /// a local counter incremented for every new transaction. The `Ord` order is
 /// used by the WAIT_DIE deadlock-prevention policy: a *smaller* TID is an
 /// *older* (higher-priority) transaction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TxnId {
     /// Local sequence number at the coordinator (major component so older
     /// transactions across the cluster compare as smaller).
@@ -51,7 +50,10 @@ pub struct TxnId {
 
 impl TxnId {
     pub fn new(coord: PartitionId, seq: u64) -> Self {
-        TxnId { seq, coord: coord.0 }
+        TxnId {
+            seq,
+            coord: coord.0,
+        }
     }
 
     /// The coordinator partition encoded in this TID.

@@ -82,7 +82,10 @@ pub struct ZipfGen {
 impl ZipfGen {
     pub fn new(n: u64, theta: f64) -> Self {
         assert!(n > 0, "Zipf domain must be non-empty");
-        assert!((0.0..1.0).contains(&theta) || theta < 1.0001, "theta must be < 1");
+        assert!(
+            (0.0..1.0).contains(&theta) || theta < 1.0001,
+            "theta must be < 1"
+        );
         if theta <= f64::EPSILON {
             return ZipfGen {
                 n,

@@ -11,10 +11,8 @@
 //! fallback) distributed reads take shared locks instead and the commit phase
 //! runs classic 2PC (see [`crate::protocol`]).
 
-use primo_common::{
-    AbortReason, Key, PartitionId, TableId, TxnError, TxnId, TxnResult, Value,
-};
-use primo_runtime::access::{AccessSet, ReadEntry, WriteEntry};
+use primo_common::{AbortReason, Key, PartitionId, TableId, TxnError, TxnId, TxnResult, Value};
+use primo_runtime::access::{AccessSet, ReadEntry, WriteEntry, WriteKind};
 use primo_runtime::cluster::Cluster;
 use primo_runtime::txn::TxnContext;
 use primo_storage::{LockMode, LockPolicy, LockRequestResult, Record};
@@ -90,7 +88,13 @@ impl<'a> PrimoCtx<'a> {
 
     /// Fetch (or create, for inserts) the record backing `(table, key)` on
     /// partition `p`.
-    fn record_at(&self, p: PartitionId, table: TableId, key: Key, create: bool) -> Option<Arc<Record>> {
+    fn record_at(
+        &self,
+        p: PartitionId,
+        table: TableId,
+        key: Key,
+        create: bool,
+    ) -> Option<Arc<Record>> {
         let store = &self.cluster.partition(p).store;
         match store.get(table, key) {
             Some(r) => Some(r),
@@ -128,7 +132,8 @@ impl<'a> PrimoCtx<'a> {
         self.mode = Mode::Distributed;
         if self.wcf {
             // Blind writes buffered while local need their dummy reads now so
-            // that write-set ⊆ read-set holds before the commit phase.
+            // that write-set ⊆ read-set holds before the commit phase. Only
+            // inserts may create the record they pre-lock.
             let pending: Vec<WriteEntry> = self
                 .access
                 .writes
@@ -137,15 +142,22 @@ impl<'a> PrimoCtx<'a> {
                 .cloned()
                 .collect();
             for w in pending {
-                self.dummy_read(w.partition, w.table, w.key)?;
+                self.dummy_read(w.partition, w.table, w.key, w.kind == WriteKind::Insert)?;
             }
         }
         Ok(())
     }
 
     /// Acquire an exclusive lock on a record only to cover a blind write
-    /// (dummy read, §4.2.2 "Blind-write Handling").
-    fn dummy_read(&mut self, p: PartitionId, table: TableId, key: Key) -> TxnResult<()> {
+    /// (dummy read, §4.2.2 "Blind-write Handling"). `create` is true only
+    /// for insert-kind writes — a plain write to a missing record aborts.
+    fn dummy_read(
+        &mut self,
+        p: PartitionId,
+        table: TableId,
+        key: Key,
+        create: bool,
+    ) -> TxnResult<()> {
         if self.access.find_read(p, table, key).is_some() {
             return Ok(());
         }
@@ -157,9 +169,10 @@ impl<'a> PrimoCtx<'a> {
                 return Err(self.fail(AbortReason::RemoteUnavailable));
             }
         }
-        let record = self
-            .record_at(p, table, key, true)
-            .expect("record_at with create=true always returns a record");
+        let record = match self.record_at(p, table, key, create) {
+            Some(r) => r,
+            None => return Err(self.fail(AbortReason::NotFound)),
+        };
         if self.acquire(&record, LockMode::Exclusive) != LockRequestResult::Granted {
             return Err(self.fail(AbortReason::WaitDie));
         }
@@ -182,6 +195,38 @@ impl<'a> PrimoCtx<'a> {
             locked: Some(LockMode::Exclusive),
             dummy: true,
         });
+        Ok(())
+    }
+
+    /// Shared body of `write` / `insert`: buffer the entry and, in
+    /// distributed WCF mode, pre-lock blind writes via a dummy read. The
+    /// effective kind after buffering decides whether the dummy read may
+    /// create the record (insert stickiness: a put over a buffered insert
+    /// still refers to the record this transaction creates).
+    fn buffered_write(&mut self, entry: WriteEntry) -> TxnResult<()> {
+        if let Some(reason) = self.dead {
+            return Err(TxnError::Aborted(reason));
+        }
+        let (p, table, key) = (entry.partition, entry.table, entry.key);
+        // A write to a remote partition makes the transaction distributed
+        // even if nothing was read remotely (blind remote write).
+        if self.mode == Mode::Local && p != self.home {
+            self.switch_to_distributed()?;
+        }
+        self.access.buffer_write(entry);
+        if self.mode == Mode::Distributed
+            && self.wcf
+            && self.access.find_read(p, table, key).is_none()
+        {
+            // Blind write in distributed mode: pre-lock via a dummy read so
+            // that installing the write-set can never conflict.
+            let i = self
+                .access
+                .find_write(p, table, key)
+                .expect("entry was just buffered");
+            let create = self.access.writes[i].kind == WriteKind::Insert;
+            self.dummy_read(p, table, key, create)?;
+        }
         Ok(())
     }
 
@@ -222,7 +267,7 @@ impl TxnContext for PrimoCtx<'_> {
                 // TicToc read: no lock, remember the observed interval.
                 let record = self
                     .record_at(p, table, key, false)
-                    .ok_or_else(|| self.fail(AbortReason::UserAbort))?;
+                    .ok_or_else(|| self.fail(AbortReason::NotFound))?;
                 let row = record.read();
                 let value = row.value.clone();
                 self.access.reads.push(ReadEntry {
@@ -248,7 +293,7 @@ impl TxnContext for PrimoCtx<'_> {
                 }
                 let record = self
                     .record_at(p, table, key, false)
-                    .ok_or_else(|| self.fail(AbortReason::UserAbort))?;
+                    .ok_or_else(|| self.fail(AbortReason::NotFound))?;
                 let mode = self.read_lock_mode();
                 if self.acquire(&record, mode) != LockRequestResult::Granted {
                     return Err(self.fail(AbortReason::WaitDie));
@@ -282,35 +327,14 @@ impl TxnContext for PrimoCtx<'_> {
     }
 
     fn write(&mut self, p: PartitionId, table: TableId, key: Key, value: Value) -> TxnResult<()> {
-        if let Some(reason) = self.dead {
-            return Err(TxnError::Aborted(reason));
-        }
-        // A write to a remote partition makes the transaction distributed
-        // even if nothing was read remotely (blind remote write).
-        if self.mode == Mode::Local && p != self.home {
-            self.switch_to_distributed()?;
-        }
-        self.access.buffer_write(WriteEntry {
-            partition: p,
-            table,
-            key,
-            value,
-        });
-        if self.mode == Mode::Distributed
-            && self.wcf
-            && self.access.find_read(p, table, key).is_none()
-        {
-            // Blind write in distributed mode: pre-lock via a dummy read so
-            // that installing the write-set can never conflict.
-            self.dummy_read(p, table, key)?;
-        }
-        Ok(())
+        self.buffered_write(WriteEntry::put(p, table, key, value))
     }
 
     fn insert(&mut self, p: PartitionId, table: TableId, key: Key, value: Value) -> TxnResult<()> {
-        // Inserts behave like blind writes; the record is created at commit
-        // (or by the dummy read in distributed mode).
-        self.write(p, table, key, value)
+        // Inserts behave like blind writes, but carry the create-if-absent
+        // intent: the record is created at commit (or by the dummy read in
+        // distributed mode) instead of aborting with NotFound.
+        self.buffered_write(WriteEntry::insert(p, table, key, value))
     }
 }
 
@@ -372,7 +396,9 @@ mod tests {
             .unwrap();
         assert!(local.lock().held_by(txn));
         assert!(remote.lock().held_by(txn));
-        assert!(remote.lock().exclusively_locked_by_other(TxnId::new(PartitionId(1), 999)));
+        assert!(remote
+            .lock()
+            .exclusively_locked_by_other(TxnId::new(PartitionId(1), 999)));
         assert_eq!(ticket.participants(), vec![PartitionId(1)]);
         ctx.abort_cleanup();
         assert!(!local.lock().is_locked());
@@ -413,7 +439,10 @@ mod tests {
         let mut ctx = PrimoCtx::new(&cluster, &ticket, txn, PartitionId(0), true);
         ctx.write(PartitionId(0), TableId(0), 5, Value::from_u64(777))
             .unwrap();
-        assert_eq!(ctx.read(PartitionId(0), TableId(0), 5).unwrap().as_u64(), 777);
+        assert_eq!(
+            ctx.read(PartitionId(0), TableId(0), 5).unwrap().as_u64(),
+            777
+        );
         cluster.shutdown();
     }
 

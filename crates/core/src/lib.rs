@@ -17,13 +17,12 @@
 //!   raise record floors on remote reads, and the worker returns a result
 //!   only once the global watermark passes the transaction's timestamp.
 //!
-//! [`db::PrimoDb`] offers a small embedded-style facade over a whole cluster
-//! for examples and downstream users.
+//! Downstream users and examples interact with the system through the
+//! `primo_repro::Primo` facade crate, which wires this protocol into a
+//! cluster handle with sessions, experiments and a protocol registry.
 
 pub mod analysis;
 pub mod context;
-pub mod db;
 pub mod protocol;
 
-pub use db::{ClosureProgram, PrimoDb};
 pub use protocol::PrimoProtocol;

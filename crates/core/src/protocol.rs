@@ -1,10 +1,8 @@
 //! The Primo protocol: execution + commit paths (Algorithm 1 of the paper).
 
 use crate::context::{Mode, PrimoCtx};
-use primo_common::{
-    AbortReason, PartitionId, Phase, PhaseTimers, Ts, TxnError, TxnId, TxnResult,
-};
-use primo_runtime::access::AccessSet;
+use primo_common::{AbortReason, PartitionId, Phase, PhaseTimers, Ts, TxnError, TxnId, TxnResult};
+use primo_runtime::access::{resolve_write_record, AccessSet};
 use primo_runtime::cluster::Cluster;
 use primo_runtime::protocol::{CommittedTxn, Protocol};
 use primo_runtime::txn::TxnProgram;
@@ -48,7 +46,19 @@ impl PrimoProtocol {
 
     /// Full Primo with the read-heavy 2PC fallback enabled at `threshold`
     /// (e.g. 0.8 per the paper's analysis).
+    ///
+    /// The threshold is compared against each program's declared read
+    /// fraction, so it must itself be a fraction.
+    ///
+    /// # Panics
+    /// Panics if `threshold` is NaN or outside `[0, 1]` — such a value would
+    /// silently disable the fallback (or force every distributed transaction
+    /// through 2PC) instead of expressing a read ratio.
     pub fn with_read_heavy_fallback(threshold: f64) -> Self {
+        assert!(
+            threshold.is_finite() && (0.0..=1.0).contains(&threshold),
+            "read-heavy fallback threshold must be a fraction in [0, 1], got {threshold}"
+        );
         PrimoProtocol {
             wcf_enabled: true,
             label: "Primo",
@@ -107,17 +117,11 @@ impl PrimoProtocol {
         let lock_result = timers.time(Phase::Commit, || {
             for w in &ctx.access.writes {
                 let store = &cluster.partition(w.partition).store;
-                let record = match store.get(w.table, w.key) {
-                    Some(r) => r,
-                    None => store.table(w.table).insert_if_absent(w.key, w.value.clone()).0,
-                };
+                let record = resolve_write_record(store, w)?;
                 if ctx.access.find_read(w.partition, w.table, w.key).is_none()
-                    || ctx.access.reads[ctx
-                        .access
-                        .find_read(w.partition, w.table, w.key)
-                        .unwrap()]
-                    .locked
-                    .is_none()
+                    || ctx.access.reads[ctx.access.find_read(w.partition, w.table, w.key).unwrap()]
+                        .locked
+                        .is_none()
                 {
                     if record.acquire(txn, LockMode::Exclusive, LockPolicy::NoWait)
                         != LockRequestResult::Granted
@@ -139,7 +143,9 @@ impl PrimoProtocol {
 
         // 2. Compute the commit timestamp (including the rts of blind-write
         //    records, which have no read entry but are locked above).
-        let mut ts = timers.time(Phase::Timestamp, || Self::compute_ts(cluster, home, &ctx.access));
+        let mut ts = timers.time(Phase::Timestamp, || {
+            Self::compute_ts(cluster, home, &ctx.access)
+        });
         for r in &locked {
             let (_, rts) = r.timestamps();
             ts = ts.max(rts + 1);
@@ -207,7 +213,9 @@ impl PrimoProtocol {
         timers: &mut PhaseTimers,
     ) -> TxnResult<CommittedTxn> {
         let home = ctx.home;
-        let ts = timers.time(Phase::Timestamp, || Self::compute_ts(cluster, home, &ctx.access));
+        let ts = timers.time(Phase::Timestamp, || {
+            Self::compute_ts(cluster, home, &ctx.access)
+        });
         cluster.group_commit.update_ts(ticket, ts);
         let ops = ctx.access.ops();
         let participants = ctx.access.participants(home);
@@ -299,10 +307,7 @@ impl PrimoProtocol {
         let lock_result = timers.time(Phase::TwoPc, || {
             for w in &ctx.access.writes {
                 let store = &cluster.partition(w.partition).store;
-                let record = match store.get(w.table, w.key) {
-                    Some(r) => r,
-                    None => store.table(w.table).insert_if_absent(w.key, w.value.clone()).0,
-                };
+                let record = resolve_write_record(store, w)?;
                 if record.acquire(txn, LockMode::Exclusive, LockPolicy::WaitDie)
                     != LockRequestResult::Granted
                 {
@@ -326,7 +331,9 @@ impl PrimoProtocol {
 
         // Timestamp + read validation (TicToc-style, so local transactions
         // can still commit around us).
-        let ts = timers.time(Phase::Timestamp, || Self::compute_ts(cluster, home, &ctx.access));
+        let ts = timers.time(Phase::Timestamp, || {
+            Self::compute_ts(cluster, home, &ctx.access)
+        });
         cluster.group_commit.update_ts(ticket, ts);
         let validation = timers.time(Phase::Commit, || {
             for r in &ctx.access.reads {
@@ -470,7 +477,10 @@ mod tests {
         let protocol = PrimoProtocol::full();
         let prog = IncrementProgram {
             home: PartitionId(0),
-            accesses: vec![(PartitionId(0), TableId(0), 1), (PartitionId(0), TableId(0), 2)],
+            accesses: vec![
+                (PartitionId(0), TableId(0), 1),
+                (PartitionId(0), TableId(0), 2),
+            ],
         };
         run_single_txn(&cluster, &protocol, &prog).unwrap();
         assert_eq!(
@@ -537,7 +547,10 @@ mod tests {
         let before = cluster.net.round_trips_charged();
         let prog = IncrementProgram {
             home: PartitionId(0),
-            accesses: vec![(PartitionId(0), TableId(0), 3), (PartitionId(1), TableId(0), 3)],
+            accesses: vec![
+                (PartitionId(0), TableId(0), 3),
+                (PartitionId(1), TableId(0), 3),
+            ],
         };
         run_single_txn(&cluster, &protocol, &prog).unwrap();
         let used = cluster.net.round_trips_charged() - before;
@@ -552,7 +565,10 @@ mod tests {
         let protocol = PrimoProtocol::full();
         let prog = IncrementProgram {
             home: PartitionId(0),
-            accesses: vec![(PartitionId(0), TableId(0), 7), (PartitionId(1), TableId(0), 7)],
+            accesses: vec![
+                (PartitionId(0), TableId(0), 7),
+                (PartitionId(1), TableId(0), 7),
+            ],
         };
         run_single_txn(&cluster, &protocol, &prog).unwrap();
         let (w0, r0) = cluster
@@ -597,6 +613,96 @@ mod tests {
             .unwrap();
         assert_eq!(rec.read().value.as_u64(), 0, "no effects installed");
         assert!(!rec.lock().is_locked(), "locks released after user abort");
+        cluster.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a fraction")]
+    fn read_heavy_fallback_rejects_nan() {
+        let _ = PrimoProtocol::with_read_heavy_fallback(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a fraction")]
+    fn read_heavy_fallback_rejects_out_of_range() {
+        let _ = PrimoProtocol::with_read_heavy_fallback(1.5);
+    }
+
+    #[test]
+    fn read_heavy_fallback_accepts_boundary_values() {
+        let _ = PrimoProtocol::with_read_heavy_fallback(0.0);
+        let _ = PrimoProtocol::with_read_heavy_fallback(1.0);
+        let _ = PrimoProtocol::with_read_heavy_fallback(0.8);
+    }
+
+    #[test]
+    fn insert_creates_missing_record_at_commit() {
+        struct InsertProgram;
+        impl TxnProgram for InsertProgram {
+            fn execute(&self, ctx: &mut dyn TxnContext) -> TxnResult<()> {
+                // Key 5000 was never loaded; a distributed insert must create
+                // it on the remote partition.
+                ctx.read(PartitionId(1), TableId(0), 1)?;
+                ctx.insert(PartitionId(1), TableId(0), 5000, Value::from_u64(42))
+            }
+            fn home_partition(&self) -> PartitionId {
+                PartitionId(0)
+            }
+        }
+        let cluster = loaded_cluster(2);
+        run_single_txn(&cluster, &PrimoProtocol::full(), &InsertProgram).unwrap();
+        assert_eq!(
+            cluster
+                .partition(PartitionId(1))
+                .store
+                .get(TableId(0), 5000)
+                .unwrap()
+                .read()
+                .value
+                .as_u64(),
+            42
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn plain_write_to_missing_record_aborts_not_found() {
+        struct BlindPut {
+            home: PartitionId,
+            target: PartitionId,
+        }
+        impl TxnProgram for BlindPut {
+            fn execute(&self, ctx: &mut dyn TxnContext) -> TxnResult<()> {
+                // `write` is an update: key 7777 does not exist anywhere.
+                ctx.read(self.target, TableId(0), 1)?;
+                ctx.write(self.target, TableId(0), 7777, Value::from_u64(1))
+            }
+            fn home_partition(&self) -> PartitionId {
+                self.home
+            }
+        }
+        let cluster = loaded_cluster(2);
+        // Local and distributed paths must both reject the phantom update.
+        for target in [PartitionId(0), PartitionId(1)] {
+            let err = run_single_txn(
+                &cluster,
+                &PrimoProtocol::full(),
+                &BlindPut {
+                    home: PartitionId(0),
+                    target,
+                },
+            )
+            .unwrap_err();
+            assert_eq!(err, AbortReason::NotFound, "target {target}");
+            assert!(
+                cluster
+                    .partition(target)
+                    .store
+                    .get(TableId(0), 7777)
+                    .is_none(),
+                "phantom record must not be created on {target}"
+            );
+        }
         cluster.shutdown();
     }
 

@@ -6,11 +6,10 @@
 //! messages to per-partition mailboxes after `base_delay + per-destination
 //! extra delay`, using a background pump thread.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use primo_common::sim_time::now_us;
 use primo_common::PartitionId;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -30,7 +29,11 @@ pub enum BusMessage {
     EpochDecision { epoch: u64, commit: bool },
     /// Recovery: a partition publishes its latest persisted watermark so the
     /// cluster can agree on a rollback point (§5.2).
-    RecoveryWatermark { from: PartitionId, wp: u64, term: u64 },
+    RecoveryWatermark {
+        from: PartitionId,
+        wp: u64,
+        term: u64,
+    },
 }
 
 #[derive(Debug)]
@@ -62,10 +65,44 @@ impl Ord for Pending {
     }
 }
 
+/// A per-partition mailbox: delivered messages wait here until the owning
+/// partition drains them.
+#[derive(Debug, Default)]
+struct Mailbox {
+    queue: Mutex<VecDeque<BusMessage>>,
+    available: Condvar,
+}
+
+impl Mailbox {
+    fn push(&self, msg: BusMessage) {
+        self.queue.lock().push_back(msg);
+        self.available.notify_all();
+    }
+
+    fn try_pop(&self) -> Option<BusMessage> {
+        self.queue.lock().pop_front()
+    }
+
+    fn pop_timeout(&self, timeout: Duration) -> Option<BusMessage> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(msg) = q.pop_front() {
+                return Some(msg);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.available.wait_for(&mut q, deadline - now);
+        }
+    }
+}
+
 /// Delay-injecting broadcast bus for control messages.
 #[derive(Debug)]
 pub struct DelayedBus {
-    inboxes: Vec<(Sender<BusMessage>, Receiver<BusMessage>)>,
+    inboxes: Vec<Mailbox>,
     queue: Arc<Mutex<BinaryHeap<Pending>>>,
     /// Base one-way delay for control messages, microseconds.
     base_delay_us: AtomicU64,
@@ -79,7 +116,7 @@ pub struct DelayedBus {
 
 impl DelayedBus {
     pub fn new(num_partitions: usize, base_delay_us: u64) -> Arc<Self> {
-        let inboxes = (0..num_partitions).map(|_| unbounded()).collect();
+        let inboxes = (0..num_partitions).map(|_| Mailbox::default()).collect();
         let bus = Arc::new(DelayedBus {
             inboxes,
             queue: Arc::new(Mutex::new(BinaryHeap::new())),
@@ -113,8 +150,7 @@ impl DelayedBus {
                         break;
                     }
                     let p = q.pop().unwrap();
-                    // Ignore send errors: receiver may be gone during shutdown.
-                    let _ = self.inboxes[p.to.idx()].0.send(p.msg);
+                    self.inboxes[p.to.idx()].push(p.msg);
                     delivered_any = true;
                 }
             }
@@ -163,7 +199,7 @@ impl DelayedBus {
     /// Drain all messages currently available for a partition.
     pub fn drain(&self, me: PartitionId) -> Vec<BusMessage> {
         let mut out = Vec::new();
-        while let Ok(m) = self.inboxes[me.idx()].1.try_recv() {
+        while let Some(m) = self.inboxes[me.idx()].try_pop() {
             out.push(m);
         }
         out
@@ -171,7 +207,7 @@ impl DelayedBus {
 
     /// Blocking receive with timeout for coordinator threads.
     pub fn recv_timeout(&self, me: PartitionId, timeout: Duration) -> Option<BusMessage> {
-        self.inboxes[me.idx()].1.recv_timeout(timeout).ok()
+        self.inboxes[me.idx()].pop_timeout(timeout)
     }
 
     /// Stop the pump thread. Called on cluster shutdown.
@@ -245,7 +281,10 @@ mod tests {
             },
         );
         std::thread::sleep(Duration::from_millis(5));
-        assert!(bus.drain(PartitionId(1)).is_empty(), "should still be in flight");
+        assert!(
+            bus.drain(PartitionId(1)).is_empty(),
+            "should still be in flight"
+        );
         std::thread::sleep(Duration::from_millis(60));
         assert_eq!(bus.drain(PartitionId(1)).len(), 1);
         bus.shutdown();

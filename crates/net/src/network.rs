@@ -35,7 +35,9 @@ impl SimNetwork {
             cfg: RwLock::new(cfg),
             num_partitions,
             extra_delay_us: (0..num_partitions).map(|_| AtomicU64::new(0)).collect(),
-            crashed: (0..num_partitions).map(|_| AtomicBool::new(false)).collect(),
+            crashed: (0..num_partitions)
+                .map(|_| AtomicBool::new(false))
+                .collect(),
             messages: AtomicU64::new(0),
             round_trips: AtomicU64::new(0),
             jitter_salt: 0x5EED,

@@ -6,8 +6,8 @@
 //! on abort. Keeping this in one place keeps the protocol implementations
 //! focused on their actual decision logic.
 
-use primo_common::{Key, PartitionId, TableId, TxnId, Value};
-use primo_storage::{LockMode, Record};
+use primo_common::{AbortReason, Key, PartitionId, TableId, TxnId, Value};
+use primo_storage::{LockMode, PartitionStore, Record};
 use std::sync::Arc;
 
 /// One record read by the transaction.
@@ -28,6 +28,17 @@ pub struct ReadEntry {
     pub dummy: bool,
 }
 
+/// How a buffered write treats a missing record at install time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteKind {
+    /// Update an existing record; installing against a missing record aborts
+    /// the transaction (the key was never created).
+    Put,
+    /// Create-if-absent: the record is created at commit if it does not
+    /// exist ([`TxnContext::insert`](crate::txn::TxnContext::insert)).
+    Insert,
+}
+
 /// One buffered write.
 #[derive(Debug, Clone)]
 pub struct WriteEntry {
@@ -35,6 +46,50 @@ pub struct WriteEntry {
     pub table: TableId,
     pub key: Key,
     pub value: Value,
+    pub kind: WriteKind,
+}
+
+impl WriteEntry {
+    /// A plain update.
+    pub fn put(partition: PartitionId, table: TableId, key: Key, value: Value) -> Self {
+        WriteEntry {
+            partition,
+            table,
+            key,
+            value,
+            kind: WriteKind::Put,
+        }
+    }
+
+    /// A create-if-absent insert.
+    pub fn insert(partition: PartitionId, table: TableId, key: Key, value: Value) -> Self {
+        WriteEntry {
+            partition,
+            table,
+            key,
+            value,
+            kind: WriteKind::Insert,
+        }
+    }
+}
+
+/// Resolve the record a buffered write installs into, enforcing the
+/// put/insert contract in one place: an insert creates the record if absent,
+/// a plain put to a missing record aborts with [`AbortReason::NotFound`].
+/// Every protocol's install/lock path goes through this so the semantics
+/// cannot drift between protocols.
+pub fn resolve_write_record(
+    store: &PartitionStore,
+    w: &WriteEntry,
+) -> Result<Arc<Record>, AbortReason> {
+    match store.get(w.table, w.key) {
+        Some(r) => Ok(r),
+        None if w.kind == WriteKind::Insert => Ok(store
+            .table(w.table)
+            .insert_if_absent(w.key, Value::zeroed(0))
+            .0),
+        None => Err(AbortReason::NotFound),
+    }
 }
 
 /// The complete access set of one transaction attempt.
@@ -63,9 +118,15 @@ impl AccessSet {
             .position(|w| w.partition == partition && w.table == table && w.key == key)
     }
 
-    /// Buffer a write, overwriting a previous buffered value for the same key.
-    pub fn buffer_write(&mut self, entry: WriteEntry) {
+    /// Buffer a write, overwriting a previous buffered value for the same
+    /// key. Once a key is buffered as an insert it stays create-if-absent:
+    /// a later plain write to the same key still refers to the record this
+    /// transaction is creating.
+    pub fn buffer_write(&mut self, mut entry: WriteEntry) {
         if let Some(i) = self.find_write(entry.partition, entry.table, entry.key) {
+            if self.writes[i].kind == WriteKind::Insert {
+                entry.kind = WriteKind::Insert;
+            }
             self.writes[i] = entry;
         } else {
             self.writes.push(entry);
@@ -143,12 +204,12 @@ mod tests {
         a.reads.push(entry(0, 1, false));
         a.reads.push(entry(1, 2, false));
         a.reads.push(entry(1, 3, false));
-        a.buffer_write(WriteEntry {
-            partition: PartitionId(2),
-            table: TableId(0),
-            key: 9,
-            value: Value::from_u64(0),
-        });
+        a.buffer_write(WriteEntry::put(
+            PartitionId(2),
+            TableId(0),
+            9,
+            Value::from_u64(0),
+        ));
         let parts = a.participants(PartitionId(0));
         assert_eq!(parts, vec![PartitionId(1), PartitionId(2)]);
         assert!(a.is_distributed(PartitionId(0)));
@@ -159,16 +220,47 @@ mod tests {
     fn buffer_write_overwrites_same_key() {
         let mut a = AccessSet::new();
         for v in [1u64, 2, 3] {
-            a.buffer_write(WriteEntry {
-                partition: PartitionId(0),
-                table: TableId(0),
-                key: 7,
-                value: Value::from_u64(v),
-            });
+            a.buffer_write(WriteEntry::put(
+                PartitionId(0),
+                TableId(0),
+                7,
+                Value::from_u64(v),
+            ));
         }
         assert_eq!(a.writes.len(), 1);
         assert_eq!(a.writes[0].value.as_u64(), 3);
         assert_eq!(a.find_write(PartitionId(0), TableId(0), 7), Some(0));
+    }
+
+    #[test]
+    fn insert_kind_sticks_across_rebuffering() {
+        let mut a = AccessSet::new();
+        a.buffer_write(WriteEntry::insert(
+            PartitionId(0),
+            TableId(0),
+            5,
+            Value::from_u64(1),
+        ));
+        // A later plain write to the same key still creates the record: the
+        // transaction inserted it, so the key may not exist outside the
+        // write buffer.
+        a.buffer_write(WriteEntry::put(
+            PartitionId(0),
+            TableId(0),
+            5,
+            Value::from_u64(2),
+        ));
+        assert_eq!(a.writes.len(), 1);
+        assert_eq!(a.writes[0].kind, WriteKind::Insert);
+        assert_eq!(a.writes[0].value.as_u64(), 2);
+        // And an unrelated put stays a put.
+        a.buffer_write(WriteEntry::put(
+            PartitionId(0),
+            TableId(0),
+            6,
+            Value::from_u64(3),
+        ));
+        assert_eq!(a.writes[1].kind, WriteKind::Put);
     }
 
     #[test]
@@ -192,12 +284,12 @@ mod tests {
         let mut a = AccessSet::new();
         a.reads.push(entry(0, 1, false));
         a.reads.push(entry(0, 2, false));
-        a.buffer_write(WriteEntry {
-            partition: PartitionId(0),
-            table: TableId(0),
-            key: 2,
-            value: Value::from_u64(0),
-        });
+        a.buffer_write(WriteEntry::put(
+            PartitionId(0),
+            TableId(0),
+            2,
+            Value::from_u64(0),
+        ));
         assert!((a.read_fraction() - 2.0 / 3.0).abs() < 1e-9);
         assert_eq!(AccessSet::new().read_fraction(), 1.0);
     }

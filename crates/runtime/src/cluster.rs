@@ -163,10 +163,7 @@ mod tests {
         let cluster = Cluster::new(ClusterConfig::for_tests(1));
         let p = cluster.partition(PartitionId(0));
         p.store.insert(TableId(0), 5, Value::from_u64(9));
-        assert_eq!(
-            p.store.get(TableId(0), 5).unwrap().read().value.as_u64(),
-            9
-        );
+        assert_eq!(p.store.get(TableId(0), 5).unwrap().read().value.as_u64(), 9);
         p.set_slowdown_us(100);
         assert_eq!(p.slowdown_us(), 100);
         cluster.shutdown();

@@ -135,9 +135,7 @@ mod tests {
     use super::*;
     use crate::protocol::CommittedTxn;
     use crate::txn::{TxnContext, TxnProgram};
-    use primo_common::{
-        FastRng, Key, PhaseTimers, TableId, TxnId, TxnResult, Value,
-    };
+    use primo_common::{FastRng, Key, PhaseTimers, TableId, TxnId, TxnResult, Value};
     use primo_storage::PartitionStore;
     use primo_wal::TxnTicket;
 
@@ -162,6 +160,10 @@ mod tests {
         fn write(&mut self, p: PartitionId, t: TableId, k: Key, v: Value) -> TxnResult<()> {
             self.cluster.partition(p).store.insert(t, k, v);
             Ok(())
+        }
+
+        fn insert(&mut self, p: PartitionId, t: TableId, k: Key, v: Value) -> TxnResult<()> {
+            self.write(p, t, k, v)
         }
     }
 
@@ -196,7 +198,12 @@ mod tests {
     impl TxnProgram for CounterTxn {
         fn execute(&self, ctx: &mut dyn TxnContext) -> TxnResult<()> {
             let v = ctx.read(self.home, TableId(0), self.key)?;
-            ctx.write(self.home, TableId(0), self.key, Value::from_u64(v.as_u64() + 1))
+            ctx.write(
+                self.home,
+                TableId(0),
+                self.key,
+                Value::from_u64(v.as_u64() + 1),
+            )
         }
         fn home_partition(&self) -> PartitionId {
             self.home

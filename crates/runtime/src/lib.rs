@@ -15,9 +15,9 @@ pub mod protocol;
 pub mod txn;
 pub mod worker;
 
-pub use access::{AccessSet, ReadEntry, WriteEntry};
+pub use access::{AccessSet, ReadEntry, WriteEntry, WriteKind};
 pub use cluster::{Cluster, Partition};
 pub use experiment::{run_experiment, run_on_cluster, CrashPlan, ExperimentOptions};
 pub use protocol::{CommittedTxn, Protocol};
-pub use txn::{TxnContext, TxnProgram, Workload};
+pub use txn::{ClosureProgram, TxnContext, TxnProgram, Workload};
 pub use worker::run_single_txn;

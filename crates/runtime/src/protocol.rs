@@ -55,33 +55,11 @@ pub trait Protocol: Send + Sync {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::txn::TxnContext;
     use primo_common::config::ClusterConfig;
-    use primo_common::{AbortReason, PartitionId, TxnError};
+    use primo_common::PartitionId;
 
     /// A no-op protocol used to exercise the trait object plumbing.
     struct NoopProtocol;
-
-    struct NoopCtx;
-    impl TxnContext for NoopCtx {
-        fn read(
-            &mut self,
-            _p: PartitionId,
-            _t: primo_common::TableId,
-            _k: primo_common::Key,
-        ) -> TxnResult<primo_common::Value> {
-            Err(TxnError::Aborted(AbortReason::UserAbort))
-        }
-        fn write(
-            &mut self,
-            _p: PartitionId,
-            _t: primo_common::TableId,
-            _k: primo_common::Key,
-            _v: primo_common::Value,
-        ) -> TxnResult<()> {
-            Ok(())
-        }
-    }
 
     impl Protocol for NoopProtocol {
         fn name(&self) -> &'static str {

@@ -17,7 +17,9 @@ pub trait TxnContext {
     /// Read a record. Returns the payload visible to this transaction.
     fn read(&mut self, partition: PartitionId, table: TableId, key: Key) -> TxnResult<Value>;
 
-    /// Buffer a write. The value is installed at commit.
+    /// Buffer an update to an existing record. The value is installed at
+    /// commit; installing against a record that does not exist aborts with
+    /// `NotFound`. Use [`TxnContext::insert`] for create-if-absent writes.
     fn write(
         &mut self,
         partition: PartitionId,
@@ -26,17 +28,21 @@ pub trait TxnContext {
         value: Value,
     ) -> TxnResult<()>;
 
-    /// Insert a new record (buffered like a write; creates the record at
-    /// commit if it does not exist).
+    /// Insert a new record: buffered like a write, but the record is created
+    /// at commit if it does not exist.
+    ///
+    /// This is a *distinct* operation, not an alias of [`TxnContext::write`]:
+    /// protocol contexts record the create-if-absent intent in their write
+    /// set (see `WriteKind` in the access module) so the install path knows
+    /// whether a missing record is an error (plain write) or a creation
+    /// (insert).
     fn insert(
         &mut self,
         partition: PartitionId,
         table: TableId,
         key: Key,
         value: Value,
-    ) -> TxnResult<()> {
-        self.write(partition, table, key, value)
-    }
+    ) -> TxnResult<()>;
 
     /// Read-modify-write convenience: read, transform, write back.
     fn update_with(
@@ -90,6 +96,58 @@ pub trait Workload: Send + Sync {
 
     /// Generate the next transaction for a worker whose home is `home`.
     fn generate(&self, rng: &mut FastRng, home: PartitionId) -> Box<dyn TxnProgram>;
+}
+
+/// A transaction program defined by a closure — the most direct way to
+/// express the paper's "transactions are arbitrary programs" model in ad-hoc
+/// code (sessions, examples, tests).
+pub struct ClosureProgram<F>
+where
+    F: Fn(&mut dyn TxnContext) -> TxnResult<()> + Send + Sync,
+{
+    home: PartitionId,
+    read_only: bool,
+    body: F,
+}
+
+impl<F> ClosureProgram<F>
+where
+    F: Fn(&mut dyn TxnContext) -> TxnResult<()> + Send + Sync,
+{
+    pub fn new(home: PartitionId, body: F) -> Self {
+        ClosureProgram {
+            home,
+            read_only: false,
+            body,
+        }
+    }
+
+    /// Declare the program read-only (Primo serves it from a snapshot).
+    pub fn read_only(mut self) -> Self {
+        self.read_only = true;
+        self
+    }
+}
+
+impl<F> TxnProgram for ClosureProgram<F>
+where
+    F: Fn(&mut dyn TxnContext) -> TxnResult<()> + Send + Sync,
+{
+    fn execute(&self, ctx: &mut dyn TxnContext) -> TxnResult<()> {
+        (self.body)(ctx)
+    }
+
+    fn home_partition(&self) -> PartitionId {
+        self.home
+    }
+
+    fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    fn label(&self) -> &'static str {
+        "closure"
+    }
 }
 
 /// A trivially simple program used by runtime-level tests: read a set of
@@ -147,6 +205,12 @@ mod tests {
             self.data.insert((p.0, t.0, k), v.as_u64());
             self.writes += 1;
             Ok(())
+        }
+
+        fn insert(&mut self, p: PartitionId, t: TableId, k: Key, v: Value) -> TxnResult<()> {
+            // The map applies writes immediately, so insert and write
+            // coincide here.
+            self.write(p, t, k, v)
         }
     }
 

@@ -55,8 +55,7 @@ fn drain_pending(ctx: &WorkerContext, pending: &mut VecDeque<PendingCommit>) {
         match ctx.cluster.group_commit.try_outcome(&front.waiter) {
             Some(outcome) => {
                 let mut done = pending.pop_front().unwrap();
-                done.timers
-                    .add(Phase::Return, done.committed_at.elapsed());
+                done.timers.add(Phase::Return, done.committed_at.elapsed());
                 if ctx.recording.load(Ordering::Relaxed) {
                     match outcome {
                         CommitOutcome::Committed => {
@@ -131,15 +130,19 @@ pub fn worker_loop(ctx: WorkerContext) {
                 timers.time(Phase::Execute, || charge_latency_us(slowdown));
             }
             let ticket = ctx.cluster.group_commit.begin_txn(ctx.home, txn);
-            let result =
-                ctx.protocol
-                    .execute_once(&ctx.cluster, txn, program.as_ref(), &ticket, &mut timers);
+            let result = ctx.protocol.execute_once(
+                &ctx.cluster,
+                txn,
+                program.as_ref(),
+                &ticket,
+                &mut timers,
+            );
             match result {
                 Ok(commit) => {
-                    let waiter =
-                        ctx.cluster
-                            .group_commit
-                            .txn_committed(&ticket, commit.ts, commit.ops);
+                    let waiter = ctx
+                        .cluster
+                        .group_commit
+                        .txn_committed(&ticket, commit.ts, commit.ops);
                     if ctx.protocol.manages_durability() {
                         if ctx.recording.load(Ordering::Relaxed) {
                             let latency_us = started.elapsed().as_micros() as u64;

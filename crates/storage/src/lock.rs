@@ -121,10 +121,7 @@ impl RecordLock {
                         return LockRequestResult::Abort;
                     }
                     st.waiters += 1;
-                    let timed_out = self
-                        .cond
-                        .wait_for(&mut st, WAIT_TIMEOUT)
-                        .timed_out();
+                    let timed_out = self.cond.wait_for(&mut st, WAIT_TIMEOUT).timed_out();
                     st.waiters -= 1;
                     if timed_out {
                         return LockRequestResult::Abort;
@@ -267,9 +264,8 @@ mod tests {
         );
         // Older (smaller seq) waits until release.
         let l2 = Arc::clone(&l);
-        let waiter = std::thread::spawn(move || {
-            l2.acquire(t(1), LockMode::Exclusive, LockPolicy::WaitDie)
-        });
+        let waiter =
+            std::thread::spawn(move || l2.acquire(t(1), LockMode::Exclusive, LockPolicy::WaitDie));
         std::thread::sleep(Duration::from_millis(10));
         l.release(t(5));
         assert_eq!(waiter.join().unwrap(), LockRequestResult::Granted);

@@ -59,12 +59,7 @@ impl PartitionStore {
 
     /// Number of records across all tables.
     pub fn total_records(&self) -> usize {
-        self.tables
-            .read()
-            .iter()
-            .flatten()
-            .map(|t| t.len())
-            .sum()
+        self.tables.read().iter().flatten().map(|t| t.len()).sum()
     }
 }
 

@@ -70,7 +70,10 @@ impl Table {
 
     /// Remove a record.
     pub fn remove(&self, key: Key) -> bool {
-        self.shards[self.shard_of(key)].write().remove(&key).is_some()
+        self.shards[self.shard_of(key)]
+            .write()
+            .remove(&key)
+            .is_some()
     }
 
     pub fn contains(&self, key: Key) -> bool {

@@ -50,6 +50,11 @@ pub fn build_group_commit(
 /// Convenience used by tests: build the WALs for every partition.
 pub fn build_wals(num_partitions: usize, cfg: WalConfig) -> Vec<Arc<PartitionWal>> {
     (0..num_partitions)
-        .map(|p| Arc::new(PartitionWal::new(PartitionId(p as u32), cfg.persist_delay_us)))
+        .map(|p| {
+            Arc::new(PartitionWal::new(
+                PartitionId(p as u32),
+                cfg.persist_delay_us,
+            ))
+        })
         .collect()
 }

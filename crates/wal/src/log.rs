@@ -41,6 +41,10 @@ struct WalInner {
     next_lsn: u64,
 }
 
+/// One replayed transaction: its id, commit timestamp and write set
+/// (table, key, value per write).
+pub type ReplayedTxn = (TxnId, Ts, Vec<(TableId, Key, Value)>);
+
 /// The write-ahead log of one partition.
 #[derive(Debug)]
 pub struct PartitionWal {
@@ -114,7 +118,7 @@ impl PartitionWal {
     /// Replay all durable transaction writes with `ts < up_to`, in log order.
     /// This is what recovery applies after a crash; everything at or above
     /// `up_to` is rolled back (i.e. simply not replayed).
-    pub fn replay_prefix(&self, up_to: Ts) -> Vec<(TxnId, Ts, Vec<(TableId, Key, Value)>)> {
+    pub fn replay_prefix(&self, up_to: Ts) -> Vec<ReplayedTxn> {
         let now = now_us();
         let inner = self.inner.lock();
         inner

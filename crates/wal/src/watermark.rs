@@ -329,10 +329,7 @@ impl GroupCommit for WatermarkCommit {
             }
         }
         let known = ticket.current_ts().max(lts);
-        self.parts[p.idx()]
-            .active
-            .lock()
-            .insert(ticket.txn, known);
+        self.parts[p.idx()].active.lock().insert(ticket.txn, known);
     }
 
     fn txn_aborted(&self, ticket: &TxnTicket) {
@@ -350,7 +347,11 @@ impl GroupCommit for WatermarkCommit {
         } else {
             self.assign_seq_ts(ticket.coordinator)
         };
-        let crash_idx = self.parts[ticket.coordinator.idx()].wg.lock().rollbacks.len();
+        let crash_idx = self.parts[ticket.coordinator.idx()]
+            .wg
+            .lock()
+            .rollbacks
+            .len();
         for p in ticket.involved() {
             let part = &self.parts[p.idx()];
             part.max_seen_ts.fetch_max(final_ts, Ordering::AcqRel);
@@ -394,8 +395,7 @@ impl GroupCommit for WatermarkCommit {
             if wg.wg > waiter.ts {
                 return CommitOutcome::Committed;
             }
-            part.wg_cond
-                .wait_for(&mut wg, Duration::from_millis(5));
+            part.wg_cond.wait_for(&mut wg, Duration::from_millis(5));
         }
     }
 

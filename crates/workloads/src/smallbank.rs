@@ -73,11 +73,21 @@ impl TxnProgram for SmallbankTxn {
             }
             SmallbankKind::DepositChecking => {
                 let c = ctx.read(pa, CHECKING, a)?;
-                ctx.write(pa, CHECKING, a, with_field(&c, 0, field(&c, 0) + self.amount))?;
+                ctx.write(
+                    pa,
+                    CHECKING,
+                    a,
+                    with_field(&c, 0, field(&c, 0) + self.amount),
+                )?;
             }
             SmallbankKind::TransactSavings => {
                 let s = ctx.read(pa, SAVINGS, a)?;
-                ctx.write(pa, SAVINGS, a, with_field(&s, 0, field(&s, 0) + self.amount))?;
+                ctx.write(
+                    pa,
+                    SAVINGS,
+                    a,
+                    with_field(&s, 0, field(&s, 0) + self.amount),
+                )?;
             }
             SmallbankKind::Amalgamate => {
                 // Move everything from A's savings+checking into B's checking.
@@ -256,12 +266,7 @@ mod tests {
         use std::collections::HashMap;
         struct MapCtx(HashMap<(u32, u32, Key), Value>);
         impl TxnContext for MapCtx {
-            fn read(
-                &mut self,
-                p: PartitionId,
-                t: TableId,
-                k: Key,
-            ) -> TxnResult<Value> {
+            fn read(&mut self, p: PartitionId, t: TableId, k: Key) -> TxnResult<Value> {
                 Ok(self
                     .0
                     .get(&(p.0, t.0, k))
@@ -271,6 +276,9 @@ mod tests {
             fn write(&mut self, p: PartitionId, t: TableId, k: Key, v: Value) -> TxnResult<()> {
                 self.0.insert((p.0, t.0, k), v);
                 Ok(())
+            }
+            fn insert(&mut self, p: PartitionId, t: TableId, k: Key, v: Value) -> TxnResult<()> {
+                self.write(p, t, k, v)
             }
         }
         let txn = SmallbankTxn {
@@ -304,6 +312,9 @@ mod tests {
             fn write(&mut self, p: PartitionId, t: TableId, k: Key, v: Value) -> TxnResult<()> {
                 self.0.insert((p.0, t.0, k), v);
                 Ok(())
+            }
+            fn insert(&mut self, p: PartitionId, t: TableId, k: Key, v: Value) -> TxnResult<()> {
+                self.write(p, t, k, v)
             }
         }
         let txn = SmallbankTxn {

@@ -179,7 +179,12 @@ impl TpccTxn {
         let dk = cfg.district_key(self.w_id, self.d_id);
         let district = ctx.read(home, DISTRICT, dk)?;
         let o_id = field(&district, D_NEXT_O_ID);
-        ctx.write(home, DISTRICT, dk, with_field(&district, D_NEXT_O_ID, o_id + 1))?;
+        ctx.write(
+            home,
+            DISTRICT,
+            dk,
+            with_field(&district, D_NEXT_O_ID, o_id + 1),
+        )?;
         // Customer discount (read).
         let ck = cfg.customer_key(self.w_id, self.d_id, self.c_id);
         let customer = ctx.read(home, CUSTOMER, ck)?;
@@ -265,18 +270,17 @@ impl TpccTxn {
             C_YTD_PAYMENT,
             field(&customer, C_YTD_PAYMENT) + self.amount,
         );
-        updated = with_field(
-            &updated,
-            C_PAYMENT_CNT,
-            field(&customer, C_PAYMENT_CNT) + 1,
-        );
+        updated = with_field(&updated, C_PAYMENT_CNT, field(&customer, C_PAYMENT_CNT) + 1);
         ctx.write(cp, CUSTOMER, ck, updated)?;
         // History insert (blind insert, unique key).
         ctx.insert(
             home,
             HISTORY,
             self.unique,
-            encode_fields(&[self.w_id, self.d_id, self.c_id, self.amount], cfg.row_filler),
+            encode_fields(
+                &[self.w_id, self.d_id, self.c_id, self.amount],
+                cfg.row_filler,
+            ),
         )?;
         Ok(())
     }
@@ -361,7 +365,10 @@ impl TxnProgram for TpccTxn {
     }
 
     fn is_read_only(&self) -> bool {
-        matches!(self.kind, TpccTxnKind::OrderStatus | TpccTxnKind::StockLevel)
+        matches!(
+            self.kind,
+            TpccTxnKind::OrderStatus | TpccTxnKind::StockLevel
+        )
     }
 
     fn read_fraction_hint(&self) -> f64 {
@@ -475,8 +482,8 @@ impl TpccWorkload {
         let w_lo = home.0 as u64 * cfg.warehouses_per_partition;
         let w_id = w_lo + rng.next_below(cfg.warehouses_per_partition);
         let d_id = rng.next_below(cfg.districts_per_warehouse);
-        let c_id = rng.nurand(1023, 0, cfg.customers_per_district - 1, 259)
-            % cfg.customers_per_district;
+        let c_id =
+            rng.nurand(1023, 0, cfg.customers_per_district - 1, 259) % cfg.customers_per_district;
         let kind = self.pick_kind(rng);
         let unique = self.unique.fetch_add(1, Ordering::Relaxed)
             + (home.0 as u64) * 1_000_000_000
@@ -490,8 +497,7 @@ impl TpccWorkload {
                 let ol_cnt = rng.next_range(5, 15);
                 for _ in 0..ol_cnt {
                     let i_id = rng.nurand(8191, 0, cfg.items - 1, 7911) % cfg.items;
-                    let supply_w = if cfg.total_warehouses() > 1 && rng.flip(cfg.remote_item_prob)
-                    {
+                    let supply_w = if cfg.total_warehouses() > 1 && rng.flip(cfg.remote_item_prob) {
                         let mut other = rng.next_below(cfg.total_warehouses());
                         while other == w_id {
                             other = rng.next_below(cfg.total_warehouses());
@@ -503,15 +509,15 @@ impl TpccWorkload {
                     items.push((i_id, supply_w, rng.next_range(1, 10)));
                 }
             }
-            TpccTxnKind::Payment => {
-                if cfg.total_warehouses() > 1 && rng.flip(cfg.remote_payment_prob) {
-                    let mut other = rng.next_below(cfg.total_warehouses());
-                    while other == w_id {
-                        other = rng.next_below(cfg.total_warehouses());
-                    }
-                    c_w_id = other;
-                    c_d_id = rng.next_below(cfg.districts_per_warehouse);
+            TpccTxnKind::Payment
+                if cfg.total_warehouses() > 1 && rng.flip(cfg.remote_payment_prob) =>
+            {
+                let mut other = rng.next_below(cfg.total_warehouses());
+                while other == w_id {
+                    other = rng.next_below(cfg.total_warehouses());
                 }
+                c_w_id = other;
+                c_d_id = rng.next_below(cfg.districts_per_warehouse);
             }
             _ => {}
         }
@@ -546,7 +552,10 @@ mod tests {
         let w = TpccWorkload::new(cfg.clone());
         let store = PartitionStore::new(PartitionId(0));
         w.load_partition(&store, PartitionId(0));
-        assert_eq!(store.table(WAREHOUSE).len() as u64, cfg.warehouses_per_partition);
+        assert_eq!(
+            store.table(WAREHOUSE).len() as u64,
+            cfg.warehouses_per_partition
+        );
         assert_eq!(
             store.table(DISTRICT).len() as u64,
             cfg.warehouses_per_partition * cfg.districts_per_warehouse
@@ -591,8 +600,14 @@ mod tests {
         }
         let no_ratio = neworder_remote as f64 / neworder_total as f64;
         let pay_ratio = payment_remote as f64 / payment_total as f64;
-        assert!((0.05..0.18).contains(&no_ratio), "NewOrder remote {no_ratio}");
-        assert!((0.10..0.20).contains(&pay_ratio), "Payment remote {pay_ratio}");
+        assert!(
+            (0.05..0.18).contains(&no_ratio),
+            "NewOrder remote {no_ratio}"
+        );
+        assert!(
+            (0.10..0.20).contains(&pay_ratio),
+            "Payment remote {pay_ratio}"
+        );
     }
 
     #[test]
@@ -616,14 +631,15 @@ mod tests {
         assert!(neworders > 0, "mix should contain NewOrder transactions");
         // The district next-order-id of at least one district advanced.
         let cfg2 = cfg;
-        let advanced = (0..cfg2.warehouses_per_partition * cfg2.districts_per_warehouse).any(|dk| {
-            cluster
-                .partition(PartitionId(0))
-                .store
-                .get(DISTRICT, dk)
-                .map(|r| field(&r.read().value, D_NEXT_O_ID) > 1)
-                .unwrap_or(false)
-        });
+        let advanced =
+            (0..cfg2.warehouses_per_partition * cfg2.districts_per_warehouse).any(|dk| {
+                cluster
+                    .partition(PartitionId(0))
+                    .store
+                    .get(DISTRICT, dk)
+                    .map(|r| field(&r.read().value, D_NEXT_O_ID) > 1)
+                    .unwrap_or(false)
+            });
         assert!(advanced, "NewOrder must advance some district's next_o_id");
         cluster.shutdown();
     }
@@ -679,7 +695,13 @@ mod tests {
         for _ in 0..2_000 {
             seen.insert(w.generate_txn(&mut rng, PartitionId(1)).label());
         }
-        for label in ["new_order", "payment", "order_status", "delivery", "stock_level"] {
+        for label in [
+            "new_order",
+            "payment",
+            "order_status",
+            "delivery",
+            "stock_level",
+        ] {
             assert!(seen.contains(label), "mix never produced {label}");
         }
     }

@@ -152,8 +152,7 @@ impl YcsbWorkload {
 
     /// Generate the operation list of one transaction.
     fn generate_ops(&self, rng: &mut FastRng, home: PartitionId) -> Vec<YcsbOp> {
-        let distributed =
-            self.cfg.num_partitions > 1 && rng.flip(self.cfg.distributed_ratio);
+        let distributed = self.cfg.num_partitions > 1 && rng.flip(self.cfg.distributed_ratio);
         let remote_partition = if distributed {
             let mut p = rng.next_below(self.cfg.num_partitions as u64) as u32;
             while p == home.0 {
@@ -169,8 +168,9 @@ impl YcsbWorkload {
             let partition = match remote_partition {
                 // Make sure a "distributed" transaction really has at least
                 // one remote access (force the last op remote if needed).
-                Some(rp) if rng.flip(self.cfg.remote_op_ratio)
-                    || (i + 1 == self.cfg.ops_per_txn && !any_remote) =>
+                Some(rp)
+                    if rng.flip(self.cfg.remote_op_ratio)
+                        || (i + 1 == self.cfg.ops_per_txn && !any_remote) =>
                 {
                     any_remote = true;
                     rp
@@ -274,10 +274,9 @@ mod tests {
         let mut cfg = YcsbConfig::paper_default(2, 1_000);
         cfg.blind_write_ratio = 1.0;
         let txns = gen_many(cfg, 100);
-        assert!(txns.iter().all(|t| t
-            .ops
+        assert!(txns
             .iter()
-            .all(|o| o.kind != YcsbOpKind::ReadModifyWrite)));
+            .all(|t| t.ops.iter().all(|o| o.kind != YcsbOpKind::ReadModifyWrite)));
     }
 
     #[test]
@@ -316,6 +315,9 @@ mod tests {
             fn write(&mut self, p: PartitionId, _t: TableId, k: Key, v: Value) -> TxnResult<()> {
                 self.0.insert((p.0, k), v);
                 Ok(())
+            }
+            fn insert(&mut self, p: PartitionId, t: TableId, k: Key, v: Value) -> TxnResult<()> {
+                self.write(p, t, k, v)
             }
         }
         let w = YcsbWorkload::new(YcsbConfig::small(2));

@@ -8,41 +8,29 @@
 //!
 //! Run with: `cargo run --release --example crash_recovery`
 
-use primo_repro::common::config::ClusterConfig;
-use primo_repro::common::PartitionId;
-use primo_repro::core::PrimoProtocol;
-use primo_repro::runtime::experiment::{run_experiment, CrashPlan, ExperimentOptions};
-use primo_repro::workloads::{YcsbConfig, YcsbWorkload};
-use std::sync::Arc;
+use primo_repro::{CrashPlan, Experiment, PartitionId, ProtocolKind, Scale};
 use std::time::Duration;
 
 fn main() {
-    let partitions = 4;
-    let ycsb = YcsbConfig::paper_default(partitions, 10_000);
+    let scale = Scale {
+        partitions: 4,
+        workers_per_partition: 4,
+        ycsb_keys_per_partition: 10_000,
+        duration_ms: 600,
+        warmup_ms: 100,
+    };
 
     for interval_ms in [10u64, 40, 80] {
-        let mut cfg = ClusterConfig {
-            num_partitions: partitions,
-            workers_per_partition: 4,
-            ..Default::default()
-        };
-        cfg.wal.interval_ms = interval_ms;
-        let options = ExperimentOptions {
-            warmup: Duration::from_millis(100),
-            duration: Duration::from_millis(600),
-            crash: Some(CrashPlan {
+        let snap = Experiment::new()
+            .protocol(ProtocolKind::Primo)
+            .scale(scale)
+            .wal_interval_ms(interval_ms)
+            .crash(CrashPlan {
                 partition: PartitionId(1),
                 at: Duration::from_millis(300),
                 recover_after: Duration::from_millis(30),
-            }),
-            ..Default::default()
-        };
-        let snap = run_experiment(
-            cfg,
-            Arc::new(PrimoProtocol::full()),
-            Arc::new(YcsbWorkload::new(ycsb.clone())),
-            &options,
-        );
+            })
+            .run();
         println!(
             "watermark interval {:>3} ms: {:>8.1} ktps, crash-abort rate {:.4}, avg latency {:.2} ms",
             interval_ms,

@@ -7,23 +7,23 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use primo_repro::common::{PartitionId, TableId, Value};
-use primo_repro::core::PrimoDb;
+use primo_repro::{PartitionId, Primo, TableId, Value};
 
 const ACCOUNTS: TableId = TableId(0);
 
 fn main() {
     // A 2-partition cluster with test-friendly (microsecond-scale) latencies.
-    let db = PrimoDb::with_partitions(2);
+    let primo = Primo::builder().partitions(2).fast_local().build();
+    let session = primo.session();
 
     // Load: account 1 lives on partition 0, account 2 on partition 1.
-    db.load(PartitionId(0), ACCOUNTS, 1, Value::from_u64(100));
-    db.load(PartitionId(1), ACCOUNTS, 2, Value::from_u64(50));
+    session.load(PartitionId(0), ACCOUNTS, 1, Value::from_u64(100));
+    session.load(PartitionId(1), ACCOUNTS, 2, Value::from_u64(50));
 
     // A distributed transaction: read both accounts, move 25 across
     // partitions. The closure may branch on what it reads — Primo never needs
     // the read/write set in advance.
-    let attempts = db
+    let attempts = session
         .transaction(PartitionId(0), |ctx| {
             let a = ctx.read(PartitionId(0), ACCOUNTS, 1)?.as_u64();
             let b = ctx.read(PartitionId(1), ACCOUNTS, 2)?.as_u64();
@@ -34,12 +34,12 @@ fn main() {
         })
         .expect("transfer commits");
 
-    let a = db.get(PartitionId(0), ACCOUNTS, 1).unwrap().as_u64();
-    let b = db.get(PartitionId(1), ACCOUNTS, 2).unwrap().as_u64();
+    let a = session.get(PartitionId(0), ACCOUNTS, 1).unwrap().as_u64();
+    let b = session.get(PartitionId(1), ACCOUNTS, 2).unwrap().as_u64();
     println!("transfer committed after {attempts} attempt(s)");
     println!("account 1 (partition 0): {a}");
     println!("account 2 (partition 1): {b}");
     assert_eq!(a + b, 150, "money is conserved");
 
-    db.shutdown();
+    primo.shutdown();
 }

@@ -8,38 +8,27 @@
 //!
 //! Run with: `cargo run --release --example tpcc_cluster`
 
-use primo_repro::common::config::ClusterConfig;
-use primo_repro::common::Phase;
-use primo_repro::core::PrimoProtocol;
-use primo_repro::runtime::experiment::{run_experiment, ExperimentOptions};
-use primo_repro::workloads::{TpccConfig, TpccWorkload};
-use std::sync::Arc;
-use std::time::Duration;
+use primo_repro::{Experiment, Phase, ProtocolKind, Scale};
 
 fn main() {
-    let partitions = 4;
-    let tpcc = TpccConfig::paper_default(partitions);
-    let cfg = ClusterConfig {
-        num_partitions: partitions,
+    let scale = Scale {
+        partitions: 4,
         workers_per_partition: 4,
-        ..Default::default()
+        duration_ms: 600,
+        warmup_ms: 100,
+        ..Scale::quick()
     };
-    let options = ExperimentOptions {
-        warmup: Duration::from_millis(100),
-        duration: Duration::from_millis(600),
-        ..Default::default()
-    };
+    let tpcc = scale.tpcc_config();
 
     println!(
         "TPC-C: {} partitions x {} warehouses, NewOrder/Payment mix",
-        partitions, tpcc.warehouses_per_partition
+        scale.partitions, tpcc.warehouses_per_partition
     );
-    let snap = run_experiment(
-        cfg,
-        Arc::new(PrimoProtocol::full()),
-        Arc::new(TpccWorkload::new(tpcc)),
-        &options,
-    );
+    let snap = Experiment::new()
+        .protocol(ProtocolKind::Primo)
+        .scale(scale)
+        .tpcc(tpcc)
+        .run();
 
     println!("committed:     {}", snap.committed);
     println!("throughput:    {:.1} ktps", snap.ktps());

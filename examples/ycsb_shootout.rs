@@ -7,49 +7,36 @@
 //!
 //! Run with: `cargo run --release --example ycsb_shootout`
 
-use primo_repro::baselines::{SundialProtocol, TwoPlProtocol};
-use primo_repro::common::config::{ClusterConfig, LoggingScheme};
-use primo_repro::core::PrimoProtocol;
-use primo_repro::runtime::experiment::{run_experiment, ExperimentOptions};
-use primo_repro::runtime::protocol::Protocol;
-use primo_repro::workloads::{YcsbConfig, YcsbWorkload};
-use std::sync::Arc;
-use std::time::Duration;
+use primo_repro::{Experiment, ProtocolKind, Scale};
 
 fn main() {
-    let partitions = 4;
-    let ycsb = YcsbConfig::paper_default(partitions, 20_000);
-    let options = ExperimentOptions {
-        warmup: Duration::from_millis(100),
-        duration: Duration::from_millis(500),
-        ..Default::default()
+    let scale = Scale {
+        partitions: 4,
+        workers_per_partition: 4,
+        ycsb_keys_per_partition: 20_000,
+        duration_ms: 500,
+        warmup_ms: 100,
     };
 
-    let entries: Vec<(Arc<dyn Protocol>, LoggingScheme)> = vec![
-        (Arc::new(PrimoProtocol::full()), LoggingScheme::Watermark),
-        (Arc::new(SundialProtocol::new()), LoggingScheme::CocoEpoch),
-        (Arc::new(TwoPlProtocol::no_wait()), LoggingScheme::CocoEpoch),
-    ];
-
-    println!("YCSB, {partitions} partitions, 20k keys/partition, 500 ms measured");
-    println!("{:<12} {:>12} {:>12} {:>12} {:>12}", "protocol", "ktps", "abort rate", "avg lat ms", "p99 lat ms");
-    for (protocol, scheme) in entries {
-        let mut cfg = ClusterConfig {
-            num_partitions: partitions,
-            workers_per_partition: 4,
-            ..Default::default()
-        };
-        cfg.wal.scheme = scheme;
-        let name = protocol.name();
-        let snap = run_experiment(
-            cfg,
-            protocol,
-            Arc::new(YcsbWorkload::new(ycsb.clone())),
-            &options,
-        );
+    println!(
+        "YCSB, {} partitions, 20k keys/partition, 500 ms measured",
+        scale.partitions
+    );
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12}",
+        "protocol", "ktps", "abort rate", "avg lat ms", "p99 lat ms"
+    );
+    // Each protocol runs with the group-commit scheme the registry pairs it
+    // with (§6.1.3): Primo on Watermark, the baselines on COCO.
+    for kind in [
+        ProtocolKind::Primo,
+        ProtocolKind::Sundial,
+        ProtocolKind::TwoPlNoWait,
+    ] {
+        let snap = Experiment::new().protocol(kind).scale(scale).run();
         println!(
             "{:<12} {:>12.1} {:>12.3} {:>12.2} {:>12.2}",
-            name,
+            kind.label(),
             snap.ktps(),
             snap.abort_rate,
             snap.mean_latency_ms,

@@ -1,0 +1,432 @@
+//! The `Primo` facade: build a cluster, open a session, run transactions.
+//!
+//! This is the primary entry point of the workspace. A [`ClusterBuilder`]
+//! assembles a simulated shared-nothing cluster (partitions, worker budget,
+//! group-commit scheme, network timing); the resulting [`Primo`] handle owns
+//! the cluster together with one protocol instance and hands out [`Session`]s
+//! for ad-hoc transactions expressed as closures over
+//! [`TxnContext`](primo_runtime::txn::TxnContext) — arbitrary programs whose
+//! read/write sets emerge at runtime, exactly the generality the paper
+//! targets.
+//!
+//! ```
+//! use primo_repro::{PartitionId, Primo, TableId, Value};
+//!
+//! const ACCOUNTS: TableId = TableId(0);
+//!
+//! let primo = Primo::builder().partitions(2).fast_local().build();
+//! let session = primo.session();
+//! session.load(PartitionId(0), ACCOUNTS, 1, Value::from_u64(100));
+//! session.load(PartitionId(1), ACCOUNTS, 2, Value::from_u64(50));
+//!
+//! // Transfer 10 from account 1 (partition 0) to account 2 (partition 1).
+//! session
+//!     .transaction(PartitionId(0), |ctx| {
+//!         let a = ctx.read(PartitionId(0), ACCOUNTS, 1)?.as_u64();
+//!         let b = ctx.read(PartitionId(1), ACCOUNTS, 2)?.as_u64();
+//!         ctx.write(PartitionId(0), ACCOUNTS, 1, Value::from_u64(a - 10))?;
+//!         ctx.write(PartitionId(1), ACCOUNTS, 2, Value::from_u64(b + 10))?;
+//!         Ok(())
+//!     })
+//!     .unwrap();
+//!
+//! assert_eq!(session.get(PartitionId(0), ACCOUNTS, 1).unwrap().as_u64(), 90);
+//! assert_eq!(session.get(PartitionId(1), ACCOUNTS, 2).unwrap().as_u64(), 60);
+//! primo.shutdown();
+//! ```
+
+use crate::registry::ProtocolRegistry;
+use primo_common::config::{ClusterConfig, LoggingScheme, ProtocolKind};
+use primo_common::{AbortReason, Key, PartitionId, TableId, TxnResult, Value};
+use primo_runtime::cluster::Cluster;
+use primo_runtime::experiment::CrashPlan;
+use primo_runtime::protocol::Protocol;
+use primo_runtime::txn::{ClosureProgram, TxnContext, TxnProgram};
+use primo_runtime::worker::run_single_txn;
+use std::sync::Arc;
+
+/// A deferred edit to the assembled [`ClusterConfig`].
+type ClusterTweak = Box<dyn FnOnce(&mut ClusterConfig)>;
+
+/// Fluent builder for a [`Primo`] cluster handle.
+///
+/// Knobs are recorded and applied in [`ClusterBuilder::build`], so call
+/// order does not matter: `.wal_interval_ms(7).fast_local()` and
+/// `.fast_local().wal_interval_ms(7)` produce the same cluster, and
+/// [`ClusterBuilder::tweak`] closures run last (they win).
+pub struct ClusterBuilder {
+    partitions: usize,
+    workers_per_partition: Option<usize>,
+    wal_interval_ms: Option<u64>,
+    fast_local: bool,
+    kind: ProtocolKind,
+    protocol_override: Option<Arc<dyn Protocol>>,
+    registry: ProtocolRegistry,
+    logging_override: Option<LoggingScheme>,
+    crash: Option<CrashPlan>,
+    tweaks: Vec<ClusterTweak>,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClusterBuilder {
+    pub fn new() -> Self {
+        ClusterBuilder {
+            partitions: ClusterConfig::default().num_partitions,
+            workers_per_partition: None,
+            wal_interval_ms: None,
+            fast_local: false,
+            kind: ProtocolKind::Primo,
+            protocol_override: None,
+            registry: ProtocolRegistry::standard(),
+            logging_override: None,
+            crash: None,
+            tweaks: Vec::new(),
+        }
+    }
+
+    /// Number of shared-nothing partitions (default 4, as in §6.1).
+    pub fn partitions(mut self, n: usize) -> Self {
+        self.partitions = n;
+        self
+    }
+
+    /// Worker threads per partition leader (default 4; 2 under
+    /// [`ClusterBuilder::fast_local`]).
+    pub fn workers_per_partition(mut self, n: usize) -> Self {
+        self.workers_per_partition = Some(n);
+        self
+    }
+
+    /// Force a group-commit scheme instead of the protocol's §6.1.3 pairing.
+    pub fn logging(mut self, scheme: LoggingScheme) -> Self {
+        self.logging_override = Some(scheme);
+        self
+    }
+
+    /// Watermark interval / COCO epoch length in milliseconds.
+    pub fn wal_interval_ms(mut self, ms: u64) -> Self {
+        self.wal_interval_ms = Some(ms);
+        self
+    }
+
+    /// Select the protocol by kind (default [`ProtocolKind::Primo`]).
+    pub fn protocol(mut self, kind: ProtocolKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Use a specific protocol instance instead of a registry constructor.
+    pub fn protocol_impl(mut self, protocol: Arc<dyn Protocol>) -> Self {
+        self.protocol_override = Some(protocol);
+        self
+    }
+
+    /// Use a custom [`ProtocolRegistry`].
+    pub fn registry(mut self, registry: ProtocolRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Attach a crash plan to the handle. It is executed against the live
+    /// cluster by [`Primo::trigger_crash_plan`] (and exposed via
+    /// [`Primo::crash_plan`]); building alone schedules nothing.
+    pub fn crash(mut self, plan: CrashPlan) -> Self {
+        self.crash = Some(plan);
+        self
+    }
+
+    /// Use unit-test timing: microsecond-scale network latency and a 1 ms
+    /// watermark interval, so transactions complete in milliseconds. Other
+    /// knobs are unaffected regardless of call order.
+    pub fn fast_local(mut self) -> Self {
+        self.fast_local = true;
+        self
+    }
+
+    /// Escape hatch: arbitrary configuration tweaks, applied last (after
+    /// every other knob) in registration order.
+    pub fn tweak(mut self, f: impl FnOnce(&mut ClusterConfig) + 'static) -> Self {
+        self.tweaks.push(Box::new(f));
+        self
+    }
+
+    /// Assemble the cluster and return the [`Primo`] handle.
+    pub fn build(self) -> Primo {
+        let mut config = if self.fast_local {
+            ClusterConfig::for_tests(self.partitions)
+        } else {
+            ClusterConfig {
+                num_partitions: self.partitions,
+                ..ClusterConfig::default()
+            }
+        };
+        if let Some(workers) = self.workers_per_partition {
+            config.workers_per_partition = workers;
+        }
+        config.wal.scheme = self
+            .logging_override
+            .unwrap_or_else(|| self.registry.logging_scheme_for(self.kind));
+        if let Some(ms) = self.wal_interval_ms {
+            config.wal.interval_ms = ms;
+        }
+        for tweak in self.tweaks {
+            tweak(&mut config);
+        }
+        let protocol = self
+            .protocol_override
+            .unwrap_or_else(|| self.registry.build(self.kind));
+        Primo {
+            cluster: Cluster::new(config),
+            protocol,
+            registry: self.registry,
+            crash: self.crash,
+        }
+    }
+}
+
+/// Handle to a running Primo cluster: one protocol instance plus the
+/// simulated partitions, network and group commit.
+pub struct Primo {
+    cluster: Arc<Cluster>,
+    protocol: Arc<dyn Protocol>,
+    registry: ProtocolRegistry,
+    crash: Option<CrashPlan>,
+}
+
+impl Primo {
+    /// Start building a cluster.
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::new()
+    }
+
+    /// Open a session for ad-hoc transactions.
+    pub fn session(&self) -> Session<'_> {
+        Session { primo: self }
+    }
+
+    /// The underlying cluster (for advanced integration).
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    /// The protocol this handle runs transactions with.
+    pub fn protocol(&self) -> &Arc<dyn Protocol> {
+        &self.protocol
+    }
+
+    /// The registry the handle was built from.
+    pub fn registry(&self) -> &ProtocolRegistry {
+        &self.registry
+    }
+
+    /// The crash plan configured at build time, if any.
+    pub fn crash_plan(&self) -> Option<CrashPlan> {
+        self.crash
+    }
+
+    pub fn num_partitions(&self) -> usize {
+        self.cluster.num_partitions()
+    }
+
+    /// Simulate a crash of a partition leader: remote accesses to it fail
+    /// and the group commit agrees on a rollback point (§5.2).
+    pub fn crash_partition(&self, p: PartitionId) {
+        self.cluster.net.set_crashed(p, true);
+        self.cluster.group_commit.on_partition_crash(p);
+    }
+
+    /// Execute the crash plan configured at build time on this thread:
+    /// wait `plan.at`, crash the partition, wait `plan.recover_after`,
+    /// recover it. Blocks for the plan's whole timeline (run it from a
+    /// driver thread while sessions keep working on others). Returns false
+    /// (and does nothing) if the builder configured no plan.
+    pub fn trigger_crash_plan(&self) -> bool {
+        let Some(plan) = self.crash else {
+            return false;
+        };
+        std::thread::sleep(plan.at);
+        self.crash_partition(plan.partition);
+        std::thread::sleep(plan.recover_after);
+        self.recover_partition(plan.partition);
+        true
+    }
+
+    /// Bring a crashed partition back (a replica took over).
+    pub fn recover_partition(&self, p: PartitionId) {
+        self.cluster.net.set_crashed(p, false);
+    }
+
+    /// Stop background threads. The handle must not be used afterwards.
+    pub fn shutdown(&self) {
+        self.cluster.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Primo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Primo")
+            .field("partitions", &self.cluster.num_partitions())
+            .field("protocol", &self.protocol.name())
+            .finish()
+    }
+}
+
+/// A session on a [`Primo`] handle: load data, read committed state and run
+/// transactions to completion (conflict aborts are retried with back-off).
+pub struct Session<'a> {
+    primo: &'a Primo,
+}
+
+impl Session<'_> {
+    /// Load a record directly (outside any transaction) — initial population.
+    pub fn load(&self, partition: PartitionId, table: TableId, key: Key, value: Value) {
+        self.primo
+            .cluster
+            .partition(partition)
+            .store
+            .insert(table, key, value);
+    }
+
+    /// Read the latest committed value of a record (outside any transaction).
+    pub fn get(&self, partition: PartitionId, table: TableId, key: Key) -> Option<Value> {
+        self.primo
+            .cluster
+            .partition(partition)
+            .store
+            .get(table, key)
+            .map(|r| r.read().value)
+    }
+
+    /// Run a transaction expressed as a closure to completion. Returns the
+    /// number of attempts it took, or the abort reason if the transaction
+    /// rolled back permanently (user abort).
+    pub fn transaction<F>(&self, home: PartitionId, body: F) -> Result<usize, AbortReason>
+    where
+        F: Fn(&mut dyn TxnContext) -> TxnResult<()> + Send + Sync,
+    {
+        self.run_program(&ClosureProgram::new(home, body))
+    }
+
+    /// Run a pre-built [`TxnProgram`] to completion.
+    pub fn run_program(&self, program: &dyn TxnProgram) -> Result<usize, AbortReason> {
+        run_single_txn(&self.primo.cluster, self.primo.protocol.as_ref(), program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primo_common::TxnError;
+
+    const T: TableId = TableId(0);
+
+    fn fast(n: usize) -> Primo {
+        Primo::builder().partitions(n).fast_local().build()
+    }
+
+    #[test]
+    fn default_builder_builds_primo_on_watermark() {
+        let primo = Primo::builder().fast_local().build();
+        assert_eq!(primo.protocol().name(), "Primo");
+        assert_eq!(primo.num_partitions(), 4);
+        assert_eq!(primo.cluster().group_commit.label(), "Watermark");
+        primo.shutdown();
+    }
+
+    #[test]
+    fn builder_pairs_baselines_with_coco() {
+        let primo = Primo::builder()
+            .partitions(2)
+            .protocol(ProtocolKind::Sundial)
+            .fast_local()
+            .build();
+        assert_eq!(primo.protocol().name(), "Sundial");
+        assert_eq!(primo.cluster().group_commit.label(), "COCO");
+        primo.shutdown();
+    }
+
+    #[test]
+    fn transfer_between_partitions_is_atomic() {
+        let primo = fast(2);
+        let s = primo.session();
+        s.load(PartitionId(0), T, 1, Value::from_u64(100));
+        s.load(PartitionId(1), T, 2, Value::from_u64(100));
+        s.transaction(PartitionId(0), |ctx| {
+            let a = ctx.read(PartitionId(0), T, 1)?.as_u64();
+            let b = ctx.read(PartitionId(1), T, 2)?.as_u64();
+            ctx.write(PartitionId(0), T, 1, Value::from_u64(a - 30))?;
+            ctx.write(PartitionId(1), T, 2, Value::from_u64(b + 30))?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(s.get(PartitionId(0), T, 1).unwrap().as_u64(), 70);
+        assert_eq!(s.get(PartitionId(1), T, 2).unwrap().as_u64(), 130);
+        primo.shutdown();
+    }
+
+    #[test]
+    fn user_rollback_has_no_effect() {
+        let primo = fast(1);
+        let s = primo.session();
+        s.load(PartitionId(0), T, 1, Value::from_u64(5));
+        let err = s
+            .transaction(PartitionId(0), |ctx| {
+                ctx.write(PartitionId(0), T, 1, Value::from_u64(999))?;
+                Err(TxnError::Aborted(AbortReason::UserAbort))
+            })
+            .unwrap_err();
+        assert_eq!(err, AbortReason::UserAbort);
+        assert_eq!(s.get(PartitionId(0), T, 1).unwrap().as_u64(), 5);
+        primo.shutdown();
+    }
+
+    #[test]
+    fn branching_on_query_results_works() {
+        // The "general workload" the paper motivates: the write target depends
+        // on what was read.
+        let primo = fast(2);
+        let s = primo.session();
+        s.load(PartitionId(0), T, 1, Value::from_u64(7)); // odd -> write key 100
+        s.load(PartitionId(1), T, 100, Value::from_u64(0));
+        s.load(PartitionId(1), T, 200, Value::from_u64(0));
+        s.transaction(PartitionId(0), |ctx| {
+            let v = ctx.read(PartitionId(0), T, 1)?.as_u64();
+            let target = if v % 2 == 1 { 100 } else { 200 };
+            ctx.write(PartitionId(1), T, target, Value::from_u64(v))?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(s.get(PartitionId(1), T, 100).unwrap().as_u64(), 7);
+        assert_eq!(s.get(PartitionId(1), T, 200).unwrap().as_u64(), 0);
+        primo.shutdown();
+    }
+
+    #[test]
+    fn get_of_missing_key_is_none() {
+        let primo = fast(1);
+        assert!(primo.session().get(PartitionId(0), T, 404).is_none());
+        primo.shutdown();
+    }
+
+    #[test]
+    fn crash_and_recover_round_trip() {
+        let primo = fast(2);
+        let s = primo.session();
+        s.load(PartitionId(1), T, 9, Value::from_u64(1));
+        primo.crash_partition(PartitionId(1));
+        assert!(primo.cluster().net.is_crashed(PartitionId(1)));
+        primo.recover_partition(PartitionId(1));
+        assert!(!primo.cluster().net.is_crashed(PartitionId(1)));
+        // The cluster keeps working after recovery.
+        s.transaction(PartitionId(0), |ctx| {
+            ctx.read(PartitionId(1), T, 9).map(|_| ())
+        })
+        .unwrap();
+        primo.shutdown();
+    }
+}

@@ -1,51 +1,44 @@
-//! End-to-end experiment-driver tests: every protocol × workload combination
-//! used by the figure harnesses must run, commit transactions and produce
-//! sensible metrics on a miniature cluster.
+//! End-to-end experiment-driver tests through the facade: every protocol ×
+//! workload combination used by the figure harnesses must run, commit
+//! transactions and produce sensible metrics on a miniature cluster.
 
-use primo_repro::baselines::{AriaProtocol, SiloProtocol, SundialProtocol, TapirProtocol, TwoPlProtocol};
-use primo_repro::common::config::{ClusterConfig, LoggingScheme};
-use primo_repro::common::{PartitionId, Phase};
-use primo_repro::core::PrimoProtocol;
-use primo_repro::runtime::experiment::{run_experiment, CrashPlan, ExperimentOptions};
-use primo_repro::runtime::protocol::Protocol;
-use primo_repro::workloads::{SmallbankConfig, SmallbankWorkload, TpccConfig, TpccWorkload, YcsbConfig, YcsbWorkload};
-use std::sync::Arc;
+use primo_repro::{
+    CrashPlan, Experiment, LoggingScheme, PartitionId, Phase, ProtocolKind, Scale, SmallbankConfig,
+    YcsbConfig,
+};
 use std::time::Duration;
 
-fn tiny_cluster(scheme: LoggingScheme) -> ClusterConfig {
-    let mut cfg = ClusterConfig::for_tests(2);
-    cfg.wal.scheme = scheme;
-    cfg.wal.interval_ms = 2;
-    cfg
-}
-
-fn quick_options() -> ExperimentOptions {
-    ExperimentOptions {
-        warmup: Duration::from_millis(30),
-        duration: Duration::from_millis(200),
-        ..Default::default()
-    }
-}
-
-fn ycsb() -> Arc<YcsbWorkload> {
-    Arc::new(YcsbWorkload::new(YcsbConfig::small(2)))
+fn tiny() -> Experiment {
+    Experiment::new()
+        .scale(Scale {
+            partitions: 2,
+            workers_per_partition: 2,
+            duration_ms: 200,
+            warmup_ms: 30,
+            ..Scale::test()
+        })
+        .fast_local()
+        .wal_interval_ms(2)
+        .ycsb(YcsbConfig::small(2))
 }
 
 #[test]
 fn every_protocol_commits_on_ycsb() {
-    let protocols: Vec<(Arc<dyn Protocol>, LoggingScheme)> = vec![
-        (Arc::new(PrimoProtocol::full()), LoggingScheme::Watermark),
-        (Arc::new(PrimoProtocol::without_wcf()), LoggingScheme::CocoEpoch),
-        (Arc::new(TwoPlProtocol::no_wait()), LoggingScheme::CocoEpoch),
-        (Arc::new(TwoPlProtocol::wait_die()), LoggingScheme::CocoEpoch),
-        (Arc::new(SiloProtocol::new()), LoggingScheme::CocoEpoch),
-        (Arc::new(SundialProtocol::new()), LoggingScheme::CocoEpoch),
-        (Arc::new(AriaProtocol::new(Default::default())), LoggingScheme::Watermark),
-        (Arc::new(TapirProtocol::new()), LoggingScheme::Watermark),
-    ];
-    for (protocol, scheme) in protocols {
-        let name = protocol.name();
-        let snap = run_experiment(tiny_cluster(scheme), protocol, ycsb(), &quick_options());
+    // The §6.1.3 pairing (Primo on Watermark, baselines on COCO, Aria/TAPIR
+    // self-durable) comes from the registry; the ablation kinds cover the
+    // "Primo CC on COCO" combinations.
+    for kind in [
+        ProtocolKind::Primo,
+        ProtocolKind::PrimoNoWcfNoWm,
+        ProtocolKind::TwoPlNoWait,
+        ProtocolKind::TwoPlWaitDie,
+        ProtocolKind::Silo,
+        ProtocolKind::Sundial,
+        ProtocolKind::Aria,
+        ProtocolKind::Tapir,
+    ] {
+        let name = kind.label();
+        let snap = tiny().protocol(kind).run();
         assert!(snap.committed > 0, "{name} committed nothing");
         assert!(snap.throughput_tps > 0.0, "{name} has zero throughput");
         assert!(snap.mean_latency_ms >= 0.0);
@@ -55,45 +48,31 @@ fn every_protocol_commits_on_ycsb() {
 
 #[test]
 fn primo_commits_on_tpcc_and_smallbank() {
-    let snap = run_experiment(
-        tiny_cluster(LoggingScheme::Watermark),
-        Arc::new(PrimoProtocol::full()),
-        Arc::new(TpccWorkload::new(TpccConfig::small(2))),
-        &quick_options(),
-    );
+    let snap = tiny()
+        .protocol(ProtocolKind::Primo)
+        .tpcc(primo_repro::TpccConfig::small(2))
+        .run();
     assert!(snap.committed > 0, "TPC-C committed nothing");
 
-    let snap = run_experiment(
-        tiny_cluster(LoggingScheme::Watermark),
-        Arc::new(PrimoProtocol::full()),
-        Arc::new(SmallbankWorkload::new(SmallbankConfig {
+    let snap = tiny()
+        .protocol(ProtocolKind::Primo)
+        .smallbank(SmallbankConfig {
             num_partitions: 2,
             accounts_per_partition: 500,
             ..Default::default()
-        })),
-        &quick_options(),
-    );
+        })
+        .run();
     assert!(snap.committed > 0, "Smallbank committed nothing");
 }
 
 #[test]
 fn latency_breakdown_reflects_protocol_structure() {
     // Primo must not spend time in the 2PC phase; 2PL+2PC must.
-    let primo = run_experiment(
-        tiny_cluster(LoggingScheme::Watermark),
-        Arc::new(PrimoProtocol::full()),
-        ycsb(),
-        &quick_options(),
-    );
+    let primo = tiny().protocol(ProtocolKind::Primo).run();
     assert!(primo.phase(Phase::TwoPc) < 1e-6, "Primo charged 2PC time");
     assert!(primo.phase(Phase::Execute) > 0.0);
 
-    let twopl = run_experiment(
-        tiny_cluster(LoggingScheme::CocoEpoch),
-        Arc::new(TwoPlProtocol::no_wait()),
-        ycsb(),
-        &quick_options(),
-    );
+    let twopl = tiny().protocol(ProtocolKind::TwoPlNoWait).run();
     assert!(
         twopl.phase(Phase::TwoPc) > 0.0,
         "2PL+2PC must charge 2PC time"
@@ -102,52 +81,46 @@ fn latency_breakdown_reflects_protocol_structure() {
 
 #[test]
 fn crash_injection_produces_crash_aborts_and_recovers() {
-    let options = ExperimentOptions {
-        warmup: Duration::from_millis(30),
-        duration: Duration::from_millis(400),
-        crash: Some(CrashPlan {
+    let snap = tiny()
+        .protocol(ProtocolKind::Primo)
+        .duration_ms(400)
+        // Longer interval so in-flight transactions exist when the crash hits.
+        .wal_interval_ms(20)
+        .crash(CrashPlan {
             partition: PartitionId(1),
             at: Duration::from_millis(150),
             recover_after: Duration::from_millis(50),
-        }),
-        ..Default::default()
-    };
-    let mut cfg = tiny_cluster(LoggingScheme::Watermark);
-    // Longer interval so in-flight transactions exist when the crash hits.
-    cfg.wal.interval_ms = 20;
-    let snap = run_experiment(cfg, Arc::new(PrimoProtocol::full()), ycsb(), &options);
-    assert!(snap.committed > 0, "cluster did not keep committing around the crash");
+        })
+        .run();
+    assert!(
+        snap.committed > 0,
+        "cluster did not keep committing around the crash"
+    );
 }
 
 #[test]
 fn lagging_partition_hurts_coco_more_than_watermark() {
     // Fig 13a in miniature: delay control messages from partition 1 and
-    // compare the throughput drop of WM vs COCO. The watermark scheme must
-    // retain at least as much relative throughput as COCO.
-    let lag = Some((PartitionId(1), 20_000u64)); // 20 ms
-    let run = |scheme, lag_opt: Option<(PartitionId, u64)>| {
-        let options = ExperimentOptions {
-            warmup: Duration::from_millis(30),
-            duration: Duration::from_millis(300),
-            lag_partition: lag_opt,
-            ..Default::default()
-        };
-        run_experiment(
-            tiny_cluster(scheme),
-            Arc::new(PrimoProtocol::full()),
-            ycsb(),
-            &options,
-        )
-        .throughput_tps
+    // compare WM vs COCO. The runs here are far too short (300 ms) for a
+    // stable throughput-ratio comparison — Fig 13a (the `figures fig13`
+    // harness) does that at proper scale. This test only checks that both
+    // schemes keep committing while a partition's control messages are
+    // delayed by 20 ms.
+    let run = |scheme: LoggingScheme, lag_us: Option<u64>| {
+        let mut exp = tiny()
+            .protocol(ProtocolKind::Primo)
+            .duration_ms(300)
+            .logging(scheme);
+        if let Some(us) = lag_us {
+            exp = exp.lag_partition(PartitionId(1), us);
+        }
+        exp.run().throughput_tps
     };
+    let lag = Some(20_000u64); // 20 ms
     let wm_base = run(LoggingScheme::Watermark, None);
     let wm_lagged = run(LoggingScheme::Watermark, lag);
     let coco_base = run(LoggingScheme::CocoEpoch, None);
     let coco_lagged = run(LoggingScheme::CocoEpoch, lag);
-    // The runs here are far too short (300 ms) for a stable throughput-ratio
-    // comparison — Fig 13a (the `figures fig13` harness) does that at proper
-    // scale. This test only checks that both schemes keep committing while a
-    // partition's control messages are delayed by 20 ms.
     assert!(wm_base > 0.0 && coco_base > 0.0);
     assert!(
         wm_lagged > 0.0,

@@ -1,17 +1,14 @@
 //! Cross-protocol serializability checks: concurrent transfer transactions
 //! must conserve the total amount of money regardless of the protocol, and
 //! every per-transaction effect must be all-or-nothing across partitions.
+//!
+//! All protocols are selected through the facade's [`ProtocolRegistry`] — the
+//! same constructor path the figure harnesses use.
 
-use primo_repro::baselines::{SiloProtocol, SundialProtocol, TapirProtocol, TwoPlProtocol};
-use primo_repro::common::config::ClusterConfig;
-use primo_repro::common::{PartitionId, TableId, TxnResult, Value};
-use primo_repro::core::PrimoProtocol;
-use primo_repro::runtime::cluster::Cluster;
-use primo_repro::runtime::protocol::Protocol;
-use primo_repro::runtime::txn::{TxnContext, TxnProgram};
-use primo_repro::runtime::worker::run_single_txn;
+use primo_repro::{
+    PartitionId, Primo, ProtocolKind, TableId, TxnContext, TxnProgram, TxnResult, Value,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 const ACCOUNTS: TableId = TableId(0);
 const NUM_ACCOUNTS: u64 = 8;
@@ -35,7 +32,12 @@ impl TxnProgram for TransferTxn {
         let b = ctx.read(self.to.0, ACCOUNTS, self.to.1)?.as_u64();
         // Branch on the read: never overdraw.
         let amount = self.amount.min(a);
-        ctx.write(self.from.0, ACCOUNTS, self.from.1, Value::from_u64(a - amount))?;
+        ctx.write(
+            self.from.0,
+            ACCOUNTS,
+            self.from.1,
+            Value::from_u64(a - amount),
+        )?;
         ctx.write(self.to.0, ACCOUNTS, self.to.1, Value::from_u64(b + amount))?;
         Ok(())
     }
@@ -45,119 +47,111 @@ impl TxnProgram for TransferTxn {
     }
 }
 
-fn loaded_cluster(partitions: usize) -> Arc<Cluster> {
-    let cluster = Cluster::new(ClusterConfig::for_tests(partitions));
+fn loaded_primo(kind: ProtocolKind, partitions: usize) -> Primo {
+    let primo = Primo::builder()
+        .protocol(kind)
+        .partitions(partitions)
+        .fast_local()
+        .build();
+    let session = primo.session();
     for p in 0..partitions as u32 {
         for k in 0..NUM_ACCOUNTS {
-            cluster
-                .partition(PartitionId(p))
-                .store
-                .insert(ACCOUNTS, k, Value::from_u64(INITIAL));
+            session.load(PartitionId(p), ACCOUNTS, k, Value::from_u64(INITIAL));
         }
     }
-    cluster
+    primo
 }
 
-fn total_money(cluster: &Cluster, partitions: usize) -> u64 {
+fn total_money(primo: &Primo, partitions: usize) -> u64 {
+    let session = primo.session();
     let mut total = 0;
     for p in 0..partitions as u32 {
         for k in 0..NUM_ACCOUNTS {
-            total += cluster
-                .partition(PartitionId(p))
-                .store
-                .get(ACCOUNTS, k)
-                .unwrap()
-                .read()
-                .value
-                .as_u64();
+            total += session.get(PartitionId(p), ACCOUNTS, k).unwrap().as_u64();
         }
     }
     total
 }
 
-fn run_transfer_storm(protocol: Arc<dyn Protocol>, partitions: usize, threads: usize, per_thread: usize) {
-    let cluster = loaded_cluster(partitions);
+fn run_transfer_storm(kind: ProtocolKind, partitions: usize, threads: usize, per_thread: usize) {
+    let primo = loaded_primo(kind, partitions);
     let expected_total = partitions as u64 * NUM_ACCOUNTS * INITIAL;
-    let committed = Arc::new(AtomicU64::new(0));
+    let committed = AtomicU64::new(0);
 
-    let mut handles = Vec::new();
-    for t in 0..threads {
-        let cluster = Arc::clone(&cluster);
-        let protocol = Arc::clone(&protocol);
-        let committed = Arc::clone(&committed);
-        handles.push(std::thread::spawn(move || {
-            let mut seed = 0x1234_5678u64 ^ (t as u64) << 17;
-            for i in 0..per_thread {
-                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
-                let home = PartitionId((t % partitions) as u32);
-                let from_p = PartitionId((seed % partitions as u64) as u32);
-                let to_p = PartitionId(((seed >> 8) % partitions as u64) as u32);
-                let txn = TransferTxn {
-                    home,
-                    from: (from_p, seed % NUM_ACCOUNTS),
-                    to: (to_p, (seed >> 16) % NUM_ACCOUNTS),
-                    amount: 1 + (i as u64 % 17),
-                };
-                if run_single_txn(&cluster, protocol.as_ref(), &txn).is_ok() {
-                    committed.fetch_add(1, Ordering::Relaxed);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let session = primo.session();
+            let committed = &committed;
+            scope.spawn(move || {
+                let mut seed = 0x1234_5678u64 ^ (t as u64) << 17;
+                for i in 0..per_thread {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let home = PartitionId((t % partitions) as u32);
+                    let from_p = PartitionId((seed % partitions as u64) as u32);
+                    let to_p = PartitionId(((seed >> 8) % partitions as u64) as u32);
+                    let txn = TransferTxn {
+                        home,
+                        from: (from_p, seed % NUM_ACCOUNTS),
+                        to: (to_p, (seed >> 16) % NUM_ACCOUNTS),
+                        amount: 1 + (i as u64 % 17),
+                    };
+                    if session.run_program(&txn).is_ok() {
+                        committed.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
-            }
-        }));
-    }
-    for h in handles {
-        h.join().unwrap();
-    }
+            });
+        }
+    });
 
+    let name = primo.protocol().name();
     assert!(
         committed.load(Ordering::Relaxed) > 0,
-        "{}: no transaction committed",
-        protocol.name()
+        "{name}: no transaction committed"
     );
     assert_eq!(
-        total_money(&cluster, partitions),
+        total_money(&primo, partitions),
         expected_total,
-        "{}: money not conserved",
-        protocol.name()
+        "{name}: money not conserved"
     );
-    cluster.shutdown();
+    primo.shutdown();
 }
 
 #[test]
 fn primo_conserves_money_under_concurrency() {
-    run_transfer_storm(Arc::new(PrimoProtocol::full()), 2, 4, 30);
+    run_transfer_storm(ProtocolKind::Primo, 2, 4, 30);
 }
 
 #[test]
 fn primo_without_wcf_conserves_money() {
-    run_transfer_storm(Arc::new(PrimoProtocol::without_wcf()), 2, 4, 20);
+    run_transfer_storm(ProtocolKind::PrimoNoWcfNoWm, 2, 4, 20);
 }
 
 #[test]
 fn two_pl_no_wait_conserves_money() {
-    run_transfer_storm(Arc::new(TwoPlProtocol::no_wait()), 2, 4, 20);
+    run_transfer_storm(ProtocolKind::TwoPlNoWait, 2, 4, 20);
 }
 
 #[test]
 fn two_pl_wait_die_conserves_money() {
-    run_transfer_storm(Arc::new(TwoPlProtocol::wait_die()), 2, 4, 20);
+    run_transfer_storm(ProtocolKind::TwoPlWaitDie, 2, 4, 20);
 }
 
 #[test]
 fn silo_conserves_money() {
-    run_transfer_storm(Arc::new(SiloProtocol::new()), 2, 4, 20);
+    run_transfer_storm(ProtocolKind::Silo, 2, 4, 20);
 }
 
 #[test]
 fn sundial_conserves_money() {
-    run_transfer_storm(Arc::new(SundialProtocol::new()), 2, 4, 20);
+    run_transfer_storm(ProtocolKind::Sundial, 2, 4, 20);
 }
 
 #[test]
 fn tapir_conserves_money() {
-    run_transfer_storm(Arc::new(TapirProtocol::new()), 2, 4, 20);
+    run_transfer_storm(ProtocolKind::Tapir, 2, 4, 20);
 }
 
 #[test]
 fn primo_conserves_money_on_three_partitions() {
-    run_transfer_storm(Arc::new(PrimoProtocol::full()), 3, 6, 20);
+    run_transfer_storm(ProtocolKind::Primo, 3, 6, 20);
 }

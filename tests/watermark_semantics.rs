@@ -1,17 +1,12 @@
 //! Integration tests of the watermark-based group commit's three guarantees
-//! (§5: monotonicity, durability, consistency) observed through the public
-//! cluster API.
+//! (§5: monotonicity, durability, consistency) — the scheme-level properties
+//! through the namespaced `wal` module, the end-to-end behaviour through the
+//! `Primo` facade.
 
-use primo_repro::common::config::{ClusterConfig, LoggingScheme};
-use primo_repro::common::{PartitionId, TableId, Value};
-use primo_repro::core::PrimoProtocol;
-use primo_repro::runtime::cluster::Cluster;
-use primo_repro::runtime::txn::IncrementProgram;
-use primo_repro::runtime::worker::run_single_txn;
-use primo_repro::wal::{CommitOutcome, GroupCommit, WatermarkCommit};
+use primo_repro::common::config::{LoggingScheme, WalConfig};
 use primo_repro::net::DelayedBus;
-use primo_repro::common::config::WalConfig;
-use primo_repro::common::TxnId;
+use primo_repro::wal::{CommitOutcome, GroupCommit, WatermarkCommit};
+use primo_repro::{PartitionId, Primo, TableId, TxnId, Value};
 use std::time::Duration;
 
 fn wm(n: usize, interval_ms: u64) -> WatermarkCommit {
@@ -31,13 +26,13 @@ fn wm(n: usize, interval_ms: u64) -> WatermarkCommit {
 #[test]
 fn global_watermark_is_monotonic_on_every_partition() {
     let wm = wm(3, 1);
-    let mut last = vec![0u64; 3];
+    let mut last = [0u64; 3];
     for _ in 0..20 {
         std::thread::sleep(Duration::from_millis(3));
-        for p in 0..3 {
+        for (p, seen) in last.iter_mut().enumerate() {
             let g = wm.global_watermark(PartitionId(p as u32));
-            assert!(g >= last[p], "global watermark went backwards on P{p}");
-            last[p] = g;
+            assert!(g >= *seen, "global watermark went backwards on P{p}");
+            *seen = g;
         }
     }
     assert!(last.iter().all(|g| *g > 0), "watermark never advanced");
@@ -71,52 +66,55 @@ fn transactions_below_recovered_watermark_stay_committed() {
     // A crash afterwards must not un-commit it: the agreed watermark is at
     // least as large as any watermark used to report results.
     let agreed = wm.on_partition_crash(PartitionId(1));
-    assert!(agreed >= 2, "agreed watermark {agreed} would roll back a reported result");
+    assert!(
+        agreed >= 2,
+        "agreed watermark {agreed} would roll back a reported result"
+    );
     wm.shutdown();
 }
 
 #[test]
 fn committed_effects_survive_a_crash_of_another_partition() {
-    // End-to-end: run a distributed transaction, let it become durable, crash
-    // the other partition, recover, and check both partitions still show the
-    // transaction's effects.
-    let mut cfg = ClusterConfig::for_tests(2);
-    cfg.wal.scheme = LoggingScheme::Watermark;
-    let cluster = Cluster::new(cfg);
+    // End-to-end through the facade: run a distributed transaction, let it
+    // become durable, crash the other partition, recover, and check both
+    // partitions still show the transaction's effects.
+    let primo = Primo::builder().partitions(2).fast_local().build();
+    let session = primo.session();
     for p in 0..2u32 {
-        cluster
-            .partition(PartitionId(p))
-            .store
-            .insert(TableId(0), 1, Value::from_u64(0));
+        session.load(PartitionId(p), TableId(0), 1, Value::from_u64(0));
     }
-    let protocol = PrimoProtocol::full();
-    let prog = IncrementProgram {
-        home: PartitionId(0),
-        accesses: vec![(PartitionId(0), TableId(0), 1), (PartitionId(1), TableId(0), 1)],
+    let increment = |session: &primo_repro::Session<'_>| {
+        session
+            .transaction(PartitionId(0), |ctx| {
+                for p in 0..2u32 {
+                    let v = ctx.read(PartitionId(p), TableId(0), 1)?.as_u64();
+                    ctx.write(PartitionId(p), TableId(0), 1, Value::from_u64(v + 1))?;
+                }
+                Ok(())
+            })
+            .unwrap();
     };
-    run_single_txn(&cluster, &protocol, &prog).unwrap();
+    increment(&session);
 
-    cluster.net.set_crashed(PartitionId(1), true);
-    cluster.group_commit.on_partition_crash(PartitionId(1));
-    cluster.net.set_crashed(PartitionId(1), false);
+    primo.crash_partition(PartitionId(1));
+    primo.recover_partition(PartitionId(1));
 
     for p in 0..2u32 {
         assert_eq!(
-            cluster
-                .partition(PartitionId(p))
-                .store
-                .get(TableId(0), 1)
-                .unwrap()
-                .read()
-                .value
-                .as_u64(),
+            session.get(PartitionId(p), TableId(0), 1).unwrap().as_u64(),
             1,
             "durable effect lost on P{p}"
         );
     }
     // And the cluster keeps working after recovery.
-    run_single_txn(&cluster, &protocol, &prog).unwrap();
-    cluster.shutdown();
+    increment(&session);
+    for p in 0..2u32 {
+        assert_eq!(
+            session.get(PartitionId(p), TableId(0), 1).unwrap().as_u64(),
+            2
+        );
+    }
+    primo.shutdown();
 }
 
 #[test]
@@ -134,6 +132,8 @@ fn ts_floor_prevents_new_transactions_below_the_watermark() {
     wm.update_ts(&ticket, ts);
     let waiter = wm.txn_committed(&ticket, ts, 1);
     assert_eq!(wm.wait_durable(&waiter), CommitOutcome::Committed);
-    assert!(wm.global_watermark(PartitionId(0)) > ts || wm.partition_watermark(PartitionId(0)) > ts);
+    assert!(
+        wm.global_watermark(PartitionId(0)) > ts || wm.partition_watermark(PartitionId(0)) > ts
+    );
     wm.shutdown();
 }
