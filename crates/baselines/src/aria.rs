@@ -15,7 +15,7 @@ use crate::common::{BaselineCtx, ReadGuard};
 use parking_lot::{Condvar, Mutex};
 use primo_common::sim_time::{charge_latency_us, now_us};
 use primo_common::{
-    AbortReason, Key, PartitionId, Phase, PhaseTimers, TableId, TxnError, TxnId, TxnResult,
+    AbortReason, Key, PartitionId, Phase, PhaseTimers, TableId, TxnError, TxnId, TxnResult, Value,
 };
 use primo_runtime::access::WriteKind;
 use primo_runtime::cluster::Cluster;
@@ -230,16 +230,17 @@ impl Protocol for AriaProtocol {
                         }
                     }
                 }
-                // Put/insert contract (checked at the decision point — after
-                // it, Aria's deterministic install cannot abort): a plain
-                // write to a record that does not exist is an error, matching
-                // every other protocol's NotFound behaviour. Checked *after*
-                // the reservation checks so a same-batch insert of the same
-                // key deterministically wins as a WAW conflict (retryable)
+                // Put/insert/delete contract (checked at the decision point —
+                // after it, Aria's deterministic install cannot abort): a
+                // plain write or a delete of a record that does not exist —
+                // or is an invisible tombstone — is an error, matching every
+                // other protocol's NotFound behaviour. Checked *after* the
+                // reservation checks so a same-batch insert of the same key
+                // deterministically wins as a WAW conflict (retryable)
                 // instead of racing install order into a permanent NotFound.
                 for w in &ctx.access.writes {
-                    if w.kind == WriteKind::Put
-                        && ctx.record_at(w.partition, w.table, w.key, false).is_none()
+                    if matches!(w.kind, WriteKind::Put | WriteKind::Delete)
+                        && ctx.record_visible(w.partition, w.table, w.key).is_err()
                     {
                         return Err(AbortReason::NotFound);
                     }
@@ -253,10 +254,23 @@ impl Protocol for AriaProtocol {
                     let distributed = ctx.access.is_distributed(home);
                     timers.time(Phase::Commit, || {
                         for w in &ctx.access.writes {
-                            let record = ctx
-                                .record_at(w.partition, w.table, w.key, true)
-                                .expect("create=true yields a record");
-                            record.install_next_version(w.value.clone());
+                            // The commit decision is already made, so inserts
+                            // create their record directly (install flips it
+                            // Visible) and deletes tombstone + reclaim.
+                            let table = cluster.partition(w.partition).store.table(w.table);
+                            match w.kind {
+                                WriteKind::Delete => {
+                                    if let Some(record) = table.get(w.key) {
+                                        record.install_tombstone_next_version();
+                                        table.reclaim(w.key);
+                                    }
+                                }
+                                _ => {
+                                    let (record, _) =
+                                        table.insert_if_absent(w.key, Value::zeroed(0));
+                                    record.install_next_version(w.value.clone());
+                                }
+                            }
                         }
                     });
                     Ok(CommittedTxn {

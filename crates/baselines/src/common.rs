@@ -2,8 +2,11 @@
 //! context (reads without locks or with shared locks, buffered writes) and
 //! helpers for the 2PC commit rounds.
 
-use primo_common::{AbortReason, Key, PartitionId, TableId, TxnError, TxnId, TxnResult, Value};
-use primo_runtime::access::{resolve_write_record, AccessSet, ReadEntry, WriteEntry};
+use primo_common::{AbortReason, Key, PartitionId, TableId, Ts, TxnError, TxnId, TxnResult, Value};
+use primo_runtime::access::{
+    check_visible, recheck_locked_record, resolve_write_record, AccessSet, ReadEntry, WriteEntry,
+    WriteKind,
+};
 use primo_runtime::cluster::Cluster;
 use primo_runtime::txn::TxnContext;
 use primo_storage::{LockMode, LockPolicy, LockRequestResult, Record};
@@ -46,28 +49,28 @@ impl<'a> BaselineCtx<'a> {
         TxnError::Aborted(reason)
     }
 
-    /// Release all locks and notify participants of the abort.
+    /// Unwind every record this attempt materialised for an insert, release
+    /// all locks and notify participants of the abort.
     pub fn abort_cleanup(&mut self) {
         let parts = self.access.participants(self.home);
         if !parts.is_empty() {
             self.cluster.net.one_way_multi(self.home, &parts);
         }
-        self.access.release_all_locks(self.txn);
+        self.access.abort_unwind(self.txn);
     }
 
-    /// Fetch (creating if requested) the record for a key.
-    pub fn record_at(
+    /// Fetch the record for a key, applying the lifecycle visibility rules
+    /// (a tombstone or another transaction's uncommitted insert reads as
+    /// absent, see [`check_visible`]).
+    pub fn record_visible(
         &self,
         p: PartitionId,
         table: TableId,
         key: Key,
-        create: bool,
-    ) -> Option<Arc<Record>> {
-        let store = &self.cluster.partition(p).store;
-        match store.get(table, key) {
-            Some(r) => Some(r),
-            None if create => Some(store.table(table).insert_if_absent(key, Value::zeroed(0)).0),
-            None => None,
+    ) -> Result<Arc<Record>, AbortReason> {
+        match self.cluster.partition(p).store.get(table, key) {
+            Some(r) => check_visible(&r, self.txn).map(|()| r),
+            None => Err(AbortReason::NotFound),
         }
     }
 }
@@ -78,6 +81,9 @@ impl TxnContext for BaselineCtx<'_> {
             return Err(TxnError::Aborted(reason));
         }
         if let Some(i) = self.access.find_write(p, table, key) {
+            if self.access.writes[i].kind == WriteKind::Delete {
+                return Err(self.fail(AbortReason::NotFound));
+            }
             return Ok(self.access.writes[i].value.clone());
         }
         if let Some(i) = self.access.find_read(p, table, key) {
@@ -91,9 +97,10 @@ impl TxnContext for BaselineCtx<'_> {
         } else if self.cluster.net.is_crashed(p) {
             return Err(self.fail(AbortReason::RemoteUnavailable));
         }
-        let record = self
-            .record_at(p, table, key, false)
-            .ok_or_else(|| self.fail(AbortReason::NotFound))?;
+        let record = match self.record_visible(p, table, key) {
+            Ok(r) => r,
+            Err(reason) => return Err(self.fail(reason)),
+        };
         let locked = match self.guard {
             ReadGuard::Optimistic => None,
             ReadGuard::SharedLock(policy) => {
@@ -103,6 +110,18 @@ impl TxnContext for BaselineCtx<'_> {
                         LockPolicy::NoWait => AbortReason::LockConflict,
                         LockPolicy::WaitDie => AbortReason::WaitDie,
                     };
+                    return Err(self.fail(reason));
+                }
+                // A delete may have committed between resolution and lock
+                // acquisition; the lock pins the state, so re-check it (the
+                // helper also reclaims the tombstone our lock pinned).
+                if let Err(reason) = recheck_locked_record(
+                    &record,
+                    self.txn,
+                    WriteKind::Put,
+                    &self.cluster.partition(p).store.table(table),
+                    key,
+                ) {
                     return Err(self.fail(reason));
                 }
                 Some(LockMode::Shared)
@@ -127,6 +146,13 @@ impl TxnContext for BaselineCtx<'_> {
         if let Some(reason) = self.dead {
             return Err(TxnError::Aborted(reason));
         }
+        // A plain write after a same-transaction delete updates a key that
+        // no longer exists.
+        if let Some(i) = self.access.find_write(p, table, key) {
+            if self.access.writes[i].kind == WriteKind::Delete {
+                return Err(self.fail(AbortReason::NotFound));
+            }
+        }
         self.access
             .buffer_write(WriteEntry::put(p, table, key, value));
         Ok(())
@@ -138,6 +164,30 @@ impl TxnContext for BaselineCtx<'_> {
         }
         self.access
             .buffer_write(WriteEntry::insert(p, table, key, value));
+        Ok(())
+    }
+
+    fn delete(&mut self, p: PartitionId, table: TableId, key: Key) -> TxnResult<()> {
+        if let Some(reason) = self.dead {
+            return Err(TxnError::Aborted(reason));
+        }
+        if let Some(i) = self.access.find_write(p, table, key) {
+            match self.access.writes[i].kind {
+                // Deleting a key this transaction inserted cancels the
+                // insert outright (baselines materialise insert records only
+                // at commit time, so there is nothing to unlink yet).
+                WriteKind::Insert => {
+                    self.access.writes.remove(i);
+                    return Ok(());
+                }
+                WriteKind::Delete => return Err(self.fail(AbortReason::NotFound)),
+                WriteKind::Put => {
+                    self.access.writes[i] = WriteEntry::delete(p, table, key);
+                    return Ok(());
+                }
+            }
+        }
+        self.access.buffer_write(WriteEntry::delete(p, table, key));
         Ok(())
     }
 }
@@ -156,10 +206,11 @@ impl LockedWriteSet {
     }
 }
 
-/// Lock every write record with the given policy, creating records only for
-/// `insert`-kind writes. A plain write whose record does not exist aborts
-/// with [`AbortReason::NotFound`]. Returns the locked set or the abort
-/// reason.
+/// Lock every write record with the given policy, materialising records only
+/// for `insert`-kind writes (in `UncommittedInsert` state, undo-logged in the
+/// context's access set so an abort unlinks them again). A plain write or
+/// delete whose record does not exist — or was deleted — aborts with
+/// [`AbortReason::NotFound`]. Returns the locked set or the abort reason.
 pub fn lock_write_set(
     ctx: &BaselineCtx<'_>,
     policy: LockPolicy,
@@ -167,25 +218,74 @@ pub fn lock_write_set(
     let mut locked = LockedWriteSet {
         records: Vec::with_capacity(ctx.access.writes.len()),
     };
+    // On any failure below: unwind the records this phase materialised
+    // *before* releasing their locks, so no other transaction can claim a
+    // created record's slot in between.
     for (i, w) in ctx.access.writes.iter().enumerate() {
         let store = &ctx.cluster.partition(w.partition).store;
-        let record = match resolve_write_record(store, w) {
+        let record = match resolve_write_record(store, w, ctx.txn, &ctx.access.undo) {
             Ok(r) => r,
             Err(reason) => {
+                ctx.access.undo.unwind();
                 locked.release(ctx.txn);
                 return Err(reason);
             }
         };
         if record.acquire(ctx.txn, LockMode::Exclusive, policy) != LockRequestResult::Granted {
+            ctx.access.undo.unwind();
             locked.release(ctx.txn);
             return Err(match policy {
                 LockPolicy::NoWait => AbortReason::LockConflict,
                 LockPolicy::WaitDie => AbortReason::WaitDie,
             });
         }
-        locked.records.push((i, record));
+        locked.records.push((i, Arc::clone(&record)));
+        // A concurrent delete may have tombstoned (or reclaimed) the record
+        // between resolution and lock acquisition; re-check under the lock
+        // (an insert bounces retryably; the helper reclaims the tombstone).
+        if let Err(reason) =
+            recheck_locked_record(&record, ctx.txn, w.kind, &store.table(w.table), w.key)
+        {
+            ctx.access.undo.unwind();
+            locked.release(ctx.txn);
+            return Err(reason);
+        }
     }
     Ok(locked)
+}
+
+/// Install every locked write: puts/inserts install their buffered value
+/// (with `wts = rts = ts`, or a version bump when `ts` is `None`); deletes
+/// install a tombstone. Shared by the 2PL, Silo, Sundial and TAPIR commit
+/// paths so delete semantics cannot drift between baselines.
+pub fn install_locked_writes(ctx: &BaselineCtx<'_>, locked: &LockedWriteSet, ts: Option<Ts>) {
+    for (i, record) in &locked.records {
+        let w = &ctx.access.writes[*i];
+        match (w.kind, ts) {
+            (WriteKind::Delete, Some(ts)) => record.install_tombstone(ts),
+            (WriteKind::Delete, None) => {
+                record.install_tombstone_next_version();
+            }
+            (_, Some(ts)) => record.install(w.value.clone(), ts),
+            (_, None) => {
+                record.install_next_version(w.value.clone());
+            }
+        }
+    }
+}
+
+/// Post-commit deferred reclamation: physically unlink the tombstones this
+/// transaction installed. Must run after every lock is released.
+pub fn reclaim_deletes(ctx: &BaselineCtx<'_>) {
+    for w in &ctx.access.writes {
+        if w.kind == WriteKind::Delete {
+            ctx.cluster
+                .partition(w.partition)
+                .store
+                .table(w.table)
+                .reclaim(w.key);
+        }
+    }
 }
 
 /// Charge the 2PC prepare round (write-set shipping + vote collection) and
@@ -295,6 +395,111 @@ mod tests {
             .unwrap();
         assert!(!rec2.lock().is_locked());
         rec3.release(other);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn failed_lock_phase_unlinks_created_insert_records() {
+        let (cluster, txn) = setup();
+        // An older transaction holds key 3 exclusively, so the write-set lock
+        // phase fails *after* the insert's record was already materialised.
+        let blocker = TxnId::new(PartitionId(0), 0);
+        let rec3 = cluster
+            .partition(PartitionId(0))
+            .store
+            .get(TableId(0), 3)
+            .unwrap();
+        rec3.acquire(blocker, LockMode::Exclusive, LockPolicy::NoWait);
+        let mut ctx = BaselineCtx::new(&cluster, txn, PartitionId(0), ReadGuard::Optimistic);
+        ctx.insert(PartitionId(0), TableId(0), 5_000, Value::from_u64(1))
+            .unwrap();
+        ctx.write(PartitionId(0), TableId(0), 3, Value::from_u64(1))
+            .unwrap();
+        let err = lock_write_set(&ctx, LockPolicy::NoWait).unwrap_err();
+        assert_eq!(err, AbortReason::LockConflict);
+        // The failed lock phase unwinds its own materialised records before
+        // releasing any lock — the phantom never outlives the attempt.
+        assert!(
+            cluster
+                .partition(PartitionId(0))
+                .store
+                .get(TableId(0), 5_000)
+                .is_none(),
+            "aborted insert must leave no record behind"
+        );
+        ctx.abort_cleanup();
+        rec3.release(blocker);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn tombstone_bounce_aborts_and_reclaims_the_record() {
+        // The delete-vs-writer race: a writer resolves the record while it
+        // is still visible, then blocks on the deleter's lock (WAIT_DIE,
+        // older waits); the delete commits its tombstone and releases; the
+        // writer's lock finally lands on a tombstone. The post-lock re-check
+        // must bounce the writer with NotFound, and — since the writer's
+        // wait is exactly what a deleter's inline reclaim would have skipped
+        // over — the writer reclaims the record after releasing.
+        let (cluster, _) = setup();
+        let older = TxnId::new(PartitionId(0), 1);
+        let deleter = TxnId::new(PartitionId(0), 2);
+        let rec = cluster
+            .partition(PartitionId(0))
+            .store
+            .get(TableId(0), 6)
+            .unwrap();
+        assert_eq!(
+            rec.acquire(deleter, LockMode::Exclusive, LockPolicy::NoWait),
+            LockRequestResult::Granted
+        );
+        // The deleter commits its tombstone and releases while the writer
+        // (spawned below) is blocked waiting for the lock.
+        let rec2 = Arc::clone(&rec);
+        let release = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            rec2.install_tombstone(9);
+            rec2.release(deleter);
+        });
+        let mut ctx = BaselineCtx::new(&cluster, older, PartitionId(0), ReadGuard::Optimistic);
+        ctx.write(PartitionId(0), TableId(0), 6, Value::from_u64(1))
+            .unwrap();
+        let err = lock_write_set(&ctx, LockPolicy::WaitDie).unwrap_err();
+        assert_eq!(err, AbortReason::NotFound);
+        release.join().unwrap();
+        ctx.abort_cleanup();
+        assert!(
+            cluster
+                .partition(PartitionId(0))
+                .store
+                .get(TableId(0), 6)
+                .is_none(),
+            "the bounced tombstone must be physically reclaimed"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn delete_cancels_buffered_insert_and_marks_puts() {
+        let (cluster, txn) = setup();
+        let mut ctx = BaselineCtx::new(&cluster, txn, PartitionId(0), ReadGuard::Optimistic);
+        // insert then delete: the entry disappears entirely.
+        ctx.insert(PartitionId(0), TableId(0), 40, Value::from_u64(1))
+            .unwrap();
+        ctx.delete(PartitionId(0), TableId(0), 40).unwrap();
+        assert!(ctx.access.writes.is_empty());
+        // put then delete: the entry becomes a delete; reads and writes of
+        // the key now see NotFound.
+        ctx.write(PartitionId(0), TableId(0), 41, Value::from_u64(1))
+            .unwrap();
+        ctx.delete(PartitionId(0), TableId(0), 41).unwrap();
+        assert_eq!(ctx.access.writes[0].kind, WriteKind::Delete);
+        assert_eq!(
+            ctx.read(PartitionId(0), TableId(0), 41)
+                .unwrap_err()
+                .reason(),
+            AbortReason::NotFound
+        );
         cluster.shutdown();
     }
 

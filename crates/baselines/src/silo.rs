@@ -4,7 +4,8 @@
 //! the 2PC prepare round; the decision round releases the locks.
 
 use crate::common::{
-    abort_round, commit_round, lock_write_set, prepare_round, BaselineCtx, ReadGuard,
+    abort_round, commit_round, install_locked_writes, lock_write_set, prepare_round,
+    reclaim_deletes, BaselineCtx, ReadGuard,
 };
 use primo_common::{AbortReason, Phase, PhaseTimers, TxnError, TxnId, TxnResult};
 use primo_runtime::cluster::Cluster;
@@ -83,25 +84,26 @@ impl Protocol for SiloProtocol {
             Ok(())
         });
         if let Err(reason) = validation {
+            // Unwind materialised insert records before their locks drop so
+            // no other transaction can claim the slot in between.
+            ctx.access.undo.unwind();
             locked.release(txn);
             abort_round(&ctx, &parts);
             ctx.abort_cleanup();
             return Err(TxnError::Aborted(reason));
         }
 
-        // Phase 3: install the writes (version bump).
+        // Phase 3: install the writes (version bump; deletes tombstone).
         let ops = ctx.access.ops();
         timers.time(Phase::Commit, || {
-            for (i, record) in &locked.records {
-                let w = &ctx.access.writes[*i];
-                record.install_next_version(w.value.clone());
-            }
+            install_locked_writes(&ctx, &locked, None);
         });
 
-        // Decision round, then unlock.
+        // Decision round, then unlock and reclaim installed tombstones.
         timers.time(Phase::TwoPc, || commit_round(&ctx, &parts));
         locked.release(txn);
         ctx.access.release_all_locks(txn);
+        reclaim_deletes(&ctx);
 
         Ok(CommittedTxn {
             ts: 0,

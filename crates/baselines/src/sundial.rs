@@ -8,7 +8,8 @@
 //! rounds that Primo eliminates.
 
 use crate::common::{
-    abort_round, commit_round, lock_write_set, prepare_round, BaselineCtx, ReadGuard,
+    abort_round, commit_round, install_locked_writes, lock_write_set, prepare_round,
+    reclaim_deletes, BaselineCtx, ReadGuard,
 };
 use primo_common::{AbortReason, Phase, PhaseTimers, Ts, TxnError, TxnId, TxnResult};
 use primo_runtime::cluster::Cluster;
@@ -107,25 +108,26 @@ impl Protocol for SundialProtocol {
             Ok(())
         });
         if let Err(reason) = validation {
+            // Unwind materialised insert records before their locks drop so
+            // no other transaction can claim the slot in between.
+            ctx.access.undo.unwind();
             locked.release(txn);
             abort_round(&ctx, &parts);
             ctx.abort_cleanup();
             return Err(TxnError::Aborted(reason));
         }
 
-        // Install writes at ts.
+        // Install writes at ts (deletes tombstone at ts).
         let ops = ctx.access.ops();
         timers.time(Phase::Commit, || {
-            for (i, record) in &locked.records {
-                let w = &ctx.access.writes[*i];
-                record.install(w.value.clone(), ts);
-            }
+            install_locked_writes(&ctx, &locked, Some(ts));
         });
 
-        // Decision round, release.
+        // Decision round, release, reclaim installed tombstones.
         timers.time(Phase::TwoPc, || commit_round(&ctx, &parts));
         locked.release(txn);
         ctx.access.release_all_locks(txn);
+        reclaim_deletes(&ctx);
 
         Ok(CommittedTxn {
             ts,

@@ -10,7 +10,10 @@
 //! the client retries — which is exactly the behaviour §6.6 contrasts with
 //! Primo (TAPIR has the lower latency, Primo the higher throughput).
 
-use crate::common::{abort_round, lock_write_set, prepare_round, BaselineCtx, ReadGuard};
+use crate::common::{
+    abort_round, install_locked_writes, lock_write_set, prepare_round, reclaim_deletes,
+    BaselineCtx, ReadGuard,
+};
 use primo_common::{AbortReason, Phase, PhaseTimers, TxnError, TxnId, TxnResult};
 use primo_runtime::cluster::Cluster;
 use primo_runtime::protocol::{CommittedTxn, Protocol};
@@ -93,6 +96,9 @@ impl Protocol for TapirProtocol {
             Ok(())
         });
         if let Err(reason) = validation {
+            // Unwind materialised insert records before their locks drop so
+            // no other transaction can claim the slot in between.
+            ctx.access.undo.unwind();
             locked.release(txn);
             abort_round(&ctx, &parts);
             ctx.abort_cleanup();
@@ -101,16 +107,14 @@ impl Protocol for TapirProtocol {
 
         let ops = ctx.access.ops();
         timers.time(Phase::Commit, || {
-            for (i, record) in &locked.records {
-                let w = &ctx.access.writes[*i];
-                record.install_next_version(w.value.clone());
-            }
+            install_locked_writes(&ctx, &locked, None);
         });
 
         // The commit decision reaches participants asynchronously; the client
         // considers the transaction committed after the single round.
         locked.release(txn);
         ctx.access.release_all_locks(txn);
+        reclaim_deletes(&ctx);
 
         Ok(CommittedTxn {
             ts: 0,

@@ -6,7 +6,8 @@
 //! conflict) and WAIT_DIE (older transactions wait).
 
 use crate::common::{
-    abort_round, commit_round, lock_write_set, prepare_round, BaselineCtx, ReadGuard,
+    abort_round, commit_round, install_locked_writes, lock_write_set, prepare_round,
+    reclaim_deletes, BaselineCtx, ReadGuard,
 };
 use primo_common::{Phase, PhaseTimers, TxnError, TxnId, TxnResult};
 use primo_runtime::cluster::Cluster;
@@ -87,19 +88,19 @@ impl Protocol for TwoPlProtocol {
             }
         };
 
-        // Install the writes (participants do the same when they vote YES).
+        // Install the writes (participants do the same when they vote YES);
+        // deletes become tombstones.
         let ops = ctx.access.ops();
         timers.time(Phase::Commit, || {
-            for (i, record) in &locked.records {
-                let w = &ctx.access.writes[*i];
-                record.install_next_version(w.value.clone());
-            }
+            install_locked_writes(&ctx, &locked, None);
         });
 
-        // Commit round: propagate the decision, then release every lock.
+        // Commit round: propagate the decision, then release every lock and
+        // reclaim the tombstones this transaction installed.
         timers.time(Phase::TwoPc, || commit_round(&ctx, &parts));
         locked.release(txn);
         ctx.access.release_all_locks(txn);
+        reclaim_deletes(&ctx);
 
         Ok(CommittedTxn {
             ts: 0,

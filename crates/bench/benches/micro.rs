@@ -12,11 +12,13 @@
 //! cargo bench -p primo-bench
 //! ```
 
-use primo_repro::storage::{LockMode, LockPolicy, Record};
+use primo_repro::storage::{InsertSlot, LockMode, LockPolicy, Record, Table};
 use primo_repro::wal::{LogPayload, PartitionWal};
 use primo_repro::{
-    ClosureProgram, FastRng, PartitionId, Primo, ProtocolKind, TableId, Value, ZipfGen,
+    ClosureProgram, FastRng, PartitionId, Primo, ProtocolKind, TableId, TxnId, Value, ZipfGen,
 };
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Measure `f` with a calibrated iteration count and print ns/op.
 fn bench(name: &str, mut f: impl FnMut()) {
@@ -90,6 +92,72 @@ fn bench_wal_append() {
     });
 }
 
+fn bench_insert_delete_churn() {
+    // The record-lifecycle hot loop: claim a slot (create or revive), commit
+    // the insert, tombstone it, reclaim the tombstone from the table shard —
+    // with concurrent readers and a sweeper hammering the same (deliberately
+    // few) shards, so the shard-lock serialization is actually exercised.
+    let table = Arc::new(Table::with_shards(4));
+    for k in 0..1_024u64 {
+        table.insert(k, Value::from_u64(k));
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut contenders = Vec::new();
+    for t in 0..2 {
+        let table = Arc::clone(&table);
+        let stop = Arc::clone(&stop);
+        contenders.push(std::thread::spawn(move || {
+            let mut rng = FastRng::new(0xC0_47E0 + t);
+            while !stop.load(Ordering::Relaxed) {
+                for _ in 0..64 {
+                    std::hint::black_box(table.get(rng.next_below(2_048)));
+                }
+                // A background sweep competes with inline reclaims.
+                std::hint::black_box(table.reclaim_tombstones());
+            }
+        }));
+    }
+    let mut seq = 0u64;
+    bench("table/insert_delete_reclaim_churn", || {
+        seq += 1;
+        let txn = TxnId::new(PartitionId(0), seq);
+        let key = 1_024 + (seq % 1_024);
+        let record = match table.insert_slot(key, txn) {
+            InsertSlot::Existing(r) | InsertSlot::Created(r) | InsertSlot::Revived(r) => r,
+            InsertSlot::Busy => unreachable!("single writer"),
+        };
+        record.install_next_version(Value::from_u64(seq));
+        record.install_tombstone_next_version();
+        std::hint::black_box(table.reclaim(key));
+    });
+    stop.store(true, Ordering::Relaxed);
+    for c in contenders {
+        c.join().unwrap();
+    }
+}
+
+fn bench_txn_churn() {
+    // End-to-end lifecycle churn through the facade: one transaction inserts
+    // a fresh key and deletes the key a previous iteration inserted.
+    let primo = loaded_primo(ProtocolKind::Primo);
+    let session = primo.session();
+    let mut seq = 0u64;
+    bench("txn/insert_delete_churn_primo", || {
+        seq += 1;
+        let insert_key = 10_000 + seq;
+        let delete_prev = seq > 1;
+        let program = ClosureProgram::new(PartitionId(0), move |ctx| {
+            ctx.insert(PartitionId(0), TableId(0), insert_key, Value::from_u64(1))?;
+            if delete_prev {
+                ctx.delete(PartitionId(0), TableId(0), insert_key - 1)?;
+            }
+            Ok(())
+        });
+        session.run_program(&program).unwrap();
+    });
+    primo.shutdown();
+}
+
 fn loaded_primo(kind: ProtocolKind) -> Primo {
     let primo = Primo::builder()
         .partitions(2)
@@ -136,5 +204,7 @@ fn main() {
     bench_tictoc_record();
     bench_zipf();
     bench_wal_append();
+    bench_insert_delete_churn();
     bench_single_txn();
+    bench_txn_churn();
 }

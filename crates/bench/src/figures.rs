@@ -39,6 +39,21 @@ fn print_row(label: &str, snap: &MetricsSnapshot) {
     );
 }
 
+/// Per-reason abort counts (e.g. `WaitDie=123 Validation=4 NotFound=1`):
+/// lifecycle regressions surface here instead of hiding in the abort total.
+fn print_abort_breakdown(label: &str, snap: &MetricsSnapshot) {
+    let breakdown = snap.abort_breakdown();
+    if breakdown.is_empty() {
+        println!("{label:<22} aborts: none");
+        return;
+    }
+    let parts: Vec<String> = breakdown
+        .iter()
+        .map(|(reason, count)| format!("{reason}={count}"))
+        .collect();
+    println!("{label:<22} aborts: {}", parts.join(" "));
+}
+
 fn print_breakdown(label: &str, snap: &MetricsSnapshot) {
     let mut parts = String::new();
     for p in Phase::ALL {
@@ -73,6 +88,11 @@ pub fn fig4(scale: &Scale) {
         let snap = ycsb(kind, scale);
         print_row(kind.label(), &snap);
         snaps.push((kind, snap));
+    }
+
+    header("Fig 4a': abort breakdown by reason");
+    for (kind, snap) in &snaps {
+        print_abort_breakdown(kind.label(), snap);
     }
 
     header("Fig 4b: factor breakdown (normalised to Sundial)");
@@ -119,6 +139,11 @@ pub fn fig5(scale: &Scale) {
         let snap = tpcc(kind, scale);
         print_row(kind.label(), &snap);
         snaps.push((kind, snap));
+    }
+
+    header("Fig 5a': abort breakdown by reason");
+    for (kind, snap) in &snaps {
+        print_abort_breakdown(kind.label(), snap);
     }
 
     header("Fig 5b: factor breakdown (normalised to Sundial)");

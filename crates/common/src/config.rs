@@ -183,6 +183,10 @@ pub struct ClusterConfig {
     pub backoff_max_us: u64,
     /// Aria batch size (transactions per partition per batch).
     pub aria_batch_size: usize,
+    /// Experiment seed: deterministic randomness derived from it (e.g. the
+    /// network jitter salt) varies across seeds while each run stays
+    /// reproducible.
+    pub seed: u64,
 }
 
 impl Default for ClusterConfig {
@@ -196,6 +200,7 @@ impl Default for ClusterConfig {
             backoff_initial_us: 500,
             backoff_max_us: 8_000,
             aria_batch_size: 32,
+            seed: 0x5EED,
         }
     }
 }
@@ -222,6 +227,7 @@ impl ClusterConfig {
             backoff_initial_us: 20,
             backoff_max_us: 500,
             aria_batch_size: 8,
+            seed: 0x5EED,
         }
     }
 }

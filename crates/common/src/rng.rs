@@ -1,6 +1,6 @@
 //! Fast per-thread random number generation and the Zipf key distribution
 //! used by YCSB (Gray et al., "Quickly generating billion-record synthetic
-//! databases", SIGMOD '94 — the same generator the paper cites [31]).
+//! databases", SIGMOD '94 — the same generator the paper cites \[31\]).
 
 /// A small, fast xorshift* PRNG. Each worker thread owns one, seeded from the
 /// thread id so experiments are reproducible yet threads are decorrelated.

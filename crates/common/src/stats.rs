@@ -256,6 +256,29 @@ impl MetricsSnapshot {
     pub fn phase(&self, p: Phase) -> f64 {
         self.phase_ms.get(&p).copied().unwrap_or(0.0)
     }
+
+    /// Aborted attempts for one reason.
+    pub fn aborts_for(&self, reason: AbortReason) -> u64 {
+        self.abort_reasons.get(&reason).copied().unwrap_or(0)
+    }
+
+    /// Per-reason abort breakdown, largest first (ties broken by the debug
+    /// name so output is deterministic). Lifecycle regressions — e.g. a
+    /// phantom insert flipping later puts into `NotFound` aborts — show up
+    /// here instead of being folded into the single abort total.
+    pub fn abort_breakdown(&self) -> Vec<(AbortReason, u64)> {
+        let mut v: Vec<(AbortReason, u64)> = self
+            .abort_reasons
+            .iter()
+            .filter(|(_, count)| **count > 0)
+            .map(|(r, count)| (*r, *count))
+            .collect();
+        v.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then_with(|| format!("{}", a.0).cmp(&format!("{}", b.0)))
+        });
+        v
+    }
 }
 
 #[cfg(test)]
@@ -303,6 +326,29 @@ mod tests {
             let err = (v as f64 - us as f64).abs() / us as f64;
             assert!(err < 0.07, "us={us} decoded {v} err {err}");
         }
+    }
+
+    #[test]
+    fn abort_breakdown_is_sorted_and_complete() {
+        let m = Metrics::new();
+        for _ in 0..3 {
+            m.record_abort(AbortReason::WaitDie);
+        }
+        m.record_abort(AbortReason::NotFound);
+        for _ in 0..2 {
+            m.record_abort(AbortReason::Validation);
+        }
+        let s = m.snapshot(1.0);
+        assert_eq!(
+            s.abort_breakdown(),
+            vec![
+                (AbortReason::WaitDie, 3),
+                (AbortReason::Validation, 2),
+                (AbortReason::NotFound, 1),
+            ]
+        );
+        assert_eq!(s.aborts_for(AbortReason::WaitDie), 3);
+        assert_eq!(s.aborts_for(AbortReason::CrashAbort), 0);
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //! runs classic 2PC (see [`crate::protocol`]).
 
 use primo_common::{AbortReason, Key, PartitionId, TableId, TxnError, TxnId, TxnResult, Value};
-use primo_runtime::access::{AccessSet, ReadEntry, WriteEntry, WriteKind};
+use primo_runtime::access::{
+    check_visible, claim_insert_slot, recheck_locked_record, AccessSet, ReadEntry, WriteEntry,
+    WriteKind,
+};
 use primo_runtime::cluster::Cluster;
 use primo_runtime::txn::TxnContext;
 use primo_storage::{LockMode, LockPolicy, LockRequestResult, Record};
@@ -86,21 +89,32 @@ impl<'a> PrimoCtx<'a> {
         }
     }
 
-    /// Fetch (or create, for inserts) the record backing `(table, key)` on
-    /// partition `p`.
-    fn record_at(
+    /// Fetch the record backing `(table, key)` on partition `p`, applying the
+    /// lifecycle visibility rules: tombstones read as `NotFound`, another
+    /// transaction's uncommitted insert as a retryable conflict.
+    fn read_record(
         &self,
         p: PartitionId,
         table: TableId,
         key: Key,
-        create: bool,
-    ) -> Option<Arc<Record>> {
+    ) -> Result<Arc<Record>, AbortReason> {
         let store = &self.cluster.partition(p).store;
         match store.get(table, key) {
-            Some(r) => Some(r),
-            None if create => Some(store.table(table).insert_if_absent(key, Value::zeroed(0)).0),
-            None => None,
+            Some(r) => check_visible(&r, self.txn).map(|()| r),
+            None => Err(AbortReason::NotFound),
         }
+    }
+
+    /// Claim (or create / revive) the record backing an insert, logging the
+    /// undo so an abort unlinks it again.
+    fn record_for_insert(
+        &self,
+        p: PartitionId,
+        table: TableId,
+        key: Key,
+    ) -> Result<Arc<Record>, AbortReason> {
+        let table = self.cluster.partition(p).store.table(table);
+        claim_insert_slot(table, key, self.txn, &self.access.undo)
     }
 
     /// Acquire a lock for this transaction under WAIT_DIE.
@@ -169,12 +183,33 @@ impl<'a> PrimoCtx<'a> {
                 return Err(self.fail(AbortReason::RemoteUnavailable));
             }
         }
-        let record = match self.record_at(p, table, key, create) {
-            Some(r) => r,
-            None => return Err(self.fail(AbortReason::NotFound)),
+        let record = match if create {
+            self.record_for_insert(p, table, key)
+        } else {
+            self.read_record(p, table, key)
+        } {
+            Ok(r) => r,
+            Err(reason) => return Err(self.fail(reason)),
         };
         if self.acquire(&record, LockMode::Exclusive) != LockRequestResult::Granted {
             return Err(self.fail(AbortReason::WaitDie));
+        }
+        // Re-check the lifecycle now that the lock pins it (an
+        // insert-covering dummy read bounces retryably: the retry revives or
+        // recreates the slot).
+        let kind = if create {
+            WriteKind::Insert
+        } else {
+            WriteKind::Put
+        };
+        if let Err(reason) = recheck_locked_record(
+            &record,
+            self.txn,
+            kind,
+            &self.cluster.partition(p).store.table(table),
+            key,
+        ) {
+            return Err(self.fail(reason));
         }
         if remote {
             let floor = self.cluster.group_commit.ts_floor(p);
@@ -230,14 +265,16 @@ impl<'a> PrimoCtx<'a> {
         Ok(())
     }
 
-    /// Abort cleanup: release every lock and notify participants (one-way
+    /// Abort cleanup: unwind every record this attempt materialised (created
+    /// or revived for inserts — the undo runs while the exclusive locks are
+    /// still held), release every lock and notify participants (one-way
     /// ABORT messages — no acknowledgements are needed, §4.2.2).
     pub(crate) fn abort_cleanup(&mut self) {
         let parts = self.access.participants(self.home);
         if !parts.is_empty() {
             self.cluster.net.one_way_multi(self.home, &parts);
         }
-        self.access.release_all_locks(self.txn);
+        self.access.abort_unwind(self.txn);
     }
 }
 
@@ -246,8 +283,11 @@ impl TxnContext for PrimoCtx<'_> {
         if let Some(reason) = self.dead {
             return Err(TxnError::Aborted(reason));
         }
-        // Read-your-own-writes from the buffer.
+        // Read-your-own-writes (and your own deletes) from the buffer.
         if let Some(i) = self.access.find_write(p, table, key) {
+            if self.access.writes[i].kind == WriteKind::Delete {
+                return Err(self.fail(AbortReason::NotFound));
+            }
             return Ok(self.access.writes[i].value.clone());
         }
         // Repeated read of the same record.
@@ -266,8 +306,8 @@ impl TxnContext for PrimoCtx<'_> {
             Mode::Local => {
                 // TicToc read: no lock, remember the observed interval.
                 let record = self
-                    .record_at(p, table, key, false)
-                    .ok_or_else(|| self.fail(AbortReason::NotFound))?;
+                    .read_record(p, table, key)
+                    .map_err(|reason| self.fail(reason))?;
                 let row = record.read();
                 let value = row.value.clone();
                 self.access.reads.push(ReadEntry {
@@ -292,11 +332,22 @@ impl TxnContext for PrimoCtx<'_> {
                     return Err(self.fail(AbortReason::RemoteUnavailable));
                 }
                 let record = self
-                    .record_at(p, table, key, false)
-                    .ok_or_else(|| self.fail(AbortReason::NotFound))?;
+                    .read_record(p, table, key)
+                    .map_err(|reason| self.fail(reason))?;
                 let mode = self.read_lock_mode();
                 if self.acquire(&record, mode) != LockRequestResult::Granted {
                     return Err(self.fail(AbortReason::WaitDie));
+                }
+                // Re-check the lifecycle now that the lock pins it: a delete
+                // may have committed between resolution and acquisition.
+                if let Err(reason) = recheck_locked_record(
+                    &record,
+                    self.txn,
+                    WriteKind::Put,
+                    &self.cluster.partition(p).store.table(table),
+                    key,
+                ) {
+                    return Err(self.fail(reason));
                 }
                 if remote && self.wcf {
                     // Rule R2 (participant side): make sure the transaction's
@@ -327,14 +378,58 @@ impl TxnContext for PrimoCtx<'_> {
     }
 
     fn write(&mut self, p: PartitionId, table: TableId, key: Key, value: Value) -> TxnResult<()> {
+        // Sticky abort first: a dead context must keep its original (often
+        // retryable) reason rather than have it overwritten below.
+        if let Some(reason) = self.dead {
+            return Err(TxnError::Aborted(reason));
+        }
+        // A plain write to a key this transaction deleted sees the deletion:
+        // the key no longer exists, so the update aborts like any other
+        // update of a missing record.
+        if let Some(i) = self.access.find_write(p, table, key) {
+            if self.access.writes[i].kind == WriteKind::Delete {
+                return Err(self.fail(AbortReason::NotFound));
+            }
+        }
         self.buffered_write(WriteEntry::put(p, table, key, value))
     }
 
     fn insert(&mut self, p: PartitionId, table: TableId, key: Key, value: Value) -> TxnResult<()> {
         // Inserts behave like blind writes, but carry the create-if-absent
         // intent: the record is created at commit (or by the dummy read in
-        // distributed mode) instead of aborting with NotFound.
+        // distributed mode) instead of aborting with NotFound. An insert
+        // over a buffered delete recreates the key (the buffer merge turns
+        // the entry back into an insert).
         self.buffered_write(WriteEntry::insert(p, table, key, value))
+    }
+
+    fn delete(&mut self, p: PartitionId, table: TableId, key: Key) -> TxnResult<()> {
+        if let Some(reason) = self.dead {
+            return Err(TxnError::Aborted(reason));
+        }
+        if let Some(i) = self.access.find_write(p, table, key) {
+            match self.access.writes[i].kind {
+                // Deleting a key this transaction inserted cancels the
+                // insert: the key never becomes visible. A record already
+                // materialised for it (dummy read) is unlinked by the
+                // commit epilogue's undo pass, since nothing installs it.
+                WriteKind::Insert => {
+                    self.access.writes.remove(i);
+                    return Ok(());
+                }
+                // The key is already gone from this transaction's view.
+                WriteKind::Delete => return Err(self.fail(AbortReason::NotFound)),
+                WriteKind::Put => {
+                    self.access.writes[i] = WriteEntry::delete(p, table, key);
+                    return Ok(());
+                }
+            }
+        }
+        // A fresh delete is a blind write that must observe an existing
+        // record: in distributed WCF mode the dummy read pre-locks it (and
+        // aborts NotFound if it is missing); in local mode the commit-time
+        // resolution enforces the same contract.
+        self.buffered_write(WriteEntry::delete(p, table, key))
     }
 }
 

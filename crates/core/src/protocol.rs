@@ -2,7 +2,7 @@
 
 use crate::context::{Mode, PrimoCtx};
 use primo_common::{AbortReason, PartitionId, Phase, PhaseTimers, Ts, TxnError, TxnId, TxnResult};
-use primo_runtime::access::{resolve_write_record, AccessSet};
+use primo_runtime::access::{recheck_locked_record, resolve_write_record, AccessSet, WriteKind};
 use primo_runtime::cluster::Cluster;
 use primo_runtime::protocol::{CommittedTxn, Protocol};
 use primo_runtime::txn::TxnProgram;
@@ -111,13 +111,16 @@ impl PrimoProtocol {
         timers: &mut PhaseTimers,
     ) -> TxnResult<CommittedTxn> {
         let home = ctx.home;
-        // 1. Lock the write set (abort immediately on conflict, as TicToc /
-        //    Silo do).
+        // 1. Resolve and lock the write set (abort immediately on conflict,
+        //    as TicToc / Silo do). `resolved` keeps the record of every
+        //    write so installation cannot race a concurrent unlink;
+        //    `locked` remembers which locks this phase acquired.
+        let mut resolved: Vec<Arc<Record>> = Vec::new();
         let mut locked: Vec<Arc<Record>> = Vec::new();
         let lock_result = timers.time(Phase::Commit, || {
             for w in &ctx.access.writes {
                 let store = &cluster.partition(w.partition).store;
-                let record = resolve_write_record(store, w)?;
+                let record = resolve_write_record(store, w, txn, &ctx.access.undo)?;
                 if ctx.access.find_read(w.partition, w.table, w.key).is_none()
                     || ctx.access.reads[ctx.access.find_read(w.partition, w.table, w.key).unwrap()]
                         .locked
@@ -129,11 +132,17 @@ impl PrimoProtocol {
                         return Err(AbortReason::Validation);
                     }
                     locked.push(Arc::clone(&record));
+                    // The record may have been tombstoned between resolution
+                    // and lock acquisition (an insert's bounce is retryable;
+                    // the helper reclaims the tombstone our lock pinned).
+                    recheck_locked_record(&record, txn, w.kind, &store.table(w.table), w.key)?;
                 }
+                resolved.push(record);
             }
             Ok(())
         });
         if let Err(reason) = lock_result {
+            ctx.access.undo.unwind();
             for r in &locked {
                 r.release(txn);
             }
@@ -174,6 +183,7 @@ impl PrimoProtocol {
             Ok(())
         });
         if let Err(reason) = validation {
+            ctx.access.undo.unwind();
             for r in &locked {
                 r.release(txn);
             }
@@ -181,13 +191,13 @@ impl PrimoProtocol {
             return Err(TxnError::Aborted(reason));
         }
 
-        // 4. Install the writes and release.
+        // 4. Install the writes (deletes become tombstones) and release.
         let ops = ctx.access.ops();
         timers.time(Phase::Commit, || {
-            for w in &ctx.access.writes {
-                let store = &cluster.partition(w.partition).store;
-                if let Some(record) = store.get(w.table, w.key) {
-                    record.install(w.value.clone(), ts);
+            for (w, record) in ctx.access.writes.iter().zip(&resolved) {
+                match w.kind {
+                    WriteKind::Delete => record.install_tombstone(ts),
+                    _ => record.install(w.value.clone(), ts),
                 }
             }
             for r in &locked {
@@ -195,11 +205,30 @@ impl PrimoProtocol {
             }
         });
         ctx.access.release_all_locks(txn);
+        Self::commit_epilogue(cluster, ctx);
         Ok(CommittedTxn {
             ts,
             ops,
             distributed: false,
         })
+    }
+
+    /// Post-commit pass shared by every commit path: physically reclaim the
+    /// tombstones this transaction installed (deferred reclamation on the
+    /// table shard) and unwind any record that was materialised for an
+    /// insert but never installed (an insert cancelled by a later delete of
+    /// the same key in this transaction).
+    fn commit_epilogue(cluster: &Cluster, ctx: &mut PrimoCtx<'_>) {
+        for w in &ctx.access.writes {
+            if w.kind == WriteKind::Delete {
+                cluster
+                    .partition(w.partition)
+                    .store
+                    .table(w.table)
+                    .reclaim(w.key);
+            }
+        }
+        ctx.access.undo.unwind();
     }
 
     /// Commit a distributed transaction under WCF (Algorithm 1 commit phase):
@@ -232,7 +261,7 @@ impl PrimoProtocol {
             }
             for w in &ctx.access.writes {
                 if w.partition == home {
-                    Self::install_write(cluster, w.partition, w.table, w.key, &w.value, ts);
+                    Self::install_write(cluster, w, ts);
                 }
             }
             for r in &mut ctx.access.reads {
@@ -258,7 +287,7 @@ impl PrimoProtocol {
                 }
                 for w in &ctx.access.writes {
                     if w.partition == *p {
-                        Self::install_write(cluster, w.partition, w.table, w.key, &w.value, ts);
+                        Self::install_write(cluster, w, ts);
                     }
                 }
                 for r in &mut ctx.access.reads {
@@ -269,6 +298,7 @@ impl PrimoProtocol {
                 }
             }
         });
+        Self::commit_epilogue(cluster, ctx);
 
         Ok(CommittedTxn {
             ts,
@@ -307,17 +337,19 @@ impl PrimoProtocol {
         let lock_result = timers.time(Phase::TwoPc, || {
             for w in &ctx.access.writes {
                 let store = &cluster.partition(w.partition).store;
-                let record = resolve_write_record(store, w)?;
+                let record = resolve_write_record(store, w, txn, &ctx.access.undo)?;
                 if record.acquire(txn, LockMode::Exclusive, LockPolicy::WaitDie)
                     != LockRequestResult::Granted
                 {
                     return Err(AbortReason::LockConflict);
                 }
-                locked.push(record);
+                locked.push(Arc::clone(&record));
+                recheck_locked_record(&record, txn, w.kind, &store.table(w.table), w.key)?;
             }
             Ok(())
         });
         if let Err(reason) = lock_result {
+            ctx.access.undo.unwind();
             for r in &locked {
                 r.release(txn);
             }
@@ -352,6 +384,7 @@ impl PrimoProtocol {
             Ok(())
         });
         if let Err(reason) = validation {
+            ctx.access.undo.unwind();
             for r in &locked {
                 r.release(txn);
             }
@@ -362,11 +395,14 @@ impl PrimoProtocol {
             return Err(TxnError::Aborted(reason));
         }
 
-        // Install writes.
+        // Install writes into the resolved-and-locked records.
         let ops = ctx.access.ops();
         timers.time(Phase::Commit, || {
-            for w in &ctx.access.writes {
-                Self::install_write(cluster, w.partition, w.table, w.key, &w.value, ts);
+            for (w, record) in ctx.access.writes.iter().zip(&locked) {
+                match w.kind {
+                    WriteKind::Delete => record.install_tombstone(ts),
+                    _ => record.install(w.value.clone(), ts),
+                }
             }
         });
 
@@ -380,6 +416,7 @@ impl PrimoProtocol {
             r.release(txn);
         }
         ctx.access.release_all_locks(txn);
+        Self::commit_epilogue(cluster, ctx);
 
         Ok(CommittedTxn {
             ts,
@@ -388,21 +425,19 @@ impl PrimoProtocol {
         })
     }
 
-    fn install_write(
-        cluster: &Cluster,
-        p: PartitionId,
-        table: primo_common::TableId,
-        key: primo_common::Key,
-        value: &primo_common::Value,
-        ts: Ts,
-    ) {
-        let store = &cluster.partition(p).store;
-        match store.get(table, key) {
-            Some(record) => record.install(value.clone(), ts),
-            None => {
-                let (record, _) = store.table(table).insert_if_absent(key, value.clone());
-                record.install(value.clone(), ts);
-            }
+    /// WCF-mode install: the dummy read pre-locked (and, for inserts,
+    /// materialised) the record, so it is fetched and written in place;
+    /// deletes become tombstones.
+    fn install_write(cluster: &Cluster, w: &primo_runtime::access::WriteEntry, ts: Ts) {
+        let store = &cluster.partition(w.partition).store;
+        let Some(record) = store.get(w.table, w.key) else {
+            // Unreachable in practice: every WCF write is covered by a
+            // dummy read that pinned the record under an exclusive lock.
+            return;
+        };
+        match w.kind {
+            WriteKind::Delete => record.install_tombstone(ts),
+            _ => record.install(w.value.clone(), ts),
         }
     }
 }
@@ -703,6 +738,196 @@ mod tests {
                 "phantom record must not be created on {target}"
             );
         }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn aborted_insert_leaves_no_phantom_record() {
+        // The PR 1 correctness hole: an insert materialises its record before
+        // the commit decision (dummy read in WCF mode); an abort must unlink
+        // it again — locally and remotely.
+        struct AbortedInsert {
+            target: PartitionId,
+        }
+        impl TxnProgram for AbortedInsert {
+            fn execute(&self, ctx: &mut dyn TxnContext) -> TxnResult<()> {
+                ctx.read(self.target, TableId(0), 1)?;
+                ctx.insert(self.target, TableId(0), 9_999, Value::from_u64(1))?;
+                Err(TxnError::Aborted(AbortReason::UserAbort))
+            }
+            fn home_partition(&self) -> PartitionId {
+                PartitionId(0)
+            }
+        }
+        let cluster = loaded_cluster(2);
+        for target in [PartitionId(0), PartitionId(1)] {
+            let err = run_single_txn(&cluster, &PrimoProtocol::full(), &AbortedInsert { target })
+                .unwrap_err();
+            assert_eq!(err, AbortReason::UserAbort);
+            assert!(
+                cluster
+                    .partition(target)
+                    .store
+                    .get(TableId(0), 9_999)
+                    .is_none(),
+                "aborted insert left a phantom on {target}"
+            );
+            // The key still does not exist: a plain put must abort NotFound.
+            struct Put {
+                target: PartitionId,
+            }
+            impl TxnProgram for Put {
+                fn execute(&self, ctx: &mut dyn TxnContext) -> TxnResult<()> {
+                    ctx.write(self.target, TableId(0), 9_999, Value::from_u64(2))
+                }
+                fn home_partition(&self) -> PartitionId {
+                    PartitionId(0)
+                }
+            }
+            let err =
+                run_single_txn(&cluster, &PrimoProtocol::full(), &Put { target }).unwrap_err();
+            assert_eq!(err, AbortReason::NotFound, "target {target}");
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn committed_delete_reclaims_the_record() {
+        struct DeleteKey {
+            target: PartitionId,
+        }
+        impl TxnProgram for DeleteKey {
+            fn execute(&self, ctx: &mut dyn TxnContext) -> TxnResult<()> {
+                // Touch a second key so the remote case is distributed.
+                ctx.read(self.target, TableId(0), 1)?;
+                ctx.delete(self.target, TableId(0), 7)
+            }
+            fn home_partition(&self) -> PartitionId {
+                PartitionId(0)
+            }
+        }
+        let cluster = loaded_cluster(2);
+        for target in [PartitionId(0), PartitionId(1)] {
+            run_single_txn(&cluster, &PrimoProtocol::full(), &DeleteKey { target }).unwrap();
+            assert!(
+                cluster.partition(target).store.get(TableId(0), 7).is_none(),
+                "deleted record must be physically reclaimed on {target}"
+            );
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn aborted_delete_keeps_the_record_visible() {
+        struct AbortedDelete;
+        impl TxnProgram for AbortedDelete {
+            fn execute(&self, ctx: &mut dyn TxnContext) -> TxnResult<()> {
+                ctx.read(PartitionId(1), TableId(0), 1)?;
+                ctx.delete(PartitionId(1), TableId(0), 8)?;
+                Err(TxnError::Aborted(AbortReason::UserAbort))
+            }
+            fn home_partition(&self) -> PartitionId {
+                PartitionId(0)
+            }
+        }
+        let cluster = loaded_cluster(2);
+        let before = cluster
+            .partition(PartitionId(1))
+            .store
+            .get(TableId(0), 8)
+            .unwrap()
+            .read();
+        run_single_txn(&cluster, &PrimoProtocol::full(), &AbortedDelete).unwrap_err();
+        let rec = cluster
+            .partition(PartitionId(1))
+            .store
+            .get(TableId(0), 8)
+            .expect("record survives the aborted delete");
+        assert!(rec.is_visible_to(TxnId::new(PartitionId(0), 999_999)));
+        assert_eq!(rec.read().value.as_u64(), before.value.as_u64());
+        assert!(!rec.lock().is_locked());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn insert_then_delete_in_one_txn_is_a_no_op() {
+        struct InsertDelete {
+            target: PartitionId,
+        }
+        impl TxnProgram for InsertDelete {
+            fn execute(&self, ctx: &mut dyn TxnContext) -> TxnResult<()> {
+                // Distributed so the WCF dummy read materialises the record
+                // before the delete cancels the insert.
+                ctx.read(self.target, TableId(0), 1)?;
+                ctx.insert(self.target, TableId(0), 8_888, Value::from_u64(1))?;
+                ctx.delete(self.target, TableId(0), 8_888)
+            }
+            fn home_partition(&self) -> PartitionId {
+                PartitionId(0)
+            }
+        }
+        let cluster = loaded_cluster(2);
+        for target in [PartitionId(0), PartitionId(1)] {
+            run_single_txn(&cluster, &PrimoProtocol::full(), &InsertDelete { target }).unwrap();
+            assert!(
+                cluster
+                    .partition(target)
+                    .store
+                    .get(TableId(0), 8_888)
+                    .is_none(),
+                "cancelled insert must leave no record behind on {target}"
+            );
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn delete_then_insert_replaces_the_record() {
+        struct Replace;
+        impl TxnProgram for Replace {
+            fn execute(&self, ctx: &mut dyn TxnContext) -> TxnResult<()> {
+                ctx.delete(PartitionId(0), TableId(0), 3)?;
+                // Reading the deleted key inside the txn sees the deletion …
+                assert_eq!(
+                    ctx.read(PartitionId(0), TableId(0), 3)
+                        .unwrap_err()
+                        .reason(),
+                    AbortReason::NotFound
+                );
+                // … but the context must survive the buffered NotFound so the
+                // insert can recreate the key.
+                Err(TxnError::Aborted(AbortReason::UserAbort))
+            }
+            fn home_partition(&self) -> PartitionId {
+                PartitionId(0)
+            }
+        }
+        // Read-your-deletes marks the context dead; a delete+insert without
+        // the probing read commits as a replace.
+        struct CleanReplace;
+        impl TxnProgram for CleanReplace {
+            fn execute(&self, ctx: &mut dyn TxnContext) -> TxnResult<()> {
+                ctx.delete(PartitionId(0), TableId(0), 3)?;
+                ctx.insert(PartitionId(0), TableId(0), 3, Value::from_u64(777))
+            }
+            fn home_partition(&self) -> PartitionId {
+                PartitionId(0)
+            }
+        }
+        let cluster = loaded_cluster(1);
+        run_single_txn(&cluster, &PrimoProtocol::full(), &Replace).unwrap_err();
+        run_single_txn(&cluster, &PrimoProtocol::full(), &CleanReplace).unwrap();
+        assert_eq!(
+            cluster
+                .partition(PartitionId(0))
+                .store
+                .get(TableId(0), 3)
+                .unwrap()
+                .read()
+                .value
+                .as_u64(),
+            777
+        );
         cluster.shutdown();
     }
 

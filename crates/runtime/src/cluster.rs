@@ -82,7 +82,7 @@ impl Cluster {
     /// bus and the configured group-commit scheme.
     pub fn new(config: ClusterConfig) -> Arc<Self> {
         let n = config.num_partitions;
-        let net = Arc::new(SimNetwork::new(n, config.net));
+        let net = Arc::new(SimNetwork::new(n, config.net, config.seed));
         // Control messages (watermarks / epochs) travel one-way over the bus;
         // give them the same base latency as a data message.
         let bus = DelayedBus::new(n, config.net.one_way_us + config.net.control_msg_extra_us);

@@ -165,6 +165,11 @@ mod tests {
         fn insert(&mut self, p: PartitionId, t: TableId, k: Key, v: Value) -> TxnResult<()> {
             self.write(p, t, k, v)
         }
+
+        fn delete(&mut self, p: PartitionId, t: TableId, k: Key) -> TxnResult<()> {
+            self.cluster.partition(p).store.table(t).remove(k);
+            Ok(())
+        }
     }
 
     impl Protocol for CounterProtocol {

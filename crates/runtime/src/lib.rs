@@ -1,7 +1,7 @@
 //! Cluster runtime: partitions, workers, the protocol abstraction and the
 //! experiment driver.
 //!
-//! The runtime is protocol-agnostic. A [`Protocol`](protocol::Protocol)
+//! The runtime is protocol-agnostic. A [`Protocol`]
 //! implements one *attempt* of a transaction; the [`worker`] loop supplies
 //! retries with exponential back-off, ties the attempt to the group-commit
 //! scheme and records metrics; the [`experiment`] driver assembles a cluster,

@@ -44,6 +44,16 @@ pub trait TxnContext {
         value: Value,
     ) -> TxnResult<()>;
 
+    /// Delete a record: buffered like a write; at commit the record is
+    /// tombstoned and then physically reclaimed from its table shard.
+    /// Deleting a key that does not exist aborts with `NotFound`, and later
+    /// reads of a deleted key inside the same transaction see `NotFound`
+    /// too. Deleting a key the same transaction inserted cancels the insert
+    /// (net effect: the key never existed); a subsequent
+    /// [`TxnContext::insert`] recreates a deleted key (delete + insert =
+    /// replace).
+    fn delete(&mut self, partition: PartitionId, table: TableId, key: Key) -> TxnResult<()>;
+
     /// Read-modify-write convenience: read, transform, write back.
     fn update_with(
         &mut self,
@@ -211,6 +221,13 @@ mod tests {
             // The map applies writes immediately, so insert and write
             // coincide here.
             self.write(p, t, k, v)
+        }
+
+        fn delete(&mut self, p: PartitionId, t: TableId, k: Key) -> TxnResult<()> {
+            self.data
+                .remove(&(p.0, t.0, k))
+                .map(|_| ())
+                .ok_or(TxnError::Aborted(AbortReason::NotFound))
         }
     }
 

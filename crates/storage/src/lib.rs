@@ -13,5 +13,5 @@ pub mod table;
 
 pub use lock::{LockMode, LockPolicy, LockRequestResult, RecordLock};
 pub use partition::PartitionStore;
-pub use record::{Record, RecordData};
-pub use table::Table;
+pub use record::{LifecycleState, Record, RecordData};
+pub use table::{InsertSlot, Table};

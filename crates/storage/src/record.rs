@@ -1,8 +1,65 @@
-//! A single record: payload + TicToc timestamps + its lock.
+//! A single record: payload + TicToc timestamps + its lock + its lifecycle
+//! state.
 
 use crate::lock::{LockMode, LockPolicy, LockRequestResult, RecordLock};
 use parking_lot::Mutex;
 use primo_common::{Row, TxnId, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lifecycle of a record in its table.
+///
+/// "Existing in the table's hash map" is *not* the same as "existing in the
+/// database": an insert materialises its record before the commit decision
+/// (so it can be locked and installed into), and a delete leaves a tombstone
+/// behind until the deferred-reclamation pass physically unlinks it. The
+/// state machine makes both intermediate states explicit so readers never
+/// observe a phantom:
+///
+/// ```text
+///              install (commit)
+///   (absent) ──create──▶ UncommittedInsert{owner} ──▶ Visible
+///        ▲                   │ abort: unlink             │ delete install
+///        └───────────────────┘                           ▼
+///   (absent) ◀──reclaim── Tombstone ◀────────────────────┘
+///                            │  insert: revive (abort restores Tombstone)
+///                            └────────▶ UncommittedInsert{owner}
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleState {
+    /// A committed record: readable by everyone.
+    Visible,
+    /// Created by `owner` for an insert whose transaction has not committed.
+    /// Invisible to every other transaction.
+    UncommittedInsert { owner: TxnId },
+    /// Deleted by a committed transaction; awaiting physical unlink by the
+    /// deferred-reclamation pass. Invisible to everyone.
+    Tombstone,
+}
+
+// The state is packed into one atomic word: transitions happen either under
+// the record's exclusive lock (install paths) or under the table-shard lock
+// (create / revive / unlink / reclaim), so a plain store/CAS word is enough.
+const STATE_VISIBLE: u64 = 0;
+const STATE_TOMBSTONE: u64 = 1;
+const STATE_UNCOMMITTED_TAG: u64 = 2;
+
+fn encode_state(state: LifecycleState) -> u64 {
+    match state {
+        LifecycleState::Visible => STATE_VISIBLE,
+        LifecycleState::Tombstone => STATE_TOMBSTONE,
+        LifecycleState::UncommittedInsert { owner } => (owner.pack() << 2) | STATE_UNCOMMITTED_TAG,
+    }
+}
+
+fn decode_state(raw: u64) -> LifecycleState {
+    match raw {
+        STATE_VISIBLE => LifecycleState::Visible,
+        STATE_TOMBSTONE => LifecycleState::Tombstone,
+        _ => LifecycleState::UncommittedInsert {
+            owner: TxnId::unpack(raw >> 2),
+        },
+    }
+}
 
 /// The versioned payload of a record together with its TicToc metadata.
 ///
@@ -27,10 +84,23 @@ pub struct RecordData {
 pub struct Record {
     data: Mutex<RecordData>,
     lock: RecordLock,
+    /// Encoded [`LifecycleState`].
+    state: AtomicU64,
 }
 
 impl Record {
+    /// A committed ([`LifecycleState::Visible`]) record — loaders and
+    /// commit-time creation use this.
     pub fn new(value: Value) -> Self {
+        Self::with_state(value, LifecycleState::Visible)
+    }
+
+    /// A record created ahead of its commit decision by an insert.
+    pub fn new_uncommitted(value: Value, owner: TxnId) -> Self {
+        Self::with_state(value, LifecycleState::UncommittedInsert { owner })
+    }
+
+    fn with_state(value: Value, state: LifecycleState) -> Self {
         Record {
             data: Mutex::new(RecordData {
                 value,
@@ -38,7 +108,44 @@ impl Record {
                 rts: 0,
             }),
             lock: RecordLock::new(),
+            state: AtomicU64::new(encode_state(state)),
         }
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> LifecycleState {
+        decode_state(self.state.load(Ordering::Acquire))
+    }
+
+    /// True if `txn` may read this record: it is committed, or it is `txn`'s
+    /// own uncommitted insert.
+    pub fn is_visible_to(&self, txn: TxnId) -> bool {
+        match self.state() {
+            LifecycleState::Visible => true,
+            LifecycleState::UncommittedInsert { owner } => owner == txn,
+            LifecycleState::Tombstone => false,
+        }
+    }
+
+    /// Transition `UncommittedInsert{owner}` back to `Tombstone` (abort-time
+    /// undo of an insert that revived a tombstoned record). Returns false if
+    /// the state changed in the meantime (the insert was installed).
+    pub fn restore_tombstone(&self, owner: TxnId) -> bool {
+        let expected = encode_state(LifecycleState::UncommittedInsert { owner });
+        self.state
+            .compare_exchange(
+                expected,
+                STATE_TOMBSTONE,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// Force a lifecycle state. Only table-level code (shard-locked create /
+    /// revive) and install paths may call this.
+    pub(crate) fn set_state(&self, state: LifecycleState) {
+        self.state.store(encode_state(state), Ordering::Release);
     }
 
     /// Atomically snapshot the payload and timestamps.
@@ -59,21 +166,59 @@ impl Record {
     }
 
     /// Install a new version with `wts = rts = ts` (TicToc write rule).
+    /// Installing commits the version, so the record becomes
+    /// [`LifecycleState::Visible`] (this is the `UncommittedInsert → Visible`
+    /// flip of the lifecycle, and also revives a record a delete+insert pair
+    /// went through).
     pub fn install(&self, value: Value, ts: u64) {
         let mut d = self.data.lock();
         d.value = value;
         d.wts = ts;
         d.rts = ts;
+        drop(d);
+        self.set_state(LifecycleState::Visible);
     }
 
     /// Install a new version, bumping the version counter by one (used by
-    /// protocols without logical timestamps, e.g. plain 2PL and Silo).
+    /// protocols without logical timestamps, e.g. plain 2PL and Silo). Flips
+    /// the record [`LifecycleState::Visible`] like [`Record::install`].
     pub fn install_next_version(&self, value: Value) -> u64 {
         let mut d = self.data.lock();
         d.value = value;
         d.wts += 1;
         d.rts = d.wts;
-        d.wts
+        let wts = d.wts;
+        drop(d);
+        self.set_state(LifecycleState::Visible);
+        wts
+    }
+
+    /// Install a committed delete at timestamp `ts`: the record becomes a
+    /// [`LifecycleState::Tombstone`] and its `wts` advances so that
+    /// concurrent optimistic readers fail validation instead of resurrecting
+    /// the deleted version.
+    pub fn install_tombstone(&self, ts: u64) {
+        let mut d = self.data.lock();
+        if d.wts < ts {
+            d.wts = ts;
+        } else {
+            d.wts += 1;
+        }
+        d.rts = d.wts;
+        drop(d);
+        self.set_state(LifecycleState::Tombstone);
+    }
+
+    /// [`Record::install_tombstone`] for protocols without logical
+    /// timestamps: bump the version counter instead.
+    pub fn install_tombstone_next_version(&self) -> u64 {
+        let mut d = self.data.lock();
+        d.wts += 1;
+        d.rts = d.wts;
+        let wts = d.wts;
+        drop(d);
+        self.set_state(LifecycleState::Tombstone);
+        wts
     }
 
     /// Extend the valid interval so that it covers `ts` (TicToc
@@ -161,6 +306,60 @@ mod tests {
         r.install(Value::from_u64(2), 20);
         r.raise_watermark_floor(10);
         assert_eq!(r.timestamps(), (20, 20));
+    }
+
+    #[test]
+    fn lifecycle_roundtrips_through_the_atomic_encoding() {
+        let r = Record::new(Value::from_u64(0));
+        assert_eq!(r.state(), LifecycleState::Visible);
+        let owner = TxnId::new(PartitionId(3), 1 << 39);
+        let u = Record::new_uncommitted(Value::zeroed(0), owner);
+        assert_eq!(u.state(), LifecycleState::UncommittedInsert { owner });
+        assert!(u.is_visible_to(owner));
+        assert!(!u.is_visible_to(t(999)));
+        u.set_state(LifecycleState::Tombstone);
+        assert_eq!(u.state(), LifecycleState::Tombstone);
+        assert!(!u.is_visible_to(owner));
+    }
+
+    #[test]
+    fn install_commits_an_uncommitted_insert() {
+        let owner = t(5);
+        let r = Record::new_uncommitted(Value::zeroed(0), owner);
+        r.install(Value::from_u64(7), 3);
+        assert_eq!(r.state(), LifecycleState::Visible);
+        let v = Record::new_uncommitted(Value::zeroed(0), owner);
+        v.install_next_version(Value::from_u64(1));
+        assert_eq!(v.state(), LifecycleState::Visible);
+    }
+
+    #[test]
+    fn tombstone_install_bumps_wts_past_readers() {
+        let r = Record::new(Value::from_u64(1));
+        r.install(Value::from_u64(2), 10);
+        r.install_tombstone(5); // ts below current wts still advances it
+        assert_eq!(r.state(), LifecycleState::Tombstone);
+        assert!(r.wts() > 10, "validation of concurrent readers must fail");
+        let s = Record::new(Value::from_u64(1));
+        let w0 = s.install_next_version(Value::from_u64(2));
+        assert!(s.install_tombstone_next_version() > w0);
+        assert_eq!(s.state(), LifecycleState::Tombstone);
+    }
+
+    #[test]
+    fn restore_tombstone_is_a_guarded_cas() {
+        let owner = t(9);
+        let r = Record::new(Value::from_u64(0));
+        r.set_state(LifecycleState::Tombstone);
+        r.set_state(LifecycleState::UncommittedInsert { owner });
+        // The revival aborts: the record returns to Tombstone.
+        assert!(r.restore_tombstone(owner));
+        assert_eq!(r.state(), LifecycleState::Tombstone);
+        // Once installed (Visible), a stale undo must not clobber the state.
+        r.set_state(LifecycleState::UncommittedInsert { owner });
+        r.install(Value::from_u64(1), 4);
+        assert!(!r.restore_tombstone(owner));
+        assert_eq!(r.state(), LifecycleState::Visible);
     }
 
     #[test]

@@ -280,6 +280,10 @@ mod tests {
             fn insert(&mut self, p: PartitionId, t: TableId, k: Key, v: Value) -> TxnResult<()> {
                 self.write(p, t, k, v)
             }
+            fn delete(&mut self, p: PartitionId, t: TableId, k: Key) -> TxnResult<()> {
+                self.0.remove(&(p.0, t.0, k));
+                Ok(())
+            }
         }
         let txn = SmallbankTxn {
             kind: SmallbankKind::SendPayment,
@@ -315,6 +319,10 @@ mod tests {
             }
             fn insert(&mut self, p: PartitionId, t: TableId, k: Key, v: Value) -> TxnResult<()> {
                 self.write(p, t, k, v)
+            }
+            fn delete(&mut self, p: PartitionId, t: TableId, k: Key) -> TxnResult<()> {
+                self.0.remove(&(p.0, t.0, k));
+                Ok(())
             }
         }
         let txn = SmallbankTxn {

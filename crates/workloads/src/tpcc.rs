@@ -35,6 +35,9 @@ pub const W_TAX: usize = 1;
 pub const D_NEXT_O_ID: usize = 0;
 pub const D_YTD: usize = 1;
 pub const D_TAX: usize = 2;
+/// Oldest undelivered order id of the district: the delivery cursor. Orders
+/// in `[D_DELIV_O_ID, D_NEXT_O_ID)` still have their NEW-ORDER row.
+pub const D_DELIV_O_ID: usize = 3;
 pub const C_BALANCE: usize = 0;
 pub const C_YTD_PAYMENT: usize = 1;
 pub const C_PAYMENT_CNT: usize = 2;
@@ -305,32 +308,46 @@ impl TpccTxn {
     fn delivery(&self, ctx: &mut dyn TxnContext) -> TxnResult<()> {
         let cfg = &self.cfg;
         let home = self.part(self.w_id);
-        // Deliver the oldest undelivered order of each district (simplified:
-        // the most recent order, if any).
+        // Deliver the oldest undelivered order of each district: advance the
+        // delivery cursor, stamp the carrier on the ORDER row, bump the
+        // customer's delivery count and — the part that needs real `delete`
+        // support — remove the NEW-ORDER row instead of faking its removal.
+        // A committed NewOrder advances D_NEXT_O_ID atomically with its
+        // NEW-ORDER insert, so every order in [oldest, next_o) has its row;
+        // a concurrent Delivery racing us on the same district conflicts on
+        // the cursor RMW (or, if it already reclaimed the row, surfaces as a
+        // NotFound abort — the spec's "skipped delivery").
         for d in 0..cfg.districts_per_warehouse {
             let dk = cfg.district_key(self.w_id, d);
             let district = ctx.read(home, DISTRICT, dk)?;
             let next_o = field(&district, D_NEXT_O_ID);
-            if next_o <= 1 {
-                continue;
+            let oldest = field(&district, D_DELIV_O_ID);
+            if oldest >= next_o {
+                continue; // nothing undelivered in this district
             }
-            let ok = cfg.order_key(self.w_id, d, next_o - 1);
-            if let Ok(order) = ctx.read(home, ORDER, ok) {
-                let c_id = field(&order, 0);
-                ctx.write(home, ORDER, ok, with_field(&order, O_CARRIER_ID, 7))?;
-                let ck = cfg.customer_key(self.w_id, d, c_id % cfg.customers_per_district);
-                let customer = ctx.read(home, CUSTOMER, ck)?;
-                ctx.write(
-                    home,
-                    CUSTOMER,
-                    ck,
-                    with_field(
-                        &customer,
-                        C_DELIVERY_CNT,
-                        field(&customer, C_DELIVERY_CNT) + 1,
-                    ),
-                )?;
-            }
+            let ok = cfg.order_key(self.w_id, d, oldest);
+            ctx.delete(home, NEW_ORDER, ok)?;
+            ctx.write(
+                home,
+                DISTRICT,
+                dk,
+                with_field(&district, D_DELIV_O_ID, oldest + 1),
+            )?;
+            let order = ctx.read(home, ORDER, ok)?;
+            let c_id = field(&order, 0);
+            ctx.write(home, ORDER, ok, with_field(&order, O_CARRIER_ID, 7))?;
+            let ck = cfg.customer_key(self.w_id, d, c_id % cfg.customers_per_district);
+            let customer = ctx.read(home, CUSTOMER, ck)?;
+            ctx.write(
+                home,
+                CUSTOMER,
+                ck,
+                with_field(
+                    &customer,
+                    C_DELIVERY_CNT,
+                    field(&customer, C_DELIVERY_CNT) + 1,
+                ),
+            )?;
         }
         Ok(())
     }
@@ -448,9 +465,10 @@ impl Workload for TpccWorkload {
                 .table(WAREHOUSE)
                 .insert(w, encode_fields(&[0, 10 + w % 10], cfg.row_filler));
             for d in 0..cfg.districts_per_warehouse {
+                // next_o_id = 1, ytd = 0, tax, delivery cursor = 1.
                 store.table(DISTRICT).insert(
                     cfg.district_key(w, d),
-                    encode_fields(&[1, 0, 10 + d], cfg.row_filler),
+                    encode_fields(&[1, 0, 10 + d, 1], cfg.row_filler),
                 );
                 for c in 0..cfg.customers_per_district {
                     store.table(CUSTOMER).insert(
@@ -684,6 +702,67 @@ mod tests {
             .value;
         assert_eq!(field(&cust, C_PAYMENT_CNT), 1);
         assert_eq!(field(&cust, C_BALANCE), 1_000 - 250);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn delivery_deletes_the_new_order_row() {
+        let cfg = TpccConfig::small(1);
+        let workload = TpccWorkload::new(cfg.clone());
+        let cluster = Cluster::new(ClusterConfig::for_tests(1));
+        for p in cluster.partition_ids() {
+            workload.load_partition(&cluster.partition(p).store, p);
+        }
+        let protocol = PrimoProtocol::full();
+        let base = TpccTxn {
+            cfg: cfg.clone(),
+            kind: TpccTxnKind::NewOrder,
+            home: PartitionId(0),
+            w_id: 0,
+            d_id: 0,
+            c_id: 1,
+            items: vec![(1, 0, 2), (2, 0, 1)],
+            amount: 0,
+            c_w_id: 0,
+            c_d_id: 0,
+            unique: 1,
+        };
+        run_single_txn(&cluster, &protocol, &base).unwrap();
+        let store = &cluster.partition(PartitionId(0)).store;
+        let ok = cfg.order_key(0, 0, 1);
+        assert!(
+            store.get(NEW_ORDER, ok).is_some(),
+            "NewOrder must insert the NEW-ORDER row"
+        );
+
+        let delivery = TpccTxn {
+            kind: TpccTxnKind::Delivery,
+            ..base.clone()
+        };
+        run_single_txn(&cluster, &protocol, &delivery).unwrap();
+        assert!(
+            store.get(NEW_ORDER, ok).is_none(),
+            "Delivery must remove the NEW-ORDER row via a real delete"
+        );
+        // The delivery cursor advanced and the ORDER row carries the carrier.
+        let district = store.get(DISTRICT, cfg.district_key(0, 0)).unwrap().read();
+        assert_eq!(field(&district.value, D_DELIV_O_ID), 2);
+        let order = store.get(ORDER, ok).unwrap().read();
+        assert_eq!(field(&order.value, O_CARRIER_ID), 7);
+        // Running Delivery again finds nothing undelivered and commits as a
+        // no-op for district 0.
+        run_single_txn(&cluster, &protocol, &delivery).unwrap();
+        assert_eq!(
+            field(
+                &store
+                    .get(DISTRICT, cfg.district_key(0, 0))
+                    .unwrap()
+                    .read()
+                    .value,
+                D_DELIV_O_ID
+            ),
+            2
+        );
         cluster.shutdown();
     }
 

@@ -8,9 +8,23 @@
 use primo_common::{FastRng, Key, PartitionId, TableId, TxnResult, Value, ZipfGen};
 use primo_runtime::txn::{TxnContext, TxnProgram, Workload};
 use primo_storage::PartitionStore;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The single YCSB table.
 pub const YCSB_TABLE: TableId = TableId(0);
+
+/// How many churn inserts stay live before the matching delete is issued:
+/// churn op `c` inserts key `base + c` and deletes key `base + c - WINDOW`,
+/// so the churn keyspace holds a rolling window of records whose tombstones
+/// are continuously created and reclaimed.
+///
+/// The window is sized so that, at the default 10 ops/txn and full churn
+/// ratio, it spans ~25 transactions — comfortably more than the number of
+/// workers that can have churn transactions in flight on one partition.
+/// Generation order is not commit order, so a delete whose matching insert
+/// is still executing (or aborted permanently) surfaces as a `NotFound`
+/// abandonment; the wide window makes that the rare tail, not the norm.
+pub const CHURN_WINDOW: u64 = 256;
 
 /// YCSB workload parameters.
 #[derive(Debug, Clone)]
@@ -29,6 +43,12 @@ pub struct YcsbConfig {
     pub distributed_ratio: f64,
     /// Fraction of write operations that are blind writes (Fig 9).
     pub blind_write_ratio: f64,
+    /// Fraction of operations that are insert/delete churn: each such op
+    /// inserts a fresh key in a dedicated churn keyspace (above the loaded
+    /// keys) and deletes the key inserted [`CHURN_WINDOW`] churn ops earlier
+    /// on the same partition, exercising record creation, tombstoning and
+    /// table-shard reclamation under every protocol. Disabled by default.
+    pub insert_delete_ratio: f64,
     /// Probability that each individual operation of a distributed
     /// transaction goes to the remote partition.
     pub remote_op_ratio: f64,
@@ -47,6 +67,7 @@ impl YcsbConfig {
             zipf_theta: 0.6,
             distributed_ratio: 0.2,
             blind_write_ratio: 0.0,
+            insert_delete_ratio: 0.0,
             remote_op_ratio: 0.3,
             value_size: 100,
         }
@@ -68,6 +89,10 @@ pub enum YcsbOpKind {
     Read,
     ReadModifyWrite,
     BlindWrite,
+    /// Create a fresh record in the churn keyspace.
+    Insert,
+    /// Remove a churn record inserted [`CHURN_WINDOW`] churn ops earlier.
+    Delete,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -111,6 +136,20 @@ impl TxnProgram for YcsbTxn {
                         Value::zeroed(self.value_size),
                     )?;
                 }
+                YcsbOpKind::Insert => {
+                    ctx.insert(
+                        op.partition,
+                        YCSB_TABLE,
+                        op.key,
+                        Value::zeroed(self.value_size),
+                    )?;
+                }
+                YcsbOpKind::Delete => {
+                    // The matching insert ran CHURN_WINDOW churn ops ago; if
+                    // that transaction never committed the delete aborts
+                    // NotFound, which the abort breakdown surfaces.
+                    ctx.delete(op.partition, YCSB_TABLE, op.key)?;
+                }
             }
         }
         Ok(())
@@ -138,16 +177,25 @@ impl TxnProgram for YcsbTxn {
 pub struct YcsbWorkload {
     cfg: YcsbConfig,
     zipf: ZipfGen,
+    /// Per-partition churn-op counters: churn keys live at
+    /// `keys_per_partition + c` in each home partition's table.
+    churn: Vec<AtomicU64>,
 }
 
 impl YcsbWorkload {
     pub fn new(cfg: YcsbConfig) -> Self {
         let zipf = ZipfGen::new(cfg.keys_per_partition, cfg.zipf_theta);
-        YcsbWorkload { cfg, zipf }
+        let churn = (0..cfg.num_partitions).map(|_| AtomicU64::new(0)).collect();
+        YcsbWorkload { cfg, zipf, churn }
     }
 
     pub fn config(&self) -> &YcsbConfig {
         &self.cfg
+    }
+
+    /// The first key of `home`'s churn keyspace (above the loaded keys).
+    pub fn churn_base(&self) -> Key {
+        self.cfg.keys_per_partition
     }
 
     /// Generate the operation list of one transaction.
@@ -165,6 +213,24 @@ impl YcsbWorkload {
         let mut ops = Vec::with_capacity(self.cfg.ops_per_txn);
         let mut any_remote = false;
         for i in 0..self.cfg.ops_per_txn {
+            // Insert/delete churn rides on the home partition so a delete
+            // always targets the partition its insert ran on.
+            if self.cfg.insert_delete_ratio > 0.0 && rng.flip(self.cfg.insert_delete_ratio) {
+                let c = self.churn[home.idx()].fetch_add(1, Ordering::Relaxed);
+                ops.push(YcsbOp {
+                    partition: home,
+                    key: self.churn_base() + c,
+                    kind: YcsbOpKind::Insert,
+                });
+                if c >= CHURN_WINDOW {
+                    ops.push(YcsbOp {
+                        partition: home,
+                        key: self.churn_base() + c - CHURN_WINDOW,
+                        kind: YcsbOpKind::Delete,
+                    });
+                }
+                continue;
+            }
             let partition = match remote_partition {
                 // Make sure a "distributed" transaction really has at least
                 // one remote access (force the last op remote if needed).
@@ -280,6 +346,51 @@ mod tests {
     }
 
     #[test]
+    fn churn_mix_inserts_then_deletes_with_a_window() {
+        let mut cfg = YcsbConfig::small(2);
+        cfg.insert_delete_ratio = 1.0;
+        let w = YcsbWorkload::new(cfg.clone());
+        let mut rng = FastRng::new(13);
+        let mut inserted = Vec::new();
+        let mut deleted = Vec::new();
+        for _ in 0..80 {
+            for op in w.generate_ops(&mut rng, PartitionId(0)) {
+                assert_eq!(op.partition, PartitionId(0), "churn stays on home");
+                assert!(op.key >= cfg.keys_per_partition, "churn keyspace only");
+                match op.kind {
+                    YcsbOpKind::Insert => inserted.push(op.key),
+                    YcsbOpKind::Delete => deleted.push(op.key),
+                    other => panic!("unexpected op kind {other:?}"),
+                }
+            }
+        }
+        assert!(inserted.len() > CHURN_WINDOW as usize);
+        assert!(!deleted.is_empty(), "the window must eventually fill");
+        // Every delete targets a key some earlier op inserted, exactly
+        // CHURN_WINDOW churn ops later.
+        for (i, d) in deleted.iter().enumerate() {
+            assert_eq!(*d, inserted[i]);
+            assert_eq!(inserted[i + CHURN_WINDOW as usize], d + CHURN_WINDOW);
+        }
+        // Counters are per partition: another home starts its own sequence.
+        let first_p1 = w
+            .generate_ops(&mut rng, PartitionId(1))
+            .first()
+            .copied()
+            .unwrap();
+        assert_eq!(first_p1.key, cfg.keys_per_partition);
+    }
+
+    #[test]
+    fn churn_is_off_by_default() {
+        let txns = gen_many(YcsbConfig::paper_default(2, 1_000), 200);
+        assert!(txns.iter().all(|t| t
+            .ops
+            .iter()
+            .all(|o| !matches!(o.kind, YcsbOpKind::Insert | YcsbOpKind::Delete))));
+    }
+
+    #[test]
     fn keys_stay_in_domain_and_zipf_concentrates() {
         let cfg = YcsbConfig {
             zipf_theta: 0.9,
@@ -318,6 +429,10 @@ mod tests {
             }
             fn insert(&mut self, p: PartitionId, t: TableId, k: Key, v: Value) -> TxnResult<()> {
                 self.write(p, t, k, v)
+            }
+            fn delete(&mut self, p: PartitionId, _t: TableId, k: Key) -> TxnResult<()> {
+                self.0.remove(&(p.0, k));
+                Ok(())
             }
         }
         let w = YcsbWorkload::new(YcsbConfig::small(2));

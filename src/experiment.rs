@@ -280,6 +280,14 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Experiment seed: deterministic randomness derived from it (the
+    /// network jitter salt) varies across seeds while each run stays
+    /// reproducible.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cluster_tweaks.push(Box::new(move |c| c.seed = seed));
+        self
+    }
+
     /// Crash a partition leader mid-run (Fig 12).
     pub fn crash(mut self, plan: CrashPlan) -> Self {
         self.crash = Some(plan);

@@ -5,7 +5,7 @@
 //! group-commit scheme, network timing); the resulting [`Primo`] handle owns
 //! the cluster together with one protocol instance and hands out [`Session`]s
 //! for ad-hoc transactions expressed as closures over
-//! [`TxnContext`](primo_runtime::txn::TxnContext) — arbitrary programs whose
+//! [`TxnContext`] — arbitrary programs whose
 //! read/write sets emerge at runtime, exactly the generality the paper
 //! targets.
 //!
@@ -111,6 +111,13 @@ impl ClusterBuilder {
     /// Watermark interval / COCO epoch length in milliseconds.
     pub fn wal_interval_ms(mut self, ms: u64) -> Self {
         self.wal_interval_ms = Some(ms);
+        self
+    }
+
+    /// Experiment seed (drives e.g. the network jitter salt): different
+    /// seeds sample different jitter, the same seed reproduces a run.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.tweaks.push(Box::new(move |c| c.seed = seed));
         self
     }
 
