@@ -19,6 +19,7 @@ use primo_common::{
 };
 use primo_runtime::access::WriteKind;
 use primo_runtime::cluster::Cluster;
+use primo_runtime::durability::log_txn_writes;
 use primo_runtime::protocol::{CommittedTxn, Protocol};
 use primo_runtime::txn::TxnProgram;
 use std::collections::HashMap;
@@ -155,7 +156,7 @@ impl Protocol for AriaProtocol {
         cluster: &Cluster,
         txn: TxnId,
         program: &dyn TxnProgram,
-        _ticket: &primo_wal::TxnTicket,
+        ticket: &primo_wal::TxnTicket,
         timers: &mut PhaseTimers,
     ) -> TxnResult<CommittedTxn> {
         let home = program.home_partition();
@@ -252,7 +253,15 @@ impl Protocol for AriaProtocol {
                 Ok(()) => {
                     let ops = ctx.access.ops();
                     let distributed = ctx.access.is_distributed(home);
+                    // The sequencing layer logged the *inputs* before
+                    // execution; the write-set is additionally appended to
+                    // each partition's WAL so partition recovery can replay
+                    // state without re-executing batches. Within a batch at
+                    // most one transaction wins any given key (the WAW
+                    // check), so log order per key matches install order.
+                    let ts = cluster.group_commit.finalize_commit_ts(ticket, 0);
                     timers.time(Phase::Commit, || {
+                        log_txn_writes(cluster, txn, ts, &ctx.access.writes);
                         for w in &ctx.access.writes {
                             // The commit decision is already made, so inserts
                             // create their record directly (install flips it
@@ -274,7 +283,7 @@ impl Protocol for AriaProtocol {
                         }
                     });
                     Ok(CommittedTxn {
-                        ts: 0,
+                        ts,
                         ops,
                         distributed,
                     })

@@ -8,6 +8,7 @@ use primo_runtime::access::{
     WriteKind,
 };
 use primo_runtime::cluster::Cluster;
+use primo_runtime::durability::log_txn_writes;
 use primo_runtime::txn::TxnContext;
 use primo_storage::{LockMode, LockPolicy, LockRequestResult, Record};
 use std::sync::Arc;
@@ -258,7 +259,26 @@ pub fn lock_write_set(
 /// (with `wts = rts = ts`, or a version bump when `ts` is `None`); deletes
 /// install a tombstone. Shared by the 2PL, Silo, Sundial and TAPIR commit
 /// paths so delete semantics cannot drift between baselines.
-pub fn install_locked_writes(ctx: &BaselineCtx<'_>, locked: &LockedWriteSet, ts: Option<Ts>) {
+///
+/// The write-set is appended to every involved partition's WAL **before**
+/// the installs, while the exclusive locks are still held — so the log is
+/// ahead of the store and per-key log order equals install order. `ts` is
+/// finalized through the group-commit scheme (protocols without logical
+/// timestamps get a sequence above the coordinator's floor) and returned so
+/// the caller reports the same timestamp in its
+/// [`CommittedTxn`](primo_runtime::protocol::CommittedTxn) — recovery's replay bound relies
+/// on the logged and reported timestamps agreeing.
+pub fn install_locked_writes(
+    ctx: &BaselineCtx<'_>,
+    ticket: &primo_wal::TxnTicket,
+    locked: &LockedWriteSet,
+    ts: Option<Ts>,
+) -> Ts {
+    let final_ts = ctx
+        .cluster
+        .group_commit
+        .finalize_commit_ts(ticket, ts.unwrap_or(0));
+    log_txn_writes(ctx.cluster, ctx.txn, final_ts, &ctx.access.writes);
     for (i, record) in &locked.records {
         let w = &ctx.access.writes[*i];
         match (w.kind, ts) {
@@ -272,6 +292,7 @@ pub fn install_locked_writes(ctx: &BaselineCtx<'_>, locked: &LockedWriteSet, ts:
             }
         }
     }
+    final_ts
 }
 
 /// Post-commit deferred reclamation: physically unlink the tombstones this

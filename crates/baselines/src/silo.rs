@@ -93,10 +93,11 @@ impl Protocol for SiloProtocol {
             return Err(TxnError::Aborted(reason));
         }
 
-        // Phase 3: install the writes (version bump; deletes tombstone).
+        // Phase 3: log the write-set under the locks, then install (version
+        // bump; deletes tombstone).
         let ops = ctx.access.ops();
-        timers.time(Phase::Commit, || {
-            install_locked_writes(&ctx, &locked, None);
+        let ts = timers.time(Phase::Commit, || {
+            install_locked_writes(&ctx, ticket, &locked, None)
         });
 
         // Decision round, then unlock and reclaim installed tombstones.
@@ -106,7 +107,7 @@ impl Protocol for SiloProtocol {
         reclaim_deletes(&ctx);
 
         Ok(CommittedTxn {
-            ts: 0,
+            ts,
             ops,
             distributed,
         })

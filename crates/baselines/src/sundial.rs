@@ -117,10 +117,11 @@ impl Protocol for SundialProtocol {
             return Err(TxnError::Aborted(reason));
         }
 
-        // Install writes at ts (deletes tombstone at ts).
+        // Log the write-set under the locks, then install at ts (deletes
+        // tombstone at ts).
         let ops = ctx.access.ops();
         timers.time(Phase::Commit, || {
-            install_locked_writes(&ctx, &locked, Some(ts));
+            install_locked_writes(&ctx, ticket, &locked, Some(ts));
         });
 
         // Decision round, release, reclaim installed tombstones.

@@ -106,8 +106,8 @@ impl Protocol for TapirProtocol {
         }
 
         let ops = ctx.access.ops();
-        timers.time(Phase::Commit, || {
-            install_locked_writes(&ctx, &locked, None);
+        let ts = timers.time(Phase::Commit, || {
+            install_locked_writes(&ctx, ticket, &locked, None)
         });
 
         // The commit decision reaches participants asynchronously; the client
@@ -117,7 +117,7 @@ impl Protocol for TapirProtocol {
         reclaim_deletes(&ctx);
 
         Ok(CommittedTxn {
-            ts: 0,
+            ts,
             ops,
             distributed,
         })

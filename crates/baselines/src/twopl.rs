@@ -89,10 +89,11 @@ impl Protocol for TwoPlProtocol {
         };
 
         // Install the writes (participants do the same when they vote YES);
-        // deletes become tombstones.
+        // deletes become tombstones. The write-set is logged first, under
+        // the locks, at the finalized commit timestamp.
         let ops = ctx.access.ops();
-        timers.time(Phase::Commit, || {
-            install_locked_writes(&ctx, &locked, None);
+        let ts = timers.time(Phase::Commit, || {
+            install_locked_writes(&ctx, ticket, &locked, None)
         });
 
         // Commit round: propagate the decision, then release every lock and
@@ -103,7 +104,7 @@ impl Protocol for TwoPlProtocol {
         reclaim_deletes(&ctx);
 
         Ok(CommittedTxn {
-            ts: 0,
+            ts,
             ops,
             distributed,
         })

@@ -12,8 +12,9 @@
 //! cargo bench -p primo-bench
 //! ```
 
-use primo_repro::storage::{InsertSlot, LockMode, LockPolicy, Record, Table};
-use primo_repro::wal::{LogPayload, PartitionWal};
+use primo_repro::recovery::apply_replay;
+use primo_repro::storage::{InsertSlot, LockMode, LockPolicy, PartitionStore, Record, Table};
+use primo_repro::wal::{LogPayload, LoggedOp, LoggedWrite, PartitionWal, ReplayBound};
 use primo_repro::{
     ClosureProgram, FastRng, PartitionId, Primo, ProtocolKind, TableId, TxnId, Value, ZipfGen,
 };
@@ -90,6 +91,77 @@ fn bench_wal_append() {
         wp += 1;
         wal.append(LogPayload::Watermark { wp });
     });
+    let mut seq = 0u64;
+    bench("wal/append_txn_writes", || {
+        seq += 1;
+        wal.append(LogPayload::TxnWrites {
+            txn: TxnId::new(PartitionId(0), seq),
+            ts: seq,
+            writes: vec![LoggedWrite {
+                table: TableId(0),
+                key: seq % 1_024,
+                op: LoggedOp::Put(Value::from_u64(seq)),
+            }],
+        });
+    });
+}
+
+fn bench_checkpoint_and_replay() {
+    // The recovery subsystem's two hot paths: folding a durable log into a
+    // checkpoint image (checkpoint-write throughput) and replaying a durable
+    // prefix into a wiped store (replay throughput).
+    use primo_repro::wal::CheckpointImage;
+    use primo_repro::{Checkpointer, LoggingScheme, WalConfig};
+
+    const TXNS: u64 = 10_000;
+    let fill = |wal: &PartitionWal| {
+        let mut rng = FastRng::new(0x4ECC);
+        for seq in 0..TXNS {
+            wal.append(LogPayload::TxnWrites {
+                txn: TxnId::new(PartitionId(0), seq),
+                ts: seq + 1,
+                writes: vec![LoggedWrite {
+                    table: TableId(0),
+                    key: rng.next_below(4_096),
+                    op: LoggedOp::Put(Value::from_u64(seq)),
+                }],
+            });
+        }
+    };
+    let wal = PartitionWal::new(PartitionId(0), 0);
+    fill(&wal);
+    bench("recovery/replay_collect_10k_txns", || {
+        std::hint::black_box(wal.replay_range(0, &ReplayBound::Ts(u64::MAX), None));
+    });
+    let txns = wal.replay_range(0, &ReplayBound::Ts(u64::MAX), None);
+    bench("recovery/replay_apply_10k_txns", || {
+        let store = PartitionStore::new(PartitionId(0));
+        apply_replay(&store, &txns);
+        std::hint::black_box(store.total_records());
+    });
+    // Checkpoint write: fold 10k durable entries over an empty base image.
+    // CLV's bound is the durable LSN, so the whole log folds without any
+    // background agent threads.
+    let cfg = WalConfig {
+        scheme: LoggingScheme::Clv,
+        persist_delay_us: 0,
+        ..Default::default()
+    };
+    let gc = primo_repro::wal::build_group_commit(
+        1,
+        cfg,
+        primo_repro::net::DelayedBus::new(1, 10),
+        primo_repro::wal::build_wals(1, cfg),
+    );
+    bench("recovery/checkpoint_fold_10k_txns", || {
+        let wal = PartitionWal::new(PartitionId(0), 0);
+        wal.append(LogPayload::Checkpoint {
+            image: Arc::new(CheckpointImage::default()),
+        });
+        fill(&wal);
+        std::hint::black_box(Checkpointer::tick(PartitionId(0), &wal, gc.as_ref()));
+    });
+    gc.shutdown();
 }
 
 fn bench_insert_delete_churn() {
@@ -204,6 +276,7 @@ fn main() {
     bench_tictoc_record();
     bench_zipf();
     bench_wal_append();
+    bench_checkpoint_and_replay();
     bench_insert_delete_churn();
     bench_single_txn();
     bench_txn_churn();

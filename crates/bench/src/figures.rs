@@ -360,14 +360,23 @@ pub fn fig11(scale: &Scale) {
 }
 
 /// Fig. 12: watermark interval / epoch size trade-off: latency, crash-abort
-/// rate (a partition is killed mid-run), throughput — WM vs COCO, both over
-/// Primo's WCF concurrency control.
+/// rate (a partition is killed mid-run and rebuilt from checkpoint +
+/// durable-log replay), throughput, recovery latency, replayed transactions
+/// and the post-recovery throughput dip — WM vs COCO, both over Primo's WCF
+/// concurrency control.
 pub fn fig12(scale: &Scale) {
     header("Fig 12: watermark interval / epoch size (Primo CC under WM vs COCO)");
     let sizes_ms = [20u64, 40, 60, 80, 100];
     println!(
-        "{:<12} {:>10} {:>12} {:>14} {:>12}",
-        "scheme", "size(ms)", "latency(ms)", "crash-abort", "ktps"
+        "{:<12} {:>10} {:>12} {:>14} {:>12} {:>13} {:>10} {:>14}",
+        "scheme",
+        "size(ms)",
+        "latency(ms)",
+        "crash-abort",
+        "ktps",
+        "recovery(ms)",
+        "replayed",
+        "post-rec ktps"
     );
     for scheme in [LoggingScheme::Watermark, LoggingScheme::CocoEpoch] {
         for size in sizes_ms {
@@ -376,6 +385,7 @@ pub fn fig12(scale: &Scale) {
                 .protocol(ProtocolKind::Primo)
                 .scale(*scale)
                 .duration_ms(duration_ms)
+                .checkpoint_interval_ms(size.max(duration_ms / 4))
                 .crash(CrashPlan {
                     partition: PartitionId(1),
                     at: Duration::from_millis(duration_ms / 2),
@@ -385,15 +395,22 @@ pub fn fig12(scale: &Scale) {
                 .wal_interval_ms(size)
                 .run();
             println!(
-                "{:<12} {:>10} {:>12.2} {:>14.4} {:>12.1}",
+                "{:<12} {:>10} {:>12.2} {:>14.4} {:>12.1} {:>13.2} {:>10} {:>14.1}",
                 scheme.label(),
                 size,
                 snap.mean_latency_ms,
                 snap.crash_abort_rate,
-                snap.ktps()
+                snap.ktps(),
+                snap.recovery_time_us as f64 / 1000.0,
+                snap.replayed_txns,
+                snap.post_recovery_tps / 1000.0
             );
         }
     }
+    println!(
+        "(recovery = wipe + checkpoint restore + durable-log replay; the partition stays\n\
+         unreachable until the replay completes)"
+    );
 }
 
 /// Fig. 13: lagging watermarks/epochs: (a) delayed control messages from one

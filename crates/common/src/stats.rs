@@ -133,6 +133,11 @@ pub struct Metrics {
     messages: AtomicU64,
     /// Remote (cross-partition) read/write requests issued.
     remote_ops: AtomicU64,
+    /// Total time spent rebuilding crashed partitions (wipe + checkpoint
+    /// restore + log replay), microseconds.
+    recovery_time_us: AtomicU64,
+    /// Committed transactions replayed from durable logs during recovery.
+    replayed_txns: AtomicU64,
 }
 
 impl Metrics {
@@ -164,6 +169,15 @@ impl Metrics {
 
     pub fn add_remote_ops(&self, n: u64) {
         self.remote_ops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Account one partition recovery (Fig 12b companion numbers: how long
+    /// the rebuild took and how much durable log it replayed).
+    pub fn record_recovery(&self, duration_us: u64, replayed_txns: u64) {
+        self.recovery_time_us
+            .fetch_add(duration_us, Ordering::Relaxed);
+        self.replayed_txns
+            .fetch_add(replayed_txns, Ordering::Relaxed);
     }
 
     pub fn committed(&self) -> u64 {
@@ -220,6 +234,9 @@ impl Metrics {
             abort_reasons,
             messages: self.messages.load(Ordering::Relaxed),
             remote_ops: self.remote_ops.load(Ordering::Relaxed),
+            recovery_time_us: self.recovery_time_us.load(Ordering::Relaxed),
+            replayed_txns: self.replayed_txns.load(Ordering::Relaxed),
+            post_recovery_tps: 0.0,
         }
     }
 }
@@ -245,6 +262,15 @@ pub struct MetricsSnapshot {
     pub abort_reasons: HashMap<AbortReason, u64>,
     pub messages: u64,
     pub remote_ops: u64,
+    /// Time spent rebuilding crashed partitions from checkpoint + durable-log
+    /// replay, microseconds (0 when no crash was injected).
+    pub recovery_time_us: u64,
+    /// Committed transactions replayed from durable logs during recovery.
+    pub replayed_txns: u64,
+    /// Throughput over the window between recovery completion and the end of
+    /// the measurement — the post-recovery dip Fig 12b-style harnesses
+    /// report (0 when no crash was injected or nothing ran afterwards).
+    pub post_recovery_tps: f64,
 }
 
 impl MetricsSnapshot {
@@ -360,7 +386,11 @@ mod tests {
         m.record_commit(1500, &ph);
         m.record_abort(AbortReason::LockConflict);
         m.record_abort(AbortReason::CrashAbort);
+        m.record_recovery(1_500, 42);
         let s = m.snapshot(2.0);
+        assert_eq!(s.recovery_time_us, 1_500);
+        assert_eq!(s.replayed_txns, 42);
+        assert_eq!(s.post_recovery_tps, 0.0);
         assert_eq!(s.committed, 2);
         assert_eq!(s.aborted_attempts, 2);
         assert!((s.throughput_tps - 1.0).abs() < 1e-9);

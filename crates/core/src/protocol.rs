@@ -4,6 +4,7 @@ use crate::context::{Mode, PrimoCtx};
 use primo_common::{AbortReason, PartitionId, Phase, PhaseTimers, Ts, TxnError, TxnId, TxnResult};
 use primo_runtime::access::{recheck_locked_record, resolve_write_record, AccessSet, WriteKind};
 use primo_runtime::cluster::Cluster;
+use primo_runtime::durability::log_txn_writes;
 use primo_runtime::protocol::{CommittedTxn, Protocol};
 use primo_runtime::txn::TxnProgram;
 use primo_storage::{LockMode, LockPolicy, LockRequestResult, Record};
@@ -191,9 +192,12 @@ impl PrimoProtocol {
             return Err(TxnError::Aborted(reason));
         }
 
-        // 4. Install the writes (deletes become tombstones) and release.
+        // 4. Log the write-set (while the locks are held, so the log is
+        //    ahead of the store), install the writes (deletes become
+        //    tombstones) and release.
         let ops = ctx.access.ops();
         timers.time(Phase::Commit, || {
+            log_txn_writes(cluster, txn, ts, &ctx.access.writes);
             for (w, record) in ctx.access.writes.iter().zip(&resolved) {
                 match w.kind {
                     WriteKind::Delete => record.install_tombstone(ts),
@@ -250,6 +254,11 @@ impl PrimoProtocol {
         let participants = ctx.access.participants(home);
 
         timers.time(Phase::Commit, || {
+            // Durability first: every involved partition logs the write-set
+            // while the WCF exclusive locks (taken by the dummy reads) are
+            // still held. Shipping the set to the participant's log rides
+            // the same one-way batch charged below.
+            log_txn_writes(cluster, txn, ts, &ctx.access.writes);
             // Local part: prolong valid intervals of reads, install writes,
             // release locks — all without any communication.
             for r in &ctx.access.reads {
@@ -395,9 +404,11 @@ impl PrimoProtocol {
             return Err(TxnError::Aborted(reason));
         }
 
-        // Install writes into the resolved-and-locked records.
+        // Log the write-set under the locks, then install into the
+        // resolved-and-locked records.
         let ops = ctx.access.ops();
         timers.time(Phase::Commit, || {
+            log_txn_writes(cluster, txn, ts, &ctx.access.writes);
             for (w, record) in ctx.access.writes.iter().zip(&locked) {
                 match w.kind {
                     WriteKind::Delete => record.install_tombstone(ts),

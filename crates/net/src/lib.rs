@@ -18,4 +18,4 @@ pub mod bus;
 pub mod network;
 
 pub use bus::{BusMessage, DelayedBus};
-pub use network::SimNetwork;
+pub use network::{PartitionHealth, SimNetwork};

@@ -4,7 +4,42 @@ use parking_lot::RwLock;
 use primo_common::config::NetConfig;
 use primo_common::sim_time::charge_latency_us;
 use primo_common::{FastRng, PartitionId};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// Reachability of one partition as seen by the network.
+///
+/// A partition is unreachable while `Crashed` **and** while `Recovering`:
+/// the replacement leader only starts answering once its store is rebuilt
+/// from checkpoint + log replay, not merely once the configured outage
+/// elapses. The distinction is kept so operators (and tests) can observe
+/// where the downtime went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionHealth {
+    /// Reachable, serving requests.
+    Up,
+    /// The leader is down; nothing answers.
+    Crashed,
+    /// A replacement leader is replaying the durable log; still unreachable.
+    Recovering,
+}
+
+impl PartitionHealth {
+    fn encode(self) -> u8 {
+        match self {
+            PartitionHealth::Up => 0,
+            PartitionHealth::Crashed => 1,
+            PartitionHealth::Recovering => 2,
+        }
+    }
+
+    fn decode(raw: u8) -> Self {
+        match raw {
+            0 => PartitionHealth::Up,
+            1 => PartitionHealth::Crashed,
+            _ => PartitionHealth::Recovering,
+        }
+    }
+}
 
 /// The simulated network connecting all partitions.
 ///
@@ -18,8 +53,9 @@ pub struct SimNetwork {
     /// Fig 13a (delayed watermark/epoch messages) and general asymmetry
     /// experiments.
     extra_delay_us: Vec<AtomicU64>,
-    /// Crash flags per partition: a crashed partition does not answer.
-    crashed: Vec<AtomicBool>,
+    /// Health per partition: a crashed or recovering partition does not
+    /// answer (encoded [`PartitionHealth`]).
+    health: Vec<AtomicU8>,
     /// Total messages "sent" (one per one-way hop).
     messages: AtomicU64,
     /// Total round trips charged.
@@ -45,8 +81,8 @@ impl SimNetwork {
             cfg: RwLock::new(cfg),
             num_partitions,
             extra_delay_us: (0..num_partitions).map(|_| AtomicU64::new(0)).collect(),
-            crashed: (0..num_partitions)
-                .map(|_| AtomicBool::new(false))
+            health: (0..num_partitions)
+                .map(|_| AtomicU8::new(PartitionHealth::Up.encode()))
                 .collect(),
             messages: AtomicU64::new(0),
             round_trips: AtomicU64::new(0),
@@ -75,13 +111,33 @@ impl SimNetwork {
         self.extra_delay_us[to.idx()].load(Ordering::Relaxed)
     }
 
-    /// Mark a partition as crashed (it will not be reachable) or recovered.
+    /// Mark a partition as crashed (it will not be reachable) or fully up.
+    /// Shorthand over [`SimNetwork::set_health`] kept for the common
+    /// crash-injection call sites.
     pub fn set_crashed(&self, p: PartitionId, crashed: bool) {
-        self.crashed[p.idx()].store(crashed, Ordering::SeqCst);
+        self.set_health(
+            p,
+            if crashed {
+                PartitionHealth::Crashed
+            } else {
+                PartitionHealth::Up
+            },
+        );
     }
 
+    /// Set a partition's health (recovery moves it `Crashed -> Recovering ->
+    /// Up`; it stays unreachable until `Up`).
+    pub fn set_health(&self, p: PartitionId, health: PartitionHealth) {
+        self.health[p.idx()].store(health.encode(), Ordering::SeqCst);
+    }
+
+    pub fn health(&self, p: PartitionId) -> PartitionHealth {
+        PartitionHealth::decode(self.health[p.idx()].load(Ordering::SeqCst))
+    }
+
+    /// Unreachable: crashed or still replaying its log.
     pub fn is_crashed(&self, p: PartitionId) -> bool {
-        self.crashed[p.idx()].load(Ordering::SeqCst)
+        self.health(p) != PartitionHealth::Up
     }
 
     fn one_way_latency_us(&self, from: PartitionId, to: PartitionId) -> u64 {
@@ -273,6 +329,21 @@ mod tests {
         assert!(!n.round_trip_multi(PartitionId(0), &[PartitionId(1), PartitionId(2)]));
         n.set_crashed(PartitionId(2), false);
         assert!(n.round_trip(PartitionId(0), PartitionId(2)));
+    }
+
+    #[test]
+    fn recovering_partition_stays_unreachable() {
+        let n = net(10);
+        n.set_health(PartitionId(1), PartitionHealth::Crashed);
+        assert_eq!(n.health(PartitionId(1)), PartitionHealth::Crashed);
+        // Replay in progress: the outage window is over but the partition
+        // must not answer until the store is rebuilt.
+        n.set_health(PartitionId(1), PartitionHealth::Recovering);
+        assert!(n.is_crashed(PartitionId(1)));
+        assert!(!n.round_trip(PartitionId(0), PartitionId(1)));
+        n.set_health(PartitionId(1), PartitionHealth::Up);
+        assert_eq!(n.health(PartitionId(1)), PartitionHealth::Up);
+        assert!(n.round_trip(PartitionId(0), PartitionId(1)));
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! The recovery manager: wipe a crashed partition's volatile store and
+//! rebuild it from `latest durable checkpoint + bounded durable-log replay`.
+
+use primo_common::sim_time::now_us;
+use primo_common::{PartitionId, Ts};
+use primo_net::{PartitionHealth, SimNetwork};
+use primo_storage::PartitionStore;
+use primo_wal::{GroupCommit, LoggedOp, PartitionWal, ReplayedTxn};
+use std::time::Instant;
+
+/// Everything captured at the instant a partition crashed. Recovery needs
+/// the crash-time durable LSN (entries past it were volatile and are lost)
+/// and the scheme's agreement token (recovered watermark / aborted epoch /
+/// crash time) to bound replay.
+#[derive(Debug, Clone, Copy)]
+pub struct CrashContext {
+    pub partition: PartitionId,
+    /// What [`GroupCommit::on_partition_crash`] returned.
+    pub token: Ts,
+    /// Durable LSN of the partition's log at the crash instant; `None` if
+    /// nothing was durable yet.
+    pub durable_lsn: Option<u64>,
+    /// Simulated timestamp of the crash.
+    pub crashed_at_us: u64,
+}
+
+impl CrashContext {
+    /// Capture the crash-time state of one partition. Call *after* the
+    /// network marked the partition crashed and the group commit agreed on
+    /// the rollback point.
+    pub fn capture(partition: PartitionId, token: Ts, wal: &PartitionWal) -> Self {
+        CrashContext {
+            partition,
+            token,
+            durable_lsn: wal.durable_lsn(),
+            crashed_at_us: now_us(),
+        }
+    }
+}
+
+/// What one recovery did.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryReport {
+    pub partition: PartitionId,
+    /// Records dropped by the wipe (the volatile store at crash time).
+    pub wiped_records: usize,
+    /// Records restored from the checkpoint image.
+    pub restored_records: usize,
+    /// Committed transactions replayed from the retained durable log.
+    pub replayed_txns: usize,
+    /// The watermark the partition's state was re-seeded from.
+    pub recovered_wp: Ts,
+    /// Wall-clock recovery latency (wipe + restore + replay).
+    pub duration_us: u64,
+}
+
+/// Apply a replayed transaction sequence to a store, in order. The sequence
+/// comes ts-sorted and deduplicated from
+/// [`PartitionWal::replay_range`], so applying it twice equals applying it
+/// once (puts overwrite in place, deletes of missing keys are no-ops).
+pub fn apply_replay(store: &PartitionStore, txns: &[ReplayedTxn]) {
+    for (_, ts, writes) in txns {
+        for w in writes {
+            match &w.op {
+                LoggedOp::Put(v) => {
+                    store.restore(w.table, w.key, v.clone(), *ts);
+                }
+                LoggedOp::Delete => {
+                    store.table(w.table).remove(w.key);
+                }
+            }
+        }
+    }
+}
+
+/// Stateless recovery driver.
+pub struct RecoveryManager;
+
+impl RecoveryManager {
+    /// Rebuild `store` after the crash described by `crash`:
+    ///
+    /// 1. flip the partition to [`PartitionHealth::Recovering`] — it stays
+    ///    unreachable for the whole replay, not just the configured outage;
+    /// 2. wipe the volatile store (every slot, whatever its lifecycle —
+    ///    tombstones and uncommitted inserts must never resurrect, and they
+    ///    cannot: checkpoints snapshot only `Visible` records and the log
+    ///    only ever contains committed write-sets);
+    /// 3. restore the newest checkpoint that was durable *at the crash*;
+    /// 4. replay the retained durable log from the image's base, bounded by
+    ///    the scheme ([`GroupCommit::replay_bound`]) and by the crash-time
+    ///    durable LSN;
+    /// 5. re-seed the scheme's per-partition state from the recovered `Wp`
+    ///    ([`GroupCommit::on_partition_recover`]);
+    /// 6. only then mark the partition [`PartitionHealth::Up`].
+    pub fn recover(
+        store: &PartitionStore,
+        wal: &PartitionWal,
+        gc: &dyn GroupCommit,
+        net: &SimNetwork,
+        crash: &CrashContext,
+    ) -> RecoveryReport {
+        let p = crash.partition;
+        let started = Instant::now();
+        net.set_health(p, PartitionHealth::Recovering);
+
+        let wiped_records = store.wipe();
+
+        // `durable_lsn = None` means nothing at all was durable when the
+        // partition died: there is no image to restore and no log to replay.
+        let (restored_records, txns) = match crash.durable_lsn {
+            None => {
+                // The whole log was volatile; every write-set in it is lost.
+                wal.retain_replayable(0, &primo_wal::ReplayBound::Lsn(0), None);
+                (0, Vec::new())
+            }
+            Some(cutoff) => {
+                let image = wal.latest_durable_checkpoint(Some(cutoff));
+                let (restored, replay_base) = match &image {
+                    Some(image) => {
+                        for ((table, key), (value, ts)) in &image.records {
+                            store.restore(*table, *key, value.clone(), *ts);
+                        }
+                        (image.len(), image.base_lsn)
+                    }
+                    None => (0, 0),
+                };
+                let bound = gc.replay_bound(crash.token, wal);
+                let txns = wal.replay_range(replay_base, &bound, Some(cutoff));
+                apply_replay(store, &txns);
+                // Log repair: drop every write-set replay did not apply
+                // (lost volatile tail, rolled-back durable suffix) so a
+                // later checkpoint fold — whose bound keeps advancing after
+                // recovery — cannot resurrect a transaction that was
+                // reported crash-aborted.
+                wal.retain_replayable(replay_base, &bound, Some(cutoff));
+                (restored, txns)
+            }
+        };
+
+        // §5.2: the new leader retrieves the latest Wp from its log — only
+        // one that was durable at the crash, never one the dead leader's
+        // agent appended during the outage. The cluster-wide agreement
+        // token can only be larger (it already incorporates every
+        // partition's view).
+        let recovered_wp = crash.token.max(
+            wal.latest_durable_watermark_at(crash.durable_lsn)
+                .unwrap_or(0),
+        );
+        gc.on_partition_recover(p, recovered_wp);
+        net.set_health(p, PartitionHealth::Up);
+
+        RecoveryReport {
+            partition: p,
+            wiped_records,
+            restored_records,
+            replayed_txns: txns.len(),
+            recovered_wp,
+            duration_us: started.elapsed().as_micros() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::Checkpointer;
+    use primo_common::config::NetConfig;
+    use primo_common::{TableId, TxnId, Value};
+    use primo_wal::{CommitOutcome, CommitWaiter, LogPayload, LoggedWrite, ReplayBound, TxnTicket};
+    use std::sync::Arc;
+
+    /// Minimal scheme: everything durable at crash is committed.
+    struct DurableIsCommitted;
+
+    impl GroupCommit for DurableIsCommitted {
+        fn begin_txn(&self, coord: PartitionId, txn: TxnId) -> Arc<TxnTicket> {
+            TxnTicket::new(txn, coord, 0)
+        }
+        fn add_participant(&self, _t: &TxnTicket, _p: PartitionId, _lts: Ts) {}
+        fn txn_aborted(&self, _t: &TxnTicket) {}
+        fn txn_committed(&self, ticket: &TxnTicket, ts: Ts, _ops: usize) -> CommitWaiter {
+            CommitWaiter {
+                txn: ticket.txn,
+                coordinator: ticket.coordinator,
+                ts,
+                epoch: 0,
+                ready_at_us: None,
+            }
+        }
+        fn wait_durable(&self, _w: &CommitWaiter) -> CommitOutcome {
+            CommitOutcome::Committed
+        }
+        fn try_outcome(&self, _w: &CommitWaiter) -> Option<CommitOutcome> {
+            Some(CommitOutcome::Committed)
+        }
+        fn on_partition_crash(&self, _p: PartitionId) -> Ts {
+            0
+        }
+        fn label(&self) -> &'static str {
+            "durable"
+        }
+        fn shutdown(&self) {}
+    }
+
+    fn net() -> SimNetwork {
+        SimNetwork::new(
+            2,
+            NetConfig {
+                one_way_us: 0,
+                jitter_us: 0,
+                control_msg_extra_us: 0,
+            },
+            1,
+        )
+    }
+
+    fn log_put(wal: &PartitionWal, seq: u64, ts: Ts, key: u64, v: u64) {
+        wal.append(LogPayload::TxnWrites {
+            txn: TxnId::new(PartitionId(0), seq),
+            ts,
+            writes: vec![LoggedWrite {
+                table: TableId(0),
+                key,
+                op: primo_wal::LoggedOp::Put(Value::from_u64(v)),
+            }],
+        });
+    }
+
+    #[test]
+    fn recovery_restores_checkpoint_plus_replay_and_reopens() {
+        let store = PartitionStore::new(PartitionId(0));
+        let wal = PartitionWal::new(PartitionId(0), 0);
+        let net = net();
+        let gc = DurableIsCommitted;
+        let p = PartitionId(0);
+
+        // Loaded base state, checkpointed.
+        for k in 0..4u64 {
+            store.insert(TableId(0), k, Value::from_u64(k));
+        }
+        Checkpointer::initial(&store, &wal);
+        // Two committed transactions after the checkpoint: an update and a
+        // delete, installed in the store and logged.
+        log_put(&wal, 1, 10, 0, 100);
+        store.insert(TableId(0), 0, Value::from_u64(100));
+        wal.append(LogPayload::TxnWrites {
+            txn: TxnId::new(p, 2),
+            ts: 11,
+            writes: vec![LoggedWrite {
+                table: TableId(0),
+                key: 3,
+                op: primo_wal::LoggedOp::Delete,
+            }],
+        });
+        store.table(TableId(0)).remove(3);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+
+        // Crash: dirty the store to prove the wipe really runs.
+        net.set_crashed(p, true);
+        store.insert(TableId(0), 999, Value::from_u64(999));
+        let crash = CrashContext::capture(p, gc.on_partition_crash(p), &wal);
+
+        let report = RecoveryManager::recover(&store, &wal, &gc, &net, &crash);
+        assert_eq!(report.wiped_records, 4, "3 live + 1 dirty slot wiped");
+        assert_eq!(report.restored_records, 4);
+        assert_eq!(report.replayed_txns, 2);
+        assert!(!net.is_crashed(p), "recovery clears the crash flag last");
+
+        assert_eq!(
+            store.get(TableId(0), 0).unwrap().read().value.as_u64(),
+            100,
+            "replayed update wins over the checkpointed value"
+        );
+        assert!(store.get(TableId(0), 3).is_none(), "replayed delete holds");
+        assert!(store.get(TableId(0), 999).is_none(), "dirty write is gone");
+        assert_eq!(store.get(TableId(0), 1).unwrap().read().value.as_u64(), 1);
+    }
+
+    #[test]
+    fn entries_volatile_at_crash_are_lost() {
+        let store = PartitionStore::new(PartitionId(0));
+        // 50 ms persist delay: the second entry never becomes durable
+        // before the crash.
+        let wal = PartitionWal::new(PartitionId(0), 50_000);
+        let net = net();
+        let gc = DurableIsCommitted;
+        let p = PartitionId(0);
+        store.insert(TableId(0), 1, Value::from_u64(1));
+        Checkpointer::initial(&store, &wal);
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        // Durable by now; this one will survive.
+        log_put(&wal, 1, 5, 1, 50);
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        // Volatile at crash; lost.
+        log_put(&wal, 2, 6, 1, 60);
+        net.set_crashed(p, true);
+        let crash = CrashContext::capture(p, gc.on_partition_crash(p), &wal);
+        let report = RecoveryManager::recover(&store, &wal, &gc, &net, &crash);
+        assert_eq!(report.replayed_txns, 1);
+        assert_eq!(store.get(TableId(0), 1).unwrap().read().value.as_u64(), 50);
+    }
+
+    #[test]
+    fn apply_replay_twice_equals_once() {
+        let wal = PartitionWal::new(PartitionId(0), 0);
+        log_put(&wal, 1, 3, 7, 70);
+        log_put(&wal, 2, 5, 7, 71);
+        wal.append(LogPayload::TxnWrites {
+            txn: TxnId::new(PartitionId(0), 3),
+            ts: 6,
+            writes: vec![LoggedWrite {
+                table: TableId(0),
+                key: 8,
+                op: primo_wal::LoggedOp::Delete,
+            }],
+        });
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let txns = wal.replay_range(0, &ReplayBound::Ts(u64::MAX), None);
+        let once = PartitionStore::new(PartitionId(0));
+        apply_replay(&once, &txns);
+        let twice = PartitionStore::new(PartitionId(0));
+        apply_replay(&twice, &txns);
+        apply_replay(&twice, &txns);
+        let mut a = once.snapshot_visible();
+        let mut b = twice.snapshot_visible();
+        a.sort_by_key(|(t, k, _, _)| (*t, *k));
+        b.sort_by_key(|(t, k, _, _)| (*t, *k));
+        assert_eq!(a, b);
+        assert_eq!(once.get(TableId(0), 7).unwrap().read().value.as_u64(), 71);
+    }
+}

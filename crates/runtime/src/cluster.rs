@@ -2,11 +2,16 @@
 //! plus the simulated network, control bus and group-commit scheme shared by
 //! all of them.
 
+use parking_lot::Mutex;
 use primo_common::config::ClusterConfig;
-use primo_common::{PartitionId, TxnId};
+use primo_common::{PartitionId, Ts, TxnId};
 use primo_net::{DelayedBus, SimNetwork};
+use primo_recovery::{
+    CheckpointStats, Checkpointer, CrashContext, RecoveryManager, RecoveryReport,
+};
 use primo_storage::PartitionStore;
 use primo_wal::{build_group_commit, GroupCommit, PartitionWal};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -24,11 +29,11 @@ pub struct Partition {
 }
 
 impl Partition {
-    fn new(id: PartitionId, persist_delay_us: u64) -> Self {
+    fn new(id: PartitionId, wal: Arc<PartitionWal>) -> Self {
         Partition {
             id,
             store: PartitionStore::new(id),
-            wal: Arc::new(PartitionWal::new(id, persist_delay_us)),
+            wal,
             next_seq: AtomicU64::new(1),
             slowdown_us: AtomicU64::new(0),
         }
@@ -66,6 +71,10 @@ pub struct Cluster {
     pub group_commit: Arc<dyn GroupCommit>,
     /// Global transaction sequence (see [`Partition::next_txn_id`]).
     global_seq: AtomicU64,
+    /// Crash-time state of currently-crashed partitions, captured by
+    /// [`Cluster::crash_partition`] and consumed by
+    /// [`Cluster::recover_partition`].
+    pending_crashes: Mutex<HashMap<u32, CrashContext>>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -86,14 +95,22 @@ impl Cluster {
         // Control messages (watermarks / epochs) travel one-way over the bus;
         // give them the same base latency as a data message.
         let bus = DelayedBus::new(n, config.net.one_way_us + config.net.control_msg_extra_us);
-        let group_commit = build_group_commit(n, config.wal, Arc::clone(&bus));
-        let partitions = (0..n)
+        // The durable logs exist before the group-commit scheme: watermark
+        // agents log their published `Wp` and COCO seals epoch boundaries
+        // into them, which is what bounds recovery replay.
+        let wals: Vec<Arc<PartitionWal>> = (0..n)
             .map(|p| {
-                Arc::new(Partition::new(
+                Arc::new(PartitionWal::new(
                     PartitionId(p as u32),
                     config.wal.persist_delay_us,
                 ))
             })
+            .collect();
+        let group_commit = build_group_commit(n, config.wal, Arc::clone(&bus), wals.clone());
+        let partitions = wals
+            .into_iter()
+            .enumerate()
+            .map(|(p, wal)| Arc::new(Partition::new(PartitionId(p as u32), wal)))
             .collect();
         Arc::new(Cluster {
             config,
@@ -102,6 +119,7 @@ impl Cluster {
             bus,
             group_commit,
             global_seq: AtomicU64::new(1),
+            pending_crashes: Mutex::new(HashMap::new()),
         })
     }
 
@@ -122,6 +140,80 @@ impl Cluster {
     pub fn partition_ids(&self) -> Vec<PartitionId> {
         (0..self.partitions.len())
             .map(|p| PartitionId(p as u32))
+            .collect()
+    }
+
+    /// Crash a partition leader: the partition becomes unreachable, the
+    /// group commit agrees on the rollback point (§5.2) and the crash-time
+    /// durable LSN is captured — entries past it are treated as lost.
+    /// Returns the agreed token (watermark / epoch).
+    pub fn crash_partition(&self, p: PartitionId) -> Ts {
+        self.net.set_crashed(p, true);
+        let token = self.group_commit.on_partition_crash(p);
+        let crash = CrashContext::capture(p, token, &self.partition(p).wal);
+        self.pending_crashes.lock().insert(p.0, crash);
+        token
+    }
+
+    /// Recover a crashed partition for real: wipe its store and rebuild it
+    /// from the latest durable checkpoint plus bounded durable-log replay
+    /// (see [`RecoveryManager`]). The partition stays unreachable until the
+    /// replay finishes. Returns `None` (and just clears the crash flag) if
+    /// the partition was never crashed through
+    /// [`Cluster::crash_partition`].
+    pub fn recover_partition(&self, p: PartitionId) -> Option<RecoveryReport> {
+        let Some(crash) = self.pending_crashes.lock().remove(&p.0) else {
+            self.net.set_crashed(p, false);
+            return None;
+        };
+        let partition = self.partition(p);
+        Some(RecoveryManager::recover(
+            &partition.store,
+            &partition.wal,
+            self.group_commit.as_ref(),
+            &self.net,
+            &crash,
+        ))
+    }
+
+    /// Checkpoint one partition: the base image (quiescent store scan) if
+    /// none exists yet, otherwise a log-fold checkpoint bounded by the
+    /// group-commit scheme, followed by truncation of what the newest
+    /// durable checkpoint covers.
+    ///
+    /// Returns `None` for a crashed or recovering partition: a dead leader
+    /// cannot checkpoint, and — more subtly — a post-crash checkpoint would
+    /// fold the crash-volatile log tail and then truncate entries that the
+    /// eventual recovery (which is pinned to the crash-time durable LSN)
+    /// still needs.
+    pub fn checkpoint_partition(&self, p: PartitionId) -> Option<CheckpointStats> {
+        if self.net.is_crashed(p) {
+            return None;
+        }
+        let partition = self.partition(p);
+        Some(if partition.wal.latest_checkpoint().is_none() {
+            Checkpointer::initial(&partition.store, &partition.wal)
+        } else {
+            Checkpointer::tick(p, &partition.wal, self.group_commit.as_ref())
+                .expect("base checkpoint exists")
+        })
+    }
+
+    /// Checkpoint every healthy partition (the experiment driver runs this
+    /// after loading and then periodically).
+    pub fn checkpoint_all(&self) -> Vec<CheckpointStats> {
+        self.partition_ids()
+            .into_iter()
+            .filter_map(|p| self.checkpoint_partition(p))
+            .collect()
+    }
+
+    /// Partitions currently crashed (used by the experiment teardown to
+    /// guarantee no partition is left permanently down).
+    pub fn crashed_partitions(&self) -> Vec<PartitionId> {
+        self.partition_ids()
+            .into_iter()
+            .filter(|p| self.net.is_crashed(*p))
             .collect()
     }
 
@@ -155,6 +247,67 @@ mod tests {
         let c = cluster.next_txn_id(PartitionId(0));
         assert!(a < b && b < c);
         assert_eq!(cluster.partition(PartitionId(0)).coordinated_txns(), 2);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn crash_and_real_recovery_round_trip() {
+        let cluster = Cluster::new(ClusterConfig::for_tests(2));
+        let p = PartitionId(1);
+        for k in 0..8u64 {
+            cluster
+                .partition(p)
+                .store
+                .insert(TableId(0), k, Value::from_u64(k));
+        }
+        cluster.checkpoint_all();
+        // Let the checkpoint pass its persist delay: a crash before that
+        // genuinely loses it (nothing durable -> nothing restorable).
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        cluster.crash_partition(p);
+        assert!(cluster.net.is_crashed(p));
+        assert_eq!(cluster.crashed_partitions(), vec![p]);
+        let report = cluster.recover_partition(p).expect("real recovery ran");
+        assert_eq!(report.wiped_records, 8);
+        assert_eq!(report.restored_records, 8);
+        assert!(!cluster.net.is_crashed(p));
+        assert_eq!(
+            cluster
+                .partition(p)
+                .store
+                .get(TableId(0), 3)
+                .unwrap()
+                .read()
+                .value
+                .as_u64(),
+            3
+        );
+        // Recovering a partition that never crashed just clears the flag.
+        assert!(cluster.recover_partition(PartitionId(0)).is_none());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn checkpoints_fold_and_truncate_the_log() {
+        let cluster = Cluster::new(ClusterConfig::for_tests(1));
+        let p = PartitionId(0);
+        cluster
+            .partition(p)
+            .store
+            .insert(TableId(0), 1, Value::from_u64(1));
+        let first = cluster.checkpoint_partition(p).expect("healthy partition");
+        assert_eq!(first.image_records, 1);
+        // A second pass goes through the log-fold path.
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        let second = cluster.checkpoint_partition(p).expect("healthy partition");
+        assert_eq!(second.image_records, 1);
+        // A crashed (or recovering) partition is never checkpointed: a
+        // post-crash fold could truncate entries its recovery still needs.
+        cluster.crash_partition(p);
+        assert!(cluster.checkpoint_partition(p).is_none());
+        assert!(cluster.checkpoint_all().is_empty());
+        cluster.recover_partition(p);
+        assert!(cluster.checkpoint_partition(p).is_some());
         cluster.shutdown();
     }
 

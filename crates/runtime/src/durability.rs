@@ -1,0 +1,116 @@
+//! Write-ahead logging of committed write-sets.
+//!
+//! Every protocol's install path funnels through [`log_txn_writes`] right
+//! before it installs: the write-set is grouped by partition and appended to
+//! each involved partition's [`PartitionWal`](primo_wal::PartitionWal) as
+//! one [`LogPayload::TxnWrites`] entry.
+//!
+//! Two invariants the recovery subsystem depends on:
+//!
+//! * **Log before results.** The append happens before the group commit is
+//!   told `txn_committed`, so no scheme can cover a transaction with a
+//!   watermark / epoch whose log entry does not exist yet (§5: write-sets
+//!   are logged before results are returned).
+//! * **Per-key log order = install order.** Callers append while still
+//!   holding their exclusive write locks, and `ts` is the *finalized* commit
+//!   timestamp
+//!   ([`GroupCommit::finalize_commit_ts`](primo_wal::GroupCommit::finalize_commit_ts)),
+//!   so replaying in commit-
+//!   timestamp order reproduces exactly the installed per-key value
+//!   sequence.
+
+use crate::access::{WriteEntry, WriteKind};
+use crate::cluster::Cluster;
+use primo_common::{Ts, TxnId};
+use primo_wal::{LogPayload, LoggedOp, LoggedWrite};
+
+/// Append one `TxnWrites` entry per involved partition for a transaction
+/// committing at `ts`. Deletes are logged as [`LoggedOp::Delete`]; puts and
+/// inserts both log the installed value (replay is create-if-absent either
+/// way).
+pub fn log_txn_writes(cluster: &Cluster, txn: TxnId, ts: Ts, writes: &[WriteEntry]) {
+    if writes.is_empty() {
+        return;
+    }
+    // Write-sets are small; scan per distinct partition instead of building
+    // a map.
+    let mut done: Vec<primo_common::PartitionId> = Vec::new();
+    for w in writes {
+        if done.contains(&w.partition) {
+            continue;
+        }
+        done.push(w.partition);
+        let logged: Vec<LoggedWrite> = writes
+            .iter()
+            .filter(|x| x.partition == w.partition)
+            .map(|x| LoggedWrite {
+                table: x.table,
+                key: x.key,
+                op: match x.kind {
+                    WriteKind::Delete => LoggedOp::Delete,
+                    WriteKind::Put | WriteKind::Insert => LoggedOp::Put(x.value.clone()),
+                },
+            })
+            .collect();
+        cluster
+            .partition(w.partition)
+            .wal
+            .append(LogPayload::TxnWrites {
+                txn,
+                ts,
+                writes: logged,
+            });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primo_common::config::ClusterConfig;
+    use primo_common::{PartitionId, TableId, Value};
+    use primo_wal::ReplayBound;
+
+    #[test]
+    fn write_sets_are_grouped_per_partition() {
+        let cluster = Cluster::new(ClusterConfig::for_tests(2));
+        let txn = cluster.next_txn_id(PartitionId(0));
+        let writes = vec![
+            WriteEntry::put(PartitionId(0), TableId(0), 1, Value::from_u64(1)),
+            WriteEntry::delete(PartitionId(1), TableId(0), 2),
+            WriteEntry::insert(PartitionId(0), TableId(1), 3, Value::from_u64(3)),
+        ];
+        let base0 = cluster.partition(PartitionId(0)).wal.len();
+        let base1 = cluster.partition(PartitionId(1)).wal.len();
+        log_txn_writes(&cluster, txn, 7, &writes);
+        assert_eq!(cluster.partition(PartitionId(0)).wal.len(), base0 + 1);
+        assert_eq!(cluster.partition(PartitionId(1)).wal.len(), base1 + 1);
+
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        let replayed =
+            cluster
+                .partition(PartitionId(0))
+                .wal
+                .replay_range(0, &ReplayBound::Ts(u64::MAX), None);
+        let ours = replayed.iter().find(|(t, _, _)| *t == txn).unwrap();
+        assert_eq!(ours.1, 7);
+        assert_eq!(ours.2.len(), 2, "both P0 writes in one entry");
+        let remote =
+            cluster
+                .partition(PartitionId(1))
+                .wal
+                .replay_range(0, &ReplayBound::Ts(u64::MAX), None);
+        let ours = remote.iter().find(|(t, _, _)| *t == txn).unwrap();
+        assert!(matches!(ours.2[0].op, LoggedOp::Delete));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn empty_write_sets_log_nothing() {
+        let cluster = Cluster::new(ClusterConfig::for_tests(1));
+        let txn = cluster.next_txn_id(PartitionId(0));
+        let before = cluster.partition(PartitionId(0)).wal.len();
+        log_txn_writes(&cluster, txn, 1, &[]);
+        assert_eq!(cluster.partition(PartitionId(0)).wal.len(), before);
+        cluster.shutdown();
+    }
+}

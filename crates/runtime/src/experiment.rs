@@ -14,14 +14,20 @@ use std::time::{Duration, Instant};
 
 /// A scheduled partition crash (Fig 12b measures the resulting crash-abort
 /// rate; §5.2 describes the recovery).
+///
+/// Both durations are clamped to the measurement window by the driver, and
+/// teardown always recovers whatever is still crashed — a plan can never
+/// leave a partition permanently down at experiment end, whatever its
+/// timing.
 #[derive(Debug, Clone, Copy)]
 pub struct CrashPlan {
     /// Which partition's leader crashes.
     pub partition: PartitionId,
     /// When (after measurement starts).
     pub at: Duration,
-    /// How long until a replica takes over and the partition is reachable
-    /// again.
+    /// How long the leader stays down before the replacement starts its
+    /// recovery (the replacement then replays the durable log, so the
+    /// partition is unreachable for `recover_after` *plus* the replay time).
     pub recover_after: Duration,
 }
 
@@ -37,6 +43,10 @@ pub struct ExperimentOptions {
     /// Extra per-transaction execution time on this partition — Fig 13b
     /// ("masked cores").
     pub slow_partition: Option<(PartitionId, u64)>,
+    /// Periodic checkpoint interval. A base checkpoint is always taken after
+    /// loading; `Some(iv)` additionally folds the durable log into a fresh
+    /// image every `iv` (bounding both log growth and recovery replay).
+    pub checkpoint_interval: Option<Duration>,
 }
 
 impl Default for ExperimentOptions {
@@ -47,6 +57,7 @@ impl Default for ExperimentOptions {
             crash: None,
             lag_partition: None,
             slow_partition: None,
+            checkpoint_interval: None,
         }
     }
 }
@@ -80,36 +91,87 @@ pub fn run_on_cluster(
         cluster.partition(p).set_slowdown_us(us);
     }
 
+    // Base checkpoints before any worker runs: the store is quiescent, and a
+    // crash at any later point can always rebuild the loaded data.
+    cluster.checkpoint_all();
+
     let handles = spawn_workers(cluster, &protocol, &workload, &metrics, &stop, &recording);
+
+    // Periodic checkpointing folds the durable log into fresh images while
+    // the measurement runs.
+    let checkpointer = options.checkpoint_interval.map(|interval| {
+        let cluster = Arc::clone(cluster);
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("checkpointer".into())
+            .spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(interval);
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    cluster.checkpoint_all();
+                }
+            })
+            .expect("spawn checkpointer")
+    });
 
     std::thread::sleep(options.warmup);
     recording.store(true, Ordering::SeqCst);
     let started = Instant::now();
 
     // Crash injection runs on this driver thread so the timeline is exact.
+    // Both the crash point and the outage are clamped to the measurement
+    // window so the recovery always happens inside this function.
+    let mut post_recovery: Option<(u64, Instant)> = None;
     if let Some(crash) = options.crash {
         let remaining = options.duration;
         let to_crash = crash.at.min(remaining);
         std::thread::sleep(to_crash);
-        cluster.net.set_crashed(crash.partition, true);
-        cluster.group_commit.on_partition_crash(crash.partition);
-        let recover = crash.recover_after.min(remaining.saturating_sub(to_crash));
-        std::thread::sleep(recover);
-        cluster.net.set_crashed(crash.partition, false);
-        let rest = remaining.saturating_sub(to_crash + recover);
+        cluster.crash_partition(crash.partition);
+        let outage = crash.recover_after.min(remaining.saturating_sub(to_crash));
+        std::thread::sleep(outage);
+        // Real recovery: wipe + checkpoint restore + durable-log replay. The
+        // partition stays unreachable while it runs.
+        if let Some(report) = cluster.recover_partition(crash.partition) {
+            metrics.record_recovery(report.duration_us, report.replayed_txns as u64);
+        }
+        post_recovery = Some((metrics.committed(), Instant::now()));
+        let rest = remaining.saturating_sub(to_crash + outage);
         std::thread::sleep(rest);
     } else {
         std::thread::sleep(options.duration);
     }
 
     let elapsed = started.elapsed();
+    let post_recovery = post_recovery.map(|(committed_at_recovery, at)| {
+        let tail = at.elapsed().as_secs_f64();
+        let committed_after = metrics.committed().saturating_sub(committed_at_recovery);
+        if tail > 0.0 {
+            committed_after as f64 / tail
+        } else {
+            0.0
+        }
+    });
     recording.store(false, Ordering::SeqCst);
     stop.store(true, Ordering::SeqCst);
     for h in handles {
         let _ = h.join();
     }
+    if let Some(h) = checkpointer {
+        let _ = h.join();
+    }
+    // Teardown safety net: whatever is still crashed (a plan that out-lived
+    // the window, a crash injected by a facade caller) is recovered now so
+    // no experiment ever hands back a cluster with a dead partition.
+    for p in cluster.crashed_partitions() {
+        if let Some(report) = cluster.recover_partition(p) {
+            metrics.record_recovery(report.duration_us, report.replayed_txns as u64);
+        }
+    }
     let mut snap = metrics.snapshot(elapsed.as_secs_f64());
     snap.messages = cluster.net.messages_sent();
+    snap.post_recovery_tps = post_recovery.unwrap_or(0.0);
     snap
 }
 
@@ -264,5 +326,71 @@ mod tests {
             &opts,
         );
         assert!(snap.committed > 0);
+        assert!(snap.recovery_time_us > 0, "real recovery ran");
+        assert!(snap.post_recovery_tps > 0.0, "throughput resumed after it");
+    }
+
+    #[test]
+    fn overlong_recover_after_cannot_leave_the_partition_crashed() {
+        // recover_after extends far past the measurement window: the driver
+        // clamps it, recovery still runs, and the cluster comes back with no
+        // crashed partition.
+        let cluster = Cluster::new(ClusterConfig::for_tests(2));
+        let workload = CounterWorkload;
+        for p in cluster.partition_ids() {
+            crate::txn::Workload::load_partition(&workload, &cluster.partition(p).store, p);
+        }
+        let opts = ExperimentOptions {
+            warmup: Duration::from_millis(10),
+            duration: Duration::from_millis(120),
+            crash: Some(CrashPlan {
+                partition: PartitionId(1),
+                at: Duration::from_millis(40),
+                recover_after: Duration::from_secs(3600),
+            }),
+            ..Default::default()
+        };
+        let snap = run_on_cluster(
+            &cluster,
+            Arc::new(CounterProtocol),
+            Arc::new(CounterWorkload),
+            &opts,
+        );
+        assert!(snap.recovery_time_us > 0);
+        assert!(
+            cluster.crashed_partitions().is_empty(),
+            "no partition may stay crashed at experiment end"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn periodic_checkpoints_run_during_the_experiment() {
+        let cluster = Cluster::new(ClusterConfig::for_tests(1));
+        let workload = CounterWorkload;
+        for p in cluster.partition_ids() {
+            crate::txn::Workload::load_partition(&workload, &cluster.partition(p).store, p);
+        }
+        let opts = ExperimentOptions {
+            warmup: Duration::from_millis(10),
+            duration: Duration::from_millis(150),
+            checkpoint_interval: Some(Duration::from_millis(30)),
+            ..Default::default()
+        };
+        let snap = run_on_cluster(
+            &cluster,
+            Arc::new(CounterProtocol),
+            Arc::new(CounterWorkload),
+            &opts,
+        );
+        assert!(snap.committed > 0);
+        // Base checkpoint + at least one periodic fold.
+        let (_, image) = cluster
+            .partition(PartitionId(0))
+            .wal
+            .latest_checkpoint()
+            .expect("checkpoints were written");
+        assert!(image.len() >= 16, "base image covers the loaded keys");
+        cluster.shutdown();
     }
 }

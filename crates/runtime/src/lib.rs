@@ -10,6 +10,7 @@
 
 pub mod access;
 pub mod cluster;
+pub mod durability;
 pub mod experiment;
 pub mod protocol;
 pub mod txn;
@@ -17,6 +18,7 @@ pub mod worker;
 
 pub use access::{AccessSet, ReadEntry, WriteEntry, WriteKind};
 pub use cluster::{Cluster, Partition};
+pub use durability::log_txn_writes;
 pub use experiment::{run_experiment, run_on_cluster, CrashPlan, ExperimentOptions};
 pub use protocol::{CommittedTxn, Protocol};
 pub use txn::{ClosureProgram, TxnContext, TxnProgram, Workload};

@@ -61,6 +61,43 @@ impl PartitionStore {
     pub fn total_records(&self) -> usize {
         self.tables.read().iter().flatten().map(|t| t.len()).sum()
     }
+
+    /// Every instantiated table, with its id.
+    pub fn tables(&self) -> Vec<(TableId, Arc<Table>)> {
+        self.tables
+            .read()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.as_ref().map(|t| (TableId(i as u32), Arc::clone(t))))
+            .collect()
+    }
+
+    /// Lifecycle-aware snapshot of every committed record:
+    /// `(table, key, value, wts)`. See [`Table::snapshot_visible`] for the
+    /// quiescence requirement.
+    pub fn snapshot_visible(&self) -> Vec<(TableId, Key, Value, u64)> {
+        let mut out = Vec::new();
+        for (id, table) in self.tables() {
+            for (k, v, ts) in table.snapshot_visible() {
+                out.push((id, k, v, ts));
+            }
+        }
+        out
+    }
+
+    /// Crash recovery step 1: drop every record in every table — the
+    /// partition's volatile store is gone. The [`Table`] instances survive
+    /// (protocol threads may hold `Arc<Table>` handles) but end up empty.
+    /// Returns the number of records wiped.
+    pub fn wipe(&self) -> usize {
+        self.tables().into_iter().map(|(_, t)| t.clear()).sum()
+    }
+
+    /// Crash recovery step 2: put back one committed record (from a
+    /// checkpoint image or a replayed log entry).
+    pub fn restore(&self, table: TableId, key: Key, value: Value, ts: u64) -> Arc<Record> {
+        self.table(table).restore(key, value, ts)
+    }
 }
 
 #[cfg(test)]
@@ -92,5 +129,38 @@ mod tests {
         s.insert(TableId(1), 5, Value::from_u64(2));
         assert_eq!(s.get(TableId(0), 5).unwrap().read().value.as_u64(), 1);
         assert_eq!(s.get(TableId(1), 5).unwrap().read().value.as_u64(), 2);
+    }
+
+    #[test]
+    fn wipe_and_restore_round_trip() {
+        let s = PartitionStore::new(PartitionId(0));
+        s.insert(TableId(0), 1, Value::from_u64(10));
+        s.insert(TableId(2), 9, Value::from_u64(20));
+        // An uncommitted insert and a tombstone never appear in the snapshot.
+        let owner = primo_common::TxnId::new(PartitionId(0), 1);
+        let crate::table::InsertSlot::Created(_) = s.table(TableId(0)).insert_slot(50, owner)
+        else {
+            panic!("expected Created");
+        };
+        s.insert(TableId(0), 2, Value::from_u64(2))
+            .install_tombstone(5);
+        let mut snap = s.snapshot_visible();
+        snap.sort_by_key(|(t, k, _, _)| (*t, *k));
+        assert_eq!(snap.len(), 2);
+        assert_eq!(s.tables().len(), 2);
+
+        let wiped = s.wipe();
+        assert_eq!(wiped, 4, "wipe drops every slot, whatever its lifecycle");
+        assert_eq!(s.total_records(), 0);
+        assert!(s.get(TableId(0), 1).is_none());
+
+        for (t, k, v, ts) in snap {
+            s.restore(t, k, v, ts);
+        }
+        let rec = s.get(TableId(0), 1).unwrap();
+        assert_eq!(rec.read().value.as_u64(), 10);
+        assert_eq!(rec.state(), crate::record::LifecycleState::Visible);
+        assert_eq!(s.get(TableId(2), 9).unwrap().read().value.as_u64(), 20);
+        assert_eq!(s.total_records(), 2);
     }
 }

@@ -209,6 +209,51 @@ impl Table {
         }
         out
     }
+
+    /// Lifecycle-aware snapshot of the committed state: every `Visible`
+    /// record's `(key, value, wts)`. Tombstones and uncommitted inserts are
+    /// excluded — a checkpoint must never resurrect either. Each record is
+    /// read atomically; for a consistent whole-table image call this while
+    /// the table is quiescent (the base checkpoint taken right after
+    /// loading).
+    pub fn snapshot_visible(&self) -> Vec<(Key, Value, u64)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for (k, r) in shard.read().iter() {
+                if r.state() == LifecycleState::Visible {
+                    let row = r.read();
+                    out.push((*k, row.value, row.wts));
+                }
+            }
+        }
+        out
+    }
+
+    /// Restore a record during crash recovery: the slot is (re)created
+    /// `Visible` with `wts = rts = ts`, replacing whatever the wipe left
+    /// behind.
+    pub fn restore(&self, key: Key, value: Value, ts: u64) -> Arc<Record> {
+        let rec = Arc::new(Record::new(Value::zeroed(0)));
+        rec.install(value, ts);
+        self.shards[self.shard_of(key)]
+            .write()
+            .insert(key, Arc::clone(&rec));
+        rec
+    }
+
+    /// Drop every record (the crashed partition's volatile state is gone).
+    /// Returns how many slots were removed. Records still referenced by
+    /// in-flight transactions become detached: installing into them no
+    /// longer affects the table.
+    pub fn clear(&self) -> usize {
+        let mut removed = 0;
+        for shard in &self.shards {
+            let mut shard = shard.write();
+            removed += shard.len();
+            shard.clear();
+        }
+        removed
+    }
 }
 
 #[cfg(test)]

@@ -15,7 +15,8 @@
 //! epoch grows with the partition count, which reproduces COCO's throughput
 //! plateau beyond ~12 partitions (Fig 14).
 
-use crate::group_commit::{CommitOutcome, CommitWaiter, GroupCommit, TxnTicket};
+use crate::group_commit::{CommitOutcome, CommitWaiter, GroupCommit, SeqTsSource, TxnTicket};
+use crate::log::{LogPayload, PartitionWal, ReplayBound};
 use parking_lot::{Condvar, Mutex};
 use primo_common::config::WalConfig;
 use primo_common::{FastRng, PartitionId, Ts, TxnId};
@@ -59,6 +60,13 @@ pub struct CocoCommit {
     epoch: AtomicU64,
     state: Mutex<EpochState>,
     cond: Condvar,
+    /// Per-partition durable logs: a committed epoch appends an
+    /// [`LogPayload::EpochBoundary`] marker to each of them, which is what
+    /// bounds recovery replay (everything before the last durable boundary
+    /// belongs to a committed epoch).
+    wals: Vec<Arc<PartitionWal>>,
+    /// Commit-timestamp sequence for protocols without logical timestamps.
+    seq_ts: SeqTsSource,
     /// Extra one-way control-message delay per partition (Fig 13a lag).
     extra_delay_us: Vec<AtomicU64>,
     stop: Arc<AtomicBool>,
@@ -74,11 +82,19 @@ impl std::fmt::Debug for CocoCommit {
 }
 
 impl CocoCommit {
-    pub fn new(num_partitions: usize, cfg: WalConfig, bus: Arc<DelayedBus>) -> Arc<Self> {
+    pub fn new(
+        num_partitions: usize,
+        cfg: WalConfig,
+        bus: Arc<DelayedBus>,
+        wals: Vec<Arc<PartitionWal>>,
+    ) -> Arc<Self> {
+        assert_eq!(wals.len(), num_partitions);
         let gc = Arc::new(CocoCommit {
             cfg,
             num_partitions,
             bus,
+            wals,
+            seq_ts: SeqTsSource::new(),
             epoch: AtomicU64::new(1),
             state: Mutex::new(EpochState {
                 committed: 0,
@@ -175,6 +191,15 @@ impl CocoCommit {
                     st.crash_pending = false;
                 } else {
                     st.committed = epoch;
+                    // Seal the epoch in every partition's log: all TxnWrites
+                    // entries appended before this marker belong to committed
+                    // epochs, which is exactly the replay bound recovery
+                    // uses. (Workers append their write-set before reporting
+                    // `txn_committed`, and the drain in step 3 waited for
+                    // them, so the ordering holds.)
+                    for wal in &self.wals {
+                        wal.append(LogPayload::EpochBoundary { epoch });
+                    }
                 }
                 st.active.remove(&epoch);
                 st.gate_open = true;
@@ -264,6 +289,10 @@ impl GroupCommit for CocoCommit {
         }
     }
 
+    fn finalize_commit_ts(&self, _ticket: &TxnTicket, hint: Ts) -> Ts {
+        self.seq_ts.finalize(hint)
+    }
+
     fn on_partition_crash(&self, _p: PartitionId) -> Ts {
         // The whole current epoch is aborted (§2.3): every transaction in it
         // is rolled back and the cluster moves on once the partition is
@@ -274,6 +303,18 @@ impl GroupCommit for CocoCommit {
         st.aborted.insert(epoch);
         self.cond.notify_all();
         epoch
+    }
+
+    fn replay_bound(&self, crash_token: Ts, wal: &PartitionWal) -> ReplayBound {
+        // `crash_token` is the aborted epoch: replay exactly the entries
+        // sealed by a durable boundary of an *earlier* (committed) epoch.
+        let bound = crash_token.saturating_sub(1);
+        ReplayBound::Lsn(wal.latest_durable_epoch_boundary(bound).unwrap_or(0))
+    }
+
+    fn checkpoint_bound(&self, _p: PartitionId, wal: &PartitionWal) -> ReplayBound {
+        let committed = self.committed_epoch();
+        ReplayBound::Lsn(wal.latest_durable_epoch_boundary(committed).unwrap_or(0))
     }
 
     fn label(&self) -> &'static str {
@@ -305,16 +346,13 @@ mod tests {
 
     fn make(interval_ms: u64) -> Arc<CocoCommit> {
         let bus = DelayedBus::new(2, 0);
-        CocoCommit::new(
-            2,
-            WalConfig {
-                scheme: LoggingScheme::CocoEpoch,
-                interval_ms,
-                persist_delay_us: 100,
-                force_update: false,
-            },
-            bus,
-        )
+        let cfg = WalConfig {
+            scheme: LoggingScheme::CocoEpoch,
+            interval_ms,
+            persist_delay_us: 100,
+            force_update: false,
+        };
+        CocoCommit::new(2, cfg, bus, crate::build_wals(2, cfg))
     }
 
     fn tid(seq: u64) -> TxnId {
@@ -340,6 +378,36 @@ mod tests {
         let waiter = gc.txn_committed(&ticket, 1, 1);
         assert_eq!(waiter.epoch, epoch);
         assert_eq!(gc.wait_durable(&waiter), CommitOutcome::CrashAborted);
+        gc.shutdown();
+    }
+
+    #[test]
+    fn committed_epochs_seal_a_boundary_in_every_log() {
+        let bus = DelayedBus::new(2, 0);
+        let cfg = WalConfig {
+            scheme: LoggingScheme::CocoEpoch,
+            interval_ms: 2,
+            persist_delay_us: 0,
+            force_update: false,
+        };
+        let wals = crate::build_wals(2, cfg);
+        let gc = CocoCommit::new(2, cfg, bus, wals.clone());
+        let ticket = gc.begin_txn(PartitionId(0), tid(1));
+        let waiter = gc.txn_committed(&ticket, 1, 1);
+        assert_eq!(gc.wait_durable(&waiter), CommitOutcome::Committed);
+        std::thread::sleep(Duration::from_millis(5));
+        let committed = gc.committed_epoch();
+        for wal in &wals {
+            let lsn = wal
+                .latest_durable_epoch_boundary(committed)
+                .expect("boundary sealed");
+            // The replay bound for a crash in the next epoch covers the
+            // sealed prefix.
+            match gc.replay_bound(committed + 1, wal) {
+                crate::ReplayBound::Lsn(l) => assert!(l >= lsn),
+                other => panic!("unexpected bound {other:?}"),
+            }
+        }
         gc.shutdown();
     }
 

@@ -16,6 +16,7 @@
 //!    confirms (or crash-aborts) the transaction. This is the `return` phase
 //!    of the latency breakdown (Fig 4c).
 
+use crate::log::{PartitionWal, ReplayBound};
 use parking_lot::Mutex;
 use primo_common::{PartitionId, Ts, TxnId};
 use std::sync::Arc;
@@ -80,6 +81,27 @@ impl TxnTicket {
     }
 }
 
+/// Monotonic commit-timestamp source shared by the schemes whose
+/// [`GroupCommit::finalize_commit_ts`] has no watermark floor to respect
+/// (COCO, CLV, sync): protocol-provided timestamps pass through, everything
+/// else draws from one global sequence.
+#[derive(Debug)]
+pub(crate) struct SeqTsSource(std::sync::atomic::AtomicU64);
+
+impl SeqTsSource {
+    pub(crate) fn new() -> Self {
+        SeqTsSource(std::sync::atomic::AtomicU64::new(1))
+    }
+
+    pub(crate) fn finalize(&self, hint: Ts) -> Ts {
+        if hint > 0 {
+            hint
+        } else {
+            self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        }
+    }
+}
+
 /// Handle the worker blocks on during the `return` phase.
 #[derive(Debug)]
 pub struct CommitWaiter {
@@ -136,10 +158,44 @@ pub trait GroupCommit: Send + Sync {
     /// never block.
     fn execution_gate(&self, _partition: PartitionId) {}
 
+    /// Assign the final commit timestamp of a transaction that is about to
+    /// log + install its write-set. Protocols with logical timestamps pass
+    /// them through (`hint > 0`); protocols without (plain 2PL, Silo, Aria)
+    /// receive a monotonic sequence respecting the coordinator's watermark
+    /// floor. Must be called **while the write locks are held** so that the
+    /// per-key order of logged timestamps matches install order — recovery
+    /// replays in commit-timestamp order and relies on this.
+    fn finalize_commit_ts(&self, _ticket: &TxnTicket, hint: Ts) -> Ts {
+        hint.max(1)
+    }
+
     /// A partition crashed. The scheme agrees on a rollback point, resolves
     /// the affected pending waiters as [`CommitOutcome::CrashAborted`] and
     /// returns the agreed watermark / epoch for reporting.
     fn on_partition_crash(&self, p: PartitionId) -> Ts;
+
+    /// Translate the token returned by [`GroupCommit::on_partition_crash`]
+    /// into the bound recovery must respect when replaying `wal`: the
+    /// recovered watermark (Watermark), the last durable committed epoch
+    /// boundary (COCO), or everything durable at crash time (CLV / sync,
+    /// where the durable-LSN cutoff captured at the crash instant is the
+    /// only limit).
+    fn replay_bound(&self, _crash_token: Ts, _wal: &PartitionWal) -> ReplayBound {
+        ReplayBound::Lsn(u64::MAX)
+    }
+
+    /// A bound below which every logged transaction on `p` is committed and
+    /// durable *right now* — what the checkpoint writer may safely fold into
+    /// an image. Default: the durable prefix of the log.
+    fn checkpoint_bound(&self, _p: PartitionId, wal: &PartitionWal) -> ReplayBound {
+        ReplayBound::Lsn(wal.durable_lsn().map_or(0, |l| l + 1))
+    }
+
+    /// A crashed partition finished rebuilding its store from checkpoint +
+    /// log replay: re-seed whatever per-partition state the scheme keeps
+    /// (the watermark scheme re-seeds `Wp` from the recovered value) before
+    /// the partition becomes reachable again.
+    fn on_partition_recover(&self, _p: PartitionId, _recovered_wp: Ts) {}
 
     /// Scheme label (for figures).
     fn label(&self) -> &'static str;

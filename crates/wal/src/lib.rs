@@ -24,7 +24,10 @@ pub mod sync;
 pub mod watermark;
 
 pub use group_commit::{CommitOutcome, CommitWaiter, GroupCommit, TxnTicket};
-pub use log::{LogEntry, LogPayload, PartitionWal};
+pub use log::{
+    CheckpointImage, LogEntry, LogPayload, LoggedOp, LoggedWrite, PartitionWal, ReplayBound,
+    ReplayedTxn,
+};
 pub use watermark::WatermarkCommit;
 
 use primo_common::config::{LoggingScheme, WalConfig};
@@ -33,15 +36,18 @@ use primo_net::DelayedBus;
 use std::sync::Arc;
 
 /// Construct the configured group-commit scheme for a cluster of
-/// `num_partitions` partitions.
+/// `num_partitions` partitions. `wals` are the partitions' durable logs —
+/// the watermark scheme appends its published `Wp` records and COCO appends
+/// committed epoch boundaries, which is what bounds recovery replay.
 pub fn build_group_commit(
     num_partitions: usize,
     cfg: WalConfig,
     bus: Arc<DelayedBus>,
+    wals: Vec<Arc<PartitionWal>>,
 ) -> Arc<dyn GroupCommit> {
     match cfg.scheme {
-        LoggingScheme::Watermark => Arc::new(WatermarkCommit::new(num_partitions, cfg, bus)),
-        LoggingScheme::CocoEpoch => coco::CocoCommit::new(num_partitions, cfg, bus),
+        LoggingScheme::Watermark => Arc::new(WatermarkCommit::new(num_partitions, cfg, bus, wals)),
+        LoggingScheme::CocoEpoch => coco::CocoCommit::new(num_partitions, cfg, bus, wals),
         LoggingScheme::Clv => Arc::new(clv::ClvCommit::new(num_partitions, cfg)),
         LoggingScheme::SyncPerTxn => Arc::new(sync::SyncCommit::new(num_partitions, cfg)),
     }

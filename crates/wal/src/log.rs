@@ -2,29 +2,108 @@
 //!
 //! The paper's partitions replicate their log through Raft and persist it to
 //! local SSD; here a record appended at time `t` becomes durable at
-//! `t + persist_delay`. The log retains entries so recovery tests can replay
-//! a prefix bounded by a watermark.
+//! `t + persist_delay`. The log is the partition's durability story end to
+//! end: protocols append committed write-sets ([`LogPayload::TxnWrites`]),
+//! the group-commit schemes append their control records
+//! ([`LogPayload::Watermark`] / [`LogPayload::EpochBoundary`]), the
+//! checkpoint writer folds the durable prefix into
+//! [`LogPayload::Checkpoint`] images so the log stops growing without bound,
+//! and the recovery manager rebuilds a crashed partition's store from
+//! `latest durable checkpoint + bounded replay` (see `primo-recovery`).
 
 use parking_lot::Mutex;
 use primo_common::sim_time::now_us;
 use primo_common::{Key, PartitionId, TableId, Ts, TxnId, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One operation inside a logged write-set.
+#[derive(Debug, Clone)]
+pub enum LoggedOp {
+    /// Install this value (covers both updates and inserts — replay is
+    /// create-if-absent either way, because the checkpoint image may or may
+    /// not already contain the key).
+    Put(Value),
+    /// Remove the key.
+    Delete,
+}
+
+/// One write of a committed transaction on one partition.
+#[derive(Debug, Clone)]
+pub struct LoggedWrite {
+    pub table: TableId,
+    pub key: Key,
+    pub op: LoggedOp,
+}
+
+/// A materialised checkpoint: the state of one partition at `up_to_ts`,
+/// equivalent to replaying every durable committed transaction below the
+/// checkpoint bound into an empty store.
+///
+/// Images are built *from the log*, never from the live store (except the
+/// quiescent base checkpoint taken right after loading): each image is the
+/// previous image plus the covered durable log prefix, so it is consistent
+/// by construction even while transactions keep installing concurrently.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointImage {
+    /// Every logged transaction with a commit timestamp `<= up_to_ts` that
+    /// was folded is reflected in `records`.
+    pub up_to_ts: Ts,
+    /// First LSN **not** folded into this image: recovery replays the
+    /// retained log from here.
+    pub base_lsn: u64,
+    /// Committed records: `(table, key) -> (value, commit ts)`.
+    pub records: BTreeMap<(TableId, Key), (Value, Ts)>,
+}
+
+impl CheckpointImage {
+    /// Apply one committed transaction's writes at `ts` (delete removes the
+    /// key). Applying the same transaction twice is idempotent.
+    pub fn apply(&mut self, ts: Ts, writes: &[LoggedWrite]) {
+        for w in writes {
+            match &w.op {
+                LoggedOp::Put(v) => {
+                    self.records.insert((w.table, w.key), (v.clone(), ts));
+                }
+                LoggedOp::Delete => {
+                    self.records.remove(&(w.table, w.key));
+                }
+            }
+        }
+        if ts > self.up_to_ts {
+            self.up_to_ts = ts;
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
 
 /// What a log entry describes.
 #[derive(Debug, Clone)]
 pub enum LogPayload {
-    /// A committed transaction's write-set on this partition.
+    /// A committed transaction's write-set on this partition, appended while
+    /// the write locks are still held so per-key log order equals install
+    /// order.
     TxnWrites {
         txn: TxnId,
         ts: Ts,
-        writes: Vec<(TableId, Key, Value)>,
+        writes: Vec<LoggedWrite>,
     },
     /// A persisted partition watermark (§5.1: `Wp` is logged before being
     /// broadcast so the new leader can recover it).
     Watermark { wp: Ts },
-    /// An epoch boundary (COCO).
+    /// A committed epoch boundary (COCO): every `TxnWrites` entry before this
+    /// marker belongs to a committed epoch.
     EpochBoundary { epoch: u64 },
-    /// A periodic checkpoint marker.
-    Checkpoint { up_to_ts: Ts },
+    /// A periodic checkpoint with its attached image; recovery restores the
+    /// newest durable image and replays from `image.base_lsn`.
+    Checkpoint { image: Arc<CheckpointImage> },
 }
 
 /// One record in the log.
@@ -41,9 +120,35 @@ struct WalInner {
     next_lsn: u64,
 }
 
-/// One replayed transaction: its id, commit timestamp and write set
-/// (table, key, value per write).
-pub type ReplayedTxn = (TxnId, Ts, Vec<(TableId, Key, Value)>);
+/// One replayed transaction: its id, commit timestamp and write-set on this
+/// partition.
+pub type ReplayedTxn = (TxnId, Ts, Vec<LoggedWrite>);
+
+/// How far a recovery (or checkpoint fold) may read into the log. Every
+/// group-commit scheme translates its own agreement — recovered watermark,
+/// last durable epoch boundary, durable LSN — into one of these (see
+/// [`crate::GroupCommit::replay_bound`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayBound {
+    /// Transactions with commit timestamp strictly below the bound (the
+    /// watermark scheme's recovered `Wp`).
+    Ts(Ts),
+    /// Entries with LSN strictly below the bound (COCO: the LSN of the last
+    /// durable committed epoch boundary; CLV / sync: one past the durable
+    /// LSN).
+    Lsn(u64),
+}
+
+impl ReplayBound {
+    /// Whether a `TxnWrites` entry at `(ts, lsn)` falls under this bound.
+    #[inline]
+    pub fn covers(&self, ts: Ts, lsn: u64) -> bool {
+        match self {
+            ReplayBound::Ts(bound) => ts < *bound,
+            ReplayBound::Lsn(bound) => lsn < *bound,
+        }
+    }
+}
 
 /// The write-ahead log of one partition.
 #[derive(Debug)]
@@ -66,6 +171,11 @@ impl PartitionWal {
         self.partition
     }
 
+    /// Simulated persist / quorum-replication delay of this log.
+    pub fn persist_delay_us(&self) -> u64 {
+        self.persist_delay_us
+    }
+
     /// Append a record; returns its LSN. Appending never blocks on I/O —
     /// persistence happens in the background (that is the whole point of
     /// taking durability off the critical path).
@@ -79,6 +189,11 @@ impl PartitionWal {
             payload,
         });
         lsn
+    }
+
+    /// The LSN the next append will receive.
+    pub fn end_lsn(&self) -> u64 {
+        self.inner.lock().next_lsn
     }
 
     /// Highest LSN that is durable "now" (append time + persist delay has
@@ -102,6 +217,64 @@ impl PartitionWal {
     /// The latest durable watermark record, if any (recovery reads this —
     /// §5.2 "the new leader retrieves the latest Wp in its Raft log").
     pub fn latest_durable_watermark(&self) -> Option<Ts> {
+        self.latest_durable_watermark_at(None)
+    }
+
+    /// [`PartitionWal::latest_durable_watermark`] restricted to entries at
+    /// or below `cutoff_lsn` — recovery passes the durable LSN captured at
+    /// crash time so a `Wp` record that was still volatile when the
+    /// partition died (or was appended by the dead leader's agent during
+    /// the outage) is never recovered from.
+    pub fn latest_durable_watermark_at(&self, cutoff_lsn: Option<u64>) -> Option<Ts> {
+        let now = now_us();
+        let inner = self.inner.lock();
+        inner
+            .entries
+            .iter()
+            .rev()
+            .filter(|e| e.appended_at_us + self.persist_delay_us <= now)
+            .filter(|e| cutoff_lsn.is_none_or(|cut| e.lsn <= cut))
+            .find_map(|e| match e.payload {
+                LogPayload::Watermark { wp } => Some(wp),
+                _ => None,
+            })
+    }
+
+    /// The newest durable checkpoint image whose entry LSN does not exceed
+    /// `cutoff_lsn` (pass the durable LSN captured at crash time so recovery
+    /// never restores an image that was still volatile when the partition
+    /// died).
+    pub fn latest_durable_checkpoint(
+        &self,
+        cutoff_lsn: Option<u64>,
+    ) -> Option<Arc<CheckpointImage>> {
+        let now = now_us();
+        let inner = self.inner.lock();
+        inner
+            .entries
+            .iter()
+            .rev()
+            .filter(|e| e.appended_at_us + self.persist_delay_us <= now)
+            .filter(|e| cutoff_lsn.is_none_or(|cut| e.lsn <= cut))
+            .find_map(|e| match &e.payload {
+                LogPayload::Checkpoint { image } => Some(Arc::clone(image)),
+                _ => None,
+            })
+    }
+
+    /// The latest (checkpoint-entry LSN, image) pair regardless of
+    /// durability — the checkpoint writer folds forward from here.
+    pub fn latest_checkpoint(&self) -> Option<(u64, Arc<CheckpointImage>)> {
+        let inner = self.inner.lock();
+        inner.entries.iter().rev().find_map(|e| match &e.payload {
+            LogPayload::Checkpoint { image } => Some((e.lsn, Arc::clone(image))),
+            _ => None,
+        })
+    }
+
+    /// LSN of the newest durable [`LogPayload::EpochBoundary`] whose epoch is
+    /// at most `max_epoch` (COCO recovery / checkpoint bound).
+    pub fn latest_durable_epoch_boundary(&self, max_epoch: u64) -> Option<u64> {
         let now = now_us();
         let inner = self.inner.lock();
         inner
@@ -110,28 +283,132 @@ impl PartitionWal {
             .rev()
             .filter(|e| e.appended_at_us + self.persist_delay_us <= now)
             .find_map(|e| match e.payload {
-                LogPayload::Watermark { wp } => Some(wp),
+                LogPayload::EpochBoundary { epoch } if epoch <= max_epoch => Some(e.lsn),
                 _ => None,
             })
     }
 
-    /// Replay all durable transaction writes with `ts < up_to`, in log order.
-    /// This is what recovery applies after a crash; everything at or above
-    /// `up_to` is rolled back (i.e. simply not replayed).
+    /// Replay all durable transaction writes with `ts < up_to`.
+    ///
+    /// The output is **commit-timestamp-sorted** (ties broken by LSN, i.e.
+    /// append order) and **deduplicated by transaction id** (the entry with
+    /// the highest LSN wins), so applying it left-to-right with last-writer-
+    /// wins semantics is deterministic and replaying any prefix twice equals
+    /// replaying it once. Everything at or above `up_to` is rolled back
+    /// (i.e. simply not replayed).
     pub fn replay_prefix(&self, up_to: Ts) -> Vec<ReplayedTxn> {
+        self.replay_range(0, &ReplayBound::Ts(up_to), None)
+    }
+
+    /// Replay durable transaction writes with `lsn >= from_lsn`, restricted
+    /// to `bound` and (when given) to entries at or below `cutoff_lsn` — the
+    /// durable LSN captured at crash time, so entries that were still
+    /// volatile when the partition died are treated as lost.
+    ///
+    /// Sorted and deduplicated exactly like [`PartitionWal::replay_prefix`].
+    pub fn replay_range(
+        &self,
+        from_lsn: u64,
+        bound: &ReplayBound,
+        cutoff_lsn: Option<u64>,
+    ) -> Vec<ReplayedTxn> {
         let now = now_us();
+        let mut picked: Vec<(Ts, u64, TxnId, Vec<LoggedWrite>)> = {
+            let inner = self.inner.lock();
+            inner
+                .entries
+                .iter()
+                .filter(|e| e.lsn >= from_lsn)
+                .filter(|e| cutoff_lsn.is_none_or(|cut| e.lsn <= cut))
+                .filter(|e| e.appended_at_us + self.persist_delay_us <= now)
+                .filter_map(|e| match &e.payload {
+                    LogPayload::TxnWrites { txn, ts, writes } if bound.covers(*ts, e.lsn) => {
+                        Some((*ts, e.lsn, *txn, writes.clone()))
+                    }
+                    _ => None,
+                })
+                .collect()
+        };
+        picked.sort_by_key(|(ts, lsn, _, _)| (*ts, *lsn));
+        // Deduplicate by transaction id, keeping the highest-LSN entry: the
+        // sort above is (ts, lsn)-ordered and a transaction logs one entry
+        // per partition, so later duplicates (if a caller ever re-appends)
+        // supersede earlier ones.
+        let mut out: Vec<ReplayedTxn> = Vec::with_capacity(picked.len());
+        let mut seen: std::collections::HashMap<TxnId, usize> = std::collections::HashMap::new();
+        for (ts, _lsn, txn, writes) in picked {
+            match seen.get(&txn) {
+                Some(&i) => out[i] = (txn, ts, writes),
+                None => {
+                    seen.insert(txn, out.len());
+                    out.push((txn, ts, writes));
+                }
+            }
+        }
+        out
+    }
+
+    /// Clone the suffix of the log starting at `from_lsn`.
+    pub fn entries_from(&self, from_lsn: u64) -> Vec<LogEntry> {
         let inner = self.inner.lock();
         inner
             .entries
             .iter()
-            .filter(|e| e.appended_at_us + self.persist_delay_us <= now)
-            .filter_map(|e| match &e.payload {
-                LogPayload::TxnWrites { txn, ts, writes } if *ts < up_to => {
-                    Some((*txn, *ts, writes.clone()))
-                }
-                _ => None,
-            })
+            .filter(|e| e.lsn >= from_lsn)
+            .cloned()
             .collect()
+    }
+
+    /// The first LSN at or after `from_lsn` that may **not** be folded into
+    /// a checkpoint: the first entry that is not yet durable, or a
+    /// transaction write-set `bound` does not cover. Control entries inside
+    /// the folded prefix are folded past. A metadata-only scan under the
+    /// log lock — no entry is cloned.
+    pub fn fold_stop_lsn(&self, from_lsn: u64, bound: &ReplayBound) -> u64 {
+        let now = now_us();
+        let inner = self.inner.lock();
+        let mut stop = from_lsn;
+        for entry in inner.entries.iter().filter(|e| e.lsn >= from_lsn) {
+            if entry.appended_at_us + self.persist_delay_us > now {
+                break;
+            }
+            if let LogPayload::TxnWrites { ts, .. } = &entry.payload {
+                if !bound.covers(*ts, entry.lsn) {
+                    break;
+                }
+            }
+            stop = entry.lsn + 1;
+        }
+        stop
+    }
+
+    /// Recovery-time log repair: remove every `TxnWrites` entry at or after
+    /// `from_lsn` that replay did **not** apply — entries past the
+    /// crash-time durable LSN (the lost volatile tail) and durable entries
+    /// above the rollback bound (transactions reported `CrashAborted`).
+    /// Without this, a later checkpoint fold — whose bound keeps advancing
+    /// after recovery — would resurrect rolled-back transactions. Returns
+    /// the number of entries removed.
+    pub fn retain_replayable(
+        &self,
+        from_lsn: u64,
+        bound: &ReplayBound,
+        cutoff_lsn: Option<u64>,
+    ) -> usize {
+        let mut inner = self.inner.lock();
+        let before = inner.entries.len();
+        inner.entries.retain(|e| {
+            if e.lsn < from_lsn {
+                return true;
+            }
+            match &e.payload {
+                LogPayload::TxnWrites { ts, .. } => {
+                    cutoff_lsn.is_some_and(|cut| e.lsn <= cut) && bound.covers(*ts, e.lsn)
+                }
+                _ => true,
+            }
+        });
+        before - inner.entries.len()
     }
 
     /// Number of entries appended so far.
@@ -144,9 +421,23 @@ impl PartitionWal {
     }
 
     /// Truncate the log up to (and excluding) `lsn` after a checkpoint.
-    pub fn truncate_before(&self, lsn: u64) {
+    /// Returns the number of entries removed.
+    pub fn truncate_before(&self, lsn: u64) -> usize {
         let mut inner = self.inner.lock();
+        let before = inner.entries.len();
         inner.entries.retain(|e| e.lsn >= lsn);
+        before - inner.entries.len()
+    }
+
+    /// Truncate everything already folded into the newest **durable**
+    /// checkpoint. Entries folded into a checkpoint that is still within its
+    /// persist delay are retained, so a crash immediately after a checkpoint
+    /// can always fall back to the previous durable image plus the log.
+    pub fn truncate_to_durable_checkpoint(&self) -> usize {
+        match self.latest_durable_checkpoint(None) {
+            Some(image) => self.truncate_before(image.base_lsn),
+            None => 0,
+        }
     }
 }
 
@@ -159,8 +450,12 @@ mod tests {
         TxnId::new(PartitionId(0), seq)
     }
 
-    fn writes(k: Key) -> Vec<(TableId, Key, Value)> {
-        vec![(TableId(0), k, Value::from_u64(k))]
+    fn writes(k: Key) -> Vec<LoggedWrite> {
+        vec![LoggedWrite {
+            table: TableId(0),
+            key: k,
+            op: LoggedOp::Put(Value::from_u64(k)),
+        }]
     }
 
     #[test]
@@ -170,6 +465,7 @@ mod tests {
         let b = wal.append(LogPayload::Watermark { wp: 2 });
         assert!(b > a);
         assert_eq!(wal.len(), 2);
+        assert_eq!(wal.end_lsn(), 2);
     }
 
     #[test]
@@ -181,30 +477,72 @@ mod tests {
         std::thread::sleep(Duration::from_millis(30));
         assert!(wal.is_durable(lsn));
         assert_eq!(wal.latest_durable_watermark(), Some(5));
+        assert_eq!(wal.persist_delay_us(), 20_000);
     }
 
     #[test]
     fn replay_prefix_excludes_rolled_back_txns() {
         let wal = PartitionWal::new(PartitionId(0), 0);
-        wal.append(LogPayload::TxnWrites {
-            txn: txn(1),
-            ts: 5,
-            writes: writes(1),
-        });
+        for (seq, ts) in [(1, 5u64), (2, 9), (3, 15)] {
+            wal.append(LogPayload::TxnWrites {
+                txn: txn(seq),
+                ts,
+                writes: writes(seq),
+            });
+        }
+        std::thread::sleep(Duration::from_millis(1));
+        let replayed = wal.replay_prefix(10);
+        assert_eq!(replayed.len(), 2);
+        assert!(replayed.iter().all(|(_, ts, _)| *ts < 10));
+    }
+
+    #[test]
+    fn replay_is_ts_sorted_and_deduplicated() {
+        let wal = PartitionWal::new(PartitionId(0), 0);
+        // Out-of-ts-order appends (two workers interleaving) plus a duplicate
+        // entry for txn 1.
         wal.append(LogPayload::TxnWrites {
             txn: txn(2),
             ts: 9,
             writes: writes(2),
         });
         wal.append(LogPayload::TxnWrites {
-            txn: txn(3),
-            ts: 15,
-            writes: writes(3),
+            txn: txn(1),
+            ts: 5,
+            writes: writes(1),
+        });
+        wal.append(LogPayload::TxnWrites {
+            txn: txn(1),
+            ts: 5,
+            writes: writes(7),
         });
         std::thread::sleep(Duration::from_millis(1));
-        let replayed = wal.replay_prefix(10);
+        let replayed = wal.replay_prefix(100);
+        assert_eq!(replayed.len(), 2, "duplicate txn entries are merged");
+        assert_eq!(replayed[0].1, 5);
+        assert_eq!(replayed[1].1, 9);
+        // The duplicate with the higher LSN wins.
+        assert_eq!(replayed[0].2[0].key, 7);
+    }
+
+    #[test]
+    fn replay_range_respects_lsn_cutoff_and_base() {
+        let wal = PartitionWal::new(PartitionId(0), 0);
+        for seq in 0..6u64 {
+            wal.append(LogPayload::TxnWrites {
+                txn: txn(seq),
+                ts: seq + 1,
+                writes: writes(seq),
+            });
+        }
+        std::thread::sleep(Duration::from_millis(1));
+        // Entries with lsn in [2, 4] only.
+        let replayed = wal.replay_range(2, &ReplayBound::Ts(u64::MAX), Some(4));
+        assert_eq!(replayed.len(), 3);
+        assert!(replayed.iter().all(|(t, _, _)| (2..=4).contains(&t.seq)));
+        // Lsn bound is exclusive.
+        let replayed = wal.replay_range(0, &ReplayBound::Lsn(2), None);
         assert_eq!(replayed.len(), 2);
-        assert!(replayed.iter().all(|(_, ts, _)| *ts < 10));
     }
 
     #[test]
@@ -213,7 +551,7 @@ mod tests {
         for i in 0..10u64 {
             wal.append(LogPayload::Watermark { wp: i });
         }
-        wal.truncate_before(5);
+        assert_eq!(wal.truncate_before(5), 5);
         assert_eq!(wal.len(), 5);
         assert_eq!(wal.partition(), PartitionId(1));
     }
@@ -230,5 +568,139 @@ mod tests {
         wal.append(LogPayload::Watermark { wp: 8 });
         std::thread::sleep(Duration::from_millis(1));
         assert_eq!(wal.latest_durable_watermark(), Some(8));
+    }
+
+    #[test]
+    fn checkpoint_image_apply_is_idempotent() {
+        let mut image = CheckpointImage::default();
+        let ws = vec![
+            LoggedWrite {
+                table: TableId(0),
+                key: 1,
+                op: LoggedOp::Put(Value::from_u64(10)),
+            },
+            LoggedWrite {
+                table: TableId(0),
+                key: 2,
+                op: LoggedOp::Delete,
+            },
+        ];
+        image
+            .records
+            .insert((TableId(0), 2), (Value::from_u64(2), 1));
+        image.apply(5, &ws);
+        let once = image.clone();
+        image.apply(5, &ws);
+        assert_eq!(once.records.len(), image.records.len());
+        assert_eq!(image.up_to_ts, 5);
+        assert!(image.records.contains_key(&(TableId(0), 1)));
+        assert!(!image.records.contains_key(&(TableId(0), 2)));
+        assert_eq!(image.len(), 1);
+        assert!(!image.is_empty());
+    }
+
+    #[test]
+    fn latest_durable_checkpoint_respects_cutoff() {
+        let wal = PartitionWal::new(PartitionId(0), 0);
+        let old = Arc::new(CheckpointImage {
+            up_to_ts: 1,
+            base_lsn: 0,
+            records: BTreeMap::new(),
+        });
+        let new = Arc::new(CheckpointImage {
+            up_to_ts: 9,
+            base_lsn: 1,
+            records: BTreeMap::new(),
+        });
+        let old_lsn = wal.append(LogPayload::Checkpoint {
+            image: Arc::clone(&old),
+        });
+        wal.append(LogPayload::Checkpoint {
+            image: Arc::clone(&new),
+        });
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(wal.latest_durable_checkpoint(None).unwrap().up_to_ts, 9);
+        // A cutoff below the newer checkpoint falls back to the older image.
+        assert_eq!(
+            wal.latest_durable_checkpoint(Some(old_lsn))
+                .unwrap()
+                .up_to_ts,
+            1
+        );
+        assert_eq!(wal.latest_checkpoint().unwrap().1.up_to_ts, 9);
+    }
+
+    #[test]
+    fn retain_replayable_purges_rolled_back_write_sets() {
+        let wal = PartitionWal::new(PartitionId(0), 0);
+        let a = wal.append(LogPayload::TxnWrites {
+            txn: txn(1),
+            ts: 5,
+            writes: writes(1),
+        });
+        wal.append(LogPayload::Watermark { wp: 6 });
+        let b = wal.append(LogPayload::TxnWrites {
+            txn: txn(2),
+            ts: 9, // above the rollback bound: reported CrashAborted
+            writes: writes(2),
+        });
+        let c = wal.append(LogPayload::TxnWrites {
+            txn: txn(3),
+            ts: 5, // covered, but past the durable cutoff: volatile, lost
+            writes: writes(3),
+        });
+        std::thread::sleep(Duration::from_millis(1));
+        let removed = wal.retain_replayable(0, &ReplayBound::Ts(8), Some(b));
+        assert_eq!(removed, 2);
+        let left = wal.replay_range(0, &ReplayBound::Ts(u64::MAX), None);
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].0, txn(1));
+        // Control entries survive the purge.
+        assert_eq!(wal.latest_durable_watermark(), Some(6));
+        let _ = (a, c);
+    }
+
+    #[test]
+    fn watermark_lookup_respects_the_crash_cutoff() {
+        let wal = PartitionWal::new(PartitionId(0), 0);
+        let early = wal.append(LogPayload::Watermark { wp: 3 });
+        wal.append(LogPayload::Watermark { wp: 8 });
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(wal.latest_durable_watermark_at(None), Some(8));
+        // A Wp appended after the crash-time durable LSN is never recovered.
+        assert_eq!(wal.latest_durable_watermark_at(Some(early)), Some(3));
+    }
+
+    #[test]
+    fn fold_stop_lsn_matches_the_cloneful_scan() {
+        let wal = PartitionWal::new(PartitionId(0), 0);
+        wal.append(LogPayload::TxnWrites {
+            txn: txn(1),
+            ts: 2,
+            writes: writes(1),
+        });
+        wal.append(LogPayload::Watermark { wp: 3 });
+        let uncovered = wal.append(LogPayload::TxnWrites {
+            txn: txn(2),
+            ts: 50,
+            writes: writes(2),
+        });
+        wal.append(LogPayload::Watermark { wp: 60 });
+        std::thread::sleep(Duration::from_millis(1));
+        // Stops at the first uncovered TxnWrites, folding past control
+        // entries before it.
+        assert_eq!(wal.fold_stop_lsn(0, &ReplayBound::Ts(10)), uncovered);
+        assert_eq!(wal.fold_stop_lsn(0, &ReplayBound::Ts(100)), wal.end_lsn());
+    }
+
+    #[test]
+    fn epoch_boundary_lookup_filters_by_epoch() {
+        let wal = PartitionWal::new(PartitionId(0), 0);
+        let b1 = wal.append(LogPayload::EpochBoundary { epoch: 1 });
+        let b2 = wal.append(LogPayload::EpochBoundary { epoch: 2 });
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(wal.latest_durable_epoch_boundary(2), Some(b2));
+        assert_eq!(wal.latest_durable_epoch_boundary(1), Some(b1));
+        assert_eq!(wal.latest_durable_epoch_boundary(0), None);
     }
 }

@@ -5,16 +5,21 @@
 //! experiments: it shows what the durability delay costs when it sits on the
 //! transaction's critical path.
 
-use crate::group_commit::{CommitOutcome, CommitWaiter, GroupCommit, TxnTicket};
+use crate::group_commit::{CommitOutcome, CommitWaiter, GroupCommit, SeqTsSource, TxnTicket};
 use primo_common::config::WalConfig;
 use primo_common::sim_time::charge_latency_us;
 use primo_common::{PartitionId, Ts, TxnId};
+// Replay after a crash is bounded purely by the durable LSN captured at the
+// crash instant (the trait default): the synchronous flush means every
+// acknowledged transaction's log records are durable by construction.
 
 /// Synchronous per-transaction flush.
 #[derive(Debug)]
 pub struct SyncCommit {
     cfg: WalConfig,
     num_partitions: usize,
+    /// Commit-timestamp sequence for protocols without logical timestamps.
+    seq_ts: SeqTsSource,
 }
 
 impl SyncCommit {
@@ -22,6 +27,7 @@ impl SyncCommit {
         SyncCommit {
             cfg,
             num_partitions,
+            seq_ts: SeqTsSource::new(),
         }
     }
 
@@ -63,6 +69,10 @@ impl GroupCommit for SyncCommit {
 
     fn try_outcome(&self, _waiter: &CommitWaiter) -> Option<CommitOutcome> {
         Some(CommitOutcome::Committed)
+    }
+
+    fn finalize_commit_ts(&self, _ticket: &TxnTicket, hint: Ts) -> Ts {
+        self.seq_ts.finalize(hint)
     }
 
     fn on_partition_crash(&self, _p: PartitionId) -> Ts {

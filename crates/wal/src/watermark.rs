@@ -20,6 +20,7 @@
 //! close to the cluster average so that it does not detain `Wg` (Fig 13b).
 
 use crate::group_commit::{CommitOutcome, CommitWaiter, GroupCommit, TxnTicket};
+use crate::log::{LogPayload, PartitionWal, ReplayBound};
 use parking_lot::{Condvar, Mutex};
 use primo_common::config::WalConfig;
 use primo_common::sim_time::now_us;
@@ -107,6 +108,9 @@ pub struct WatermarkCommit {
     num_partitions: usize,
     bus: Arc<DelayedBus>,
     parts: Vec<Arc<PartitionWm>>,
+    /// Per-partition durable logs: published watermarks are appended here
+    /// (§5.1 — `Wp` is itself a log record) so recovery can retrieve them.
+    wals: Vec<Arc<PartitionWal>>,
     /// Sequence source for protocols that do not maintain logical timestamps
     /// themselves (2PL / Silo under WM in Fig 11).
     seq_ts: AtomicU64,
@@ -126,7 +130,13 @@ impl std::fmt::Debug for WatermarkCommit {
 }
 
 impl WatermarkCommit {
-    pub fn new(num_partitions: usize, cfg: WalConfig, bus: Arc<DelayedBus>) -> Self {
+    pub fn new(
+        num_partitions: usize,
+        cfg: WalConfig,
+        bus: Arc<DelayedBus>,
+        wals: Vec<Arc<PartitionWal>>,
+    ) -> Self {
+        assert_eq!(wals.len(), num_partitions);
         let parts: Vec<_> = (0..num_partitions)
             .map(|p| Arc::new(PartitionWm::new(PartitionId(p as u32), num_partitions)))
             .collect();
@@ -135,6 +145,7 @@ impl WatermarkCommit {
             num_partitions,
             bus,
             parts,
+            wals,
             seq_ts: AtomicU64::new(1),
             stop: Arc::new(AtomicBool::new(false)),
             agents: Mutex::new(Vec::new()),
@@ -152,9 +163,10 @@ impl WatermarkCommit {
             let stop = Arc::clone(&self.stop);
             let cfg = self.cfg;
             let all: Vec<Arc<PartitionWm>> = self.parts.clone();
+            let wal = Arc::clone(&self.wals[p]);
             let handle = std::thread::Builder::new()
                 .name(format!("wm-agent-{p}"))
-                .spawn(move || agent_loop(part, all, bus, cfg, stop))
+                .spawn(move || agent_loop(part, all, bus, wal, cfg, stop))
                 .expect("spawn watermark agent");
             agents.push(handle);
         }
@@ -183,6 +195,7 @@ fn agent_loop(
     me: Arc<PartitionWm>,
     all: Vec<Arc<PartitionWm>>,
     bus: Arc<DelayedBus>,
+    wal: Arc<PartitionWal>,
     cfg: WalConfig,
     stop: Arc<AtomicBool>,
 ) {
@@ -280,6 +293,9 @@ fn agent_loop(
                 if wp > me.wp_published.load(Ordering::Acquire) {
                     me.wp_published.store(wp, Ordering::Release);
                     me.table.lock()[me.id.idx()] = wp;
+                    // The watermark is itself a log record (§5.1): append it
+                    // so a recovering leader can retrieve the latest Wp.
+                    wal.append(LogPayload::Watermark { wp });
                     bus.broadcast(me.id, BusMessage::PartitionWatermark { from: me.id, wp });
                 }
             }
@@ -403,6 +419,45 @@ impl GroupCommit for WatermarkCommit {
         self.parts[partition.idx()].floor()
     }
 
+    fn finalize_commit_ts(&self, ticket: &TxnTicket, hint: Ts) -> Ts {
+        if hint > 0 {
+            hint
+        } else {
+            self.assign_seq_ts(ticket.coordinator)
+        }
+    }
+
+    fn replay_bound(&self, crash_token: Ts, _wal: &PartitionWal) -> ReplayBound {
+        // The agreed watermark from `on_partition_crash` separates durable
+        // results (ts < Wp, already returned to clients) from rolled-back
+        // ones (§5.2).
+        ReplayBound::Ts(crash_token)
+    }
+
+    fn checkpoint_bound(&self, p: PartitionId, _wal: &PartitionWal) -> ReplayBound {
+        // Everything below the *published* partition watermark is durable and
+        // its result may have been returned — safe to fold into a checkpoint.
+        ReplayBound::Ts(self.parts[p.idx()].wp_published.load(Ordering::Acquire))
+    }
+
+    fn on_partition_recover(&self, p: PartitionId, recovered_wp: Ts) {
+        // Re-seed the recovered leader's watermark state from the recovered
+        // `Wp` (§5.2): its next generated watermark continues from there
+        // instead of restarting at zero and dragging `Wg` backwards.
+        let part = &self.parts[p.idx()];
+        part.wp_generated.fetch_max(recovered_wp, Ordering::AcqRel);
+        part.wp_published.fetch_max(recovered_wp, Ordering::AcqRel);
+        part.max_seen_ts.fetch_max(recovered_wp, Ordering::AcqRel);
+        part.active.lock().clear();
+        for other in &self.parts {
+            let mut table = other.table.lock();
+            if table[p.idx()] < recovered_wp {
+                table[p.idx()] = recovered_wp;
+            }
+        }
+        part.wg_cond.notify_all();
+    }
+
     fn on_partition_crash(&self, p: PartitionId) -> Ts {
         self.crash_seq.fetch_add(1, Ordering::SeqCst);
         // Agreement (§5.2): every leader publishes its current view of the
@@ -469,7 +524,8 @@ mod tests {
             persist_delay_us: 100,
             force_update: true,
         };
-        (WatermarkCommit::new(n, cfg, Arc::clone(&bus)), bus)
+        let wals = crate::build_wals(n, cfg);
+        (WatermarkCommit::new(n, cfg, Arc::clone(&bus), wals), bus)
     }
 
     fn tid(seq: u64) -> TxnId {
@@ -535,6 +591,46 @@ mod tests {
         let agreed = wm.on_partition_crash(PartitionId(1));
         assert!(agreed < 1_000_000);
         assert_eq!(wm.wait_durable(&waiter), CommitOutcome::CrashAborted);
+        wm.shutdown();
+    }
+
+    #[test]
+    fn published_watermarks_are_logged_and_recovery_reseeds() {
+        let bus = DelayedBus::new(2, 100);
+        let cfg = WalConfig {
+            scheme: primo_common::config::LoggingScheme::Watermark,
+            interval_ms: 1,
+            persist_delay_us: 100,
+            force_update: true,
+        };
+        let wals = crate::build_wals(2, cfg);
+        let wm = WatermarkCommit::new(2, cfg, bus, wals.clone());
+        std::thread::sleep(Duration::from_millis(50));
+        // Published watermarks land in the partition's durable log (§5.1).
+        let logged = wals[0].latest_durable_watermark().expect("Wp logged");
+        assert!(logged > 0);
+        assert!(logged <= wm.partition_watermark(PartitionId(0)));
+        // Crash + recover: the partition watermark continues from the
+        // recovered Wp instead of restarting below it.
+        let agreed = wm.on_partition_crash(PartitionId(1));
+        let recovered = agreed.max(1_000);
+        wm.on_partition_recover(PartitionId(1), recovered);
+        assert!(wm.partition_watermark(PartitionId(1)) >= recovered);
+        assert_eq!(
+            wm.replay_bound(agreed, &wals[1]),
+            crate::ReplayBound::Ts(agreed)
+        );
+        wm.shutdown();
+    }
+
+    #[test]
+    fn finalize_commit_ts_passes_hints_and_sequences_zero() {
+        let (wm, _bus) = make(2, 1);
+        let ticket = wm.begin_txn(PartitionId(0), tid(1));
+        assert_eq!(wm.finalize_commit_ts(&ticket, 77), 77);
+        let a = wm.finalize_commit_ts(&ticket, 0);
+        let b = wm.finalize_commit_ts(&ticket, 0);
+        assert!(a > 0 && b > 0);
         wm.shutdown();
     }
 

@@ -127,6 +127,7 @@ pub struct ExperimentBuilder {
     crash: Option<CrashPlan>,
     lag_partition: Option<(PartitionId, u64)>,
     slow_partition: Option<(PartitionId, u64)>,
+    checkpoint_interval: Option<Duration>,
     fast_local: bool,
     cluster_tweaks: Vec<ClusterTweak>,
 }
@@ -152,6 +153,7 @@ impl ExperimentBuilder {
             crash: None,
             lag_partition: None,
             slow_partition: None,
+            checkpoint_interval: None,
             fast_local: false,
             cluster_tweaks: Vec::new(),
         }
@@ -288,9 +290,22 @@ impl ExperimentBuilder {
         self
     }
 
-    /// Crash a partition leader mid-run (Fig 12).
+    /// Crash a partition leader mid-run (Fig 12). The driver clamps the
+    /// plan to the measurement window and runs real recovery (wipe +
+    /// checkpoint restore + durable-log replay); recovery latency and
+    /// replayed-transaction counts land in the
+    /// [`MetricsSnapshot`].
     pub fn crash(mut self, plan: CrashPlan) -> Self {
         self.crash = Some(plan);
+        self
+    }
+
+    /// Fold the durable log into a fresh checkpoint image every `ms`
+    /// milliseconds during the run (a base checkpoint after loading is
+    /// always taken). Shorter intervals bound recovery replay — and log
+    /// growth — more tightly.
+    pub fn checkpoint_interval_ms(mut self, ms: u64) -> Self {
+        self.checkpoint_interval = Some(Duration::from_millis(ms));
         self
     }
 
@@ -375,6 +390,7 @@ impl ExperimentBuilder {
             crash: self.crash,
             lag_partition: self.lag_partition,
             slow_partition: self.slow_partition,
+            checkpoint_interval: self.checkpoint_interval,
         };
         run_experiment(cfg, protocol, workload, &options)
     }

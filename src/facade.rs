@@ -240,11 +240,19 @@ impl Primo {
         self.cluster.num_partitions()
     }
 
-    /// Simulate a crash of a partition leader: remote accesses to it fail
-    /// and the group commit agrees on a rollback point (§5.2).
+    /// Simulate a crash of a partition leader: remote accesses to it fail,
+    /// the group commit agrees on a rollback point (§5.2) and the
+    /// crash-time durable LSN is captured for the eventual recovery.
     pub fn crash_partition(&self, p: PartitionId) {
-        self.cluster.net.set_crashed(p, true);
-        self.cluster.group_commit.on_partition_crash(p);
+        self.cluster.crash_partition(p);
+    }
+
+    /// Checkpoint every partition: a quiescent base image if none exists
+    /// yet, then log-fold checkpoints that also truncate what the newest
+    /// durable image covers. Call once after loading data through
+    /// [`Session::load`] so a later crash can rebuild it.
+    pub fn checkpoint_all(&self) -> Vec<primo_recovery::CheckpointStats> {
+        self.cluster.checkpoint_all()
     }
 
     /// Execute the crash plan configured at build time on this thread:
@@ -263,9 +271,14 @@ impl Primo {
         true
     }
 
-    /// Bring a crashed partition back (a replica took over).
-    pub fn recover_partition(&self, p: PartitionId) {
-        self.cluster.net.set_crashed(p, false);
+    /// Bring a crashed partition back: a replacement leader wipes the
+    /// volatile store and rebuilds it from the latest durable checkpoint
+    /// plus durable-log replay, bounded per group-commit scheme. The
+    /// partition stays unreachable until the replay finishes. Returns the
+    /// [`RecoveryReport`](primo_recovery::RecoveryReport), or `None` if the
+    /// partition was not crashed through [`Primo::crash_partition`].
+    pub fn recover_partition(&self, p: PartitionId) -> Option<primo_recovery::RecoveryReport> {
+        self.cluster.recover_partition(p)
     }
 
     /// Stop background threads. The handle must not be used afterwards.
@@ -425,15 +438,23 @@ mod tests {
         let primo = fast(2);
         let s = primo.session();
         s.load(PartitionId(1), T, 9, Value::from_u64(1));
+        // Recovery wipes the volatile store for real: without this base
+        // checkpoint the loaded record would be unrecoverable.
+        primo.checkpoint_all();
+        std::thread::sleep(std::time::Duration::from_millis(5));
         primo.crash_partition(PartitionId(1));
         assert!(primo.cluster().net.is_crashed(PartitionId(1)));
-        primo.recover_partition(PartitionId(1));
+        let report = primo
+            .recover_partition(PartitionId(1))
+            .expect("recovery ran");
+        assert_eq!(report.restored_records, 1);
         assert!(!primo.cluster().net.is_crashed(PartitionId(1)));
-        // The cluster keeps working after recovery.
+        // The cluster keeps working after recovery and the record is back.
         s.transaction(PartitionId(0), |ctx| {
             ctx.read(PartitionId(1), T, 9).map(|_| ())
         })
         .unwrap();
+        assert_eq!(s.get(PartitionId(1), T, 9).unwrap().as_u64(), 1);
         primo.shutdown();
     }
 }

@@ -69,6 +69,7 @@ pub use primo_common::{
     TxnResult, Value, ZipfGen,
 };
 pub use primo_core::PrimoProtocol;
+pub use primo_recovery::{CheckpointStats, Checkpointer, RecoveryManager, RecoveryReport};
 pub use primo_runtime::experiment::CrashPlan;
 pub use primo_runtime::protocol::{CommittedTxn, Protocol};
 pub use primo_runtime::txn::{ClosureProgram, TxnContext, TxnProgram, Workload};
@@ -81,6 +82,7 @@ pub use primo_baselines as baselines;
 pub use primo_common as common;
 pub use primo_core as core;
 pub use primo_net as net;
+pub use primo_recovery as recovery;
 pub use primo_runtime as runtime;
 pub use primo_storage as storage;
 pub use primo_wal as wal;

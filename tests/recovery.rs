@@ -1,0 +1,495 @@
+//! Crash-recovery equivalence: after an injected crash, a partition's store
+//! is wiped and rebuilt from `latest durable checkpoint + bounded
+//! durable-log replay` — and the result is byte-identical to the crash-free
+//! committed state, for **every** registered protocol under **every**
+//! group-commit scheme (the per-scheme replay bounds all have to be right:
+//! recovered watermark, last durable epoch boundary, durable LSN).
+//!
+//! Plus seeded property loops (the offline environment has no proptest):
+//! replaying any durable prefix twice equals replaying it once, and replay
+//! output is always commit-timestamp-sorted and deduplicated.
+
+use primo_repro::storage::LifecycleState;
+use primo_repro::wal::{LogPayload, LoggedOp, LoggedWrite, PartitionWal, ReplayBound};
+use primo_repro::{
+    CrashPlan, Experiment, FastRng, LoggingScheme, PartitionId, Primo, ProtocolKind, Scale,
+    TableId, TxnContext, TxnId, TxnProgram, TxnResult, Value,
+};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+const ALL_KINDS: [ProtocolKind; 9] = [
+    ProtocolKind::TwoPlNoWait,
+    ProtocolKind::TwoPlWaitDie,
+    ProtocolKind::Silo,
+    ProtocolKind::Sundial,
+    ProtocolKind::Aria,
+    ProtocolKind::Tapir,
+    ProtocolKind::Primo,
+    ProtocolKind::PrimoNoWm,
+    ProtocolKind::PrimoNoWcfNoWm,
+];
+
+const ALL_SCHEMES: [LoggingScheme; 4] = [
+    LoggingScheme::Watermark,
+    LoggingScheme::CocoEpoch,
+    LoggingScheme::Clv,
+    LoggingScheme::SyncPerTxn,
+];
+
+const T: TableId = TableId(0);
+const LOADED_KEYS: u64 = 16;
+const FRESH_KEY: u64 = 9_000;
+const DELETED_KEY: u64 = 7;
+
+struct Program<F: Fn(&mut dyn TxnContext) -> TxnResult<()> + Send + Sync> {
+    home: PartitionId,
+    body: F,
+}
+
+impl<F: Fn(&mut dyn TxnContext) -> TxnResult<()> + Send + Sync> TxnProgram for Program<F> {
+    fn execute(&self, ctx: &mut dyn TxnContext) -> TxnResult<()> {
+        (self.body)(ctx)
+    }
+    fn home_partition(&self) -> PartitionId {
+        self.home
+    }
+}
+
+/// Byte-level snapshot of one partition's committed keys and payloads.
+/// TicToc metadata is excluded (recovery re-seeds timestamps from the log;
+/// lease extensions are not logical content).
+fn value_snapshot(primo: &Primo, p: PartitionId) -> BTreeMap<u64, Vec<u8>> {
+    let table = primo.cluster().partition(p).store.table(T);
+    let mut keys = table.scan_keys(|_| true);
+    keys.sort_unstable();
+    keys.into_iter()
+        .map(|k| {
+            let rec = table.get(k).expect("scanned key exists");
+            (k, rec.read().value.as_bytes().to_vec())
+        })
+        .collect()
+}
+
+/// Run the deterministic committed workload every combination replays:
+/// distributed updates, an insert and a delete, all landing on `target`.
+fn run_committed_prefix(primo: &Primo, target: PartitionId) {
+    let session = primo.session();
+    for i in 0..4u64 {
+        session
+            .run_program(&Program {
+                home: PartitionId(0),
+                body: move |ctx: &mut dyn TxnContext| {
+                    ctx.read(PartitionId(0), T, i)?;
+                    ctx.write(target, T, i, Value::from_u64(1_000 + i))
+                },
+            })
+            .unwrap_or_else(|e| panic!("update {i} failed: {e:?}"));
+    }
+    session
+        .run_program(&Program {
+            home: PartitionId(0),
+            body: move |ctx: &mut dyn TxnContext| {
+                ctx.read(PartitionId(0), T, 1)?;
+                ctx.insert(target, T, FRESH_KEY, Value::from_u64(42))
+            },
+        })
+        .expect("insert failed");
+    session
+        .run_program(&Program {
+            home: PartitionId(0),
+            body: move |ctx: &mut dyn TxnContext| {
+                ctx.read(PartitionId(0), T, 1)?;
+                ctx.delete(target, T, DELETED_KEY)
+            },
+        })
+        .expect("delete failed");
+}
+
+#[test]
+fn recovered_store_is_byte_identical_for_all_protocols_and_schemes() {
+    for kind in ALL_KINDS {
+        for scheme in ALL_SCHEMES {
+            let primo = Primo::builder()
+                .partitions(2)
+                .protocol(kind)
+                .logging(scheme)
+                .fast_local()
+                .seed(kind as u64 * 31 + scheme as u64 + 1)
+                .build();
+            let session = primo.session();
+            for p in 0..2u32 {
+                for k in 0..LOADED_KEYS {
+                    session.load(PartitionId(p), T, k, Value::from_u64(k + 100));
+                }
+            }
+            // Base checkpoints: without them the wiped loader data would be
+            // unrecoverable (loads bypass the WAL by design).
+            primo.checkpoint_all();
+
+            let target = PartitionId(1);
+            run_committed_prefix(&primo, target);
+            // Let everything become durable and covered: log entries pass
+            // their persist delay, the watermark overtakes the committed
+            // timestamps / the epoch seals its boundary markers.
+            std::thread::sleep(Duration::from_millis(40));
+
+            let before_target = value_snapshot(&primo, target);
+            let before_other = value_snapshot(&primo, PartitionId(0));
+            let live_before = primo.cluster().partition(target).store.total_records();
+            assert!(live_before > 0);
+
+            primo.crash_partition(target);
+            let report = primo
+                .recover_partition(target)
+                .expect("real recovery must run");
+            let label = format!("{}/{}", kind.label(), scheme.label());
+            assert_eq!(
+                report.wiped_records, live_before,
+                "{label}: recovery must wipe the whole volatile store"
+            );
+            assert!(
+                report.restored_records > 0,
+                "{label}: checkpoint restore ran"
+            );
+            assert!(report.replayed_txns > 0, "{label}: durable log replay ran");
+
+            let after_target = value_snapshot(&primo, target);
+            assert_eq!(
+                before_target, after_target,
+                "{label}: recovered store differs from the crash-free committed state"
+            );
+            assert_eq!(
+                before_other,
+                value_snapshot(&primo, PartitionId(0)),
+                "{label}: the surviving partition must be untouched"
+            );
+            // Every recovered record is clean: Visible, unlocked.
+            let table = primo.cluster().partition(target).store.table(T);
+            for k in after_target.keys() {
+                let rec = table.get(*k).unwrap();
+                assert_eq!(rec.state(), LifecycleState::Visible, "{label}: key {k}");
+                assert!(!rec.lock().is_locked(), "{label}: leaked lock on {k}");
+            }
+            // Specific effects survived: the insert exists, the delete holds.
+            assert_eq!(after_target.get(&FRESH_KEY).map(Vec::len), Some(8));
+            assert!(!after_target.contains_key(&DELETED_KEY), "{label}");
+
+            // The partition serves transactions again.
+            session
+                .run_program(&Program {
+                    home: PartitionId(0),
+                    body: move |ctx: &mut dyn TxnContext| {
+                        ctx.read(target, T, 1)?;
+                        ctx.write(target, T, 1, Value::from_u64(7))
+                    },
+                })
+                .unwrap_or_else(|e| panic!("{label}: post-recovery txn failed: {e:?}"));
+            primo.shutdown();
+        }
+    }
+}
+
+/// Writes that were installed but never covered by the agreed watermark are
+/// rolled back by recovery — the bounded replay, not just the wipe, is what
+/// enforces §5.2.
+#[test]
+fn uncovered_writes_are_rolled_back_not_resurrected() {
+    let primo = Primo::builder()
+        .partitions(2)
+        .protocol(ProtocolKind::Primo)
+        .fast_local()
+        .build();
+    let session = primo.session();
+    for p in 0..2u32 {
+        for k in 0..8u64 {
+            session.load(PartitionId(p), T, k, Value::from_u64(k));
+        }
+    }
+    primo.checkpoint_all();
+    session
+        .run_program(&Program {
+            home: PartitionId(0),
+            body: |ctx: &mut dyn TxnContext| {
+                ctx.read(PartitionId(0), T, 0)?;
+                ctx.write(PartitionId(1), T, 2, Value::from_u64(222))
+            },
+        })
+        .expect("covered txn");
+    std::thread::sleep(Duration::from_millis(30));
+
+    // Forge a durable log entry far above any watermark the cluster will
+    // agree on, with a matching rogue install: the paper's "result not yet
+    // returnable" state at the instant of the crash.
+    let rogue_ts = 1_u64 << 60;
+    let wal = &primo.cluster().partition(PartitionId(1)).wal;
+    wal.append(LogPayload::TxnWrites {
+        txn: TxnId::new(PartitionId(1), u64::MAX >> 20),
+        ts: rogue_ts,
+        writes: vec![LoggedWrite {
+            table: T,
+            key: 3,
+            op: LoggedOp::Put(Value::from_u64(333)),
+        }],
+    });
+    primo
+        .cluster()
+        .partition(PartitionId(1))
+        .store
+        .insert(T, 3, Value::from_u64(333));
+    std::thread::sleep(Duration::from_millis(5));
+
+    primo.crash_partition(PartitionId(1));
+    primo.recover_partition(PartitionId(1)).expect("recovered");
+    let snap = value_snapshot(&primo, PartitionId(1));
+    assert_eq!(
+        snap.get(&2),
+        Some(&Value::from_u64(222).as_bytes().to_vec()),
+        "covered write survives"
+    );
+    assert_eq!(
+        snap.get(&3),
+        Some(&Value::from_u64(3).as_bytes().to_vec()),
+        "uncovered write is rolled back to the checkpointed value"
+    );
+    primo.shutdown();
+}
+
+/// A second crash after checkpoints have advanced past the first recovery
+/// must not resurrect transactions the first crash rolled back: recovery
+/// purges the rolled-back log suffix, so no later checkpoint fold can pick
+/// it up (the double-crash hole found in review).
+#[test]
+fn second_crash_does_not_resurrect_rolled_back_writes() {
+    let primo = Primo::builder()
+        .partitions(2)
+        .protocol(ProtocolKind::Primo)
+        .fast_local()
+        .build();
+    let session = primo.session();
+    for p in 0..2u32 {
+        for k in 0..8u64 {
+            session.load(PartitionId(p), T, k, Value::from_u64(k));
+        }
+    }
+    primo.checkpoint_all();
+    std::thread::sleep(Duration::from_millis(20));
+
+    // A durable-but-uncovered write: logged and installed, with a ts just
+    // above where the crash agreement will land — so the first recovery
+    // rolls it back, but the watermark (and with it the replay/checkpoint
+    // bounds) naturally grows past it soon afterwards.
+    let rogue_ts = primo
+        .cluster()
+        .group_commit
+        .ts_floor(PartitionId(1))
+        .max(primo.cluster().group_commit.ts_floor(PartitionId(0)))
+        + 40;
+    let wal = &primo.cluster().partition(PartitionId(1)).wal;
+    wal.append(LogPayload::TxnWrites {
+        txn: TxnId::new(PartitionId(1), u64::MAX >> 20),
+        ts: rogue_ts,
+        writes: vec![LoggedWrite {
+            table: T,
+            key: 3,
+            op: LoggedOp::Put(Value::from_u64(333)),
+        }],
+    });
+    primo
+        .cluster()
+        .partition(PartitionId(1))
+        .store
+        .insert(T, 3, Value::from_u64(333));
+    std::thread::sleep(Duration::from_millis(2));
+
+    let token1 = primo.cluster().crash_partition(PartitionId(1));
+    assert!(
+        token1 < rogue_ts,
+        "precondition: the rogue write must be above the first agreement"
+    );
+    primo
+        .recover_partition(PartitionId(1))
+        .expect("first recovery");
+    assert_eq!(
+        value_snapshot(&primo, PartitionId(1)).get(&3),
+        Some(&Value::from_u64(3).as_bytes().to_vec()),
+        "first recovery rolls the uncovered write back"
+    );
+
+    // Commit more work and let the watermark overtake the rogue timestamp,
+    // then checkpoint — before the purge fix, the fold (or the second
+    // recovery's replay) would re-admit the rogue entry once the bound
+    // passed its ts.
+    session
+        .run_program(&Program {
+            home: PartitionId(0),
+            body: |ctx: &mut dyn TxnContext| {
+                ctx.read(PartitionId(0), T, 0)?;
+                ctx.write(PartitionId(1), T, 5, Value::from_u64(555))
+            },
+        })
+        .expect("post-recovery txn");
+    std::thread::sleep(Duration::from_millis(70));
+    primo.checkpoint_all();
+    std::thread::sleep(Duration::from_millis(20));
+
+    let token2 = primo.cluster().crash_partition(PartitionId(1));
+    assert!(
+        token2 > rogue_ts,
+        "precondition: the second agreement must have passed the rogue ts \
+         (got {token2} vs {rogue_ts}) — otherwise this test proves nothing"
+    );
+    primo
+        .recover_partition(PartitionId(1))
+        .expect("second recovery");
+    let snap = value_snapshot(&primo, PartitionId(1));
+    assert_eq!(
+        snap.get(&3),
+        Some(&Value::from_u64(3).as_bytes().to_vec()),
+        "the rolled-back write must stay rolled back after a second crash"
+    );
+    assert_eq!(
+        snap.get(&5),
+        Some(&Value::from_u64(555).as_bytes().to_vec()),
+        "committed post-recovery work survives the second crash"
+    );
+    primo.shutdown();
+}
+
+/// The experiment pipeline runs real recovery and reports it: recovery
+/// latency and replayed-transaction counts in the snapshot, a partition
+/// that is never left crashed, and periodic checkpoints bounding replay.
+#[test]
+fn experiment_pipeline_reports_recovery_metrics() {
+    let snap = Experiment::new()
+        .protocol(ProtocolKind::Primo)
+        .scale(Scale {
+            duration_ms: 250,
+            warmup_ms: 30,
+            ..Scale::test()
+        })
+        .fast_local()
+        .checkpoint_interval_ms(50)
+        .crash(CrashPlan {
+            partition: PartitionId(1),
+            at: Duration::from_millis(100),
+            recover_after: Duration::from_millis(30),
+        })
+        .run();
+    assert!(snap.committed > 0);
+    assert!(snap.recovery_time_us > 0, "recovery latency reported");
+    assert!(snap.post_recovery_tps > 0.0, "throughput resumed");
+}
+
+/// Seeded property loop: for random durable logs and random bounds, replay
+/// output is commit-timestamp-sorted, deduplicated by transaction, and
+/// applying it twice equals applying it once.
+#[test]
+fn replaying_any_durable_prefix_twice_equals_once() {
+    use primo_repro::recovery::apply_replay;
+    use primo_repro::storage::PartitionStore;
+
+    let mut rng = FastRng::new(0x4ECC);
+    for case in 0..40 {
+        let wal = PartitionWal::new(PartitionId(0), 0);
+        let num_txns = 1 + rng.next_below(30);
+        for seq in 0..num_txns {
+            let num_writes = 1 + rng.next_below(3) as usize;
+            let writes: Vec<LoggedWrite> = (0..num_writes)
+                .map(|_| {
+                    let key = rng.next_below(12);
+                    if rng.next_below(4) == 0 {
+                        LoggedWrite {
+                            table: T,
+                            key,
+                            op: LoggedOp::Delete,
+                        }
+                    } else {
+                        LoggedWrite {
+                            table: T,
+                            key,
+                            op: LoggedOp::Put(Value::from_u64(rng.next_below(1_000))),
+                        }
+                    }
+                })
+                .collect();
+            wal.append(LogPayload::TxnWrites {
+                txn: TxnId::new(PartitionId(0), seq),
+                ts: 1 + rng.next_below(50),
+                writes,
+            });
+        }
+        std::thread::sleep(Duration::from_millis(1));
+        let bound = if rng.next_below(2) == 0 {
+            ReplayBound::Ts(1 + rng.next_below(60))
+        } else {
+            ReplayBound::Lsn(rng.next_below(num_txns + 1))
+        };
+        let txns = wal.replay_range(0, &bound, None);
+        // Sorted by commit timestamp, deduplicated by txn.
+        for pair in txns.windows(2) {
+            assert!(pair[0].1 <= pair[1].1, "case {case}: not ts-sorted");
+        }
+        let mut ids: Vec<TxnId> = txns.iter().map(|(t, _, _)| *t).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), txns.len(), "case {case}: duplicate txn");
+
+        let once = PartitionStore::new(PartitionId(0));
+        apply_replay(&once, &txns);
+        let twice = PartitionStore::new(PartitionId(0));
+        apply_replay(&twice, &txns);
+        apply_replay(&twice, &txns);
+        let mut a = once.snapshot_visible();
+        let mut b = twice.snapshot_visible();
+        a.sort_by_key(|(t, k, _, _)| (*t, *k));
+        b.sort_by_key(|(t, k, _, _)| (*t, *k));
+        assert_eq!(a, b, "case {case}: replay not idempotent");
+    }
+}
+
+/// Checkpoints bound recovery: after a checkpoint folds the log, replay
+/// starts at the image's base and the truncated log stays small.
+#[test]
+fn checkpoints_bound_replay_and_log_growth() {
+    let primo = Primo::builder()
+        .partitions(1)
+        .protocol(ProtocolKind::Primo)
+        .fast_local()
+        .build();
+    let session = primo.session();
+    for k in 0..8u64 {
+        session.load(PartitionId(0), T, k, Value::from_u64(k));
+    }
+    primo.checkpoint_all();
+    for round in 0..3 {
+        for k in 0..8u64 {
+            session
+                .transaction(PartitionId(0), move |ctx| {
+                    ctx.write(PartitionId(0), T, k, Value::from_u64(round * 100 + k))
+                })
+                .unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        primo.checkpoint_all();
+    }
+    std::thread::sleep(Duration::from_millis(20));
+    // One more pass so the newest durable checkpoint truncates its prefix.
+    primo.checkpoint_all();
+    let wal = &primo.cluster().partition(PartitionId(0)).wal;
+    let image = wal.latest_checkpoint().expect("images exist").1;
+    assert!(image.len() >= 8);
+    // Replay needed after the last checkpoint is (close to) nothing.
+    let pending = wal.replay_range(image.base_lsn, &ReplayBound::Ts(u64::MAX), None);
+    assert!(
+        pending.len() <= 2,
+        "folded log should leave almost nothing to replay, got {}",
+        pending.len()
+    );
+    // Crash + recover still reproduces the latest committed values.
+    let before = value_snapshot(&primo, PartitionId(0));
+    primo.crash_partition(PartitionId(0));
+    primo.recover_partition(PartitionId(0)).expect("recovered");
+    assert_eq!(before, value_snapshot(&primo, PartitionId(0)));
+    primo.shutdown();
+}

@@ -11,16 +11,13 @@ use std::time::Duration;
 
 fn wm(n: usize, interval_ms: u64) -> WatermarkCommit {
     let bus = DelayedBus::new(n, 50);
-    WatermarkCommit::new(
-        n,
-        WalConfig {
-            scheme: LoggingScheme::Watermark,
-            interval_ms,
-            persist_delay_us: 100,
-            force_update: true,
-        },
-        bus,
-    )
+    let cfg = WalConfig {
+        scheme: LoggingScheme::Watermark,
+        interval_ms,
+        persist_delay_us: 100,
+        force_update: true,
+    };
+    WatermarkCommit::new(n, cfg, bus, primo_repro::wal::build_wals(n, cfg))
 }
 
 #[test]
