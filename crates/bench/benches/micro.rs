@@ -14,7 +14,7 @@
 
 use primo_repro::recovery::apply_replay;
 use primo_repro::storage::{InsertSlot, LockMode, LockPolicy, PartitionStore, Record, Table};
-use primo_repro::wal::{LogPayload, LoggedOp, LoggedWrite, PartitionWal, ReplayBound};
+use primo_repro::wal::{LogPayload, LoggedWrite, PartitionWal, ReplayBound};
 use primo_repro::{
     ClosureProgram, FastRng, PartitionId, Primo, ProtocolKind, TableId, TxnId, Value, ZipfGen,
 };
@@ -97,13 +97,48 @@ fn bench_wal_append() {
         wal.append(LogPayload::TxnWrites {
             txn: TxnId::new(PartitionId(0), seq),
             ts: seq,
-            writes: vec![LoggedWrite {
-                table: TableId(0),
-                key: seq % 1_024,
-                op: LoggedOp::Put(Value::from_u64(seq)),
-            }],
+            writes: vec![LoggedWrite::put(
+                TableId(0),
+                seq % 1_024,
+                Value::from_u64(seq),
+            )],
         });
     });
+}
+
+fn bench_log_txn_writes() {
+    // The per-commit durability hot path: group a mixed write-set by
+    // partition in one pass, capture before-images and append one entry per
+    // involved partition — measured over a 4-partition write-set, where the
+    // old O(partitions x writes) rescans hurt most.
+    use primo_repro::runtime::{log_txn_writes, Cluster, WriteEntry};
+    use primo_repro::ClusterConfig;
+
+    let cluster = Cluster::new(ClusterConfig::for_tests(4));
+    for p in 0..4u32 {
+        for k in 0..64u64 {
+            cluster
+                .partition(PartitionId(p))
+                .store
+                .insert(TableId(0), k, Value::from_u64(k));
+        }
+    }
+    let writes: Vec<WriteEntry> = (0..16u64)
+        .map(|i| {
+            WriteEntry::put(
+                PartitionId((i % 4) as u32),
+                TableId(0),
+                i % 64,
+                Value::from_u64(i),
+            )
+        })
+        .collect();
+    let mut seq = 1_000_000u64;
+    bench("durability/log_txn_writes_16w_4p", || {
+        seq += 1;
+        log_txn_writes(&cluster, TxnId::new(PartitionId(0), seq), seq, &writes);
+    });
+    cluster.shutdown();
 }
 
 fn bench_checkpoint_and_replay() {
@@ -120,11 +155,11 @@ fn bench_checkpoint_and_replay() {
             wal.append(LogPayload::TxnWrites {
                 txn: TxnId::new(PartitionId(0), seq),
                 ts: seq + 1,
-                writes: vec![LoggedWrite {
-                    table: TableId(0),
-                    key: rng.next_below(4_096),
-                    op: LoggedOp::Put(Value::from_u64(seq)),
-                }],
+                writes: vec![LoggedWrite::put(
+                    TableId(0),
+                    rng.next_below(4_096),
+                    Value::from_u64(seq),
+                )],
             });
         }
     };
@@ -276,6 +311,7 @@ fn main() {
     bench_tictoc_record();
     bench_zipf();
     bench_wal_append();
+    bench_log_txn_writes();
     bench_checkpoint_and_replay();
     bench_insert_delete_churn();
     bench_single_txn();

@@ -368,7 +368,7 @@ pub fn fig12(scale: &Scale) {
     header("Fig 12: watermark interval / epoch size (Primo CC under WM vs COCO)");
     let sizes_ms = [20u64, 40, 60, 80, 100];
     println!(
-        "{:<12} {:>10} {:>12} {:>14} {:>12} {:>13} {:>10} {:>14}",
+        "{:<12} {:>10} {:>12} {:>14} {:>12} {:>13} {:>10} {:>12} {:>14}",
         "scheme",
         "size(ms)",
         "latency(ms)",
@@ -376,6 +376,7 @@ pub fn fig12(scale: &Scale) {
         "ktps",
         "recovery(ms)",
         "replayed",
+        "compensated",
         "post-rec ktps"
     );
     for scheme in [LoggingScheme::Watermark, LoggingScheme::CocoEpoch] {
@@ -395,7 +396,7 @@ pub fn fig12(scale: &Scale) {
                 .wal_interval_ms(size)
                 .run();
             println!(
-                "{:<12} {:>10} {:>12.2} {:>14.4} {:>12.1} {:>13.2} {:>10} {:>14.1}",
+                "{:<12} {:>10} {:>12.2} {:>14.4} {:>12.1} {:>13.2} {:>10} {:>12} {:>14.1}",
                 scheme.label(),
                 size,
                 snap.mean_latency_ms,
@@ -403,13 +404,15 @@ pub fn fig12(scale: &Scale) {
                 snap.ktps(),
                 snap.recovery_time_us as f64 / 1000.0,
                 snap.replayed_txns,
+                snap.compensated_txns,
                 snap.post_recovery_tps / 1000.0
             );
         }
     }
     println!(
         "(recovery = wipe + checkpoint restore + durable-log replay; the partition stays\n\
-         unreachable until the replay completes)"
+         unreachable until the replay completes. compensated = crash-rolled-back txns whose\n\
+         installed writes on surviving partitions were undone via before-images)"
     );
 }
 

@@ -237,6 +237,7 @@ impl Metrics {
             recovery_time_us: self.recovery_time_us.load(Ordering::Relaxed),
             replayed_txns: self.replayed_txns.load(Ordering::Relaxed),
             post_recovery_tps: 0.0,
+            compensated_txns: 0,
         }
     }
 }
@@ -271,6 +272,10 @@ pub struct MetricsSnapshot {
     /// the measurement — the post-recovery dip Fig 12b-style harnesses
     /// report (0 when no crash was injected or nothing ran afterwards).
     pub post_recovery_tps: f64,
+    /// Crash-rolled-back transactions whose installed writes on *surviving*
+    /// partitions were undone via before-image compensation (0 when no crash
+    /// was injected; filled in by the experiment driver from the cluster).
+    pub compensated_txns: u64,
 }
 
 impl MetricsSnapshot {
@@ -391,6 +396,7 @@ mod tests {
         assert_eq!(s.recovery_time_us, 1_500);
         assert_eq!(s.replayed_txns, 42);
         assert_eq!(s.post_recovery_tps, 0.0);
+        assert_eq!(s.compensated_txns, 0, "filled in by the experiment driver");
         assert_eq!(s.committed, 2);
         assert_eq!(s.aborted_attempts, 2);
         assert!((s.throughput_tps - 1.0).abs() < 1e-9);

@@ -122,7 +122,7 @@ impl Checkpointer {
 mod tests {
     use super::*;
     use primo_common::{TableId, TxnId, Value};
-    use primo_wal::{LoggedOp, LoggedWrite};
+    use primo_wal::LoggedWrite;
 
     struct FixedBound(ReplayBound);
 
@@ -165,11 +165,7 @@ mod tests {
     }
 
     fn put(key: u64, v: u64) -> Vec<LoggedWrite> {
-        vec![LoggedWrite {
-            table: TableId(0),
-            key,
-            op: LoggedOp::Put(Value::from_u64(v)),
-        }]
+        vec![LoggedWrite::put(TableId(0), key, Value::from_u64(v))]
     }
 
     #[test]

@@ -17,13 +17,21 @@
 //!   (Watermark), the last durable epoch boundary (COCO) or the durable LSN
 //!   (CLV / sync) — re-seed the partition's watermark state, and only then
 //!   mark the partition reachable again.
+//! * [`compensate_survivors`] makes the crash-abort atomic across
+//!   partitions: the transactions the scheme rolled back had already
+//!   installed writes on *surviving* partitions, which are undone in place
+//!   with the before-images in their log entries and sealed with
+//!   `TxnRolledBack` markers so no later replay or checkpoint fold can
+//!   resurrect them.
 //!
 //! Both halves work purely against `primo-storage` / `primo-wal` /
 //! `primo-net`, so the runtime's cluster orchestration and the test-suite's
 //! hand-driven scenarios share the exact same code path.
 
 pub mod checkpoint;
+pub mod compensate;
 pub mod manager;
 
 pub use checkpoint::{CheckpointStats, Checkpointer};
+pub use compensate::{compensate_partition, compensate_survivors, CompensationReport};
 pub use manager::{apply_replay, CrashContext, RecoveryManager, RecoveryReport};

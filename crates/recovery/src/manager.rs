@@ -88,7 +88,9 @@ impl RecoveryManager {
     /// 3. restore the newest checkpoint that was durable *at the crash*;
     /// 4. replay the retained durable log from the image's base, bounded by
     ///    the scheme ([`GroupCommit::replay_bound`]) and by the crash-time
-    ///    durable LSN;
+    ///    durable LSN — honoring `TxnRolledBack` markers, so a transaction
+    ///    this partition compensated as a *survivor* of an earlier crash is
+    ///    never resurrected by its own recovery;
     /// 5. re-seed the scheme's per-partition state from the recovered `Wp`
     ///    ([`GroupCommit::on_partition_recover`]);
     /// 6. only then mark the partition [`PartitionHealth::Up`].
@@ -218,11 +220,7 @@ mod tests {
         wal.append(LogPayload::TxnWrites {
             txn: TxnId::new(PartitionId(0), seq),
             ts,
-            writes: vec![LoggedWrite {
-                table: TableId(0),
-                key,
-                op: primo_wal::LoggedOp::Put(Value::from_u64(v)),
-            }],
+            writes: vec![LoggedWrite::put(TableId(0), key, Value::from_u64(v))],
         });
     }
 
@@ -246,11 +244,7 @@ mod tests {
         wal.append(LogPayload::TxnWrites {
             txn: TxnId::new(p, 2),
             ts: 11,
-            writes: vec![LoggedWrite {
-                table: TableId(0),
-                key: 3,
-                op: primo_wal::LoggedOp::Delete,
-            }],
+            writes: vec![LoggedWrite::delete(TableId(0), 3)],
         });
         store.table(TableId(0)).remove(3);
         std::thread::sleep(std::time::Duration::from_millis(1));
@@ -308,11 +302,7 @@ mod tests {
         wal.append(LogPayload::TxnWrites {
             txn: TxnId::new(PartitionId(0), 3),
             ts: 6,
-            writes: vec![LoggedWrite {
-                table: TableId(0),
-                key: 8,
-                op: primo_wal::LoggedOp::Delete,
-            }],
+            writes: vec![LoggedWrite::delete(TableId(0), 8)],
         });
         std::thread::sleep(std::time::Duration::from_millis(1));
         let txns = wal.replay_range(0, &ReplayBound::Ts(u64::MAX), None);

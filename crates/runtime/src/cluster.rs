@@ -7,7 +7,8 @@ use primo_common::config::ClusterConfig;
 use primo_common::{PartitionId, Ts, TxnId};
 use primo_net::{DelayedBus, SimNetwork};
 use primo_recovery::{
-    CheckpointStats, Checkpointer, CrashContext, RecoveryManager, RecoveryReport,
+    compensate_survivors, CheckpointStats, Checkpointer, CrashContext, RecoveryManager,
+    RecoveryReport,
 };
 use primo_storage::PartitionStore;
 use primo_wal::{build_group_commit, GroupCommit, PartitionWal};
@@ -75,6 +76,9 @@ pub struct Cluster {
     /// [`Cluster::crash_partition`] and consumed by
     /// [`Cluster::recover_partition`].
     pending_crashes: Mutex<HashMap<u32, CrashContext>>,
+    /// Total crash-rolled-back transactions whose surviving-partition
+    /// residue was compensated (see [`Cluster::crash_partition`]).
+    compensated_txns: AtomicU64,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -120,6 +124,7 @@ impl Cluster {
             group_commit,
             global_seq: AtomicU64::new(1),
             pending_crashes: Mutex::new(HashMap::new()),
+            compensated_txns: AtomicU64::new(0),
         })
     }
 
@@ -146,13 +151,35 @@ impl Cluster {
     /// Crash a partition leader: the partition becomes unreachable, the
     /// group commit agrees on the rollback point (§5.2) and the crash-time
     /// durable LSN is captured — entries past it are treated as lost.
+    ///
+    /// Atomic commit demands all-or-nothing across every participant, so the
+    /// crash-abort is then made atomic across partitions: every *surviving*
+    /// partition undoes the installed writes of the transactions the
+    /// agreement rolled back (restoring the before-images logged with each
+    /// write-set) and seals them with `TxnRolledBack` markers — the crashed
+    /// partition itself converges through bounded replay during recovery.
     /// Returns the agreed token (watermark / epoch).
     pub fn crash_partition(&self, p: PartitionId) -> Ts {
         self.net.set_crashed(p, true);
         let token = self.group_commit.on_partition_crash(p);
         let crash = CrashContext::capture(p, token, &self.partition(p).wal);
         self.pending_crashes.lock().insert(p.0, crash);
+        let survivors = self
+            .partitions
+            .iter()
+            .filter(|q| q.id != p && !self.net.is_crashed(q.id))
+            .map(|q| (q.id, &q.store, q.wal.as_ref()));
+        let compensated = compensate_survivors(survivors, self.group_commit.as_ref(), token);
+        self.compensated_txns
+            .fetch_add(compensated as u64, Ordering::Relaxed);
         token
+    }
+
+    /// Total crash-rolled-back transactions compensated on surviving
+    /// partitions so far (reported as `compensated_txns` in
+    /// [`MetricsSnapshot`](primo_common::MetricsSnapshot)).
+    pub fn compensated_txns(&self) -> u64 {
+        self.compensated_txns.load(Ordering::Relaxed)
     }
 
     /// Recover a crashed partition for real: wipe its store and rebuild it

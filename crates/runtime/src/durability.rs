@@ -21,39 +21,65 @@
 
 use crate::access::{WriteEntry, WriteKind};
 use crate::cluster::Cluster;
-use primo_common::{Ts, TxnId};
+use primo_common::{PartitionId, Ts, TxnId};
+use primo_storage::LifecycleState;
 use primo_wal::{LogPayload, LoggedOp, LoggedWrite};
+
+/// The committed before-image of the record a write is about to install
+/// into: `Some(value)` for a `Visible` record, `None` when the key has no
+/// committed value — the slot is absent, a tombstone, or this transaction's
+/// own uncommitted insert (created or revived ahead of the commit decision).
+/// Must be called while the write locks are held, so the observed value is
+/// exactly what compensation has to restore if a crash rolls the
+/// transaction back on a surviving partition.
+fn before_image(cluster: &Cluster, w: &WriteEntry, txn: TxnId) -> Option<primo_common::Value> {
+    let record = cluster.partition(w.partition).store.get(w.table, w.key)?;
+    match record.state() {
+        LifecycleState::Visible => Some(record.read().value),
+        LifecycleState::UncommittedInsert { owner } => {
+            debug_assert_eq!(
+                owner, txn,
+                "foreign uncommitted insert under our write lock"
+            );
+            None
+        }
+        LifecycleState::Tombstone => None,
+    }
+}
 
 /// Append one `TxnWrites` entry per involved partition for a transaction
 /// committing at `ts`. Deletes are logged as [`LoggedOp::Delete`]; puts and
 /// inserts both log the installed value (replay is create-if-absent either
-/// way).
+/// way). Every write also captures its committed before-image — the
+/// `Visible` value observed under the held write lock, or `None` when the
+/// key has no committed value — so a crash-abort can be compensated on
+/// surviving partitions.
+///
+/// The write-set is grouped by partition in a single pass (write-sets are
+/// small, so group lookup is a short `Vec` scan, not a hash map).
 pub fn log_txn_writes(cluster: &Cluster, txn: TxnId, ts: Ts, writes: &[WriteEntry]) {
     if writes.is_empty() {
         return;
     }
-    // Write-sets are small; scan per distinct partition instead of building
-    // a map.
-    let mut done: Vec<primo_common::PartitionId> = Vec::new();
+    let mut groups: Vec<(PartitionId, Vec<LoggedWrite>)> = Vec::new();
     for w in writes {
-        if done.contains(&w.partition) {
-            continue;
+        let logged = LoggedWrite {
+            table: w.table,
+            key: w.key,
+            op: match w.kind {
+                WriteKind::Delete => LoggedOp::Delete,
+                WriteKind::Put | WriteKind::Insert => LoggedOp::Put(w.value.clone()),
+            },
+            prev: before_image(cluster, w, txn),
+        };
+        match groups.iter_mut().find(|(p, _)| *p == w.partition) {
+            Some((_, group)) => group.push(logged),
+            None => groups.push((w.partition, vec![logged])),
         }
-        done.push(w.partition);
-        let logged: Vec<LoggedWrite> = writes
-            .iter()
-            .filter(|x| x.partition == w.partition)
-            .map(|x| LoggedWrite {
-                table: x.table,
-                key: x.key,
-                op: match x.kind {
-                    WriteKind::Delete => LoggedOp::Delete,
-                    WriteKind::Put | WriteKind::Insert => LoggedOp::Put(x.value.clone()),
-                },
-            })
-            .collect();
+    }
+    for (partition, logged) in groups {
         cluster
-            .partition(w.partition)
+            .partition(partition)
             .wal
             .append(LogPayload::TxnWrites {
                 txn,
@@ -101,6 +127,48 @@ mod tests {
                 .replay_range(0, &ReplayBound::Ts(u64::MAX), None);
         let ours = remote.iter().find(|(t, _, _)| *t == txn).unwrap();
         assert!(matches!(ours.2[0].op, LoggedOp::Delete));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn before_images_capture_the_committed_value() {
+        let cluster = Cluster::new(ClusterConfig::for_tests(1));
+        let p = PartitionId(0);
+        cluster
+            .partition(p)
+            .store
+            .insert(TableId(0), 1, Value::from_u64(11));
+        cluster
+            .partition(p)
+            .store
+            .insert(TableId(0), 2, Value::from_u64(22));
+        let txn = cluster.next_txn_id(p);
+        let writes = vec![
+            WriteEntry::put(p, TableId(0), 1, Value::from_u64(100)),
+            WriteEntry::delete(p, TableId(0), 2),
+            WriteEntry::insert(p, TableId(0), 3, Value::from_u64(33)),
+        ];
+        log_txn_writes(&cluster, txn, 5, &writes);
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        let replayed = cluster
+            .partition(p)
+            .wal
+            .replay_range(0, &ReplayBound::Ts(u64::MAX), None);
+        let ours = &replayed.iter().find(|(t, _, _)| *t == txn).unwrap().2;
+        assert_eq!(
+            ours[0].prev.as_ref().unwrap().as_u64(),
+            11,
+            "put records the old value"
+        );
+        assert_eq!(
+            ours[1].prev.as_ref().unwrap().as_u64(),
+            22,
+            "delete records the deleted value"
+        );
+        assert!(
+            ours[2].prev.is_none(),
+            "insert of a fresh key has no before-image"
+        );
         cluster.shutdown();
     }
 

@@ -172,6 +172,7 @@ pub fn run_on_cluster(
     let mut snap = metrics.snapshot(elapsed.as_secs_f64());
     snap.messages = cluster.net.messages_sent();
     snap.post_recovery_tps = post_recovery.unwrap_or(0.0);
+    snap.compensated_txns = cluster.compensated_txns();
     snap
 }
 

@@ -228,20 +228,29 @@ pub fn spawn_workers(
 /// Helper used by tests and examples: run a single transaction to completion
 /// (with retries) outside the throughput-measurement machinery. Returns the
 /// number of attempts on success.
+///
+/// Every attempt runs under a **fresh** transaction id. A crash-aborted
+/// attempt has already logged a `TxnWrites` entry per partition (and may
+/// have been sealed with a `TxnRolledBack` marker by compensation); reusing
+/// its id for the retry would let replay's dedup-by-transaction merge the
+/// rolled-back and the committed attempt — and a marker would cancel both.
 pub fn run_single_txn(
     cluster: &Arc<Cluster>,
     protocol: &dyn Protocol,
     program: &dyn crate::txn::TxnProgram,
 ) -> Result<usize, AbortReason> {
     let home = program.home_partition();
-    let txn = cluster.next_txn_id(home);
     let mut attempts = 0;
     let mut backoff_us = cluster.config.backoff_initial_us;
+    // When MAX_ATTEMPTS runs out, report what actually aborted the last
+    // attempt rather than a blanket LockConflict.
+    let mut last_reason = AbortReason::LockConflict;
     loop {
         attempts += 1;
         if attempts > MAX_ATTEMPTS {
-            return Err(AbortReason::LockConflict);
+            return Err(last_reason);
         }
+        let txn = cluster.next_txn_id(home);
         let ticket = cluster.group_commit.begin_txn(home, txn);
         let mut timers = PhaseTimers::new();
         match protocol.execute_once(cluster, txn, program, &ticket, &mut timers) {
@@ -254,7 +263,7 @@ pub fn run_single_txn(
                 }
                 match cluster.group_commit.wait_durable(&waiter) {
                     CommitOutcome::Committed => return Ok(attempts),
-                    CommitOutcome::CrashAborted => {}
+                    CommitOutcome::CrashAborted => last_reason = AbortReason::CrashAbort,
                 }
             }
             Err(e) => {
@@ -262,9 +271,132 @@ pub fn run_single_txn(
                 if !e.reason().is_retryable() {
                     return Err(e.reason());
                 }
+                last_reason = e.reason();
             }
         }
         std::thread::sleep(Duration::from_micros(backoff_us));
         backoff_us = (backoff_us * 2).min(cluster.config.backoff_max_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::WriteEntry;
+    use crate::protocol::CommittedTxn;
+    use crate::txn::{IncrementProgram, TxnProgram};
+    use primo_common::config::{ClusterConfig, LoggingScheme};
+    use primo_common::{TableId, TxnError, TxnId, Value};
+    use primo_wal::{ReplayBound, TxnTicket};
+
+    /// Stub protocol: every attempt logs one insert write-set (like a real
+    /// install path would, under its write locks) and reports success.
+    struct LoggingProtocol;
+
+    impl Protocol for LoggingProtocol {
+        fn name(&self) -> &'static str {
+            "logging-stub"
+        }
+        fn execute_once(
+            &self,
+            cluster: &Cluster,
+            txn: TxnId,
+            _program: &dyn TxnProgram,
+            ticket: &TxnTicket,
+            _timers: &mut primo_common::PhaseTimers,
+        ) -> primo_common::TxnResult<CommittedTxn> {
+            let ts = cluster.group_commit.finalize_commit_ts(ticket, 0);
+            let writes = vec![WriteEntry::insert(
+                PartitionId(0),
+                TableId(0),
+                1,
+                Value::from_u64(txn.seq),
+            )];
+            crate::durability::log_txn_writes(cluster, txn, ts, &writes);
+            Ok(CommittedTxn {
+                ts,
+                ops: 1,
+                distributed: false,
+            })
+        }
+    }
+
+    /// Regression: a crash-aborted-then-committed transaction must log its
+    /// attempts under **distinct** transaction ids. With a shared id,
+    /// replay's dedup-by-transaction merges the rolled-back and the
+    /// committed attempt — and a `TxnRolledBack` marker for the first
+    /// attempt would cancel the committed one too.
+    #[test]
+    fn retries_after_crash_abort_use_fresh_txn_ids() {
+        let mut config = ClusterConfig::for_tests(1);
+        config.wal.scheme = LoggingScheme::Clv;
+        config.wal.persist_delay_us = 30_000; // 30 ms
+        let cluster = Cluster::new(config);
+        let prog = IncrementProgram {
+            home: PartitionId(0),
+            accesses: vec![],
+        };
+        let c2 = Arc::clone(&cluster);
+        let runner = std::thread::spawn(move || run_single_txn(&c2, &LoggingProtocol, &prog));
+        // Inject the scheme-level crash while the first attempt is inside
+        // its persist window (the partition itself stays up): under CLV a
+        // commit whose window spans the crash instant is rolled back; the
+        // retry starts after the instant and commits.
+        while cluster.partition(PartitionId(0)).wal.is_empty() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        cluster.group_commit.on_partition_crash(PartitionId(0));
+        let attempts = runner.join().unwrap().expect("the retry commits");
+        assert!(
+            attempts >= 2,
+            "at least one crash-aborted attempt, got {attempts}"
+        );
+        std::thread::sleep(Duration::from_millis(35));
+        let replayed = cluster.partition(PartitionId(0)).wal.replay_range(
+            0,
+            &ReplayBound::Lsn(u64::MAX),
+            None,
+        );
+        assert_eq!(
+            replayed.len(),
+            attempts,
+            "every attempt logged under its own id — dedup must not merge them"
+        );
+        cluster.shutdown();
+    }
+
+    /// Regression: exhausting MAX_ATTEMPTS reports the reason that actually
+    /// aborted the last attempt, not a blanket LockConflict.
+    struct AlwaysValidationAbort;
+
+    impl Protocol for AlwaysValidationAbort {
+        fn name(&self) -> &'static str {
+            "always-validation"
+        }
+        fn execute_once(
+            &self,
+            _cluster: &Cluster,
+            _txn: TxnId,
+            _program: &dyn TxnProgram,
+            _ticket: &TxnTicket,
+            _timers: &mut primo_common::PhaseTimers,
+        ) -> primo_common::TxnResult<CommittedTxn> {
+            Err(TxnError::Aborted(AbortReason::Validation))
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_last_real_reason() {
+        let mut config = ClusterConfig::for_tests(1);
+        config.backoff_initial_us = 1;
+        config.backoff_max_us = 1;
+        let cluster = Cluster::new(config);
+        let prog = IncrementProgram {
+            home: PartitionId(0),
+            accesses: vec![],
+        };
+        let err = run_single_txn(&cluster, &AlwaysValidationAbort, &prog).unwrap_err();
+        assert_eq!(err, AbortReason::Validation, "not a blanket LockConflict");
+        cluster.shutdown();
     }
 }

@@ -11,9 +11,11 @@
 //! persist delay has elapsed (dependencies are older, hence durable by then).
 
 use crate::group_commit::{CommitOutcome, CommitWaiter, GroupCommit, SeqTsSource, TxnTicket};
+use parking_lot::Mutex;
 use primo_common::config::WalConfig;
 use primo_common::sim_time::{charge_latency_us, now_us};
 use primo_common::{PartitionId, Ts, TxnId};
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 // Replay under CLV is bounded purely by the durable LSN captured at crash
@@ -33,6 +35,10 @@ pub struct ClvCommit {
     crash_at_us: AtomicU64,
     /// Commit-timestamp sequence for protocols without logical timestamps.
     seq_ts: SeqTsSource,
+    /// Transactions crash compensation sealed and undid (their verdict must
+    /// be `CrashAborted` even if the commit-time window check would let
+    /// them through — see [`GroupCommit::on_txns_rolled_back`]).
+    rolled_back_txns: Mutex<HashSet<TxnId>>,
 }
 
 impl ClvCommit {
@@ -42,11 +48,28 @@ impl ClvCommit {
             num_partitions,
             crash_at_us: AtomicU64::new(0),
             seq_ts: SeqTsSource::new(),
+            rolled_back_txns: Mutex::new(HashSet::new()),
         }
     }
 
     pub fn num_partitions(&self) -> usize {
         self.num_partitions
+    }
+
+    /// Whether a transaction acknowledged at `ready_at` is rolled back by
+    /// the last crash: its persist window — `[ready_at - persist_delay,
+    /// ready_at)`, i.e. from its commit call to its durability point — must
+    /// *span* the crash instant. Commits that were durable before the crash
+    /// keep their acknowledgement; commits *started* after the crash instant
+    /// lose nothing (their log records live on surviving partitions and
+    /// become durable normally), so they are committed, not rolled back —
+    /// otherwise every commit during the whole outage would be falsely
+    /// crash-aborted without ever being compensated.
+    fn crash_rolled_back(&self, ready_at: u64) -> bool {
+        let crash = self.crash_at_us.load(Ordering::Acquire);
+        crash != 0
+            && crash < ready_at
+            && ready_at.saturating_sub(self.cfg.persist_delay_us) <= crash
     }
 }
 
@@ -79,9 +102,11 @@ impl GroupCommit for ClvCommit {
     }
 
     fn try_outcome(&self, waiter: &CommitWaiter) -> Option<CommitOutcome> {
+        if self.rolled_back_txns.lock().contains(&waiter.txn) {
+            return Some(CommitOutcome::CrashAborted);
+        }
         let ready_at = waiter.ready_at_us.unwrap_or(0);
-        let crash = self.crash_at_us.load(Ordering::Acquire);
-        if crash != 0 && crash < ready_at {
+        if self.crash_rolled_back(ready_at) {
             return Some(CommitOutcome::CrashAborted);
         }
         if now_us() >= ready_at {
@@ -93,25 +118,42 @@ impl GroupCommit for ClvCommit {
 
     fn wait_durable(&self, waiter: &CommitWaiter) -> CommitOutcome {
         let ready_at = waiter.ready_at_us.unwrap_or(0);
-        let crash = self.crash_at_us.load(Ordering::Acquire);
-        // A crash that happened before this transaction's log became durable
-        // rolls it back.
-        if crash != 0 && crash < ready_at {
+        // A crash whose instant falls inside this transaction's persist
+        // window rolls it back — checked before and after the durability
+        // wait, since the crash may be injected while we sleep.
+        if self.rolled_back_txns.lock().contains(&waiter.txn) || self.crash_rolled_back(ready_at) {
             return CommitOutcome::CrashAborted;
         }
         let now = now_us();
         if ready_at > now {
             charge_latency_us(ready_at - now);
         }
-        let crash = self.crash_at_us.load(Ordering::Acquire);
-        if crash != 0 && crash >= now && crash < ready_at {
+        if self.rolled_back_txns.lock().contains(&waiter.txn) || self.crash_rolled_back(ready_at) {
             return CommitOutcome::CrashAborted;
         }
         CommitOutcome::Committed
     }
 
+    fn on_txns_rolled_back(&self, txns: &[TxnId]) {
+        self.rolled_back_txns.lock().extend(txns.iter().copied());
+    }
+
     fn finalize_commit_ts(&self, _ticket: &TxnTicket, hint: Ts) -> Ts {
         self.seq_ts.finalize(hint)
+    }
+
+    fn survivor_rollback_bound(
+        &self,
+        crash_token: Ts,
+        _wal: &crate::PartitionWal,
+    ) -> crate::ReplayBound {
+        // `crash_token` is the crash instant. A transaction is acknowledged
+        // exactly when its log records are durable, so the commits rolled
+        // back are precisely those whose persist window spans the crash (see
+        // `crash_rolled_back`) — on every partition, survivors included.
+        // Entries durable before the crash, and entries appended after it
+        // (post-crash commits), stay committed.
+        crate::ReplayBound::PersistWindow(crash_token)
     }
 
     fn on_partition_crash(&self, _p: PartitionId) -> Ts {

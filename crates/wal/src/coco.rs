@@ -301,7 +301,20 @@ impl GroupCommit for CocoCommit {
         st.crash_pending = true;
         let epoch = self.epoch.load(Ordering::Acquire);
         st.aborted.insert(epoch);
+        // Close the gate and drain the aborted epoch's in-flight
+        // transactions (bounded, like the coordinator's boundary drain): by
+        // the time this returns, every write-set the epoch will ever log is
+        // in the survivors' logs, so the compensation pass that follows the
+        // agreement sees the complete rolled-back set. The coordinator
+        // reopens the gate at the next boundary.
+        st.gate_open = false;
         self.cond.notify_all();
+        let deadline = std::time::Instant::now() + Duration::from_millis(200);
+        while st.active.get(&epoch).copied().unwrap_or(0) > 0
+            && std::time::Instant::now() < deadline
+        {
+            self.cond.wait_for(&mut st, Duration::from_millis(1));
+        }
         epoch
     }
 
@@ -310,6 +323,15 @@ impl GroupCommit for CocoCommit {
         // sealed by a durable boundary of an *earlier* (committed) epoch.
         let bound = crash_token.saturating_sub(1);
         ReplayBound::Lsn(wal.latest_durable_epoch_boundary(bound).unwrap_or(0))
+    }
+
+    fn survivor_rollback_bound(&self, crash_token: Ts, wal: &PartitionWal) -> ReplayBound {
+        // `crash_token` is the aborted epoch. On a surviving partition
+        // nothing was lost, so the boundary sealed by the last *committed*
+        // epoch (durable or not) splits the log exactly: everything after it
+        // belongs to the aborted epoch and is rolled back.
+        let bound = crash_token.saturating_sub(1);
+        ReplayBound::Lsn(wal.latest_epoch_boundary(bound).map_or(0, |l| l + 1))
     }
 
     fn checkpoint_bound(&self, _p: PartitionId, wal: &PartitionWal) -> ReplayBound {

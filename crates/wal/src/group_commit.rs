@@ -184,6 +184,28 @@ pub trait GroupCommit: Send + Sync {
         ReplayBound::Lsn(u64::MAX)
     }
 
+    /// The bound separating still-committed from crash-rolled-back
+    /// transactions on a *surviving* partition's log, for the crash that
+    /// returned `crash_token` from [`GroupCommit::on_partition_crash`]:
+    /// every `TxnWrites` entry the bound does **not** cover was (or will be)
+    /// reported [`CommitOutcome::CrashAborted`], so its installed writes
+    /// must be compensated with their before-images. The default covers
+    /// everything — correct for schemes that never crash-abort a
+    /// transaction whose commit call returned (synchronous flush).
+    fn survivor_rollback_bound(&self, _crash_token: Ts, _wal: &PartitionWal) -> ReplayBound {
+        ReplayBound::Lsn(u64::MAX)
+    }
+
+    /// Crash compensation sealed these transactions with `TxnRolledBack`
+    /// markers and is about to undo their installed writes on surviving
+    /// partitions. Schemes whose per-waiter verdict could still report one
+    /// of them `Committed` (a transaction that finalized a rolled-back
+    /// timestamp but registered its waiter only after the crash agreement)
+    /// must remember the set and report such waiters `CrashAborted`, so the
+    /// verdict a client sees always matches what happened to the store.
+    /// Called *before* the first before-image is restored.
+    fn on_txns_rolled_back(&self, _txns: &[TxnId]) {}
+
     /// A bound below which every logged transaction on `p` is committed and
     /// durable *right now* — what the checkpoint writer may safely fold into
     /// an image. Default: the durable prefix of the log.

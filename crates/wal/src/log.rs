@@ -34,6 +34,43 @@ pub struct LoggedWrite {
     pub table: TableId,
     pub key: Key,
     pub op: LoggedOp,
+    /// Before-image: the committed value of the key right before this write
+    /// installed, captured while the write locks were still held. `None`
+    /// means the key had no committed value (the write is an insert into an
+    /// absent or tombstoned slot). This is what cross-partition crash
+    /// compensation restores when the group commit rolls the transaction
+    /// back on a *surviving* partition (the crashed partition is instead
+    /// rebuilt by bounded replay, which simply skips the transaction).
+    pub prev: Option<Value>,
+}
+
+impl LoggedWrite {
+    /// A put with no before-image (fresh key). Use
+    /// [`LoggedWrite::with_prev`] to attach one.
+    pub fn put(table: TableId, key: Key, value: Value) -> Self {
+        LoggedWrite {
+            table,
+            key,
+            op: LoggedOp::Put(value),
+            prev: None,
+        }
+    }
+
+    /// A delete with no before-image recorded.
+    pub fn delete(table: TableId, key: Key) -> Self {
+        LoggedWrite {
+            table,
+            key,
+            op: LoggedOp::Delete,
+            prev: None,
+        }
+    }
+
+    /// Attach the committed before-image.
+    pub fn with_prev(mut self, prev: Option<Value>) -> Self {
+        self.prev = prev;
+        self
+    }
 }
 
 /// A materialised checkpoint: the state of one partition at `up_to_ts`,
@@ -104,6 +141,15 @@ pub enum LogPayload {
     /// A periodic checkpoint with its attached image; recovery restores the
     /// newest durable image and replays from `image.base_lsn`.
     Checkpoint { image: Arc<CheckpointImage> },
+    /// The cluster rolled `txn` back after a crash (the group commit reported
+    /// it `CrashAborted`) and its installed writes on this partition were
+    /// compensated with their before-images. Replay, checkpoint folding and
+    /// log repair all skip the transaction's `TxnWrites` entries from then
+    /// on, so a *later* crash of this partition cannot resurrect it. The
+    /// marker always has a higher LSN than the entries it cancels, so
+    /// checkpoint truncation can never drop the marker while the entries
+    /// remain.
+    TxnRolledBack { txn: TxnId },
 }
 
 /// One record in the log.
@@ -137,15 +183,29 @@ pub enum ReplayBound {
     /// durable committed epoch boundary; CLV / sync: one past the durable
     /// LSN).
     Lsn(u64),
+    /// Entries whose persist window *spans* the given simulated instant are
+    /// **not** covered (CLV's crash-rollback rule on *surviving*
+    /// partitions): a transaction is acknowledged exactly when its log
+    /// records are durable, so a crash rolls back precisely the commits
+    /// still inside their persist window at the crash instant. Entries
+    /// already durable by the instant — and entries appended *after* it,
+    /// which belong to post-crash transactions the scheme reports
+    /// `Committed` — are covered.
+    PersistWindow(u64),
 }
 
 impl ReplayBound {
-    /// Whether a `TxnWrites` entry at `(ts, lsn)` falls under this bound.
+    /// Whether a `TxnWrites` entry at `(ts, lsn)`, appended at
+    /// `appended_at_us` into a log with persist delay `persist_delay_us`,
+    /// falls under this bound.
     #[inline]
-    pub fn covers(&self, ts: Ts, lsn: u64) -> bool {
+    pub fn covers(&self, ts: Ts, lsn: u64, appended_at_us: u64, persist_delay_us: u64) -> bool {
         match self {
             ReplayBound::Ts(bound) => ts < *bound,
             ReplayBound::Lsn(bound) => lsn < *bound,
+            ReplayBound::PersistWindow(instant) => {
+                appended_at_us + persist_delay_us <= *instant || appended_at_us > *instant
+            }
         }
     }
 }
@@ -288,6 +348,19 @@ impl PartitionWal {
             })
     }
 
+    /// LSN of the newest [`LogPayload::EpochBoundary`] with epoch at most
+    /// `max_epoch`, regardless of durability. A *surviving* partition's log
+    /// lost nothing, so when COCO rolls back the crashed epoch the boundary
+    /// of the last committed epoch separates committed write-sets from
+    /// rolled-back ones even while it is still inside its persist window.
+    pub fn latest_epoch_boundary(&self, max_epoch: u64) -> Option<u64> {
+        let inner = self.inner.lock();
+        inner.entries.iter().rev().find_map(|e| match e.payload {
+            LogPayload::EpochBoundary { epoch } if epoch <= max_epoch => Some(e.lsn),
+            _ => None,
+        })
+    }
+
     /// Replay all durable transaction writes with `ts < up_to`.
     ///
     /// The output is **commit-timestamp-sorted** (ties broken by LSN, i.e.
@@ -305,6 +378,11 @@ impl PartitionWal {
     /// durable LSN captured at crash time, so entries that were still
     /// volatile when the partition died are treated as lost.
     ///
+    /// Transactions cancelled by a durable [`LogPayload::TxnRolledBack`]
+    /// marker (a crash rolled them back and compensation undid their
+    /// installed writes) are never replayed, whatever the bound says — the
+    /// bound keeps advancing after the crash, the rollback decision does not.
+    ///
     /// Sorted and deduplicated exactly like [`PartitionWal::replay_prefix`].
     pub fn replay_range(
         &self,
@@ -313,8 +391,13 @@ impl PartitionWal {
         cutoff_lsn: Option<u64>,
     ) -> Vec<ReplayedTxn> {
         let now = now_us();
-        let mut picked: Vec<(Ts, u64, TxnId, Vec<LoggedWrite>)> = {
+        let picked: Vec<(Ts, u64, TxnId, Vec<LoggedWrite>)> = {
             let inner = self.inner.lock();
+            // Rollback markers cancel entries *behind* them (lower LSNs), so
+            // they are collected over the whole log with the same durability
+            // and crash-cutoff filters as the entries themselves.
+            let rolled_back =
+                Self::rolled_back_in(&inner, Some((now, self.persist_delay_us)), cutoff_lsn);
             inner
                 .entries
                 .iter()
@@ -322,18 +405,28 @@ impl PartitionWal {
                 .filter(|e| cutoff_lsn.is_none_or(|cut| e.lsn <= cut))
                 .filter(|e| e.appended_at_us + self.persist_delay_us <= now)
                 .filter_map(|e| match &e.payload {
-                    LogPayload::TxnWrites { txn, ts, writes } if bound.covers(*ts, e.lsn) => {
+                    LogPayload::TxnWrites { txn, ts, writes }
+                        if bound.covers(*ts, e.lsn, e.appended_at_us, self.persist_delay_us)
+                            && !rolled_back.contains(txn) =>
+                    {
                         Some((*ts, e.lsn, *txn, writes.clone()))
                     }
                     _ => None,
                 })
                 .collect()
         };
+        Self::sort_dedup_by_txn(picked)
+    }
+
+    /// Order picked entries by `(ts, lsn)` and deduplicate by transaction
+    /// id, keeping the highest-LSN entry: a transaction logs one entry per
+    /// partition, so later duplicates (if a caller ever re-appends)
+    /// supersede earlier ones. Shared by [`PartitionWal::replay_range`] and
+    /// [`PartitionWal::collect_rolled_back`] so the set of transactions
+    /// replayed and the set compensated can never diverge on the
+    /// ordering/dedup rule.
+    fn sort_dedup_by_txn(mut picked: Vec<(Ts, u64, TxnId, Vec<LoggedWrite>)>) -> Vec<ReplayedTxn> {
         picked.sort_by_key(|(ts, lsn, _, _)| (*ts, *lsn));
-        // Deduplicate by transaction id, keeping the highest-LSN entry: the
-        // sort above is (ts, lsn)-ordered and a transaction logs one entry
-        // per partition, so later duplicates (if a caller ever re-appends)
-        // supersede earlier ones.
         let mut out: Vec<ReplayedTxn> = Vec::with_capacity(picked.len());
         let mut seen: std::collections::HashMap<TxnId, usize> = std::collections::HashMap::new();
         for (ts, _lsn, txn, writes) in picked {
@@ -346,6 +439,75 @@ impl PartitionWal {
             }
         }
         out
+    }
+
+    /// Collect the transaction ids cancelled by [`LogPayload::TxnRolledBack`]
+    /// markers. `durability` is `Some((now, persist_delay))` to honour only
+    /// markers that are durable at `now` (replay semantics: a marker still in
+    /// its persist window at a crash is lost, exactly like a write-set);
+    /// `None` trusts every marker in the log (live compensation, which runs
+    /// on a partition that did not crash). `cutoff_lsn` restricts to markers
+    /// at or below the crash-time durable LSN.
+    fn rolled_back_in(
+        inner: &WalInner,
+        durability: Option<(u64, u64)>,
+        cutoff_lsn: Option<u64>,
+    ) -> std::collections::HashSet<TxnId> {
+        inner
+            .entries
+            .iter()
+            .filter(|e| {
+                durability.is_none_or(|(now, delay)| e.appended_at_us + delay <= now)
+                    && cutoff_lsn.is_none_or(|cut| e.lsn <= cut)
+            })
+            .filter_map(|e| match e.payload {
+                LogPayload::TxnRolledBack { txn } => Some(txn),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All transaction ids with a rollback marker in this log, regardless of
+    /// durability (exposed for compensation and tests).
+    pub fn rolled_back_txns(&self) -> std::collections::HashSet<TxnId> {
+        Self::rolled_back_in(&self.inner.lock(), None, None)
+    }
+
+    /// The `TxnWrites` entries `bound` does **not** cover and no rollback
+    /// marker cancels yet: the transactions a crash just rolled back on this
+    /// *surviving* partition, whose installed writes compensation must undo.
+    /// No durability filter — this partition did not crash, so nothing in
+    /// its log is lost. Entries at or past `upper_cutoff` (the survivor's
+    /// log end captured right after the crash agreement) are excluded: they
+    /// belong to transactions that committed *after* the agreement, which
+    /// every scheme reports `Committed`. Sorted by `(ts, lsn)` and
+    /// deduplicated by transaction exactly like
+    /// [`PartitionWal::replay_range`], so undoing the result in reverse
+    /// restores the pre-transaction state.
+    pub fn collect_rolled_back(
+        &self,
+        bound: &ReplayBound,
+        upper_cutoff: Option<u64>,
+    ) -> Vec<ReplayedTxn> {
+        let picked: Vec<(Ts, u64, TxnId, Vec<LoggedWrite>)> = {
+            let inner = self.inner.lock();
+            let already = Self::rolled_back_in(&inner, None, None);
+            inner
+                .entries
+                .iter()
+                .filter(|e| upper_cutoff.is_none_or(|cut| e.lsn < cut))
+                .filter_map(|e| match &e.payload {
+                    LogPayload::TxnWrites { txn, ts, writes }
+                        if !bound.covers(*ts, e.lsn, e.appended_at_us, self.persist_delay_us)
+                            && !already.contains(txn) =>
+                    {
+                        Some((*ts, e.lsn, *txn, writes.clone()))
+                    }
+                    _ => None,
+                })
+                .collect()
+        };
+        Self::sort_dedup_by_txn(picked)
     }
 
     /// Clone the suffix of the log starting at `from_lsn`.
@@ -362,18 +524,23 @@ impl PartitionWal {
     /// The first LSN at or after `from_lsn` that may **not** be folded into
     /// a checkpoint: the first entry that is not yet durable, or a
     /// transaction write-set `bound` does not cover. Control entries inside
-    /// the folded prefix are folded past. A metadata-only scan under the
-    /// log lock — no entry is cloned.
+    /// the folded prefix are folded past, and so are write-sets cancelled by
+    /// a durable rollback marker (the fold's `replay_range` skips them, so
+    /// they never reach the image). A metadata-only scan under the log lock
+    /// — no entry is cloned.
     pub fn fold_stop_lsn(&self, from_lsn: u64, bound: &ReplayBound) -> u64 {
         let now = now_us();
         let inner = self.inner.lock();
+        let rolled_back = Self::rolled_back_in(&inner, Some((now, self.persist_delay_us)), None);
         let mut stop = from_lsn;
         for entry in inner.entries.iter().filter(|e| e.lsn >= from_lsn) {
             if entry.appended_at_us + self.persist_delay_us > now {
                 break;
             }
-            if let LogPayload::TxnWrites { ts, .. } = &entry.payload {
-                if !bound.covers(*ts, entry.lsn) {
+            if let LogPayload::TxnWrites { txn, ts, .. } = &entry.payload {
+                if !rolled_back.contains(txn)
+                    && !bound.covers(*ts, entry.lsn, entry.appended_at_us, self.persist_delay_us)
+                {
                     break;
                 }
             }
@@ -384,26 +551,34 @@ impl PartitionWal {
 
     /// Recovery-time log repair: remove every `TxnWrites` entry at or after
     /// `from_lsn` that replay did **not** apply — entries past the
-    /// crash-time durable LSN (the lost volatile tail) and durable entries
-    /// above the rollback bound (transactions reported `CrashAborted`).
-    /// Without this, a later checkpoint fold — whose bound keeps advancing
-    /// after recovery — would resurrect rolled-back transactions. Returns
-    /// the number of entries removed.
+    /// crash-time durable LSN (the lost volatile tail), durable entries
+    /// above the rollback bound (transactions reported `CrashAborted`), and
+    /// entries cancelled by a durable rollback marker (compensated after an
+    /// earlier crash of *another* partition). Without this, a later
+    /// checkpoint fold — whose bound keeps advancing after recovery — would
+    /// resurrect rolled-back transactions. Returns the number of entries
+    /// removed.
     pub fn retain_replayable(
         &self,
         from_lsn: u64,
         bound: &ReplayBound,
         cutoff_lsn: Option<u64>,
     ) -> usize {
+        let now = now_us();
         let mut inner = self.inner.lock();
+        let rolled_back =
+            Self::rolled_back_in(&inner, Some((now, self.persist_delay_us)), cutoff_lsn);
         let before = inner.entries.len();
+        let delay = self.persist_delay_us;
         inner.entries.retain(|e| {
             if e.lsn < from_lsn {
                 return true;
             }
             match &e.payload {
-                LogPayload::TxnWrites { ts, .. } => {
-                    cutoff_lsn.is_some_and(|cut| e.lsn <= cut) && bound.covers(*ts, e.lsn)
+                LogPayload::TxnWrites { txn, ts, .. } => {
+                    cutoff_lsn.is_some_and(|cut| e.lsn <= cut)
+                        && bound.covers(*ts, e.lsn, e.appended_at_us, delay)
+                        && !rolled_back.contains(txn)
                 }
                 _ => true,
             }
@@ -451,11 +626,7 @@ mod tests {
     }
 
     fn writes(k: Key) -> Vec<LoggedWrite> {
-        vec![LoggedWrite {
-            table: TableId(0),
-            key: k,
-            op: LoggedOp::Put(Value::from_u64(k)),
-        }]
+        vec![LoggedWrite::put(TableId(0), k, Value::from_u64(k))]
     }
 
     #[test]
@@ -574,16 +745,8 @@ mod tests {
     fn checkpoint_image_apply_is_idempotent() {
         let mut image = CheckpointImage::default();
         let ws = vec![
-            LoggedWrite {
-                table: TableId(0),
-                key: 1,
-                op: LoggedOp::Put(Value::from_u64(10)),
-            },
-            LoggedWrite {
-                table: TableId(0),
-                key: 2,
-                op: LoggedOp::Delete,
-            },
+            LoggedWrite::put(TableId(0), 1, Value::from_u64(10)),
+            LoggedWrite::delete(TableId(0), 2).with_prev(Some(Value::from_u64(2))),
         ];
         image
             .records
@@ -694,6 +857,102 @@ mod tests {
     }
 
     #[test]
+    fn rollback_markers_cancel_entries_everywhere() {
+        let wal = PartitionWal::new(PartitionId(0), 0);
+        wal.append(LogPayload::TxnWrites {
+            txn: txn(1),
+            ts: 5,
+            writes: writes(1),
+        });
+        wal.append(LogPayload::TxnWrites {
+            txn: txn(2),
+            ts: 6,
+            writes: writes(2),
+        });
+        wal.append(LogPayload::TxnRolledBack { txn: txn(2) });
+        std::thread::sleep(Duration::from_millis(1));
+        // Replay skips the cancelled transaction whatever the bound says.
+        let replayed = wal.replay_range(0, &ReplayBound::Ts(u64::MAX), None);
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0].0, txn(1));
+        // The fold scan advances past the cancelled entry instead of
+        // stopping on it, even under a bound that does not cover it.
+        assert_eq!(wal.fold_stop_lsn(0, &ReplayBound::Ts(6)), wal.end_lsn());
+        // Log repair drops the cancelled entry but keeps the marker.
+        let removed = wal.retain_replayable(0, &ReplayBound::Ts(u64::MAX), Some(wal.end_lsn()));
+        assert_eq!(removed, 1);
+        assert!(wal.rolled_back_txns().contains(&txn(2)));
+    }
+
+    #[test]
+    fn collect_rolled_back_returns_uncovered_unmarked_entries() {
+        let wal = PartitionWal::new(PartitionId(0), 0);
+        wal.append(LogPayload::TxnWrites {
+            txn: txn(1),
+            ts: 5,
+            writes: writes(1),
+        });
+        wal.append(LogPayload::TxnWrites {
+            txn: txn(2),
+            ts: 9,
+            writes: writes(2),
+        });
+        wal.append(LogPayload::TxnWrites {
+            txn: txn(3),
+            ts: 12,
+            writes: writes(3),
+        });
+        wal.append(LogPayload::TxnRolledBack { txn: txn(3) });
+        // ts >= 8 is rolled back; txn 3 was already compensated earlier.
+        let doomed = wal.collect_rolled_back(&ReplayBound::Ts(8), None);
+        assert_eq!(doomed.len(), 1);
+        assert_eq!(doomed[0].0, txn(2));
+        // An upper cutoff (the log end captured at the crash agreement)
+        // excludes entries of transactions that committed afterwards.
+        assert!(wal
+            .collect_rolled_back(&ReplayBound::Ts(8), Some(1))
+            .is_empty());
+        // No durability filter: a volatile entry on a survivor still counts.
+        let wal = PartitionWal::new(PartitionId(0), 60_000);
+        wal.append(LogPayload::TxnWrites {
+            txn: txn(7),
+            ts: 9,
+            writes: writes(7),
+        });
+        assert_eq!(wal.collect_rolled_back(&ReplayBound::Ts(8), None).len(), 1);
+    }
+
+    #[test]
+    fn persist_window_bound_rolls_back_only_window_spanning_entries() {
+        let wal = PartitionWal::new(PartitionId(0), 30_000); // 30 ms persist
+        wal.append(LogPayload::TxnWrites {
+            txn: txn(1),
+            ts: 1,
+            writes: writes(1),
+        });
+        std::thread::sleep(Duration::from_millis(40));
+        // Entry 1 is durable now; entry 2 is inside its window at the crash
+        // instant; entry 3 is appended after the crash (a post-crash commit
+        // the scheme reports Committed).
+        wal.append(LogPayload::TxnWrites {
+            txn: txn(2),
+            ts: 2,
+            writes: writes(2),
+        });
+        std::thread::sleep(Duration::from_millis(2));
+        let crash_instant = now_us();
+        std::thread::sleep(Duration::from_millis(2));
+        wal.append(LogPayload::TxnWrites {
+            txn: txn(3),
+            ts: 3,
+            writes: writes(3),
+        });
+        let doomed = wal.collect_rolled_back(&ReplayBound::PersistWindow(crash_instant), None);
+        assert_eq!(doomed.len(), 1);
+        assert_eq!(doomed[0].0, txn(2));
+    }
+
+    #[test]
     fn epoch_boundary_lookup_filters_by_epoch() {
         let wal = PartitionWal::new(PartitionId(0), 0);
         let b1 = wal.append(LogPayload::EpochBoundary { epoch: 1 });
@@ -702,5 +961,12 @@ mod tests {
         assert_eq!(wal.latest_durable_epoch_boundary(2), Some(b2));
         assert_eq!(wal.latest_durable_epoch_boundary(1), Some(b1));
         assert_eq!(wal.latest_durable_epoch_boundary(0), None);
+        // The durability-blind variant (survivor-side rollback bound) agrees
+        // here and also sees boundaries still inside their persist window.
+        assert_eq!(wal.latest_epoch_boundary(2), Some(b2));
+        let slow = PartitionWal::new(PartitionId(0), 60_000);
+        let b = slow.append(LogPayload::EpochBoundary { epoch: 1 });
+        assert_eq!(slow.latest_durable_epoch_boundary(1), None);
+        assert_eq!(slow.latest_epoch_boundary(1), Some(b));
     }
 }

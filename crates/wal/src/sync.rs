@@ -79,6 +79,11 @@ impl GroupCommit for SyncCommit {
         0
     }
 
+    // `survivor_rollback_bound` keeps the trait default (everything
+    // covered): the synchronous flush means a transaction whose commit call
+    // returned is durable on every participant, so a crash never rolls a
+    // reported commit back and survivors have nothing to compensate.
+
     fn label(&self) -> &'static str {
         "Sync"
     }

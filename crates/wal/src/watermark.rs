@@ -26,7 +26,7 @@ use primo_common::config::WalConfig;
 use primo_common::sim_time::now_us;
 use primo_common::{PartitionId, Ts, TxnId};
 use primo_net::{BusMessage, DelayedBus};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -119,6 +119,12 @@ pub struct WatermarkCommit {
     /// Counts crash recoveries (used by waiters to detect rollbacks that
     /// happened after they registered).
     crash_seq: AtomicU64,
+    /// Transactions crash compensation sealed and undid. A waiter that
+    /// registered only *after* the crash agreement (its epoch index is past
+    /// the rollback entry) but whose write-set was logged *before* it — and
+    /// therefore compensated — must still be reported `CrashAborted`, or
+    /// the client would be told `Committed` about undone writes.
+    rolled_back_txns: Mutex<HashSet<TxnId>>,
 }
 
 impl std::fmt::Debug for WatermarkCommit {
@@ -150,6 +156,7 @@ impl WatermarkCommit {
             stop: Arc::new(AtomicBool::new(false)),
             agents: Mutex::new(Vec::new()),
             crash_seq: AtomicU64::new(0),
+            rolled_back_txns: Mutex::new(HashSet::new()),
         };
         wm.start_agents();
         wm
@@ -383,6 +390,9 @@ impl GroupCommit for WatermarkCommit {
     }
 
     fn try_outcome(&self, waiter: &CommitWaiter) -> Option<CommitOutcome> {
+        if self.rolled_back_txns.lock().contains(&waiter.txn) {
+            return Some(CommitOutcome::CrashAborted);
+        }
         let part = &self.parts[waiter.coordinator.idx()];
         let wg = part.wg.lock();
         if wg.rollbacks[waiter.epoch as usize..]
@@ -401,6 +411,12 @@ impl GroupCommit for WatermarkCommit {
         let part = &self.parts[waiter.coordinator.idx()];
         let mut wg = part.wg.lock();
         loop {
+            // Compensation undid this transaction's installed writes: the
+            // verdict must say so even if the waiter registered after the
+            // crash agreement was recorded.
+            if self.rolled_back_txns.lock().contains(&waiter.txn) {
+                return CommitOutcome::CrashAborted;
+            }
             // Crash rollbacks that happened after this transaction committed.
             if wg.rollbacks[waiter.epoch as usize..]
                 .iter()
@@ -413,6 +429,10 @@ impl GroupCommit for WatermarkCommit {
             }
             part.wg_cond.wait_for(&mut wg, Duration::from_millis(5));
         }
+    }
+
+    fn on_txns_rolled_back(&self, txns: &[TxnId]) {
+        self.rolled_back_txns.lock().extend(txns.iter().copied());
     }
 
     fn ts_floor(&self, partition: PartitionId) -> Ts {
@@ -434,10 +454,21 @@ impl GroupCommit for WatermarkCommit {
         ReplayBound::Ts(crash_token)
     }
 
+    fn survivor_rollback_bound(&self, crash_token: Ts, _wal: &PartitionWal) -> ReplayBound {
+        // The agreement (§5.2) applies cluster-wide: every transaction with
+        // `ts >= agreed` is reported `CrashAborted`, wherever it installed —
+        // surviving partitions must undo exactly the entries above the token.
+        ReplayBound::Ts(crash_token)
+    }
+
     fn checkpoint_bound(&self, p: PartitionId, _wal: &PartitionWal) -> ReplayBound {
-        // Everything below the *published* partition watermark is durable and
-        // its result may have been returned — safe to fold into a checkpoint.
-        ReplayBound::Ts(self.parts[p.idx()].wp_published.load(Ordering::Acquire))
+        // Fold only below this partition's view of the *global* watermark: a
+        // crash rolls the cluster back to the agreed watermark, which is the
+        // maximum of all `Wg` views — at least this partition's own view, but
+        // possibly *below* its published `Wp`. Folding up to `Wp` could bake
+        // a transaction into an image that a later crash still rolls back;
+        // a transaction below our `Wg` view can never be rolled back again.
+        ReplayBound::Ts(self.parts[p.idx()].wg.lock().wg)
     }
 
     fn on_partition_recover(&self, p: PartitionId, recovered_wp: Ts) {

@@ -3,7 +3,10 @@
 //! Runs Primo on YCSB while a partition leader crashes mid-run. The
 //! watermark-based group commit agrees on a rollback point; transactions
 //! above it are crash-aborted (and retried), everything below stays
-//! durable. The replacement leader then *actually* rebuilds the partition:
+//! durable. Crash-aborted transactions that had already installed writes on
+//! *surviving* partitions are undone in place from the before-images in
+//! their log entries, so the abort is atomic across the whole cluster.
+//! The replacement leader then *actually* rebuilds the partition:
 //! its volatile store is wiped and reconstructed from the latest durable
 //! checkpoint plus durable-log replay, and the partition stays unreachable
 //! until the replay completes. The example prints the crash-abort rate
@@ -44,9 +47,11 @@ fn main() {
             snap.mean_latency_ms
         );
         println!(
-            "    recovery: {:.2} ms to wipe + restore + replay {} txns; post-recovery {:>8.1} ktps",
+            "    recovery: {:.2} ms to wipe + restore + replay {} txns; \
+             {} rolled-back txns compensated on survivors; post-recovery {:>8.1} ktps",
             snap.recovery_time_us as f64 / 1000.0,
             snap.replayed_txns,
+            snap.compensated_txns,
             snap.post_recovery_tps / 1000.0
         );
     }

@@ -7,7 +7,7 @@
 //! exactly.
 
 use primo_repro::storage::{LockMode, LockPolicy, LockRequestResult, Record};
-use primo_repro::wal::{LogPayload, LoggedOp, LoggedWrite, PartitionWal};
+use primo_repro::wal::{LogPayload, LoggedWrite, PartitionWal};
 use primo_repro::{FastRng, PartitionId, Primo, TableId, TxnId, Value, ZipfGen};
 
 #[test]
@@ -130,11 +130,7 @@ fn wal_replay_is_a_prefix() {
             wal.append(LogPayload::TxnWrites {
                 txn: TxnId::new(PartitionId(0), i as u64),
                 ts: *ts,
-                writes: vec![LoggedWrite {
-                    table: TableId(0),
-                    key: i as u64,
-                    op: LoggedOp::Put(Value::from_u64(*ts)),
-                }],
+                writes: vec![LoggedWrite::put(TableId(0), i as u64, Value::from_u64(*ts))],
             });
         }
         std::thread::sleep(std::time::Duration::from_millis(1));

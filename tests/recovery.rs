@@ -9,8 +9,11 @@
 //! replaying any durable prefix twice equals replaying it once, and replay
 //! output is always commit-timestamp-sorted and deduplicated.
 
+use primo_repro::common::PhaseTimers;
 use primo_repro::storage::LifecycleState;
-use primo_repro::wal::{LogPayload, LoggedOp, LoggedWrite, PartitionWal, ReplayBound};
+use primo_repro::wal::{
+    CommitOutcome, CommitWaiter, LogPayload, LoggedWrite, PartitionWal, ReplayBound,
+};
 use primo_repro::{
     CrashPlan, Experiment, FastRng, LoggingScheme, PartitionId, Primo, ProtocolKind, Scale,
     TableId, TxnContext, TxnId, TxnProgram, TxnResult, Value,
@@ -226,11 +229,7 @@ fn uncovered_writes_are_rolled_back_not_resurrected() {
     wal.append(LogPayload::TxnWrites {
         txn: TxnId::new(PartitionId(1), u64::MAX >> 20),
         ts: rogue_ts,
-        writes: vec![LoggedWrite {
-            table: T,
-            key: 3,
-            op: LoggedOp::Put(Value::from_u64(333)),
-        }],
+        writes: vec![LoggedWrite::put(T, 3, Value::from_u64(333))],
     });
     primo
         .cluster()
@@ -289,11 +288,7 @@ fn second_crash_does_not_resurrect_rolled_back_writes() {
     wal.append(LogPayload::TxnWrites {
         txn: TxnId::new(PartitionId(1), u64::MAX >> 20),
         ts: rogue_ts,
-        writes: vec![LoggedWrite {
-            table: T,
-            key: 3,
-            op: LoggedOp::Put(Value::from_u64(333)),
-        }],
+        writes: vec![LoggedWrite::put(T, 3, Value::from_u64(333))],
     });
     primo
         .cluster()
@@ -399,17 +394,9 @@ fn replaying_any_durable_prefix_twice_equals_once() {
                 .map(|_| {
                     let key = rng.next_below(12);
                     if rng.next_below(4) == 0 {
-                        LoggedWrite {
-                            table: T,
-                            key,
-                            op: LoggedOp::Delete,
-                        }
+                        LoggedWrite::delete(T, key)
                     } else {
-                        LoggedWrite {
-                            table: T,
-                            key,
-                            op: LoggedOp::Put(Value::from_u64(rng.next_below(1_000))),
-                        }
+                        LoggedWrite::put(T, key, Value::from_u64(rng.next_below(1_000)))
                     }
                 })
                 .collect();
@@ -492,4 +479,405 @@ fn checkpoints_bound_replay_and_log_growth() {
     primo.recover_partition(PartitionId(0)).expect("recovered");
     assert_eq!(before, value_snapshot(&primo, PartitionId(0)));
     primo.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Cross-partition crash-abort atomicity (before-image compensation on
+// surviving partitions).
+//
+// Atomic commit demands all-or-nothing across every participant: a
+// transaction the group commit reports `CrashAborted` must disappear from
+// *surviving* partitions (compensation) exactly as it disappears from the
+// crashed one (bounded replay). These tests drive a distributed transaction
+// to the installed-but-not-yet-returnable state, crash a participant, and
+// check that every partition's state matches the reported outcome.
+// ---------------------------------------------------------------------------
+
+/// Execute `program` once through the handle's protocol and hand it to the
+/// group commit — *without* waiting for the durable outcome, so the caller
+/// can inject a crash while the result is still in flight (exactly the
+/// window §5.2 rolls back). Conflict aborts are retried with a fresh id.
+fn execute_installed(primo: &Primo, program: &dyn TxnProgram) -> CommitWaiter {
+    let cluster = primo.cluster();
+    let home = program.home_partition();
+    loop {
+        let txn = cluster.next_txn_id(home);
+        let ticket = cluster.group_commit.begin_txn(home, txn);
+        let mut timers = PhaseTimers::new();
+        match primo
+            .protocol()
+            .execute_once(cluster, txn, program, &ticket, &mut timers)
+        {
+            Ok(c) => return cluster.group_commit.txn_committed(&ticket, c.ts, c.ops),
+            Err(e) => {
+                cluster.group_commit.txn_aborted(&ticket);
+                assert!(
+                    e.reason().is_retryable(),
+                    "doomed txn aborted non-retryably: {:?}",
+                    e.reason()
+                );
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        }
+    }
+}
+
+/// Build a handle whose timing makes the crash-abort window wide and
+/// deterministic: long watermark/epoch intervals so the doomed transaction
+/// cannot be covered between its commit and the injected crash, and a long
+/// CLV persist delay so the crash lands inside the doomed persist window.
+fn build_for_crash_abort(kind: ProtocolKind, scheme: LoggingScheme, seed: u64) -> Primo {
+    let b = Primo::builder()
+        .partitions(3)
+        .protocol(kind)
+        .logging(scheme)
+        .fast_local()
+        .seed(seed);
+    match scheme {
+        LoggingScheme::Watermark | LoggingScheme::CocoEpoch => b.wal_interval_ms(150),
+        LoggingScheme::Clv => b.tweak(|c| c.wal.persist_delay_us = 60_000),
+        LoggingScheme::SyncPerTxn => b,
+    }
+    .build()
+}
+
+const CRASHED: PartitionId = PartitionId(1);
+const SURVIVOR: PartitionId = PartitionId(2);
+const HOME: PartitionId = PartitionId(0);
+const DOOMED_PUT_KEY: u64 = 2;
+const DOOMED_DELETE_KEY: u64 = 5;
+
+struct DoomedProgram;
+
+impl TxnProgram for DoomedProgram {
+    fn execute(&self, ctx: &mut dyn TxnContext) -> TxnResult<()> {
+        ctx.read(HOME, T, 0)?;
+        ctx.write(CRASHED, T, DOOMED_PUT_KEY, Value::from_u64(999_999))?;
+        ctx.write(SURVIVOR, T, DOOMED_PUT_KEY, Value::from_u64(999_999))?;
+        ctx.insert(SURVIVOR, T, FRESH_KEY, Value::from_u64(4_242))?;
+        ctx.delete(SURVIVOR, T, DOOMED_DELETE_KEY)
+    }
+    fn home_partition(&self) -> PartitionId {
+        HOME
+    }
+}
+
+#[test]
+fn crash_abort_rolls_back_surviving_partitions_for_all_protocols_and_schemes() {
+    for kind in ALL_KINDS {
+        for scheme in ALL_SCHEMES {
+            let label = format!("{}/{}", kind.label(), scheme.label());
+            let primo = build_for_crash_abort(kind, scheme, kind as u64 * 37 + scheme as u64 + 1);
+            let session = primo.session();
+            for p in 0..3u32 {
+                for k in 0..8u64 {
+                    session.load(PartitionId(p), T, k, Value::from_u64(k + 100));
+                }
+            }
+            primo.checkpoint_all();
+
+            // One *committed* distributed transaction, waited until the
+            // *scheme* covers it (Aria and TAPIR manage durability
+            // themselves and would otherwise return before the watermark /
+            // epoch does, leaving the prefix legitimately above the crash
+            // agreement), so the suite also proves compensation spares
+            // committed state.
+            let prefix_waiter = execute_installed(
+                &primo,
+                &Program {
+                    home: HOME,
+                    body: |ctx: &mut dyn TxnContext| {
+                        ctx.read(HOME, T, 0)?;
+                        ctx.write(CRASHED, T, 0, Value::from_u64(7_000))?;
+                        ctx.write(SURVIVOR, T, 0, Value::from_u64(7_000))
+                    },
+                },
+            );
+            assert_eq!(
+                primo.cluster().group_commit.wait_durable(&prefix_waiter),
+                CommitOutcome::Committed,
+                "{label}: the prefix must be covered before the crash"
+            );
+
+            let before_home = value_snapshot(&primo, HOME);
+            let before_survivor = value_snapshot(&primo, SURVIVOR);
+            let before_crashed = value_snapshot(&primo, CRASHED);
+
+            // The doomed transaction: installed everywhere, result in flight.
+            let waiter = execute_installed(&primo, &DoomedProgram);
+            let installed = value_snapshot(&primo, SURVIVOR);
+            assert_ne!(
+                before_survivor, installed,
+                "{label}: the doomed txn must actually install on the survivor \
+                 (otherwise this test cannot catch a missing compensation pass)"
+            );
+            assert_eq!(installed.get(&FRESH_KEY).map(Vec::len), Some(8), "{label}");
+            assert!(!installed.contains_key(&DOOMED_DELETE_KEY), "{label}");
+
+            // Crash a participant while the result is not yet returnable.
+            primo.cluster().crash_partition(CRASHED);
+            let outcome = primo.cluster().group_commit.wait_durable(&waiter);
+
+            match outcome {
+                CommitOutcome::CrashAborted => {
+                    // All-or-nothing, "nothing" branch: every surviving
+                    // partition must be byte-identical to a run where the
+                    // doomed transaction never executed.
+                    assert_eq!(
+                        before_survivor,
+                        value_snapshot(&primo, SURVIVOR),
+                        "{label}: crash-aborted residue left on the survivor"
+                    );
+                    assert_eq!(
+                        before_home,
+                        value_snapshot(&primo, HOME),
+                        "{label}: crash-aborted residue left on the coordinator"
+                    );
+                    let table = primo.cluster().partition(SURVIVOR).store.table(T);
+                    assert!(
+                        table.get(FRESH_KEY).is_none(),
+                        "{label}: the compensated insert must be physically unlinked"
+                    );
+                    let revived = table
+                        .get(DOOMED_DELETE_KEY)
+                        .unwrap_or_else(|| panic!("{label}: compensated delete must revive"));
+                    assert_eq!(revived.state(), LifecycleState::Visible, "{label}");
+                    assert!(!revived.lock().is_locked(), "{label}: leaked lock");
+                    // And the crashed side agrees after recovery: replay is
+                    // bounded below the rollback point.
+                    primo
+                        .recover_partition(CRASHED)
+                        .unwrap_or_else(|| panic!("{label}: recovery must run"));
+                    assert_eq!(
+                        before_crashed,
+                        value_snapshot(&primo, CRASHED),
+                        "{label}: the crashed partition must agree with the survivors"
+                    );
+                }
+                CommitOutcome::Committed => {
+                    // All-or-nothing, "all" branch (sync scheme, or a
+                    // watermark/epoch that covered the txn in the tiny window
+                    // before the crash): everything stays, everywhere.
+                    let after = value_snapshot(&primo, SURVIVOR);
+                    assert_eq!(after, installed, "{label}: committed writes must stay");
+                    primo
+                        .recover_partition(CRASHED)
+                        .unwrap_or_else(|| panic!("{label}: recovery must run"));
+                    assert_eq!(
+                        value_snapshot(&primo, CRASHED).get(&DOOMED_PUT_KEY),
+                        Some(&Value::from_u64(999_999).as_bytes().to_vec()),
+                        "{label}: committed write must survive recovery on the crashed side"
+                    );
+                }
+            }
+
+            // The cluster still serves transactions afterwards.
+            session
+                .run_program(&Program {
+                    home: HOME,
+                    body: |ctx: &mut dyn TxnContext| {
+                        ctx.read(SURVIVOR, T, 1)?;
+                        ctx.write(SURVIVOR, T, 1, Value::from_u64(1))
+                    },
+                })
+                .unwrap_or_else(|e| panic!("{label}: post-crash txn failed: {e:?}"));
+            primo.shutdown();
+        }
+    }
+}
+
+/// Double crash, survivor edition: after compensation undoes a rolled-back
+/// transaction on a surviving partition, that partition itself crashes. Its
+/// recovery replay — whose bound has long overtaken the rolled-back
+/// timestamps — must honor the `TxnRolledBack` markers and not resurrect
+/// the undone writes (neither via replay nor via a checkpoint fold taken in
+/// between).
+#[test]
+fn survivor_crash_after_compensation_does_not_resurrect_undone_writes() {
+    let primo = build_for_crash_abort(ProtocolKind::Primo, LoggingScheme::Watermark, 0xD0B1);
+    let session = primo.session();
+    for p in 0..3u32 {
+        for k in 0..8u64 {
+            session.load(PartitionId(p), T, k, Value::from_u64(k + 100));
+        }
+    }
+    primo.checkpoint_all();
+    session
+        .run_program(&Program {
+            home: HOME,
+            body: |ctx: &mut dyn TxnContext| {
+                ctx.read(HOME, T, 0)?;
+                ctx.write(CRASHED, T, 0, Value::from_u64(7_000))?;
+                ctx.write(SURVIVOR, T, 0, Value::from_u64(7_000))
+            },
+        })
+        .expect("committed prefix");
+    let before_survivor = value_snapshot(&primo, SURVIVOR);
+
+    let waiter = execute_installed(&primo, &DoomedProgram);
+    let token = primo.cluster().crash_partition(CRASHED);
+    assert!(
+        waiter.ts >= token,
+        "precondition: the doomed txn must be above the agreement ({} vs {token})",
+        waiter.ts
+    );
+    assert_eq!(
+        primo.cluster().group_commit.wait_durable(&waiter),
+        CommitOutcome::CrashAborted
+    );
+    assert_eq!(
+        before_survivor,
+        value_snapshot(&primo, SURVIVOR),
+        "compensation undid the survivor residue"
+    );
+    assert!(
+        primo
+            .cluster()
+            .partition(SURVIVOR)
+            .wal
+            .rolled_back_txns()
+            .contains(&waiter.txn),
+        "the rollback decision is sealed in the survivor's log"
+    );
+    primo.recover_partition(CRASHED).expect("first recovery");
+
+    // Let the watermark overtake the rolled-back timestamps, commit more
+    // work, and fold a checkpoint — before the marker-aware replay/fold,
+    // either path would re-admit the doomed writes once the bound passed.
+    session
+        .run_program(&Program {
+            home: HOME,
+            body: |ctx: &mut dyn TxnContext| {
+                ctx.read(HOME, T, 1)?;
+                ctx.write(SURVIVOR, T, 6, Value::from_u64(6_666))
+            },
+        })
+        .expect("post-crash committed txn");
+    std::thread::sleep(Duration::from_millis(400));
+    primo.checkpoint_all();
+    std::thread::sleep(Duration::from_millis(20));
+
+    let token2 = primo.cluster().crash_partition(SURVIVOR);
+    assert!(
+        token2 > waiter.ts,
+        "precondition: the second agreement ({token2}) must have passed the \
+         rolled-back ts ({}) — otherwise this proves nothing",
+        waiter.ts
+    );
+    primo.recover_partition(SURVIVOR).expect("second recovery");
+
+    let after = value_snapshot(&primo, SURVIVOR);
+    assert_eq!(
+        after.get(&DOOMED_PUT_KEY),
+        Some(&Value::from_u64(DOOMED_PUT_KEY + 100).as_bytes().to_vec()),
+        "the undone put must stay undone after the survivor's own crash"
+    );
+    assert!(
+        !after.contains_key(&FRESH_KEY),
+        "the undone insert must not be resurrected by replay or checkpoint fold"
+    );
+    assert_eq!(
+        after.get(&DOOMED_DELETE_KEY),
+        Some(&Value::from_u64(DOOMED_DELETE_KEY + 100).as_bytes().to_vec()),
+        "the revived delete target must survive"
+    );
+    assert_eq!(
+        after.get(&6),
+        Some(&Value::from_u64(6_666).as_bytes().to_vec()),
+        "committed post-crash work must survive"
+    );
+    primo.shutdown();
+}
+
+/// Seeded property loop over real concurrent interleavings: worker threads
+/// hammer pair-transactions (the same value written to key `k` on both
+/// partitions), a partition crashes mid-run and recovers, and afterwards
+/// every pair must agree — committed transactions survive on both sides,
+/// crash-aborted ones disappear from both sides. Without the compensation
+/// pass the surviving partition keeps the rolled-back half of a pair.
+///
+/// `PRIMO_CRASH_ABORT_SEEDS` widens the loop in CI (default 5 seeds).
+#[test]
+fn crash_abort_keeps_cross_partition_pairs_consistent_across_seeds() {
+    use primo_repro::runtime::run_single_txn;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    const KEYS: u64 = 64;
+
+    struct PairWrite {
+        key: u64,
+    }
+    impl TxnProgram for PairWrite {
+        fn execute(&self, ctx: &mut dyn TxnContext) -> TxnResult<()> {
+            let a = ctx.read(PartitionId(0), T, self.key)?.as_u64();
+            let _ = ctx.read(PartitionId(1), T, self.key)?;
+            ctx.write(PartitionId(0), T, self.key, Value::from_u64(a + 1))?;
+            ctx.write(PartitionId(1), T, self.key, Value::from_u64(a + 1))
+        }
+        fn home_partition(&self) -> PartitionId {
+            PartitionId(0)
+        }
+    }
+
+    let seeds: u64 = std::env::var("PRIMO_CRASH_ABORT_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    for seed in 1..=seeds {
+        let primo = Primo::builder()
+            .partitions(2)
+            .protocol(ProtocolKind::Primo)
+            .fast_local()
+            .seed(seed)
+            .build();
+        let session = primo.session();
+        for p in 0..2u32 {
+            for k in 0..KEYS {
+                session.load(PartitionId(p), T, k, Value::from_u64(0));
+            }
+        }
+        primo.checkpoint_all();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+        for w in 0..3u64 {
+            let cluster = Arc::clone(primo.cluster());
+            let protocol = Arc::clone(primo.protocol());
+            let stop = Arc::clone(&stop);
+            threads.push(std::thread::spawn(move || {
+                let mut rng = FastRng::new(seed * 1_000 + w);
+                while !stop.load(Ordering::Relaxed) {
+                    let prog = PairWrite {
+                        key: rng.next_below(KEYS),
+                    };
+                    // Crash-window attempts may exhaust retries; that is fine.
+                    let _ = run_single_txn(&cluster, protocol.as_ref(), &prog);
+                }
+            }));
+        }
+
+        std::thread::sleep(Duration::from_millis(40));
+        primo.cluster().crash_partition(PartitionId(1));
+        std::thread::sleep(Duration::from_millis(20));
+        // Quiesce before recovery so no in-flight transaction installs into
+        // records detached by the recovery wipe.
+        stop.store(true, Ordering::Relaxed);
+        for t in threads {
+            t.join().unwrap();
+        }
+        primo.recover_partition(PartitionId(1)).expect("recovered");
+
+        let p0 = value_snapshot(&primo, PartitionId(0));
+        let p1 = value_snapshot(&primo, PartitionId(1));
+        for k in 0..KEYS {
+            assert_eq!(
+                p0.get(&k),
+                p1.get(&k),
+                "seed {seed}: pair {k} diverged — a crash-aborted transaction \
+                 left half of its writes behind"
+            );
+        }
+        primo.shutdown();
+    }
 }
