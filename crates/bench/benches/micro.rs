@@ -14,7 +14,7 @@
 
 use primo_repro::recovery::apply_replay;
 use primo_repro::storage::{InsertSlot, LockMode, LockPolicy, PartitionStore, Record, Table};
-use primo_repro::wal::{LogPayload, LoggedWrite, PartitionWal, ReplayBound};
+use primo_repro::wal::{LogPayload, LoggedWrite, PartitionWal, ReplayBound, ReplicatedLog};
 use primo_repro::{
     ClosureProgram, FastRng, PartitionId, Primo, ProtocolKind, TableId, TxnId, Value, ZipfGen,
 };
@@ -106,6 +106,53 @@ fn bench_wal_append() {
     });
 }
 
+fn bench_wal_durable_boundary() {
+    // Satellite of the replicated-WAL refactor: the durable-boundary
+    // lookups (`durable_lsn`, `latest_durable_watermark_at`,
+    // `latest_durable_checkpoint`) used to reverse-scan the log — O(n) per
+    // call on the volatile suffix, and the quorum computation calls
+    // `durable_lsn` once per replica per query. `appended_at_us` is
+    // monotone per log, so the boundary is now a `partition_point` binary
+    // search. The naive reverse scan is reproduced here over the same
+    // 100k entries for comparison.
+    use primo_repro::common::sim_time::now_us;
+
+    const ENTRIES: u64 = 100_000;
+    // A huge persist delay keeps the whole log volatile: the worst case for
+    // the naive scan (it walks all 100k entries before giving up) and the
+    // realistic shape of a hot log right after a burst of appends.
+    let wal = PartitionWal::new(PartitionId(0), u64::MAX / 4);
+    for seq in 0..ENTRIES {
+        wal.append(LogPayload::TxnWrites {
+            txn: TxnId::new(PartitionId(0), seq),
+            ts: seq + 1,
+            writes: vec![LoggedWrite::put(
+                TableId(0),
+                seq % 512,
+                Value::from_u64(seq),
+            )],
+        });
+    }
+    bench("wal/durable_lsn_100k_partition_point", || {
+        std::hint::black_box(wal.durable_lsn());
+    });
+    let entries = wal.entries_from(0);
+    let delay = wal.persist_delay_us();
+    bench("wal/durable_lsn_100k_naive_rev_scan", || {
+        let now = now_us();
+        std::hint::black_box(
+            entries
+                .iter()
+                .rev()
+                .find(|e| e.appended_at_us.saturating_add(delay) <= now)
+                .map(|e| e.lsn),
+        );
+    });
+    bench("wal/latest_durable_watermark_100k", || {
+        std::hint::black_box(wal.latest_durable_watermark());
+    });
+}
+
 fn bench_log_txn_writes() {
     // The per-commit durability hot path: group a mixed write-set by
     // partition in one pass, capture before-images and append one entry per
@@ -149,7 +196,7 @@ fn bench_checkpoint_and_replay() {
     use primo_repro::{Checkpointer, LoggingScheme, WalConfig};
 
     const TXNS: u64 = 10_000;
-    let fill = |wal: &PartitionWal| {
+    let fill = |wal: &ReplicatedLog| {
         let mut rng = FastRng::new(0x4ECC);
         for seq in 0..TXNS {
             wal.append(LogPayload::TxnWrites {
@@ -163,7 +210,7 @@ fn bench_checkpoint_and_replay() {
             });
         }
     };
-    let wal = PartitionWal::new(PartitionId(0), 0);
+    let wal = ReplicatedLog::single(PartitionId(0), 0);
     fill(&wal);
     bench("recovery/replay_collect_10k_txns", || {
         std::hint::black_box(wal.replay_range(0, &ReplayBound::Ts(u64::MAX), None));
@@ -186,10 +233,10 @@ fn bench_checkpoint_and_replay() {
         1,
         cfg,
         primo_repro::net::DelayedBus::new(1, 10),
-        primo_repro::wal::build_wals(1, cfg),
+        primo_repro::wal::build_logs(1, cfg),
     );
     bench("recovery/checkpoint_fold_10k_txns", || {
-        let wal = PartitionWal::new(PartitionId(0), 0);
+        let wal = ReplicatedLog::single(PartitionId(0), 0);
         wal.append(LogPayload::Checkpoint {
             image: Arc::new(CheckpointImage::default()),
         });
@@ -311,6 +358,7 @@ fn main() {
     bench_tictoc_record();
     bench_zipf();
     bench_wal_append();
+    bench_wal_durable_boundary();
     bench_log_txn_writes();
     bench_checkpoint_and_replay();
     bench_insert_delete_churn();

@@ -368,7 +368,7 @@ pub fn fig12(scale: &Scale) {
     header("Fig 12: watermark interval / epoch size (Primo CC under WM vs COCO)");
     let sizes_ms = [20u64, 40, 60, 80, 100];
     println!(
-        "{:<12} {:>10} {:>12} {:>14} {:>12} {:>13} {:>10} {:>12} {:>14}",
+        "{:<12} {:>10} {:>12} {:>14} {:>12} {:>13} {:>10} {:>12} {:>14} {:>8} {:>13}",
         "scheme",
         "size(ms)",
         "latency(ms)",
@@ -377,7 +377,9 @@ pub fn fig12(scale: &Scale) {
         "recovery(ms)",
         "replayed",
         "compensated",
-        "post-rec ktps"
+        "post-rec ktps",
+        "ldr-chg",
+        "repl-lag(us)"
     );
     for scheme in [LoggingScheme::Watermark, LoggingScheme::CocoEpoch] {
         for size in sizes_ms {
@@ -396,7 +398,7 @@ pub fn fig12(scale: &Scale) {
                 .wal_interval_ms(size)
                 .run();
             println!(
-                "{:<12} {:>10} {:>12.2} {:>14.4} {:>12.1} {:>13.2} {:>10} {:>12} {:>14.1}",
+                "{:<12} {:>10} {:>12.2} {:>14.4} {:>12.1} {:>13.2} {:>10} {:>12} {:>14.1} {:>8} {:>13}",
                 scheme.label(),
                 size,
                 snap.mean_latency_ms,
@@ -405,14 +407,18 @@ pub fn fig12(scale: &Scale) {
                 snap.recovery_time_us as f64 / 1000.0,
                 snap.replayed_txns,
                 snap.compensated_txns,
-                snap.post_recovery_tps / 1000.0
+                snap.post_recovery_tps / 1000.0,
+                snap.leader_changes,
+                snap.replication_lag_us
             );
         }
     }
     println!(
         "(recovery = wipe + checkpoint restore + durable-log replay; the partition stays\n\
          unreachable until the replay completes. compensated = crash-rolled-back txns whose\n\
-         installed writes on surviving partitions were undone via before-images)"
+         installed writes on surviving partitions were undone via before-images.\n\
+         ldr-chg = replicated-log leader hand-offs; repl-lag = append-to-quorum-ack delay,\n\
+         the local persist delay when the log is single-copy)"
     );
 }
 

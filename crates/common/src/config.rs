@@ -129,12 +129,21 @@ pub struct WalConfig {
     pub scheme: LoggingScheme,
     /// Watermark interval `t_m` or COCO epoch length, in milliseconds.
     pub interval_ms: u64,
-    /// Simulated disk + quorum-replication delay for a log batch, in
-    /// microseconds.
+    /// Simulated local disk persist delay for a log batch on the leader
+    /// replica, in microseconds.
     pub persist_delay_us: u64,
     /// Enable the force-update mechanism for lagging partitions (§5.1,
     /// evaluated in Fig 13b).
     pub force_update: bool,
+    /// Log replicas per partition (the paper replicates each partition's log
+    /// through Raft, §5.2). 1 keeps the single-copy log; with `n > 1` a log
+    /// record is *durable* once a majority quorum of replicas persisted it,
+    /// so recovery tolerates losing the leader's disk, not just its memory.
+    pub replication_factor: usize,
+    /// Persist delay of the non-leader replicas' disks, in microseconds.
+    /// `None` means same as `persist_delay_us`. The one-way network latency
+    /// of the replication hop is added on top by the cluster.
+    pub replica_persist_delay_us: Option<u64>,
 }
 
 impl Default for WalConfig {
@@ -144,6 +153,8 @@ impl Default for WalConfig {
             interval_ms: 10,
             persist_delay_us: 500,
             force_update: true,
+            replication_factor: 1,
+            replica_persist_delay_us: None,
         }
     }
 }
@@ -222,6 +233,8 @@ impl ClusterConfig {
                 interval_ms: 1,
                 persist_delay_us: 50,
                 force_update: true,
+                replication_factor: 1,
+                replica_persist_delay_us: None,
             },
             primo: PrimoConfig::default(),
             backoff_initial_us: 20,
@@ -243,6 +256,8 @@ mod tests {
         assert_eq!(c.wal.interval_ms, 10);
         assert_eq!(c.backoff_initial_us, 500);
         assert_eq!(c.wal.scheme, LoggingScheme::Watermark);
+        assert_eq!(c.wal.replication_factor, 1, "single-copy log by default");
+        assert_eq!(c.wal.replica_persist_delay_us, None);
     }
 
     #[test]

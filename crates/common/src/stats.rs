@@ -238,6 +238,8 @@ impl Metrics {
             replayed_txns: self.replayed_txns.load(Ordering::Relaxed),
             post_recovery_tps: 0.0,
             compensated_txns: 0,
+            leader_changes: 0,
+            replication_lag_us: 0,
         }
     }
 }
@@ -276,6 +278,15 @@ pub struct MetricsSnapshot {
     /// partitions were undone via before-image compensation (0 when no crash
     /// was injected; filled in by the experiment driver from the cluster).
     pub compensated_txns: u64,
+    /// Deterministic log-leader hand-offs across all partitions (every crash
+    /// moves leadership of the partition's replicated log to the successor
+    /// replica; filled in by the experiment driver from the cluster).
+    pub leader_changes: u64,
+    /// Replication lag of the replicated log: the time between appending a
+    /// record and its quorum acknowledgement (the worst partition's
+    /// quorum-ack delay, microseconds). Equals the local persist delay when
+    /// `replication_factor` is 1; filled in by the experiment driver.
+    pub replication_lag_us: u64,
 }
 
 impl MetricsSnapshot {
@@ -397,6 +408,11 @@ mod tests {
         assert_eq!(s.replayed_txns, 42);
         assert_eq!(s.post_recovery_tps, 0.0);
         assert_eq!(s.compensated_txns, 0, "filled in by the experiment driver");
+        assert_eq!(s.leader_changes, 0, "filled in by the experiment driver");
+        assert_eq!(
+            s.replication_lag_us, 0,
+            "filled in by the experiment driver"
+        );
         assert_eq!(s.committed, 2);
         assert_eq!(s.aborted_attempts, 2);
         assert!((s.throughput_tps - 1.0).abs() < 1e-9);

@@ -223,6 +223,15 @@ impl SimNetwork {
         remote.iter().all(|p| !self.is_crashed(*p))
     }
 
+    /// Account one-way messages sent by a background subsystem (e.g. log
+    /// replication fan-out) without charging latency to the calling thread:
+    /// the sender does not wait for replica acknowledgements — the cost
+    /// surfaces as quorum-ack delay on the durability side, not as send
+    /// latency.
+    pub fn note_background_messages(&self, n: u64) {
+        self.messages.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Number of one-way messages charged so far.
     pub fn messages_sent(&self) -> u64 {
         self.messages.load(Ordering::Relaxed)
@@ -357,6 +366,15 @@ mod tests {
         let start = Instant::now();
         n.round_trip(PartitionId(0), PartitionId(2));
         assert!(start.elapsed().as_micros() < 500);
+    }
+
+    #[test]
+    fn background_messages_count_without_charging_latency() {
+        let n = net(5000);
+        let start = Instant::now();
+        n.note_background_messages(3);
+        assert!(start.elapsed().as_millis() < 2);
+        assert_eq!(n.messages_sent(), 3);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use primo_common::{PartitionId, Ts};
 use primo_storage::PartitionStore;
-use primo_wal::{CheckpointImage, GroupCommit, LogPayload, PartitionWal, ReplayBound};
+use primo_wal::{CheckpointImage, GroupCommit, LogPayload, ReplayBound, ReplicatedLog};
 use std::sync::Arc;
 
 /// What one checkpoint pass did (for logs, metrics and tests).
@@ -41,7 +41,7 @@ impl Checkpointer {
     /// Base checkpoint from a quiescent store scan (call after loading,
     /// before workers start). The image's `base_lsn` is the current log
     /// end, so everything already logged is considered covered.
-    pub fn initial(store: &PartitionStore, wal: &PartitionWal) -> CheckpointStats {
+    pub fn initial(store: &PartitionStore, wal: &ReplicatedLog) -> CheckpointStats {
         let mut image = CheckpointImage {
             up_to_ts: 0,
             base_lsn: wal.end_lsn(),
@@ -71,7 +71,7 @@ impl Checkpointer {
     /// from the live store mid-run would not be consistent.
     pub fn tick(
         partition: PartitionId,
-        wal: &PartitionWal,
+        wal: &ReplicatedLog,
         gc: &dyn GroupCommit,
     ) -> Option<CheckpointStats> {
         let (_, prev) = wal.latest_checkpoint()?;
@@ -155,7 +155,7 @@ mod tests {
         fn on_partition_crash(&self, _p: PartitionId) -> Ts {
             0
         }
-        fn checkpoint_bound(&self, _p: PartitionId, _wal: &PartitionWal) -> ReplayBound {
+        fn checkpoint_bound(&self, _p: PartitionId, _log: &ReplicatedLog) -> ReplayBound {
             self.0
         }
         fn label(&self) -> &'static str {
@@ -175,7 +175,7 @@ mod tests {
         store
             .insert(TableId(0), 2, Value::from_u64(2))
             .install_tombstone(5);
-        let wal = PartitionWal::new(PartitionId(0), 0);
+        let wal = ReplicatedLog::single(PartitionId(0), 0);
         let stats = Checkpointer::initial(&store, &wal);
         assert_eq!(stats.image_records, 1);
         let image = wal.latest_checkpoint().unwrap().1;
@@ -187,7 +187,7 @@ mod tests {
     fn tick_folds_covered_prefix_and_truncates_durably() {
         let store = PartitionStore::new(PartitionId(0));
         store.insert(TableId(0), 1, Value::from_u64(1));
-        let wal = PartitionWal::new(PartitionId(0), 0);
+        let wal = ReplicatedLog::single(PartitionId(0), 0);
         Checkpointer::initial(&store, &wal);
         for (seq, ts) in [(1u64, 5u64), (2, 8), (3, 50)] {
             wal.append(LogPayload::TxnWrites {
@@ -218,7 +218,7 @@ mod tests {
 
     #[test]
     fn tick_without_base_image_is_a_no_op() {
-        let wal = PartitionWal::new(PartitionId(0), 0);
+        let wal = ReplicatedLog::single(PartitionId(0), 0);
         let gc = FixedBound(ReplayBound::Ts(10));
         assert!(Checkpointer::tick(PartitionId(0), &wal, &gc).is_none());
     }
@@ -226,7 +226,7 @@ mod tests {
     #[test]
     fn fold_stops_at_non_durable_entries() {
         let store = PartitionStore::new(PartitionId(0));
-        let wal = PartitionWal::new(PartitionId(0), 50_000); // 50 ms persist
+        let wal = ReplicatedLog::single(PartitionId(0), 50_000); // 50 ms persist
         Checkpointer::initial(&store, &wal);
         wal.append(LogPayload::TxnWrites {
             txn: TxnId::new(PartitionId(0), 1),

@@ -28,12 +28,14 @@
 //! Each undone transaction is then sealed with a
 //! [`LogPayload::TxnRolledBack`] marker so replay, checkpoint folding and
 //! log repair skip it forever: a *later* crash of the surviving partition
-//! cannot resurrect what this pass undid (once the marker is durable — a
-//! replicated log would close that window, see ROADMAP).
+//! cannot resurrect what this pass undid. The marker is an ordinary
+//! replicated-log record — it fans out to every replica together with the
+//! write-sets it cancels, so the rollback decision is exactly as durable
+//! as the data it rolls back.
 
 use primo_common::{PartitionId, TxnId};
 use primo_storage::{LifecycleState, LockMode, LockPolicy, LockRequestResult, PartitionStore};
-use primo_wal::{GroupCommit, LogPayload, PartitionWal, ReplayBound};
+use primo_wal::{GroupCommit, LogPayload, ReplayBound, ReplicatedLog};
 
 /// What one compensation pass over one surviving partition did.
 #[derive(Debug, Clone, Copy, Default)]
@@ -60,7 +62,7 @@ const LOCK_ATTEMPTS: usize = 20;
 /// second crash elsewhere) is safe.
 pub fn compensate_partition(
     store: &PartitionStore,
-    wal: &PartitionWal,
+    wal: &ReplicatedLog,
     bound: &ReplayBound,
     upper_cutoff: Option<u64>,
 ) -> CompensationReport {
@@ -72,7 +74,7 @@ pub fn compensate_partition(
 /// sealing each transaction with a rollback marker.
 fn undo_rolled_back(
     store: &PartitionStore,
-    wal: &PartitionWal,
+    wal: &ReplicatedLog,
     mut doomed: Vec<primo_wal::ReplayedTxn>,
 ) -> CompensationReport {
     if doomed.is_empty() {
@@ -169,7 +171,7 @@ fn undo_rolled_back(
 ///   agreement but logged before it is reported `CrashAborted`, never
 ///   `Committed`-with-undone-writes.
 pub fn compensate_survivors<'a>(
-    partitions: impl Iterator<Item = (PartitionId, &'a PartitionStore, &'a PartitionWal)>,
+    partitions: impl Iterator<Item = (PartitionId, &'a PartitionStore, &'a ReplicatedLog)>,
     gc: &dyn GroupCommit,
     crash_token: primo_common::Ts,
 ) -> usize {
@@ -194,7 +196,7 @@ mod tests {
     use primo_common::{TableId, Value};
     use primo_wal::LoggedWrite;
 
-    fn put_entry(wal: &PartitionWal, seq: u64, ts: u64, key: u64, value: u64, prev: Option<u64>) {
+    fn put_entry(wal: &ReplicatedLog, seq: u64, ts: u64, key: u64, value: u64, prev: Option<u64>) {
         wal.append(LogPayload::TxnWrites {
             txn: TxnId::new(PartitionId(0), seq),
             ts,
@@ -206,7 +208,7 @@ mod tests {
     #[test]
     fn put_residue_is_restored_to_the_before_image() {
         let store = PartitionStore::new(PartitionId(0));
-        let wal = PartitionWal::new(PartitionId(0), 0);
+        let wal = ReplicatedLog::single(PartitionId(0), 0);
         store.insert(TableId(0), 1, Value::from_u64(10));
         // Committed (covered) write, then a rolled-back one.
         put_entry(&wal, 1, 5, 1, 20, Some(10));
@@ -230,7 +232,7 @@ mod tests {
     #[test]
     fn insert_residue_is_unlinked_and_delete_residue_revived() {
         let store = PartitionStore::new(PartitionId(0));
-        let wal = PartitionWal::new(PartitionId(0), 0);
+        let wal = ReplicatedLog::single(PartitionId(0), 0);
         // Rolled-back insert: the record exists, Visible, no before-image.
         wal.append(LogPayload::TxnWrites {
             txn: TxnId::new(PartitionId(0), 1),
@@ -260,7 +262,7 @@ mod tests {
         // T1 inserts k (prev None), T2 overwrites it (prev = T1's value),
         // both rolled back: the key must end up absent.
         let store = PartitionStore::new(PartitionId(0));
-        let wal = PartitionWal::new(PartitionId(0), 0);
+        let wal = ReplicatedLog::single(PartitionId(0), 0);
         put_entry(&wal, 1, 9, 3, 1, None);
         store.insert(TableId(0), 3, Value::from_u64(1));
         put_entry(&wal, 2, 10, 3, 2, Some(1));

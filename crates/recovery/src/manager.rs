@@ -1,24 +1,30 @@
 //! The recovery manager: wipe a crashed partition's volatile store and
-//! rebuild it from `latest durable checkpoint + bounded durable-log replay`.
+//! rebuild it from `latest quorum-durable checkpoint + bounded replay of the
+//! replicated log` — surviving a lost leader disk, and handing off to the
+//! deterministic successor replica when a second crash lands mid-replay.
 
 use primo_common::sim_time::now_us;
 use primo_common::{PartitionId, Ts};
 use primo_net::{PartitionHealth, SimNetwork};
 use primo_storage::PartitionStore;
-use primo_wal::{GroupCommit, LoggedOp, PartitionWal, ReplayedTxn};
+use primo_wal::{GroupCommit, LoggedOp, ReplayedTxn, ReplicatedLog};
 use std::time::Instant;
 
 /// Everything captured at the instant a partition crashed. Recovery needs
-/// the crash-time durable LSN (entries past it were volatile and are lost)
-/// and the scheme's agreement token (recovered watermark / aborted epoch /
-/// crash time) to bound replay.
+/// the crash-time quorum-durable LSN (entries past it never reached a
+/// majority of replicas and are lost) and the scheme's agreement token
+/// (recovered watermark / aborted epoch / crash time) to bound replay.
 #[derive(Debug, Clone, Copy)]
 pub struct CrashContext {
     pub partition: PartitionId,
     /// What [`GroupCommit::on_partition_crash`] returned.
     pub token: Ts,
-    /// Durable LSN of the partition's log at the crash instant; `None` if
-    /// nothing was durable yet.
+    /// Quorum-durable LSN of the partition's replicated log at the crash
+    /// instant; `None` if nothing had reached a quorum yet. Capture
+    /// **before** any leader-disk loss: every replica physically holds
+    /// every appended entry, so anything quorum-durable at the crash is
+    /// reproducible from the surviving copies — dropping the dead leader's
+    /// vote first would misreport acknowledged history as lost.
     pub durable_lsn: Option<u64>,
     /// Simulated timestamp of the crash.
     pub crashed_at_us: u64,
@@ -27,12 +33,13 @@ pub struct CrashContext {
 impl CrashContext {
     /// Capture the crash-time state of one partition. Call *after* the
     /// network marked the partition crashed and the group commit agreed on
-    /// the rollback point.
-    pub fn capture(partition: PartitionId, token: Ts, wal: &PartitionWal) -> Self {
+    /// the rollback point, but *before* the log's leader hand-off discards
+    /// any disk (see [`CrashContext::durable_lsn`]).
+    pub fn capture(partition: PartitionId, token: Ts, log: &ReplicatedLog) -> Self {
         CrashContext {
             partition,
             token,
-            durable_lsn: wal.durable_lsn(),
+            durable_lsn: log.durable_lsn(),
             crashed_at_us: now_us(),
         }
     }
@@ -52,11 +59,18 @@ pub struct RecoveryReport {
     pub recovered_wp: Ts,
     /// Wall-clock recovery latency (wipe + restore + replay).
     pub duration_us: u64,
+    /// Leader hand-offs observed *during* the replay: a further crash of
+    /// the replacement leader bumps the log's term, and the recovery loop
+    /// restarts from the deterministic successor replica.
+    pub mid_replay_handoffs: usize,
+    /// Replicas re-seeded from the elected leader after the replay (wiped
+    /// or lagging copies brought back to full strength).
+    pub repaired_replicas: usize,
 }
 
 /// Apply a replayed transaction sequence to a store, in order. The sequence
 /// comes ts-sorted and deduplicated from
-/// [`PartitionWal::replay_range`], so applying it twice equals applying it
+/// [`ReplicatedLog::replay_range`], so applying it twice equals applying it
 /// once (puts overwrite in place, deletes of missing keys are no-ops).
 pub fn apply_replay(store: &PartitionStore, txns: &[ReplayedTxn]) {
     for (_, ts, writes) in txns {
@@ -85,67 +99,116 @@ impl RecoveryManager {
     ///    tombstones and uncommitted inserts must never resurrect, and they
     ///    cannot: checkpoints snapshot only `Visible` records and the log
     ///    only ever contains committed write-sets);
-    /// 3. restore the newest checkpoint that was durable *at the crash*;
-    /// 4. replay the retained durable log from the image's base, bounded by
-    ///    the scheme ([`GroupCommit::replay_bound`]) and by the crash-time
-    ///    durable LSN — honoring `TxnRolledBack` markers, so a transaction
-    ///    this partition compensated as a *survivor* of an earlier crash is
-    ///    never resurrected by its own recovery;
-    /// 5. re-seed the scheme's per-partition state from the recovered `Wp`
+    /// 3. restore the newest checkpoint that was **quorum**-durable *at the
+    ///    crash* — read from the elected leader replica, which survives even
+    ///    when the dead leader's disk was discarded;
+    /// 4. replay the retained quorum-durable log from the image's base,
+    ///    bounded by the scheme ([`GroupCommit::replay_bound`]) and by the
+    ///    crash-time quorum LSN — honoring `TxnRolledBack` markers, so a
+    ///    transaction this partition compensated as a *survivor* of an
+    ///    earlier crash is never resurrected by its own recovery;
+    /// 5. if the log's leadership term moved while replaying (a second
+    ///    crash killed the replacement leader), restart from step 2 against
+    ///    the deterministic successor replica;
+    /// 6. repair wiped / lagging replicas from the elected leader and
+    ///    re-seed the scheme's per-partition state from the recovered `Wp`
     ///    ([`GroupCommit::on_partition_recover`]);
-    /// 6. only then mark the partition [`PartitionHealth::Up`].
+    /// 7. only then mark the partition [`PartitionHealth::Up`].
     pub fn recover(
         store: &PartitionStore,
-        wal: &PartitionWal,
+        log: &ReplicatedLog,
         gc: &dyn GroupCommit,
         net: &SimNetwork,
         crash: &CrashContext,
+    ) -> RecoveryReport {
+        Self::recover_with_fault(store, log, gc, net, crash, &mut || {})
+    }
+
+    /// [`RecoveryManager::recover`] with a fault-injection hook invoked
+    /// after each replay pass, *before* the term check — tests use it to
+    /// land a second crash deterministically mid-replay and pin the
+    /// hand-off to the successor replica.
+    pub fn recover_with_fault(
+        store: &PartitionStore,
+        log: &ReplicatedLog,
+        gc: &dyn GroupCommit,
+        net: &SimNetwork,
+        crash: &CrashContext,
+        mid_replay: &mut dyn FnMut(),
     ) -> RecoveryReport {
         let p = crash.partition;
         let started = Instant::now();
         net.set_health(p, PartitionHealth::Recovering);
 
-        let wiped_records = store.wipe();
+        let mut mid_replay_handoffs = 0;
+        // The crash-time store size: only the *first* pass wipes the store
+        // the crash left behind — a restarted pass wipes its own voided
+        // restore, which is not what the report should claim was dropped.
+        let mut crash_wiped: Option<usize> = None;
+        let (wiped_records, restored_records, txns) = loop {
+            // The replay below reads exclusively from the replica this term
+            // elected; if the term moves mid-replay the pass is void and the
+            // successor starts over.
+            let term = log.term();
+            let pass_wiped = store.wipe();
+            let wiped_records = *crash_wiped.get_or_insert(pass_wiped);
 
-        // `durable_lsn = None` means nothing at all was durable when the
-        // partition died: there is no image to restore and no log to replay.
-        let (restored_records, txns) = match crash.durable_lsn {
-            None => {
-                // The whole log was volatile; every write-set in it is lost.
-                wal.retain_replayable(0, &primo_wal::ReplayBound::Lsn(0), None);
-                (0, Vec::new())
-            }
-            Some(cutoff) => {
-                let image = wal.latest_durable_checkpoint(Some(cutoff));
-                let (restored, replay_base) = match &image {
-                    Some(image) => {
-                        for ((table, key), (value, ts)) in &image.records {
-                            store.restore(*table, *key, value.clone(), *ts);
+            // `durable_lsn = None` means nothing at all reached a quorum
+            // when the partition died: there is no image to restore and no
+            // log to replay.
+            let (restored, txns) = match crash.durable_lsn {
+                None => {
+                    // The whole log was volatile; every write-set in it is
+                    // lost.
+                    log.retain_replayable(0, &primo_wal::ReplayBound::Lsn(0), None);
+                    (0, Vec::new())
+                }
+                Some(cutoff) => {
+                    let image = log.latest_durable_checkpoint(Some(cutoff));
+                    let (restored, replay_base) = match &image {
+                        Some(image) => {
+                            for ((table, key), (value, ts)) in &image.records {
+                                store.restore(*table, *key, value.clone(), *ts);
+                            }
+                            (image.len(), image.base_lsn)
                         }
-                        (image.len(), image.base_lsn)
-                    }
-                    None => (0, 0),
-                };
-                let bound = gc.replay_bound(crash.token, wal);
-                let txns = wal.replay_range(replay_base, &bound, Some(cutoff));
-                apply_replay(store, &txns);
-                // Log repair: drop every write-set replay did not apply
-                // (lost volatile tail, rolled-back durable suffix) so a
-                // later checkpoint fold — whose bound keeps advancing after
-                // recovery — cannot resurrect a transaction that was
-                // reported crash-aborted.
-                wal.retain_replayable(replay_base, &bound, Some(cutoff));
-                (restored, txns)
+                        None => (0, 0),
+                    };
+                    let bound = gc.replay_bound(crash.token, log, crash.durable_lsn);
+                    let txns = log.replay_range(replay_base, &bound, Some(cutoff));
+                    apply_replay(store, &txns);
+                    // Log repair: drop every write-set replay did not apply
+                    // (lost volatile tail, rolled-back durable suffix) so a
+                    // later checkpoint fold — whose bound keeps advancing
+                    // after recovery — cannot resurrect a transaction that
+                    // was reported crash-aborted.
+                    log.retain_replayable(replay_base, &bound, Some(cutoff));
+                    (restored, txns)
+                }
+            };
+
+            mid_replay();
+            if log.term() == term {
+                break (wiped_records, restored, txns);
             }
+            // The replacement leader crashed while we were replaying its
+            // log: leadership already moved to the deterministic successor —
+            // void this pass and rebuild from the new leader's copy.
+            mid_replay_handoffs += 1;
         };
 
-        // §5.2: the new leader retrieves the latest Wp from its log — only
-        // one that was durable at the crash, never one the dead leader's
-        // agent appended during the outage. The cluster-wide agreement
-        // token can only be larger (it already incorporates every
+        // Bring wiped / lagging replicas back to full strength from the
+        // elected leader before the partition serves again, so the replica
+        // set can absorb the *next* crash.
+        let repaired_replicas = log.repair_replicas();
+
+        // §5.2: the new leader retrieves the latest Wp from its (replicated)
+        // log — only one that was quorum-durable at the crash, never one the
+        // dead leader's agent appended during the outage. The cluster-wide
+        // agreement token can only be larger (it already incorporates every
         // partition's view).
         let recovered_wp = crash.token.max(
-            wal.latest_durable_watermark_at(crash.durable_lsn)
+            log.latest_durable_watermark_at(crash.durable_lsn)
                 .unwrap_or(0),
         );
         gc.on_partition_recover(p, recovered_wp);
@@ -158,6 +221,8 @@ impl RecoveryManager {
             replayed_txns: txns.len(),
             recovered_wp,
             duration_us: started.elapsed().as_micros() as u64,
+            mid_replay_handoffs,
+            repaired_replicas,
         }
     }
 }
@@ -216,7 +281,7 @@ mod tests {
         )
     }
 
-    fn log_put(wal: &PartitionWal, seq: u64, ts: Ts, key: u64, v: u64) {
+    fn log_put(wal: &ReplicatedLog, seq: u64, ts: Ts, key: u64, v: u64) {
         wal.append(LogPayload::TxnWrites {
             txn: TxnId::new(PartitionId(0), seq),
             ts,
@@ -227,7 +292,7 @@ mod tests {
     #[test]
     fn recovery_restores_checkpoint_plus_replay_and_reopens() {
         let store = PartitionStore::new(PartitionId(0));
-        let wal = PartitionWal::new(PartitionId(0), 0);
+        let wal = ReplicatedLog::single(PartitionId(0), 0);
         let net = net();
         let gc = DurableIsCommitted;
         let p = PartitionId(0);
@@ -275,7 +340,7 @@ mod tests {
         let store = PartitionStore::new(PartitionId(0));
         // 50 ms persist delay: the second entry never becomes durable
         // before the crash.
-        let wal = PartitionWal::new(PartitionId(0), 50_000);
+        let wal = ReplicatedLog::single(PartitionId(0), 50_000);
         let net = net();
         let gc = DurableIsCommitted;
         let p = PartitionId(0);
@@ -296,7 +361,7 @@ mod tests {
 
     #[test]
     fn apply_replay_twice_equals_once() {
-        let wal = PartitionWal::new(PartitionId(0), 0);
+        let wal = ReplicatedLog::single(PartitionId(0), 0);
         log_put(&wal, 1, 3, 7, 70);
         log_put(&wal, 2, 5, 7, 71);
         wal.append(LogPayload::TxnWrites {

@@ -11,7 +11,7 @@ use primo_recovery::{
     RecoveryReport,
 };
 use primo_storage::PartitionStore;
-use primo_wal::{build_group_commit, GroupCommit, PartitionWal};
+use primo_wal::{build_group_commit, GroupCommit, ReplicatedLog};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -21,7 +21,9 @@ use std::sync::Arc;
 pub struct Partition {
     pub id: PartitionId,
     pub store: PartitionStore,
-    pub wal: Arc<PartitionWal>,
+    /// The partition's replicated durable log: a quorum of replicas is the
+    /// unit of durability, not any single copy.
+    pub log: Arc<ReplicatedLog>,
     /// Local transaction counter for TID assignment (§4.1).
     next_seq: AtomicU64,
     /// Extra per-transaction execution delay, microseconds. Simulates a slow
@@ -30,11 +32,11 @@ pub struct Partition {
 }
 
 impl Partition {
-    fn new(id: PartitionId, wal: Arc<PartitionWal>) -> Self {
+    fn new(id: PartitionId, log: Arc<ReplicatedLog>) -> Self {
         Partition {
             id,
             store: PartitionStore::new(id),
-            wal,
+            log,
             next_seq: AtomicU64::new(1),
             slowdown_us: AtomicU64::new(0),
         }
@@ -99,22 +101,27 @@ impl Cluster {
         // Control messages (watermarks / epochs) travel one-way over the bus;
         // give them the same base latency as a data message.
         let bus = DelayedBus::new(n, config.net.one_way_us + config.net.control_msg_extra_us);
-        // The durable logs exist before the group-commit scheme: watermark
-        // agents log their published `Wp` and COCO seals epoch boundaries
-        // into them, which is what bounds recovery replay.
-        let wals: Vec<Arc<PartitionWal>> = (0..n)
+        // The replicated durable logs exist before the group-commit scheme:
+        // watermark agents log their published `Wp` and COCO seals epoch
+        // boundaries into them, which is what bounds recovery replay. Each
+        // non-leader replica pays the one-way network hop on top of its own
+        // persist delay, so replication cost shows up in quorum-ack latency
+        // (and the fan-out messages are accounted on the network).
+        let logs: Vec<Arc<ReplicatedLog>> = (0..n)
             .map(|p| {
-                Arc::new(PartitionWal::new(
+                Arc::new(ReplicatedLog::new(
                     PartitionId(p as u32),
-                    config.wal.persist_delay_us,
+                    config.wal,
+                    config.net.one_way_us,
+                    Some(Arc::clone(&net)),
                 ))
             })
             .collect();
-        let group_commit = build_group_commit(n, config.wal, Arc::clone(&bus), wals.clone());
-        let partitions = wals
+        let group_commit = build_group_commit(n, config.wal, Arc::clone(&bus), logs.clone());
+        let partitions = logs
             .into_iter()
             .enumerate()
-            .map(|(p, wal)| Arc::new(Partition::new(PartitionId(p as u32), wal)))
+            .map(|(p, log)| Arc::new(Partition::new(PartitionId(p as u32), log)))
             .collect();
         Arc::new(Cluster {
             config,
@@ -149,8 +156,10 @@ impl Cluster {
     }
 
     /// Crash a partition leader: the partition becomes unreachable, the
-    /// group commit agrees on the rollback point (§5.2) and the crash-time
-    /// durable LSN is captured — entries past it are treated as lost.
+    /// group commit agrees on the rollback point (§5.2), the replicated log
+    /// hands leadership to the deterministic successor replica, and the
+    /// crash-time **quorum** LSN is captured — entries that never reached a
+    /// majority of replicas are treated as lost.
     ///
     /// Atomic commit demands all-or-nothing across every participant, so the
     /// crash-abort is then made atomic across partitions: every *surviving*
@@ -160,19 +169,50 @@ impl Cluster {
     /// partition itself converges through bounded replay during recovery.
     /// Returns the agreed token (watermark / epoch).
     pub fn crash_partition(&self, p: PartitionId) -> Ts {
+        self.crash_partition_impl(p, false)
+    }
+
+    /// [`Cluster::crash_partition`], but the dead leader's **local log
+    /// replica is discarded too** (disk loss, not just memory loss). With a
+    /// replication factor above one, the surviving quorum still reproduces
+    /// every acknowledged transaction; with a single-copy log the history is
+    /// honestly gone and recovery rebuilds an empty store.
+    pub fn crash_partition_discarding_log(&self, p: PartitionId) -> Ts {
+        self.crash_partition_impl(p, true)
+    }
+
+    fn crash_partition_impl(&self, p: PartitionId, discard_log: bool) -> Ts {
         self.net.set_crashed(p, true);
         let token = self.group_commit.on_partition_crash(p);
-        let crash = CrashContext::capture(p, token, &self.partition(p).wal);
+        // Capture the quorum horizon **before** the hand-off wipes the dead
+        // leader's disk: everything quorum-durable at the crash instant is
+        // physically present on every replica (appends fan out to all), so
+        // the surviving copies can reproduce it — whereas capturing after
+        // the wipe would drop the dead leader's vote and, at replication
+        // factor 2, misreport fully-acknowledged history as lost. The
+        // fail-over then bumps the term (restarting any in-flight replay)
+        // and elects the successor the recovery will read from.
+        let crash = CrashContext::capture(p, token, &self.partition(p).log);
+        self.partition(p).log.fail_over(discard_log);
         self.pending_crashes.lock().insert(p.0, crash);
         let survivors = self
             .partitions
             .iter()
             .filter(|q| q.id != p && !self.net.is_crashed(q.id))
-            .map(|q| (q.id, &q.store, q.wal.as_ref()));
+            .map(|q| (q.id, &q.store, q.log.as_ref()));
         let compensated = compensate_survivors(survivors, self.group_commit.as_ref(), token);
         self.compensated_txns
             .fetch_add(compensated as u64, Ordering::Relaxed);
         token
+    }
+
+    /// Crash only the *replacement leader* of a partition that is already
+    /// down or mid-recovery: leadership hands off to the next deterministic
+    /// successor replica (no new cluster agreement is needed — the
+    /// partition was not serving). An in-flight recovery notices the term
+    /// bump and restarts its replay against the new leader's log copy.
+    pub fn crash_replacement_leader(&self, p: PartitionId, discard_log: bool) -> usize {
+        self.partition(p).log.fail_over(discard_log)
     }
 
     /// Total crash-rolled-back transactions compensated on surviving
@@ -182,6 +222,25 @@ impl Cluster {
         self.compensated_txns.load(Ordering::Relaxed)
     }
 
+    /// Total leader hand-offs across all partitions' replicated logs
+    /// (reported as `leader_changes` in
+    /// [`MetricsSnapshot`](primo_common::MetricsSnapshot)).
+    pub fn leader_changes(&self) -> u64 {
+        self.partitions.iter().map(|p| p.log.leader_changes()).sum()
+    }
+
+    /// Replication lag: the worst partition's quorum-ack delay — the time
+    /// between appending a log record and its quorum acknowledgement
+    /// (reported as `replication_lag_us`; equals the local persist delay
+    /// when the log is single-copy).
+    pub fn replication_lag_us(&self) -> u64 {
+        self.partitions
+            .iter()
+            .map(|p| p.log.quorum_ack_delay_us())
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Recover a crashed partition for real: wipe its store and rebuild it
     /// from the latest durable checkpoint plus bounded durable-log replay
     /// (see [`RecoveryManager`]). The partition stays unreachable until the
@@ -189,17 +248,30 @@ impl Cluster {
     /// the partition was never crashed through
     /// [`Cluster::crash_partition`].
     pub fn recover_partition(&self, p: PartitionId) -> Option<RecoveryReport> {
+        self.recover_partition_with_fault(p, &mut || {})
+    }
+
+    /// [`Cluster::recover_partition`] with a fault-injection hook invoked
+    /// mid-replay (after each replay pass, before the leadership-term
+    /// check). Tests use it to crash the replacement leader at a
+    /// deterministic point and pin the hand-off to the successor replica.
+    pub fn recover_partition_with_fault(
+        &self,
+        p: PartitionId,
+        mid_replay: &mut dyn FnMut(),
+    ) -> Option<RecoveryReport> {
         let Some(crash) = self.pending_crashes.lock().remove(&p.0) else {
             self.net.set_crashed(p, false);
             return None;
         };
         let partition = self.partition(p);
-        Some(RecoveryManager::recover(
+        Some(RecoveryManager::recover_with_fault(
             &partition.store,
-            &partition.wal,
+            &partition.log,
             self.group_commit.as_ref(),
             &self.net,
             &crash,
+            mid_replay,
         ))
     }
 
@@ -218,10 +290,10 @@ impl Cluster {
             return None;
         }
         let partition = self.partition(p);
-        Some(if partition.wal.latest_checkpoint().is_none() {
-            Checkpointer::initial(&partition.store, &partition.wal)
+        Some(if partition.log.latest_checkpoint().is_none() {
+            Checkpointer::initial(&partition.store, &partition.log)
         } else {
-            Checkpointer::tick(p, &partition.wal, self.group_commit.as_ref())
+            Checkpointer::tick(p, &partition.log, self.group_commit.as_ref())
                 .expect("base checkpoint exists")
         })
     }

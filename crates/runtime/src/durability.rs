@@ -2,8 +2,9 @@
 //!
 //! Every protocol's install path funnels through [`log_txn_writes`] right
 //! before it installs: the write-set is grouped by partition and appended to
-//! each involved partition's [`PartitionWal`](primo_wal::PartitionWal) as
-//! one [`LogPayload::TxnWrites`] entry.
+//! each involved partition's [`ReplicatedLog`](primo_wal::ReplicatedLog)
+//! (which fans it out to every replica) as one [`LogPayload::TxnWrites`]
+//! entry.
 //!
 //! Two invariants the recovery subsystem depends on:
 //!
@@ -80,7 +81,7 @@ pub fn log_txn_writes(cluster: &Cluster, txn: TxnId, ts: Ts, writes: &[WriteEntr
     for (partition, logged) in groups {
         cluster
             .partition(partition)
-            .wal
+            .log
             .append(LogPayload::TxnWrites {
                 txn,
                 ts,
@@ -105,17 +106,17 @@ mod tests {
             WriteEntry::delete(PartitionId(1), TableId(0), 2),
             WriteEntry::insert(PartitionId(0), TableId(1), 3, Value::from_u64(3)),
         ];
-        let base0 = cluster.partition(PartitionId(0)).wal.len();
-        let base1 = cluster.partition(PartitionId(1)).wal.len();
+        let base0 = cluster.partition(PartitionId(0)).log.len();
+        let base1 = cluster.partition(PartitionId(1)).log.len();
         log_txn_writes(&cluster, txn, 7, &writes);
-        assert_eq!(cluster.partition(PartitionId(0)).wal.len(), base0 + 1);
-        assert_eq!(cluster.partition(PartitionId(1)).wal.len(), base1 + 1);
+        assert_eq!(cluster.partition(PartitionId(0)).log.len(), base0 + 1);
+        assert_eq!(cluster.partition(PartitionId(1)).log.len(), base1 + 1);
 
         std::thread::sleep(std::time::Duration::from_millis(60));
         let replayed =
             cluster
                 .partition(PartitionId(0))
-                .wal
+                .log
                 .replay_range(0, &ReplayBound::Ts(u64::MAX), None);
         let ours = replayed.iter().find(|(t, _, _)| *t == txn).unwrap();
         assert_eq!(ours.1, 7);
@@ -123,7 +124,7 @@ mod tests {
         let remote =
             cluster
                 .partition(PartitionId(1))
-                .wal
+                .log
                 .replay_range(0, &ReplayBound::Ts(u64::MAX), None);
         let ours = remote.iter().find(|(t, _, _)| *t == txn).unwrap();
         assert!(matches!(ours.2[0].op, LoggedOp::Delete));
@@ -152,7 +153,7 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(60));
         let replayed = cluster
             .partition(p)
-            .wal
+            .log
             .replay_range(0, &ReplayBound::Ts(u64::MAX), None);
         let ours = &replayed.iter().find(|(t, _, _)| *t == txn).unwrap().2;
         assert_eq!(
@@ -176,9 +177,9 @@ mod tests {
     fn empty_write_sets_log_nothing() {
         let cluster = Cluster::new(ClusterConfig::for_tests(1));
         let txn = cluster.next_txn_id(PartitionId(0));
-        let before = cluster.partition(PartitionId(0)).wal.len();
+        let before = cluster.partition(PartitionId(0)).log.len();
         log_txn_writes(&cluster, txn, 1, &[]);
-        assert_eq!(cluster.partition(PartitionId(0)).wal.len(), before);
+        assert_eq!(cluster.partition(PartitionId(0)).log.len(), before);
         cluster.shutdown();
     }
 }

@@ -173,6 +173,8 @@ pub fn run_on_cluster(
     snap.messages = cluster.net.messages_sent();
     snap.post_recovery_tps = post_recovery.unwrap_or(0.0);
     snap.compensated_txns = cluster.compensated_txns();
+    snap.leader_changes = cluster.leader_changes();
+    snap.replication_lag_us = cluster.replication_lag_us();
     snap
 }
 
@@ -388,7 +390,7 @@ mod tests {
         // Base checkpoint + at least one periodic fold.
         let (_, image) = cluster
             .partition(PartitionId(0))
-            .wal
+            .log
             .latest_checkpoint()
             .expect("checkpoints were written");
         assert!(image.len() >= 16, "base image covers the loaded keys");

@@ -342,7 +342,7 @@ mod tests {
         // its persist window (the partition itself stays up): under CLV a
         // commit whose window spans the crash instant is rolled back; the
         // retry starts after the instant and commits.
-        while cluster.partition(PartitionId(0)).wal.is_empty() {
+        while cluster.partition(PartitionId(0)).log.is_empty() {
             std::thread::sleep(Duration::from_millis(1));
         }
         cluster.group_commit.on_partition_crash(PartitionId(0));
@@ -352,7 +352,7 @@ mod tests {
             "at least one crash-aborted attempt, got {attempts}"
         );
         std::thread::sleep(Duration::from_millis(35));
-        let replayed = cluster.partition(PartitionId(0)).wal.replay_range(
+        let replayed = cluster.partition(PartitionId(0)).log.replay_range(
             0,
             &ReplayBound::Lsn(u64::MAX),
             None,

@@ -11,16 +11,19 @@
 //! persist delay has elapsed (dependencies are older, hence durable by then).
 
 use crate::group_commit::{CommitOutcome, CommitWaiter, GroupCommit, SeqTsSource, TxnTicket};
+use crate::replicated::ReplicatedLog;
 use parking_lot::Mutex;
 use primo_common::config::WalConfig;
 use primo_common::sim_time::{charge_latency_us, now_us};
 use primo_common::{PartitionId, Ts, TxnId};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-// Replay under CLV is bounded purely by the durable LSN captured at crash
-// time (the trait default): a transaction is acknowledged exactly when its
-// log records are durable, so "durable at crash" and "acknowledged" coincide.
+// Replay under CLV is bounded purely by the quorum-durable LSN captured at
+// crash time (the trait default): a transaction is acknowledged exactly when
+// its log records are quorum-durable, so "quorum-durable at crash" and
+// "acknowledged" coincide.
 
 /// Cost of maintaining the dependency graph, per record accessed,
 /// microseconds (charged in the transaction's critical path).
@@ -29,12 +32,15 @@ const TRACK_COST_PER_OP_US: u64 = 2;
 /// Controlled-Lock-Violation durability scheme.
 #[derive(Debug)]
 pub struct ClvCommit {
-    cfg: WalConfig,
     num_partitions: usize,
     /// Time of the last injected crash (0 = never).
     crash_at_us: AtomicU64,
     /// Commit-timestamp sequence for protocols without logical timestamps.
     seq_ts: SeqTsSource,
+    /// Acknowledgement delay: the time until a transaction's log records
+    /// are *quorum*-durable (the worst partition's quorum-ack delay —
+    /// equals the plain persist delay when the log is single-copy).
+    ack_delay_us: u64,
     /// Transactions crash compensation sealed and undid (their verdict must
     /// be `CrashAborted` even if the commit-time window check would let
     /// them through — see [`GroupCommit::on_txns_rolled_back`]).
@@ -42,12 +48,13 @@ pub struct ClvCommit {
 }
 
 impl ClvCommit {
-    pub fn new(num_partitions: usize, cfg: WalConfig) -> Self {
+    pub fn new(num_partitions: usize, cfg: WalConfig, logs: Vec<Arc<ReplicatedLog>>) -> Self {
+        let ack_delay_us = crate::max_quorum_ack_delay_us(&logs, cfg.persist_delay_us);
         ClvCommit {
-            cfg,
             num_partitions,
             crash_at_us: AtomicU64::new(0),
             seq_ts: SeqTsSource::new(),
+            ack_delay_us,
             rolled_back_txns: Mutex::new(HashSet::new()),
         }
     }
@@ -57,19 +64,17 @@ impl ClvCommit {
     }
 
     /// Whether a transaction acknowledged at `ready_at` is rolled back by
-    /// the last crash: its persist window — `[ready_at - persist_delay,
-    /// ready_at)`, i.e. from its commit call to its durability point — must
-    /// *span* the crash instant. Commits that were durable before the crash
-    /// keep their acknowledgement; commits *started* after the crash instant
-    /// lose nothing (their log records live on surviving partitions and
-    /// become durable normally), so they are committed, not rolled back —
-    /// otherwise every commit during the whole outage would be falsely
-    /// crash-aborted without ever being compensated.
+    /// the last crash: its persist window — `[ready_at - ack_delay,
+    /// ready_at)`, i.e. from its commit call to its quorum-durability point
+    /// — must *span* the crash instant. Commits that were durable before
+    /// the crash keep their acknowledgement; commits *started* after the
+    /// crash instant lose nothing (their log records live on surviving
+    /// partitions and become durable normally), so they are committed, not
+    /// rolled back — otherwise every commit during the whole outage would
+    /// be falsely crash-aborted without ever being compensated.
     fn crash_rolled_back(&self, ready_at: u64) -> bool {
         let crash = self.crash_at_us.load(Ordering::Acquire);
-        crash != 0
-            && crash < ready_at
-            && ready_at.saturating_sub(self.cfg.persist_delay_us) <= crash
+        crash != 0 && crash < ready_at && ready_at.saturating_sub(self.ack_delay_us) <= crash
     }
 }
 
@@ -97,7 +102,7 @@ impl GroupCommit for ClvCommit {
             coordinator: ticket.coordinator,
             ts,
             epoch: 0,
-            ready_at_us: Some(now_us() + self.cfg.persist_delay_us),
+            ready_at_us: Some(now_us() + self.ack_delay_us),
         }
     }
 
@@ -145,7 +150,7 @@ impl GroupCommit for ClvCommit {
     fn survivor_rollback_bound(
         &self,
         crash_token: Ts,
-        _wal: &crate::PartitionWal,
+        _log: &crate::ReplicatedLog,
     ) -> crate::ReplayBound {
         // `crash_token` is the crash instant. A transaction is acknowledged
         // exactly when its log records are durable, so the commits rolled
@@ -183,15 +188,14 @@ mod tests {
     use primo_common::config::LoggingScheme;
 
     fn make() -> ClvCommit {
-        ClvCommit::new(
-            2,
-            WalConfig {
-                scheme: LoggingScheme::Clv,
-                interval_ms: 10,
-                persist_delay_us: 300,
-                force_update: false,
-            },
-        )
+        let cfg = WalConfig {
+            scheme: LoggingScheme::Clv,
+            interval_ms: 10,
+            persist_delay_us: 300,
+            force_update: false,
+            ..WalConfig::default()
+        };
+        ClvCommit::new(2, cfg, crate::build_logs(2, cfg))
     }
 
     fn tid(seq: u64) -> TxnId {
@@ -216,6 +220,28 @@ mod tests {
         let start = std::time::Instant::now();
         let _ = gc.txn_committed(&ticket, 1, 50);
         assert!(start.elapsed().as_micros() >= 90);
+    }
+
+    #[test]
+    fn replication_raises_the_acknowledgement_delay() {
+        // Leader disk 100us, remote replicas 900us: CLV may only acknowledge
+        // once a quorum (leader + one remote) persisted, so the wait is the
+        // remote's delay, not the local disk's.
+        let cfg = WalConfig {
+            scheme: LoggingScheme::Clv,
+            interval_ms: 10,
+            persist_delay_us: 100,
+            force_update: false,
+            replication_factor: 3,
+            replica_persist_delay_us: Some(900),
+        };
+        let gc = ClvCommit::new(1, cfg, crate::build_logs(1, cfg));
+        let ticket = gc.begin_txn(PartitionId(0), tid(9));
+        let start = std::time::Instant::now();
+        let waiter = gc.txn_committed(&ticket, 1, 1);
+        assert_eq!(gc.wait_durable(&waiter), CommitOutcome::Committed);
+        let us = start.elapsed().as_micros() as u64;
+        assert!(us >= 850, "quorum ack must gate the return, waited {us}us");
     }
 
     #[test]

@@ -16,7 +16,8 @@
 //! plateau beyond ~12 partitions (Fig 14).
 
 use crate::group_commit::{CommitOutcome, CommitWaiter, GroupCommit, SeqTsSource, TxnTicket};
-use crate::log::{LogPayload, PartitionWal, ReplayBound};
+use crate::log::{LogPayload, ReplayBound};
+use crate::replicated::ReplicatedLog;
 use parking_lot::{Condvar, Mutex};
 use primo_common::config::WalConfig;
 use primo_common::{FastRng, PartitionId, Ts, TxnId};
@@ -60,13 +61,16 @@ pub struct CocoCommit {
     epoch: AtomicU64,
     state: Mutex<EpochState>,
     cond: Condvar,
-    /// Per-partition durable logs: a committed epoch appends an
+    /// Per-partition replicated durable logs: a committed epoch appends an
     /// [`LogPayload::EpochBoundary`] marker to each of them, which is what
-    /// bounds recovery replay (everything before the last durable boundary
-    /// belongs to a committed epoch).
-    wals: Vec<Arc<PartitionWal>>,
+    /// bounds recovery replay (everything before the last quorum-durable
+    /// boundary belongs to a committed epoch).
+    wals: Vec<Arc<ReplicatedLog>>,
     /// Commit-timestamp sequence for protocols without logical timestamps.
     seq_ts: SeqTsSource,
+    /// Cached worst-partition quorum-ack delay (immutable after
+    /// construction): the floor of every epoch confirmation.
+    ack_delay_us: u64,
     /// Extra one-way control-message delay per partition (Fig 13a lag).
     extra_delay_us: Vec<AtomicU64>,
     stop: Arc<AtomicBool>,
@@ -86,15 +90,17 @@ impl CocoCommit {
         num_partitions: usize,
         cfg: WalConfig,
         bus: Arc<DelayedBus>,
-        wals: Vec<Arc<PartitionWal>>,
+        wals: Vec<Arc<ReplicatedLog>>,
     ) -> Arc<Self> {
         assert_eq!(wals.len(), num_partitions);
+        let ack_delay_us = crate::max_quorum_ack_delay_us(&wals, cfg.persist_delay_us);
         let gc = Arc::new(CocoCommit {
             cfg,
             num_partitions,
             bus,
             wals,
             seq_ts: SeqTsSource::new(),
+            ack_delay_us,
             epoch: AtomicU64::new(1),
             state: Mutex::new(EpochState {
                 committed: 0,
@@ -169,8 +175,11 @@ impl CocoCommit {
                 .map(|d| d.load(Ordering::Relaxed))
                 .max()
                 .unwrap_or(0);
+            // The epoch's log batch must be *quorum*-durable before the
+            // coordinator can confirm it: under replication the slowest
+            // quorum replica, not the local disk, sets the floor.
             let mut sync_us = 2 * max_extra
-                + self.cfg.persist_delay_us
+                + self.ack_delay_us
                 + PER_PARTITION_COORD_US * self.num_partitions as u64;
             // Straggler model: each partition independently straggles with a
             // small probability; the coordinator waits for the slowest one.
@@ -318,14 +327,24 @@ impl GroupCommit for CocoCommit {
         epoch
     }
 
-    fn replay_bound(&self, crash_token: Ts, wal: &PartitionWal) -> ReplayBound {
+    fn replay_bound(
+        &self,
+        crash_token: Ts,
+        log: &ReplicatedLog,
+        cutoff_lsn: Option<u64>,
+    ) -> ReplayBound {
         // `crash_token` is the aborted epoch: replay exactly the entries
-        // sealed by a durable boundary of an *earlier* (committed) epoch.
+        // sealed by a quorum-durable boundary of an *earlier* (committed)
+        // epoch. The boundary is looked up at the crash-time quorum cutoff
+        // so a quorum broken mid-recovery cannot erase it.
         let bound = crash_token.saturating_sub(1);
-        ReplayBound::Lsn(wal.latest_durable_epoch_boundary(bound).unwrap_or(0))
+        ReplayBound::Lsn(
+            log.latest_durable_epoch_boundary(bound, cutoff_lsn)
+                .unwrap_or(0),
+        )
     }
 
-    fn survivor_rollback_bound(&self, crash_token: Ts, wal: &PartitionWal) -> ReplayBound {
+    fn survivor_rollback_bound(&self, crash_token: Ts, wal: &ReplicatedLog) -> ReplayBound {
         // `crash_token` is the aborted epoch. On a surviving partition
         // nothing was lost, so the boundary sealed by the last *committed*
         // epoch (durable or not) splits the log exactly: everything after it
@@ -334,9 +353,12 @@ impl GroupCommit for CocoCommit {
         ReplayBound::Lsn(wal.latest_epoch_boundary(bound).map_or(0, |l| l + 1))
     }
 
-    fn checkpoint_bound(&self, _p: PartitionId, wal: &PartitionWal) -> ReplayBound {
+    fn checkpoint_bound(&self, _p: PartitionId, log: &ReplicatedLog) -> ReplayBound {
         let committed = self.committed_epoch();
-        ReplayBound::Lsn(wal.latest_durable_epoch_boundary(committed).unwrap_or(0))
+        ReplayBound::Lsn(
+            log.latest_durable_epoch_boundary(committed, None)
+                .unwrap_or(0),
+        )
     }
 
     fn label(&self) -> &'static str {
@@ -373,8 +395,9 @@ mod tests {
             interval_ms,
             persist_delay_us: 100,
             force_update: false,
+            ..WalConfig::default()
         };
-        CocoCommit::new(2, cfg, bus, crate::build_wals(2, cfg))
+        CocoCommit::new(2, cfg, bus, crate::build_logs(2, cfg))
     }
 
     fn tid(seq: u64) -> TxnId {
@@ -411,8 +434,9 @@ mod tests {
             interval_ms: 2,
             persist_delay_us: 0,
             force_update: false,
+            ..WalConfig::default()
         };
-        let wals = crate::build_wals(2, cfg);
+        let wals = crate::build_logs(2, cfg);
         let gc = CocoCommit::new(2, cfg, bus, wals.clone());
         let ticket = gc.begin_txn(PartitionId(0), tid(1));
         let waiter = gc.txn_committed(&ticket, 1, 1);
@@ -421,11 +445,11 @@ mod tests {
         let committed = gc.committed_epoch();
         for wal in &wals {
             let lsn = wal
-                .latest_durable_epoch_boundary(committed)
+                .latest_durable_epoch_boundary(committed, None)
                 .expect("boundary sealed");
             // The replay bound for a crash in the next epoch covers the
             // sealed prefix.
-            match gc.replay_bound(committed + 1, wal) {
+            match gc.replay_bound(committed + 1, wal, None) {
                 crate::ReplayBound::Lsn(l) => assert!(l >= lsn),
                 other => panic!("unexpected bound {other:?}"),
             }

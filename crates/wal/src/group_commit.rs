@@ -16,7 +16,8 @@
 //!    confirms (or crash-aborts) the transaction. This is the `return` phase
 //!    of the latency breakdown (Fig 4c).
 
-use crate::log::{PartitionWal, ReplayBound};
+use crate::log::ReplayBound;
+use crate::replicated::ReplicatedLog;
 use parking_lot::Mutex;
 use primo_common::{PartitionId, Ts, TxnId};
 use std::sync::Arc;
@@ -175,12 +176,20 @@ pub trait GroupCommit: Send + Sync {
     fn on_partition_crash(&self, p: PartitionId) -> Ts;
 
     /// Translate the token returned by [`GroupCommit::on_partition_crash`]
-    /// into the bound recovery must respect when replaying `wal`: the
-    /// recovered watermark (Watermark), the last durable committed epoch
-    /// boundary (COCO), or everything durable at crash time (CLV / sync,
-    /// where the durable-LSN cutoff captured at the crash instant is the
-    /// only limit).
-    fn replay_bound(&self, _crash_token: Ts, _wal: &PartitionWal) -> ReplayBound {
+    /// into the bound recovery must respect when replaying `log`: the
+    /// recovered watermark (Watermark), the last quorum-durable committed
+    /// epoch boundary (COCO), or everything quorum-durable at crash time
+    /// (CLV / sync, where the quorum-LSN cutoff captured at the crash
+    /// instant is the only limit). `cutoff_lsn` is that crash-time quorum
+    /// LSN — schemes whose bound reads durable log state must evaluate it
+    /// at the cutoff, not against the live quorum, which may be broken by
+    /// the time recovery (or a restarted recovery pass) runs.
+    fn replay_bound(
+        &self,
+        _crash_token: Ts,
+        _log: &ReplicatedLog,
+        _cutoff_lsn: Option<u64>,
+    ) -> ReplayBound {
         ReplayBound::Lsn(u64::MAX)
     }
 
@@ -192,7 +201,7 @@ pub trait GroupCommit: Send + Sync {
     /// must be compensated with their before-images. The default covers
     /// everything — correct for schemes that never crash-abort a
     /// transaction whose commit call returned (synchronous flush).
-    fn survivor_rollback_bound(&self, _crash_token: Ts, _wal: &PartitionWal) -> ReplayBound {
+    fn survivor_rollback_bound(&self, _crash_token: Ts, _log: &ReplicatedLog) -> ReplayBound {
         ReplayBound::Lsn(u64::MAX)
     }
 
@@ -208,9 +217,9 @@ pub trait GroupCommit: Send + Sync {
 
     /// A bound below which every logged transaction on `p` is committed and
     /// durable *right now* — what the checkpoint writer may safely fold into
-    /// an image. Default: the durable prefix of the log.
-    fn checkpoint_bound(&self, _p: PartitionId, wal: &PartitionWal) -> ReplayBound {
-        ReplayBound::Lsn(wal.durable_lsn().map_or(0, |l| l + 1))
+    /// an image. Default: the quorum-durable prefix of the replicated log.
+    fn checkpoint_bound(&self, _p: PartitionId, log: &ReplicatedLog) -> ReplayBound {
+        ReplayBound::Lsn(log.durable_lsn().map_or(0, |l| l + 1))
     }
 
     /// A crashed partition finished rebuilding its store from checkpoint +

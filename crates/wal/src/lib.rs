@@ -1,5 +1,11 @@
-//! Durability layer: write-ahead logging and the distributed group-commit
-//! schemes compared in the paper.
+//! Durability layer: replicated write-ahead logging and the distributed
+//! group-commit schemes compared in the paper.
+//!
+//! * [`replicated`] — the [`ReplicatedLog`]: a per-partition replica set of
+//!   [`PartitionWal`] copies where durability means a **majority quorum**
+//!   persisted the record, with leadership terms and deterministic leader
+//!   hand-off (the paper replicates each partition's log through Raft,
+//!   §5.2).
 //!
 //! * [`watermark`] — Primo's **watermark-based asynchronous group commit**
 //!   (§5): partitions persist logs independently, publish partition
@@ -20,6 +26,7 @@ pub mod clv;
 pub mod coco;
 pub mod group_commit;
 pub mod log;
+pub mod replicated;
 pub mod sync;
 pub mod watermark;
 
@@ -28,6 +35,7 @@ pub use log::{
     CheckpointImage, LogEntry, LogPayload, LoggedOp, LoggedWrite, PartitionWal, ReplayBound,
     ReplayedTxn,
 };
+pub use replicated::ReplicatedLog;
 pub use watermark::WatermarkCommit;
 
 use primo_common::config::{LoggingScheme, WalConfig};
@@ -36,31 +44,39 @@ use primo_net::DelayedBus;
 use std::sync::Arc;
 
 /// Construct the configured group-commit scheme for a cluster of
-/// `num_partitions` partitions. `wals` are the partitions' durable logs —
-/// the watermark scheme appends its published `Wp` records and COCO appends
-/// committed epoch boundaries, which is what bounds recovery replay.
+/// `num_partitions` partitions. `logs` are the partitions' replicated
+/// durable logs — the watermark scheme appends its published `Wp` records
+/// and COCO appends committed epoch boundaries, which is what bounds
+/// recovery replay; every scheme derives its acknowledgement delay from the
+/// logs' quorum-ack delay, so replication cost shows up in commit latency.
 pub fn build_group_commit(
     num_partitions: usize,
     cfg: WalConfig,
     bus: Arc<DelayedBus>,
-    wals: Vec<Arc<PartitionWal>>,
+    logs: Vec<Arc<ReplicatedLog>>,
 ) -> Arc<dyn GroupCommit> {
     match cfg.scheme {
-        LoggingScheme::Watermark => Arc::new(WatermarkCommit::new(num_partitions, cfg, bus, wals)),
-        LoggingScheme::CocoEpoch => coco::CocoCommit::new(num_partitions, cfg, bus, wals),
-        LoggingScheme::Clv => Arc::new(clv::ClvCommit::new(num_partitions, cfg)),
-        LoggingScheme::SyncPerTxn => Arc::new(sync::SyncCommit::new(num_partitions, cfg)),
+        LoggingScheme::Watermark => Arc::new(WatermarkCommit::new(num_partitions, cfg, bus, logs)),
+        LoggingScheme::CocoEpoch => coco::CocoCommit::new(num_partitions, cfg, bus, logs),
+        LoggingScheme::Clv => Arc::new(clv::ClvCommit::new(num_partitions, cfg, logs)),
+        LoggingScheme::SyncPerTxn => Arc::new(sync::SyncCommit::new(num_partitions, cfg, logs)),
     }
 }
 
-/// Convenience used by tests: build the WALs for every partition.
-pub fn build_wals(num_partitions: usize, cfg: WalConfig) -> Vec<Arc<PartitionWal>> {
+/// The worst partition's append-to-quorum-ack delay — what a scheme that
+/// acknowledges cluster-wide durability must wait out. Falls back to
+/// `fallback` (the configured local persist delay) for an empty set.
+pub(crate) fn max_quorum_ack_delay_us(logs: &[Arc<ReplicatedLog>], fallback: u64) -> u64 {
+    logs.iter()
+        .map(|l| l.quorum_ack_delay_us())
+        .max()
+        .unwrap_or(fallback)
+}
+
+/// Convenience used by tests: build the replicated logs for every partition
+/// (replication factor and delays from `cfg`, no replication hop).
+pub fn build_logs(num_partitions: usize, cfg: WalConfig) -> Vec<Arc<ReplicatedLog>> {
     (0..num_partitions)
-        .map(|p| {
-            Arc::new(PartitionWal::new(
-                PartitionId(p as u32),
-                cfg.persist_delay_us,
-            ))
-        })
+        .map(|p| Arc::new(ReplicatedLog::new(PartitionId(p as u32), cfg, 0, None)))
         .collect()
 }

@@ -152,12 +152,20 @@ pub enum LogPayload {
     TxnRolledBack { txn: TxnId },
 }
 
-/// One record in the log.
+/// One record in the log. The payload sits behind an `Arc` so the
+/// replicated fan-out shares one allocation across every replica's entry
+/// (only the per-replica metadata — LSN, append time, term — is owned).
 #[derive(Debug, Clone)]
 pub struct LogEntry {
     pub lsn: u64,
     pub appended_at_us: u64,
-    pub payload: LogPayload,
+    /// Leadership term of the replicated log at append time (0 for a
+    /// standalone single-copy log). Every crash bumps the term and moves
+    /// leadership to the deterministic successor replica, so entries carry
+    /// which leader produced them — the replicated-log equivalent of a Raft
+    /// term on each record.
+    pub term: u64,
+    pub payload: Arc<LogPayload>,
 }
 
 #[derive(Debug, Default)]
@@ -210,19 +218,38 @@ impl ReplayBound {
     }
 }
 
-/// The write-ahead log of one partition.
+/// The write-ahead log of one partition — or, under replication, of **one
+/// replica** of one partition (see [`crate::ReplicatedLog`]).
 #[derive(Debug)]
 pub struct PartitionWal {
     partition: PartitionId,
     persist_delay_us: u64,
+    /// The delay after which an appended record counts as *acknowledged*
+    /// for [`ReplayBound::PersistWindow`] coverage. Equals
+    /// `persist_delay_us` for a standalone single-copy log; a replicated
+    /// log sets it to the quorum-ack delay on every replica, so window
+    /// checks agree with when the scheme actually acknowledged the commit.
+    ack_delay_us: u64,
     inner: Mutex<WalInner>,
 }
 
 impl PartitionWal {
     pub fn new(partition: PartitionId, persist_delay_us: u64) -> Self {
+        Self::with_ack_delay(partition, persist_delay_us, persist_delay_us)
+    }
+
+    /// A replica whose local persist delay and acknowledgement horizon
+    /// differ (quorum replication: records are acknowledged at the quorum
+    /// delay, not this replica's own).
+    pub fn with_ack_delay(
+        partition: PartitionId,
+        persist_delay_us: u64,
+        ack_delay_us: u64,
+    ) -> Self {
         PartitionWal {
             partition,
             persist_delay_us,
+            ack_delay_us,
             inner: Mutex::new(WalInner::default()),
         }
     }
@@ -231,7 +258,7 @@ impl PartitionWal {
         self.partition
     }
 
-    /// Simulated persist / quorum-replication delay of this log.
+    /// Simulated persist delay of this log copy.
     pub fn persist_delay_us(&self) -> u64 {
         self.persist_delay_us
     }
@@ -240,12 +267,21 @@ impl PartitionWal {
     /// persistence happens in the background (that is the whole point of
     /// taking durability off the critical path).
     pub fn append(&self, payload: LogPayload) -> u64 {
+        self.append_in_term(0, Arc::new(payload))
+    }
+
+    /// [`PartitionWal::append`] stamped with the replicated log's current
+    /// leadership term. Takes the payload behind an `Arc` so a replicated
+    /// fan-out appends the same allocation to every replica instead of
+    /// deep-cloning the write-set per copy.
+    pub fn append_in_term(&self, term: u64, payload: Arc<LogPayload>) -> u64 {
         let mut inner = self.inner.lock();
         let lsn = inner.next_lsn;
         inner.next_lsn += 1;
         inner.entries.push(LogEntry {
             lsn,
             appended_at_us: now_us(),
+            term,
             payload,
         });
         lsn
@@ -256,17 +292,38 @@ impl PartitionWal {
         self.inner.lock().next_lsn
     }
 
+    /// Number of entries in the durable prefix at `now`: `appended_at_us` is
+    /// monotone per log (appends are serialized under the log lock and stamp
+    /// a monotonic clock), so the durable boundary is found by binary search
+    /// instead of a reverse scan over the whole log.
+    #[inline]
+    fn durable_prefix_len(entries: &[LogEntry], persist_delay_us: u64, now: u64) -> usize {
+        entries.partition_point(|e| e.appended_at_us + persist_delay_us <= now)
+    }
+
+    /// Length of the prefix the durable scans may read. An explicit
+    /// `cutoff_lsn` **is** a durability horizon the caller already computed
+    /// (this log's — or, through [`crate::ReplicatedLog`], the quorum's —
+    /// durable LSN): entries at or below it are durable by construction, so
+    /// this copy's own disk delay must not filter further. Otherwise an
+    /// elected leader with a disk slower than the quorum-ack delay would
+    /// hide quorum-acknowledged entries from recovery. Without a cutoff,
+    /// the copy's local persist delay decides.
+    #[inline]
+    fn durable_len(&self, entries: &[LogEntry], cutoff_lsn: Option<u64>, now: u64) -> usize {
+        match cutoff_lsn {
+            Some(_) => entries.len(),
+            None => Self::durable_prefix_len(entries, self.persist_delay_us, now),
+        }
+    }
+
     /// Highest LSN that is durable "now" (append time + persist delay has
     /// elapsed). Returns `None` if nothing is durable yet.
     pub fn durable_lsn(&self) -> Option<u64> {
         let now = now_us();
         let inner = self.inner.lock();
-        inner
-            .entries
-            .iter()
-            .rev()
-            .find(|e| e.appended_at_us + self.persist_delay_us <= now)
-            .map(|e| e.lsn)
+        let durable = Self::durable_prefix_len(&inner.entries, self.persist_delay_us, now);
+        inner.entries[..durable].last().map(|e| e.lsn)
     }
 
     /// Whether a specific LSN is durable.
@@ -288,13 +345,12 @@ impl PartitionWal {
     pub fn latest_durable_watermark_at(&self, cutoff_lsn: Option<u64>) -> Option<Ts> {
         let now = now_us();
         let inner = self.inner.lock();
-        inner
-            .entries
+        let durable = self.durable_len(&inner.entries, cutoff_lsn, now);
+        inner.entries[..durable]
             .iter()
             .rev()
-            .filter(|e| e.appended_at_us + self.persist_delay_us <= now)
             .filter(|e| cutoff_lsn.is_none_or(|cut| e.lsn <= cut))
-            .find_map(|e| match e.payload {
+            .find_map(|e| match *e.payload {
                 LogPayload::Watermark { wp } => Some(wp),
                 _ => None,
             })
@@ -310,13 +366,12 @@ impl PartitionWal {
     ) -> Option<Arc<CheckpointImage>> {
         let now = now_us();
         let inner = self.inner.lock();
-        inner
-            .entries
+        let durable = self.durable_len(&inner.entries, cutoff_lsn, now);
+        inner.entries[..durable]
             .iter()
             .rev()
-            .filter(|e| e.appended_at_us + self.persist_delay_us <= now)
             .filter(|e| cutoff_lsn.is_none_or(|cut| e.lsn <= cut))
-            .find_map(|e| match &e.payload {
+            .find_map(|e| match e.payload.as_ref() {
                 LogPayload::Checkpoint { image } => Some(Arc::clone(image)),
                 _ => None,
             })
@@ -326,23 +381,33 @@ impl PartitionWal {
     /// durability — the checkpoint writer folds forward from here.
     pub fn latest_checkpoint(&self) -> Option<(u64, Arc<CheckpointImage>)> {
         let inner = self.inner.lock();
-        inner.entries.iter().rev().find_map(|e| match &e.payload {
-            LogPayload::Checkpoint { image } => Some((e.lsn, Arc::clone(image))),
-            _ => None,
-        })
-    }
-
-    /// LSN of the newest durable [`LogPayload::EpochBoundary`] whose epoch is
-    /// at most `max_epoch` (COCO recovery / checkpoint bound).
-    pub fn latest_durable_epoch_boundary(&self, max_epoch: u64) -> Option<u64> {
-        let now = now_us();
-        let inner = self.inner.lock();
         inner
             .entries
             .iter()
             .rev()
-            .filter(|e| e.appended_at_us + self.persist_delay_us <= now)
-            .find_map(|e| match e.payload {
+            .find_map(|e| match e.payload.as_ref() {
+                LogPayload::Checkpoint { image } => Some((e.lsn, Arc::clone(image))),
+                _ => None,
+            })
+    }
+
+    /// LSN of the newest durable [`LogPayload::EpochBoundary`] whose epoch is
+    /// at most `max_epoch` and whose LSN does not exceed `cutoff_lsn` (COCO
+    /// recovery / checkpoint bound; the replicated log passes its quorum
+    /// LSN as the cutoff).
+    pub fn latest_durable_epoch_boundary(
+        &self,
+        max_epoch: u64,
+        cutoff_lsn: Option<u64>,
+    ) -> Option<u64> {
+        let now = now_us();
+        let inner = self.inner.lock();
+        let durable = self.durable_len(&inner.entries, cutoff_lsn, now);
+        inner.entries[..durable]
+            .iter()
+            .rev()
+            .filter(|e| cutoff_lsn.is_none_or(|cut| e.lsn <= cut))
+            .find_map(|e| match *e.payload {
                 LogPayload::EpochBoundary { epoch } if epoch <= max_epoch => Some(e.lsn),
                 _ => None,
             })
@@ -355,7 +420,7 @@ impl PartitionWal {
     /// rolled-back ones even while it is still inside its persist window.
     pub fn latest_epoch_boundary(&self, max_epoch: u64) -> Option<u64> {
         let inner = self.inner.lock();
-        inner.entries.iter().rev().find_map(|e| match e.payload {
+        inner.entries.iter().rev().find_map(|e| match *e.payload {
             LogPayload::EpochBoundary { epoch } if epoch <= max_epoch => Some(e.lsn),
             _ => None,
         })
@@ -395,18 +460,25 @@ impl PartitionWal {
             let inner = self.inner.lock();
             // Rollback markers cancel entries *behind* them (lower LSNs), so
             // they are collected over the whole log with the same durability
-            // and crash-cutoff filters as the entries themselves.
-            let rolled_back =
-                Self::rolled_back_in(&inner, Some((now, self.persist_delay_us)), cutoff_lsn);
+            // and crash-cutoff filters as the entries themselves. An
+            // explicit cutoff is a durability horizon (see `durable_len`),
+            // so the local age filter only applies without one.
+            let marker_durability = match cutoff_lsn {
+                Some(_) => None,
+                None => Some((now, self.persist_delay_us)),
+            };
+            let rolled_back = Self::rolled_back_in(&inner, marker_durability, cutoff_lsn);
             inner
                 .entries
                 .iter()
                 .filter(|e| e.lsn >= from_lsn)
-                .filter(|e| cutoff_lsn.is_none_or(|cut| e.lsn <= cut))
-                .filter(|e| e.appended_at_us + self.persist_delay_us <= now)
-                .filter_map(|e| match &e.payload {
+                .filter(|e| match cutoff_lsn {
+                    Some(cut) => e.lsn <= cut,
+                    None => e.appended_at_us + self.persist_delay_us <= now,
+                })
+                .filter_map(|e| match e.payload.as_ref() {
                     LogPayload::TxnWrites { txn, ts, writes }
-                        if bound.covers(*ts, e.lsn, e.appended_at_us, self.persist_delay_us)
+                        if bound.covers(*ts, e.lsn, e.appended_at_us, self.ack_delay_us)
                             && !rolled_back.contains(txn) =>
                     {
                         Some((*ts, e.lsn, *txn, writes.clone()))
@@ -460,7 +532,7 @@ impl PartitionWal {
                 durability.is_none_or(|(now, delay)| e.appended_at_us + delay <= now)
                     && cutoff_lsn.is_none_or(|cut| e.lsn <= cut)
             })
-            .filter_map(|e| match e.payload {
+            .filter_map(|e| match *e.payload {
                 LogPayload::TxnRolledBack { txn } => Some(txn),
                 _ => None,
             })
@@ -496,9 +568,9 @@ impl PartitionWal {
                 .entries
                 .iter()
                 .filter(|e| upper_cutoff.is_none_or(|cut| e.lsn < cut))
-                .filter_map(|e| match &e.payload {
+                .filter_map(|e| match e.payload.as_ref() {
                     LogPayload::TxnWrites { txn, ts, writes }
-                        if !bound.covers(*ts, e.lsn, e.appended_at_us, self.persist_delay_us)
+                        if !bound.covers(*ts, e.lsn, e.appended_at_us, self.ack_delay_us)
                             && !already.contains(txn) =>
                     {
                         Some((*ts, e.lsn, *txn, writes.clone()))
@@ -537,9 +609,9 @@ impl PartitionWal {
             if entry.appended_at_us + self.persist_delay_us > now {
                 break;
             }
-            if let LogPayload::TxnWrites { txn, ts, .. } = &entry.payload {
+            if let LogPayload::TxnWrites { txn, ts, .. } = entry.payload.as_ref() {
                 if !rolled_back.contains(txn)
-                    && !bound.covers(*ts, entry.lsn, entry.appended_at_us, self.persist_delay_us)
+                    && !bound.covers(*ts, entry.lsn, entry.appended_at_us, self.ack_delay_us)
                 {
                     break;
                 }
@@ -564,17 +636,44 @@ impl PartitionWal {
         bound: &ReplayBound,
         cutoff_lsn: Option<u64>,
     ) -> usize {
-        let now = now_us();
+        let rolled_back = self.durable_rolled_back(cutoff_lsn);
+        self.retain_replayable_with(from_lsn, bound, cutoff_lsn, &rolled_back)
+    }
+
+    /// The transaction ids cancelled by a marker that is durable on *this*
+    /// log copy right now, restricted to markers at or below `cutoff_lsn`.
+    pub(crate) fn durable_rolled_back(
+        &self,
+        cutoff_lsn: Option<u64>,
+    ) -> std::collections::HashSet<TxnId> {
+        let durability = match cutoff_lsn {
+            // The cutoff is a durability horizon (see `durable_len`).
+            Some(_) => None,
+            None => Some((now_us(), self.persist_delay_us)),
+        };
+        Self::rolled_back_in(&self.inner.lock(), durability, cutoff_lsn)
+    }
+
+    /// [`PartitionWal::retain_replayable`] with the cancelled-transaction
+    /// set supplied by the caller. The replicated log computes the set once
+    /// from the leader and applies it to every replica, so replicas with
+    /// different persist delays cannot diverge on which markers count as
+    /// durable (and therefore on which entries the purge drops).
+    pub(crate) fn retain_replayable_with(
+        &self,
+        from_lsn: u64,
+        bound: &ReplayBound,
+        cutoff_lsn: Option<u64>,
+        rolled_back: &std::collections::HashSet<TxnId>,
+    ) -> usize {
         let mut inner = self.inner.lock();
-        let rolled_back =
-            Self::rolled_back_in(&inner, Some((now, self.persist_delay_us)), cutoff_lsn);
         let before = inner.entries.len();
-        let delay = self.persist_delay_us;
+        let delay = self.ack_delay_us;
         inner.entries.retain(|e| {
             if e.lsn < from_lsn {
                 return true;
             }
-            match &e.payload {
+            match e.payload.as_ref() {
                 LogPayload::TxnWrites { txn, ts, .. } => {
                     cutoff_lsn.is_some_and(|cut| e.lsn <= cut)
                         && bound.covers(*ts, e.lsn, e.appended_at_us, delay)
@@ -593,6 +692,28 @@ impl PartitionWal {
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Discard this log copy's entries (a lost disk). The LSN counter is
+    /// preserved so the replica can keep receiving new appends aligned with
+    /// its peers; the history itself is gone until a repair pass copies it
+    /// back from the leader.
+    pub(crate) fn wipe_log(&self) -> usize {
+        let mut inner = self.inner.lock();
+        let dropped = inner.entries.len();
+        inner.entries.clear();
+        dropped
+    }
+
+    /// Replace this replica's entries wholesale with an authoritative copy
+    /// (repair after a wipe: the elected leader's log is the authority; see
+    /// [`crate::ReplicatedLog::repair_replicas`]). Entries keep their
+    /// original LSNs and append times, so durability checks still reflect
+    /// when the record was originally written.
+    pub(crate) fn replace_entries(&self, entries: Vec<LogEntry>, next_lsn: u64) {
+        let mut inner = self.inner.lock();
+        inner.entries = entries;
+        inner.next_lsn = next_lsn.max(inner.next_lsn);
     }
 
     /// Truncate the log up to (and excluding) `lsn` after a checkpoint.
@@ -958,15 +1079,17 @@ mod tests {
         let b1 = wal.append(LogPayload::EpochBoundary { epoch: 1 });
         let b2 = wal.append(LogPayload::EpochBoundary { epoch: 2 });
         std::thread::sleep(Duration::from_millis(1));
-        assert_eq!(wal.latest_durable_epoch_boundary(2), Some(b2));
-        assert_eq!(wal.latest_durable_epoch_boundary(1), Some(b1));
-        assert_eq!(wal.latest_durable_epoch_boundary(0), None);
+        assert_eq!(wal.latest_durable_epoch_boundary(2, None), Some(b2));
+        assert_eq!(wal.latest_durable_epoch_boundary(1, None), Some(b1));
+        assert_eq!(wal.latest_durable_epoch_boundary(0, None), None);
+        // A cutoff below the newer boundary falls back to the older one.
+        assert_eq!(wal.latest_durable_epoch_boundary(2, Some(b1)), Some(b1));
         // The durability-blind variant (survivor-side rollback bound) agrees
         // here and also sees boundaries still inside their persist window.
         assert_eq!(wal.latest_epoch_boundary(2), Some(b2));
         let slow = PartitionWal::new(PartitionId(0), 60_000);
         let b = slow.append(LogPayload::EpochBoundary { epoch: 1 });
-        assert_eq!(slow.latest_durable_epoch_boundary(1), None);
+        assert_eq!(slow.latest_durable_epoch_boundary(1, None), None);
         assert_eq!(slow.latest_epoch_boundary(1), Some(b));
     }
 }

@@ -1,0 +1,739 @@
+//! The replicated per-partition log: a replica set of [`PartitionWal`]s with
+//! quorum durability and deterministic leader hand-off.
+//!
+//! The paper's partitions replicate their log through Raft (§5.2: "the new
+//! leader retrieves the latest `Wp` in its Raft log"); the single-copy
+//! `PartitionWal` of earlier revisions could only survive losing a leader's
+//! *memory*, not its disk. [`ReplicatedLog`] closes that gap:
+//!
+//! * **Replica set.** Each partition owns `replication_factor` log copies.
+//!   Replica 0 is the initial leader's local disk (persist delay
+//!   `persist_delay_us`); every other replica persists after the one-way
+//!   replication hop plus its own disk delay. Appends fan out to every
+//!   replica under one lock, so all copies assign identical LSNs; the
+//!   sender never waits for acknowledgements (replication is off the
+//!   critical path, like every other durability cost here).
+//! * **Quorum durability.** `append` returns an LSN immediately, but
+//!   [`ReplicatedLog::durable_lsn`] is the **quorum-acked** LSN: the highest
+//!   LSN persisted by a majority of replicas (the median replica for RF 3).
+//!   Every durable read — watermark lookup, checkpoint restore, bounded
+//!   replay, checkpoint folding, truncation — is clamped to that horizon,
+//!   so nothing is ever treated as durable that a quorum could not
+//!   reproduce. With RF 1 the quorum is the single copy and behaviour is
+//!   identical to the old `PartitionWal`.
+//! * **Terms and leader hand-off.** The log carries a leadership term,
+//!   stamped on every entry. A crash bumps the term and moves leadership to
+//!   the **deterministic successor**: the first replica after the failed
+//!   leader in ring order among the replicas holding the longest intact
+//!   log. A crash that also discards the leader's disk wipes that replica
+//!   first, so the successor is always a surviving copy — and recovery
+//!   rebuilds the store from it. A second crash landing mid-replay bumps
+//!   the term again; the recovery loop notices and restarts from the next
+//!   successor (see `RecoveryManager`).
+//! * **Repair.** After recovery, lagging or wiped replicas are re-seeded
+//!   from the elected leader's log ([`ReplicatedLog::repair_replicas`]), so
+//!   the replica set returns to full strength and can absorb further
+//!   crashes.
+
+use crate::log::{CheckpointImage, LogEntry, LogPayload, PartitionWal, ReplayBound, ReplayedTxn};
+use parking_lot::Mutex;
+use primo_common::config::WalConfig;
+use primo_common::{PartitionId, Ts, TxnId};
+use primo_net::SimNetwork;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Quorum-durable replicated log of one partition. See the module docs.
+pub struct ReplicatedLog {
+    partition: PartitionId,
+    /// The replica set; index 0 is the initial leader's local copy.
+    replicas: Vec<Arc<PartitionWal>>,
+    /// Replicas whose disk was discarded and not yet repaired. A wiped
+    /// replica keeps receiving new appends (LSN-aligned with its peers) but
+    /// has a hole in its history, so it must not vote on quorum durability
+    /// or stand for election until [`ReplicatedLog::repair_replicas`] runs.
+    wiped: Vec<AtomicBool>,
+    /// Majority size: `replication_factor / 2 + 1`.
+    quorum: usize,
+    /// Delay between appending a record and its quorum acknowledgement: the
+    /// k-th smallest replica persist delay (k = quorum). This is what the
+    /// group-commit schemes wait for before acknowledging anything.
+    quorum_ack_delay_us: u64,
+    leader: AtomicUsize,
+    term: AtomicU64,
+    leader_changes: AtomicU64,
+    /// Serializes appends (and leadership changes) so every replica assigns
+    /// the same LSN to the same record.
+    append_lock: Mutex<()>,
+    /// Message accounting for the replication fan-out (latency is never
+    /// charged to the appender — the cost shows up as quorum-ack delay).
+    net: Option<Arc<SimNetwork>>,
+}
+
+impl std::fmt::Debug for ReplicatedLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicatedLog")
+            .field("partition", &self.partition)
+            .field("replicas", &self.replicas.len())
+            .field("leader", &self.leader.load(Ordering::Relaxed))
+            .field("term", &self.term.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ReplicatedLog {
+    /// Build the replica set for one partition. `replication_hop_us` is the
+    /// one-way network latency a record pays to reach a non-leader replica
+    /// (derived from the cluster's `NetConfig`); `net` receives message
+    /// accounting for the replication fan-out.
+    pub fn new(
+        partition: PartitionId,
+        cfg: WalConfig,
+        replication_hop_us: u64,
+        net: Option<Arc<SimNetwork>>,
+    ) -> Self {
+        let rf = cfg.replication_factor.max(1);
+        let replica_delay =
+            replication_hop_us + cfg.replica_persist_delay_us.unwrap_or(cfg.persist_delay_us);
+        let mut delays = vec![cfg.persist_delay_us];
+        delays.resize(rf, replica_delay);
+        let quorum = rf / 2 + 1;
+        let quorum_ack_delay_us = {
+            let mut sorted = delays.clone();
+            sorted.sort_unstable();
+            sorted[quorum - 1]
+        };
+        let replicas = delays
+            .iter()
+            .map(|&d| {
+                Arc::new(PartitionWal::with_ack_delay(
+                    partition,
+                    d,
+                    quorum_ack_delay_us,
+                ))
+            })
+            .collect();
+        ReplicatedLog {
+            partition,
+            replicas,
+            wiped: (0..rf).map(|_| AtomicBool::new(false)).collect(),
+            quorum,
+            quorum_ack_delay_us,
+            leader: AtomicUsize::new(0),
+            term: AtomicU64::new(0),
+            leader_changes: AtomicU64::new(0),
+            append_lock: Mutex::new(()),
+            net,
+        }
+    }
+
+    /// A single-copy log (replication factor 1, no hop): the old
+    /// `PartitionWal` semantics, used by unit tests and RF-1 clusters.
+    pub fn single(partition: PartitionId, persist_delay_us: u64) -> Self {
+        ReplicatedLog::new(
+            partition,
+            WalConfig {
+                persist_delay_us,
+                ..WalConfig::default()
+            },
+            0,
+            None,
+        )
+    }
+
+    pub fn partition(&self) -> PartitionId {
+        self.partition
+    }
+
+    pub fn replication_factor(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Majority size of the replica set.
+    pub fn quorum(&self) -> usize {
+        self.quorum
+    }
+
+    /// Time between appending a record and its quorum acknowledgement — what
+    /// the group-commit schemes wait out before acknowledging a commit, and
+    /// what `MetricsSnapshot::replication_lag_us` reports.
+    pub fn quorum_ack_delay_us(&self) -> u64 {
+        self.quorum_ack_delay_us
+    }
+
+    /// Current leadership term (bumped on every crash / hand-off).
+    pub fn term(&self) -> u64 {
+        self.term.load(Ordering::Acquire)
+    }
+
+    /// Index of the current leader replica.
+    pub fn leader_index(&self) -> usize {
+        self.leader.load(Ordering::Acquire)
+    }
+
+    /// How many times leadership moved to a different replica.
+    pub fn leader_changes(&self) -> u64 {
+        self.leader_changes.load(Ordering::Relaxed)
+    }
+
+    /// Direct access to one replica (tests and white-box assertions).
+    pub fn replica(&self, idx: usize) -> &Arc<PartitionWal> {
+        &self.replicas[idx]
+    }
+
+    fn leader_replica(&self) -> &Arc<PartitionWal> {
+        &self.replicas[self.leader.load(Ordering::Acquire)]
+    }
+
+    /// Append a record to every replica; returns its LSN (identical on all
+    /// copies). Never blocks on I/O or the network — replica disks persist
+    /// in the background, and the appender does not wait for quorum.
+    pub fn append(&self, payload: LogPayload) -> u64 {
+        let payload = Arc::new(payload);
+        let _guard = self.append_lock.lock();
+        let term = self.term.load(Ordering::Acquire);
+        for replica in &self.replicas[1..] {
+            replica.append_in_term(term, Arc::clone(&payload));
+        }
+        if let Some(net) = &self.net {
+            net.note_background_messages(self.replicas.len() as u64 - 1);
+        }
+        self.replicas[0].append_in_term(term, payload)
+    }
+
+    /// The LSN the next append will receive.
+    pub fn end_lsn(&self) -> u64 {
+        self.leader_replica().end_lsn()
+    }
+
+    pub fn len(&self) -> usize {
+        self.leader_replica().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The **quorum-acked** LSN: the highest LSN durable on a majority of
+    /// replicas right now (`None` until a quorum persisted anything).
+    /// Replicas with a discarded, not-yet-repaired disk do not vote — their
+    /// history has a hole, so their highest durable entry says nothing
+    /// about the prefix below it.
+    pub fn durable_lsn(&self) -> Option<u64> {
+        let mut votes: Vec<Option<u64>> = self
+            .replicas
+            .iter()
+            .zip(&self.wiped)
+            .map(|(r, wiped)| {
+                if wiped.load(Ordering::Acquire) {
+                    None
+                } else {
+                    r.durable_lsn()
+                }
+            })
+            .collect();
+        votes.sort_by(|a, b| b.cmp(a)); // descending; None sorts last
+        votes[self.quorum - 1]
+    }
+
+    /// Whether a specific LSN is quorum-durable.
+    pub fn is_durable(&self, lsn: u64) -> bool {
+        self.durable_lsn().map(|d| d >= lsn).unwrap_or(false)
+    }
+
+    /// Clamp a caller-supplied cutoff to the quorum horizon. `None` result
+    /// means nothing is quorum-durable at all. A caller-supplied cutoff is
+    /// itself a quorum LSN captured earlier (recovery passes the crash-time
+    /// horizon), so when the *live* quorum is broken — e.g. a second disk
+    /// loss mid-recovery left only one intact replica — the cutoff is
+    /// trusted as-is: every entry below it reached a majority when it was
+    /// captured, and the elected leader (the longest intact replica) still
+    /// holds them. Without this, a below-quorum recovery would rebuild an
+    /// empty store while the intact leader's log provably contains the
+    /// acknowledged history.
+    fn quorum_cutoff(&self, cutoff_lsn: Option<u64>) -> Option<u64> {
+        match (self.durable_lsn(), cutoff_lsn) {
+            (Some(q), Some(c)) => Some(c.min(q)),
+            (Some(q), None) => Some(q),
+            (None, Some(c)) => Some(c),
+            (None, None) => None,
+        }
+    }
+
+    /// The latest quorum-durable watermark record (§5.2 — what the new
+    /// leader retrieves from its replicated log).
+    pub fn latest_durable_watermark(&self) -> Option<Ts> {
+        self.latest_durable_watermark_at(None)
+    }
+
+    /// [`ReplicatedLog::latest_durable_watermark`] restricted to entries at
+    /// or below `cutoff_lsn` (recovery passes the quorum LSN captured at
+    /// crash time).
+    pub fn latest_durable_watermark_at(&self, cutoff_lsn: Option<u64>) -> Option<Ts> {
+        let cut = self.quorum_cutoff(cutoff_lsn)?;
+        self.leader_replica().latest_durable_watermark_at(Some(cut))
+    }
+
+    /// The newest checkpoint image that is quorum-durable and at or below
+    /// `cutoff_lsn`.
+    pub fn latest_durable_checkpoint(
+        &self,
+        cutoff_lsn: Option<u64>,
+    ) -> Option<Arc<CheckpointImage>> {
+        let cut = self.quorum_cutoff(cutoff_lsn)?;
+        self.leader_replica().latest_durable_checkpoint(Some(cut))
+    }
+
+    /// The latest (checkpoint-entry LSN, image) pair regardless of
+    /// durability — the checkpoint writer folds forward from here.
+    pub fn latest_checkpoint(&self) -> Option<(u64, Arc<CheckpointImage>)> {
+        self.leader_replica().latest_checkpoint()
+    }
+
+    /// LSN of the newest quorum-durable epoch boundary with epoch at most
+    /// `max_epoch`, at or below `cutoff_lsn` (COCO recovery / checkpoint
+    /// bound — recovery passes the crash-time quorum LSN so the lookup
+    /// stays valid even when the live quorum broke mid-recovery, exactly
+    /// like [`ReplicatedLog::replay_range`]).
+    pub fn latest_durable_epoch_boundary(
+        &self,
+        max_epoch: u64,
+        cutoff_lsn: Option<u64>,
+    ) -> Option<u64> {
+        let cut = self.quorum_cutoff(cutoff_lsn)?;
+        self.leader_replica()
+            .latest_durable_epoch_boundary(max_epoch, Some(cut))
+    }
+
+    /// Durability-blind epoch-boundary lookup (survivor-side rollback
+    /// bound: a surviving partition's log lost nothing).
+    pub fn latest_epoch_boundary(&self, max_epoch: u64) -> Option<u64> {
+        self.leader_replica().latest_epoch_boundary(max_epoch)
+    }
+
+    /// Replay all quorum-durable transaction writes with `ts < up_to`.
+    pub fn replay_prefix(&self, up_to: Ts) -> Vec<ReplayedTxn> {
+        self.replay_range(0, &ReplayBound::Ts(up_to), None)
+    }
+
+    /// Quorum-bounded replay: like `PartitionWal::replay_range`, but only
+    /// entries at or below the quorum-acked LSN count as durable — an entry
+    /// the old leader persisted locally that never reached a majority is
+    /// honestly lost.
+    pub fn replay_range(
+        &self,
+        from_lsn: u64,
+        bound: &ReplayBound,
+        cutoff_lsn: Option<u64>,
+    ) -> Vec<ReplayedTxn> {
+        match self.quorum_cutoff(cutoff_lsn) {
+            Some(cut) => self
+                .leader_replica()
+                .replay_range(from_lsn, bound, Some(cut)),
+            None => Vec::new(),
+        }
+    }
+
+    /// Transaction ids with a rollback marker anywhere in the log,
+    /// regardless of durability.
+    pub fn rolled_back_txns(&self) -> HashSet<TxnId> {
+        self.leader_replica().rolled_back_txns()
+    }
+
+    /// The `TxnWrites` entries `bound` does not cover and no marker cancels
+    /// yet — survivor-side compensation input. No durability filter (this
+    /// partition did not crash, so every replica holds the full log).
+    pub fn collect_rolled_back(
+        &self,
+        bound: &ReplayBound,
+        upper_cutoff: Option<u64>,
+    ) -> Vec<ReplayedTxn> {
+        self.leader_replica()
+            .collect_rolled_back(bound, upper_cutoff)
+    }
+
+    /// Clone the suffix of the (leader's) log starting at `from_lsn`.
+    pub fn entries_from(&self, from_lsn: u64) -> Vec<LogEntry> {
+        self.leader_replica().entries_from(from_lsn)
+    }
+
+    /// First LSN at or after `from_lsn` that a checkpoint fold may **not**
+    /// absorb — bounded additionally by the quorum horizon, so images never
+    /// bake in an entry a quorum could not reproduce.
+    pub fn fold_stop_lsn(&self, from_lsn: u64, bound: &ReplayBound) -> u64 {
+        match self.durable_lsn() {
+            Some(q) => self
+                .leader_replica()
+                .fold_stop_lsn(from_lsn, bound)
+                .min(q + 1)
+                .max(from_lsn),
+            None => from_lsn,
+        }
+    }
+
+    /// Recovery-time log repair on **every replica**: drop the write-sets
+    /// replay did not apply so no later fold can resurrect them. The
+    /// cancelled-transaction set is computed once, from the leader's view
+    /// of marker durability, and applied uniformly — replicas with slower
+    /// disks must not keep entries the leader purged (they would end up
+    /// *longer* than the leader, confusing the longest-log election and
+    /// un-healable by repair). Returns the number of entries removed from
+    /// the leader's copy.
+    pub fn retain_replayable(
+        &self,
+        from_lsn: u64,
+        bound: &ReplayBound,
+        cutoff_lsn: Option<u64>,
+    ) -> usize {
+        let leader = self.leader.load(Ordering::Acquire);
+        let rolled_back = self.replicas[leader].durable_rolled_back(cutoff_lsn);
+        let mut removed = 0;
+        for (i, replica) in self.replicas.iter().enumerate() {
+            let n = replica.retain_replayable_with(from_lsn, bound, cutoff_lsn, &rolled_back);
+            if i == leader {
+                removed = n;
+            }
+        }
+        removed
+    }
+
+    /// Truncate every replica up to (and excluding) `lsn`. Returns the
+    /// number of entries removed from the leader's copy.
+    pub fn truncate_before(&self, lsn: u64) -> usize {
+        let leader = self.leader.load(Ordering::Acquire);
+        let mut removed = 0;
+        for (i, replica) in self.replicas.iter().enumerate() {
+            let n = replica.truncate_before(lsn);
+            if i == leader {
+                removed = n;
+            }
+        }
+        removed
+    }
+
+    /// Truncate everything covered by the newest **quorum-durable**
+    /// checkpoint, on every replica.
+    pub fn truncate_to_durable_checkpoint(&self) -> usize {
+        match self.latest_durable_checkpoint(None) {
+            Some(image) => self.truncate_before(image.base_lsn),
+            None => 0,
+        }
+    }
+
+    /// Discard one replica's disk (entries dropped, LSN counter kept so the
+    /// replica stays aligned for future appends). It stops voting on quorum
+    /// durability and standing for election until repaired.
+    pub fn wipe_replica(&self, idx: usize) -> usize {
+        self.wiped[idx].store(true, Ordering::Release);
+        self.replicas[idx].wipe_log()
+    }
+
+    /// Bump the leadership term and hand leadership to the deterministic
+    /// successor: the first replica after the failed leader in ring order
+    /// among the non-wiped replicas holding the longest log. With
+    /// `discard_leader_disk` the failed leader's replica is wiped first
+    /// (the crash lost its disk, not just its memory), so the successor is
+    /// always a surviving copy. Returns the new leader index.
+    pub fn fail_over(&self, discard_leader_disk: bool) -> usize {
+        let _guard = self.append_lock.lock();
+        let old = self.leader.load(Ordering::Acquire);
+        if discard_leader_disk {
+            self.wipe_replica(old);
+        }
+        self.term.fetch_add(1, Ordering::AcqRel);
+        let new = self.elect_successor(old);
+        if new != old {
+            self.leader.store(new, Ordering::Release);
+            self.leader_changes.fetch_add(1, Ordering::Relaxed);
+        }
+        new
+    }
+
+    /// Deterministic successor rule: candidates are the non-wiped replicas
+    /// with the maximum entry count ("the longest quorum-consistent
+    /// replica"); the winner is the first candidate encountered walking the
+    /// ring from `failed + 1`. Falls back to the failed leader itself when
+    /// every replica is wiped (nothing better exists — RF 1 disk loss).
+    fn elect_successor(&self, failed: usize) -> usize {
+        let n = self.replicas.len();
+        let longest = self
+            .replicas
+            .iter()
+            .zip(&self.wiped)
+            .filter(|(_, w)| !w.load(Ordering::Acquire))
+            .map(|(r, _)| r.len())
+            .max();
+        let Some(longest) = longest else {
+            return failed;
+        };
+        for step in 1..=n {
+            let i = (failed + step) % n;
+            if !self.wiped[i].load(Ordering::Acquire) && self.replicas[i].len() == longest {
+                return i;
+            }
+        }
+        failed
+    }
+
+    /// Re-seed wiped or lagging replicas from the elected leader's log (the
+    /// authority after an election — replicas never diverge here, they can
+    /// only lose their disk wholesale). Returns how many replicas were
+    /// repaired. Run at the end of recovery so the replica set is back to
+    /// full strength before the partition serves again.
+    pub fn repair_replicas(&self) -> usize {
+        let _guard = self.append_lock.lock();
+        let leader = self.leader.load(Ordering::Acquire);
+        let authority = self.replicas[leader].entries_from(0);
+        let next_lsn = self.replicas[leader].end_lsn();
+        let mut repaired = 0;
+        for (i, replica) in self.replicas.iter().enumerate() {
+            if i == leader {
+                // The elected leader's content is the authority by
+                // definition. Clearing its wiped flag is only sound because
+                // repair runs at the end of recovery, *after* the store and
+                // the retained log were reconciled against this very copy —
+                // if the leader itself was wiped (every replica lost its
+                // disk), the missing history has just been adjudicated as
+                // lost, and the flag must clear or the partition could
+                // never acknowledge anything again.
+                self.wiped[i].store(false, Ordering::Release);
+                continue;
+            }
+            // Heal any divergence from the authority — shorter (wiped or
+            // lagging) and longer (a copy that somehow kept entries the
+            // leader dropped) alike.
+            if self.wiped[i].load(Ordering::Acquire) || replica.len() != authority.len() {
+                replica.replace_entries(authority.clone(), next_lsn);
+                self.wiped[i].store(false, Ordering::Release);
+                repaired += 1;
+            }
+        }
+        repaired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primo_common::config::LoggingScheme;
+    use primo_common::{TableId, Value};
+    use std::time::Duration;
+
+    fn rf3(persist_us: u64, replica_us: u64, hop_us: u64) -> ReplicatedLog {
+        ReplicatedLog::new(
+            PartitionId(0),
+            WalConfig {
+                scheme: LoggingScheme::Watermark,
+                interval_ms: 1,
+                persist_delay_us: persist_us,
+                force_update: true,
+                replication_factor: 3,
+                replica_persist_delay_us: Some(replica_us),
+            },
+            hop_us,
+            None,
+        )
+    }
+
+    fn txn(seq: u64) -> TxnId {
+        TxnId::new(PartitionId(0), seq)
+    }
+
+    fn put(seq: u64, ts: Ts) -> LogPayload {
+        LogPayload::TxnWrites {
+            txn: txn(seq),
+            ts,
+            writes: vec![crate::LoggedWrite::put(
+                TableId(0),
+                seq,
+                Value::from_u64(seq),
+            )],
+        }
+    }
+
+    #[test]
+    fn appends_fan_out_with_aligned_lsns() {
+        let log = rf3(0, 0, 0);
+        let a = log.append(put(1, 5));
+        let b = log.append(put(2, 6));
+        assert_eq!((a, b), (0, 1));
+        for i in 0..3 {
+            assert_eq!(log.replica(i).len(), 2, "replica {i}");
+            assert_eq!(log.replica(i).end_lsn(), 2, "replica {i}");
+        }
+        assert_eq!(log.replication_factor(), 3);
+        assert_eq!(log.quorum(), 2);
+    }
+
+    #[test]
+    fn quorum_ack_delay_is_the_majority_replicas_delay() {
+        // Leader persists in 100us; remotes in 300 (hop) + 500 = 800us. The
+        // quorum (2 of 3) is only reached once one remote persisted.
+        let log = rf3(100, 500, 300);
+        assert_eq!(log.quorum_ack_delay_us(), 800);
+        // RF 1: quorum ack == local persist.
+        let single = ReplicatedLog::single(PartitionId(0), 100);
+        assert_eq!(single.quorum_ack_delay_us(), 100);
+    }
+
+    #[test]
+    fn durable_lsn_is_quorum_acked_not_leader_local() {
+        let log = rf3(0, 30_000, 0); // leader durable instantly, remotes 30ms
+        log.append(put(1, 5));
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(log.replica(0).durable_lsn(), Some(0), "leader persisted");
+        assert_eq!(
+            log.durable_lsn(),
+            None,
+            "no quorum until a second replica persists"
+        );
+        assert!(!log.is_durable(0));
+        std::thread::sleep(Duration::from_millis(35));
+        assert_eq!(log.durable_lsn(), Some(0), "majority reached");
+        assert!(log.is_durable(0));
+    }
+
+    #[test]
+    fn durable_reads_are_clamped_to_the_quorum_horizon() {
+        let log = rf3(0, 30_000, 0);
+        log.append(LogPayload::Watermark { wp: 7 });
+        std::thread::sleep(Duration::from_millis(2));
+        // Locally durable on the leader, but no quorum yet.
+        assert_eq!(log.latest_durable_watermark(), None);
+        assert!(log.replay_prefix(u64::MAX).is_empty());
+        std::thread::sleep(Duration::from_millis(35));
+        assert_eq!(log.latest_durable_watermark(), Some(7));
+    }
+
+    #[test]
+    fn fail_over_elects_the_ring_successor_and_bumps_the_term() {
+        let log = rf3(0, 0, 0);
+        log.append(put(1, 5));
+        assert_eq!(log.leader_index(), 0);
+        assert_eq!(log.term(), 0);
+        let new = log.fail_over(true);
+        assert_eq!(new, 1, "deterministic ring successor");
+        assert_eq!(log.term(), 1);
+        assert_eq!(log.leader_changes(), 1);
+        // A second hand-off (replacement leader dies too, memory only).
+        assert_eq!(log.fail_over(false), 2);
+        assert_eq!(log.term(), 2);
+        // Entries appended now carry the new term.
+        let lsn = log.append(put(2, 6));
+        let entry = log
+            .entries_from(lsn)
+            .into_iter()
+            .next()
+            .expect("appended entry");
+        assert_eq!(entry.term, 2);
+    }
+
+    #[test]
+    fn disk_loss_leaves_history_readable_from_survivors() {
+        let log = rf3(0, 0, 0);
+        log.append(put(1, 5));
+        log.append(LogPayload::Watermark { wp: 9 });
+        std::thread::sleep(Duration::from_millis(2));
+        log.fail_over(true); // leader disk discarded
+        assert_eq!(log.replica(0).len(), 0, "the wiped copy is gone");
+        assert_eq!(
+            log.latest_durable_watermark(),
+            Some(9),
+            "the surviving quorum still serves the history"
+        );
+        assert_eq!(log.replay_prefix(u64::MAX).len(), 1);
+        // Repair re-seeds the wiped replica from the new leader.
+        assert_eq!(log.repair_replicas(), 1);
+        assert_eq!(log.replica(0).len(), 2);
+        // New appends continue LSN-aligned on all replicas.
+        let lsn = log.append(put(2, 12));
+        assert_eq!(lsn, 2);
+        for i in 0..3 {
+            assert_eq!(log.replica(i).end_lsn(), 3, "replica {i}");
+        }
+    }
+
+    #[test]
+    fn wiped_replicas_do_not_vote_on_quorum_durability() {
+        let log = rf3(0, 30_000, 0);
+        log.append(put(1, 5));
+        std::thread::sleep(Duration::from_millis(35));
+        assert_eq!(log.durable_lsn(), Some(0));
+        // Wipe both remotes: the leader alone is no quorum, and the wiped
+        // copies' post-wipe appends must not fake one.
+        log.wipe_replica(1);
+        log.wipe_replica(2);
+        log.append(put(2, 6));
+        std::thread::sleep(Duration::from_millis(35));
+        assert_eq!(
+            log.durable_lsn(),
+            None,
+            "a majority of intact copies is required"
+        );
+    }
+
+    #[test]
+    fn slow_leader_disk_does_not_hide_quorum_acked_entries() {
+        // The leader's own disk is far slower than the quorum: the two fast
+        // remotes acknowledge an entry long before the leader persists it
+        // locally. Quorum-bounded reads go through the leader replica, so
+        // the cutoff must act as the durability horizon — the leader's disk
+        // delay must not filter out what the quorum acknowledged.
+        let log = rf3(500_000, 50, 0);
+        assert_eq!(log.quorum_ack_delay_us(), 50);
+        log.append(put(1, 5));
+        log.append(LogPayload::Watermark { wp: 9 });
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(
+            log.durable_lsn(),
+            Some(1),
+            "the two fast replicas form the quorum"
+        );
+        assert_eq!(
+            log.replay_prefix(u64::MAX).len(),
+            1,
+            "the quorum-acked write-set must be replayable through the slow leader"
+        );
+        assert_eq!(log.latest_durable_watermark(), Some(9));
+    }
+
+    #[test]
+    fn explicit_cutoff_survives_a_broken_live_quorum() {
+        let log = rf3(0, 0, 0);
+        log.append(put(1, 5));
+        std::thread::sleep(Duration::from_millis(2));
+        let cutoff = log.durable_lsn();
+        assert_eq!(cutoff, Some(0));
+        // Lose two of three disks: the live quorum is gone…
+        log.fail_over(true); // leader 0 wiped, leadership -> 1
+        log.fail_over(true); // leader 1 wiped, leadership -> 2
+        assert_eq!(log.leader_index(), 2);
+        assert_eq!(log.durable_lsn(), None);
+        // …but reads bounded by a cutoff captured from a real quorum still
+        // serve the acknowledged history from the intact leader (recovery
+        // passes the crash-time quorum LSN exactly like this).
+        assert_eq!(
+            log.replay_range(0, &ReplayBound::Ts(u64::MAX), cutoff)
+                .len(),
+            1,
+            "the intact replica must serve everything below the old quorum"
+        );
+        // Unbounded durable reads stay honest about the broken quorum.
+        assert!(log.replay_prefix(u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn single_replica_log_behaves_like_the_old_partition_wal() {
+        let log = ReplicatedLog::single(PartitionId(3), 0);
+        assert_eq!(log.partition(), PartitionId(3));
+        let lsn = log.append(put(1, 5));
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(log.durable_lsn(), Some(lsn));
+        assert_eq!(log.replay_prefix(10).len(), 1);
+        assert_eq!(log.fail_over(false), 0, "a ring of one elects itself");
+        assert_eq!(log.leader_changes(), 0);
+        assert!(!log.is_empty());
+        assert_eq!(log.truncate_before(1), 1);
+    }
+}

@@ -6,27 +6,33 @@
 //! transaction's critical path.
 
 use crate::group_commit::{CommitOutcome, CommitWaiter, GroupCommit, SeqTsSource, TxnTicket};
+use crate::replicated::ReplicatedLog;
 use primo_common::config::WalConfig;
 use primo_common::sim_time::charge_latency_us;
 use primo_common::{PartitionId, Ts, TxnId};
-// Replay after a crash is bounded purely by the durable LSN captured at the
-// crash instant (the trait default): the synchronous flush means every
-// acknowledged transaction's log records are durable by construction.
+use std::sync::Arc;
+// Replay after a crash is bounded purely by the quorum-durable LSN captured
+// at the crash instant (the trait default): the synchronous flush means
+// every acknowledged transaction's log records are quorum-durable by
+// construction.
 
 /// Synchronous per-transaction flush.
 #[derive(Debug)]
 pub struct SyncCommit {
-    cfg: WalConfig,
     num_partitions: usize,
+    /// Synchronous flush cost: the transaction waits until its log records
+    /// are *quorum*-durable (the worst partition's quorum-ack delay).
+    ack_delay_us: u64,
     /// Commit-timestamp sequence for protocols without logical timestamps.
     seq_ts: SeqTsSource,
 }
 
 impl SyncCommit {
-    pub fn new(num_partitions: usize, cfg: WalConfig) -> Self {
+    pub fn new(num_partitions: usize, cfg: WalConfig, logs: Vec<Arc<ReplicatedLog>>) -> Self {
+        let ack_delay_us = crate::max_quorum_ack_delay_us(&logs, cfg.persist_delay_us);
         SyncCommit {
-            cfg,
             num_partitions,
+            ack_delay_us,
             seq_ts: SeqTsSource::new(),
         }
     }
@@ -53,7 +59,7 @@ impl GroupCommit for SyncCommit {
     fn txn_committed(&self, ticket: &TxnTicket, ts: Ts, _ops: usize) -> CommitWaiter {
         // The flush happens right here, synchronously, while the worker (and
         // in a 2PC protocol, the prepare/commit handling) is still pending.
-        charge_latency_us(self.cfg.persist_delay_us);
+        charge_latency_us(self.ack_delay_us);
         CommitWaiter {
             txn: ticket.txn,
             coordinator: ticket.coordinator,
@@ -98,15 +104,14 @@ mod tests {
 
     #[test]
     fn sync_commit_charges_flush_on_critical_path() {
-        let gc = SyncCommit::new(
-            1,
-            WalConfig {
-                scheme: LoggingScheme::SyncPerTxn,
-                interval_ms: 10,
-                persist_delay_us: 400,
-                force_update: false,
-            },
-        );
+        let cfg = WalConfig {
+            scheme: LoggingScheme::SyncPerTxn,
+            interval_ms: 10,
+            persist_delay_us: 400,
+            force_update: false,
+            ..WalConfig::default()
+        };
+        let gc = SyncCommit::new(1, cfg, crate::build_logs(1, cfg));
         let ticket = gc.begin_txn(PartitionId(0), TxnId::new(PartitionId(0), 1));
         let start = std::time::Instant::now();
         let waiter = gc.txn_committed(&ticket, 1, 1);

@@ -20,7 +20,8 @@
 //! close to the cluster average so that it does not detain `Wg` (Fig 13b).
 
 use crate::group_commit::{CommitOutcome, CommitWaiter, GroupCommit, TxnTicket};
-use crate::log::{LogPayload, PartitionWal, ReplayBound};
+use crate::log::{LogPayload, ReplayBound};
+use crate::replicated::ReplicatedLog;
 use parking_lot::{Condvar, Mutex};
 use primo_common::config::WalConfig;
 use primo_common::sim_time::now_us;
@@ -108,9 +109,10 @@ pub struct WatermarkCommit {
     num_partitions: usize,
     bus: Arc<DelayedBus>,
     parts: Vec<Arc<PartitionWm>>,
-    /// Per-partition durable logs: published watermarks are appended here
-    /// (§5.1 — `Wp` is itself a log record) so recovery can retrieve them.
-    wals: Vec<Arc<PartitionWal>>,
+    /// Per-partition replicated durable logs: published watermarks are
+    /// appended here (§5.1 — `Wp` is itself a log record) so a replacement
+    /// leader can retrieve them from the surviving quorum.
+    wals: Vec<Arc<ReplicatedLog>>,
     /// Sequence source for protocols that do not maintain logical timestamps
     /// themselves (2PL / Silo under WM in Fig 11).
     seq_ts: AtomicU64,
@@ -140,7 +142,7 @@ impl WatermarkCommit {
         num_partitions: usize,
         cfg: WalConfig,
         bus: Arc<DelayedBus>,
-        wals: Vec<Arc<PartitionWal>>,
+        wals: Vec<Arc<ReplicatedLog>>,
     ) -> Self {
         assert_eq!(wals.len(), num_partitions);
         let parts: Vec<_> = (0..num_partitions)
@@ -202,7 +204,7 @@ fn agent_loop(
     me: Arc<PartitionWm>,
     all: Vec<Arc<PartitionWm>>,
     bus: Arc<DelayedBus>,
-    wal: Arc<PartitionWal>,
+    wal: Arc<ReplicatedLog>,
     cfg: WalConfig,
     stop: Arc<AtomicBool>,
 ) {
@@ -282,11 +284,14 @@ fn agent_loop(
             if candidate > prev {
                 me.wp_generated.store(candidate, Ordering::Release);
             }
-            // The watermark becomes publishable only after the log persist /
-            // replication delay (it is itself a log record, §5.1).
+            // The watermark becomes publishable only once its log record is
+            // quorum-durable (it is itself a log record, §5.1) — under
+            // replication that is the quorum-ack delay, not the leader's
+            // local persist delay, so replication cost shows up directly in
+            // commit latency.
             me.pending_publish
                 .lock()
-                .push_back((now + cfg.persist_delay_us, candidate));
+                .push_back((now + wal.quorum_ack_delay_us(), candidate));
         }
 
         // 4. Publish watermarks whose persist delay has elapsed.
@@ -447,21 +452,26 @@ impl GroupCommit for WatermarkCommit {
         }
     }
 
-    fn replay_bound(&self, crash_token: Ts, _wal: &PartitionWal) -> ReplayBound {
+    fn replay_bound(
+        &self,
+        crash_token: Ts,
+        _log: &ReplicatedLog,
+        _cutoff_lsn: Option<u64>,
+    ) -> ReplayBound {
         // The agreed watermark from `on_partition_crash` separates durable
         // results (ts < Wp, already returned to clients) from rolled-back
         // ones (§5.2).
         ReplayBound::Ts(crash_token)
     }
 
-    fn survivor_rollback_bound(&self, crash_token: Ts, _wal: &PartitionWal) -> ReplayBound {
+    fn survivor_rollback_bound(&self, crash_token: Ts, _log: &ReplicatedLog) -> ReplayBound {
         // The agreement (§5.2) applies cluster-wide: every transaction with
         // `ts >= agreed` is reported `CrashAborted`, wherever it installed —
         // surviving partitions must undo exactly the entries above the token.
         ReplayBound::Ts(crash_token)
     }
 
-    fn checkpoint_bound(&self, p: PartitionId, _wal: &PartitionWal) -> ReplayBound {
+    fn checkpoint_bound(&self, p: PartitionId, _log: &ReplicatedLog) -> ReplayBound {
         // Fold only below this partition's view of the *global* watermark: a
         // crash rolls the cluster back to the agreed watermark, which is the
         // maximum of all `Wg` views — at least this partition's own view, but
@@ -554,8 +564,9 @@ mod tests {
             interval_ms,
             persist_delay_us: 100,
             force_update: true,
+            ..WalConfig::default()
         };
-        let wals = crate::build_wals(n, cfg);
+        let wals = crate::build_logs(n, cfg);
         (WatermarkCommit::new(n, cfg, Arc::clone(&bus), wals), bus)
     }
 
@@ -633,8 +644,9 @@ mod tests {
             interval_ms: 1,
             persist_delay_us: 100,
             force_update: true,
+            ..WalConfig::default()
         };
-        let wals = crate::build_wals(2, cfg);
+        let wals = crate::build_logs(2, cfg);
         let wm = WatermarkCommit::new(2, cfg, bus, wals.clone());
         std::thread::sleep(Duration::from_millis(50));
         // Published watermarks land in the partition's durable log (§5.1).
@@ -648,7 +660,7 @@ mod tests {
         wm.on_partition_recover(PartitionId(1), recovered);
         assert!(wm.partition_watermark(PartitionId(1)) >= recovered);
         assert_eq!(
-            wm.replay_bound(agreed, &wals[1]),
+            wm.replay_bound(agreed, &wals[1], None),
             crate::ReplayBound::Ts(agreed)
         );
         wm.shutdown();

@@ -32,6 +32,10 @@ fn main() {
             .protocol(ProtocolKind::Primo)
             .scale(scale)
             .wal_interval_ms(interval_ms)
+            // Three log replicas per partition: durability means a majority
+            // quorum persisted the record, so the crash below survives disk
+            // loss — and the quorum-ack delay shows up as replication lag.
+            .replication_factor(3)
             .checkpoint_interval_ms(150)
             .crash(CrashPlan {
                 partition: PartitionId(1),
@@ -53,6 +57,11 @@ fn main() {
             snap.replayed_txns,
             snap.compensated_txns,
             snap.post_recovery_tps / 1000.0
+        );
+        println!(
+            "    replicated log: {} leader hand-off(s), replication lag {} us \
+             (append -> quorum ack)",
+            snap.leader_changes, snap.replication_lag_us
         );
     }
     println!();

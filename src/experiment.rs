@@ -290,6 +290,25 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Log replicas per partition (default 1 — single-copy). With `n > 1`
+    /// durability means a majority quorum persisted the record, so a crash
+    /// plan survives losing the leader's disk — and the quorum-ack delay
+    /// (reported as `replication_lag_us`) shows up in commit latency.
+    pub fn replication_factor(mut self, n: usize) -> Self {
+        self.cluster_tweaks
+            .push(Box::new(move |c| c.wal.replication_factor = n.max(1)));
+        self
+    }
+
+    /// Persist delay of non-leader log replicas, microseconds (default: the
+    /// leader's `persist_delay_us`); the one-way network hop is added on
+    /// top.
+    pub fn replica_persist_delay_us(mut self, us: u64) -> Self {
+        self.cluster_tweaks
+            .push(Box::new(move |c| c.wal.replica_persist_delay_us = Some(us)));
+        self
+    }
+
     /// Crash a partition leader mid-run (Fig 12). The driver clamps the
     /// plan to the measurement window and runs real recovery (wipe +
     /// checkpoint restore + durable-log replay); recovery latency and
@@ -433,6 +452,19 @@ mod tests {
         assert_eq!(cfg.num_partitions, 3);
         assert_eq!(cfg.wal.interval_ms, 5);
         assert_eq!(cfg.backoff_initial_us, 77);
+    }
+
+    #[test]
+    fn replication_knobs_reach_the_cluster_config() {
+        let mut e = Experiment::new()
+            .replication_factor(3)
+            .replica_persist_delay_us(900);
+        let cfg = e.cluster_config();
+        assert_eq!(cfg.wal.replication_factor, 3);
+        assert_eq!(cfg.wal.replica_persist_delay_us, Some(900));
+        // A zero factor is clamped to the single-copy minimum.
+        let mut e = Experiment::new().replication_factor(0);
+        assert_eq!(e.cluster_config().wal.replication_factor, 1);
     }
 
     #[test]

@@ -121,6 +121,26 @@ impl ClusterBuilder {
         self
     }
 
+    /// Log replicas per partition (default 1 — single-copy). With `n > 1` a
+    /// log record is durable once a majority quorum of replicas persisted
+    /// it, so recovery survives losing the leader's *disk* (see
+    /// [`Primo::crash_partition_discarding_log`]), at the cost of the
+    /// quorum-ack delay on every commit acknowledgement.
+    pub fn replication_factor(mut self, n: usize) -> Self {
+        self.tweaks
+            .push(Box::new(move |c| c.wal.replication_factor = n.max(1)));
+        self
+    }
+
+    /// Persist delay of non-leader log replicas, microseconds (default: the
+    /// leader's `persist_delay_us`). The one-way network hop is added on
+    /// top, so slower replica disks directly stretch the quorum-ack delay.
+    pub fn replica_persist_delay_us(mut self, us: u64) -> Self {
+        self.tweaks
+            .push(Box::new(move |c| c.wal.replica_persist_delay_us = Some(us)));
+        self
+    }
+
     /// Select the protocol by kind (default [`ProtocolKind::Primo`]).
     pub fn protocol(mut self, kind: ProtocolKind) -> Self {
         self.kind = kind;
@@ -241,10 +261,20 @@ impl Primo {
     }
 
     /// Simulate a crash of a partition leader: remote accesses to it fail,
-    /// the group commit agrees on a rollback point (§5.2) and the
-    /// crash-time durable LSN is captured for the eventual recovery.
+    /// the group commit agrees on a rollback point (§5.2), the replicated
+    /// log hands leadership to the deterministic successor replica and the
+    /// crash-time quorum-durable LSN is captured for the eventual recovery.
     pub fn crash_partition(&self, p: PartitionId) {
         self.cluster.crash_partition(p);
+    }
+
+    /// [`Primo::crash_partition`], but the dead leader's local log replica
+    /// is **discarded** too (disk loss). With
+    /// [`ClusterBuilder::replication_factor`] above one the surviving
+    /// quorum still reproduces every acknowledged transaction; with a
+    /// single-copy log the history is honestly gone.
+    pub fn crash_partition_discarding_log(&self, p: PartitionId) {
+        self.cluster.crash_partition_discarding_log(p);
     }
 
     /// Checkpoint every partition: a quiescent base image if none exists
@@ -430,6 +460,22 @@ mod tests {
     fn get_of_missing_key_is_none() {
         let primo = fast(1);
         assert!(primo.session().get(PartitionId(0), T, 404).is_none());
+        primo.shutdown();
+    }
+
+    #[test]
+    fn replication_factor_reaches_the_partition_logs() {
+        let primo = Primo::builder()
+            .partitions(1)
+            .fast_local()
+            .replication_factor(3)
+            .replica_persist_delay_us(75)
+            .build();
+        let log = &primo.cluster().partition(PartitionId(0)).log;
+        assert_eq!(log.replication_factor(), 3);
+        assert_eq!(log.quorum(), 2);
+        // Quorum ack = replication hop (5us in fast_local) + replica disk.
+        assert_eq!(log.quorum_ack_delay_us(), 80);
         primo.shutdown();
     }
 

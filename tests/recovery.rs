@@ -109,86 +109,143 @@ fn run_committed_prefix(primo: &Primo, target: PartitionId) {
         .expect("delete failed");
 }
 
+/// One crash/recover byte-identity case. With `discard_log` the cluster runs
+/// a 3-replica log and the crash throws the leader's local replica away (disk
+/// loss, not just memory loss): recovery must rebuild a byte-identical store
+/// from the surviving quorum. Verified to fail when quorum durability is
+/// stubbed back to the leader's single copy (e.g. by disabling the
+/// deterministic successor election): the wiped replica then has nothing to
+/// restore or replay.
+fn byte_identical_after_crash(kind: ProtocolKind, scheme: LoggingScheme, discard_log: bool) {
+    let builder = Primo::builder()
+        .partitions(2)
+        .protocol(kind)
+        .logging(scheme)
+        .fast_local()
+        .seed(kind as u64 * 31 + scheme as u64 + if discard_log { 1_000 } else { 1 });
+    let builder = if discard_log {
+        builder.replication_factor(3)
+    } else {
+        builder
+    };
+    let primo = builder.build();
+    let session = primo.session();
+    for p in 0..2u32 {
+        for k in 0..LOADED_KEYS {
+            session.load(PartitionId(p), T, k, Value::from_u64(k + 100));
+        }
+    }
+    // Base checkpoints: without them the wiped loader data would be
+    // unrecoverable (loads bypass the WAL by design).
+    primo.checkpoint_all();
+
+    let target = PartitionId(1);
+    run_committed_prefix(&primo, target);
+    // Let everything become durable and covered: log entries pass
+    // their (quorum) persist delay, the watermark overtakes the committed
+    // timestamps / the epoch seals its boundary markers.
+    std::thread::sleep(Duration::from_millis(40));
+
+    let before_target = value_snapshot(&primo, target);
+    let before_other = value_snapshot(&primo, PartitionId(0));
+    let live_before = primo.cluster().partition(target).store.total_records();
+    assert!(live_before > 0);
+
+    if discard_log {
+        primo.crash_partition_discarding_log(target);
+        assert_eq!(
+            primo.cluster().partition(target).log.replica(0).len(),
+            0,
+            "the dead leader's local replica really is gone"
+        );
+    } else {
+        primo.crash_partition(target);
+    }
+    let report = primo
+        .recover_partition(target)
+        .expect("real recovery must run");
+    let label = format!("{}/{}", kind.label(), scheme.label());
+    assert_eq!(
+        report.wiped_records, live_before,
+        "{label}: recovery must wipe the whole volatile store"
+    );
+    assert!(
+        report.restored_records > 0,
+        "{label}: checkpoint restore ran"
+    );
+    assert!(report.replayed_txns > 0, "{label}: durable log replay ran");
+
+    let after_target = value_snapshot(&primo, target);
+    assert_eq!(
+        before_target, after_target,
+        "{label}: recovered store differs from the crash-free committed state"
+    );
+    assert_eq!(
+        before_other,
+        value_snapshot(&primo, PartitionId(0)),
+        "{label}: the surviving partition must be untouched"
+    );
+    // Every recovered record is clean: Visible, unlocked.
+    let table = primo.cluster().partition(target).store.table(T);
+    for k in after_target.keys() {
+        let rec = table.get(*k).unwrap();
+        assert_eq!(rec.state(), LifecycleState::Visible, "{label}: key {k}");
+        assert!(!rec.lock().is_locked(), "{label}: leaked lock on {k}");
+    }
+    // Specific effects survived: the insert exists, the delete holds.
+    assert_eq!(after_target.get(&FRESH_KEY).map(Vec::len), Some(8));
+    assert!(!after_target.contains_key(&DELETED_KEY), "{label}");
+
+    if discard_log {
+        let log = &primo.cluster().partition(target).log;
+        assert_eq!(
+            log.leader_index(),
+            1,
+            "{label}: leadership must move to the deterministic ring successor"
+        );
+        assert!(log.term() >= 1, "{label}: the crash bumps the term");
+        assert!(
+            report.repaired_replicas >= 1,
+            "{label}: the wiped replica is re-seeded from the new leader"
+        );
+        assert_eq!(
+            log.replica(0).len(),
+            log.replica(1).len(),
+            "{label}: repair restores the wiped copy"
+        );
+    }
+
+    // The partition serves transactions again.
+    session
+        .run_program(&Program {
+            home: PartitionId(0),
+            body: move |ctx: &mut dyn TxnContext| {
+                ctx.read(target, T, 1)?;
+                ctx.write(target, T, 1, Value::from_u64(7))
+            },
+        })
+        .unwrap_or_else(|e| panic!("{label}: post-recovery txn failed: {e:?}"));
+    primo.shutdown();
+}
+
 #[test]
 fn recovered_store_is_byte_identical_for_all_protocols_and_schemes() {
     for kind in ALL_KINDS {
         for scheme in ALL_SCHEMES {
-            let primo = Primo::builder()
-                .partitions(2)
-                .protocol(kind)
-                .logging(scheme)
-                .fast_local()
-                .seed(kind as u64 * 31 + scheme as u64 + 1)
-                .build();
-            let session = primo.session();
-            for p in 0..2u32 {
-                for k in 0..LOADED_KEYS {
-                    session.load(PartitionId(p), T, k, Value::from_u64(k + 100));
-                }
-            }
-            // Base checkpoints: without them the wiped loader data would be
-            // unrecoverable (loads bypass the WAL by design).
-            primo.checkpoint_all();
+            byte_identical_after_crash(kind, scheme, false);
+        }
+    }
+}
 
-            let target = PartitionId(1);
-            run_committed_prefix(&primo, target);
-            // Let everything become durable and covered: log entries pass
-            // their persist delay, the watermark overtakes the committed
-            // timestamps / the epoch seals its boundary markers.
-            std::thread::sleep(Duration::from_millis(40));
-
-            let before_target = value_snapshot(&primo, target);
-            let before_other = value_snapshot(&primo, PartitionId(0));
-            let live_before = primo.cluster().partition(target).store.total_records();
-            assert!(live_before > 0);
-
-            primo.crash_partition(target);
-            let report = primo
-                .recover_partition(target)
-                .expect("real recovery must run");
-            let label = format!("{}/{}", kind.label(), scheme.label());
-            assert_eq!(
-                report.wiped_records, live_before,
-                "{label}: recovery must wipe the whole volatile store"
-            );
-            assert!(
-                report.restored_records > 0,
-                "{label}: checkpoint restore ran"
-            );
-            assert!(report.replayed_txns > 0, "{label}: durable log replay ran");
-
-            let after_target = value_snapshot(&primo, target);
-            assert_eq!(
-                before_target, after_target,
-                "{label}: recovered store differs from the crash-free committed state"
-            );
-            assert_eq!(
-                before_other,
-                value_snapshot(&primo, PartitionId(0)),
-                "{label}: the surviving partition must be untouched"
-            );
-            // Every recovered record is clean: Visible, unlocked.
-            let table = primo.cluster().partition(target).store.table(T);
-            for k in after_target.keys() {
-                let rec = table.get(*k).unwrap();
-                assert_eq!(rec.state(), LifecycleState::Visible, "{label}: key {k}");
-                assert!(!rec.lock().is_locked(), "{label}: leaked lock on {k}");
-            }
-            // Specific effects survived: the insert exists, the delete holds.
-            assert_eq!(after_target.get(&FRESH_KEY).map(Vec::len), Some(8));
-            assert!(!after_target.contains_key(&DELETED_KEY), "{label}");
-
-            // The partition serves transactions again.
-            session
-                .run_program(&Program {
-                    home: PartitionId(0),
-                    body: move |ctx: &mut dyn TxnContext| {
-                        ctx.read(target, T, 1)?;
-                        ctx.write(target, T, 1, Value::from_u64(7))
-                    },
-                })
-                .unwrap_or_else(|e| panic!("{label}: post-recovery txn failed: {e:?}"));
-            primo.shutdown();
+/// Replication factor 3, crash **and discard the leader's local log
+/// replica**: the surviving quorum must still rebuild a byte-identical
+/// store — the acceptance bar for the replicated-WAL refactor — for every
+/// protocol under every group-commit scheme.
+#[test]
+fn replica_loss_recovery_is_byte_identical_for_all_protocols_and_schemes() {
+    for kind in ALL_KINDS {
+        for scheme in ALL_SCHEMES {
+            byte_identical_after_crash(kind, scheme, true);
         }
     }
 }
@@ -225,7 +282,7 @@ fn uncovered_writes_are_rolled_back_not_resurrected() {
     // agree on, with a matching rogue install: the paper's "result not yet
     // returnable" state at the instant of the crash.
     let rogue_ts = 1_u64 << 60;
-    let wal = &primo.cluster().partition(PartitionId(1)).wal;
+    let wal = &primo.cluster().partition(PartitionId(1)).log;
     wal.append(LogPayload::TxnWrites {
         txn: TxnId::new(PartitionId(1), u64::MAX >> 20),
         ts: rogue_ts,
@@ -284,7 +341,7 @@ fn second_crash_does_not_resurrect_rolled_back_writes() {
         .ts_floor(PartitionId(1))
         .max(primo.cluster().group_commit.ts_floor(PartitionId(0)))
         + 40;
-    let wal = &primo.cluster().partition(PartitionId(1)).wal;
+    let wal = &primo.cluster().partition(PartitionId(1)).log;
     wal.append(LogPayload::TxnWrites {
         txn: TxnId::new(PartitionId(1), u64::MAX >> 20),
         ts: rogue_ts,
@@ -374,6 +431,10 @@ fn experiment_pipeline_reports_recovery_metrics() {
     assert!(snap.committed > 0);
     assert!(snap.recovery_time_us > 0, "recovery latency reported");
     assert!(snap.post_recovery_tps > 0.0, "throughput resumed");
+    assert!(
+        snap.replication_lag_us > 0,
+        "append-to-quorum-ack lag reported (single copy: the persist delay)"
+    );
 }
 
 /// Seeded property loop: for random durable logs and random bounds, replay
@@ -463,7 +524,7 @@ fn checkpoints_bound_replay_and_log_growth() {
     std::thread::sleep(Duration::from_millis(20));
     // One more pass so the newest durable checkpoint truncates its prefix.
     primo.checkpoint_all();
-    let wal = &primo.cluster().partition(PartitionId(0)).wal;
+    let wal = &primo.cluster().partition(PartitionId(0)).log;
     let image = wal.latest_checkpoint().expect("images exist").1;
     assert!(image.len() >= 8);
     // Replay needed after the last checkpoint is (close to) nothing.
@@ -526,12 +587,15 @@ fn execute_installed(primo: &Primo, program: &dyn TxnProgram) -> CommitWaiter {
 /// deterministic: long watermark/epoch intervals so the doomed transaction
 /// cannot be covered between its commit and the injected crash, and a long
 /// CLV persist delay so the crash lands inside the doomed persist window.
+/// Replication factor 3 so the rollback-decision-durability epilogue can
+/// discard a whole local log replica and recover from the quorum.
 fn build_for_crash_abort(kind: ProtocolKind, scheme: LoggingScheme, seed: u64) -> Primo {
     let b = Primo::builder()
         .partitions(3)
         .protocol(kind)
         .logging(scheme)
         .fast_local()
+        .replication_factor(3)
         .seed(seed);
     match scheme {
         LoggingScheme::Watermark | LoggingScheme::CocoEpoch => b.wal_interval_ms(150),
@@ -681,6 +745,61 @@ fn crash_abort_rolls_back_surviving_partitions_for_all_protocols_and_schemes() {
                     },
                 })
                 .unwrap_or_else(|e| panic!("{label}: post-crash txn failed: {e:?}"));
+
+            // Rollback-decision durability: the `TxnRolledBack` markers the
+            // compensation pass sealed are replicated log records, not a
+            // single disk's private state. Discard the SURVIVOR's local
+            // replica wholesale and recover from the surviving quorum — the
+            // rolled-back transaction must stay rolled back (and committed
+            // state must stay committed). Before the replicated WAL, the
+            // markers (and everything else) died with the one copy.
+            std::thread::sleep(Duration::from_millis(100)); // markers reach the quorum
+            primo.cluster().crash_partition_discarding_log(SURVIVOR);
+            primo
+                .recover_partition(SURVIVOR)
+                .unwrap_or_else(|| panic!("{label}: replica-loss recovery must run"));
+            let after = value_snapshot(&primo, SURVIVOR);
+            assert_eq!(
+                after.get(&0),
+                Some(&Value::from_u64(7_000).as_bytes().to_vec()),
+                "{label}: the committed prefix must survive losing the replica"
+            );
+            match outcome {
+                CommitOutcome::CrashAborted => {
+                    assert_eq!(
+                        after.get(&DOOMED_PUT_KEY),
+                        Some(&Value::from_u64(DOOMED_PUT_KEY + 100).as_bytes().to_vec()),
+                        "{label}: the undone put must stay undone after replica loss"
+                    );
+                    assert!(
+                        !after.contains_key(&FRESH_KEY),
+                        "{label}: the undone insert must not resurrect from the quorum"
+                    );
+                    assert_eq!(
+                        after.get(&DOOMED_DELETE_KEY),
+                        Some(&Value::from_u64(DOOMED_DELETE_KEY + 100).as_bytes().to_vec()),
+                        "{label}: the revived delete target must survive replica loss"
+                    );
+                    assert!(
+                        primo
+                            .cluster()
+                            .partition(SURVIVOR)
+                            .log
+                            .rolled_back_txns()
+                            .contains(&waiter.txn),
+                        "{label}: the rollback marker must survive on the quorum"
+                    );
+                }
+                CommitOutcome::Committed => {
+                    assert_eq!(
+                        after.get(&DOOMED_PUT_KEY),
+                        Some(&Value::from_u64(999_999).as_bytes().to_vec()),
+                        "{label}: committed writes must survive replica loss"
+                    );
+                    assert!(after.contains_key(&FRESH_KEY), "{label}");
+                    assert!(!after.contains_key(&DOOMED_DELETE_KEY), "{label}");
+                }
+            }
             primo.shutdown();
         }
     }
@@ -734,7 +853,7 @@ fn survivor_crash_after_compensation_does_not_resurrect_undone_writes() {
         primo
             .cluster()
             .partition(SURVIVOR)
-            .wal
+            .log
             .rolled_back_txns()
             .contains(&waiter.txn),
         "the rollback decision is sealed in the survivor's log"
@@ -786,6 +905,85 @@ fn survivor_crash_after_compensation_does_not_resurrect_undone_writes() {
         Some(&Value::from_u64(6_666).as_bytes().to_vec()),
         "committed post-crash work must survive"
     );
+    primo.shutdown();
+}
+
+/// A second crash landing **mid-replay** must hand off to the deterministic
+/// successor replica and still produce a byte-identical store. The first
+/// crash discards the leader's disk (leadership: replica 0 → 1); while the
+/// replacement leader replays, it crashes too (memory only — losing a
+/// second disk of three would genuinely break the quorum), leadership moves
+/// 1 → 2, and the recovery loop voids the half-done pass and rebuilds from
+/// replica 2's copy.
+#[test]
+fn double_crash_mid_replay_hands_off_to_deterministic_successor() {
+    let primo = Primo::builder()
+        .partitions(2)
+        .protocol(ProtocolKind::Primo)
+        .fast_local()
+        .replication_factor(3)
+        .seed(0xD0B2)
+        .build();
+    let session = primo.session();
+    let target = PartitionId(1);
+    for p in 0..2u32 {
+        for k in 0..LOADED_KEYS {
+            session.load(PartitionId(p), T, k, Value::from_u64(k + 100));
+        }
+    }
+    primo.checkpoint_all();
+    run_committed_prefix(&primo, target);
+    std::thread::sleep(Duration::from_millis(40));
+    let before = value_snapshot(&primo, target);
+
+    let cluster = primo.cluster();
+    cluster.crash_partition_discarding_log(target);
+    let log = &cluster.partition(target).log;
+    assert_eq!(log.leader_index(), 1, "first hand-off: ring successor of 0");
+    let term_after_first = log.term();
+
+    let mut fired = false;
+    let report = cluster
+        .recover_partition_with_fault(target, &mut || {
+            if !fired {
+                fired = true;
+                // The replacement leader dies while replaying: term bump,
+                // leadership to the next ring successor. No new cluster
+                // agreement — the partition was not serving.
+                cluster.crash_replacement_leader(target, false);
+            }
+        })
+        .expect("recovery must run");
+    assert!(fired, "the mid-replay fault must actually land");
+    assert_eq!(
+        report.mid_replay_handoffs, 1,
+        "the recovery loop must notice the term bump and restart once"
+    );
+    assert_eq!(
+        log.leader_index(),
+        2,
+        "second hand-off: deterministic ring successor of replica 1"
+    );
+    assert_eq!(log.term(), term_after_first + 1);
+    assert!(
+        report.repaired_replicas >= 1,
+        "the wiped first leader is re-seeded from the final leader"
+    );
+    assert_eq!(
+        before,
+        value_snapshot(&primo, target),
+        "the store rebuilt by the final successor must be byte-identical"
+    );
+    // The partition serves transactions again under the new leader.
+    session
+        .run_program(&Program {
+            home: PartitionId(0),
+            body: move |ctx: &mut dyn TxnContext| {
+                ctx.read(target, T, 1)?;
+                ctx.write(target, T, 1, Value::from_u64(7))
+            },
+        })
+        .expect("post-handoff txn");
     primo.shutdown();
 }
 
@@ -876,6 +1074,130 @@ fn crash_abort_keeps_cross_partition_pairs_consistent_across_seeds() {
                 p1.get(&k),
                 "seed {seed}: pair {k} diverged — a crash-aborted transaction \
                  left half of its writes behind"
+            );
+        }
+        primo.shutdown();
+    }
+}
+
+/// Seeded replica-loss property loop (`PRIMO_REPLICA_LOSS_SEEDS` widens it
+/// in CI, default 3): concurrent pair-writers, then a crash that **discards
+/// the leader's local log replica**, recovery from the surviving quorum, and
+/// — after quiescing — a *second* disk-loss crash of the same partition.
+/// Every cross-partition pair must agree after each recovery, and the second
+/// recovery must reproduce the first one's state exactly: the `TxnRolledBack`
+/// decisions sealed along the way are quorum-durable, never one disk's
+/// private state.
+#[test]
+fn replica_loss_keeps_pairs_consistent_and_rollbacks_sealed_across_seeds() {
+    use primo_repro::runtime::run_single_txn;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    const KEYS: u64 = 64;
+
+    struct PairWrite {
+        key: u64,
+    }
+    impl TxnProgram for PairWrite {
+        fn execute(&self, ctx: &mut dyn TxnContext) -> TxnResult<()> {
+            let a = ctx.read(PartitionId(0), T, self.key)?.as_u64();
+            let _ = ctx.read(PartitionId(1), T, self.key)?;
+            ctx.write(PartitionId(0), T, self.key, Value::from_u64(a + 1))?;
+            ctx.write(PartitionId(1), T, self.key, Value::from_u64(a + 1))
+        }
+        fn home_partition(&self) -> PartitionId {
+            PartitionId(0)
+        }
+    }
+
+    let seeds: u64 = std::env::var("PRIMO_REPLICA_LOSS_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    for seed in 1..=seeds {
+        let primo = Primo::builder()
+            .partitions(2)
+            .protocol(ProtocolKind::Primo)
+            .fast_local()
+            .replication_factor(3)
+            .seed(0xBEEF_0000 + seed)
+            .build();
+        let session = primo.session();
+        for p in 0..2u32 {
+            for k in 0..KEYS {
+                session.load(PartitionId(p), T, k, Value::from_u64(0));
+            }
+        }
+        primo.checkpoint_all();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+        for w in 0..3u64 {
+            let cluster = Arc::clone(primo.cluster());
+            let protocol = Arc::clone(primo.protocol());
+            let stop = Arc::clone(&stop);
+            threads.push(std::thread::spawn(move || {
+                let mut rng = FastRng::new(seed * 1_000 + w);
+                while !stop.load(Ordering::Relaxed) {
+                    let prog = PairWrite {
+                        key: rng.next_below(KEYS),
+                    };
+                    // Crash-window attempts may exhaust retries; that is fine.
+                    let _ = run_single_txn(&cluster, protocol.as_ref(), &prog);
+                }
+            }));
+        }
+
+        std::thread::sleep(Duration::from_millis(40));
+        // Disk loss mid-run: the leader's replica is discarded with the
+        // crash, yet the quorum must reproduce every acknowledged pair.
+        primo
+            .cluster()
+            .crash_partition_discarding_log(PartitionId(1));
+        std::thread::sleep(Duration::from_millis(20));
+        // Quiesce before recovery so no in-flight transaction installs into
+        // records detached by the recovery wipe.
+        stop.store(true, Ordering::Relaxed);
+        for t in threads {
+            t.join().unwrap();
+        }
+        primo
+            .recover_partition(PartitionId(1))
+            .expect("first replica-loss recovery");
+
+        let p0 = value_snapshot(&primo, PartitionId(0));
+        let p1 = value_snapshot(&primo, PartitionId(1));
+        for k in 0..KEYS {
+            assert_eq!(
+                p0.get(&k),
+                p1.get(&k),
+                "seed {seed}: pair {k} diverged after replica-loss recovery"
+            );
+        }
+
+        // Second disk-loss crash after quiescing: everything the first
+        // recovery produced — including which transactions stay rolled back
+        // — must be reproducible from the (repaired) quorum again.
+        std::thread::sleep(Duration::from_millis(60));
+        let expected = value_snapshot(&primo, PartitionId(1));
+        primo
+            .cluster()
+            .crash_partition_discarding_log(PartitionId(1));
+        primo
+            .recover_partition(PartitionId(1))
+            .expect("second replica-loss recovery");
+        assert_eq!(
+            expected,
+            value_snapshot(&primo, PartitionId(1)),
+            "seed {seed}: the second replica-loss recovery must reproduce the \
+             quiesced state — a rollback decision leaked back in"
+        );
+        for k in 0..KEYS {
+            assert_eq!(
+                value_snapshot(&primo, PartitionId(0)).get(&k),
+                value_snapshot(&primo, PartitionId(1)).get(&k),
+                "seed {seed}: pair {k} diverged after the second recovery"
             );
         }
         primo.shutdown();

@@ -16,8 +16,9 @@ fn wm(n: usize, interval_ms: u64) -> WatermarkCommit {
         interval_ms,
         persist_delay_us: 100,
         force_update: true,
+        ..WalConfig::default()
     };
-    WatermarkCommit::new(n, cfg, bus, primo_repro::wal::build_wals(n, cfg))
+    WatermarkCommit::new(n, cfg, bus, primo_repro::wal::build_logs(n, cfg))
 }
 
 #[test]
