@@ -15,7 +15,7 @@ use crate::common::{BaselineCtx, ReadGuard};
 use parking_lot::{Condvar, Mutex};
 use primo_common::sim_time::{charge_latency_us, now_us};
 use primo_common::{
-    AbortReason, Key, PartitionId, Phase, PhaseTimers, TableId, TxnError, TxnId, TxnResult, Value,
+    AbortReason, Key, PartitionId, Phase, PhaseTimers, TableId, TxnError, TxnId, TxnResult,
 };
 use primo_runtime::access::WriteKind;
 use primo_runtime::cluster::Cluster;
@@ -259,25 +259,51 @@ impl Protocol for AriaProtocol {
                     // state without re-executing batches. Within a batch at
                     // most one transaction wins any given key (the WAW
                     // check), so log order per key matches install order.
+                    //
+                    // Aria has no prepare round, so remote write partitions
+                    // are registered here, before the timestamp is
+                    // finalized: the reservation's watermark floor must
+                    // cover every log this write-set lands on, and each
+                    // participant's watermark must stay pinned until
+                    // `txn_committed` confirms the entries are appended.
+                    for p in ctx.access.participants(home) {
+                        cluster.group_commit.add_participant(ticket, p, 0);
+                    }
                     let ts = cluster.group_commit.finalize_commit_ts(ticket, 0);
                     timers.time(Phase::Commit, || {
                         log_txn_writes(cluster, txn, ts, &ctx.access.writes);
                         for w in &ctx.access.writes {
                             // The commit decision is already made, so inserts
                             // create their record directly (install flips it
-                            // Visible) and deletes tombstone + reclaim.
+                            // Visible) and deletes tombstone + reclaim. The
+                            // slot is claimed in uncommitted state first so a
+                            // concurrent snapshot reader never observes a
+                            // placeholder value, and every install carries
+                            // the finalized commit timestamp for the version
+                            // chain.
                             let table = cluster.partition(w.partition).store.table(w.table);
                             match w.kind {
                                 WriteKind::Delete => {
                                     if let Some(record) = table.get(w.key) {
-                                        record.install_tombstone_next_version();
+                                        record.install_tombstone_next_version_at(ts);
                                         table.reclaim(w.key);
                                     }
                                 }
                                 _ => {
-                                    let (record, _) =
-                                        table.insert_if_absent(w.key, Value::zeroed(0));
-                                    record.install_next_version(w.value.clone());
+                                    let record = match table.insert_slot(w.key, txn) {
+                                        primo_storage::InsertSlot::Existing(r)
+                                        | primo_storage::InsertSlot::Created(r)
+                                        | primo_storage::InsertSlot::Revived(r) => r,
+                                        // Unreachable within Aria (the WAW
+                                        // check admits one writer per key per
+                                        // batch), but stay safe: replace the
+                                        // slot with a record born at `ts`.
+                                        primo_storage::InsertSlot::Busy => {
+                                            table.restore(w.key, w.value.clone(), ts);
+                                            continue;
+                                        }
+                                    };
+                                    record.install_next_version_at(w.value.clone(), ts);
                                 }
                             }
                         }

@@ -284,11 +284,11 @@ pub fn install_locked_writes(
         match (w.kind, ts) {
             (WriteKind::Delete, Some(ts)) => record.install_tombstone(ts),
             (WriteKind::Delete, None) => {
-                record.install_tombstone_next_version();
+                record.install_tombstone_next_version_at(final_ts);
             }
             (_, Some(ts)) => record.install(w.value.clone(), ts),
             (_, None) => {
-                record.install_next_version(w.value.clone());
+                record.install_next_version_at(w.value.clone(), final_ts);
             }
         }
     }

@@ -73,9 +73,14 @@ impl Protocol for SundialProtocol {
         };
 
         // Compute the commit timestamp from the observed leases and the
-        // current state of the write records (TicToc rules).
+        // current state of the write records (TicToc rules), then reserve it
+        // with the group-commit scheme: the reservation applies the
+        // coordinator's watermark floor atomically and pins the watermark
+        // below `ts` until `txn_committed`, so the write-set logged below
+        // can never land under an already-published (durability-claiming)
+        // watermark.
         let ts = timers.time(Phase::Timestamp, || {
-            let mut ts: Ts = cluster.group_commit.ts_floor(home) + 1;
+            let mut ts: Ts = 0;
             for r in &ctx.access.reads {
                 ts = ts.max(r.wts);
             }
@@ -83,7 +88,7 @@ impl Protocol for SundialProtocol {
                 let (_, rts) = record.timestamps();
                 ts = ts.max(rts + 1);
             }
-            ts
+            cluster.group_commit.reserve_commit_ts(ticket, ts)
         });
         cluster.group_commit.update_ts(ticket, ts);
 

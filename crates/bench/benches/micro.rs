@@ -246,6 +246,57 @@ fn bench_checkpoint_and_replay() {
     gc.shutdown();
 }
 
+fn bench_mvcc_versions() {
+    // The MVCC hot paths the snapshot-read subsystem adds: pushing a new
+    // committed version onto a bounded chain (every install now shifts the
+    // prior version into history and may evict the oldest) and resolving a
+    // read at a horizon — both at the newest version (the common case: the
+    // horizon trails the writers by one interval) and at the oldest retained
+    // one (the worst case before fallback).
+    let record = Record::new(Value::zeroed(100));
+    record.set_max_versions(4);
+    let v = Value::zeroed(100);
+    let mut ts = 0u64;
+    bench("mvcc/version_push_bounded_4", || {
+        ts += 2;
+        record.install(v.clone(), ts);
+    });
+    bench("mvcc/snapshot_lookup_newest", || {
+        std::hint::black_box(record.read_at(ts));
+    });
+    // ts - 6 lands on the oldest of the 4 retained versions (spaced 2 apart).
+    let oldest = ts - 6;
+    bench("mvcc/snapshot_lookup_oldest_retained", || {
+        std::hint::black_box(record.read_at(oldest));
+    });
+
+    // End-to-end: a declared read-only two-partition transaction through the
+    // snapshot path vs the same program through the protocol.
+    let primo = loaded_primo(ProtocolKind::Primo);
+    let session = primo.session();
+    let mut rng = FastRng::new(7);
+    bench("mvcc/read_only_txn_snapshot", || {
+        let (a, b) = (rng.next_below(1_000), rng.next_below(1_000));
+        let program = ClosureProgram::new(PartitionId(0), move |ctx| {
+            ctx.read(PartitionId(0), TableId(0), a)?;
+            ctx.read(PartitionId(1), TableId(0), b)?;
+            Ok(())
+        })
+        .read_only();
+        session.run_program(&program).unwrap();
+    });
+    bench("mvcc/read_only_txn_protocol", || {
+        let (a, b) = (rng.next_below(1_000), rng.next_below(1_000));
+        let program = ClosureProgram::new(PartitionId(0), move |ctx| {
+            ctx.read(PartitionId(0), TableId(0), a)?;
+            ctx.read(PartitionId(1), TableId(0), b)?;
+            Ok(())
+        });
+        session.run_program(&program).unwrap();
+    });
+    primo.shutdown();
+}
+
 fn bench_insert_delete_churn() {
     // The record-lifecycle hot loop: claim a slot (create or revive), commit
     // the insert, tombstone it, reclaim the tombstone from the table shard —
@@ -361,6 +412,7 @@ fn main() {
     bench_wal_durable_boundary();
     bench_log_txn_writes();
     bench_checkpoint_and_replay();
+    bench_mvcc_versions();
     bench_insert_delete_churn();
     bench_single_txn();
     bench_txn_churn();

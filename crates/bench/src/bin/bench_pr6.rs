@@ -1,0 +1,231 @@
+//! Emit `BENCH_PR6.json`: the PR-6 performance baseline.
+//!
+//! Two sections from a fixed matrix:
+//!
+//! * `micro` — version-chain costs measured directly on a [`Record`]:
+//!   `version_push_ns` (install a new committed version, pushing the
+//!   previous one into the bounded history chain) and
+//!   `snapshot_lookup_ns` (resolve a snapshot read against the chain at a
+//!   mid-history horizon).
+//! * `read_only_scaling` — every protocol × group-commit scheme at a 95 %
+//!   YCSB read ratio, run twice: MVCC snapshot reads enabled (declared
+//!   read-only transactions resolve lock-free at the durable group-commit
+//!   horizon) and disabled (the validate-everything baseline). Each cell
+//!   reports committed TPS, p99 latency and the snapshot-served share.
+//!
+//! ```text
+//! bench_pr6 [--duration-ms N] [--partitions N] [--workers N] [--out PATH]
+//! ```
+//!
+//! The committed `BENCH_PR6.json` at the repo root is generated with the
+//! defaults; CI smoke-runs the emitter at a reduced duration.
+
+use primo_bench::Scale;
+use primo_repro::storage::Record;
+use primo_repro::{Experiment, LoggingScheme, ProtocolKind, Value};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const PROTOCOLS: [ProtocolKind; 9] = [
+    ProtocolKind::TwoPlNoWait,
+    ProtocolKind::TwoPlWaitDie,
+    ProtocolKind::Silo,
+    ProtocolKind::Sundial,
+    ProtocolKind::Aria,
+    ProtocolKind::Tapir,
+    ProtocolKind::Primo,
+    ProtocolKind::PrimoNoWm,
+    ProtocolKind::PrimoNoWcfNoWm,
+];
+
+const SCHEMES: [LoggingScheme; 4] = [
+    LoggingScheme::SyncPerTxn,
+    LoggingScheme::CocoEpoch,
+    LoggingScheme::Clv,
+    LoggingScheme::Watermark,
+];
+
+const READ_RATIO: f64 = 0.95;
+const MAX_VERSIONS: usize = 8;
+
+fn scheme_key(s: LoggingScheme) -> &'static str {
+    match s {
+        LoggingScheme::SyncPerTxn => "sync",
+        LoggingScheme::CocoEpoch => "coco",
+        LoggingScheme::Clv => "clv",
+        LoggingScheme::Watermark => "watermark",
+    }
+}
+
+/// Median of three timing passes, nanoseconds per op.
+fn ns_per_op(mut pass: impl FnMut() -> f64) -> f64 {
+    let mut runs = [pass(), pass(), pass()];
+    runs.sort_by(|a, b| a.total_cmp(b));
+    runs[1]
+}
+
+fn micro_version_push() -> f64 {
+    const OPS: u64 = 200_000;
+    ns_per_op(|| {
+        let rec = Record::new(Value::from_u64(0));
+        rec.set_max_versions(MAX_VERSIONS);
+        let start = Instant::now();
+        for i in 0..OPS {
+            rec.install_next_version_at(Value::from_u64(i), i + 1);
+        }
+        start.elapsed().as_nanos() as f64 / OPS as f64
+    })
+}
+
+fn micro_snapshot_lookup() -> f64 {
+    const OPS: u64 = 1_000_000;
+    ns_per_op(|| {
+        let rec = Record::new(Value::from_u64(0));
+        rec.set_max_versions(MAX_VERSIONS);
+        for i in 0..MAX_VERSIONS as u64 {
+            rec.install_next_version_at(Value::from_u64(i), (i + 1) * 10);
+        }
+        // Horizon in the middle of the retained chain: the lookup walks
+        // half the history on every call.
+        let h = (MAX_VERSIONS as u64 / 2) * 10;
+        let start = Instant::now();
+        for _ in 0..OPS {
+            std::hint::black_box(rec.read_at(std::hint::black_box(h)));
+        }
+        start.elapsed().as_nanos() as f64 / OPS as f64
+    })
+}
+
+struct Cell {
+    protocol: &'static str,
+    scheme: &'static str,
+    snapshot: bool,
+    tps: f64,
+    p99_ms: f64,
+    snapshot_read_tps: f64,
+    snapshot_reads: u64,
+    abort_rate: f64,
+}
+
+fn run_cell(kind: ProtocolKind, scheme: LoggingScheme, snapshot_on: bool, scale: &Scale) -> Cell {
+    let snap = Experiment::new()
+        .protocol(kind)
+        .logging(scheme)
+        .scale(*scale)
+        .checkpoint_interval_ms(scale.duration_ms.max(4) / 4)
+        .ycsb_with(|y| y.read_ratio = READ_RATIO)
+        .tweak_cluster(move |c| {
+            c.primo.read_only_snapshot = snapshot_on;
+            c.primo.max_versions = MAX_VERSIONS;
+        })
+        .run();
+    Cell {
+        protocol: kind.label(),
+        scheme: scheme_key(scheme),
+        snapshot: snapshot_on,
+        tps: snap.throughput_tps,
+        p99_ms: snap.p99_latency_ms,
+        snapshot_read_tps: snap.snapshot_read_tps,
+        snapshot_reads: snap.snapshot_reads,
+        abort_rate: snap.abort_rate,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::quick();
+    let mut out_path = String::from("BENCH_PR6.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--duration-ms" => {
+                scale.duration_ms = args[i + 1].parse().expect("--duration-ms N");
+                i += 2;
+            }
+            "--partitions" => {
+                scale.partitions = args[i + 1].parse().expect("--partitions N");
+                i += 2;
+            }
+            "--workers" => {
+                scale.workers_per_partition = args[i + 1].parse().expect("--workers N");
+                i += 2;
+            }
+            "--out" => {
+                out_path = args[i + 1].clone();
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
+                eprintln!("usage: bench_pr6 [--duration-ms N] [--partitions N] [--workers N] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("# micro benches (record-level, no cluster)");
+    let version_push_ns = micro_version_push();
+    let snapshot_lookup_ns = micro_snapshot_lookup();
+    eprintln!("version_push_ns    = {version_push_ns:.1}");
+    eprintln!("snapshot_lookup_ns = {snapshot_lookup_ns:.1}");
+
+    eprintln!(
+        "# read-only scaling: {} protocols x {} schemes x 2 modes, {} ms each",
+        PROTOCOLS.len(),
+        SCHEMES.len(),
+        scale.duration_ms
+    );
+    let mut cells = Vec::new();
+    for kind in PROTOCOLS {
+        for scheme in SCHEMES {
+            for snapshot_on in [true, false] {
+                let cell = run_cell(kind, scheme, snapshot_on, &scale);
+                eprintln!(
+                    "{:<12} {:<10} snapshot={:<5} tps={:>10.0} p99={:>7.2}ms snap_tps={:>9.0}",
+                    cell.protocol,
+                    cell.scheme,
+                    cell.snapshot,
+                    cell.tps,
+                    cell.p99_ms,
+                    cell.snapshot_read_tps
+                );
+                cells.push(cell);
+            }
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"pr\": 6,");
+    let _ = writeln!(
+        json,
+        "  \"matrix\": {{\"read_ratio\": {READ_RATIO}, \"max_versions\": {MAX_VERSIONS}, \
+         \"partitions\": {}, \"workers_per_partition\": {}, \"duration_ms\": {}}},",
+        scale.partitions, scale.workers_per_partition, scale.duration_ms
+    );
+    let _ = writeln!(
+        json,
+        "  \"micro\": {{\"version_push_ns\": {version_push_ns:.1}, \
+         \"snapshot_lookup_ns\": {snapshot_lookup_ns:.1}}},"
+    );
+    json.push_str("  \"read_only_scaling\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"protocol\": \"{}\", \"scheme\": \"{}\", \"snapshot\": {}, \
+             \"tps\": {:.1}, \"p99_ms\": {:.3}, \"snapshot_read_tps\": {:.1}, \
+             \"snapshot_reads\": {}, \"abort_rate\": {:.4}}}{comma}",
+            c.protocol,
+            c.scheme,
+            c.snapshot,
+            c.tps,
+            c.p99_ms,
+            c.snapshot_read_tps,
+            c.snapshot_reads,
+            c.abort_rate
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_PR6.json");
+    eprintln!("wrote {out_path}");
+}

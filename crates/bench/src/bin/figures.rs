@@ -60,6 +60,7 @@ fn main() {
         "fig13" => figures::fig13(&scale),
         "fig14" => figures::fig14(&scale),
         "fig15" => figures::fig15(&scale),
+        "fig16" => figures::fig16(&scale),
         "appendixa" => figures::appendix_a(),
         "all" => figures::all(&scale),
         other => {
@@ -71,5 +72,5 @@ fn main() {
 }
 
 fn print_usage() {
-    eprintln!("usage: figures <fig4..fig15|appendixA|all> [--quick|--full] [--duration-ms N] [--partitions N] [--workers N]");
+    eprintln!("usage: figures <fig4..fig16|appendixA|all> [--quick|--full] [--duration-ms N] [--partitions N] [--workers N]");
 }

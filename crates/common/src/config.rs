@@ -144,6 +144,12 @@ pub struct WalConfig {
     /// `None` means same as `persist_delay_us`. The one-way network latency
     /// of the replication hop is added on top by the cluster.
     pub replica_persist_delay_us: Option<u64>,
+    /// **Deliberately unsound** ablation knob for the snapshot-read
+    /// subsystem: report the latest finalized commit timestamp as the
+    /// snapshot horizon instead of the scheme's durable horizon. Snapshot
+    /// readers may then observe state a crash later rolls back — the
+    /// crash-consistency suite asserts it catches exactly that.
+    pub unsafe_latest_commit_horizon: bool,
 }
 
 impl Default for WalConfig {
@@ -155,6 +161,7 @@ impl Default for WalConfig {
             force_update: true,
             replication_factor: 1,
             replica_persist_delay_us: None,
+            unsafe_latest_commit_horizon: false,
         }
     }
 }
@@ -168,6 +175,9 @@ pub struct PrimoConfig {
     pub read_heavy_fallback: Option<f64>,
     /// Use snapshot reads (no locks) for transactions declared read-only.
     pub read_only_snapshot: bool,
+    /// Version-chain depth per record (current + history), `>= 1`. Small by
+    /// default so memory stays flat under write-heavy churn.
+    pub max_versions: usize,
 }
 
 impl Default for PrimoConfig {
@@ -175,6 +185,7 @@ impl Default for PrimoConfig {
         PrimoConfig {
             read_heavy_fallback: None,
             read_only_snapshot: true,
+            max_versions: 4,
         }
     }
 }
@@ -235,6 +246,7 @@ impl ClusterConfig {
                 force_update: true,
                 replication_factor: 1,
                 replica_persist_delay_us: None,
+                unsafe_latest_commit_horizon: false,
             },
             primo: PrimoConfig::default(),
             backoff_initial_us: 20,

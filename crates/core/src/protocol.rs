@@ -1,7 +1,7 @@
 //! The Primo protocol: execution + commit paths (Algorithm 1 of the paper).
 
 use crate::context::{Mode, PrimoCtx};
-use primo_common::{AbortReason, PartitionId, Phase, PhaseTimers, Ts, TxnError, TxnId, TxnResult};
+use primo_common::{AbortReason, Phase, PhaseTimers, Ts, TxnError, TxnId, TxnResult};
 use primo_runtime::access::{recheck_locked_record, resolve_write_record, AccessSet, WriteKind};
 use primo_runtime::cluster::Cluster;
 use primo_runtime::durability::log_txn_writes;
@@ -84,11 +84,15 @@ impl PrimoProtocol {
     }
 
     /// Compute the TicToc commit timestamp for the access set (Algorithm 1
-    /// line 17), also respecting the watermark floor (rule R2, coordinator
-    /// side). Assumes write records are already covered by read entries
-    /// (dummy reads) in WCF mode or locked separately otherwise.
-    fn compute_ts(cluster: &Cluster, home: PartitionId, access: &AccessSet) -> Ts {
-        let mut ts = cluster.group_commit.ts_floor(home) + 1;
+    /// line 17) and reserve it with the group-commit scheme, which applies
+    /// the watermark floor (rule R2, coordinator side) atomically and pins
+    /// the watermark below the result until `txn_committed` — so the
+    /// write-set this transaction is about to log can never end up below a
+    /// published (durability-claiming) `Wp`. Assumes write records are
+    /// already covered by read entries (dummy reads) in WCF mode or locked
+    /// separately otherwise.
+    fn compute_ts(cluster: &Cluster, ticket: &TxnTicket, access: &AccessSet) -> Ts {
+        let mut ts = 0;
         for r in &access.reads {
             if !r.dummy {
                 ts = ts.max(r.wts);
@@ -100,7 +104,7 @@ impl PrimoProtocol {
                 ts = ts.max(rts + 1);
             }
         }
-        ts
+        cluster.group_commit.reserve_commit_ts(ticket, ts)
     }
 
     /// Commit a purely local transaction with TicToc (§4.2.1).
@@ -108,10 +112,10 @@ impl PrimoProtocol {
         &self,
         cluster: &Cluster,
         txn: TxnId,
+        ticket: &TxnTicket,
         ctx: &mut PrimoCtx<'_>,
         timers: &mut PhaseTimers,
     ) -> TxnResult<CommittedTxn> {
-        let home = ctx.home;
         // 1. Resolve and lock the write set (abort immediately on conflict,
         //    as TicToc / Silo do). `resolved` keeps the record of every
         //    write so installation cannot race a concurrent unlink;
@@ -151,10 +155,12 @@ impl PrimoProtocol {
             return Err(TxnError::Aborted(reason));
         }
 
-        // 2. Compute the commit timestamp (including the rts of blind-write
-        //    records, which have no read entry but are locked above).
+        // 2. Compute and reserve the commit timestamp. The raise for
+        //    blind-write records (locked above, no read entry) happens after
+        //    the reservation: the watermark pin stays at the reserved
+        //    (lower) value, which is conservative and therefore still sound.
         let mut ts = timers.time(Phase::Timestamp, || {
-            Self::compute_ts(cluster, home, &ctx.access)
+            Self::compute_ts(cluster, ticket, &ctx.access)
         });
         for r in &locked {
             let (_, rts) = r.timestamps();
@@ -247,7 +253,7 @@ impl PrimoProtocol {
     ) -> TxnResult<CommittedTxn> {
         let home = ctx.home;
         let ts = timers.time(Phase::Timestamp, || {
-            Self::compute_ts(cluster, home, &ctx.access)
+            Self::compute_ts(cluster, ticket, &ctx.access)
         });
         cluster.group_commit.update_ts(ticket, ts);
         let ops = ctx.access.ops();
@@ -373,7 +379,7 @@ impl PrimoProtocol {
         // Timestamp + read validation (TicToc-style, so local transactions
         // can still commit around us).
         let ts = timers.time(Phase::Timestamp, || {
-            Self::compute_ts(cluster, home, &ctx.access)
+            Self::compute_ts(cluster, ticket, &ctx.access)
         });
         cluster.group_commit.update_ts(ticket, ts);
         let validation = timers.time(Phase::Commit, || {
@@ -484,7 +490,7 @@ impl Protocol for PrimoProtocol {
         }
 
         match ctx.mode() {
-            Mode::Local => self.commit_local_tictoc(cluster, txn, &mut ctx, timers),
+            Mode::Local => self.commit_local_tictoc(cluster, txn, ticket, &mut ctx, timers),
             Mode::Distributed => {
                 if wcf {
                     self.commit_wcf(cluster, txn, ticket, &mut ctx, timers)
@@ -500,7 +506,7 @@ impl Protocol for PrimoProtocol {
 mod tests {
     use super::*;
     use primo_common::config::ClusterConfig;
-    use primo_common::{TableId, Value};
+    use primo_common::{PartitionId, TableId, Value};
     use primo_runtime::txn::{IncrementProgram, TxnContext};
     use primo_runtime::worker::run_single_txn;
 

@@ -118,20 +118,24 @@ fn undo_rolled_back(
             };
             match (&w.prev, &record) {
                 // The key had a committed value before the transaction:
-                // restore it (this also revives a tombstoned record — a
-                // rolled-back delete — since install flips it `Visible`).
-                (Some(prev), Some(r)) => r.install(prev.clone(), *ts),
+                // reinstate it. `revert` (not `install`) so the rolled-back
+                // version is *purged* from the MVCC chain instead of pushed
+                // into history where a snapshot could still read it (this
+                // also revives a tombstoned record — a rolled-back delete —
+                // since revert flips it `Visible`).
+                (Some(prev), Some(r)) => r.revert(prev.clone(), *ts),
                 // Rolled-back delete whose tombstone was already physically
                 // reclaimed: recreate the slot.
                 (Some(prev), None) => {
                     store.restore(w.table, w.key, prev.clone(), *ts);
                 }
                 // The key had no committed value (the transaction's insert
-                // created or revived it): tombstone + reclaim, the same
-                // path a committed delete takes.
+                // created or revived it): revert to a tombstone (purging the
+                // rolled-back version from the chain) + reclaim, the same
+                // net lifecycle a committed delete reaches.
                 (None, Some(r)) => {
                     if r.state() == LifecycleState::Visible {
-                        r.install_tombstone(*ts);
+                        r.revert_to_tombstone(*ts);
                     }
                 }
                 (None, None) => {}

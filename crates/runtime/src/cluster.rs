@@ -32,10 +32,10 @@ pub struct Partition {
 }
 
 impl Partition {
-    fn new(id: PartitionId, log: Arc<ReplicatedLog>) -> Self {
+    fn new(id: PartitionId, log: Arc<ReplicatedLog>, max_versions: usize) -> Self {
         Partition {
             id,
-            store: PartitionStore::new(id),
+            store: PartitionStore::with_max_versions(id, max_versions),
             log,
             next_seq: AtomicU64::new(1),
             slowdown_us: AtomicU64::new(0),
@@ -81,6 +81,9 @@ pub struct Cluster {
     /// Total crash-rolled-back transactions whose surviving-partition
     /// residue was compensated (see [`Cluster::crash_partition`]).
     compensated_txns: AtomicU64,
+    /// Superseded record versions garbage-collected at checkpoints (the
+    /// version-chain GC piggybacks on [`Cluster::checkpoint_partition`]).
+    pruned_versions: AtomicU64,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -118,10 +121,11 @@ impl Cluster {
             })
             .collect();
         let group_commit = build_group_commit(n, config.wal, Arc::clone(&bus), logs.clone());
+        let max_versions = config.primo.max_versions;
         let partitions = logs
             .into_iter()
             .enumerate()
-            .map(|(p, log)| Arc::new(Partition::new(PartitionId(p as u32), log)))
+            .map(|(p, log)| Arc::new(Partition::new(PartitionId(p as u32), log, max_versions)))
             .collect();
         Arc::new(Cluster {
             config,
@@ -132,6 +136,7 @@ impl Cluster {
             global_seq: AtomicU64::new(1),
             pending_crashes: Mutex::new(HashMap::new()),
             compensated_txns: AtomicU64::new(0),
+            pruned_versions: AtomicU64::new(0),
         })
     }
 
@@ -203,6 +208,10 @@ impl Cluster {
         let compensated = compensate_survivors(survivors, self.group_commit.as_ref(), token);
         self.compensated_txns
             .fetch_add(compensated as u64, Ordering::Relaxed);
+        // Every rolled-back version is purged from the survivors' chains:
+        // the snapshot horizon no longer needs to stay capped below the
+        // agreement.
+        self.group_commit.on_compensation_complete();
         token
     }
 
@@ -290,12 +299,41 @@ impl Cluster {
             return None;
         }
         let partition = self.partition(p);
-        Some(if partition.log.latest_checkpoint().is_none() {
+        let stats = if partition.log.latest_checkpoint().is_none() {
             Checkpointer::initial(&partition.store, &partition.log)
         } else {
             Checkpointer::tick(p, &partition.log, self.group_commit.as_ref())
                 .expect("base checkpoint exists")
-        })
+        };
+        // Version-chain GC piggybacks on the checkpoint pass: history
+        // versions shadowed at or below the current snapshot horizon can no
+        // longer be requested (the published horizon is monotone), so they
+        // are reclaimed here rather than by a dedicated vacuum thread.
+        let bound = self.group_commit.snapshot_horizon(p);
+        let pruned = partition.store.prune_versions(bound);
+        self.pruned_versions
+            .fetch_add(pruned as u64, Ordering::Relaxed);
+        Some(stats)
+    }
+
+    /// Total superseded record versions reclaimed by checkpoint-time GC
+    /// (reported as `pruned_versions` in
+    /// [`MetricsSnapshot`](primo_common::MetricsSnapshot)).
+    pub fn pruned_versions(&self) -> u64 {
+        self.pruned_versions.load(Ordering::Relaxed)
+    }
+
+    /// The cluster-wide MVCC snapshot timestamp: the minimum of every
+    /// partition's group-commit horizon. A read-only transaction resolved at
+    /// this horizon observes only durable, never-to-be-rolled-back state on
+    /// every partition it touches (see
+    /// [`GroupCommit::snapshot_horizon`] for the per-scheme rules).
+    pub fn snapshot_horizon(&self) -> Ts {
+        self.partition_ids()
+            .into_iter()
+            .map(|p| self.group_commit.snapshot_horizon(p))
+            .min()
+            .unwrap_or(0)
     }
 
     /// Checkpoint every healthy partition (the experiment driver runs this

@@ -175,6 +175,7 @@ pub fn run_on_cluster(
     snap.compensated_txns = cluster.compensated_txns();
     snap.leader_changes = cluster.leader_changes();
     snap.replication_lag_us = cluster.replication_lag_us();
+    snap.pruned_versions = cluster.pruned_versions();
     snap
 }
 

@@ -13,6 +13,7 @@ pub mod cluster;
 pub mod durability;
 pub mod experiment;
 pub mod protocol;
+pub mod snapshot;
 pub mod txn;
 pub mod worker;
 
@@ -21,5 +22,6 @@ pub use cluster::{Cluster, Partition};
 pub use durability::log_txn_writes;
 pub use experiment::{run_experiment, run_on_cluster, CrashPlan, ExperimentOptions};
 pub use protocol::{CommittedTxn, Protocol};
+pub use snapshot::{execute_snapshot, SnapshotOutcome, SnapshotSession};
 pub use txn::{ClosureProgram, TxnContext, TxnProgram, Workload};
 pub use worker::run_single_txn;

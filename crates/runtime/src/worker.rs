@@ -115,9 +115,42 @@ pub fn worker_loop(ctx: WorkerContext) {
         }
 
         let program = ctx.workload.generate(&mut rng, ctx.home);
-        let txn = ctx.cluster.next_txn_id(ctx.home);
         let mut timers = PhaseTimers::new();
         let started = Instant::now();
+
+        // Declared read-only transactions are served from the MVCC snapshot
+        // at the durable group-commit horizon: no ticket, no locks, no
+        // validation, no group-commit wait — the result is final the moment
+        // execution ends. An unanswerable read (bounded chain outran the
+        // horizon) falls back to the protocol path below.
+        if program.is_read_only() && crate::snapshot::snapshot_reads_enabled(&ctx.cluster) {
+            let done = timers.time(Phase::Execute, || {
+                match crate::snapshot::execute_snapshot(&ctx.cluster, program.as_ref()) {
+                    crate::snapshot::SnapshotOutcome::Done(result) => Some(result),
+                    crate::snapshot::SnapshotOutcome::Fallback => None,
+                }
+            });
+            if let Some(result) = done {
+                if ctx.recording.load(Ordering::Relaxed) {
+                    match result {
+                        Ok(()) => {
+                            let latency_us = started.elapsed().as_micros() as u64;
+                            ctx.metrics.record_commit(latency_us, &timers);
+                            ctx.metrics.record_snapshot_read();
+                        }
+                        Err(e) => {
+                            // Program-level abort (e.g. NotFound at the
+                            // snapshot): final, never retried.
+                            ctx.metrics.record_abort(e.reason());
+                            ctx.metrics.record_abandoned();
+                        }
+                    }
+                }
+                continue;
+            }
+        }
+
+        let txn = ctx.cluster.next_txn_id(ctx.home);
         let mut backoff_us = backoff_initial;
         let slowdown = ctx.cluster.partition(ctx.home).slowdown_us();
 
@@ -240,6 +273,15 @@ pub fn run_single_txn(
     program: &dyn crate::txn::TxnProgram,
 ) -> Result<usize, AbortReason> {
     let home = program.home_partition();
+    // The same snapshot dispatch the worker loop uses: a declared read-only
+    // program resolves at the durable horizon unless a read is unanswerable.
+    if program.is_read_only() && crate::snapshot::snapshot_reads_enabled(cluster) {
+        match crate::snapshot::execute_snapshot(cluster, program) {
+            crate::snapshot::SnapshotOutcome::Done(Ok(())) => return Ok(1),
+            crate::snapshot::SnapshotOutcome::Done(Err(e)) => return Err(e.reason()),
+            crate::snapshot::SnapshotOutcome::Fallback => {}
+        }
+    }
     let mut attempts = 0;
     let mut backoff_us = cluster.config.backoff_initial_us;
     // When MAX_ATTEMPTS runs out, report what actually aborted the last

@@ -13,5 +13,5 @@ pub mod table;
 
 pub use lock::{LockMode, LockPolicy, LockRequestResult, RecordLock};
 pub use partition::PartitionStore;
-pub use record::{LifecycleState, Record, RecordData};
+pub use record::{LifecycleState, Record, RecordData, SnapshotRead, Version, DEFAULT_MAX_VERSIONS};
 pub use table::{InsertSlot, Table};

@@ -14,13 +14,22 @@ use std::sync::Arc;
 pub struct PartitionStore {
     partition: PartitionId,
     tables: RwLock<Vec<Option<Arc<Table>>>>,
+    /// Version-chain depth for records in lazily created tables.
+    max_versions: usize,
 }
 
 impl PartitionStore {
     pub fn new(partition: PartitionId) -> Self {
+        Self::with_max_versions(partition, crate::record::DEFAULT_MAX_VERSIONS)
+    }
+
+    /// A store whose tables keep up to `max_versions` versions per record.
+    pub fn with_max_versions(partition: PartitionId, max_versions: usize) -> Self {
+        assert!(max_versions >= 1);
         PartitionStore {
             partition,
             tables: RwLock::new(Vec::new()),
+            max_versions,
         }
     }
 
@@ -42,7 +51,7 @@ impl PartitionStore {
             tables.resize(idx + 1, None);
         }
         if tables[idx].is_none() {
-            tables[idx] = Some(Arc::new(Table::new()));
+            tables[idx] = Some(Arc::new(Table::with_max_versions(self.max_versions)));
         }
         Arc::clone(tables[idx].as_ref().unwrap())
     }
@@ -97,6 +106,16 @@ impl PartitionStore {
     /// checkpoint image or a replayed log entry).
     pub fn restore(&self, table: TableId, key: Key, value: Value, ts: u64) -> Arc<Record> {
         self.table(table).restore(key, value, ts)
+    }
+
+    /// Version-chain GC across all tables: drop history versions shadowed by
+    /// a newer version committed at or below `bound`. Returns how many
+    /// versions were pruned.
+    pub fn prune_versions(&self, bound: u64) -> usize {
+        self.tables()
+            .into_iter()
+            .map(|(_, t)| t.prune_versions(bound))
+            .sum()
     }
 }
 

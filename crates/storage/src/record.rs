@@ -61,6 +61,44 @@ fn decode_state(raw: u64) -> LifecycleState {
     }
 }
 
+/// Default bound on the number of retained versions (current + history).
+/// Small on purpose: snapshot readers run at the group-commit horizon, which
+/// trails the newest commit only by the durability delay, so a short chain
+/// almost always suffices and memory stays flat under write-heavy churn.
+pub const DEFAULT_MAX_VERSIONS: usize = 4;
+
+/// Commit timestamp of a version that was never committed (uncommitted
+/// inserts before their install).
+const CTS_UNCOMMITTED: u64 = u64::MAX;
+/// Commit timestamp of a version installed through a legacy un-timestamped
+/// path: its position on the commit-time axis is unknown, so snapshot reads
+/// of the record must fall back to the normal protocol path.
+const CTS_UNKNOWN: u64 = u64::MAX - 1;
+
+/// One superseded committed version in a record's bounded history chain.
+/// `value == None` records a committed deletion (the key was absent from
+/// `cts` until the next version).
+#[derive(Debug, Clone)]
+pub struct Version {
+    /// Commit timestamp at which this version became current.
+    pub cts: u64,
+    /// Payload, or `None` for a deletion version.
+    pub value: Option<Value>,
+}
+
+/// Outcome of a snapshot read ([`Record::read_at`]) at a horizon `h`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotRead {
+    /// The version current as of `h`.
+    Value(Value),
+    /// The key was authoritatively absent (deleted or never inserted) at `h`.
+    Absent,
+    /// The chain cannot answer for `h` (version evicted, or an
+    /// un-timestamped install in the way): the caller must fall back to the
+    /// protocol read path.
+    Miss,
+}
+
 /// The versioned payload of a record together with its TicToc metadata.
 ///
 /// `wts` is the logical time the current version was written; `rts` is the
@@ -71,6 +109,83 @@ pub struct RecordData {
     pub value: Value,
     pub wts: u64,
     pub rts: u64,
+    /// Commit timestamp of the current version — the group-commit domain
+    /// (`finalize_commit_ts`), which for counter-based protocols differs
+    /// from `wts`.
+    cts: u64,
+    /// The current version is a committed deletion. Kept inside the data
+    /// mutex (unlike the lifecycle word) so snapshot reads see payload and
+    /// deletion flag atomically.
+    deleted: bool,
+    /// Superseded committed versions, oldest first. Bounded by
+    /// `max_versions - 1`.
+    history: Vec<Version>,
+    /// The chain is complete for horizons `>= floor_cts`: a miss at such a
+    /// horizon means the key was absent. Below it the answer is unknown
+    /// (versions evicted / restored from a checkpoint image).
+    floor_cts: u64,
+    /// Bound on retained versions (current + history), `>= 1`.
+    max_versions: usize,
+}
+
+impl RecordData {
+    /// Push the current version into the history chain before it is
+    /// overwritten by a new install committing at `new_cts`. Handles the
+    /// sentinel states and the capacity bound, raising `floor_cts` whenever
+    /// pre-`new_cts` history becomes unanswerable.
+    fn push_current_version(&mut self, new_cts: u64) {
+        if self.cts == CTS_UNCOMMITTED {
+            // First committed version of a runtime-created record. There is
+            // no committed version to preserve, and the chain can answer from
+            // this install on — but *only* from it on: a previous incarnation
+            // of the key may have lived and been reclaimed before this record
+            // existed, so horizons below the first commit stay unanswerable.
+            self.floor_cts = new_cts;
+            return;
+        }
+        if self.cts == CTS_UNKNOWN || new_cts == CTS_UNKNOWN {
+            // An un-timestamped version sits between the retained history
+            // and the new current version: everything below the new install
+            // is unanswerable. Drop the stale chain and close the gap.
+            self.history.clear();
+            self.floor_cts = if new_cts == CTS_UNKNOWN {
+                CTS_UNKNOWN
+            } else {
+                new_cts
+            };
+            return;
+        }
+        if new_cts < self.cts {
+            // Out-of-order commit timestamps (reachable only through direct
+            // test/tooling installs — protocol installs finalize under the
+            // write lock, so per-record cts is monotone): the chain's
+            // ordering premise is broken. Drop it and stop answering below
+            // the newer of the two.
+            self.history.clear();
+            self.floor_cts = self.floor_cts.max(self.cts);
+            return;
+        }
+        if self.max_versions <= 1 {
+            self.floor_cts = self.floor_cts.max(new_cts);
+            return;
+        }
+        let value = if self.deleted {
+            None
+        } else {
+            Some(self.value.clone())
+        };
+        self.history.push(Version {
+            cts: self.cts,
+            value,
+        });
+        while self.history.len() > self.max_versions - 1 {
+            self.history.remove(0);
+            // The oldest retained version now bounds what the chain can
+            // answer.
+            let oldest = self.history.first().map_or(new_cts, |v| v.cts);
+            self.floor_cts = self.floor_cts.max(oldest);
+        }
+    }
 }
 
 /// A record stored in a partition.
@@ -101,14 +216,70 @@ impl Record {
     }
 
     fn with_state(value: Value, state: LifecycleState) -> Self {
+        let cts = match state {
+            // Loader-created records are the initial database image,
+            // committed "at time zero" and visible to every snapshot.
+            LifecycleState::Visible => 0,
+            LifecycleState::Tombstone => 0,
+            LifecycleState::UncommittedInsert { .. } => CTS_UNCOMMITTED,
+        };
+        // A runtime-created (uncommitted) record cannot answer for *any*
+        // horizon until its first commit sets the floor: the key may have
+        // had a reclaimed earlier incarnation this record knows nothing
+        // about. Loader records are the time-zero image and answer fully.
+        let floor_cts = match state {
+            LifecycleState::UncommittedInsert { .. } => CTS_UNCOMMITTED,
+            _ => 0,
+        };
         Record {
             data: Mutex::new(RecordData {
                 value,
                 wts: 0,
                 rts: 0,
+                cts,
+                deleted: matches!(state, LifecycleState::Tombstone),
+                history: Vec::new(),
+                floor_cts,
+                max_versions: DEFAULT_MAX_VERSIONS,
             }),
             lock: RecordLock::new(),
             state: AtomicU64::new(encode_state(state)),
+        }
+    }
+
+    /// A record rebuilt during crash recovery from a checkpoint image or log
+    /// replay: `Visible` with `wts = rts = ts`, and a version chain that
+    /// answers only for horizons `>= ts` (the image does not carry the
+    /// record's pre-`ts` history).
+    pub fn restored(value: Value, ts: u64) -> Self {
+        let rec = Self::new(value);
+        {
+            let mut d = rec.data.lock();
+            d.wts = ts;
+            d.rts = ts;
+            d.cts = ts;
+            d.floor_cts = ts;
+        }
+        rec
+    }
+
+    /// Bound the number of retained versions (current + history).
+    /// `max_versions` must be `>= 1`; excess history is evicted immediately.
+    pub fn set_max_versions(&self, max_versions: usize) {
+        assert!(
+            max_versions >= 1,
+            "a record keeps at least its current version"
+        );
+        let mut d = self.data.lock();
+        d.max_versions = max_versions;
+        while d.history.len() > max_versions - 1 {
+            d.history.remove(0);
+            let oldest = d.history.first().map(|v| v.cts);
+            if let Some(oldest) = oldest {
+                d.floor_cts = d.floor_cts.max(oldest);
+            } else if d.cts != CTS_UNCOMMITTED && d.cts != CTS_UNKNOWN {
+                d.floor_cts = d.floor_cts.max(d.cts);
+            }
         }
     }
 
@@ -169,12 +340,16 @@ impl Record {
     /// Installing commits the version, so the record becomes
     /// [`LifecycleState::Visible`] (this is the `UncommittedInsert → Visible`
     /// flip of the lifecycle, and also revives a record a delete+insert pair
-    /// went through).
+    /// went through). The previous committed version is pushed onto the
+    /// bounded history chain; `ts` doubles as the commit timestamp.
     pub fn install(&self, value: Value, ts: u64) {
         let mut d = self.data.lock();
+        d.push_current_version(ts);
         d.value = value;
         d.wts = ts;
         d.rts = ts;
+        d.cts = ts;
+        d.deleted = false;
         drop(d);
         self.set_state(LifecycleState::Visible);
     }
@@ -182,11 +357,27 @@ impl Record {
     /// Install a new version, bumping the version counter by one (used by
     /// protocols without logical timestamps, e.g. plain 2PL and Silo). Flips
     /// the record [`LifecycleState::Visible`] like [`Record::install`].
+    ///
+    /// The version carries no commit timestamp, so the record's chain stops
+    /// answering snapshot reads until a timestamped install closes the gap —
+    /// protocol call-sites pass their finalized group-commit timestamp via
+    /// [`Record::install_next_version_at`] instead.
     pub fn install_next_version(&self, value: Value) -> u64 {
+        self.install_next_version_at(value, CTS_UNKNOWN)
+    }
+
+    /// [`Record::install_next_version`] with the transaction's finalized
+    /// group-commit timestamp `cts`, which orders the version on the
+    /// commit-time axis for snapshot readers while `wts` keeps counting for
+    /// OCC validation.
+    pub fn install_next_version_at(&self, value: Value, cts: u64) -> u64 {
         let mut d = self.data.lock();
+        d.push_current_version(cts);
         d.value = value;
         d.wts += 1;
         d.rts = d.wts;
+        d.cts = cts;
+        d.deleted = false;
         let wts = d.wts;
         drop(d);
         self.set_state(LifecycleState::Visible);
@@ -196,15 +387,20 @@ impl Record {
     /// Install a committed delete at timestamp `ts`: the record becomes a
     /// [`LifecycleState::Tombstone`] and its `wts` advances so that
     /// concurrent optimistic readers fail validation instead of resurrecting
-    /// the deleted version.
+    /// the deleted version. A deletion version (`value = None`) is what the
+    /// chain records, so snapshot readers below `ts` still see the old value
+    /// and readers at or above it see the key as absent.
     pub fn install_tombstone(&self, ts: u64) {
         let mut d = self.data.lock();
+        d.push_current_version(ts);
         if d.wts < ts {
             d.wts = ts;
         } else {
             d.wts += 1;
         }
         d.rts = d.wts;
+        d.cts = ts;
+        d.deleted = true;
         drop(d);
         self.set_state(LifecycleState::Tombstone);
     }
@@ -212,13 +408,128 @@ impl Record {
     /// [`Record::install_tombstone`] for protocols without logical
     /// timestamps: bump the version counter instead.
     pub fn install_tombstone_next_version(&self) -> u64 {
+        self.install_tombstone_next_version_at(CTS_UNKNOWN)
+    }
+
+    /// [`Record::install_tombstone_next_version`] with the transaction's
+    /// finalized group-commit timestamp (see
+    /// [`Record::install_next_version_at`]).
+    pub fn install_tombstone_next_version_at(&self, cts: u64) -> u64 {
         let mut d = self.data.lock();
+        d.push_current_version(cts);
         d.wts += 1;
         d.rts = d.wts;
+        d.cts = cts;
+        d.deleted = true;
         let wts = d.wts;
         drop(d);
         self.set_state(LifecycleState::Tombstone);
         wts
+    }
+
+    /// Resolve the version current as of commit-time horizon `h` — the MVCC
+    /// snapshot read. Lock-free in the transactional sense: it takes only
+    /// the record's short data mutex, never the [`RecordLock`], and needs no
+    /// validation because versions at or below a group-commit horizon are
+    /// immutable by construction.
+    pub fn read_at(&self, h: u64) -> SnapshotRead {
+        let d = self.data.lock();
+        if d.cts == CTS_UNKNOWN {
+            // An un-timestamped install may or may not predate `h`.
+            return SnapshotRead::Miss;
+        }
+        if d.cts != CTS_UNCOMMITTED && d.cts <= h {
+            return if d.deleted {
+                SnapshotRead::Absent
+            } else {
+                SnapshotRead::Value(d.value.clone())
+            };
+        }
+        for v in d.history.iter().rev() {
+            if v.cts <= h {
+                return match &v.value {
+                    Some(value) => SnapshotRead::Value(value.clone()),
+                    None => SnapshotRead::Absent,
+                };
+            }
+        }
+        if h >= d.floor_cts {
+            SnapshotRead::Absent
+        } else {
+            SnapshotRead::Miss
+        }
+    }
+
+    /// Crash compensation: reinstate the before-image `prev` in place of the
+    /// rolled-back version committed at `ts`. Every version with `cts >= ts`
+    /// is purged from the chain (it belongs to a crash-aborted transaction);
+    /// the before-image's original history entry, where still retained,
+    /// keeps serving snapshot horizons below `ts`.
+    pub fn revert(&self, prev: Value, ts: u64) {
+        let mut d = self.data.lock();
+        d.history.retain(|v| v.cts < ts);
+        d.value = prev;
+        d.wts = ts;
+        d.rts = ts;
+        d.cts = ts;
+        d.deleted = false;
+        drop(d);
+        self.set_state(LifecycleState::Visible);
+    }
+
+    /// Crash compensation for a rolled-back insert whose slot must revert to
+    /// a deleted state: purge versions at or above `ts` and leave a
+    /// tombstone. See [`Record::revert`].
+    pub fn revert_to_tombstone(&self, ts: u64) {
+        let mut d = self.data.lock();
+        d.history.retain(|v| v.cts < ts);
+        if d.wts < ts {
+            d.wts = ts;
+        } else {
+            d.wts += 1;
+        }
+        d.rts = d.wts;
+        d.cts = ts;
+        d.deleted = true;
+        drop(d);
+        self.set_state(LifecycleState::Tombstone);
+    }
+
+    /// Drop every history version shadowed by a newer version committed at
+    /// or below `bound` — the version-chain GC. Snapshot horizons are
+    /// monotone, so once the newest version with `cts <= bound` exists,
+    /// older versions can never be read again. Returns how many versions
+    /// were pruned.
+    pub fn prune_versions(&self, bound: u64) -> usize {
+        let mut d = self.data.lock();
+        if d.history.is_empty() {
+            return 0;
+        }
+        let current_covers = d.cts != CTS_UNCOMMITTED && d.cts != CTS_UNKNOWN && d.cts <= bound;
+        let cut = if current_covers {
+            d.history.len()
+        } else {
+            // Keep the newest history version with cts <= bound (it serves
+            // horizons in `[its cts, bound]`); everything older is dead.
+            d.history
+                .iter()
+                .rposition(|v| v.cts <= bound)
+                .unwrap_or_default()
+        };
+        if cut == 0 {
+            return 0;
+        }
+        d.history.drain(..cut);
+        let oldest = d.history.first().map(|v| v.cts).unwrap_or(d.cts);
+        if oldest != CTS_UNCOMMITTED && oldest != CTS_UNKNOWN {
+            d.floor_cts = d.floor_cts.max(oldest);
+        }
+        cut
+    }
+
+    /// Number of retained history versions (excluding the current one).
+    pub fn version_chain_len(&self) -> usize {
+        self.data.lock().history.len()
     }
 
     /// Extend the valid interval so that it covers `ts` (TicToc
@@ -360,6 +671,141 @@ mod tests {
         r.install(Value::from_u64(1), 4);
         assert!(!r.restore_tombstone(owner));
         assert_eq!(r.state(), LifecycleState::Visible);
+    }
+
+    #[test]
+    fn snapshot_reads_walk_the_version_chain() {
+        let r = Record::new(Value::from_u64(10));
+        r.install(Value::from_u64(20), 5);
+        r.install(Value::from_u64(30), 9);
+        // Initial image at cts 0, then versions at 5 and 9.
+        assert_eq!(r.read_at(0), SnapshotRead::Value(Value::from_u64(10)));
+        assert_eq!(r.read_at(4), SnapshotRead::Value(Value::from_u64(10)));
+        assert_eq!(r.read_at(5), SnapshotRead::Value(Value::from_u64(20)));
+        assert_eq!(r.read_at(8), SnapshotRead::Value(Value::from_u64(20)));
+        assert_eq!(r.read_at(9), SnapshotRead::Value(Value::from_u64(30)));
+        assert_eq!(
+            r.read_at(u64::MAX - 2),
+            SnapshotRead::Value(Value::from_u64(30))
+        );
+    }
+
+    #[test]
+    fn snapshot_sees_deletions_as_absent_below_and_at_horizon() {
+        let r = Record::new(Value::from_u64(1));
+        r.install(Value::from_u64(2), 3);
+        r.install_tombstone(7);
+        assert_eq!(r.read_at(6), SnapshotRead::Value(Value::from_u64(2)));
+        assert_eq!(r.read_at(7), SnapshotRead::Absent);
+        // Reinsert after the delete: the deletion version stays in history.
+        r.install(Value::from_u64(9), 11);
+        assert_eq!(r.read_at(10), SnapshotRead::Absent);
+        assert_eq!(r.read_at(11), SnapshotRead::Value(Value::from_u64(9)));
+        assert_eq!(r.read_at(3), SnapshotRead::Value(Value::from_u64(2)));
+    }
+
+    #[test]
+    fn uncommitted_inserts_are_invisible_to_snapshots() {
+        let r = Record::new_uncommitted(Value::zeroed(8), t(1));
+        // Unanswerable, not absent: an earlier incarnation of the key may
+        // have been reclaimed before this record was created.
+        assert_eq!(r.read_at(100), SnapshotRead::Miss);
+        r.install(Value::from_u64(5), 50);
+        assert_eq!(r.read_at(49), SnapshotRead::Miss);
+        assert_eq!(r.read_at(50), SnapshotRead::Value(Value::from_u64(5)));
+    }
+
+    #[test]
+    fn untimestamped_installs_force_fallback() {
+        let r = Record::new(Value::from_u64(1));
+        r.install_next_version(Value::from_u64(2));
+        assert_eq!(r.read_at(0), SnapshotRead::Miss);
+        assert_eq!(r.read_at(u64::MAX - 2), SnapshotRead::Miss);
+        // A timestamped install closes the gap from its cts upward.
+        r.install(Value::from_u64(3), 40);
+        assert_eq!(r.read_at(40), SnapshotRead::Value(Value::from_u64(3)));
+        assert_eq!(r.read_at(39), SnapshotRead::Miss);
+    }
+
+    #[test]
+    fn capacity_eviction_raises_the_floor() {
+        let r = Record::new(Value::from_u64(0));
+        r.set_max_versions(2);
+        r.install(Value::from_u64(1), 10);
+        r.install(Value::from_u64(2), 20);
+        // Chain holds current (cts 20) + one history version (cts 10); the
+        // initial image was evicted.
+        assert_eq!(r.version_chain_len(), 1);
+        assert_eq!(r.read_at(20), SnapshotRead::Value(Value::from_u64(2)));
+        assert_eq!(r.read_at(10), SnapshotRead::Value(Value::from_u64(1)));
+        assert_eq!(r.read_at(9), SnapshotRead::Miss);
+    }
+
+    #[test]
+    fn single_version_records_miss_below_current() {
+        let r = Record::new(Value::from_u64(0));
+        r.set_max_versions(1);
+        r.install(Value::from_u64(1), 10);
+        assert_eq!(r.version_chain_len(), 0);
+        assert_eq!(r.read_at(10), SnapshotRead::Value(Value::from_u64(1)));
+        assert_eq!(r.read_at(9), SnapshotRead::Miss);
+    }
+
+    #[test]
+    fn timestamped_counter_installs_serve_snapshots() {
+        let r = Record::new(Value::from_u64(1));
+        let w1 = r.install_next_version_at(Value::from_u64(2), 17);
+        let w2 = r.install_tombstone_next_version_at(23);
+        assert!(w2 > w1, "wts keeps counting for OCC validation");
+        assert_eq!(r.read_at(16), SnapshotRead::Value(Value::from_u64(1)));
+        assert_eq!(r.read_at(17), SnapshotRead::Value(Value::from_u64(2)));
+        assert_eq!(r.read_at(23), SnapshotRead::Absent);
+    }
+
+    #[test]
+    fn revert_purges_rolled_back_versions() {
+        let r = Record::new(Value::from_u64(1));
+        r.install(Value::from_u64(2), 5);
+        r.install(Value::from_u64(3), 9); // crash-rolled-back
+        r.revert(Value::from_u64(2), 9);
+        assert_eq!(r.read_at(9), SnapshotRead::Value(Value::from_u64(2)));
+        assert_eq!(r.read_at(8), SnapshotRead::Value(Value::from_u64(2)));
+        assert_eq!(r.read_at(4), SnapshotRead::Value(Value::from_u64(1)));
+        // Rolled-back insert reverts to a tombstone.
+        let s = Record::new(Value::from_u64(7));
+        s.install(Value::from_u64(8), 4); // crash-rolled-back
+        s.revert_to_tombstone(4);
+        assert_eq!(s.state(), LifecycleState::Tombstone);
+        assert_eq!(s.read_at(4), SnapshotRead::Absent);
+        assert_eq!(s.read_at(3), SnapshotRead::Value(Value::from_u64(7)));
+    }
+
+    #[test]
+    fn prune_drops_only_shadowed_versions() {
+        let r = Record::new(Value::from_u64(0));
+        r.set_max_versions(8);
+        for (v, ts) in [(1u64, 10u64), (2, 20), (3, 30)] {
+            r.install(Value::from_u64(v), ts);
+        }
+        assert_eq!(r.version_chain_len(), 3);
+        // Bound 20: version at 20 still serves [20, 30), so only the initial
+        // image and the version at 10 are shadowed.
+        assert_eq!(r.prune_versions(20), 2);
+        assert_eq!(r.read_at(20), SnapshotRead::Value(Value::from_u64(2)));
+        assert_eq!(r.read_at(19), SnapshotRead::Miss);
+        // Bound past the current version: all history goes.
+        assert_eq!(r.prune_versions(30), 1);
+        assert_eq!(r.version_chain_len(), 0);
+        assert_eq!(r.read_at(30), SnapshotRead::Value(Value::from_u64(3)));
+        assert_eq!(r.prune_versions(30), 0);
+    }
+
+    #[test]
+    fn restored_records_answer_only_from_their_restore_point() {
+        let r = Record::restored(Value::from_u64(5), 12);
+        assert_eq!(r.read_at(12), SnapshotRead::Value(Value::from_u64(5)));
+        assert_eq!(r.read_at(11), SnapshotRead::Miss);
+        assert_eq!(r.timestamps(), (12, 12));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! tombstone revival, abort-time unlink, tombstone reclamation — runs under
 //! the owning shard's write lock so concurrent transitions serialize.
 
-use crate::record::{LifecycleState, Record};
+use crate::record::{LifecycleState, Record, DEFAULT_MAX_VERSIONS};
 use parking_lot::RwLock;
 use primo_common::{Key, TxnId, Value};
 use std::collections::HashMap;
@@ -38,6 +38,8 @@ pub enum InsertSlot {
 #[derive(Debug)]
 pub struct Table {
     shards: Vec<RwLock<HashMap<Key, Arc<Record>>>>,
+    /// Version-chain depth applied to every record this table creates.
+    max_versions: usize,
 }
 
 impl Default for Table {
@@ -52,10 +54,28 @@ impl Table {
     }
 
     pub fn with_shards(n: usize) -> Self {
+        Self::with_shards_and_versions(n, DEFAULT_MAX_VERSIONS)
+    }
+
+    /// A table whose records keep up to `max_versions` versions each
+    /// (current + history); `max_versions` must be `>= 1`.
+    pub fn with_max_versions(max_versions: usize) -> Self {
+        Self::with_shards_and_versions(DEFAULT_SHARDS, max_versions)
+    }
+
+    pub fn with_shards_and_versions(n: usize, max_versions: usize) -> Self {
         assert!(n > 0);
+        assert!(max_versions >= 1);
         Table {
             shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            max_versions,
         }
+    }
+
+    fn new_record(&self, value: Value) -> Arc<Record> {
+        let rec = Arc::new(Record::new(value));
+        rec.set_max_versions(self.max_versions);
+        rec
     }
 
     #[inline]
@@ -71,7 +91,7 @@ impl Table {
 
     /// Insert a record, replacing any existing one. Returns the record.
     pub fn insert(&self, key: Key, value: Value) -> Arc<Record> {
-        let rec = Arc::new(Record::new(value));
+        let rec = self.new_record(value);
         self.shards[self.shard_of(key)]
             .write()
             .insert(key, Arc::clone(&rec));
@@ -85,7 +105,7 @@ impl Table {
         if let Some(existing) = shard.get(&key) {
             return (Arc::clone(existing), false);
         }
-        let rec = Arc::new(Record::new(value));
+        let rec = self.new_record(value);
         shard.insert(key, Arc::clone(&rec));
         (rec, true)
     }
@@ -110,6 +130,7 @@ impl Table {
             };
         }
         let rec = Arc::new(Record::new_uncommitted(Value::zeroed(0), owner));
+        rec.set_max_versions(self.max_versions);
         shard.insert(key, Arc::clone(&rec));
         InsertSlot::Created(rec)
     }
@@ -231,14 +252,28 @@ impl Table {
 
     /// Restore a record during crash recovery: the slot is (re)created
     /// `Visible` with `wts = rts = ts`, replacing whatever the wipe left
-    /// behind.
+    /// behind. The restored chain answers snapshot reads only for horizons
+    /// `>= ts` — the image carries no pre-crash history.
     pub fn restore(&self, key: Key, value: Value, ts: u64) -> Arc<Record> {
-        let rec = Arc::new(Record::new(Value::zeroed(0)));
-        rec.install(value, ts);
+        let rec = Arc::new(Record::restored(value, ts));
+        rec.set_max_versions(self.max_versions);
         self.shards[self.shard_of(key)]
             .write()
             .insert(key, Arc::clone(&rec));
         rec
+    }
+
+    /// Version-chain GC over every record: drop history versions shadowed by
+    /// a newer version committed at or below `bound` (see
+    /// [`Record::prune_versions`]). Returns how many versions were pruned.
+    pub fn prune_versions(&self, bound: u64) -> usize {
+        let mut pruned = 0;
+        for shard in &self.shards {
+            for r in shard.read().values() {
+                pruned += r.prune_versions(bound);
+            }
+        }
+        pruned
     }
 
     /// Drop every record (the crashed partition's volatile state is gone).

@@ -12,6 +12,7 @@
 
 use crate::group_commit::{CommitOutcome, CommitWaiter, GroupCommit, SeqTsSource, TxnTicket};
 use crate::replicated::ReplicatedLog;
+use crate::snapshot::{Release, SnapshotTracker};
 use parking_lot::Mutex;
 use primo_common::config::WalConfig;
 use primo_common::sim_time::{charge_latency_us, now_us};
@@ -45,6 +46,8 @@ pub struct ClvCommit {
     /// be `CrashAborted` even if the commit-time window check would let
     /// them through — see [`GroupCommit::on_txns_rolled_back`]).
     rolled_back_txns: Mutex<HashSet<TxnId>>,
+    /// MVCC snapshot-horizon bookkeeping: the quorum-acked durable horizon.
+    tracker: SnapshotTracker,
 }
 
 impl ClvCommit {
@@ -56,6 +59,7 @@ impl ClvCommit {
             seq_ts: SeqTsSource::new(),
             ack_delay_us,
             rolled_back_txns: Mutex::new(HashSet::new()),
+            tracker: SnapshotTracker::new(cfg.unsafe_latest_commit_horizon),
         }
     }
 
@@ -80,6 +84,7 @@ impl ClvCommit {
 
 impl GroupCommit for ClvCommit {
     fn begin_txn(&self, coord: PartitionId, txn: TxnId) -> std::sync::Arc<TxnTicket> {
+        self.tracker.begin(txn);
         TxnTicket::new(txn, coord, 0)
     }
 
@@ -90,19 +95,31 @@ impl GroupCommit for ClvCommit {
         }
     }
 
-    fn txn_aborted(&self, _ticket: &TxnTicket) {}
+    fn txn_aborted(&self, ticket: &TxnTicket) {
+        self.tracker.abort(ticket.txn);
+    }
 
     fn txn_committed(&self, ticket: &TxnTicket, ts: Ts, ops: usize) -> CommitWaiter {
         // Dependency tracking: every accessed record's last-writer tag must be
         // recorded and checked. This happens while the transaction is still
         // on a worker, i.e. on the critical path.
         charge_latency_us(TRACK_COST_PER_OP_US * ops as u64);
+        let ready_at = now_us() + self.ack_delay_us;
+        // The snapshot horizon may pass this commit only once its quorum-ack
+        // deadline has elapsed; a commit whose persist window the crash
+        // already spans is doomed and caps the horizon until compensation.
+        self.tracker.commit(
+            ticket.txn,
+            ts,
+            Release::AtUs(ready_at),
+            self.crash_rolled_back(ready_at),
+        );
         CommitWaiter {
             txn: ticket.txn,
             coordinator: ticket.coordinator,
             ts,
             epoch: 0,
-            ready_at_us: Some(now_us() + self.ack_delay_us),
+            ready_at_us: Some(ready_at),
         }
     }
 
@@ -143,8 +160,25 @@ impl GroupCommit for ClvCommit {
         self.rolled_back_txns.lock().extend(txns.iter().copied());
     }
 
+    fn ts_floor(&self, _partition: PartitionId) -> Ts {
+        // Every new commit timestamp must exceed the highest finalized one,
+        // or a straggler could install a version at or below the published
+        // snapshot horizon (stability property of the horizon).
+        self.tracker.ts_floor()
+    }
+
     fn finalize_commit_ts(&self, _ticket: &TxnTicket, hint: Ts) -> Ts {
-        self.seq_ts.finalize(hint)
+        let ts = self.seq_ts.finalize_above(hint, self.tracker.ts_floor());
+        self.tracker.note_finalized(ts);
+        ts
+    }
+
+    fn snapshot_horizon(&self, _partition: PartitionId) -> Ts {
+        self.tracker.horizon(now_us())
+    }
+
+    fn on_compensation_complete(&self) {
+        self.tracker.compensation_complete();
     }
 
     fn survivor_rollback_bound(
@@ -161,9 +195,15 @@ impl GroupCommit for ClvCommit {
         crate::ReplayBound::PersistWindow(crash_token)
     }
 
-    fn on_partition_crash(&self, _p: PartitionId) -> Ts {
+    fn on_partition_crash(&self, p: PartitionId) -> Ts {
         let t = now_us();
         self.crash_at_us.store(t, Ordering::Release);
+        // Pending commits whose persist window spans the crash will be
+        // rolled back: keep them capping the snapshot horizon until
+        // compensation has purged their versions. The crashed partition's
+        // in-flight transactions will never report back.
+        self.tracker.doom_window(t, self.ack_delay_us);
+        self.tracker.drop_actives_of(p);
         t
     }
 
@@ -234,6 +274,7 @@ mod tests {
             force_update: false,
             replication_factor: 3,
             replica_persist_delay_us: Some(900),
+            ..WalConfig::default()
         };
         let gc = ClvCommit::new(1, cfg, crate::build_logs(1, cfg));
         let ticket = gc.begin_txn(PartitionId(0), tid(9));
@@ -252,5 +293,42 @@ mod tests {
         gc.on_partition_crash(PartitionId(1));
         assert_eq!(gc.wait_durable(&waiter), CommitOutcome::CrashAborted);
         assert_eq!(gc.num_partitions(), 2);
+    }
+
+    #[test]
+    fn snapshot_horizon_trails_quorum_ack() {
+        let gc = make();
+        let p = PartitionId(0);
+        let ticket = gc.begin_txn(p, tid(7));
+        let ts = gc.finalize_commit_ts(&ticket, 0);
+        let waiter = gc.txn_committed(&ticket, ts, 1);
+        assert!(
+            gc.snapshot_horizon(p) < ts,
+            "an unacknowledged commit must stay above the horizon"
+        );
+        assert_eq!(gc.wait_durable(&waiter), CommitOutcome::Committed);
+        assert_eq!(gc.snapshot_horizon(p), ts);
+        // New transactions start above everything finalized.
+        assert!(gc.ts_floor(p) >= ts);
+    }
+
+    #[test]
+    fn crash_doomed_commit_never_enters_the_horizon() {
+        let gc = make();
+        let p = PartitionId(0);
+        let ticket = gc.begin_txn(p, tid(8));
+        let ts = gc.finalize_commit_ts(&ticket, 0);
+        let waiter = gc.txn_committed(&ticket, ts, 1);
+        gc.on_partition_crash(PartitionId(1));
+        assert_eq!(gc.wait_durable(&waiter), CommitOutcome::CrashAborted);
+        // Long after the ack deadline the rolled-back commit still caps the
+        // horizon — until compensation reports the chains clean.
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert!(gc.snapshot_horizon(p) < ts);
+        gc.on_compensation_complete();
+        assert!(
+            gc.snapshot_horizon(p) < ts,
+            "rolled-back ts is never readable"
+        );
     }
 }

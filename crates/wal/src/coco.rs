@@ -18,6 +18,7 @@
 use crate::group_commit::{CommitOutcome, CommitWaiter, GroupCommit, SeqTsSource, TxnTicket};
 use crate::log::{LogPayload, ReplayBound};
 use crate::replicated::ReplicatedLog;
+use crate::snapshot::{Release, SnapshotTracker};
 use parking_lot::{Condvar, Mutex};
 use primo_common::config::WalConfig;
 use primo_common::{FastRng, PartitionId, Ts, TxnId};
@@ -75,6 +76,9 @@ pub struct CocoCommit {
     extra_delay_us: Vec<AtomicU64>,
     stop: Arc<AtomicBool>,
     coordinator: Mutex<Option<JoinHandle<()>>>,
+    /// MVCC snapshot-horizon bookkeeping: commits release when their
+    /// epoch's group commit seals a boundary.
+    tracker: SnapshotTracker,
 }
 
 impl std::fmt::Debug for CocoCommit {
@@ -113,6 +117,7 @@ impl CocoCommit {
             extra_delay_us: (0..num_partitions).map(|_| AtomicU64::new(0)).collect(),
             stop: Arc::new(AtomicBool::new(false)),
             coordinator: Mutex::new(None),
+            tracker: SnapshotTracker::new(cfg.unsafe_latest_commit_horizon),
         });
         let me = Arc::clone(&gc);
         let handle = std::thread::Builder::new()
@@ -198,8 +203,12 @@ impl CocoCommit {
                 if st.crash_pending {
                     st.aborted.insert(epoch);
                     st.crash_pending = false;
+                    self.tracker.doom_epoch(epoch);
                 } else {
                     st.committed = epoch;
+                    // The epoch's commits are quorum-durable and sealed:
+                    // the snapshot horizon may advance over them.
+                    self.tracker.release_epochs_through(epoch);
                     // Seal the epoch in every partition's log: all TxnWrites
                     // entries appended before this marker belong to committed
                     // epochs, which is exactly the replay bound recovery
@@ -230,6 +239,7 @@ impl GroupCommit for CocoCommit {
         let epoch = self.epoch.load(Ordering::Acquire);
         *st.active.entry(epoch).or_insert(0) += 1;
         drop(st);
+        self.tracker.begin(txn);
         TxnTicket::new(txn, coord, epoch)
     }
 
@@ -246,6 +256,8 @@ impl GroupCommit for CocoCommit {
             *c = c.saturating_sub(1);
         }
         self.cond.notify_all();
+        drop(st);
+        self.tracker.abort(ticket.txn);
     }
 
     fn txn_committed(&self, ticket: &TxnTicket, ts: Ts, _ops: usize) -> CommitWaiter {
@@ -254,7 +266,12 @@ impl GroupCommit for CocoCommit {
             *c = c.saturating_sub(1);
         }
         self.cond.notify_all();
+        // A commit into an already-aborted epoch is doomed: it must never
+        // enter the snapshot horizon.
+        let doomed = st.aborted.contains(&ticket.epoch);
         drop(st);
+        self.tracker
+            .commit(ticket.txn, ts, Release::Epoch(ticket.epoch), doomed);
         CommitWaiter {
             txn: ticket.txn,
             coordinator: ticket.coordinator,
@@ -298,11 +315,28 @@ impl GroupCommit for CocoCommit {
         }
     }
 
-    fn finalize_commit_ts(&self, _ticket: &TxnTicket, hint: Ts) -> Ts {
-        self.seq_ts.finalize(hint)
+    fn ts_floor(&self, _partition: PartitionId) -> Ts {
+        self.tracker.ts_floor()
     }
 
-    fn on_partition_crash(&self, _p: PartitionId) -> Ts {
+    fn finalize_commit_ts(&self, _ticket: &TxnTicket, hint: Ts) -> Ts {
+        let ts = self.seq_ts.finalize_above(hint, self.tracker.ts_floor());
+        self.tracker.note_finalized(ts);
+        ts
+    }
+
+    fn snapshot_horizon(&self, _partition: PartitionId) -> Ts {
+        // Commits release only when their epoch's boundary seals, so this is
+        // exactly "everything up to the last sealed epoch" (minus anything a
+        // crash doomed and compensation has not yet purged).
+        self.tracker.horizon(0)
+    }
+
+    fn on_compensation_complete(&self) {
+        self.tracker.compensation_complete();
+    }
+
+    fn on_partition_crash(&self, p: PartitionId) -> Ts {
         // The whole current epoch is aborted (§2.3): every transaction in it
         // is rolled back and the cluster moves on once the partition is
         // replaced / recovers.
@@ -310,6 +344,8 @@ impl GroupCommit for CocoCommit {
         st.crash_pending = true;
         let epoch = self.epoch.load(Ordering::Acquire);
         st.aborted.insert(epoch);
+        self.tracker.doom_epoch(epoch);
+        self.tracker.drop_actives_of(p);
         // Close the gate and drain the aborted epoch's in-flight
         // transactions (bounded, like the coordinator's boundary drain): by
         // the time this returns, every write-set the epoch will ever log is
@@ -454,6 +490,23 @@ mod tests {
                 other => panic!("unexpected bound {other:?}"),
             }
         }
+        gc.shutdown();
+    }
+
+    #[test]
+    fn snapshot_horizon_follows_sealed_epochs() {
+        let gc = make(2);
+        let p = PartitionId(0);
+        let ticket = gc.begin_txn(p, tid(5));
+        let ts = gc.finalize_commit_ts(&ticket, 0);
+        let waiter = gc.txn_committed(&ticket, ts, 1);
+        assert!(
+            gc.snapshot_horizon(p) < ts,
+            "commit of an unsealed epoch must stay above the horizon"
+        );
+        assert_eq!(gc.wait_durable(&waiter), CommitOutcome::Committed);
+        // The epoch boundary sealed: the horizon covers the commit.
+        assert!(gc.snapshot_horizon(p) >= ts);
         gc.shutdown();
     }
 

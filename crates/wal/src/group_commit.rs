@@ -94,11 +94,27 @@ impl SeqTsSource {
         SeqTsSource(std::sync::atomic::AtomicU64::new(1))
     }
 
-    pub(crate) fn finalize(&self, hint: Ts) -> Ts {
+    /// Finalize a commit timestamp with a floor: protocol-provided `hint`s
+    /// pass through, everything else draws from the sequence but always
+    /// exceeds `floor`. The floor matters once a snapshot horizon exists — a
+    /// protocol timestamp (`hint`) from a different logical domain may have
+    /// ratcheted the horizon above the plain sequence, and a later
+    /// sequence-drawn commit must not land at or below the published horizon.
+    pub(crate) fn finalize_above(&self, hint: Ts, floor: Ts) -> Ts {
         if hint > 0 {
-            hint
-        } else {
-            self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            return hint;
+        }
+        use std::sync::atomic::Ordering;
+        loop {
+            let cur = self.0.load(Ordering::Relaxed);
+            let next = cur.max(floor + 1);
+            if self
+                .0
+                .compare_exchange_weak(cur, next + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return next;
+            }
         }
     }
 }
@@ -153,6 +169,39 @@ pub trait GroupCommit: Send + Sync {
     fn ts_floor(&self, _partition: PartitionId) -> Ts {
         0
     }
+
+    /// Atomically apply the coordinator's timestamp floor to a
+    /// protocol-proposed commit timestamp, entering the commit critical
+    /// section: from this call until [`GroupCommit::txn_committed`] /
+    /// [`GroupCommit::txn_aborted`], the scheme must not let its durability
+    /// horizon overtake the returned timestamp. The watermark scheme pins
+    /// `Wp` by registering the transaction in the coordinator's active table
+    /// under the same lock its generator uses — without the pin, a watermark
+    /// generated between timestamp assignment and the log append could
+    /// publish (and expose to snapshot readers) a commit whose log entry is
+    /// not durable yet. Schemes without such a horizon just apply the floor.
+    fn reserve_commit_ts(&self, ticket: &TxnTicket, proposed: Ts) -> Ts {
+        proposed.max(self.ts_floor(ticket.coordinator) + 1)
+    }
+
+    /// The MVCC snapshot horizon for read-only transactions coordinated on
+    /// `partition`: a commit timestamp `h` such that (1) every version with
+    /// `cts <= h` is durable and will never be crash-rolled-back, and (2) no
+    /// in-flight or future transaction can still install a version with
+    /// `cts <= h`. Reading "as of `h`" therefore needs no locks, no
+    /// validation and can never abort. Zero (nothing readable yet) by
+    /// default — schemes opt in.
+    fn snapshot_horizon(&self, _partition: PartitionId) -> Ts {
+        0
+    }
+
+    /// Crash compensation finished undoing every rolled-back write on the
+    /// surviving partitions: version chains no longer contain any version a
+    /// pending rollback could still purge, so the scheme may release the
+    /// snapshot-horizon cap it raised at [`GroupCommit::on_partition_crash`]
+    /// time. Until this is called the horizon stays conservatively capped
+    /// below the crash agreement point.
+    fn on_compensation_complete(&self) {}
 
     /// Block while the scheme forbids starting new transactions (COCO closes
     /// this gate while it synchronously commits an epoch). Other schemes

@@ -27,6 +27,7 @@ pub mod coco;
 pub mod group_commit;
 pub mod log;
 pub mod replicated;
+pub mod snapshot;
 pub mod sync;
 pub mod watermark;
 

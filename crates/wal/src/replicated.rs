@@ -530,6 +530,7 @@ mod tests {
                 force_update: true,
                 replication_factor: 3,
                 replica_persist_delay_us: Some(replica_us),
+                ..WalConfig::default()
             },
             hop_us,
             None,

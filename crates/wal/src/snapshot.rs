@@ -1,0 +1,345 @@
+//! Snapshot-horizon tracking for the schemes without watermarks (CLV, sync,
+//! COCO).
+//!
+//! The MVCC read path serves a read-only transaction "as of" a commit-time
+//! horizon `h`. For `h` to need no locks, no validation and no aborts, two
+//! properties must hold:
+//!
+//! 1. **Stability** — no in-flight or future transaction can still install a
+//!    version with `cts <= h`. The tracker guarantees this by (a) feeding
+//!    `GroupCommit::ts_floor` with the maximum finalized commit timestamp, so
+//!    every later transaction commits strictly above it, and (b) keeping `h`
+//!    at or below the floor each still-active transaction observed when it
+//!    began.
+//! 2. **Durability** — every version with `cts <= h` is durable and will
+//!    never be crash-rolled-back. The tracker holds each committed
+//!    transaction in a *pending* state (capping `h` below its `cts`) until
+//!    the owning scheme's durability rule releases it: immediately for the
+//!    synchronous flush, when the quorum-ack deadline passes for CLV, when
+//!    the epoch's group commit seals for COCO. Transactions a crash dooms
+//!    keep capping the horizon until crash compensation has purged their
+//!    versions from the chains.
+//!
+//! The published horizon is monotone (a `fetch_max`-updated atomic), so a
+//! snapshot timestamp can be compared across partitions and over time.
+
+use parking_lot::Mutex;
+use primo_common::{PartitionId, Ts, TxnId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// When a committed-but-pending transaction becomes durable-forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Release {
+    /// Durable before `txn_committed` returned (synchronous flush).
+    Now,
+    /// Durable once the simulated clock passes this instant (CLV quorum-ack
+    /// deadline).
+    AtUs(u64),
+    /// Durable once this epoch's group commit seals (COCO).
+    Epoch(u64),
+}
+
+#[derive(Debug)]
+struct Pending {
+    cts: Ts,
+    release: Release,
+    /// A crash rolled this transaction back: never release it; keep capping
+    /// the horizon until compensation has purged its versions.
+    doomed: bool,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Active transactions and the `ts_floor` each observed at begin. Their
+    /// eventual commit timestamps all exceed their floor, so the horizon may
+    /// not pass the smallest one.
+    active: HashMap<TxnId, Ts>,
+    /// Committed transactions whose durability is not yet unconditional.
+    pending: HashMap<TxnId, Pending>,
+    /// Largest commit timestamp among released (durable-forever) txns.
+    max_released: Ts,
+    /// A crash happened and compensation has not completed yet.
+    crash_open: bool,
+}
+
+/// Shared horizon bookkeeping for CLV / sync / COCO (see module docs).
+#[derive(Debug)]
+pub struct SnapshotTracker {
+    inner: Mutex<Inner>,
+    /// Published monotone horizon.
+    horizon: AtomicU64,
+    /// Maximum finalized commit timestamp — the `ts_floor` source.
+    max_finalized: AtomicU64,
+    /// Ablation: report the latest finalized commit as the horizon
+    /// (unsound; the crash-consistency suite proves it).
+    unsafe_latest: bool,
+}
+
+impl SnapshotTracker {
+    pub fn new(unsafe_latest: bool) -> Self {
+        SnapshotTracker {
+            inner: Mutex::new(Inner::default()),
+            horizon: AtomicU64::new(0),
+            max_finalized: AtomicU64::new(0),
+            unsafe_latest,
+        }
+    }
+
+    /// The floor every new transaction's commit timestamp must exceed.
+    pub fn ts_floor(&self) -> Ts {
+        self.max_finalized.load(Ordering::Acquire)
+    }
+
+    /// A transaction finalized its commit timestamp (while holding its write
+    /// locks).
+    pub fn note_finalized(&self, cts: Ts) {
+        self.max_finalized.fetch_max(cts, Ordering::AcqRel);
+    }
+
+    /// Register a transaction at begin.
+    pub fn begin(&self, txn: TxnId) {
+        let floor = self.ts_floor();
+        self.inner.lock().active.insert(txn, floor);
+    }
+
+    /// Deregister an aborted transaction.
+    pub fn abort(&self, txn: TxnId) {
+        self.inner.lock().active.remove(&txn);
+        self.publish();
+    }
+
+    /// Move a committed transaction from active to pending. `doomed` marks a
+    /// commit the scheme already knows a crash will roll back.
+    pub fn commit(&self, txn: TxnId, cts: Ts, release: Release, doomed: bool) {
+        // Not every protocol routes its timestamp through
+        // `finalize_commit_ts` (Primo computes it from record metadata), so
+        // the floor must also learn it here: a transaction beginning after
+        // this commit must record a floor at or above `cts`, or it could
+        // later install below a horizon that already passed `cts`.
+        self.note_finalized(cts);
+        let mut inner = self.inner.lock();
+        inner.active.remove(&txn);
+        if doomed && !inner.crash_open {
+            // Straggler commit doomed by a crash whose compensation already
+            // completed: nothing left to protect, drop it outright.
+            drop(inner);
+            self.publish();
+            return;
+        }
+        if !doomed && release == Release::Now {
+            inner.max_released = inner.max_released.max(cts);
+        } else {
+            inner.pending.insert(
+                txn,
+                Pending {
+                    cts,
+                    release,
+                    doomed,
+                },
+            );
+        }
+        drop(inner);
+        self.publish();
+    }
+
+    /// Release every pending transaction whose CLV quorum-ack deadline has
+    /// passed.
+    pub fn release_due(&self, now_us: u64) {
+        let mut inner = self.inner.lock();
+        let mut released = inner.max_released;
+        inner.pending.retain(|_, p| {
+            let due = !p.doomed && matches!(p.release, Release::AtUs(at) if at <= now_us);
+            if due {
+                released = released.max(p.cts);
+            }
+            !due
+        });
+        inner.max_released = released;
+        drop(inner);
+        self.publish();
+    }
+
+    /// Release every pending transaction of epochs up to and including
+    /// `epoch` (its group commit sealed).
+    pub fn release_epochs_through(&self, epoch: u64) {
+        let mut inner = self.inner.lock();
+        let mut released = inner.max_released;
+        inner.pending.retain(|_, p| {
+            let due = !p.doomed && matches!(p.release, Release::Epoch(e) if e <= epoch);
+            if due {
+                released = released.max(p.cts);
+            }
+            !due
+        });
+        inner.max_released = released;
+        drop(inner);
+        self.publish();
+    }
+
+    /// A crash rolled back every pending CLV transaction whose persist
+    /// window spans `crash_us`: doom them (release the rest as usual later).
+    pub fn doom_window(&self, crash_us: u64, ack_delay_us: u64) {
+        let mut inner = self.inner.lock();
+        inner.crash_open = true;
+        for p in inner.pending.values_mut() {
+            if let Release::AtUs(ready_at) = p.release {
+                if crash_us < ready_at && ready_at.saturating_sub(ack_delay_us) <= crash_us {
+                    p.doomed = true;
+                }
+            }
+        }
+    }
+
+    /// A crash aborted this COCO epoch: doom its pending transactions.
+    pub fn doom_epoch(&self, epoch: u64) {
+        let mut inner = self.inner.lock();
+        inner.crash_open = true;
+        for p in inner.pending.values_mut() {
+            if p.release == Release::Epoch(epoch) {
+                p.doomed = true;
+            }
+        }
+    }
+
+    /// The crashed partition's in-flight transactions will never report
+    /// back; drop their active entries so the horizon is not pinned forever.
+    pub fn drop_actives_of(&self, partition: PartitionId) {
+        let mut inner = self.inner.lock();
+        inner.active.retain(|txn, _| txn.coordinator() != partition);
+        drop(inner);
+        self.publish();
+    }
+
+    /// Crash compensation purged every rolled-back version from the chains:
+    /// doomed transactions no longer need to cap the horizon.
+    pub fn compensation_complete(&self) {
+        let mut inner = self.inner.lock();
+        inner.crash_open = false;
+        inner.pending.retain(|_, p| !p.doomed);
+        drop(inner);
+        self.publish();
+    }
+
+    /// Recompute and publish the horizon (monotone).
+    fn publish(&self) {
+        let inner = self.inner.lock();
+        let mut h = Ts::MAX;
+        for floor in inner.active.values() {
+            h = h.min(*floor);
+        }
+        for p in inner.pending.values() {
+            h = h.min(p.cts.saturating_sub(1));
+        }
+        if h == Ts::MAX {
+            h = inner.max_released;
+        }
+        drop(inner);
+        self.horizon.fetch_max(h, Ordering::AcqRel);
+    }
+
+    /// The current snapshot horizon. `now_us` lets CLV-style deadlines
+    /// release lazily on the read path.
+    pub fn horizon(&self, now_us: u64) -> Ts {
+        if self.unsafe_latest {
+            return self.max_finalized.load(Ordering::Acquire);
+        }
+        self.release_due(now_us);
+        self.horizon.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(seq: u64) -> TxnId {
+        TxnId::new(PartitionId(0), seq)
+    }
+
+    #[test]
+    fn horizon_trails_active_transactions() {
+        let t = SnapshotTracker::new(false);
+        assert_eq!(t.horizon(0), 0);
+        t.begin(tid(1));
+        t.note_finalized(10);
+        t.commit(tid(1), 10, Release::Now, false);
+        assert_eq!(t.horizon(0), 10);
+        // A transaction that began at floor 10 pins the horizon there even
+        // after newer commits release.
+        t.begin(tid(2));
+        t.begin(tid(3));
+        t.note_finalized(20);
+        t.commit(tid(3), 20, Release::Now, false);
+        assert_eq!(t.horizon(0), 10, "tid(2) began at floor 10");
+        t.abort(tid(2));
+        assert_eq!(t.horizon(0), 20);
+    }
+
+    #[test]
+    fn pending_caps_until_released() {
+        let t = SnapshotTracker::new(false);
+        t.begin(tid(1));
+        t.note_finalized(7);
+        t.commit(tid(1), 7, Release::AtUs(100), false);
+        assert_eq!(t.horizon(50), 6, "undurable commit caps the horizon");
+        assert_eq!(t.horizon(100), 7, "released at its quorum-ack deadline");
+    }
+
+    #[test]
+    fn epochs_release_in_bulk() {
+        let t = SnapshotTracker::new(false);
+        for (seq, cts) in [(1u64, 5u64), (2, 6)] {
+            t.begin(tid(seq));
+            t.note_finalized(cts);
+            t.commit(tid(seq), cts, Release::Epoch(3), false);
+        }
+        assert_eq!(t.horizon(0), 4);
+        t.release_epochs_through(2);
+        assert_eq!(t.horizon(0), 4);
+        t.release_epochs_through(3);
+        assert_eq!(t.horizon(0), 6);
+    }
+
+    #[test]
+    fn doomed_transactions_cap_until_compensation() {
+        let t = SnapshotTracker::new(false);
+        t.begin(tid(1));
+        t.note_finalized(9);
+        // Persist window [60, 100] spans the crash at 80.
+        t.commit(tid(1), 9, Release::AtUs(100), false);
+        t.doom_window(80, 40);
+        assert_eq!(
+            t.horizon(1_000),
+            8,
+            "doomed txn still caps after its deadline"
+        );
+        t.compensation_complete();
+        t.begin(tid(2));
+        t.note_finalized(12);
+        t.commit(tid(2), 12, Release::Now, false);
+        assert_eq!(t.horizon(1_000), 12, "doomed txn never releases");
+    }
+
+    #[test]
+    fn crashed_partition_actives_are_dropped() {
+        let t = SnapshotTracker::new(false);
+        t.note_finalized(5);
+        let dead = TxnId::new(PartitionId(1), 1);
+        t.begin(dead);
+        t.begin(tid(2));
+        t.note_finalized(8);
+        t.commit(tid(2), 8, Release::Now, false);
+        assert_eq!(t.horizon(0), 5);
+        t.drop_actives_of(PartitionId(1));
+        assert_eq!(t.horizon(0), 8);
+    }
+
+    #[test]
+    fn unsafe_mode_reports_latest_commit() {
+        let t = SnapshotTracker::new(true);
+        t.begin(tid(1));
+        t.note_finalized(42);
+        assert_eq!(t.horizon(0), 42, "ablation ignores durability entirely");
+    }
+}

@@ -7,8 +7,9 @@
 
 use crate::group_commit::{CommitOutcome, CommitWaiter, GroupCommit, SeqTsSource, TxnTicket};
 use crate::replicated::ReplicatedLog;
+use crate::snapshot::{Release, SnapshotTracker};
 use primo_common::config::WalConfig;
-use primo_common::sim_time::charge_latency_us;
+use primo_common::sim_time::{charge_latency_us, now_us};
 use primo_common::{PartitionId, Ts, TxnId};
 use std::sync::Arc;
 // Replay after a crash is bounded purely by the quorum-durable LSN captured
@@ -25,6 +26,9 @@ pub struct SyncCommit {
     ack_delay_us: u64,
     /// Commit-timestamp sequence for protocols without logical timestamps.
     seq_ts: SeqTsSource,
+    /// MVCC snapshot-horizon bookkeeping: a synchronously flushed commit is
+    /// durable-forever the moment its commit call returns.
+    tracker: SnapshotTracker,
 }
 
 impl SyncCommit {
@@ -34,6 +38,7 @@ impl SyncCommit {
             num_partitions,
             ack_delay_us,
             seq_ts: SeqTsSource::new(),
+            tracker: SnapshotTracker::new(cfg.unsafe_latest_commit_horizon),
         }
     }
 
@@ -44,6 +49,7 @@ impl SyncCommit {
 
 impl GroupCommit for SyncCommit {
     fn begin_txn(&self, coord: PartitionId, txn: TxnId) -> std::sync::Arc<TxnTicket> {
+        self.tracker.begin(txn);
         TxnTicket::new(txn, coord, 0)
     }
 
@@ -54,12 +60,17 @@ impl GroupCommit for SyncCommit {
         }
     }
 
-    fn txn_aborted(&self, _ticket: &TxnTicket) {}
+    fn txn_aborted(&self, ticket: &TxnTicket) {
+        self.tracker.abort(ticket.txn);
+    }
 
     fn txn_committed(&self, ticket: &TxnTicket, ts: Ts, _ops: usize) -> CommitWaiter {
         // The flush happens right here, synchronously, while the worker (and
         // in a 2PC protocol, the prepare/commit handling) is still pending.
         charge_latency_us(self.ack_delay_us);
+        // Quorum-durable before the commit call returns: the snapshot
+        // horizon may include it immediately.
+        self.tracker.commit(ticket.txn, ts, Release::Now, false);
         CommitWaiter {
             txn: ticket.txn,
             coordinator: ticket.coordinator,
@@ -77,11 +88,24 @@ impl GroupCommit for SyncCommit {
         Some(CommitOutcome::Committed)
     }
 
-    fn finalize_commit_ts(&self, _ticket: &TxnTicket, hint: Ts) -> Ts {
-        self.seq_ts.finalize(hint)
+    fn ts_floor(&self, _partition: PartitionId) -> Ts {
+        self.tracker.ts_floor()
     }
 
-    fn on_partition_crash(&self, _p: PartitionId) -> Ts {
+    fn finalize_commit_ts(&self, _ticket: &TxnTicket, hint: Ts) -> Ts {
+        let ts = self.seq_ts.finalize_above(hint, self.tracker.ts_floor());
+        self.tracker.note_finalized(ts);
+        ts
+    }
+
+    fn snapshot_horizon(&self, _partition: PartitionId) -> Ts {
+        self.tracker.horizon(now_us())
+    }
+
+    fn on_partition_crash(&self, p: PartitionId) -> Ts {
+        // A synchronously flushed commit is never rolled back, so nothing is
+        // doomed; only the crashed partition's in-flight registrations die.
+        self.tracker.drop_actives_of(p);
         0
     }
 
@@ -118,5 +142,24 @@ mod tests {
         assert!(start.elapsed().as_micros() >= 380);
         assert_eq!(gc.wait_durable(&waiter), CommitOutcome::Committed);
         assert_eq!(gc.num_partitions(), 1);
+    }
+
+    #[test]
+    fn snapshot_horizon_follows_the_flush() {
+        let cfg = WalConfig {
+            scheme: LoggingScheme::SyncPerTxn,
+            interval_ms: 10,
+            persist_delay_us: 10,
+            force_update: false,
+            ..WalConfig::default()
+        };
+        let gc = SyncCommit::new(1, cfg, crate::build_logs(1, cfg));
+        let p = PartitionId(0);
+        assert_eq!(gc.snapshot_horizon(p), 0);
+        let ticket = gc.begin_txn(p, TxnId::new(p, 1));
+        let ts = gc.finalize_commit_ts(&ticket, 0);
+        let _ = gc.txn_committed(&ticket, ts, 1);
+        assert_eq!(gc.snapshot_horizon(p), ts);
+        assert!(gc.ts_floor(p) >= ts);
     }
 }

@@ -127,6 +127,14 @@ pub struct WatermarkCommit {
     /// therefore compensated — must still be reported `CrashAborted`, or
     /// the client would be told `Committed` about undone writes.
     rolled_back_txns: Mutex<HashSet<TxnId>>,
+    /// Open crash agreements: each entry is the agreed rollback watermark of
+    /// a crash whose survivor compensation has not completed yet. While one
+    /// is open, version chains may still hold rolled-back versions with
+    /// `ts >= agreed`, so the snapshot horizon stays capped below it.
+    snapshot_caps: Mutex<Vec<Ts>>,
+    /// Highest finalized commit timestamp — only used by the deliberately
+    /// unsound `unsafe_latest_commit_horizon` ablation.
+    max_finalized: AtomicU64,
 }
 
 impl std::fmt::Debug for WatermarkCommit {
@@ -159,6 +167,8 @@ impl WatermarkCommit {
             agents: Mutex::new(Vec::new()),
             crash_seq: AtomicU64::new(0),
             rolled_back_txns: Mutex::new(HashSet::new()),
+            snapshot_caps: Mutex::new(Vec::new()),
+            max_finalized: AtomicU64::new(0),
         };
         wm.start_agents();
         wm
@@ -242,48 +252,60 @@ fn agent_loop(
         if now.saturating_sub(me.last_generate_us.load(Ordering::Relaxed)) >= interval_us {
             me.last_generate_us.store(now, Ordering::Relaxed);
             let prev = me.wp_generated.load(Ordering::Acquire);
-            let candidate = {
-                // The watermark chases the highest timestamp this partition
-                // has processed: everything at or below it is either already
-                // durable by publication time or — for transactions that
-                // commit after this candidate is generated — forced above it
-                // by the ts-floor constraint (rule R2). In-flight *remote*
-                // transactions registered by `add_participant` cap the
-                // candidate (rule R1), because their timestamps are decided
-                // by another coordinator's floor.
-                let target = (prev + 1).max(me.max_seen_ts.load(Ordering::Acquire));
-                let active = me.active.lock();
-                match active.values().copied().min() {
-                    Some(min_active) => prev.max(target.min(min_active)),
-                    None => target,
-                }
-            };
-            // Force-update: if we lag behind the average of the other
-            // partitions, push the floor so future transactions (and hence
-            // the next watermark) catch up (§5.1, Fig 13b).
-            let mut candidate = candidate;
-            if cfg.force_update && all.len() > 1 {
+            // Cluster average for the force-update rule, computed before the
+            // active-table lock so the two locks never nest.
+            let force_avg = if cfg.force_update && all.len() > 1 {
                 let table = me.table.lock();
                 let others: Vec<Ts> = (0..all.len())
                     .filter(|i| *i != me.id.idx())
                     .map(|i| table[i])
                     .collect();
                 drop(table);
-                let avg = others.iter().sum::<Ts>() / others.len().max(1) as Ts;
-                if candidate < avg {
-                    let delta = avg - candidate;
-                    let active_empty = me.active.lock().is_empty();
-                    if active_empty {
-                        candidate += delta;
-                    } else {
-                        me.force_floor
-                            .fetch_max(candidate + delta, Ordering::AcqRel);
+                Some(others.iter().sum::<Ts>() / others.len().max(1) as Ts)
+            } else {
+                None
+            };
+            let candidate = {
+                // The watermark chases the highest timestamp this partition
+                // has processed. Soundness rests on the commit critical
+                // section: every transaction that will still log a write-set
+                // at `ts <= candidate` is registered in the active table —
+                // remote participants from `add_participant` (rule R1, their
+                // timestamps are decided by another coordinator's floor) and
+                // coordinator-side commits from `reserve_commit_ts` — and
+                // caps the candidate. Everything else either appended its
+                // log entry before this generation (durable by publication
+                // time, one quorum-ack delay later) or reserves its
+                // timestamp after it and is forced above the candidate by
+                // the floor (rule R2). Candidate selection, the
+                // `wp_generated` store and `reserve_commit_ts` all run under
+                // the active-table lock, so no reservation can slip between
+                // the cap check and the floor becoming visible.
+                let target = (prev + 1).max(me.max_seen_ts.load(Ordering::Acquire));
+                let active = me.active.lock();
+                let mut candidate = match active.values().copied().min() {
+                    Some(min_active) => prev.max(target.min(min_active)),
+                    None => target,
+                };
+                // Force-update: if we lag behind the average of the other
+                // partitions, push the floor so future transactions (and
+                // hence the next watermark) catch up (§5.1, Fig 13b).
+                if let Some(avg) = force_avg {
+                    if candidate < avg {
+                        let delta = avg - candidate;
+                        if active.is_empty() {
+                            candidate += delta;
+                        } else {
+                            me.force_floor
+                                .fetch_max(candidate + delta, Ordering::AcqRel);
+                        }
                     }
                 }
-            }
-            if candidate > prev {
-                me.wp_generated.store(candidate, Ordering::Release);
-            }
+                if candidate > prev {
+                    me.wp_generated.store(candidate, Ordering::Release);
+                }
+                candidate
+            };
             // The watermark becomes publishable only once its log record is
             // quorum-durable (it is itself a log record, §5.1) — under
             // replication that is the quorum-ack delay, not the leader's
@@ -319,13 +341,15 @@ fn agent_loop(
 
 impl GroupCommit for WatermarkCommit {
     fn begin_txn(&self, coord: PartitionId, txn: TxnId) -> Arc<TxnTicket> {
-        // Coordinator-side transactions need no registration in the active
-        // table: rule R2 already forces their final timestamp above whatever
-        // watermark the coordinator generates later (the `ts_floor`
-        // constraint), so they can never fall below a published `Wp`. Only
-        // *participants* must pin the watermark (see `add_participant`),
-        // because their remote transaction's timestamp is chosen by a
-        // different partition's floor.
+        // Coordinator-side transactions are not registered for their whole
+        // lifetime: rule R2 (the `ts_floor` constraint applied atomically in
+        // `reserve_commit_ts`) forces their final timestamp above whatever
+        // watermark the coordinator generated before they reserved, so the
+        // active table only has to pin them for the short commit critical
+        // section — reservation to `txn_committed`. *Participants* are
+        // registered for the full run (see `add_participant`), because their
+        // remote transaction's timestamp is chosen by a different
+        // partition's floor.
         TxnTicket::new(txn, coord, 0)
     }
 
@@ -375,6 +399,7 @@ impl GroupCommit for WatermarkCommit {
         } else {
             self.assign_seq_ts(ticket.coordinator)
         };
+        self.max_finalized.fetch_max(final_ts, Ordering::AcqRel);
         let crash_idx = self.parts[ticket.coordinator.idx()]
             .wg
             .lock()
@@ -444,11 +469,104 @@ impl GroupCommit for WatermarkCommit {
         self.parts[partition.idx()].floor()
     }
 
+    fn reserve_commit_ts(&self, ticket: &TxnTicket, proposed: Ts) -> Ts {
+        // Commit critical section (see the trait docs): apply the floor and
+        // register the transaction in the coordinator's active table under
+        // ONE lock acquisition. The generator computes its candidate and
+        // stores `wp_generated` under the same lock, so either this
+        // reservation lands first and caps the candidate at `ts`, or the
+        // generation lands first and `floor()` already reflects it — in both
+        // cases no watermark above `ts` can publish before `txn_committed`
+        // (which runs after the write-set is appended) releases the pin.
+        // Without this, a thread descheduled between timestamp assignment
+        // and `log_txn_writes` lets the watermark expose — to clients and to
+        // MVCC snapshot readers — a commit whose log entry a crash would
+        // silently drop.
+        //
+        // The floor is taken over EVERY involved partition, not just the
+        // coordinator: a distributed write-set is appended to each
+        // participant's log, and an entry timestamped below a watermark that
+        // participant already published is (a) instantly snapshot-visible
+        // while still inside its persist window and (b) replayed out of
+        // order after a crash (replay sorts by `ts`), either of which lets a
+        // reader observe a value recovery then takes back. Participants were
+        // registered by `add_participant` before the commit point, so their
+        // published watermarks are pinned and their floors only rise — the
+        // lock-free reads below cannot race a publication past `ts`.
+        //
+        // `max_seen_ts` is raised on every involved partition here, at
+        // reservation, rather than only at `txn_committed` (which the worker
+        // runs after the protocol released its locks): the bump must be
+        // visible before any conflicting transaction can read this one's
+        // writes and reserve its own timestamp, so that per-key timestamp
+        // order always matches install order and crash replay — which
+        // applies entries in `ts` order — reconstructs exactly the state the
+        // live run exposed.
+        let part = &self.parts[ticket.coordinator.idx()];
+        let mut active = part.active.lock();
+        let mut ts = proposed.max(part.floor() + 1);
+        for p in ticket.participants() {
+            if p != ticket.coordinator {
+                ts = ts.max(self.parts[p.idx()].floor() + 1);
+            }
+        }
+        for p in ticket.involved() {
+            self.parts[p.idx()]
+                .max_seen_ts
+                .fetch_max(ts, Ordering::AcqRel);
+        }
+        active.insert(ticket.txn, ts);
+        ts
+    }
+
     fn finalize_commit_ts(&self, ticket: &TxnTicket, hint: Ts) -> Ts {
-        if hint > 0 {
+        let ts = if hint > 0 {
+            // The protocol's timestamp is already fixed (it must match what
+            // gets installed), so only pin it: future watermarks must not
+            // overtake the entry this transaction is about to append.
+            self.parts[ticket.coordinator.idx()]
+                .active
+                .lock()
+                .insert(ticket.txn, hint);
             hint
         } else {
-            self.assign_seq_ts(ticket.coordinator)
+            let seq = self.seq_ts.fetch_add(1, Ordering::Relaxed);
+            self.reserve_commit_ts(ticket, seq)
+        };
+        self.max_finalized.fetch_max(ts, Ordering::AcqRel);
+        ts
+    }
+
+    fn snapshot_horizon(&self, p: PartitionId) -> Ts {
+        if self.cfg.unsafe_latest_commit_horizon {
+            // Deliberately unsound ablation: expose the newest finalized
+            // commit timestamp regardless of durability or crash agreement.
+            return self.max_finalized.load(Ordering::Acquire);
+        }
+        // Everything with `ts < Wg` (this partition's view) has been reported
+        // `Committed` — durable on every participant and below every possible
+        // future crash agreement *once compensation for open crashes is
+        // done*. While a crash agreement is still compensating, survivors may
+        // hold to-be-undone versions with `ts >= agreed`, so the horizon is
+        // capped at `agreed - 1` until `on_compensation_complete`.
+        let mut h = self.parts[p.idx()].wg.lock().wg.saturating_sub(1);
+        if let Some(cap) = self.snapshot_caps.lock().iter().min() {
+            h = h.min(cap.saturating_sub(1));
+        }
+        h
+    }
+
+    fn on_compensation_complete(&self) {
+        // Survivor compensation for the oldest open crash finished: no
+        // rolled-back version above that agreement survives in any chain.
+        let mut caps = self.snapshot_caps.lock();
+        if let Some(idx) = caps
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, v)| **v)
+            .map(|(i, _)| i)
+        {
+            caps.swap_remove(idx);
         }
     }
 
@@ -531,6 +649,10 @@ impl GroupCommit for WatermarkCommit {
         }
         // Abort every transaction still active on the crashed partition.
         self.parts[p.idx()].active.lock().clear();
+        // Snapshot readers must not observe versions the survivor
+        // compensation is about to undo (`ts >= agreed`): cap the horizon
+        // until `on_compensation_complete`.
+        self.snapshot_caps.lock().push(agreed);
         agreed
     }
 
@@ -612,6 +734,33 @@ mod tests {
     }
 
     #[test]
+    fn reserved_commit_ts_pins_the_coordinator_watermark() {
+        let (wm, _bus) = make(2, 1);
+        std::thread::sleep(Duration::from_millis(30));
+        // Reservation = the commit critical section: the returned timestamp
+        // exceeds every published watermark, and until `txn_committed` (which
+        // runs after the write-set is appended) no watermark above it may be
+        // generated — a published `Wp > ts` claims the entry is durable,
+        // while it is still on its way to the log. Regression for the crash
+        // race where a thread descheduled between timestamp assignment and
+        // the log append let the watermark expose an undurable commit.
+        let ticket = wm.begin_txn(PartitionId(0), tid(9));
+        let ts = wm.reserve_commit_ts(&ticket, 0);
+        assert!(ts > wm.partition_watermark(PartitionId(0)));
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(
+            wm.partition_watermark(PartitionId(0)) <= ts,
+            "the watermark overtook a reserved, not-yet-logged commit"
+        );
+        // Completing the commit releases the pin.
+        let waiter = wm.txn_committed(&ticket, ts, 1);
+        assert_eq!(wm.wait_durable(&waiter), CommitOutcome::Committed);
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(wm.partition_watermark(PartitionId(0)) > ts);
+        wm.shutdown();
+    }
+
+    #[test]
     fn ts_floor_grows_over_time() {
         let (wm, _bus) = make(2, 1);
         std::thread::sleep(Duration::from_millis(30));
@@ -674,6 +823,58 @@ mod tests {
         let a = wm.finalize_commit_ts(&ticket, 0);
         let b = wm.finalize_commit_ts(&ticket, 0);
         assert!(a > 0 && b > 0);
+        wm.shutdown();
+    }
+
+    #[test]
+    fn snapshot_horizon_trails_the_global_watermark() {
+        let (wm, _bus) = make(2, 1);
+        std::thread::sleep(Duration::from_millis(50));
+        let p = PartitionId(0);
+        let h = wm.snapshot_horizon(p);
+        let wg = wm.global_watermark(p);
+        assert!(h > 0, "idle cluster horizon should advance");
+        assert!(h < wg, "horizon must stay strictly below the Wg view");
+        wm.shutdown();
+    }
+
+    #[test]
+    fn crash_caps_the_horizon_until_compensation_completes() {
+        let (wm, _bus) = make(2, 1);
+        std::thread::sleep(Duration::from_millis(40));
+        let p = PartitionId(0);
+        let agreed = wm.on_partition_crash(PartitionId(1));
+        // While survivors still hold to-be-compensated versions with
+        // ts >= agreed, no snapshot may include them.
+        assert!(wm.snapshot_horizon(p) < agreed.max(1));
+        wm.on_compensation_complete();
+        // Wg was bumped to at least `agreed` by the crash agreement, so the
+        // uncapped horizon reaches past it again.
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(wm.snapshot_horizon(p) >= agreed);
+        wm.shutdown();
+    }
+
+    #[test]
+    fn unsafe_horizon_knob_exposes_undurable_commits() {
+        let bus = DelayedBus::new(2, 100);
+        let cfg = WalConfig {
+            scheme: primo_common::config::LoggingScheme::Watermark,
+            interval_ms: 200, // Wg will not catch up during the test
+            persist_delay_us: 100,
+            force_update: true,
+            unsafe_latest_commit_horizon: true,
+            ..WalConfig::default()
+        };
+        let wals = crate::build_logs(2, cfg);
+        let wm = WatermarkCommit::new(2, cfg, bus, wals);
+        let ticket = wm.begin_txn(PartitionId(0), tid(3));
+        wm.update_ts(&ticket, 500_000);
+        let _ = wm.txn_committed(&ticket, 500_000, 1);
+        // The ablation horizon races ahead of durability: it reports the
+        // freshly committed (but not yet watermark-covered) timestamp.
+        assert_eq!(wm.snapshot_horizon(PartitionId(0)), 500_000);
+        assert!(wm.global_watermark(PartitionId(0)) < 500_000);
         wm.shutdown();
     }
 

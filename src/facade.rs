@@ -141,6 +141,35 @@ impl ClusterBuilder {
         self
     }
 
+    /// Bound on each record's MVCC version chain: the newest `n` committed
+    /// versions (current + `n - 1` history entries) stay readable by
+    /// snapshot transactions; older ones are evicted on install, and a
+    /// snapshot that needs one falls back to the protocol. The default (4)
+    /// keeps memory flat under write-heavy churn.
+    ///
+    /// # Panics
+    /// Panics on `0` — a record must always retain at least its current
+    /// version, so zero would silently disable snapshot reads instead of
+    /// expressing a chain bound.
+    pub fn max_versions(mut self, n: usize) -> Self {
+        assert!(
+            n >= 1,
+            "version-chain bound must be at least 1 (the current version), got {n}"
+        );
+        self.tweaks
+            .push(Box::new(move |c| c.primo.max_versions = n));
+        self
+    }
+
+    /// Disable MVCC snapshot reads: declared read-only transactions run
+    /// through the concurrency-control protocol like everything else (the
+    /// validate-everything baseline of the read-only-scaling figure).
+    pub fn without_snapshot_reads(mut self) -> Self {
+        self.tweaks
+            .push(Box::new(|c| c.primo.read_only_snapshot = false));
+        self
+    }
+
     /// Select the protocol by kind (default [`ProtocolKind::Primo`]).
     pub fn protocol(mut self, kind: ProtocolKind) -> Self {
         self.kind = kind;
@@ -397,6 +426,55 @@ mod tests {
             .build();
         assert_eq!(primo.protocol().name(), "Sundial");
         assert_eq!(primo.cluster().group_commit.label(), "COCO");
+        primo.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "version-chain bound must be at least 1")]
+    fn max_versions_rejects_zero() {
+        let _ = Primo::builder().max_versions(0);
+    }
+
+    #[test]
+    fn max_versions_reaches_the_cluster_config() {
+        let primo = Primo::builder()
+            .partitions(1)
+            .fast_local()
+            .max_versions(9)
+            .build();
+        assert_eq!(primo.cluster().config.primo.max_versions, 9);
+        primo.shutdown();
+    }
+
+    #[test]
+    fn without_snapshot_reads_disables_the_mvcc_path() {
+        let primo = Primo::builder()
+            .partitions(1)
+            .fast_local()
+            .without_snapshot_reads()
+            .build();
+        assert!(!primo.cluster().config.primo.read_only_snapshot);
+        primo.shutdown();
+    }
+
+    #[test]
+    fn read_only_closure_commits_through_the_snapshot_path() {
+        let primo = fast(2);
+        let s = primo.session();
+        s.load(PartitionId(0), T, 1, Value::from_u64(41));
+        s.load(PartitionId(1), T, 2, Value::from_u64(58));
+        let attempts = s
+            .run_program(
+                &ClosureProgram::new(PartitionId(0), |ctx| {
+                    let a = ctx.read(PartitionId(0), T, 1)?.as_u64();
+                    let b = ctx.read(PartitionId(1), T, 2)?.as_u64();
+                    assert_eq!(a + b, 99);
+                    Ok(())
+                })
+                .read_only(),
+            )
+            .unwrap();
+        assert_eq!(attempts, 1, "a snapshot read never retries");
         primo.shutdown();
     }
 

@@ -72,6 +72,7 @@ pub use primo_core::PrimoProtocol;
 pub use primo_recovery::{CheckpointStats, Checkpointer, RecoveryManager, RecoveryReport};
 pub use primo_runtime::experiment::CrashPlan;
 pub use primo_runtime::protocol::{CommittedTxn, Protocol};
+pub use primo_runtime::snapshot::{execute_snapshot, SnapshotOutcome, SnapshotSession};
 pub use primo_runtime::txn::{ClosureProgram, TxnContext, TxnProgram, Workload};
 pub use primo_workloads::{
     SmallbankConfig, SmallbankWorkload, TpccConfig, TpccWorkload, YcsbConfig, YcsbWorkload,
