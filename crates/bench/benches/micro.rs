@@ -106,6 +106,134 @@ fn bench_wal_append() {
     });
 }
 
+/// Tentpole of PR 7: [`ReplicatedLog::append`] is a two-stage pipeline —
+/// the commit critical section only sequences (leader append + staging-ring
+/// push under one lock) while a background pump ships staged entries to the
+/// followers in batches. The pre-PR shape — fan-out to every replica under
+/// the one append lock — is reproduced here verbatim so the two critical
+/// sections race on identical replica sets (RF 3, realistic delays) at
+/// 1 / 4 / 16 appender threads.
+fn bench_contended_append() {
+    use std::time::Instant;
+
+    /// The pre-pipeline append path: one lock, `RF` replica appends inside
+    /// it (exactly the old `ReplicatedLog::append` body).
+    struct OldFanout {
+        lock: std::sync::Mutex<()>,
+        replicas: Vec<PartitionWal>,
+    }
+
+    impl OldFanout {
+        fn rf3() -> Self {
+            OldFanout {
+                lock: std::sync::Mutex::new(()),
+                replicas: (0..3)
+                    .map(|i| PartitionWal::new(PartitionId(0), if i == 0 { 100 } else { 700 }))
+                    .collect(),
+            }
+        }
+
+        fn append(&self, payload: LogPayload) -> u64 {
+            let payload = Arc::new(payload);
+            let _guard = self.lock.lock().unwrap();
+            for replica in &self.replicas[1..] {
+                replica.append_in_term(0, Arc::clone(&payload));
+            }
+            self.replicas[0].append_in_term(0, payload)
+        }
+    }
+
+    fn pipelined_rf3() -> ReplicatedLog {
+        ReplicatedLog::new(
+            PartitionId(0),
+            primo_repro::WalConfig {
+                replication_factor: 3,
+                persist_delay_us: 100,
+                replica_persist_delay_us: Some(200),
+                ..primo_repro::WalConfig::default()
+            },
+            500,
+            None,
+        )
+    }
+
+    fn payload(seq: u64) -> LogPayload {
+        LogPayload::TxnWrites {
+            txn: TxnId::new(PartitionId(0), seq),
+            ts: seq + 1,
+            writes: vec![LoggedWrite::put(
+                TableId(0),
+                seq % 1_024,
+                Value::from_u64(seq),
+            )],
+        }
+    }
+
+    fn contended(name: &str, threads: u64, append: impl Fn(u64) -> u64 + Sync) {
+        const TOTAL: u64 = 64_000;
+        let per_thread = TOTAL / threads;
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let append = &append;
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        std::hint::black_box(append(t * per_thread + i));
+                    }
+                });
+            }
+        });
+        let ops = per_thread * threads;
+        let per_op = started.elapsed().as_nanos() as f64 / ops as f64;
+        println!("{name:<40} {per_op:>12.1} ns/op   ({ops} iters)");
+    }
+
+    for threads in [1u64, 4, 16] {
+        let old = OldFanout::rf3();
+        contended(
+            &format!("wal/contended_append_rf3_t{threads}_old"),
+            threads,
+            |seq| old.append(payload(seq)),
+        );
+        let new = pipelined_rf3();
+        contended(
+            &format!("wal/contended_append_rf3_t{threads}_new"),
+            threads,
+            |seq| new.append(payload(seq)),
+        );
+    }
+}
+
+/// Stage 2 of the append pipeline in isolation: delivering 64 sequenced
+/// entries to one follower replica as a single batch
+/// ([`PartitionWal::append_entries`], one lock acquisition) vs. the old
+/// per-entry fan-out (64 acquisitions). Both passes pay for a fresh target
+/// replica, so the difference is pure delivery cost.
+fn bench_fanout_batching() {
+    const BATCH: u64 = 64;
+    let source = PartitionWal::new(PartitionId(0), 500);
+    for seq in 0..BATCH {
+        source.append(LogPayload::TxnWrites {
+            txn: TxnId::new(PartitionId(0), seq),
+            ts: seq + 1,
+            writes: vec![LoggedWrite::put(TableId(0), seq, Value::from_u64(seq))],
+        });
+    }
+    let batch = source.entries_from(0);
+    bench("wal/fanout_64_batched", || {
+        let target = PartitionWal::new(PartitionId(0), 500);
+        target.append_entries(&batch);
+        std::hint::black_box(target.end_lsn());
+    });
+    bench("wal/fanout_64_per_entry", || {
+        let target = PartitionWal::new(PartitionId(0), 500);
+        for e in &batch {
+            target.append_in_term(e.term, Arc::clone(&e.payload));
+        }
+        std::hint::black_box(target.end_lsn());
+    });
+}
+
 fn bench_wal_durable_boundary() {
     // Satellite of the replicated-WAL refactor: the durable-boundary
     // lookups (`durable_lsn`, `latest_durable_watermark_at`,
@@ -409,6 +537,8 @@ fn main() {
     bench_tictoc_record();
     bench_zipf();
     bench_wal_append();
+    bench_contended_append();
+    bench_fanout_batching();
     bench_wal_durable_boundary();
     bench_log_txn_writes();
     bench_checkpoint_and_replay();

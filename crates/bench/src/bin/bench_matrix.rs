@@ -1,0 +1,268 @@
+//! Emit `BENCH_PR7.json`: the standing per-PR performance trajectory matrix.
+//!
+//! Unlike the one-off `bench_pr6` snapshot, this emitter is the **fixed
+//! matrix** ROADMAP.md asks for — the same cells re-run (and re-committed)
+//! every PR so regressions show up as a diff at the repo root:
+//!
+//! * `contended_append` — the commit-critical-section cost of
+//!   [`ReplicatedLog::append`] under contention: replication factor
+//!   1 / 3 / 5 × 1 / 4 / 16 appender threads, reported as ns per append of
+//!   wall-clock across all threads. This is the lock every committer holds
+//!   while its write locks are still pinned, so it is the single most
+//!   throughput-sensitive number in the system.
+//! * `write_heavy` — YCSB at a 50 % read ratio (every transaction logs a
+//!   write-set) for every protocol × group-commit scheme at replication
+//!   factor 3: committed TPS, p99 latency, abort rate, and the append-
+//!   pipeline health metrics (`wal_append_wait_us`, mean replication batch
+//!   length).
+//!
+//! ```text
+//! bench_matrix [--duration-ms N] [--partitions N] [--workers N] [--out PATH]
+//! ```
+//!
+//! The committed `BENCH_PR7.json` at the repo root is generated with the
+//! defaults; CI smoke-runs the emitter at a reduced duration and asserts the
+//! schema plus non-zero TPS.
+
+use primo_bench::Scale;
+use primo_repro::wal::{LogPayload, LoggedWrite, ReplicatedLog};
+use primo_repro::{
+    Experiment, LoggingScheme, PartitionId, ProtocolKind, TableId, Value, WalConfig,
+};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+const PROTOCOLS: [ProtocolKind; 9] = [
+    ProtocolKind::TwoPlNoWait,
+    ProtocolKind::TwoPlWaitDie,
+    ProtocolKind::Silo,
+    ProtocolKind::Sundial,
+    ProtocolKind::Aria,
+    ProtocolKind::Tapir,
+    ProtocolKind::Primo,
+    ProtocolKind::PrimoNoWm,
+    ProtocolKind::PrimoNoWcfNoWm,
+];
+
+const SCHEMES: [LoggingScheme; 4] = [
+    LoggingScheme::SyncPerTxn,
+    LoggingScheme::CocoEpoch,
+    LoggingScheme::Clv,
+    LoggingScheme::Watermark,
+];
+
+const READ_RATIO: f64 = 0.5;
+const REPLICATION_FACTOR: usize = 3;
+const RF_POINTS: [usize; 3] = [1, 3, 5];
+const THREAD_POINTS: [usize; 3] = [1, 4, 16];
+
+fn scheme_key(s: LoggingScheme) -> &'static str {
+    match s {
+        LoggingScheme::SyncPerTxn => "sync",
+        LoggingScheme::CocoEpoch => "coco",
+        LoggingScheme::Clv => "clv",
+        LoggingScheme::Watermark => "watermark",
+    }
+}
+
+fn rf_log(rf: usize) -> ReplicatedLog {
+    ReplicatedLog::new(
+        PartitionId(0),
+        WalConfig {
+            replication_factor: rf,
+            // Real-ish delays: local disk 100us, replicas 200us behind a
+            // 500us hop. The appender never waits for any of these, so the
+            // measured cost is purely the critical-section work.
+            persist_delay_us: 100,
+            replica_persist_delay_us: Some(200),
+            ..WalConfig::default()
+        },
+        500,
+        None,
+    )
+}
+
+fn append_payload(seq: u64) -> LogPayload {
+    LogPayload::TxnWrites {
+        txn: primo_repro::TxnId::new(PartitionId(0), seq),
+        ts: seq,
+        writes: vec![LoggedWrite::put(TableId(0), seq, Value::from_u64(seq))],
+    }
+}
+
+/// Wall-clock ns per append with `threads` appenders hammering one log.
+/// Median of five passes. Payloads are pre-built outside the timed window,
+/// so the cell measures the append critical path itself — not payload
+/// allocation, which is identical across replication factors and thread
+/// counts and would otherwise drown the signal.
+fn contended_append_ns(rf: usize, threads: usize) -> f64 {
+    let per_thread: u64 = 40_000 / threads as u64;
+    let pass = || {
+        let log = Arc::new(rf_log(rf));
+        let batches: Vec<Vec<LogPayload>> = (0..threads as u64)
+            .map(|t| {
+                (0..per_thread)
+                    .map(|i| append_payload(t * per_thread + i))
+                    .collect()
+            })
+            .collect();
+        let start = Instant::now();
+        let handles: Vec<_> = batches
+            .into_iter()
+            .map(|batch| {
+                let log = Arc::clone(&log);
+                std::thread::spawn(move || {
+                    for payload in batch {
+                        log.append(payload);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        start.elapsed().as_nanos() as f64 / (per_thread * threads as u64) as f64
+    };
+    let mut runs = [pass(), pass(), pass(), pass(), pass()];
+    runs.sort_by(|a, b| a.total_cmp(b));
+    runs[2]
+}
+
+struct Cell {
+    protocol: &'static str,
+    scheme: &'static str,
+    tps: f64,
+    p99_ms: f64,
+    abort_rate: f64,
+    wal_append_wait_us: u64,
+    replication_batch_len: f64,
+}
+
+fn run_cell(kind: ProtocolKind, scheme: LoggingScheme, scale: &Scale) -> Cell {
+    let snap = Experiment::new()
+        .protocol(kind)
+        .logging(scheme)
+        .scale(*scale)
+        .replication_factor(REPLICATION_FACTOR)
+        .checkpoint_interval_ms(scale.duration_ms.max(4) / 4)
+        .ycsb_with(|y| y.read_ratio = READ_RATIO)
+        .run();
+    Cell {
+        protocol: kind.label(),
+        scheme: scheme_key(scheme),
+        tps: snap.throughput_tps,
+        p99_ms: snap.p99_latency_ms,
+        abort_rate: snap.abort_rate,
+        wal_append_wait_us: snap.wal_append_wait_us,
+        replication_batch_len: snap.replication_batch_len,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::quick();
+    let mut out_path = String::from("BENCH_PR7.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--duration-ms" => {
+                scale.duration_ms = args[i + 1].parse().expect("--duration-ms N");
+                i += 2;
+            }
+            "--partitions" => {
+                scale.partitions = args[i + 1].parse().expect("--partitions N");
+                i += 2;
+            }
+            "--workers" => {
+                scale.workers_per_partition = args[i + 1].parse().expect("--workers N");
+                i += 2;
+            }
+            "--out" => {
+                out_path = args[i + 1].clone();
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
+                eprintln!(
+                    "usage: bench_matrix [--duration-ms N] [--partitions N] [--workers N] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("# contended append: RF {RF_POINTS:?} x threads {THREAD_POINTS:?}");
+    let mut append_cells = Vec::new();
+    for rf in RF_POINTS {
+        for threads in THREAD_POINTS {
+            let ns = contended_append_ns(rf, threads);
+            eprintln!("rf={rf} threads={threads:<3} {ns:>10.1} ns/append");
+            append_cells.push((rf, threads, ns));
+        }
+    }
+
+    eprintln!(
+        "# write-heavy YCSB (read ratio {READ_RATIO}, RF {REPLICATION_FACTOR}): \
+         {} protocols x {} schemes, {} ms each",
+        PROTOCOLS.len(),
+        SCHEMES.len(),
+        scale.duration_ms
+    );
+    let mut cells = Vec::new();
+    for kind in PROTOCOLS {
+        for scheme in SCHEMES {
+            let cell = run_cell(kind, scheme, &scale);
+            eprintln!(
+                "{:<12} {:<10} tps={:>10.0} p99={:>7.2}ms wait={:>8}us batch={:>5.1}",
+                cell.protocol,
+                cell.scheme,
+                cell.tps,
+                cell.p99_ms,
+                cell.wal_append_wait_us,
+                cell.replication_batch_len
+            );
+            cells.push(cell);
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"pr\": 7,");
+    let _ = writeln!(
+        json,
+        "  \"matrix\": {{\"read_ratio\": {READ_RATIO}, \
+         \"replication_factor\": {REPLICATION_FACTOR}, \
+         \"partitions\": {}, \"workers_per_partition\": {}, \"duration_ms\": {}}},",
+        scale.partitions, scale.workers_per_partition, scale.duration_ms
+    );
+    json.push_str("  \"contended_append\": [\n");
+    for (i, (rf, threads, ns)) in append_cells.iter().enumerate() {
+        let comma = if i + 1 < append_cells.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"rf\": {rf}, \"threads\": {threads}, \"ns_per_append\": {ns:.1}}}{comma}"
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"write_heavy\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"protocol\": \"{}\", \"scheme\": \"{}\", \"tps\": {:.1}, \
+             \"p99_ms\": {:.3}, \"abort_rate\": {:.4}, \"wal_append_wait_us\": {}, \
+             \"replication_batch_len\": {:.2}}}{comma}",
+            c.protocol,
+            c.scheme,
+            c.tps,
+            c.p99_ms,
+            c.abort_rate,
+            c.wal_append_wait_us,
+            c.replication_batch_len
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_PR7.json");
+    eprintln!("wrote {out_path}");
+}

@@ -368,7 +368,7 @@ pub fn fig12(scale: &Scale) {
     header("Fig 12: watermark interval / epoch size (Primo CC under WM vs COCO)");
     let sizes_ms = [20u64, 40, 60, 80, 100];
     println!(
-        "{:<12} {:>10} {:>12} {:>14} {:>12} {:>13} {:>10} {:>12} {:>14} {:>8} {:>13}",
+        "{:<12} {:>10} {:>12} {:>14} {:>12} {:>13} {:>10} {:>12} {:>14} {:>8} {:>13} {:>13} {:>7}",
         "scheme",
         "size(ms)",
         "latency(ms)",
@@ -379,7 +379,9 @@ pub fn fig12(scale: &Scale) {
         "compensated",
         "post-rec ktps",
         "ldr-chg",
-        "repl-lag(us)"
+        "repl-lag(us)",
+        "app-wait(us)",
+        "batch"
     );
     for scheme in [LoggingScheme::Watermark, LoggingScheme::CocoEpoch] {
         for size in sizes_ms {
@@ -398,7 +400,7 @@ pub fn fig12(scale: &Scale) {
                 .wal_interval_ms(size)
                 .run();
             println!(
-                "{:<12} {:>10} {:>12.2} {:>14.4} {:>12.1} {:>13.2} {:>10} {:>12} {:>14.1} {:>8} {:>13}",
+                "{:<12} {:>10} {:>12.2} {:>14.4} {:>12.1} {:>13.2} {:>10} {:>12} {:>14.1} {:>8} {:>13} {:>13} {:>7.1}",
                 scheme.label(),
                 size,
                 snap.mean_latency_ms,
@@ -409,7 +411,9 @@ pub fn fig12(scale: &Scale) {
                 snap.compensated_txns,
                 snap.post_recovery_tps / 1000.0,
                 snap.leader_changes,
-                snap.replication_lag_us
+                snap.replication_lag_us,
+                snap.wal_append_wait_us,
+                snap.replication_batch_len
             );
         }
     }
@@ -418,7 +422,8 @@ pub fn fig12(scale: &Scale) {
          unreachable until the replay completes. compensated = crash-rolled-back txns whose\n\
          installed writes on surviving partitions were undone via before-images.\n\
          ldr-chg = replicated-log leader hand-offs; repl-lag = append-to-quorum-ack delay,\n\
-         the local persist delay when the log is single-copy)"
+         the local persist delay when the log is single-copy. app-wait = total time committers\n\
+         spent blocked on a log sequencer; batch = mean replication-pump batch length)"
     );
 }
 
@@ -571,8 +576,16 @@ pub fn fig16(scale: &Scale) {
     header("Fig 16: read-only scaling (MVCC snapshot reads vs validate-everything)");
     let read_ratios = [0.5, 0.8, 0.9, 0.95, 1.0];
     println!(
-        "{:<30} {:>8} {:>10} {:>10} {:>12} {:>10} {:>10}",
-        "protocol / mode", "reads", "ktps", "p99(ms)", "snap-tps", "snaps", "pruned"
+        "{:<30} {:>8} {:>10} {:>10} {:>12} {:>10} {:>10} {:>13} {:>7}",
+        "protocol / mode",
+        "reads",
+        "ktps",
+        "p99(ms)",
+        "snap-tps",
+        "snaps",
+        "pruned",
+        "app-wait(us)",
+        "batch"
     );
     for kind in [
         ProtocolKind::Primo,
@@ -589,7 +602,7 @@ pub fn fig16(scale: &Scale) {
                     .tweak_cluster(move |c| c.primo.read_only_snapshot = snapshot_on)
                     .run();
                 println!(
-                    "{:<30} {:>8.2} {:>10.1} {:>10.2} {:>12.0} {:>10} {:>10}",
+                    "{:<30} {:>8.2} {:>10.1} {:>10.2} {:>12.0} {:>10} {:>10} {:>13} {:>7.1}",
                     format!(
                         "{} ({})",
                         kind.label(),
@@ -600,7 +613,9 @@ pub fn fig16(scale: &Scale) {
                     snap.p99_latency_ms,
                     snap.snapshot_read_tps,
                     snap.snapshot_reads,
-                    snap.pruned_versions
+                    snap.pruned_versions,
+                    snap.wal_append_wait_us,
+                    snap.replication_batch_len
                 );
             }
         }

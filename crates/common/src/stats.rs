@@ -262,6 +262,8 @@ impl Metrics {
             compensated_txns: 0,
             leader_changes: 0,
             replication_lag_us: 0,
+            wal_append_wait_us: 0,
+            replication_batch_len: 0.0,
         }
     }
 }
@@ -317,6 +319,17 @@ pub struct MetricsSnapshot {
     /// quorum-ack delay, microseconds). Equals the local persist delay when
     /// `replication_factor` is 1; filled in by the experiment driver.
     pub replication_lag_us: u64,
+    /// Total microseconds committers spent blocked on a partition
+    /// sequencer (stage 1 of the append pipeline) across all partitions —
+    /// contention on the commit critical section itself, zero when every
+    /// append found the sequencer free. Filled in by the experiment driver.
+    pub wal_append_wait_us: u64,
+    /// Mean number of log entries the replication pump shipped to the
+    /// follower replicas per drained batch (stage 2 of the append
+    /// pipeline). 0 for single-copy logs, 1.0 when every entry was drained
+    /// alone; larger values mean the pump amortized follower lock
+    /// acquisitions across committers. Filled in by the experiment driver.
+    pub replication_batch_len: f64,
 }
 
 impl MetricsSnapshot {
@@ -445,6 +458,14 @@ mod tests {
         assert_eq!(s.leader_changes, 0, "filled in by the experiment driver");
         assert_eq!(
             s.replication_lag_us, 0,
+            "filled in by the experiment driver"
+        );
+        assert_eq!(
+            s.wal_append_wait_us, 0,
+            "filled in by the experiment driver"
+        );
+        assert_eq!(
+            s.replication_batch_len, 0.0,
             "filled in by the experiment driver"
         );
         assert_eq!(s.committed, 2);

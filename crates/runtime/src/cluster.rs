@@ -191,8 +191,10 @@ impl Cluster {
         let token = self.group_commit.on_partition_crash(p);
         // Capture the quorum horizon **before** the hand-off wipes the dead
         // leader's disk: everything quorum-durable at the crash instant is
-        // physically present on every replica (appends fan out to all), so
-        // the surviving copies can reproduce it — whereas capturing after
+        // physically present on every replica (the capture itself drains
+        // the append pipeline's staging ring, and the fail-over flushes
+        // whatever is sequenced after that), so the surviving copies can
+        // reproduce it — whereas capturing after
         // the wipe would drop the dead leader's vote and, at replication
         // factor 2, misreport fully-acknowledged history as lost. The
         // fail-over then bumps the term (restarting any in-flight replay)
@@ -248,6 +250,32 @@ impl Cluster {
             .map(|p| p.log.quorum_ack_delay_us())
             .max()
             .unwrap_or(0)
+    }
+
+    /// Total microseconds committers spent blocked on a partition's log
+    /// sequencer — stage-1 contention on the append pipeline's commit
+    /// critical section (reported as `wal_append_wait_us` in
+    /// [`MetricsSnapshot`](primo_common::MetricsSnapshot)).
+    pub fn wal_append_wait_us(&self) -> u64 {
+        self.partitions.iter().map(|p| p.log.append_wait_us()).sum()
+    }
+
+    /// Mean entries per replication-pump batch across all partitions —
+    /// stage-2 amortization of the append pipeline (reported as
+    /// `replication_batch_len`; 0 when nothing was replicated, e.g. at
+    /// replication factor 1).
+    pub fn replication_batch_len(&self) -> f64 {
+        let (entries, batches) = self.partitions.iter().fold((0u64, 0u64), |(e, b), p| {
+            (
+                e + p.log.replicated_entries(),
+                b + p.log.replication_batches(),
+            )
+        });
+        if batches == 0 {
+            0.0
+        } else {
+            entries as f64 / batches as f64
+        }
     }
 
     /// Recover a crashed partition for real: wipe its store and rebuild it

@@ -57,7 +57,12 @@ fn before_image(cluster: &Cluster, w: &WriteEntry, txn: TxnId) -> Option<primo_c
 /// surviving partitions.
 ///
 /// The write-set is grouped by partition in a single pass (write-sets are
-/// small, so group lookup is a short `Vec` scan, not a hash map).
+/// small, so group lookup is a short `Vec` scan, not a hash map), so a
+/// cross-partition commit acquires each involved partition's log sequencer
+/// **exactly once** — all of a partition's writes travel in one entry, and
+/// the fan-out to follower replicas happens off this critical section in
+/// the log's replication pump (see the append pipeline in
+/// `primo_wal::replicated`).
 pub fn log_txn_writes(cluster: &Cluster, txn: TxnId, ts: Ts, writes: &[WriteEntry]) {
     if writes.is_empty() {
         return;

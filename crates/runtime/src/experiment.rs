@@ -175,6 +175,8 @@ pub fn run_on_cluster(
     snap.compensated_txns = cluster.compensated_txns();
     snap.leader_changes = cluster.leader_changes();
     snap.replication_lag_us = cluster.replication_lag_us();
+    snap.wal_append_wait_us = cluster.wal_append_wait_us();
+    snap.replication_batch_len = cluster.replication_batch_len();
     snap.pruned_versions = cluster.pruned_versions();
     snap
 }

@@ -182,7 +182,10 @@ impl CocoCommit {
                 .unwrap_or(0);
             // The epoch's log batch must be *quorum*-durable before the
             // coordinator can confirm it: under replication the slowest
-            // quorum replica, not the local disk, sets the floor.
+            // quorum replica, not the local disk, sets the floor. (The
+            // append pipeline keeps this floor exact — staged entries reach
+            // the followers stamped with their original append instant, so
+            // the ack delay measures replication, never pump scheduling.)
             let mut sync_us = 2 * max_extra
                 + self.ack_delay_us
                 + PER_PARTITION_COORD_US * self.num_partitions as u64;

@@ -171,7 +171,32 @@ pub struct LogEntry {
 #[derive(Debug, Default)]
 struct WalInner {
     entries: Vec<LogEntry>,
+    /// Replication segments received ([`PartitionWal::receive_segment`]) but
+    /// not yet folded into `entries`. Delivery is O(1) per segment — the
+    /// `Arc` is shared by every replica of the partition — and the copy into
+    /// this replica's own `entries` happens lazily, on the first read that
+    /// needs them ([`WalInner::fold_pending`]). `next_lsn` always accounts
+    /// for pending segments, so appends and `end_lsn` stay exact without
+    /// folding.
+    pending: Vec<Arc<[LogEntry]>>,
     next_lsn: u64,
+}
+
+impl WalInner {
+    /// Materialise received-but-unfolded segments into `entries`. Amortised
+    /// O(1) per entry over the log's lifetime; the hot no-op case is one
+    /// branch.
+    #[inline]
+    fn fold_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let total: usize = self.pending.iter().map(|s| s.len()).sum();
+        self.entries.reserve(total);
+        for seg in self.pending.drain(..) {
+            self.entries.extend_from_slice(&seg);
+        }
+    }
 }
 
 /// One replayed transaction: its id, commit timestamp and write-set on this
@@ -275,16 +300,77 @@ impl PartitionWal {
     /// fan-out appends the same allocation to every replica instead of
     /// deep-cloning the write-set per copy.
     pub fn append_in_term(&self, term: u64, payload: Arc<LogPayload>) -> u64 {
-        let mut inner = self.inner.lock();
+        self.append_entry_in_term(term, payload).lsn
+    }
+
+    /// [`PartitionWal::append_in_term`], returning the full entry (LSN,
+    /// append timestamp, term) instead of just the LSN. The replicated
+    /// log's sequencer stages this exact entry for the replication pump, so
+    /// follower copies later receive the **same** `appended_at_us` — their
+    /// durability clocks run from the original append instant, not from
+    /// when the pump happened to drain.
+    pub fn append_entry_in_term(&self, term: u64, payload: Arc<LogPayload>) -> LogEntry {
+        let mut inner = self.folded();
         let lsn = inner.next_lsn;
         inner.next_lsn += 1;
-        inner.entries.push(LogEntry {
+        let entry = LogEntry {
             lsn,
             appended_at_us: now_us(),
             term,
             payload,
-        });
-        lsn
+        };
+        inner.entries.push(entry.clone());
+        entry
+    }
+
+    /// Deliver a batch of already-sequenced entries to this replica under
+    /// **one** lock acquisition — stage 2 of the replicated append
+    /// pipeline. Entries keep the LSN, append timestamp and term the
+    /// sequencer stamped, so the copy is byte-identical to the leader's and
+    /// durability timing is independent of when the pump ran. The batch
+    /// must continue this replica's log (`entries` are the next LSNs in
+    /// order); that invariant is upheld by the replicated log, which
+    /// serializes sequencing, draining and every replica-set mutation.
+    pub fn append_entries(&self, entries: &[LogEntry]) {
+        if entries.is_empty() {
+            return;
+        }
+        let mut inner = self.folded();
+        debug_assert_eq!(
+            entries[0].lsn, inner.next_lsn,
+            "replication batch must continue the replica's log"
+        );
+        inner.entries.extend_from_slice(entries);
+        inner.next_lsn = entries[entries.len() - 1].lsn + 1;
+    }
+
+    /// Receive one replication segment: O(1) — the segment `Arc` is shared
+    /// by every replica of the partition, and the per-entry copy into this
+    /// replica's own storage is deferred to the first read that needs it.
+    /// The entries keep the LSN, append timestamp and term the sequencer
+    /// stamped, so the folded copy is byte-identical to every peer's and
+    /// durability timing is independent of when the replication pump ran.
+    /// The segment must continue this replica's log; the replicated log's
+    /// sequencer upholds that by serializing sequencing, draining and every
+    /// replica-set mutation.
+    pub fn receive_segment(&self, segment: Arc<[LogEntry]>) {
+        let Some(last) = segment.last() else { return };
+        let mut inner = self.inner.lock();
+        debug_assert_eq!(
+            segment[0].lsn, inner.next_lsn,
+            "replication segment must continue the replica's log"
+        );
+        inner.next_lsn = last.lsn + 1;
+        inner.pending.push(segment);
+    }
+
+    /// Lock the log and fold any pending replication segments first — every
+    /// path that reads or rewrites `entries` goes through here, so readers
+    /// always observe the fully delivered log.
+    fn folded(&self) -> parking_lot::MutexGuard<'_, WalInner> {
+        let mut inner = self.inner.lock();
+        inner.fold_pending();
+        inner
     }
 
     /// The LSN the next append will receive.
@@ -321,7 +407,7 @@ impl PartitionWal {
     /// elapsed). Returns `None` if nothing is durable yet.
     pub fn durable_lsn(&self) -> Option<u64> {
         let now = now_us();
-        let inner = self.inner.lock();
+        let inner = self.folded();
         let durable = Self::durable_prefix_len(&inner.entries, self.persist_delay_us, now);
         inner.entries[..durable].last().map(|e| e.lsn)
     }
@@ -344,7 +430,7 @@ impl PartitionWal {
     /// the outage) is never recovered from.
     pub fn latest_durable_watermark_at(&self, cutoff_lsn: Option<u64>) -> Option<Ts> {
         let now = now_us();
-        let inner = self.inner.lock();
+        let inner = self.folded();
         let durable = self.durable_len(&inner.entries, cutoff_lsn, now);
         inner.entries[..durable]
             .iter()
@@ -365,7 +451,7 @@ impl PartitionWal {
         cutoff_lsn: Option<u64>,
     ) -> Option<Arc<CheckpointImage>> {
         let now = now_us();
-        let inner = self.inner.lock();
+        let inner = self.folded();
         let durable = self.durable_len(&inner.entries, cutoff_lsn, now);
         inner.entries[..durable]
             .iter()
@@ -380,7 +466,7 @@ impl PartitionWal {
     /// The latest (checkpoint-entry LSN, image) pair regardless of
     /// durability — the checkpoint writer folds forward from here.
     pub fn latest_checkpoint(&self) -> Option<(u64, Arc<CheckpointImage>)> {
-        let inner = self.inner.lock();
+        let inner = self.folded();
         inner
             .entries
             .iter()
@@ -401,7 +487,7 @@ impl PartitionWal {
         cutoff_lsn: Option<u64>,
     ) -> Option<u64> {
         let now = now_us();
-        let inner = self.inner.lock();
+        let inner = self.folded();
         let durable = self.durable_len(&inner.entries, cutoff_lsn, now);
         inner.entries[..durable]
             .iter()
@@ -419,7 +505,7 @@ impl PartitionWal {
     /// of the last committed epoch separates committed write-sets from
     /// rolled-back ones even while it is still inside its persist window.
     pub fn latest_epoch_boundary(&self, max_epoch: u64) -> Option<u64> {
-        let inner = self.inner.lock();
+        let inner = self.folded();
         inner.entries.iter().rev().find_map(|e| match *e.payload {
             LogPayload::EpochBoundary { epoch } if epoch <= max_epoch => Some(e.lsn),
             _ => None,
@@ -457,7 +543,7 @@ impl PartitionWal {
     ) -> Vec<ReplayedTxn> {
         let now = now_us();
         let picked: Vec<(Ts, u64, TxnId, Vec<LoggedWrite>)> = {
-            let inner = self.inner.lock();
+            let inner = self.folded();
             // Rollback markers cancel entries *behind* them (lower LSNs), so
             // they are collected over the whole log with the same durability
             // and crash-cutoff filters as the entries themselves. An
@@ -542,7 +628,7 @@ impl PartitionWal {
     /// All transaction ids with a rollback marker in this log, regardless of
     /// durability (exposed for compensation and tests).
     pub fn rolled_back_txns(&self) -> std::collections::HashSet<TxnId> {
-        Self::rolled_back_in(&self.inner.lock(), None, None)
+        Self::rolled_back_in(&self.folded(), None, None)
     }
 
     /// The `TxnWrites` entries `bound` does **not** cover and no rollback
@@ -562,7 +648,7 @@ impl PartitionWal {
         upper_cutoff: Option<u64>,
     ) -> Vec<ReplayedTxn> {
         let picked: Vec<(Ts, u64, TxnId, Vec<LoggedWrite>)> = {
-            let inner = self.inner.lock();
+            let inner = self.folded();
             let already = Self::rolled_back_in(&inner, None, None);
             inner
                 .entries
@@ -584,7 +670,7 @@ impl PartitionWal {
 
     /// Clone the suffix of the log starting at `from_lsn`.
     pub fn entries_from(&self, from_lsn: u64) -> Vec<LogEntry> {
-        let inner = self.inner.lock();
+        let inner = self.folded();
         inner
             .entries
             .iter()
@@ -602,7 +688,7 @@ impl PartitionWal {
     /// — no entry is cloned.
     pub fn fold_stop_lsn(&self, from_lsn: u64, bound: &ReplayBound) -> u64 {
         let now = now_us();
-        let inner = self.inner.lock();
+        let inner = self.folded();
         let rolled_back = Self::rolled_back_in(&inner, Some((now, self.persist_delay_us)), None);
         let mut stop = from_lsn;
         for entry in inner.entries.iter().filter(|e| e.lsn >= from_lsn) {
@@ -651,7 +737,7 @@ impl PartitionWal {
             Some(_) => None,
             None => Some((now_us(), self.persist_delay_us)),
         };
-        Self::rolled_back_in(&self.inner.lock(), durability, cutoff_lsn)
+        Self::rolled_back_in(&self.folded(), durability, cutoff_lsn)
     }
 
     /// [`PartitionWal::retain_replayable`] with the cancelled-transaction
@@ -666,7 +752,7 @@ impl PartitionWal {
         cutoff_lsn: Option<u64>,
         rolled_back: &std::collections::HashSet<TxnId>,
     ) -> usize {
-        let mut inner = self.inner.lock();
+        let mut inner = self.folded();
         let before = inner.entries.len();
         let delay = self.ack_delay_us;
         inner.entries.retain(|e| {
@@ -687,7 +773,7 @@ impl PartitionWal {
 
     /// Number of entries appended so far.
     pub fn len(&self) -> usize {
-        self.inner.lock().entries.len()
+        self.folded().entries.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -700,8 +786,11 @@ impl PartitionWal {
     /// back from the leader.
     pub(crate) fn wipe_log(&self) -> usize {
         let mut inner = self.inner.lock();
-        let dropped = inner.entries.len();
+        let dropped = inner.entries.len() + inner.pending.iter().map(|s| s.len()).sum::<usize>();
         inner.entries.clear();
+        // Pending segments are received-but-unfolded disk contents: the disk
+        // is gone, so they go with it (never resurrected by a later fold).
+        inner.pending.clear();
         dropped
     }
 
@@ -713,13 +802,15 @@ impl PartitionWal {
     pub(crate) fn replace_entries(&self, entries: Vec<LogEntry>, next_lsn: u64) {
         let mut inner = self.inner.lock();
         inner.entries = entries;
+        // The authoritative copy supersedes anything still unfolded.
+        inner.pending.clear();
         inner.next_lsn = next_lsn.max(inner.next_lsn);
     }
 
     /// Truncate the log up to (and excluding) `lsn` after a checkpoint.
     /// Returns the number of entries removed.
     pub fn truncate_before(&self, lsn: u64) -> usize {
-        let mut inner = self.inner.lock();
+        let mut inner = self.folded();
         let before = inner.entries.len();
         inner.entries.retain(|e| e.lsn >= lsn);
         before - inner.entries.len()

@@ -9,10 +9,24 @@
 //! * **Replica set.** Each partition owns `replication_factor` log copies.
 //!   Replica 0 is the initial leader's local disk (persist delay
 //!   `persist_delay_us`); every other replica persists after the one-way
-//!   replication hop plus its own disk delay. Appends fan out to every
-//!   replica under one lock, so all copies assign identical LSNs; the
-//!   sender never waits for acknowledgements (replication is off the
-//!   critical path, like every other durability cost here).
+//!   replication hop plus its own disk delay.
+//! * **Pipelined appends.** [`ReplicatedLog::append`] is a two-stage
+//!   pipeline. Stage 1 — the *sequencer*, the only part a committer pays
+//!   for while still holding its write locks — reserves the LSN, stamps
+//!   `appended_at_us` and pushes the entry into a staging ring, all under
+//!   one short lock and without touching any replica. Stage 2 — the
+//!   *replication pump*, a per-partition background thread — drains the
+//!   ring and ships the staged tail to **every** replica (leader included)
+//!   as one shared batch segment: O(1) delivery per replica per **batch**,
+//!   one batched message charge for the follower hops. Each replica folds
+//!   received segments into its own log storage lazily, on its next read.
+//!   Entries keep the sequencer's `appended_at_us` on every copy, so
+//!   durability clocks run from the original append instant and the
+//!   quorum math below is independent of when the pump ran. Every durable
+//!   read and every replica-set mutation drains the ring first, so the
+//!   pipeline is invisible outside this module (see ARCHITECTURE.md,
+//!   "Append pipeline"). A single-copy log (RF 1) skips the pipeline and
+//!   appends synchronously, exactly like the old `PartitionWal`.
 //! * **Quorum durability.** `append` returns an LSN immediately, but
 //!   [`ReplicatedLog::durable_lsn`] is the **quorum-acked** LSN: the highest
 //!   LSN persisted by a majority of replicas (the median replica for RF 3).
@@ -25,27 +39,60 @@
 //!   stamped on every entry. A crash bumps the term and moves leadership to
 //!   the **deterministic successor**: the first replica after the failed
 //!   leader in ring order among the replicas holding the longest intact
-//!   log. A crash that also discards the leader's disk wipes that replica
-//!   first, so the successor is always a surviving copy — and recovery
-//!   rebuilds the store from it. A second crash landing mid-replay bumps
-//!   the term again; the recovery loop notices and restarts from the next
-//!   successor (see `RecoveryManager`).
+//!   log. A crash that also discards the leader's disk first flushes the
+//!   staging ring (the tail is physically on the survivors, exactly as
+//!   under the old synchronous fan-out — "lost" means *not quorum-acked*,
+//!   never *dropped from surviving disks*) and then wipes that replica, so
+//!   the successor is always a surviving copy — and recovery rebuilds the
+//!   store from it. A second crash landing mid-replay bumps the term again;
+//!   the recovery loop notices and restarts from the next successor (see
+//!   `RecoveryManager`).
 //! * **Repair.** After recovery, lagging or wiped replicas are re-seeded
 //!   from the elected leader's log ([`ReplicatedLog::repair_replicas`]), so
 //!   the replica set returns to full strength and can absorb further
 //!   crashes.
 
 use crate::log::{CheckpointImage, LogEntry, LogPayload, PartitionWal, ReplayBound, ReplayedTxn};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use primo_common::config::WalConfig;
+use primo_common::sim_time::now_us;
 use primo_common::{PartitionId, Ts, TxnId};
 use primo_net::SimNetwork;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// How often the replication pump polls the staging ring. Appends never
+/// signal the pump — a wake-up per append would put a futex syscall back on
+/// the commit critical section and shrink every batch to one entry; instead
+/// the pump self-schedules on this tick and drains whatever accumulated.
+/// The tick bounds pump lag, which is invisible anyway: follower durability
+/// clocks run from the sequencer's `appended_at_us`, and every durable read
+/// drains the ring inline. Only shutdown notifies the condvar (prompt exit).
+const PUMP_TICK: Duration = Duration::from_millis(2);
+
+/// Replica counts up to this size collect quorum votes on the stack
+/// ([`ReplicatedLog::durable_lsn`] runs on every watermark lookup and
+/// snapshot-horizon read — it must not allocate).
+const INLINE_VOTES: usize = 16;
 
 /// Quorum-durable replicated log of one partition. See the module docs.
 pub struct ReplicatedLog {
+    core: Arc<LogCore>,
+    /// Stage-2 drainer; `None` for single-copy logs (nothing to replicate).
+    pump: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Shared state of the replica set — everything both the callers (through
+/// [`ReplicatedLog`]'s delegating methods) and the replication pump touch.
+///
+/// Lock order: `ship_lock` → `ring` → a replica's inner log lock. The
+/// sequencer (stage 1) takes only `ring`; the pump and every drain-before-
+/// read path take `ship_lock` first, so a drain observed by one caller is
+/// complete before the next begins and batches reach the followers in LSN
+/// order.
+struct LogCore {
     partition: PartitionId,
     /// The replica set; index 0 is the initial leader's local copy.
     replicas: Vec<Arc<PartitionWal>>,
@@ -63,22 +110,68 @@ pub struct ReplicatedLog {
     leader: AtomicUsize,
     term: AtomicU64,
     leader_changes: AtomicU64,
-    /// Serializes appends (and leadership changes) so every replica assigns
-    /// the same LSN to the same record.
-    append_lock: Mutex<()>,
+    /// The stage-1 sequencer lock **and** staging ring in one: appenders
+    /// serialize on this mutex, reserve the next LSN, stamp the append
+    /// instant and push the sequenced entry here — touching **no replica**;
+    /// the pump swaps the vector out wholesale and ships it as one shared
+    /// segment. One lock covers sequencing and staging, so the commit
+    /// critical section pays a single acquisition and no per-replica work.
+    /// (A single-copy log skips staging and appends straight to its one
+    /// replica under this same lock.)
+    ring: Mutex<Sequencer>,
+    /// Wakes the pump for shutdown only — appends never signal it (see
+    /// [`PUMP_TICK`]).
+    signal: Condvar,
+    /// Serializes stage-2 ships (pump drains, drain-before-read paths,
+    /// replica-set mutations) without blocking stage-1 appends.
+    ship_lock: Mutex<()>,
+    shutdown: AtomicBool,
     /// Message accounting for the replication fan-out (latency is never
     /// charged to the appender — the cost shows up as quorum-ack delay).
     net: Option<Arc<SimNetwork>>,
+    /// Total microseconds appenders spent blocked on the sequencer lock
+    /// (`MetricsSnapshot::wal_append_wait_us`). Only contended acquisitions
+    /// pay the two clock reads.
+    append_wait_us: AtomicU64,
+    /// Stage-2 batches shipped / entries shipped — their ratio is the mean
+    /// replication batch length (`MetricsSnapshot::replication_batch_len`).
+    shipped_batches: AtomicU64,
+    shipped_entries: AtomicU64,
+}
+
+/// Stage-1 state under the ring lock: the staged tail plus the partition's
+/// LSN counter. The counter — not any replica — is the allocation
+/// authority while replication runs pipelined; replica-set mutations
+/// (fail-over, truncation, repair) resynchronize it from the leader's log
+/// inside [`LogCore::with_sequencer_flushed`].
+#[derive(Default)]
+struct Sequencer {
+    staged: Vec<LogEntry>,
+    next_lsn: u64,
 }
 
 impl std::fmt::Debug for ReplicatedLog {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ReplicatedLog")
-            .field("partition", &self.partition)
-            .field("replicas", &self.replicas.len())
-            .field("leader", &self.leader.load(Ordering::Relaxed))
-            .field("term", &self.term.load(Ordering::Relaxed))
+            .field("partition", &self.core.partition)
+            .field("replicas", &self.core.replicas.len())
+            .field("leader", &self.core.leader.load(Ordering::Relaxed))
+            .field("term", &self.core.term.load(Ordering::Relaxed))
             .finish()
+    }
+}
+
+impl Drop for ReplicatedLog {
+    fn drop(&mut self) {
+        if let Some(pump) = self.pump.take() {
+            self.core.shutdown.store(true, Ordering::Release);
+            // Lock the ring before notifying so the pump is either inside
+            // the wait (and receives the notification) or past its next
+            // shutdown check — never between the check and the wait.
+            drop(self.core.ring.lock());
+            self.core.signal.notify_all();
+            let _ = pump.join();
+        }
     }
 }
 
@@ -114,7 +207,7 @@ impl ReplicatedLog {
                 ))
             })
             .collect();
-        ReplicatedLog {
+        let core = Arc::new(LogCore {
             partition,
             replicas,
             wiped: (0..rf).map(|_| AtomicBool::new(false)).collect(),
@@ -123,9 +216,23 @@ impl ReplicatedLog {
             leader: AtomicUsize::new(0),
             term: AtomicU64::new(0),
             leader_changes: AtomicU64::new(0),
-            append_lock: Mutex::new(()),
+            ring: Mutex::new(Sequencer::default()),
+            signal: Condvar::new(),
+            ship_lock: Mutex::new(()),
+            shutdown: AtomicBool::new(false),
             net,
-        }
+            append_wait_us: AtomicU64::new(0),
+            shipped_batches: AtomicU64::new(0),
+            shipped_entries: AtomicU64::new(0),
+        });
+        let pump = (rf > 1).then(|| {
+            let core = Arc::clone(&core);
+            std::thread::Builder::new()
+                .name(format!("wal-pump-p{}", partition.0))
+                .spawn(move || core.pump_loop())
+                .expect("spawn replication pump")
+        });
+        ReplicatedLog { core, pump }
     }
 
     /// A single-copy log (replication factor 1, no hop): the old
@@ -143,72 +250,93 @@ impl ReplicatedLog {
     }
 
     pub fn partition(&self) -> PartitionId {
-        self.partition
+        self.core.partition
     }
 
     pub fn replication_factor(&self) -> usize {
-        self.replicas.len()
+        self.core.replicas.len()
     }
 
     /// Majority size of the replica set.
     pub fn quorum(&self) -> usize {
-        self.quorum
+        self.core.quorum
     }
 
     /// Time between appending a record and its quorum acknowledgement — what
     /// the group-commit schemes wait out before acknowledging a commit, and
     /// what `MetricsSnapshot::replication_lag_us` reports.
     pub fn quorum_ack_delay_us(&self) -> u64 {
-        self.quorum_ack_delay_us
+        self.core.quorum_ack_delay_us
     }
 
     /// Current leadership term (bumped on every crash / hand-off).
     pub fn term(&self) -> u64 {
-        self.term.load(Ordering::Acquire)
+        self.core.term.load(Ordering::Acquire)
     }
 
     /// Index of the current leader replica.
     pub fn leader_index(&self) -> usize {
-        self.leader.load(Ordering::Acquire)
+        self.core.leader.load(Ordering::Acquire)
     }
 
     /// How many times leadership moved to a different replica.
     pub fn leader_changes(&self) -> u64 {
-        self.leader_changes.load(Ordering::Relaxed)
+        self.core.leader_changes.load(Ordering::Relaxed)
     }
 
-    /// Direct access to one replica (tests and white-box assertions).
+    /// Total microseconds appenders spent blocked on the stage-1 sequencer
+    /// lock (commit-critical-section contention; 0 when every append found
+    /// the sequencer free).
+    pub fn append_wait_us(&self) -> u64 {
+        self.core.append_wait_us.load(Ordering::Relaxed)
+    }
+
+    /// Stage-2 batches shipped to the follower replicas so far.
+    pub fn replication_batches(&self) -> u64 {
+        self.core.shipped_batches.load(Ordering::Relaxed)
+    }
+
+    /// Log entries shipped to the follower replicas so far (each batch
+    /// carries one or more).
+    pub fn replicated_entries(&self) -> u64 {
+        self.core.shipped_entries.load(Ordering::Relaxed)
+    }
+
+    /// Direct access to one replica (tests and white-box assertions). The
+    /// staging ring is drained first, so the copy observed is exactly what
+    /// the old synchronous fan-out would have produced.
     pub fn replica(&self, idx: usize) -> &Arc<PartitionWal> {
-        &self.replicas[idx]
+        self.core.sync_replicas();
+        &self.core.replicas[idx]
     }
 
-    fn leader_replica(&self) -> &Arc<PartitionWal> {
-        &self.replicas[self.leader.load(Ordering::Acquire)]
-    }
-
-    /// Append a record to every replica; returns its LSN (identical on all
-    /// copies). Never blocks on I/O or the network — replica disks persist
-    /// in the background, and the appender does not wait for quorum.
+    /// Append a record; returns its LSN (identical on all copies). Never
+    /// blocks on I/O or the network — stage 1 of the pipeline reserves the
+    /// LSN, stamps the append instant and stages the entry under one short
+    /// lock; the background replication pump later ships the staged tail to
+    /// every replica as one shared batch segment.
     pub fn append(&self, payload: LogPayload) -> u64 {
-        let payload = Arc::new(payload);
-        let _guard = self.append_lock.lock();
-        let term = self.term.load(Ordering::Acquire);
-        for replica in &self.replicas[1..] {
-            replica.append_in_term(term, Arc::clone(&payload));
-        }
-        if let Some(net) = &self.net {
-            net.note_background_messages(self.replicas.len() as u64 - 1);
-        }
-        self.replicas[0].append_in_term(term, payload)
+        self.core.append(payload)
     }
 
-    /// The LSN the next append will receive.
+    /// Append a batch of records under **one** sequencer acquisition;
+    /// returns the LSN of the first (`None` for an empty batch). LSNs are
+    /// dense and in payload order — equivalent to calling
+    /// [`ReplicatedLog::append`] per payload with no other appender
+    /// interleaving, at a fraction of the critical-section cost.
+    pub fn append_batch(&self, payloads: Vec<LogPayload>) -> Option<u64> {
+        self.core.append_batch(payloads)
+    }
+
+    /// The LSN the next append will receive. Exact without a drain: the
+    /// sequencer's counter is the allocation authority.
     pub fn end_lsn(&self) -> u64 {
-        self.leader_replica().end_lsn()
+        self.core.end_lsn()
     }
 
     pub fn len(&self) -> usize {
-        self.leader_replica().len()
+        self.core.sync_replicas();
+        self.core.leader_replica().len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -221,44 +349,12 @@ impl ReplicatedLog {
     /// history has a hole, so their highest durable entry says nothing
     /// about the prefix below it.
     pub fn durable_lsn(&self) -> Option<u64> {
-        let mut votes: Vec<Option<u64>> = self
-            .replicas
-            .iter()
-            .zip(&self.wiped)
-            .map(|(r, wiped)| {
-                if wiped.load(Ordering::Acquire) {
-                    None
-                } else {
-                    r.durable_lsn()
-                }
-            })
-            .collect();
-        votes.sort_by(|a, b| b.cmp(a)); // descending; None sorts last
-        votes[self.quorum - 1]
+        self.core.durable_lsn()
     }
 
     /// Whether a specific LSN is quorum-durable.
     pub fn is_durable(&self, lsn: u64) -> bool {
         self.durable_lsn().map(|d| d >= lsn).unwrap_or(false)
-    }
-
-    /// Clamp a caller-supplied cutoff to the quorum horizon. `None` result
-    /// means nothing is quorum-durable at all. A caller-supplied cutoff is
-    /// itself a quorum LSN captured earlier (recovery passes the crash-time
-    /// horizon), so when the *live* quorum is broken — e.g. a second disk
-    /// loss mid-recovery left only one intact replica — the cutoff is
-    /// trusted as-is: every entry below it reached a majority when it was
-    /// captured, and the elected leader (the longest intact replica) still
-    /// holds them. Without this, a below-quorum recovery would rebuild an
-    /// empty store while the intact leader's log provably contains the
-    /// acknowledged history.
-    fn quorum_cutoff(&self, cutoff_lsn: Option<u64>) -> Option<u64> {
-        match (self.durable_lsn(), cutoff_lsn) {
-            (Some(q), Some(c)) => Some(c.min(q)),
-            (Some(q), None) => Some(q),
-            (None, Some(c)) => Some(c),
-            (None, None) => None,
-        }
     }
 
     /// The latest quorum-durable watermark record (§5.2 — what the new
@@ -271,8 +367,10 @@ impl ReplicatedLog {
     /// or below `cutoff_lsn` (recovery passes the quorum LSN captured at
     /// crash time).
     pub fn latest_durable_watermark_at(&self, cutoff_lsn: Option<u64>) -> Option<Ts> {
-        let cut = self.quorum_cutoff(cutoff_lsn)?;
-        self.leader_replica().latest_durable_watermark_at(Some(cut))
+        let cut = self.core.quorum_cutoff(cutoff_lsn)?;
+        self.core
+            .leader_replica()
+            .latest_durable_watermark_at(Some(cut))
     }
 
     /// The newest checkpoint image that is quorum-durable and at or below
@@ -281,14 +379,17 @@ impl ReplicatedLog {
         &self,
         cutoff_lsn: Option<u64>,
     ) -> Option<Arc<CheckpointImage>> {
-        let cut = self.quorum_cutoff(cutoff_lsn)?;
-        self.leader_replica().latest_durable_checkpoint(Some(cut))
+        let cut = self.core.quorum_cutoff(cutoff_lsn)?;
+        self.core
+            .leader_replica()
+            .latest_durable_checkpoint(Some(cut))
     }
 
     /// The latest (checkpoint-entry LSN, image) pair regardless of
     /// durability — the checkpoint writer folds forward from here.
     pub fn latest_checkpoint(&self) -> Option<(u64, Arc<CheckpointImage>)> {
-        self.leader_replica().latest_checkpoint()
+        self.core.sync_replicas();
+        self.core.leader_replica().latest_checkpoint()
     }
 
     /// LSN of the newest quorum-durable epoch boundary with epoch at most
@@ -301,15 +402,17 @@ impl ReplicatedLog {
         max_epoch: u64,
         cutoff_lsn: Option<u64>,
     ) -> Option<u64> {
-        let cut = self.quorum_cutoff(cutoff_lsn)?;
-        self.leader_replica()
+        let cut = self.core.quorum_cutoff(cutoff_lsn)?;
+        self.core
+            .leader_replica()
             .latest_durable_epoch_boundary(max_epoch, Some(cut))
     }
 
     /// Durability-blind epoch-boundary lookup (survivor-side rollback
     /// bound: a surviving partition's log lost nothing).
     pub fn latest_epoch_boundary(&self, max_epoch: u64) -> Option<u64> {
-        self.leader_replica().latest_epoch_boundary(max_epoch)
+        self.core.sync_replicas();
+        self.core.leader_replica().latest_epoch_boundary(max_epoch)
     }
 
     /// Replay all quorum-durable transaction writes with `ts < up_to`.
@@ -327,8 +430,9 @@ impl ReplicatedLog {
         bound: &ReplayBound,
         cutoff_lsn: Option<u64>,
     ) -> Vec<ReplayedTxn> {
-        match self.quorum_cutoff(cutoff_lsn) {
+        match self.core.quorum_cutoff(cutoff_lsn) {
             Some(cut) => self
+                .core
                 .leader_replica()
                 .replay_range(from_lsn, bound, Some(cut)),
             None => Vec::new(),
@@ -338,7 +442,8 @@ impl ReplicatedLog {
     /// Transaction ids with a rollback marker anywhere in the log,
     /// regardless of durability.
     pub fn rolled_back_txns(&self) -> HashSet<TxnId> {
-        self.leader_replica().rolled_back_txns()
+        self.core.sync_replicas();
+        self.core.leader_replica().rolled_back_txns()
     }
 
     /// The `TxnWrites` entries `bound` does not cover and no marker cancels
@@ -349,13 +454,16 @@ impl ReplicatedLog {
         bound: &ReplayBound,
         upper_cutoff: Option<u64>,
     ) -> Vec<ReplayedTxn> {
-        self.leader_replica()
+        self.core.sync_replicas();
+        self.core
+            .leader_replica()
             .collect_rolled_back(bound, upper_cutoff)
     }
 
     /// Clone the suffix of the (leader's) log starting at `from_lsn`.
     pub fn entries_from(&self, from_lsn: u64) -> Vec<LogEntry> {
-        self.leader_replica().entries_from(from_lsn)
+        self.core.sync_replicas();
+        self.core.leader_replica().entries_from(from_lsn)
     }
 
     /// First LSN at or after `from_lsn` that a checkpoint fold may **not**
@@ -364,6 +472,7 @@ impl ReplicatedLog {
     pub fn fold_stop_lsn(&self, from_lsn: u64, bound: &ReplayBound) -> u64 {
         match self.durable_lsn() {
             Some(q) => self
+                .core
                 .leader_replica()
                 .fold_stop_lsn(from_lsn, bound)
                 .min(q + 1)
@@ -386,30 +495,34 @@ impl ReplicatedLog {
         bound: &ReplayBound,
         cutoff_lsn: Option<u64>,
     ) -> usize {
-        let leader = self.leader.load(Ordering::Acquire);
-        let rolled_back = self.replicas[leader].durable_rolled_back(cutoff_lsn);
-        let mut removed = 0;
-        for (i, replica) in self.replicas.iter().enumerate() {
-            let n = replica.retain_replayable_with(from_lsn, bound, cutoff_lsn, &rolled_back);
-            if i == leader {
-                removed = n;
+        self.core.with_sequencer_flushed(|core| {
+            let leader = core.leader.load(Ordering::Acquire);
+            let rolled_back = core.replicas[leader].durable_rolled_back(cutoff_lsn);
+            let mut removed = 0;
+            for (i, replica) in core.replicas.iter().enumerate() {
+                let n = replica.retain_replayable_with(from_lsn, bound, cutoff_lsn, &rolled_back);
+                if i == leader {
+                    removed = n;
+                }
             }
-        }
-        removed
+            removed
+        })
     }
 
     /// Truncate every replica up to (and excluding) `lsn`. Returns the
     /// number of entries removed from the leader's copy.
     pub fn truncate_before(&self, lsn: u64) -> usize {
-        let leader = self.leader.load(Ordering::Acquire);
-        let mut removed = 0;
-        for (i, replica) in self.replicas.iter().enumerate() {
-            let n = replica.truncate_before(lsn);
-            if i == leader {
-                removed = n;
+        self.core.with_sequencer_flushed(|core| {
+            let leader = core.leader.load(Ordering::Acquire);
+            let mut removed = 0;
+            for (i, replica) in core.replicas.iter().enumerate() {
+                let n = replica.truncate_before(lsn);
+                if i == leader {
+                    removed = n;
+                }
             }
-        }
-        removed
+            removed
+        })
     }
 
     /// Truncate everything covered by the newest **quorum-durable**
@@ -423,31 +536,310 @@ impl ReplicatedLog {
 
     /// Discard one replica's disk (entries dropped, LSN counter kept so the
     /// replica stays aligned for future appends). It stops voting on quorum
-    /// durability and standing for election until repaired.
+    /// durability and standing for election until repaired. The staging
+    /// ring is flushed first: a staged entry was physically delivered (and
+    /// is then dropped with the rest of the disk), never resurrected by a
+    /// later drain.
     pub fn wipe_replica(&self, idx: usize) -> usize {
-        self.wiped[idx].store(true, Ordering::Release);
-        self.replicas[idx].wipe_log()
+        self.core
+            .with_sequencer_flushed(|core| core.wipe_replica(idx))
     }
 
     /// Bump the leadership term and hand leadership to the deterministic
     /// successor: the first replica after the failed leader in ring order
-    /// among the non-wiped replicas holding the longest log. With
-    /// `discard_leader_disk` the failed leader's replica is wiped first
-    /// (the crash lost its disk, not just its memory), so the successor is
-    /// always a surviving copy. Returns the new leader index.
+    /// among the non-wiped replicas holding the longest log. The staging
+    /// ring is flushed first — under the old synchronous fan-out the
+    /// not-yet-quorum-acked tail was physically present on every replica at
+    /// crash time, and the flush reproduces exactly that state (the tail
+    /// stays "lost" in the only sense that matters: below no quorum
+    /// horizon). With `discard_leader_disk` the failed leader's replica is
+    /// then wiped (the crash lost its disk, not just its memory), so the
+    /// successor is always a surviving copy. Returns the new leader index.
     pub fn fail_over(&self, discard_leader_disk: bool) -> usize {
-        let _guard = self.append_lock.lock();
-        let old = self.leader.load(Ordering::Acquire);
-        if discard_leader_disk {
-            self.wipe_replica(old);
+        self.core.with_sequencer_flushed(|core| {
+            let old = core.leader.load(Ordering::Acquire);
+            if discard_leader_disk {
+                core.wipe_replica(old);
+            }
+            core.term.fetch_add(1, Ordering::AcqRel);
+            let new = core.elect_successor(old);
+            if new != old {
+                core.leader.store(new, Ordering::Release);
+                core.leader_changes.fetch_add(1, Ordering::Relaxed);
+            }
+            new
+        })
+    }
+
+    /// Re-seed wiped or lagging replicas from the elected leader's log (the
+    /// authority after an election — replicas never diverge here, they can
+    /// only lose their disk wholesale). Returns how many replicas were
+    /// repaired. Run at the end of recovery so the replica set is back to
+    /// full strength before the partition serves again.
+    pub fn repair_replicas(&self) -> usize {
+        self.core.with_sequencer_flushed(|core| {
+            let leader = core.leader.load(Ordering::Acquire);
+            let authority = core.replicas[leader].entries_from(0);
+            let next_lsn = core.replicas[leader].end_lsn();
+            let mut repaired = 0;
+            for (i, replica) in core.replicas.iter().enumerate() {
+                if i == leader {
+                    // The elected leader's content is the authority by
+                    // definition. Clearing its wiped flag is only sound because
+                    // repair runs at the end of recovery, *after* the store and
+                    // the retained log were reconciled against this very copy —
+                    // if the leader itself was wiped (every replica lost its
+                    // disk), the missing history has just been adjudicated as
+                    // lost, and the flag must clear or the partition could
+                    // never acknowledge anything again.
+                    core.wiped[i].store(false, Ordering::Release);
+                    continue;
+                }
+                // Heal any divergence from the authority — shorter (wiped or
+                // lagging) and longer (a copy that somehow kept entries the
+                // leader dropped) alike.
+                if core.wiped[i].load(Ordering::Acquire) || replica.len() != authority.len() {
+                    replica.replace_entries(authority.clone(), next_lsn);
+                    core.wiped[i].store(false, Ordering::Release);
+                    repaired += 1;
+                }
+            }
+            repaired
+        })
+    }
+}
+
+impl LogCore {
+    fn leader_replica(&self) -> &Arc<PartitionWal> {
+        &self.replicas[self.leader.load(Ordering::Acquire)]
+    }
+
+    /// Next LSN to be assigned. The sequencer counter is authoritative
+    /// while replication runs pipelined; a single-copy log delegates to its
+    /// one replica (whose appends are synchronous).
+    fn end_lsn(&self) -> u64 {
+        let seq = self.ring.lock();
+        if self.replicas.len() == 1 {
+            self.leader_replica().end_lsn()
+        } else {
+            seq.next_lsn
         }
-        self.term.fetch_add(1, Ordering::AcqRel);
-        let new = self.elect_successor(old);
-        if new != old {
-            self.leader.store(new, Ordering::Release);
-            self.leader_changes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Stage 1: sequence one payload under the ring lock — reserve the LSN,
+    /// stamp `appended_at_us`, stage the entry. No replica is touched: the
+    /// pump later ships the staged tail to **every** copy (leader included)
+    /// as one shared segment, carrying exactly this LSN, timestamp and
+    /// term, so durability clocks run from this instant regardless of when
+    /// the pump ran. A single-copy log appends straight to its one replica
+    /// instead (the old `PartitionWal` fast path).
+    fn append(&self, payload: LogPayload) -> u64 {
+        let payload = Arc::new(payload);
+        let mut seq = self.lock_sequencer();
+        let term = self.term.load(Ordering::Acquire);
+        if self.replicas.len() == 1 {
+            let leader = self.leader.load(Ordering::Acquire);
+            return self.replicas[leader].append_in_term(term, payload);
         }
-        new
+        let entry = LogEntry {
+            lsn: seq.next_lsn,
+            appended_at_us: now_us(),
+            term,
+            payload,
+        };
+        seq.next_lsn += 1;
+        let lsn = entry.lsn;
+        // Stage only; the pump picks the entry up on its next tick. No
+        // signal — a wake-up here costs a syscall on the commit path.
+        seq.staged.push(entry);
+        lsn
+    }
+
+    /// Stage 1, batched: sequence every payload under **one** ring-lock
+    /// acquisition (dense LSNs, payload order preserved).
+    fn append_batch(&self, payloads: Vec<LogPayload>) -> Option<u64> {
+        if payloads.is_empty() {
+            return None;
+        }
+        let mut seq = self.lock_sequencer();
+        let term = self.term.load(Ordering::Acquire);
+        let mut first = None;
+        if self.replicas.len() == 1 {
+            let leader = self.leader.load(Ordering::Acquire);
+            for payload in payloads {
+                let lsn = self.replicas[leader].append_in_term(term, Arc::new(payload));
+                first.get_or_insert(lsn);
+            }
+            return first;
+        }
+        seq.staged.reserve(payloads.len());
+        for payload in payloads {
+            let entry = LogEntry {
+                lsn: seq.next_lsn,
+                appended_at_us: now_us(),
+                term,
+                payload: Arc::new(payload),
+            };
+            seq.next_lsn += 1;
+            first.get_or_insert(entry.lsn);
+            seq.staged.push(entry);
+        }
+        first
+    }
+
+    /// Take the sequencer lock, accounting contended waits (the metric the
+    /// pipeline exists to shrink). The uncontended fast path costs no clock
+    /// reads. A contended acquisition yields and retries instead of parking
+    /// outright: the critical section is a couple hundred nanoseconds, so a
+    /// yield usually hands the holder the time it needs and the next try
+    /// succeeds — without registering a waiter, which would also put a
+    /// futex wake on the holder's unlock path (the commit critical
+    /// section). After a bounded number of yields it parks for real.
+    fn lock_sequencer(&self) -> parking_lot::MutexGuard<'_, Sequencer> {
+        if let Some(guard) = self.ring.try_lock() {
+            return guard;
+        }
+        let blocked_at = now_us();
+        let mut attempts = 0u32;
+        let guard = loop {
+            std::thread::yield_now();
+            if let Some(guard) = self.ring.try_lock() {
+                break guard;
+            }
+            attempts += 1;
+            if attempts >= 64 {
+                break self.ring.lock();
+            }
+        };
+        let waited = now_us().saturating_sub(blocked_at);
+        if waited > 0 {
+            // Sub-microsecond waits truncate to zero anyway; skipping the
+            // add keeps the shared counter line cold under heavy append
+            // traffic.
+            self.append_wait_us.fetch_add(waited, Ordering::Relaxed);
+        }
+        guard
+    }
+
+    /// Stage 2: drain the staging ring and ship the batch to the follower
+    /// replicas. Called by the pump and by every drain-before-read path;
+    /// `ship_lock` serializes them so batches land in LSN order.
+    fn drain_staged(&self) {
+        if self.replicas.len() == 1 {
+            return;
+        }
+        let _ship = self.ship_lock.lock();
+        let batch = std::mem::take(&mut self.ring.lock().staged);
+        self.ship(batch);
+    }
+
+    /// Deliver a drained batch to the replica set as **one shared segment**:
+    /// the batch is frozen into an `Arc<[LogEntry]>` (a move, not a clone)
+    /// and handed to every replica in O(1) each — replicas fold it into
+    /// their own storage lazily, on their next read. The leader's hand-off
+    /// is local; only the follower deliveries count as network messages,
+    /// charged once per batch. Caller holds `ship_lock` (directly or via
+    /// [`LogCore::with_sequencer_flushed`]), so the leader cannot change
+    /// mid-ship and segments arrive in LSN order.
+    fn ship(&self, batch: Vec<LogEntry>) {
+        if batch.is_empty() {
+            return;
+        }
+        let shipped = batch.len() as u64;
+        let segment: Arc<[LogEntry]> = batch.into();
+        for replica in &self.replicas {
+            replica.receive_segment(Arc::clone(&segment));
+        }
+        if let Some(net) = &self.net {
+            net.note_background_messages(shipped * (self.replicas.len() as u64 - 1));
+        }
+        self.shipped_batches.fetch_add(1, Ordering::Relaxed);
+        self.shipped_entries.fetch_add(shipped, Ordering::Relaxed);
+    }
+
+    /// Make every replica current before a read that consults one (quorum
+    /// votes, durable scans, white-box replica access). No-op for RF 1,
+    /// whose appends are synchronous.
+    fn sync_replicas(&self) {
+        if self.replicas.len() > 1 {
+            self.drain_staged();
+        }
+    }
+
+    /// Flush the staging ring and run `f` while holding both the ship lock
+    /// and the ring lock: no append can interleave and no pump drain is in
+    /// flight, so `f` sees (and may mutate) a fully consistent replica set.
+    /// Every replica-set mutation — fail-over, wipe, repair, retention,
+    /// truncation — goes through here; afterwards the sequencer's LSN
+    /// counter is resynchronized from the (possibly re-elected, possibly
+    /// truncated) leader's log.
+    fn with_sequencer_flushed<R>(&self, f: impl FnOnce(&Self) -> R) -> R {
+        let _ship = self.ship_lock.lock();
+        let mut seq = self.ring.lock();
+        let batch = std::mem::take(&mut seq.staged);
+        self.ship(batch);
+        let result = f(self);
+        seq.next_lsn = self.leader_replica().end_lsn();
+        result
+    }
+
+    fn wipe_replica(&self, idx: usize) -> usize {
+        self.wiped[idx].store(true, Ordering::Release);
+        self.replicas[idx].wipe_log()
+    }
+
+    /// The quorum-acked LSN (see [`ReplicatedLog::durable_lsn`]).
+    /// Allocation-free for replica sets up to [`INLINE_VOTES`]: votes are
+    /// collected and partially sorted on the stack — this runs on every
+    /// watermark lookup, snapshot-horizon read and replay bound.
+    fn durable_lsn(&self) -> Option<u64> {
+        self.sync_replicas();
+        let n = self.replicas.len();
+        if n <= INLINE_VOTES {
+            let mut votes = [None; INLINE_VOTES];
+            for (i, (replica, wiped)) in self.replicas.iter().zip(&self.wiped).enumerate() {
+                if !wiped.load(Ordering::Acquire) {
+                    votes[i] = replica.durable_lsn();
+                }
+            }
+            let votes = &mut votes[..n];
+            votes.sort_unstable_by(|a, b| b.cmp(a)); // descending; None sorts last
+            votes[self.quorum - 1]
+        } else {
+            let mut votes: Vec<Option<u64>> = self
+                .replicas
+                .iter()
+                .zip(&self.wiped)
+                .map(|(r, wiped)| {
+                    if wiped.load(Ordering::Acquire) {
+                        None
+                    } else {
+                        r.durable_lsn()
+                    }
+                })
+                .collect();
+            votes.sort_by(|a, b| b.cmp(a));
+            votes[self.quorum - 1]
+        }
+    }
+
+    /// Clamp a caller-supplied cutoff to the quorum horizon. `None` result
+    /// means nothing is quorum-durable at all. A caller-supplied cutoff is
+    /// itself a quorum LSN captured earlier (recovery passes the crash-time
+    /// horizon), so when the *live* quorum is broken — e.g. a second disk
+    /// loss mid-recovery left only one intact replica — the cutoff is
+    /// trusted as-is: every entry below it reached a majority when it was
+    /// captured, and the elected leader (the longest intact replica) still
+    /// holds them. Without this, a below-quorum recovery would rebuild an
+    /// empty store while the intact leader's log provably contains the
+    /// acknowledged history.
+    fn quorum_cutoff(&self, cutoff_lsn: Option<u64>) -> Option<u64> {
+        match (self.durable_lsn(), cutoff_lsn) {
+            (Some(q), Some(c)) => Some(c.min(q)),
+            (Some(q), None) => Some(q),
+            (None, Some(c)) => Some(c),
+            (None, None) => None,
+        }
     }
 
     /// Deterministic successor rule: candidates are the non-wiped replicas
@@ -476,40 +868,33 @@ impl ReplicatedLog {
         failed
     }
 
-    /// Re-seed wiped or lagging replicas from the elected leader's log (the
-    /// authority after an election — replicas never diverge here, they can
-    /// only lose their disk wholesale). Returns how many replicas were
-    /// repaired. Run at the end of recovery so the replica set is back to
-    /// full strength before the partition serves again.
-    pub fn repair_replicas(&self) -> usize {
-        let _guard = self.append_lock.lock();
-        let leader = self.leader.load(Ordering::Acquire);
-        let authority = self.replicas[leader].entries_from(0);
-        let next_lsn = self.replicas[leader].end_lsn();
-        let mut repaired = 0;
-        for (i, replica) in self.replicas.iter().enumerate() {
-            if i == leader {
-                // The elected leader's content is the authority by
-                // definition. Clearing its wiped flag is only sound because
-                // repair runs at the end of recovery, *after* the store and
-                // the retained log were reconciled against this very copy —
-                // if the leader itself was wiped (every replica lost its
-                // disk), the missing history has just been adjudicated as
-                // lost, and the flag must clear or the partition could
-                // never acknowledge anything again.
-                self.wiped[i].store(false, Ordering::Release);
-                continue;
+    /// Stage-2 drainer: poll the ring every [`PUMP_TICK`] (appends stage
+    /// silently; only shutdown signals), drain whatever accumulated — the
+    /// tick is what turns a stream of appends into a batch. On shutdown the
+    /// ring is drained one final
+    /// time — by then the owning [`ReplicatedLog`] is being dropped, so no
+    /// appender can race the flush.
+    fn pump_loop(&self) {
+        loop {
+            {
+                let mut ring = self.ring.lock();
+                if !self.shutdown.load(Ordering::Acquire) {
+                    // Sleep a full tick even when entries are already
+                    // staged: the tick is what turns a stream of appends
+                    // into a batch, and an always-ready pump would spin on
+                    // the sequencer lock against the committers it exists
+                    // to unburden. (The shutdown check happens under the
+                    // ring lock; `Drop` stores the flag before taking it,
+                    // so the pump is either warned here or already waiting
+                    // when the notification fires — never in between.)
+                    self.signal.wait_for(&mut ring, PUMP_TICK);
+                }
             }
-            // Heal any divergence from the authority — shorter (wiped or
-            // lagging) and longer (a copy that somehow kept entries the
-            // leader dropped) alike.
-            if self.wiped[i].load(Ordering::Acquire) || replica.len() != authority.len() {
-                replica.replace_entries(authority.clone(), next_lsn);
-                self.wiped[i].store(false, Ordering::Release);
-                repaired += 1;
+            self.drain_staged();
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
             }
         }
-        repaired
     }
 }
 
@@ -517,7 +902,7 @@ impl ReplicatedLog {
 mod tests {
     use super::*;
     use primo_common::config::LoggingScheme;
-    use primo_common::{TableId, Value};
+    use primo_common::{FastRng, TableId, Value};
     use std::time::Duration;
 
     fn rf3(persist_us: u64, replica_us: u64, hop_us: u64) -> ReplicatedLog {
@@ -736,5 +1121,168 @@ mod tests {
         assert_eq!(log.leader_changes(), 0);
         assert!(!log.is_empty());
         assert_eq!(log.truncate_before(1), 1);
+    }
+
+    #[test]
+    fn pump_ships_staged_entries_without_a_reader_drain() {
+        // The background pump alone must replicate — no durable read or
+        // white-box accessor forcing a drain. Poll the shipped-entry
+        // counter (a pure observer) until the pump has delivered.
+        let log = rf3(0, 0, 0);
+        log.append(put(1, 5));
+        log.append(put(2, 6));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while log.replicated_entries() < 2 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "pump never drained the staging ring"
+            );
+            std::thread::yield_now();
+        }
+        assert!(log.replication_batches() >= 1);
+        for i in 0..3 {
+            assert_eq!(log.replica(i).len(), 2, "replica {i}");
+        }
+    }
+
+    #[test]
+    fn concurrent_appends_sequence_densely_and_replicate_identically() {
+        // Seeded multi-threaded append property test: with T threads
+        // appending concurrently (each yielding pseudo-randomly to vary the
+        // interleaving), the pipeline must still produce (1) dense gap-free
+        // LSNs, (2) per-key commit-ts order = log order, and (3) follower
+        // copies byte-identical to the leader after a drain.
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 200;
+        let seed: u64 = std::env::var("PRIMO_APPEND_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(7);
+        let log = Arc::new(rf3(0, 0, 0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let log = Arc::clone(&log);
+                std::thread::spawn(move || {
+                    let mut rng = FastRng::new(seed.wrapping_add(t));
+                    for i in 0..PER_THREAD {
+                        // Key = thread id, commit ts strictly increasing per
+                        // key: exactly the per-key install order the
+                        // durability invariant promises to preserve.
+                        log.append(LogPayload::TxnWrites {
+                            txn: TxnId::new(PartitionId(0), t * PER_THREAD + i + 1),
+                            ts: i + 1,
+                            writes: vec![crate::LoggedWrite::put(
+                                TableId(0),
+                                t,
+                                Value::from_u64(i),
+                            )],
+                        });
+                        if rng.next_u64().is_multiple_of(4) {
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = THREADS * PER_THREAD;
+        assert_eq!(log.end_lsn(), total);
+        let leader_entries = log.entries_from(0);
+        assert_eq!(leader_entries.len(), total as usize);
+        // Dense gap-free LSNs, monotone append timestamps.
+        let mut last_ts_per_key = vec![0u64; THREADS as usize];
+        for (i, e) in leader_entries.iter().enumerate() {
+            assert_eq!(e.lsn, i as u64, "gap in the LSN sequence");
+            if let LogPayload::TxnWrites { ts, writes, .. } = e.payload.as_ref() {
+                let key = writes[0].key as usize;
+                assert!(
+                    *ts > last_ts_per_key[key],
+                    "per-key commit-ts order violated at lsn {i}"
+                );
+                last_ts_per_key[key] = *ts;
+            } else {
+                panic!("unexpected payload");
+            }
+        }
+        // Followers byte-identical to the leader once drained (the
+        // `replica` accessor drains): same LSN, timestamp, term, and the
+        // very same shared payload allocation.
+        for r in 0..3 {
+            let copy = log.replica(r).entries_from(0);
+            assert_eq!(copy.len(), leader_entries.len(), "replica {r} length");
+            for (a, b) in copy.iter().zip(&leader_entries) {
+                assert_eq!(a.lsn, b.lsn);
+                assert_eq!(a.appended_at_us, b.appended_at_us);
+                assert_eq!(a.term, b.term);
+                assert!(
+                    Arc::ptr_eq(&a.payload, &b.payload),
+                    "replica {r} holds a different payload at lsn {}",
+                    a.lsn
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn staged_tail_is_flushed_on_fail_over_and_stays_below_the_quorum_horizon() {
+        // Entries sequenced but not yet quorum-replicated must be rolled
+        // back by a crash exactly like the old volatile tail: physically
+        // flushed to the survivors (so follower LSN counters stay aligned
+        // and repair works), but below no quorum horizon — bounded replay
+        // with the crash-time cutoff reproduces nothing.
+        let log = rf3(0, 300_000, 0); // leader instant, followers 300ms out
+        log.append(put(1, 5));
+        log.append(put(2, 6));
+        let cutoff = log.durable_lsn();
+        assert_eq!(cutoff, None, "no quorum inside the replication window");
+        let new_leader = log.fail_over(true); // crash + disk loss
+        assert_eq!(new_leader, 1);
+        // The staged tail was flushed before the wipe: both survivors
+        // physically hold the whole log…
+        assert_eq!(log.replica(1).len(), 2);
+        assert_eq!(log.replica(2).len(), 2);
+        assert_eq!(log.replica(0).len(), 0, "the wiped disk lost everything");
+        // …but the crash-time horizon says nothing was acknowledged, so
+        // recovery-style bounded replay loses the tail honestly.
+        assert!(log
+            .replay_range(0, &ReplayBound::Ts(u64::MAX), cutoff)
+            .is_empty());
+        assert_eq!(log.durable_lsn(), None);
+    }
+
+    #[test]
+    fn append_batch_is_one_sequencer_acquisition_with_dense_lsns() {
+        let log = rf3(0, 0, 0);
+        log.append(put(1, 5));
+        let first = log.append_batch(vec![put(2, 6), put(3, 7), put(4, 8)]);
+        assert_eq!(first, Some(1));
+        assert_eq!(log.append_batch(Vec::new()), None);
+        assert_eq!(log.end_lsn(), 4);
+        for i in 0..3 {
+            assert_eq!(log.replica(i).len(), 4, "replica {i}");
+        }
+        // Batch order = LSN order.
+        let entries = log.entries_from(1);
+        let ts: Vec<Ts> = entries
+            .iter()
+            .map(|e| match e.payload.as_ref() {
+                LogPayload::TxnWrites { ts, .. } => *ts,
+                _ => panic!("unexpected payload"),
+            })
+            .collect();
+        assert_eq!(ts, vec![6, 7, 8]);
+    }
+
+    #[test]
+    fn append_wait_accounts_contended_sequencer_acquisitions_only() {
+        let log = Arc::new(rf3(0, 0, 0));
+        log.append(put(1, 5));
+        assert_eq!(
+            log.append_wait_us(),
+            0,
+            "uncontended appends never touch the clock"
+        );
     }
 }

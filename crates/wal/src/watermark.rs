@@ -310,7 +310,10 @@ fn agent_loop(
             // quorum-durable (it is itself a log record, §5.1) — under
             // replication that is the quorum-ack delay, not the leader's
             // local persist delay, so replication cost shows up directly in
-            // commit latency.
+            // commit latency. The pipelined append changes none of this:
+            // follower copies inherit the sequencer's append timestamp, so
+            // quorum durability elapses on the same clock whether the pump
+            // has shipped the record yet or not.
             me.pending_publish
                 .lock()
                 .push_back((now + wal.quorum_ack_delay_us(), candidate));

@@ -63,6 +63,11 @@ fn main() {
              (append -> quorum ack)",
             snap.leader_changes, snap.replication_lag_us
         );
+        println!(
+            "    append pipeline: committers blocked {} us on the sequencer; \
+             pump batches averaged {:.1} entr(ies)",
+            snap.wal_append_wait_us, snap.replication_batch_len
+        );
     }
     println!();
     println!("Larger watermark intervals widen the window of transactions that a crash");
