@@ -11,6 +11,7 @@ use primo_runtime::cluster::Cluster;
 use primo_runtime::durability::log_txn_writes;
 use primo_runtime::txn::TxnContext;
 use primo_storage::{LockMode, LockPolicy, LockRequestResult, Record};
+use primo_trace::TraceEventKind;
 use std::sync::Arc;
 
 /// How the execution phase guards reads.
@@ -107,6 +108,13 @@ impl TxnContext for BaselineCtx<'_> {
             ReadGuard::SharedLock(policy) => {
                 if record.acquire(self.txn, LockMode::Shared, policy) != LockRequestResult::Granted
                 {
+                    if let Some(owner) = record.lock().holder() {
+                        self.cluster.recorder.emit(
+                            Some(self.txn),
+                            Some(p),
+                            TraceEventKind::LockWait { owner },
+                        );
+                    }
                     let reason = match policy {
                         LockPolicy::NoWait => AbortReason::LockConflict,
                         LockPolicy::WaitDie => AbortReason::WaitDie,
@@ -233,6 +241,13 @@ pub fn lock_write_set(
             }
         };
         if record.acquire(ctx.txn, LockMode::Exclusive, policy) != LockRequestResult::Granted {
+            if let Some(owner) = record.lock().holder() {
+                ctx.cluster.recorder.emit(
+                    Some(ctx.txn),
+                    Some(w.partition),
+                    TraceEventKind::LockWait { owner },
+                );
+            }
             ctx.access.undo.unwind();
             locked.release(ctx.txn);
             return Err(match policy {
@@ -278,6 +293,11 @@ pub fn install_locked_writes(
         .cluster
         .group_commit
         .finalize_commit_ts(ticket, ts.unwrap_or(0));
+    ctx.cluster.recorder.emit(
+        Some(ctx.txn),
+        Some(ctx.home),
+        TraceEventKind::CommitTsReserved { ts: final_ts },
+    );
     log_txn_writes(ctx.cluster, ctx.txn, final_ts, &ctx.access.writes);
     for (i, record) in &locked.records {
         let w = &ctx.access.writes[*i];
@@ -319,7 +339,18 @@ pub fn prepare_round(
     for p in &parts {
         ctx.cluster.group_commit.add_participant(ticket, *p, 0);
     }
-    if !parts.is_empty() && !ctx.cluster.net.round_trip_multi(ctx.home, &parts) {
+    ctx.cluster.recorder.emit(
+        Some(ctx.txn),
+        Some(ctx.home),
+        TraceEventKind::Prepare {
+            participants: parts.len() as u32,
+        },
+    );
+    let ok = parts.is_empty() || ctx.cluster.net.round_trip_multi(ctx.home, &parts);
+    ctx.cluster
+        .recorder
+        .emit(Some(ctx.txn), Some(ctx.home), TraceEventKind::Vote { ok });
+    if !ok {
         return Err(AbortReason::RemoteUnavailable);
     }
     Ok(parts)

@@ -39,6 +39,32 @@ fn print_row(label: &str, snap: &MetricsSnapshot) {
     );
 }
 
+/// The driver's live metrics timeline: one row per ~100 ms window with the
+/// window's committed TPS, abort rate and p99. Around a crash plan this
+/// shows the dip-and-recovery shape a single whole-run aggregate averages
+/// away.
+fn print_timeline(label: &str, snap: &MetricsSnapshot) {
+    if snap.timeline.is_empty() {
+        return;
+    }
+    println!("{label} live timeline ({} windows):", snap.timeline.len());
+    println!(
+        "  {:>8} {:>8} {:>10} {:>9} {:>8} {:>9}",
+        "t(ms)", "win(ms)", "ktps", "committed", "abort%", "p99(ms)"
+    );
+    for w in &snap.timeline {
+        println!(
+            "  {:>8.0} {:>8.0} {:>10.1} {:>9} {:>8.1} {:>9.2}",
+            w.start_us as f64 / 1000.0,
+            w.len_us as f64 / 1000.0,
+            w.tps / 1000.0,
+            w.committed,
+            w.abort_rate * 100.0,
+            w.p99_latency_ms
+        );
+    }
+}
+
 /// Per-reason abort counts (e.g. `WaitDie=123 Validation=4 NotFound=1`):
 /// lifecycle regressions surface here instead of hiding in the abort total.
 fn print_abort_breakdown(label: &str, snap: &MetricsSnapshot) {
@@ -415,6 +441,12 @@ pub fn fig12(scale: &Scale) {
                 snap.wal_append_wait_us,
                 snap.replication_batch_len
             );
+            // One representative cell per scheme gets the windowed timeline:
+            // the crash-dip / recovery-ramp shape is the point of the figure
+            // and invisible in the whole-run aggregates above.
+            if size == 60 {
+                print_timeline(scheme.label(), &snap);
+            }
         }
     }
     println!(

@@ -190,6 +190,31 @@ impl Default for PrimoConfig {
     }
 }
 
+/// Flight-recorder (observability) knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceConfig {
+    /// Record trace events. On by default — the recorder is designed to stay
+    /// on in every run (the `bench_matrix --trace-overhead` gate holds the
+    /// cost under 5%); the off position exists for that ablation.
+    pub enabled: bool,
+    /// Per-worker ring capacity in events (rounded up to a power of two).
+    pub ring_capacity: usize,
+    /// Also record one event per simulated network hop. Off by default:
+    /// per-hop events are high-volume and only useful when debugging the
+    /// network layer itself.
+    pub trace_messages: bool,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            enabled: true,
+            ring_capacity: 4096,
+            trace_messages: false,
+        }
+    }
+}
+
 /// Top-level cluster configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
@@ -199,6 +224,7 @@ pub struct ClusterConfig {
     pub net: NetConfig,
     pub wal: WalConfig,
     pub primo: PrimoConfig,
+    pub trace: TraceConfig,
     /// Initial back-off after an abort, microseconds (paper: 0.5 ms, doubling).
     pub backoff_initial_us: u64,
     /// Upper bound on the exponential back-off, microseconds.
@@ -219,6 +245,7 @@ impl Default for ClusterConfig {
             net: NetConfig::default(),
             wal: WalConfig::default(),
             primo: PrimoConfig::default(),
+            trace: TraceConfig::default(),
             backoff_initial_us: 500,
             backoff_max_us: 8_000,
             aria_batch_size: 32,
@@ -249,6 +276,12 @@ impl ClusterConfig {
                 unsafe_latest_commit_horizon: false,
             },
             primo: PrimoConfig::default(),
+            trace: TraceConfig {
+                // Small rings keep the thousands of short-lived test
+                // clusters cheap while still exercising the recorder.
+                ring_capacity: 512,
+                ..TraceConfig::default()
+            },
             backoff_initial_us: 20,
             backoff_max_us: 500,
             aria_batch_size: 8,

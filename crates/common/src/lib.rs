@@ -20,5 +20,7 @@ pub use error::{AbortReason, TxnError, TxnResult};
 pub use ids::{PartitionId, TableId, ThreadId, Ts, TxnId};
 pub use phase::{Phase, PhaseTimers};
 pub use rng::{FastRng, ZipfGen};
-pub use stats::{Histogram, Metrics, MetricsSnapshot};
+pub use stats::{
+    ClusterStats, Histogram, HistogramCounts, Metrics, MetricsSnapshot, TimelineWindow,
+};
 pub use value::{Key, Row, Value};

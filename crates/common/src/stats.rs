@@ -92,7 +92,10 @@ impl Histogram {
         if total == 0 {
             return 0;
         }
-        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
+        // Clamp to >= 1 sample: ceil(total * 0.0) is 0, and "0 samples seen"
+        // is satisfied by the empty bucket 0, which made percentile_us(0.0)
+        // report 0 regardless of the data instead of the minimum sample.
+        let target = (((total as f64) * q.clamp(0.0, 1.0)).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
@@ -101,6 +104,19 @@ impl Histogram {
             }
         }
         self.max_us()
+    }
+
+    /// A point-in-time copy of the bucket counters, for windowed percentile
+    /// queries over a *delta* of a live histogram (the metrics timeline
+    /// samples this every window and diffs consecutive snapshots).
+    pub fn counts(&self) -> HistogramCounts {
+        HistogramCounts {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
     }
 
     /// Merge another histogram into this one.
@@ -114,6 +130,106 @@ impl Histogram {
             .fetch_add(other.sum_us.load(Ordering::Relaxed), Ordering::Relaxed);
         self.max_us
             .fetch_max(other.max_us.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+/// Frozen bucket counters of a [`Histogram`] at one instant.
+#[derive(Debug, Clone)]
+pub struct HistogramCounts {
+    buckets: Vec<u64>,
+}
+
+impl HistogramCounts {
+    /// Number of samples recorded between `earlier` and this snapshot.
+    pub fn count_since(&self, earlier: &HistogramCounts) -> u64 {
+        self.buckets
+            .iter()
+            .zip(earlier.buckets.iter())
+            .map(|(now, then)| now - then)
+            .sum()
+    }
+
+    /// Percentile over only the samples recorded between `earlier` and this
+    /// snapshot (both taken from the same live histogram). 0 when the delta
+    /// is empty.
+    pub fn percentile_us_since(&self, earlier: &HistogramCounts, q: f64) -> u64 {
+        let total = self.count_since(earlier);
+        if total == 0 {
+            return 0;
+        }
+        let target = (((total as f64) * q.clamp(0.0, 1.0)).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, (now, then)) in self.buckets.iter().zip(earlier.buckets.iter()).enumerate() {
+            seen += now - then;
+            if seen >= target {
+                return Histogram::bucket_value(i);
+            }
+        }
+        0
+    }
+}
+
+/// One ~100 ms window of the live metrics timeline the experiment driver
+/// samples while the workload runs (TPS dips around crashes, recovery and —
+/// eventually — elastic cutovers show up here instead of being averaged
+/// away).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineWindow {
+    /// Window start, microseconds since the run started.
+    pub start_us: u64,
+    /// Window length, microseconds.
+    pub len_us: u64,
+    /// Commits inside the window.
+    pub committed: u64,
+    /// Aborted attempts inside the window.
+    pub aborted: u64,
+    /// Commit throughput over the window, transactions/second.
+    pub tps: f64,
+    /// Aborted attempts / total attempts inside the window.
+    pub abort_rate: f64,
+    /// p99 commit latency over only the window's commits, milliseconds.
+    pub p99_latency_ms: f64,
+}
+
+/// Cluster-level counters the experiment driver collects *after* the run
+/// and hands to [`Metrics::snapshot`]. Deliberately no `Default` and
+/// constructed by struct literal: adding a field here breaks the driver at
+/// compile time instead of silently reporting 0 in every figure.
+#[derive(Debug, Clone)]
+pub struct ClusterStats {
+    /// Superseded record versions garbage-collected at checkpoints.
+    pub pruned_versions: u64,
+    /// Throughput between recovery completion and the measurement end.
+    pub post_recovery_tps: f64,
+    /// Crash-rolled-back transactions compensated on surviving partitions.
+    pub compensated_txns: u64,
+    /// Deterministic log-leader hand-offs across all partitions.
+    pub leader_changes: u64,
+    /// Worst partition's append→quorum-ack delay, microseconds.
+    pub replication_lag_us: u64,
+    /// Total microseconds committers spent blocked on log sequencers.
+    pub wal_append_wait_us: u64,
+    /// Mean log entries shipped per replication-pump batch.
+    pub replication_batch_len: f64,
+    /// Windowed TPS / abort-rate / p99 series sampled during the run.
+    pub timeline: Vec<TimelineWindow>,
+}
+
+impl ClusterStats {
+    /// All-zero stats for call sites without a cluster (unit tests,
+    /// single-component micro-benchmarks). The experiment driver must build
+    /// the struct literally instead, so new fields can't be forgotten there.
+    pub fn empty() -> Self {
+        ClusterStats {
+            pruned_versions: 0,
+            post_recovery_tps: 0.0,
+            compensated_txns: 0,
+            leader_changes: 0,
+            replication_lag_us: 0,
+            wal_append_wait_us: 0,
+            replication_batch_len: 0.0,
+            timeline: Vec::new(),
+        }
     }
 }
 
@@ -203,8 +319,16 @@ impl Metrics {
         self.aborted_attempts.load(Ordering::Relaxed)
     }
 
-    /// Produce an immutable snapshot with derived quantities.
-    pub fn snapshot(&self, elapsed_secs: f64) -> MetricsSnapshot {
+    /// A live handle on the commit-latency histogram, for windowed
+    /// percentile sampling by the experiment driver's timeline thread.
+    pub fn latency_counts(&self) -> HistogramCounts {
+        self.latency.counts()
+    }
+
+    /// Produce an immutable snapshot with derived quantities. `cluster`
+    /// carries the counters only the experiment driver can collect
+    /// (post-run cluster state and the sampled timeline).
+    pub fn snapshot(&self, elapsed_secs: f64, cluster: ClusterStats) -> MetricsSnapshot {
         let committed = self.committed();
         let aborted = self.aborted_attempts();
         let attempts = committed + aborted;
@@ -257,13 +381,14 @@ impl Metrics {
             } else {
                 0.0
             },
-            pruned_versions: 0,
-            post_recovery_tps: 0.0,
-            compensated_txns: 0,
-            leader_changes: 0,
-            replication_lag_us: 0,
-            wal_append_wait_us: 0,
-            replication_batch_len: 0.0,
+            pruned_versions: cluster.pruned_versions,
+            post_recovery_tps: cluster.post_recovery_tps,
+            compensated_txns: cluster.compensated_txns,
+            leader_changes: cluster.leader_changes,
+            replication_lag_us: cluster.replication_lag_us,
+            wal_append_wait_us: cluster.wal_append_wait_us,
+            replication_batch_len: cluster.replication_batch_len,
+            timeline: cluster.timeline,
         }
     }
 }
@@ -330,6 +455,10 @@ pub struct MetricsSnapshot {
     /// alone; larger values mean the pump amortized follower lock
     /// acquisitions across committers. Filled in by the experiment driver.
     pub replication_batch_len: f64,
+    /// Windowed (~100 ms) TPS / abort-rate / p99 series sampled while the
+    /// run was live. Empty when the driver did not sample (short unit-test
+    /// runs).
+    pub timeline: Vec<TimelineWindow>,
 }
 
 impl MetricsSnapshot {
@@ -405,6 +534,82 @@ mod tests {
     }
 
     #[test]
+    fn percentile_zero_returns_the_minimum_sample() {
+        // Regression: ceil(total * 0.0) == 0 used to satisfy `seen >= target`
+        // at the first (empty) bucket, so percentile_us(0.0) was always 0.
+        let h = Histogram::new();
+        for us in [500u64, 900, 1_400] {
+            h.record_us(us);
+        }
+        let p0 = h.percentile_us(0.0);
+        assert!(
+            (450..=560).contains(&p0),
+            "p0 must be ~the smallest sample (500us), got {p0}"
+        );
+        assert!(h.percentile_us(0.0) <= h.percentile_us(0.5));
+    }
+
+    #[test]
+    fn percentiles_monotone_under_concurrent_recording() {
+        // Property check for the satellite requirement: with many threads
+        // hammering record_us, any percentile query ordering stays monotone
+        // and the final counts are exact (no lost updates).
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads = 8;
+        let per_thread = 5_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        h.record_us(1 + (i * 7 + t * 13) % 10_000);
+                        if i % 512 == 0 {
+                            let qs: Vec<u64> = [0.0, 0.25, 0.5, 0.9, 0.99, 1.0]
+                                .iter()
+                                .map(|q| h.percentile_us(*q))
+                                .collect();
+                            assert!(
+                                qs.windows(2).all(|w| w[0] <= w[1]),
+                                "percentiles not monotone mid-run: {qs:?}"
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+        for hd in handles {
+            hd.join().unwrap();
+        }
+        assert_eq!(h.count(), threads * per_thread);
+        let qs: Vec<u64> = [0.0, 0.5, 0.99, 1.0]
+            .iter()
+            .map(|q| h.percentile_us(*q))
+            .collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "{qs:?}");
+        assert!(qs[0] >= 1, "p0 sees a real sample, not the empty bucket 0");
+    }
+
+    #[test]
+    fn windowed_delta_percentiles_ignore_earlier_samples() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record_us(10);
+        }
+        let mark = h.counts();
+        for _ in 0..50 {
+            h.record_us(1_000);
+        }
+        let now = h.counts();
+        assert_eq!(now.count_since(&mark), 50);
+        let p50 = now.percentile_us_since(&mark, 0.5);
+        assert!(
+            (900..=1100).contains(&p50),
+            "window p50 must reflect only the 1000us samples, got {p50}"
+        );
+        assert_eq!(now.percentile_us_since(&now, 0.99), 0, "empty delta");
+    }
+
+    #[test]
     fn bucket_roundtrip_error_is_bounded() {
         for us in [1u64, 5, 17, 100, 999, 12345, 1_000_000] {
             let v = Histogram::bucket_value(Histogram::bucket_index(us));
@@ -423,7 +628,7 @@ mod tests {
         for _ in 0..2 {
             m.record_abort(AbortReason::Validation);
         }
-        let s = m.snapshot(1.0);
+        let s = m.snapshot(1.0, ClusterStats::empty());
         assert_eq!(
             s.abort_breakdown(),
             vec![
@@ -447,27 +652,41 @@ mod tests {
         m.record_abort(AbortReason::CrashAbort);
         m.record_recovery(1_500, 42);
         m.record_snapshot_read();
-        let s = m.snapshot(2.0);
+        let s = m.snapshot(
+            2.0,
+            ClusterStats {
+                pruned_versions: 3,
+                post_recovery_tps: 1.5,
+                compensated_txns: 4,
+                leader_changes: 1,
+                replication_lag_us: 250,
+                wal_append_wait_us: 75,
+                replication_batch_len: 2.5,
+                timeline: vec![TimelineWindow {
+                    start_us: 0,
+                    len_us: 100_000,
+                    committed: 2,
+                    aborted: 2,
+                    tps: 20.0,
+                    abort_rate: 0.5,
+                    p99_latency_ms: 1.5,
+                }],
+            },
+        );
         assert_eq!(s.snapshot_reads, 1);
         assert!((s.snapshot_read_tps - 0.5).abs() < 1e-9);
-        assert_eq!(s.pruned_versions, 0, "filled in by the experiment driver");
         assert_eq!(s.recovery_time_us, 1_500);
         assert_eq!(s.replayed_txns, 42);
-        assert_eq!(s.post_recovery_tps, 0.0);
-        assert_eq!(s.compensated_txns, 0, "filled in by the experiment driver");
-        assert_eq!(s.leader_changes, 0, "filled in by the experiment driver");
-        assert_eq!(
-            s.replication_lag_us, 0,
-            "filled in by the experiment driver"
-        );
-        assert_eq!(
-            s.wal_append_wait_us, 0,
-            "filled in by the experiment driver"
-        );
-        assert_eq!(
-            s.replication_batch_len, 0.0,
-            "filled in by the experiment driver"
-        );
+        // The driver-supplied cluster stats come through verbatim.
+        assert_eq!(s.pruned_versions, 3);
+        assert_eq!(s.post_recovery_tps, 1.5);
+        assert_eq!(s.compensated_txns, 4);
+        assert_eq!(s.leader_changes, 1);
+        assert_eq!(s.replication_lag_us, 250);
+        assert_eq!(s.wal_append_wait_us, 75);
+        assert_eq!(s.replication_batch_len, 2.5);
+        assert_eq!(s.timeline.len(), 1);
+        assert_eq!(s.timeline[0].committed, 2);
         assert_eq!(s.committed, 2);
         assert_eq!(s.aborted_attempts, 2);
         assert!((s.throughput_tps - 1.0).abs() < 1e-9);

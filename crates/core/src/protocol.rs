@@ -8,6 +8,7 @@ use primo_runtime::durability::log_txn_writes;
 use primo_runtime::protocol::{CommittedTxn, Protocol};
 use primo_runtime::txn::TxnProgram;
 use primo_storage::{LockMode, LockPolicy, LockRequestResult, Record};
+use primo_trace::TraceEventKind;
 use primo_wal::TxnTicket;
 use std::sync::Arc;
 
@@ -104,7 +105,13 @@ impl PrimoProtocol {
                 ts = ts.max(rts + 1);
             }
         }
-        cluster.group_commit.reserve_commit_ts(ticket, ts)
+        let ts = cluster.group_commit.reserve_commit_ts(ticket, ts);
+        cluster.recorder.emit(
+            Some(ticket.txn),
+            Some(ticket.coordinator),
+            TraceEventKind::CommitTsReserved { ts },
+        );
+        ts
     }
 
     /// Commit a purely local transaction with TicToc (§4.2.1).
@@ -134,6 +141,13 @@ impl PrimoProtocol {
                     if record.acquire(txn, LockMode::Exclusive, LockPolicy::NoWait)
                         != LockRequestResult::Granted
                     {
+                        if let Some(owner) = record.lock().holder() {
+                            cluster.recorder.emit(
+                                Some(txn),
+                                Some(w.partition),
+                                TraceEventKind::LockWait { owner },
+                            );
+                        }
                         return Err(AbortReason::Validation);
                     }
                     locked.push(Arc::clone(&record));
@@ -168,6 +182,9 @@ impl PrimoProtocol {
         }
 
         // 3. Validate the read set (extend rts where needed).
+        cluster
+            .recorder
+            .emit(Some(txn), Some(ctx.home), TraceEventKind::ValidationStart);
         let validation = timers.time(Phase::Commit, || {
             for r in &ctx.access.reads {
                 if r.dummy {
@@ -189,6 +206,14 @@ impl PrimoProtocol {
             }
             Ok(())
         });
+        cluster.recorder.emit(
+            Some(txn),
+            Some(ctx.home),
+            TraceEventKind::ValidationOutcome {
+                ok: validation.is_ok(),
+                reason: validation.err(),
+            },
+        );
         if let Err(reason) = validation {
             ctx.access.undo.unwind();
             for r in &locked {
@@ -337,12 +362,26 @@ impl PrimoProtocol {
 
         // Prepare round: ship write-sets, acquire exclusive locks everywhere
         // (upgrading shared read locks), wait for every participant's vote.
+        cluster.recorder.emit(
+            Some(txn),
+            Some(home),
+            TraceEventKind::Prepare {
+                participants: participants.len() as u32,
+            },
+        );
         let prepare_ok = timers.time(Phase::TwoPc, || {
             if !participants.is_empty() && !cluster.net.round_trip_multi(home, &participants) {
                 return Err(AbortReason::RemoteUnavailable);
             }
             Ok(())
         });
+        cluster.recorder.emit(
+            Some(txn),
+            Some(home),
+            TraceEventKind::Vote {
+                ok: prepare_ok.is_ok(),
+            },
+        );
         if let Err(reason) = prepare_ok {
             ctx.abort_cleanup();
             return Err(TxnError::Aborted(reason));
@@ -356,6 +395,13 @@ impl PrimoProtocol {
                 if record.acquire(txn, LockMode::Exclusive, LockPolicy::WaitDie)
                     != LockRequestResult::Granted
                 {
+                    if let Some(owner) = record.lock().holder() {
+                        cluster.recorder.emit(
+                            Some(txn),
+                            Some(w.partition),
+                            TraceEventKind::LockWait { owner },
+                        );
+                    }
                     return Err(AbortReason::LockConflict);
                 }
                 locked.push(Arc::clone(&record));
@@ -382,6 +428,9 @@ impl PrimoProtocol {
             Self::compute_ts(cluster, ticket, &ctx.access)
         });
         cluster.group_commit.update_ts(ticket, ts);
+        cluster
+            .recorder
+            .emit(Some(txn), Some(home), TraceEventKind::ValidationStart);
         let validation = timers.time(Phase::Commit, || {
             for r in &ctx.access.reads {
                 if r.dummy {
@@ -398,6 +447,14 @@ impl PrimoProtocol {
             }
             Ok(())
         });
+        cluster.recorder.emit(
+            Some(txn),
+            Some(home),
+            TraceEventKind::ValidationOutcome {
+                ok: validation.is_ok(),
+                reason: validation.err(),
+            },
+        );
         if let Err(reason) = validation {
             ctx.access.undo.unwind();
             for r in &locked {

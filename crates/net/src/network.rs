@@ -4,7 +4,9 @@ use parking_lot::RwLock;
 use primo_common::config::NetConfig;
 use primo_common::sim_time::charge_latency_us;
 use primo_common::{FastRng, PartitionId};
+use primo_trace::{FlightRecorder, TraceEventKind};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Reachability of one partition as seen by the network.
 ///
@@ -64,6 +66,10 @@ pub struct SimNetwork {
     /// contention). Derived from the experiment seed so different seeds
     /// sample different jitter while each run stays reproducible.
     jitter_salt: u64,
+    /// Flight recorder for per-hop `MsgHop` events. Only set when the
+    /// `trace.trace_messages` knob is on (per-hop volume dwarfs every other
+    /// event class); unset, each send pays one relaxed `OnceLock` read.
+    recorder: OnceLock<Arc<FlightRecorder>>,
 }
 
 /// One round of splitmix64: turns correlated seeds (0, 1, 2, …) into
@@ -87,6 +93,26 @@ impl SimNetwork {
             messages: AtomicU64::new(0),
             round_trips: AtomicU64::new(0),
             jitter_salt: splitmix64(seed),
+            recorder: OnceLock::new(),
+        }
+    }
+
+    /// Attach the cluster flight recorder for per-hop tracing. The cluster
+    /// only calls this when `trace.trace_messages` is enabled.
+    pub fn set_recorder(&self, recorder: Arc<FlightRecorder>) {
+        let _ = self.recorder.set(recorder);
+    }
+
+    fn trace_hop(&self, from: PartitionId, to: PartitionId) {
+        if let Some(rec) = self.recorder.get() {
+            rec.emit(
+                None,
+                Some(from),
+                TraceEventKind::MsgHop {
+                    from: from.0,
+                    to: to.0,
+                },
+            );
         }
     }
 
@@ -163,6 +189,7 @@ impl SimNetwork {
     /// destination is crashed (message lost).
     pub fn one_way(&self, from: PartitionId, to: PartitionId) -> bool {
         self.messages.fetch_add(1, Ordering::Relaxed);
+        self.trace_hop(from, to);
         charge_latency_us(self.one_way_latency_us(from, to));
         !self.is_crashed(to)
     }
@@ -175,6 +202,8 @@ impl SimNetwork {
         }
         self.messages.fetch_add(2, Ordering::Relaxed);
         self.round_trips.fetch_add(1, Ordering::Relaxed);
+        self.trace_hop(from, to);
+        self.trace_hop(to, from);
         if self.is_crashed(to) {
             // The request times out: charge only the outbound latency.
             charge_latency_us(self.one_way_latency_us(from, to));
@@ -199,6 +228,8 @@ impl SimNetwork {
         let mut max_us = 0;
         let mut ok = true;
         for p in &remote {
+            self.trace_hop(from, *p);
+            self.trace_hop(*p, from);
             max_us = max_us.max(self.one_way_latency_us(from, *p));
             if self.is_crashed(*p) {
                 ok = false;
@@ -217,6 +248,9 @@ impl SimNetwork {
         }
         self.messages
             .fetch_add(remote.len() as u64, Ordering::Relaxed);
+        for p in &remote {
+            self.trace_hop(from, *p);
+        }
         // The sender does not wait for delivery: sending is effectively free
         // for the caller beyond a small serialization cost.
         charge_latency_us(1);

@@ -35,6 +35,7 @@
 
 use primo_common::{PartitionId, TxnId};
 use primo_storage::{LifecycleState, LockMode, LockPolicy, LockRequestResult, PartitionStore};
+use primo_trace::{FlightRecorder, TraceEventKind};
 use primo_wal::{GroupCommit, LogPayload, ReplayBound, ReplicatedLog};
 
 /// What one compensation pass over one surviving partition did.
@@ -66,7 +67,12 @@ pub fn compensate_partition(
     bound: &ReplayBound,
     upper_cutoff: Option<u64>,
 ) -> CompensationReport {
-    undo_rolled_back(store, wal, wal.collect_rolled_back(bound, upper_cutoff))
+    undo_rolled_back(
+        store,
+        wal,
+        wal.collect_rolled_back(bound, upper_cutoff),
+        None,
+    )
 }
 
 /// The undo half of [`compensate_partition`]: restore before-images, unlink
@@ -76,6 +82,7 @@ fn undo_rolled_back(
     store: &PartitionStore,
     wal: &ReplicatedLog,
     mut doomed: Vec<primo_wal::ReplayedTxn>,
+    recorder: Option<&FlightRecorder>,
 ) -> CompensationReport {
     if doomed.is_empty() {
         return CompensationReport::default();
@@ -153,6 +160,15 @@ fn undo_rolled_back(
         }
         markers.push(LogPayload::TxnRolledBack { txn: *txn });
         report.compensated_txns += 1;
+        if let Some(rec) = recorder {
+            rec.emit(
+                Some(*txn),
+                Some(store.partition()),
+                TraceEventKind::Compensation {
+                    writes: writes.len() as u64,
+                },
+            );
+        }
     }
     // Seal the whole set with one batched append: the markers are only
     // consulted after this pass returns (replay, folds and later
@@ -185,6 +201,7 @@ pub fn compensate_survivors<'a>(
     partitions: impl Iterator<Item = (PartitionId, &'a PartitionStore, &'a ReplicatedLog)>,
     gc: &dyn GroupCommit,
     crash_token: primo_common::Ts,
+    recorder: Option<&FlightRecorder>,
 ) -> usize {
     let mut compensated = 0;
     for (_, store, wal) in partitions {
@@ -196,7 +213,7 @@ pub fn compensate_survivors<'a>(
         }
         let ids: Vec<TxnId> = doomed.iter().map(|(txn, _, _)| *txn).collect();
         gc.on_txns_rolled_back(&ids);
-        compensated += undo_rolled_back(store, wal, doomed).compensated_txns;
+        compensated += undo_rolled_back(store, wal, doomed, recorder).compensated_txns;
     }
     compensated
 }

@@ -7,6 +7,7 @@ use primo_common::sim_time::now_us;
 use primo_common::{PartitionId, Ts};
 use primo_net::{PartitionHealth, SimNetwork};
 use primo_storage::PartitionStore;
+use primo_trace::{FlightRecorder, TraceEventKind};
 use primo_wal::{GroupCommit, LoggedOp, ReplayedTxn, ReplicatedLog};
 use std::time::Instant;
 
@@ -121,19 +122,22 @@ impl RecoveryManager {
         net: &SimNetwork,
         crash: &CrashContext,
     ) -> RecoveryReport {
-        Self::recover_with_fault(store, log, gc, net, crash, &mut || {})
+        Self::recover_with_fault(store, log, gc, net, crash, None, &mut || {})
     }
 
-    /// [`RecoveryManager::recover`] with a fault-injection hook invoked
-    /// after each replay pass, *before* the term check — tests use it to
-    /// land a second crash deterministically mid-replay and pin the
-    /// hand-off to the successor replica.
+    /// [`RecoveryManager::recover`] with a flight recorder (each replay
+    /// pass emits a [`TraceEventKind::RecoveryReplay`] event) and a
+    /// fault-injection hook invoked after each replay pass, *before* the
+    /// term check — tests use the hook to land a second crash
+    /// deterministically mid-replay and pin the hand-off to the successor
+    /// replica.
     pub fn recover_with_fault(
         store: &PartitionStore,
         log: &ReplicatedLog,
         gc: &dyn GroupCommit,
         net: &SimNetwork,
         crash: &CrashContext,
+        recorder: Option<&FlightRecorder>,
         mid_replay: &mut dyn FnMut(),
     ) -> RecoveryReport {
         let p = crash.partition;
@@ -187,6 +191,16 @@ impl RecoveryManager {
                 }
             };
 
+            if let Some(rec) = recorder {
+                rec.emit(
+                    None,
+                    Some(p),
+                    TraceEventKind::RecoveryReplay {
+                        pass: mid_replay_handoffs as u32,
+                        entries: txns.len() as u64,
+                    },
+                );
+            }
             mid_replay();
             if log.term() == term {
                 break (wiped_records, restored, txns);

@@ -11,6 +11,7 @@ use primo_recovery::{
     RecoveryReport,
 };
 use primo_storage::PartitionStore;
+use primo_trace::{FlightRecorder, TraceEventKind};
 use primo_wal::{build_group_commit, GroupCommit, ReplicatedLog};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -72,6 +73,11 @@ pub struct Cluster {
     pub net: Arc<SimNetwork>,
     pub bus: Arc<DelayedBus>,
     pub group_commit: Arc<dyn GroupCommit>,
+    /// The cluster flight recorder: every layer (workers, commit paths, the
+    /// replicated logs, group-commit agents, recovery) emits its trace
+    /// events here. Always present; recording itself is gated by
+    /// `config.trace.enabled`.
+    pub recorder: Arc<FlightRecorder>,
     /// Global transaction sequence (see [`Partition::next_txn_id`]).
     global_seq: AtomicU64,
     /// Crash-time state of currently-crashed partitions, captured by
@@ -121,6 +127,23 @@ impl Cluster {
             })
             .collect();
         let group_commit = build_group_commit(n, config.wal, Arc::clone(&bus), logs.clone());
+        // Wire the flight recorder into every layer before any transaction
+        // traffic: the logs (sequencer waits, quorum acks, leader changes)
+        // and the scheme's background agents (watermark / epoch / CLV
+        // decisions). Workers and recovery reach it through the cluster.
+        let recorder = Arc::new(FlightRecorder::new(
+            config.trace.enabled,
+            config.trace.ring_capacity,
+        ));
+        for log in &logs {
+            log.set_recorder(Arc::clone(&recorder));
+        }
+        group_commit.set_recorder(Arc::clone(&recorder));
+        // Per-hop message events are opt-in: the network's recorder stays
+        // unset unless the knob is on, so the send hot path pays nothing.
+        if config.trace.trace_messages {
+            net.set_recorder(Arc::clone(&recorder));
+        }
         let max_versions = config.primo.max_versions;
         let partitions = logs
             .into_iter()
@@ -133,6 +156,7 @@ impl Cluster {
             net,
             bus,
             group_commit,
+            recorder,
             global_seq: AtomicU64::new(1),
             pending_crashes: Mutex::new(HashMap::new()),
             compensated_txns: AtomicU64::new(0),
@@ -187,6 +211,8 @@ impl Cluster {
     }
 
     fn crash_partition_impl(&self, p: PartitionId, discard_log: bool) -> Ts {
+        self.recorder
+            .emit(None, Some(p), TraceEventKind::CrashInjected);
         self.net.set_crashed(p, true);
         let token = self.group_commit.on_partition_crash(p);
         // Capture the quorum horizon **before** the hand-off wipes the dead
@@ -207,7 +233,12 @@ impl Cluster {
             .iter()
             .filter(|q| q.id != p && !self.net.is_crashed(q.id))
             .map(|q| (q.id, &q.store, q.log.as_ref()));
-        let compensated = compensate_survivors(survivors, self.group_commit.as_ref(), token);
+        let compensated = compensate_survivors(
+            survivors,
+            self.group_commit.as_ref(),
+            token,
+            Some(&self.recorder),
+        );
         self.compensated_txns
             .fetch_add(compensated as u64, Ordering::Relaxed);
         // Every rolled-back version is purged from the survivors' chains:
@@ -308,6 +339,7 @@ impl Cluster {
             self.group_commit.as_ref(),
             &self.net,
             &crash,
+            Some(&self.recorder),
             mid_replay,
         ))
     }

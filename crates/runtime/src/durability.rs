@@ -24,6 +24,7 @@ use crate::access::{WriteEntry, WriteKind};
 use crate::cluster::Cluster;
 use primo_common::{PartitionId, Ts, TxnId};
 use primo_storage::LifecycleState;
+use primo_trace::TraceEventKind;
 use primo_wal::{LogPayload, LoggedOp, LoggedWrite};
 
 /// The committed before-image of the record a write is about to install
@@ -84,14 +85,20 @@ pub fn log_txn_writes(cluster: &Cluster, txn: TxnId, ts: Ts, writes: &[WriteEntr
         }
     }
     for (partition, logged) in groups {
-        cluster
-            .partition(partition)
-            .log
-            .append(LogPayload::TxnWrites {
-                txn,
-                ts,
-                writes: logged,
-            });
+        let log = &cluster.partition(partition).log;
+        let lsn = log.append(LogPayload::TxnWrites {
+            txn,
+            ts,
+            writes: logged,
+        });
+        cluster.recorder.emit(
+            Some(txn),
+            Some(partition),
+            TraceEventKind::WalAppend {
+                lsn,
+                term: log.term(),
+            },
+        );
     }
 }
 

@@ -7,10 +7,93 @@ use crate::protocol::Protocol;
 use crate::txn::Workload;
 use crate::worker::spawn_workers;
 use primo_common::config::ClusterConfig;
-use primo_common::{Metrics, MetricsSnapshot, PartitionId};
+use primo_common::{
+    ClusterStats, HistogramCounts, Metrics, MetricsSnapshot, PartitionId, TimelineWindow,
+};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Nominal length of one live-metrics timeline window. Actual windows carry
+/// their measured `len_us`, so scheduling jitter skews a window's rate math
+/// by its true length, not the nominal one.
+const TIMELINE_WINDOW: Duration = Duration::from_millis(100);
+
+/// Mutable cursor of the timeline sampler: everything needed to close the
+/// current window as a delta against the live [`Metrics`].
+struct TimelineCursor {
+    run_start: Instant,
+    win_start: Instant,
+    committed: u64,
+    aborted: u64,
+    latency: HistogramCounts,
+}
+
+impl TimelineCursor {
+    fn new(metrics: &Metrics) -> Self {
+        let now = Instant::now();
+        TimelineCursor {
+            run_start: now,
+            win_start: now,
+            committed: metrics.committed(),
+            aborted: metrics.aborted_attempts(),
+            latency: metrics.latency_counts(),
+        }
+    }
+
+    /// Close the window that started at `win_start`: diff the live counters
+    /// against the cursor, emit one [`TimelineWindow`], advance the cursor.
+    fn close_window(&mut self, metrics: &Metrics, out: &mut Vec<TimelineWindow>) {
+        let len = self.win_start.elapsed();
+        let len_us = len.as_micros() as u64;
+        if len_us == 0 {
+            return;
+        }
+        let committed_now = metrics.committed();
+        let aborted_now = metrics.aborted_attempts();
+        let latency_now = metrics.latency_counts();
+        let committed = committed_now - self.committed;
+        let aborted = aborted_now - self.aborted;
+        let attempts = committed + aborted;
+        out.push(TimelineWindow {
+            start_us: self.win_start.duration_since(self.run_start).as_micros() as u64,
+            len_us,
+            committed,
+            aborted,
+            tps: committed as f64 / len.as_secs_f64(),
+            abort_rate: if attempts > 0 {
+                aborted as f64 / attempts as f64
+            } else {
+                0.0
+            },
+            p99_latency_ms: latency_now.percentile_us_since(&self.latency, 0.99) as f64 / 1000.0,
+        });
+        self.win_start = Instant::now();
+        self.committed = committed_now;
+        self.aborted = aborted_now;
+        self.latency = latency_now;
+    }
+}
+
+/// Sample the live metrics into ~100 ms [`TimelineWindow`]s until `stop` is
+/// raised, then close the final partial window. Runs on its own thread for
+/// the duration of the measurement window.
+fn sample_timeline(metrics: &Metrics, stop: &AtomicBool) -> Vec<TimelineWindow> {
+    let mut windows = Vec::new();
+    let mut cursor = TimelineCursor::new(metrics);
+    while !stop.load(Ordering::Relaxed) {
+        // Sleep in short slices so the sampler notices `stop` quickly and
+        // the final partial window stays short.
+        let mut slept = Duration::ZERO;
+        while slept < TIMELINE_WINDOW && !stop.load(Ordering::Relaxed) {
+            let slice = Duration::from_millis(10);
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+        cursor.close_window(metrics, &mut windows);
+    }
+    windows
+}
 
 /// A scheduled partition crash (Fig 12b measures the resulting crash-abort
 /// rate; §5.2 describes the recovery).
@@ -120,6 +203,19 @@ pub fn run_on_cluster(
     recording.store(true, Ordering::SeqCst);
     let started = Instant::now();
 
+    // The live timeline samples TPS / abort-rate / p99 in ~100 ms windows
+    // for the whole measurement (crash dips and recovery ramps survive in
+    // the series instead of being averaged away by the run-long totals).
+    let sampler_stop = Arc::new(AtomicBool::new(false));
+    let sampler = {
+        let metrics = Arc::clone(&metrics);
+        let stop = Arc::clone(&sampler_stop);
+        std::thread::Builder::new()
+            .name("timeline".into())
+            .spawn(move || sample_timeline(&metrics, &stop))
+            .expect("spawn timeline sampler")
+    };
+
     // Crash injection runs on this driver thread so the timeline is exact.
     // Both the crash point and the outage are clamped to the measurement
     // window so the recovery always happens inside this function.
@@ -154,6 +250,8 @@ pub fn run_on_cluster(
         }
     });
     recording.store(false, Ordering::SeqCst);
+    sampler_stop.store(true, Ordering::SeqCst);
+    let timeline = sampler.join().unwrap_or_default();
     stop.store(true, Ordering::SeqCst);
     for h in handles {
         let _ = h.join();
@@ -169,15 +267,23 @@ pub fn run_on_cluster(
             metrics.record_recovery(report.duration_us, report.replayed_txns as u64);
         }
     }
-    let mut snap = metrics.snapshot(elapsed.as_secs_f64());
+    // Every cluster-level counter travels through ClusterStats (no Default):
+    // adding a field there forces this literal — and therefore the figures —
+    // to account for it at compile time instead of silently reporting 0.
+    let mut snap = metrics.snapshot(
+        elapsed.as_secs_f64(),
+        ClusterStats {
+            pruned_versions: cluster.pruned_versions(),
+            post_recovery_tps: post_recovery.unwrap_or(0.0),
+            compensated_txns: cluster.compensated_txns(),
+            leader_changes: cluster.leader_changes(),
+            replication_lag_us: cluster.replication_lag_us(),
+            wal_append_wait_us: cluster.wal_append_wait_us(),
+            replication_batch_len: cluster.replication_batch_len(),
+            timeline,
+        },
+    );
     snap.messages = cluster.net.messages_sent();
-    snap.post_recovery_tps = post_recovery.unwrap_or(0.0);
-    snap.compensated_txns = cluster.compensated_txns();
-    snap.leader_changes = cluster.leader_changes();
-    snap.replication_lag_us = cluster.replication_lag_us();
-    snap.wal_append_wait_us = cluster.wal_append_wait_us();
-    snap.replication_batch_len = cluster.replication_batch_len();
-    snap.pruned_versions = cluster.pruned_versions();
     snap
 }
 

@@ -141,6 +141,15 @@ pub fn execute_snapshot(cluster: &Cluster, program: &dyn TxnProgram) -> Snapshot
     if session.needs_fallback {
         SnapshotOutcome::Fallback
     } else {
+        // Snapshot sessions take no ticket, so there is no TxnId to stamp —
+        // the horizon itself is the interesting coordinate.
+        cluster.recorder.emit(
+            None,
+            Some(session.home),
+            primo_trace::TraceEventKind::SnapshotRead {
+                horizon: session.horizon,
+            },
+        );
         SnapshotOutcome::Done(result)
     }
 }

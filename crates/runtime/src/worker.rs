@@ -11,6 +11,7 @@ use crate::protocol::Protocol;
 use crate::txn::Workload;
 use primo_common::sim_time::charge_latency_us;
 use primo_common::{AbortReason, FastRng, Metrics, PartitionId, Phase, PhaseTimers};
+use primo_trace::TraceEventKind;
 use primo_wal::{CommitOutcome, CommitWaiter};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -56,6 +57,13 @@ fn drain_pending(ctx: &WorkerContext, pending: &mut VecDeque<PendingCommit>) {
             Some(outcome) => {
                 let mut done = pending.pop_front().unwrap();
                 done.timers.add(Phase::Return, done.committed_at.elapsed());
+                ctx.cluster.recorder.emit(
+                    Some(done.waiter.txn),
+                    Some(done.waiter.coordinator),
+                    TraceEventKind::GroupCommitRelease {
+                        committed: matches!(outcome, CommitOutcome::Committed),
+                    },
+                );
                 if ctx.recording.load(Ordering::Relaxed) {
                     match outcome {
                         CommitOutcome::Committed => {
@@ -81,6 +89,13 @@ fn block_on_oldest(ctx: &WorkerContext, pending: &mut VecDeque<PendingCommit>) {
         oldest
             .timers
             .add(Phase::Return, oldest.committed_at.elapsed());
+        ctx.cluster.recorder.emit(
+            Some(oldest.waiter.txn),
+            Some(oldest.waiter.coordinator),
+            TraceEventKind::GroupCommitRelease {
+                committed: matches!(outcome, CommitOutcome::Committed),
+            },
+        );
         if ctx.recording.load(Ordering::Relaxed) {
             match outcome {
                 CommitOutcome::Committed => {
@@ -157,6 +172,13 @@ pub fn worker_loop(ctx: WorkerContext) {
         let mut attempts = 0;
         'attempts: while attempts < MAX_ATTEMPTS && !ctx.stop.load(Ordering::Relaxed) {
             attempts += 1;
+            ctx.cluster.recorder.emit(
+                Some(txn),
+                Some(ctx.home),
+                TraceEventKind::Begin {
+                    attempt: attempts as u32,
+                },
+            );
             if slowdown > 0 {
                 // Simulated slow partition (Fig 13b): extra CPU time per
                 // attempt, charged as execution time.
@@ -176,6 +198,11 @@ pub fn worker_loop(ctx: WorkerContext) {
                         .cluster
                         .group_commit
                         .txn_committed(&ticket, commit.ts, commit.ops);
+                    ctx.cluster.recorder.emit(
+                        Some(txn),
+                        Some(ctx.home),
+                        TraceEventKind::Committed { ts: commit.ts },
+                    );
                     if ctx.protocol.manages_durability() {
                         if ctx.recording.load(Ordering::Relaxed) {
                             let latency_us = started.elapsed().as_micros() as u64;
@@ -196,6 +223,11 @@ pub fn worker_loop(ctx: WorkerContext) {
                 Err(e) => {
                     ctx.cluster.group_commit.txn_aborted(&ticket);
                     let reason = e.reason();
+                    ctx.cluster.recorder.emit(
+                        Some(txn),
+                        Some(ctx.home),
+                        TraceEventKind::Abort { reason },
+                    );
                     if ctx.recording.load(Ordering::Relaxed) {
                         ctx.metrics.record_abort(reason);
                     }

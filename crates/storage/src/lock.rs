@@ -162,6 +162,14 @@ impl RecordLock {
         self.state.lock().held_by(txn)
     }
 
+    /// A current holder of the lock — the only one under exclusive mode, an
+    /// arbitrary one under shared. Conflict diagnostics only (the answer can
+    /// be stale by the time the caller looks at it): the flight recorder
+    /// stamps lock-wait events with the transaction that was in the way.
+    pub fn holder(&self) -> Option<TxnId> {
+        self.state.lock().holders.first().copied()
+    }
+
     /// True if anyone holds the lock.
     pub fn is_locked(&self) -> bool {
         self.state.lock().held()

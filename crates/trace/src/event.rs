@@ -1,0 +1,350 @@
+//! The trace event vocabulary and its fixed-width wire encoding.
+//!
+//! Every event is a `Copy` value that encodes into four `u64` words (one
+//! discriminant + three payload words) so the ring buffer can store it in
+//! pre-allocated atomic slots — no allocation, no pointer chasing, no Drop —
+//! and decode it back losslessly at merge time.
+
+use primo_common::{AbortReason, PartitionId, Ts, TxnId};
+use std::fmt;
+
+/// Sentinel for "no transaction" in the packed txn word ([`TxnId::pack`]
+/// never produces it: the coordinator field is only 16 bits).
+pub(crate) const NO_TXN: u64 = u64::MAX;
+/// Sentinel for "no partition" in the packed partition half-word.
+pub(crate) const NO_PARTITION: u32 = u32::MAX;
+
+/// What happened. One variant per instrumentation point in the transaction
+/// lifecycle; payloads are the few words a post-mortem actually needs
+/// (owners, timestamps, LSNs, horizons), not full payload dumps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A worker started (attempt > 0: restarted) a transaction attempt.
+    Begin { attempt: u32 },
+    /// A lock request was denied (WAIT_DIE / NO_WAIT): the packed owner is
+    /// whoever held the record when the requester died.
+    LockWait { owner: TxnId },
+    /// The commit phase began validating the read set.
+    ValidationStart,
+    /// Validation finished: `ok`, or the abort reason on failure.
+    ValidationOutcome {
+        ok: bool,
+        reason: Option<AbortReason>,
+    },
+    /// The group-commit layer reserved (or finalized) the commit timestamp.
+    CommitTsReserved { ts: Ts },
+    /// 2PC prepare round sent to `participants` partitions.
+    Prepare { participants: u32 },
+    /// 2PC vote outcome collected by the coordinator.
+    Vote { ok: bool },
+    /// One `TxnWrites` entry appended to a partition's replicated log.
+    WalAppend { lsn: u64, term: u64 },
+    /// A committer blocked on the partition's log sequencer (stage 1 of the
+    /// append pipeline) for `wait_us` before acquiring it.
+    SequencerWait { wait_us: u64 },
+    /// The replication pump shipped a drained batch to the followers
+    /// (stage 2); `durable_lsn` is the quorum-durable LSN after the ship.
+    QuorumAck { entries: u64, durable_lsn: u64 },
+    /// The group-commit scheme released the transaction to the client.
+    GroupCommitRelease { committed: bool },
+    /// The transaction committed at `ts` (results returned to the client).
+    Committed { ts: Ts },
+    /// The attempt aborted.
+    Abort { reason: AbortReason },
+    /// A read-only transaction was served lock-free from the MVCC snapshot
+    /// at the durable group-commit horizon.
+    SnapshotRead { horizon: Ts },
+    /// The watermark scheme published a new group watermark (Wg).
+    WatermarkPublish { wg: Ts },
+    /// The COCO-style scheme sealed an epoch.
+    EpochSealed { epoch: u64 },
+    /// The CLV scheme advanced its cut (committed-LSN vector decision).
+    ClvCut { ts: Ts },
+    /// A simulated crash was injected into a partition.
+    CrashInjected,
+    /// A crash-rolled-back transaction's surviving-partition writes were
+    /// undone via before-image compensation.
+    Compensation { writes: u64 },
+    /// One recovery replay pass applied `entries` durable log entries.
+    RecoveryReplay { pass: u32, entries: u64 },
+    /// The partition's replicated log elected a new leader.
+    LeaderChange { term: u64, leader: u32 },
+    /// A simulated network hop (optional, off by default).
+    MsgHop { from: u32, to: u32 },
+}
+
+/// Stable wire codes for [`AbortReason`]; the trace crate owns the mapping
+/// so `primo-common` stays encoding-agnostic.
+fn abort_code(r: AbortReason) -> u64 {
+    match r {
+        AbortReason::LockConflict => 0,
+        AbortReason::WaitDie => 1,
+        AbortReason::Validation => 2,
+        AbortReason::ModeSwitch => 3,
+        AbortReason::UserAbort => 4,
+        AbortReason::NotFound => 5,
+        AbortReason::CrashAbort => 6,
+        AbortReason::RemoteUnavailable => 7,
+        AbortReason::EpochAbort => 8,
+        AbortReason::DeterministicConflict => 9,
+    }
+}
+
+fn abort_from_code(c: u64) -> Option<AbortReason> {
+    Some(match c {
+        0 => AbortReason::LockConflict,
+        1 => AbortReason::WaitDie,
+        2 => AbortReason::Validation,
+        3 => AbortReason::ModeSwitch,
+        4 => AbortReason::UserAbort,
+        5 => AbortReason::NotFound,
+        6 => AbortReason::CrashAbort,
+        7 => AbortReason::RemoteUnavailable,
+        8 => AbortReason::EpochAbort,
+        9 => AbortReason::DeterministicConflict,
+        _ => return None,
+    })
+}
+
+impl TraceEventKind {
+    /// Encode into `(discriminant, a, b, c)`.
+    pub(crate) fn encode(self) -> (u64, u64, u64, u64) {
+        use TraceEventKind::*;
+        match self {
+            Begin { attempt } => (0, attempt as u64, 0, 0),
+            LockWait { owner } => (1, owner.pack(), 0, 0),
+            ValidationStart => (2, 0, 0, 0),
+            ValidationOutcome { ok, reason } => (
+                3,
+                ok as u64,
+                reason.map(abort_code).map(|c| c + 1).unwrap_or(0),
+                0,
+            ),
+            CommitTsReserved { ts } => (4, ts, 0, 0),
+            Prepare { participants } => (5, participants as u64, 0, 0),
+            Vote { ok } => (6, ok as u64, 0, 0),
+            WalAppend { lsn, term } => (7, lsn, term, 0),
+            SequencerWait { wait_us } => (8, wait_us, 0, 0),
+            QuorumAck {
+                entries,
+                durable_lsn,
+            } => (9, entries, durable_lsn, 0),
+            GroupCommitRelease { committed } => (10, committed as u64, 0, 0),
+            Committed { ts } => (11, ts, 0, 0),
+            Abort { reason } => (12, abort_code(reason), 0, 0),
+            SnapshotRead { horizon } => (13, horizon, 0, 0),
+            WatermarkPublish { wg } => (14, wg, 0, 0),
+            EpochSealed { epoch } => (15, epoch, 0, 0),
+            ClvCut { ts } => (16, ts, 0, 0),
+            CrashInjected => (17, 0, 0, 0),
+            Compensation { writes } => (18, writes, 0, 0),
+            RecoveryReplay { pass, entries } => (19, pass as u64, entries, 0),
+            LeaderChange { term, leader } => (20, term, leader as u64, 0),
+            MsgHop { from, to } => (21, from as u64, to as u64, 0),
+        }
+    }
+
+    /// Inverse of [`TraceEventKind::encode`]. `None` for a torn / garbage
+    /// slot (possible only if a reader raced a wrap, which the seqlock
+    /// already filters; kept defensive anyway).
+    pub(crate) fn decode(d: u64, a: u64, b: u64, _c: u64) -> Option<Self> {
+        use TraceEventKind::*;
+        Some(match d {
+            0 => Begin { attempt: a as u32 },
+            1 => LockWait {
+                owner: TxnId::unpack(a),
+            },
+            2 => ValidationStart,
+            3 => ValidationOutcome {
+                ok: a != 0,
+                reason: if b == 0 { None } else { abort_from_code(b - 1) },
+            },
+            4 => CommitTsReserved { ts: a },
+            5 => Prepare {
+                participants: a as u32,
+            },
+            6 => Vote { ok: a != 0 },
+            7 => WalAppend { lsn: a, term: b },
+            8 => SequencerWait { wait_us: a },
+            9 => QuorumAck {
+                entries: a,
+                durable_lsn: b,
+            },
+            10 => GroupCommitRelease { committed: a != 0 },
+            11 => Committed { ts: a },
+            12 => Abort {
+                reason: abort_from_code(a)?,
+            },
+            13 => SnapshotRead { horizon: a },
+            14 => WatermarkPublish { wg: a },
+            15 => EpochSealed { epoch: a },
+            16 => ClvCut { ts: a },
+            17 => CrashInjected,
+            18 => Compensation { writes: a },
+            19 => RecoveryReplay {
+                pass: a as u32,
+                entries: b,
+            },
+            20 => LeaderChange {
+                term: a,
+                leader: b as u32,
+            },
+            21 => MsgHop {
+                from: a as u32,
+                to: b as u32,
+            },
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TraceEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TraceEventKind::*;
+        match self {
+            Begin { attempt } => write!(f, "begin attempt={attempt}"),
+            LockWait { owner } => write!(f, "lock-wait owner={owner}"),
+            ValidationStart => write!(f, "validation-start"),
+            ValidationOutcome { ok: true, .. } => write!(f, "validation-ok"),
+            ValidationOutcome { ok: false, reason } => match reason {
+                Some(r) => write!(f, "validation-fail reason={r}"),
+                None => write!(f, "validation-fail"),
+            },
+            CommitTsReserved { ts } => write!(f, "commit-ts-reserved ts={ts}"),
+            Prepare { participants } => write!(f, "2pc-prepare participants={participants}"),
+            Vote { ok } => write!(f, "2pc-vote ok={ok}"),
+            WalAppend { lsn, term } => write!(f, "wal-append lsn={lsn} term={term}"),
+            SequencerWait { wait_us } => write!(f, "sequencer-wait {wait_us}us"),
+            QuorumAck {
+                entries,
+                durable_lsn,
+            } => write!(f, "quorum-ack entries={entries} durable-lsn={durable_lsn}"),
+            GroupCommitRelease { committed } => {
+                write!(f, "group-commit-release committed={committed}")
+            }
+            Committed { ts } => write!(f, "committed ts={ts}"),
+            Abort { reason } => write!(f, "abort reason={reason}"),
+            SnapshotRead { horizon } => write!(f, "snapshot-read horizon={horizon}"),
+            WatermarkPublish { wg } => write!(f, "watermark-publish wg={wg}"),
+            EpochSealed { epoch } => write!(f, "epoch-sealed epoch={epoch}"),
+            ClvCut { ts } => write!(f, "clv-cut ts={ts}"),
+            CrashInjected => write!(f, "crash-injected"),
+            Compensation { writes } => write!(f, "compensation writes={writes}"),
+            RecoveryReplay { pass, entries } => {
+                write!(f, "recovery-replay pass={pass} entries={entries}")
+            }
+            LeaderChange { term, leader } => {
+                write!(f, "leader-change term={term} leader=r{leader}")
+            }
+            MsgHop { from, to } => write!(f, "msg P{from}->P{to}"),
+        }
+    }
+}
+
+/// One decoded event as it appears in a merged timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated-time stamp ([`primo_common::sim_time::now_us`]).
+    pub at_us: u64,
+    /// Push order within the originating ring (total order per worker).
+    pub seq: u64,
+    /// Index of the originating ring in the recorder's registry.
+    pub ring: usize,
+    /// Label of the originating worker thread (e.g. `worker-0-1`).
+    pub worker: String,
+    /// The transaction this event belongs to, if any.
+    pub txn: Option<TxnId>,
+    /// The partition this event concerns, if any.
+    pub partition: Option<PartitionId>,
+    pub kind: TraceEventKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>10}us] {:<14}", self.at_us, self.worker)?;
+        match self.partition {
+            Some(p) => write!(f, " {:<4}", p.to_string())?,
+            None => write!(f, " {:<4}", "-")?,
+        }
+        match self.txn {
+            Some(t) => write!(f, " {:<10}", t.to_string())?,
+            None => write!(f, " {:<10}", "-")?,
+        }
+        write!(f, " {}", self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip_every_variant() {
+        let txn = TxnId::new(PartitionId(3), 77);
+        let all = [
+            TraceEventKind::Begin { attempt: 2 },
+            TraceEventKind::LockWait { owner: txn },
+            TraceEventKind::ValidationStart,
+            TraceEventKind::ValidationOutcome {
+                ok: true,
+                reason: None,
+            },
+            TraceEventKind::ValidationOutcome {
+                ok: false,
+                reason: Some(AbortReason::Validation),
+            },
+            TraceEventKind::CommitTsReserved { ts: 42 },
+            TraceEventKind::Prepare { participants: 3 },
+            TraceEventKind::Vote { ok: false },
+            TraceEventKind::WalAppend { lsn: 9, term: 2 },
+            TraceEventKind::SequencerWait { wait_us: 120 },
+            TraceEventKind::QuorumAck {
+                entries: 5,
+                durable_lsn: 8,
+            },
+            TraceEventKind::GroupCommitRelease { committed: true },
+            TraceEventKind::Committed { ts: 1234 },
+            TraceEventKind::Abort {
+                reason: AbortReason::WaitDie,
+            },
+            TraceEventKind::SnapshotRead { horizon: 55 },
+            TraceEventKind::WatermarkPublish { wg: 90 },
+            TraceEventKind::EpochSealed { epoch: 7 },
+            TraceEventKind::ClvCut { ts: 31 },
+            TraceEventKind::CrashInjected,
+            TraceEventKind::Compensation { writes: 4 },
+            TraceEventKind::RecoveryReplay {
+                pass: 1,
+                entries: 200,
+            },
+            TraceEventKind::LeaderChange { term: 3, leader: 1 },
+            TraceEventKind::MsgHop { from: 0, to: 2 },
+        ];
+        for kind in all {
+            let (d, a, b, c) = kind.encode();
+            assert_eq!(TraceEventKind::decode(d, a, b, c), Some(kind), "{kind}");
+        }
+    }
+
+    #[test]
+    fn unknown_discriminant_decodes_to_none() {
+        assert_eq!(TraceEventKind::decode(10_000, 0, 0, 0), None);
+    }
+
+    #[test]
+    fn display_is_grep_friendly() {
+        let e = TraceEvent {
+            at_us: 150,
+            seq: 0,
+            ring: 0,
+            worker: "worker-0-1".into(),
+            txn: Some(TxnId::new(PartitionId(0), 9)),
+            partition: Some(PartitionId(0)),
+            kind: TraceEventKind::WalAppend { lsn: 4, term: 1 },
+        };
+        let line = e.to_string();
+        assert!(line.contains("worker-0-1"), "{line}");
+        assert!(line.contains("T0.9"), "{line}");
+        assert!(line.contains("wal-append lsn=4 term=1"), "{line}");
+    }
+}

@@ -17,9 +17,10 @@ use parking_lot::Mutex;
 use primo_common::config::WalConfig;
 use primo_common::sim_time::{charge_latency_us, now_us};
 use primo_common::{PartitionId, Ts, TxnId};
+use primo_trace::{FlightRecorder, TraceEventKind};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 // Replay under CLV is bounded purely by the quorum-durable LSN captured at
 // crash time (the trait default): a transaction is acknowledged exactly when
@@ -48,6 +49,8 @@ pub struct ClvCommit {
     rolled_back_txns: Mutex<HashSet<TxnId>>,
     /// MVCC snapshot-horizon bookkeeping: the quorum-acked durable horizon.
     tracker: SnapshotTracker,
+    /// Cluster flight recorder, injected after construction.
+    recorder: OnceLock<Arc<FlightRecorder>>,
 }
 
 impl ClvCommit {
@@ -65,6 +68,7 @@ impl ClvCommit {
             ack_delay_us,
             rolled_back_txns: Mutex::new(HashSet::new()),
             tracker: SnapshotTracker::new(cfg.unsafe_latest_commit_horizon),
+            recorder: OnceLock::new(),
         }
     }
 
@@ -119,6 +123,16 @@ impl GroupCommit for ClvCommit {
             Release::AtUs(ready_at),
             self.crash_rolled_back(ready_at),
         );
+        // CLV's per-transaction durability decision: the cut after which this
+        // commit (and its dependencies, older and hence durable first) is
+        // acknowledgeable.
+        if let Some(rec) = self.recorder.get() {
+            rec.emit(
+                Some(ticket.txn),
+                Some(ticket.coordinator),
+                TraceEventKind::ClvCut { ts },
+            );
+        }
         CommitWaiter {
             txn: ticket.txn,
             coordinator: ticket.coordinator,
@@ -218,6 +232,10 @@ impl GroupCommit for ClvCommit {
         // every post-recovery commit would compare its fresh `ready_at`
         // against the stale crash time and abort forever.)
         self.crash_at_us.store(0, Ordering::Release);
+    }
+
+    fn set_recorder(&self, recorder: Arc<FlightRecorder>) {
+        let _ = self.recorder.set(recorder);
     }
 
     fn label(&self) -> &'static str {

@@ -23,9 +23,10 @@ use parking_lot::{Condvar, Mutex};
 use primo_common::config::WalConfig;
 use primo_common::{FastRng, PartitionId, Ts, TxnId};
 use primo_net::DelayedBus;
+use primo_trace::{FlightRecorder, TraceEventKind};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -79,6 +80,9 @@ pub struct CocoCommit {
     /// MVCC snapshot-horizon bookkeeping: commits release when their
     /// epoch's group commit seals a boundary.
     tracker: SnapshotTracker,
+    /// Cluster flight recorder, injected after construction (the
+    /// coordinator thread is already running by then).
+    recorder: OnceLock<Arc<FlightRecorder>>,
 }
 
 impl std::fmt::Debug for CocoCommit {
@@ -118,6 +122,7 @@ impl CocoCommit {
             stop: Arc::new(AtomicBool::new(false)),
             coordinator: Mutex::new(None),
             tracker: SnapshotTracker::new(cfg.unsafe_latest_commit_horizon),
+            recorder: OnceLock::new(),
         });
         let me = Arc::clone(&gc);
         let handle = std::thread::Builder::new()
@@ -220,6 +225,9 @@ impl CocoCommit {
                     // them, so the ordering holds.)
                     for wal in &self.wals {
                         wal.append(LogPayload::EpochBoundary { epoch });
+                    }
+                    if let Some(rec) = self.recorder.get() {
+                        rec.emit(None, None, TraceEventKind::EpochSealed { epoch });
                     }
                 }
                 st.active.remove(&epoch);
@@ -398,6 +406,10 @@ impl GroupCommit for CocoCommit {
             log.latest_durable_epoch_boundary(committed, None)
                 .unwrap_or(0),
         )
+    }
+
+    fn set_recorder(&self, recorder: Arc<FlightRecorder>) {
+        let _ = self.recorder.set(recorder);
     }
 
     fn label(&self) -> &'static str {

@@ -20,6 +20,7 @@ use crate::log::ReplayBound;
 use crate::replicated::ReplicatedLog;
 use parking_lot::Mutex;
 use primo_common::{PartitionId, Ts, TxnId};
+use primo_trace::FlightRecorder;
 use std::sync::Arc;
 
 /// Final, durable outcome of a transaction that finished its commit phase.
@@ -276,6 +277,13 @@ pub trait GroupCommit: Send + Sync {
     /// (the watermark scheme re-seeds `Wp` from the recovered value) before
     /// the partition becomes reachable again.
     fn on_partition_recover(&self, _p: PartitionId, _recovered_wp: Ts) {}
+
+    /// Attach the cluster flight recorder so the scheme's background agents
+    /// (watermark generators, the COCO coordinator, CLV's dependency cutter)
+    /// can trace their horizon decisions. Called once by the cluster right
+    /// after construction, before any transaction traffic; schemes without
+    /// background decisions may ignore it.
+    fn set_recorder(&self, _recorder: Arc<FlightRecorder>) {}
 
     /// Scheme label (for figures).
     fn label(&self) -> &'static str;

@@ -58,9 +58,10 @@ use primo_common::config::WalConfig;
 use primo_common::sim_time::now_us;
 use primo_common::{PartitionId, Ts, TxnId};
 use primo_net::SimNetwork;
+use primo_trace::{FlightRecorder, TraceEventKind};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// How often the replication pump polls the staging ring. Appends never
@@ -137,6 +138,11 @@ struct LogCore {
     /// replication batch length (`MetricsSnapshot::replication_batch_len`).
     shipped_batches: AtomicU64,
     shipped_entries: AtomicU64,
+    /// Cluster flight recorder, injected once right after construction
+    /// ([`ReplicatedLog::set_recorder`]). A `OnceLock` keeps the hot paths
+    /// at one relaxed atomic load when tracing is wired and avoids
+    /// threading the recorder through every constructor.
+    recorder: OnceLock<Arc<FlightRecorder>>,
 }
 
 /// Stage-1 state under the ring lock: the staged tail plus the partition's
@@ -224,6 +230,7 @@ impl ReplicatedLog {
             append_wait_us: AtomicU64::new(0),
             shipped_batches: AtomicU64::new(0),
             shipped_entries: AtomicU64::new(0),
+            recorder: OnceLock::new(),
         });
         let pump = (rf > 1).then(|| {
             let core = Arc::clone(&core);
@@ -251,6 +258,13 @@ impl ReplicatedLog {
 
     pub fn partition(&self) -> PartitionId {
         self.core.partition
+    }
+
+    /// Attach the cluster flight recorder (sequencer waits, replication
+    /// quorum acks and leader changes become trace events). Idempotent;
+    /// later calls are ignored.
+    pub fn set_recorder(&self, recorder: Arc<FlightRecorder>) {
+        let _ = self.core.recorder.set(recorder);
     }
 
     pub fn replication_factor(&self) -> usize {
@@ -561,12 +575,16 @@ impl ReplicatedLog {
             if discard_leader_disk {
                 core.wipe_replica(old);
             }
-            core.term.fetch_add(1, Ordering::AcqRel);
+            let term = core.term.fetch_add(1, Ordering::AcqRel) + 1;
             let new = core.elect_successor(old);
             if new != old {
                 core.leader.store(new, Ordering::Release);
                 core.leader_changes.fetch_add(1, Ordering::Relaxed);
             }
+            core.trace(TraceEventKind::LeaderChange {
+                term,
+                leader: new as u32,
+            });
             new
         })
     }
@@ -612,6 +630,22 @@ impl ReplicatedLog {
 impl LogCore {
     fn leader_replica(&self) -> &Arc<PartitionWal> {
         &self.replicas[self.leader.load(Ordering::Acquire)]
+    }
+
+    /// Record a partition-scoped (no transaction) trace event, if a
+    /// recorder is attached.
+    fn trace(&self, kind: TraceEventKind) {
+        if let Some(rec) = self.recorder.get() {
+            rec.emit(None, Some(self.partition), kind);
+        }
+    }
+
+    /// [`LogCore::trace`] with the timestamp supplied by the caller — for
+    /// hot paths that already hold a fresh clock reading.
+    fn trace_at(&self, at_us: u64, kind: TraceEventKind) {
+        if let Some(rec) = self.recorder.get() {
+            rec.emit_at(at_us, None, Some(self.partition), kind);
+        }
     }
 
     /// Next LSN to be assigned. The sequencer counter is authoritative
@@ -717,6 +751,13 @@ impl LogCore {
             // add keeps the shared counter line cold under heavy append
             // traffic.
             self.append_wait_us.fetch_add(waited, Ordering::Relaxed);
+            // Stamped with `blocked_at` (when the wait began — its causal
+            // time), which also spares the emit a third clock read on the
+            // commit critical section.
+            self.trace_at(
+                blocked_at,
+                TraceEventKind::SequencerWait { wait_us: waited },
+            );
         }
         guard
     }
@@ -755,6 +796,14 @@ impl LogCore {
         }
         self.shipped_batches.fetch_add(1, Ordering::Relaxed);
         self.shipped_entries.fetch_add(shipped, Ordering::Relaxed);
+        // The segment's own last LSN, deliberately not `durable_lsn()`:
+        // that read drains the ring, which needs the `ship_lock` this very
+        // caller is holding. The shipped tail bounds quorum durability for
+        // this batch anyway.
+        self.trace(TraceEventKind::QuorumAck {
+            entries: shipped,
+            durable_lsn: segment.last().map(|e| e.lsn).unwrap_or(0),
+        });
     }
 
     /// Make every replica current before a read that consults one (quorum

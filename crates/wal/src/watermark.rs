@@ -27,9 +27,10 @@ use primo_common::config::WalConfig;
 use primo_common::sim_time::now_us;
 use primo_common::{PartitionId, Ts, TxnId};
 use primo_net::{BusMessage, DelayedBus};
+use primo_trace::{FlightRecorder, TraceEventKind};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -135,6 +136,10 @@ pub struct WatermarkCommit {
     /// Highest finalized commit timestamp — only used by the deliberately
     /// unsound `unsafe_latest_commit_horizon` ablation.
     max_finalized: AtomicU64,
+    /// Cluster flight recorder, injected after construction. `Arc`-wrapped
+    /// because the agent threads are already running by then — they share
+    /// the cell and see the recorder as soon as it is set.
+    recorder: Arc<OnceLock<Arc<FlightRecorder>>>,
 }
 
 impl std::fmt::Debug for WatermarkCommit {
@@ -169,6 +174,7 @@ impl WatermarkCommit {
             rolled_back_txns: Mutex::new(HashSet::new()),
             snapshot_caps: Mutex::new(Vec::new()),
             max_finalized: AtomicU64::new(0),
+            recorder: Arc::new(OnceLock::new()),
         };
         wm.start_agents();
         wm
@@ -183,9 +189,10 @@ impl WatermarkCommit {
             let cfg = self.cfg;
             let all: Vec<Arc<PartitionWm>> = self.parts.clone();
             let wal = Arc::clone(&self.wals[p]);
+            let recorder = Arc::clone(&self.recorder);
             let handle = std::thread::Builder::new()
                 .name(format!("wm-agent-{p}"))
-                .spawn(move || agent_loop(part, all, bus, wal, cfg, stop))
+                .spawn(move || agent_loop(part, all, bus, wal, cfg, stop, recorder))
                 .expect("spawn watermark agent");
             agents.push(handle);
         }
@@ -217,6 +224,7 @@ fn agent_loop(
     wal: Arc<ReplicatedLog>,
     cfg: WalConfig,
     stop: Arc<AtomicBool>,
+    recorder: Arc<OnceLock<Arc<FlightRecorder>>>,
 ) {
     let interval_us = cfg.interval_ms * 1000;
     while !stop.load(Ordering::Relaxed) {
@@ -334,6 +342,13 @@ fn agent_loop(
                     // so a recovering leader can retrieve the latest Wp.
                     wal.append(LogPayload::Watermark { wp });
                     bus.broadcast(me.id, BusMessage::PartitionWatermark { from: me.id, wp });
+                    if let Some(rec) = recorder.get() {
+                        rec.emit(
+                            None,
+                            Some(me.id),
+                            TraceEventKind::WatermarkPublish { wg: wp },
+                        );
+                    }
                 }
             }
         }
@@ -657,6 +672,10 @@ impl GroupCommit for WatermarkCommit {
         // until `on_compensation_complete`.
         self.snapshot_caps.lock().push(agreed);
         agreed
+    }
+
+    fn set_recorder(&self, recorder: Arc<FlightRecorder>) {
+        let _ = self.recorder.set(recorder);
     }
 
     fn label(&self) -> &'static str {

@@ -11,11 +11,16 @@
 //! checkpoint plus durable-log replay, and the partition stays unreachable
 //! until the replay completes. The example prints the crash-abort rate
 //! together with the recovery cost — the quantities Fig 12b sweeps against
-//! the watermark interval.
+//! the watermark interval — and finishes with a flight-recorder excerpt:
+//! the merged, causally-ordered event window around an injected crash
+//! (crash → compensation → leader change → recovery replay).
 //!
 //! Run with: `cargo run --release --example crash_recovery`
 
-use primo_repro::{CrashPlan, Experiment, PartitionId, ProtocolKind, Scale};
+use primo_repro::{
+    ClosureProgram, CrashPlan, Experiment, PartitionId, Primo, ProtocolKind, Scale, TableId,
+    TraceEventKind, Value,
+};
 use std::time::Duration;
 
 fn main() {
@@ -74,4 +79,99 @@ fn main() {
     println!("rolls back (higher crash-abort rate) and add commit latency — the trade-off");
     println!("the paper tunes in Fig 12. Checkpoints bound the replay a recovery must do;");
     println!("shorten the checkpoint interval to shrink recovery time further.");
+
+    trace_excerpt();
+}
+
+/// Re-run the crash in miniature through the cluster facade and print what
+/// the always-on flight recorder saw around it — the same merged timeline
+/// the seeded crash suites dump when an assertion trips.
+fn trace_excerpt() {
+    const T: TableId = TableId(0);
+    let primo = Primo::builder()
+        .partitions(2)
+        .protocol(ProtocolKind::Primo)
+        .fast_local()
+        .replication_factor(3)
+        .seed(42)
+        .build();
+    let session = primo.session();
+    for p in 0..2u32 {
+        for k in 0..8u64 {
+            session.load(PartitionId(p), T, k, Value::from_u64(k));
+        }
+    }
+    primo.checkpoint_all();
+    // Distributed increments from a worker thread, crashed mid-flight: the
+    // transactions whose results are still in flight at the crash are
+    // rolled back, and their survivor-side writes compensated — exactly the
+    // window the recorder is built to explain.
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let writer = primo.session();
+        let stop = &stop;
+        s.spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let k = i % 8;
+                i += 1;
+                let _ = writer.run_program(&ClosureProgram::new(PartitionId(0), move |ctx| {
+                    let a = ctx.read(PartitionId(0), T, k)?.as_u64();
+                    ctx.write(PartitionId(0), T, k, Value::from_u64(a + 1))?;
+                    let b = ctx.read(PartitionId(1), T, k)?.as_u64();
+                    ctx.write(PartitionId(1), T, k, Value::from_u64(b + 1))
+                }));
+            }
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        primo.crash_partition(PartitionId(1));
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+    primo.recover_partition(PartitionId(1));
+
+    let timeline = primo.cluster().recorder.merge();
+    let crash_at = timeline
+        .of_kind(|k| matches!(k, TraceEventKind::CrashInjected))
+        .events()
+        .first()
+        .map(|e| e.at_us)
+        .unwrap_or(0);
+    // Non-transaction cluster events in the crash window: the crash mark,
+    // compensation on the survivor, the leader hand-off, recovery replay
+    // passes and the watermark publishes resuming afterwards.
+    let window = timeline
+        .between(crash_at.saturating_sub(500), crash_at.saturating_add(5_000))
+        .of_kind(|k| !matches!(k, TraceEventKind::MsgHop { .. }));
+    const SHOW: usize = 30;
+    println!();
+    println!(
+        "Flight-recorder excerpt around the injected crash ({} of {} events \
+         in a -0.5/+5 ms window; {} recorded in total):",
+        window.len().min(SHOW),
+        window.len(),
+        primo.cluster().recorder.events_recorded()
+    );
+    for e in window
+        .events()
+        .iter()
+        .filter(|e| e.txn.is_none())
+        .take(SHOW)
+    {
+        println!("  {e}");
+    }
+    // And one rolled-back transaction's lifecycle, if the crash caught any:
+    // the per-txn view trace-dump-on-failure renders.
+    if let Some(doomed) = timeline
+        .of_kind(|k| matches!(k, TraceEventKind::Compensation { .. }))
+        .events()
+        .iter()
+        .find_map(|e| e.txn)
+    {
+        println!();
+        println!("Lifecycle of crash-rolled-back txn {doomed}:");
+        for e in timeline.for_txn(doomed).events() {
+            println!("  {e}");
+        }
+    }
+    primo.shutdown();
 }

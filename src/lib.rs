@@ -74,6 +74,7 @@ pub use primo_runtime::experiment::CrashPlan;
 pub use primo_runtime::protocol::{CommittedTxn, Protocol};
 pub use primo_runtime::snapshot::{execute_snapshot, SnapshotOutcome, SnapshotSession};
 pub use primo_runtime::txn::{ClosureProgram, TxnContext, TxnProgram, Workload};
+pub use primo_trace::{FlightRecorder, Timeline, TraceEvent, TraceEventKind};
 pub use primo_workloads::{
     SmallbankConfig, SmallbankWorkload, TpccConfig, TpccWorkload, YcsbConfig, YcsbWorkload,
 };
@@ -86,5 +87,6 @@ pub use primo_net as net;
 pub use primo_recovery as recovery;
 pub use primo_runtime as runtime;
 pub use primo_storage as storage;
+pub use primo_trace as trace;
 pub use primo_wal as wal;
 pub use primo_workloads as workloads;

@@ -15,8 +15,8 @@ use primo_repro::wal::{
     CommitOutcome, CommitWaiter, LogPayload, LoggedWrite, PartitionWal, ReplayBound,
 };
 use primo_repro::{
-    CrashPlan, Experiment, FastRng, LoggingScheme, PartitionId, Primo, ProtocolKind, Scale,
-    TableId, TxnContext, TxnId, TxnProgram, TxnResult, Value,
+    AbortReason, CrashPlan, Experiment, FastRng, LoggingScheme, PartitionId, Primo, ProtocolKind,
+    Scale, TableId, TraceEventKind, TxnContext, TxnId, TxnProgram, TxnResult, Value,
 };
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -57,6 +57,39 @@ impl<F: Fn(&mut dyn TxnContext) -> TxnResult<()> + Send + Sync> TxnProgram for P
     fn home_partition(&self) -> PartitionId {
         self.home
     }
+}
+
+/// Trace-dump-on-failure: render the flight recorder's merged per-txn
+/// lifecycle of the transactions the crash rolled back (named by their
+/// `Compensation` undo events, or failing that their crash-abort
+/// resolutions), so a seeded divergence is diagnosable from the panic alone.
+fn crash_rollback_trace_dump(primo: &Primo) -> String {
+    let timeline = primo.cluster().recorder.merge();
+    let mut doomed: Vec<TxnId> = timeline
+        .of_kind(|k| matches!(k, TraceEventKind::Compensation { .. }))
+        .events()
+        .iter()
+        .filter_map(|e| e.txn)
+        .collect();
+    if doomed.is_empty() {
+        doomed = timeline
+            .of_kind(|k| {
+                matches!(
+                    k,
+                    TraceEventKind::Abort {
+                        reason: AbortReason::CrashAbort
+                    } | TraceEventKind::GroupCommitRelease { committed: false }
+                )
+            })
+            .events()
+            .iter()
+            .filter_map(|e| e.txn)
+            .collect();
+    }
+    doomed.sort_unstable();
+    doomed.dedup();
+    doomed.truncate(6); // keep the panic message readable
+    primo.cluster().recorder.failure_report(&doomed)
 }
 
 /// Byte-level snapshot of one partition's committed keys and payloads.
@@ -153,10 +186,20 @@ fn byte_identical_after_crash(kind: ProtocolKind, scheme: LoggingScheme, discard
 
     if discard_log {
         primo.crash_partition_discarding_log(target);
-        assert_eq!(
-            primo.cluster().partition(target).log.replica(0).len(),
-            0,
-            "the dead leader's local replica really is gone"
+        // The wipe really dropped the history. (Not `len() == 0`: the
+        // replicated log *service* outlives the leader crash, so a
+        // cluster-wide agent may land a watermark/epoch marker on the wiped
+        // copy in the instant after the fail-over — markers are not history.)
+        assert!(
+            primo
+                .cluster()
+                .partition(target)
+                .log
+                .replica(0)
+                .entries_from(0)
+                .iter()
+                .all(|e| !matches!(&*e.payload, LogPayload::TxnWrites { .. })),
+            "the dead leader's local replica still holds transaction history"
         );
     } else {
         primo.crash_partition(target);
@@ -1069,12 +1112,15 @@ fn crash_abort_keeps_cross_partition_pairs_consistent_across_seeds() {
         let p0 = value_snapshot(&primo, PartitionId(0));
         let p1 = value_snapshot(&primo, PartitionId(1));
         for k in 0..KEYS {
-            assert_eq!(
-                p0.get(&k),
-                p1.get(&k),
-                "seed {seed}: pair {k} diverged — a crash-aborted transaction \
-                 left half of its writes behind"
-            );
+            if p0.get(&k) != p1.get(&k) {
+                panic!(
+                    "seed {seed}: pair {k} diverged ({:?} vs {:?}) — a \
+                     crash-aborted transaction left half of its writes behind\n{}",
+                    p0.get(&k),
+                    p1.get(&k),
+                    crash_rollback_trace_dump(&primo)
+                );
+            }
         }
         primo.shutdown();
     }
@@ -1169,11 +1215,15 @@ fn replica_loss_keeps_pairs_consistent_and_rollbacks_sealed_across_seeds() {
         let p0 = value_snapshot(&primo, PartitionId(0));
         let p1 = value_snapshot(&primo, PartitionId(1));
         for k in 0..KEYS {
-            assert_eq!(
-                p0.get(&k),
-                p1.get(&k),
-                "seed {seed}: pair {k} diverged after replica-loss recovery"
-            );
+            if p0.get(&k) != p1.get(&k) {
+                panic!(
+                    "seed {seed}: pair {k} diverged after replica-loss \
+                     recovery ({:?} vs {:?})\n{}",
+                    p0.get(&k),
+                    p1.get(&k),
+                    crash_rollback_trace_dump(&primo)
+                );
+            }
         }
 
         // Second disk-loss crash after quiescing: everything the first

@@ -25,7 +25,7 @@
 use primo_repro::runtime::{execute_snapshot, SnapshotOutcome};
 use primo_repro::{
     AbortReason, ClosureProgram, FastRng, LoggingScheme, PartitionId, Primo, ProtocolKind, TableId,
-    Value,
+    TraceEventKind, TxnId, Value,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -71,6 +71,44 @@ struct CaseOutcome {
     /// Snapshot reads answered across the whole case (sanity: the MVCC path
     /// actually ran, the loop is not vacuously green).
     observations: u64,
+    /// Flight-recorder dump rendered on failure (empty when the case passed):
+    /// the causally-ordered lifecycle of the transactions the crash rolled
+    /// back, merged across every worker ring.
+    trace_dump: String,
+}
+
+/// Trace-dump-on-failure: ask the flight recorder which transactions the
+/// crash rolled back (their `Compensation` undo events, or failing that their
+/// crash-abort resolutions) and render their merged per-txn lifecycle.
+fn crash_rollback_trace_dump(primo: &Primo) -> String {
+    let timeline = primo.cluster().recorder.merge();
+    let mut doomed: Vec<TxnId> = timeline
+        .of_kind(|k| matches!(k, TraceEventKind::Compensation { .. }))
+        .events()
+        .iter()
+        .filter_map(|e| e.txn)
+        .collect();
+    if doomed.is_empty() {
+        // No survivor residue was compensated — fall back to the waiters the
+        // crash agreement resolved as not-committed.
+        doomed = timeline
+            .of_kind(|k| {
+                matches!(
+                    k,
+                    TraceEventKind::Abort {
+                        reason: AbortReason::CrashAbort
+                    } | TraceEventKind::GroupCommitRelease { committed: false }
+                )
+            })
+            .events()
+            .iter()
+            .filter_map(|e| e.txn)
+            .collect();
+    }
+    doomed.sort_unstable();
+    doomed.dedup();
+    doomed.truncate(6); // keep the failure message readable
+    primo.cluster().recorder.failure_report(&doomed)
 }
 
 /// Run one seeded crash case and report what the snapshot readers saw.
@@ -213,10 +251,18 @@ fn run_case(
             });
         }
     }
+    // Render the trace before shutdown (the recorder lives on the cluster);
+    // skip the work entirely on the happy path.
+    let trace_dump = if violations.is_empty() {
+        String::new()
+    } else {
+        crash_rollback_trace_dump(&primo)
+    };
     primo.shutdown();
     CaseOutcome {
         violations,
         observations: observations.load(Ordering::Relaxed),
+        trace_dump,
     }
 }
 
@@ -238,8 +284,9 @@ fn snapshot_reads_survive_crashes_under_all_protocols_and_schemes() {
                 assert!(
                     outcome.violations.is_empty(),
                     "snapshot readers observed crash-rolled-back values under \
-                     {kind:?}/{scheme:?} seed {seed}: {:?}",
-                    outcome.violations
+                     {kind:?}/{scheme:?} seed {seed}: {:?}\n{}",
+                    outcome.violations,
+                    outcome.trace_dump
                 );
                 total_observations += outcome.observations;
             }
@@ -261,14 +308,27 @@ fn latest_commit_horizon_stub_is_caught_by_the_suite() {
     // inside it. If this test ever fails, the suite above has lost its
     // teeth, not the horizon its soundness.
     let mut violations = 0usize;
+    let mut dumps = String::new();
     for seed in 0..8u64 {
-        violations += run_case(ProtocolKind::Primo, LoggingScheme::Watermark, seed, true)
-            .violations
-            .len();
+        let outcome = run_case(ProtocolKind::Primo, LoggingScheme::Watermark, seed, true);
+        violations += outcome.violations.len();
+        dumps.push_str(&outcome.trace_dump);
     }
     assert!(
         violations > 0,
         "the unsound latest-commit horizon produced no observable violation; \
          the crash-consistency suite cannot discriminate it from a sound one"
+    );
+    // The same violating runs double as the flight recorder's falsification
+    // fixture: the failure path must have rendered a merged trace dump with
+    // at least one per-transaction lifecycle in it — an empty or headless
+    // dump would mean the trace-dump-on-failure consumer is dead weight.
+    assert!(
+        dumps.contains("flight recorder"),
+        "a violating case produced no trace dump"
+    );
+    assert!(
+        dumps.contains("--- txn"),
+        "the trace dump names no rolled-back transaction; dump was:\n{dumps}"
     );
 }
