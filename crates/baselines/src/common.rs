@@ -8,6 +8,7 @@ use primo_runtime::access::{
     WriteKind,
 };
 use primo_runtime::cluster::Cluster;
+use primo_runtime::commit::{PrepareOutcome, PreparedAt};
 use primo_runtime::durability::log_txn_writes;
 use primo_runtime::txn::TxnContext;
 use primo_storage::{LockMode, LockPolicy, LockRequestResult, Record};
@@ -32,6 +33,10 @@ pub struct BaselineCtx<'a> {
     pub guard: ReadGuard,
     pub access: AccessSet,
     pub dead: Option<AbortReason>,
+    /// Set when the commit layer orphaned this transaction (coordinator
+    /// crash under classic 2PC): cleanup must NOT run — the locks leak and
+    /// the participants stay blocked, which is the observable failure mode.
+    orphaned: std::cell::Cell<bool>,
 }
 
 impl<'a> BaselineCtx<'a> {
@@ -43,6 +48,7 @@ impl<'a> BaselineCtx<'a> {
             guard,
             access: AccessSet::new(),
             dead: None,
+            orphaned: std::cell::Cell::new(false),
         }
     }
 
@@ -53,7 +59,13 @@ impl<'a> BaselineCtx<'a> {
 
     /// Unwind every record this attempt materialised for an insert, release
     /// all locks and notify participants of the abort.
+    ///
+    /// A no-op for an orphaned transaction: nobody is left alive to clean
+    /// up after a coordinator crash under classic 2PC.
     pub fn abort_cleanup(&mut self) {
+        if self.orphaned.get() {
+            return;
+        }
         let parts = self.access.participants(self.home);
         if !parts.is_empty() {
             self.cluster.net.one_way_multi(self.home, &parts);
@@ -329,45 +341,75 @@ pub fn reclaim_deletes(ctx: &BaselineCtx<'_>) {
     }
 }
 
-/// Charge the 2PC prepare round (write-set shipping + vote collection) and
-/// register the participants with the group-commit scheme.
+/// A successful prepare phase: the participant set plus the commit layer's
+/// proof of preparation (fed back to the decide helpers for latency
+/// accounting).
+pub struct PreparedRound {
+    pub parts: Vec<PartitionId>,
+    pub at: PreparedAt,
+}
+
+/// Run the prepare phase through the cluster's atomic-commit layer
+/// (write-set shipping + vote collection; under Paxos Commit the votes are
+/// additionally logged quorum-durably) and register the participants with
+/// the group-commit scheme.
 pub fn prepare_round(
     ctx: &BaselineCtx<'_>,
     ticket: &primo_wal::TxnTicket,
-) -> Result<Vec<PartitionId>, AbortReason> {
+) -> Result<PreparedRound, AbortReason> {
     let parts = ctx.access.participants(ctx.home);
     for p in &parts {
         ctx.cluster.group_commit.add_participant(ticket, *p, 0);
     }
-    ctx.cluster.recorder.emit(
-        Some(ctx.txn),
-        Some(ctx.home),
-        TraceEventKind::Prepare {
-            participants: parts.len() as u32,
-        },
+    match ctx
+        .cluster
+        .atomic_commit()
+        .prepare(ctx.cluster, ctx.txn, ctx.home, &parts)
+    {
+        PrepareOutcome::Prepared(at) => Ok(PreparedRound { parts, at }),
+        PrepareOutcome::Aborted(reason) => Err(reason),
+        PrepareOutcome::Orphaned => {
+            // Classic 2PC's blocking failure: mark the context so
+            // `abort_cleanup` leaves the attempt's locks held — the
+            // participants stay blocked until retries exhaust.
+            ctx.orphaned.set(true);
+            Err(AbortReason::CoordinatorCrash)
+        }
+    }
+}
+
+/// Propagate the global COMMIT verdict through the commit layer (a round
+/// trip under classic 2PC; durable decision entries plus a one-way
+/// notification under Paxos Commit).
+pub fn commit_round(ctx: &BaselineCtx<'_>, prepared: &PreparedRound) {
+    ctx.cluster.atomic_commit().decide_commit(
+        ctx.cluster,
+        ctx.txn,
+        ctx.home,
+        &prepared.parts,
+        prepared.at,
     );
-    let ok = parts.is_empty() || ctx.cluster.net.round_trip_multi(ctx.home, &parts);
+}
+
+/// Propagate the global ABORT verdict through the commit layer.
+pub fn abort_round(ctx: &BaselineCtx<'_>, prepared: &PreparedRound) {
     ctx.cluster
-        .recorder
-        .emit(Some(ctx.txn), Some(ctx.home), TraceEventKind::Vote { ok });
-    if !ok {
-        return Err(AbortReason::RemoteUnavailable);
-    }
-    Ok(parts)
+        .atomic_commit()
+        .decide_abort(ctx.cluster, ctx.txn, ctx.home, &prepared.parts);
 }
 
-/// Charge the 2PC commit (decision) round.
-pub fn commit_round(ctx: &BaselineCtx<'_>, parts: &[PartitionId]) {
-    if !parts.is_empty() {
-        ctx.cluster.net.round_trip_multi(ctx.home, parts);
-    }
-}
-
-/// Charge a one-way abort notification.
-pub fn abort_round(ctx: &BaselineCtx<'_>, parts: &[PartitionId]) {
-    if !parts.is_empty() {
-        ctx.cluster.net.one_way_multi(ctx.home, parts);
-    }
+/// Seal a commit verdict that was decided *inside* the prepare round itself
+/// (consolidated-round protocols like TAPIR): no further messages are
+/// charged, but under Paxos Commit the logged votes must still be resolved
+/// with durable decision entries.
+pub fn seal_consolidated_commit(ctx: &BaselineCtx<'_>, prepared: &PreparedRound) {
+    ctx.cluster.atomic_commit().seal_commit(
+        ctx.cluster,
+        ctx.txn,
+        ctx.home,
+        &prepared.parts,
+        prepared.at,
+    );
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@
 
 use crate::common::{
     abort_round, install_locked_writes, lock_write_set, prepare_round, reclaim_deletes,
-    BaselineCtx, ReadGuard,
+    seal_consolidated_commit, BaselineCtx, ReadGuard,
 };
 use primo_common::{AbortReason, Phase, PhaseTimers, TxnError, TxnId, TxnResult};
 use primo_runtime::cluster::Cluster;
@@ -111,7 +111,10 @@ impl Protocol for TapirProtocol {
         });
 
         // The commit decision reaches participants asynchronously; the client
-        // considers the transaction committed after the single round.
+        // considers the transaction committed after the single round. The
+        // commit layer still seals the verdict it decided inside that round
+        // (durable decision entries under Paxos Commit, a no-op under 2PC).
+        seal_consolidated_commit(&ctx, &parts);
         locked.release(txn);
         ctx.access.release_all_locks(txn);
         reclaim_deletes(&ctx);

@@ -1,4 +1,4 @@
-//! Emit `BENCH_PR8.json`: the standing per-PR performance trajectory matrix.
+//! Emit `BENCH_PR9.json`: the standing per-PR performance trajectory matrix.
 //!
 //! Unlike the one-off `bench_pr6` snapshot, this emitter is the **fixed
 //! matrix** ROADMAP.md asks for — the same cells re-run (and re-committed)
@@ -16,6 +16,10 @@
 //!   factor 3: committed TPS, p99 latency, abort rate, and the append-
 //!   pipeline health metrics (`wal_append_wait_us`, mean replication batch
 //!   length).
+//! * `commit_decision` — the atomic-commit ablation: the same write-heavy
+//!   YCSB cell under classic 2PC vs Paxos Commit for a lock-based and an
+//!   OCC-ish protocol, reporting committed TPS plus the prepare→decide
+//!   latency of distributed commits (the round trip Paxos Commit removes).
 //! * `trace_overhead` — the cost of the always-on flight recorder: the two
 //!   most recording-sensitive probes (contended append at RF 3 × 4 threads,
 //!   and write-heavy YCSB under Primo/watermark) run with recording enabled
@@ -27,7 +31,7 @@
 //! bench_matrix --trace-overhead [--duration-ms N] ...   # gate mode
 //! ```
 //!
-//! The committed `BENCH_PR8.json` at the repo root is generated with the
+//! The committed `BENCH_PR9.json` at the repo root is generated with the
 //! defaults; CI smoke-runs the emitter at a reduced duration and asserts the
 //! schema plus non-zero TPS, and runs `--trace-overhead` in release, which
 //! exits non-zero past the gate: the contract limit (5 %) on the
@@ -39,7 +43,8 @@
 use primo_bench::Scale;
 use primo_repro::wal::{LogPayload, LoggedWrite, ReplicatedLog};
 use primo_repro::{
-    Experiment, FlightRecorder, LoggingScheme, PartitionId, ProtocolKind, TableId, Value, WalConfig,
+    CommitMode, Experiment, FlightRecorder, LoggingScheme, PartitionId, ProtocolKind, TableId,
+    Value, WalConfig,
 };
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -270,6 +275,36 @@ fn report_overhead(append: &OverheadProbe, ycsb: &OverheadProbe) {
     );
 }
 
+/// One atomic-commit ablation cell: the write-heavy YCSB workload with the
+/// commit mode forced, keeping everything else at the matrix settings.
+struct CommitCell {
+    protocol: &'static str,
+    mode: &'static str,
+    tps: f64,
+    commit_decisions: u64,
+    decide_mean_us: f64,
+    decide_p99_us: u64,
+}
+
+fn run_commit_cell(kind: ProtocolKind, mode: CommitMode, scale: &Scale) -> CommitCell {
+    let snap = Experiment::new()
+        .protocol(kind)
+        .commit_mode(mode)
+        .scale(*scale)
+        .replication_factor(REPLICATION_FACTOR)
+        .checkpoint_interval_ms(scale.duration_ms.max(4) / 4)
+        .ycsb_with(|y| y.read_ratio = READ_RATIO)
+        .run();
+    CommitCell {
+        protocol: kind.label(),
+        mode: mode.label(),
+        tps: snap.throughput_tps,
+        commit_decisions: snap.commit_decisions,
+        decide_mean_us: snap.commit_decide_mean_us,
+        decide_p99_us: snap.commit_decide_p99_us,
+    }
+}
+
 fn run_cell(kind: ProtocolKind, scheme: LoggingScheme, scale: &Scale) -> Cell {
     let snap = write_heavy_snapshot(kind, scheme, scale, true);
     Cell {
@@ -286,7 +321,7 @@ fn run_cell(kind: ProtocolKind, scheme: LoggingScheme, scale: &Scale) -> Cell {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::quick();
-    let mut out_path = String::from("BENCH_PR8.json");
+    let mut out_path = String::from("BENCH_PR9.json");
     let mut gate_only = false;
     let mut i = 0;
     while i < args.len() {
@@ -378,13 +413,31 @@ fn main() {
         }
     }
 
+    eprintln!("# commit-decision latency: 2PC vs Paxos Commit (write-heavy YCSB, RF 3)");
+    let mut commit_cells = Vec::new();
+    for kind in [ProtocolKind::TwoPlNoWait, ProtocolKind::Primo] {
+        for mode in [CommitMode::TwoPc, CommitMode::PaxosCommit] {
+            let cell = run_commit_cell(kind, mode, &scale);
+            eprintln!(
+                "{:<12} {:<12} tps={:>10.0} decisions={:>8} decide-mean={:>8.1}us p99={:>6}us",
+                cell.protocol,
+                cell.mode,
+                cell.tps,
+                cell.commit_decisions,
+                cell.decide_mean_us,
+                cell.decide_p99_us
+            );
+            commit_cells.push(cell);
+        }
+    }
+
     eprintln!("# flight-recorder overhead (recording on vs off)");
     let (append_oh, ycsb_oh) = trace_overhead(&scale);
     report_overhead(&append_oh, &ycsb_oh);
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"pr\": 8,");
+    let _ = writeln!(json, "  \"pr\": 9,");
     let _ = writeln!(
         json,
         "  \"matrix\": {{\"read_ratio\": {READ_RATIO}, \
@@ -419,6 +472,17 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
+    json.push_str("  \"commit_decision\": [\n");
+    for (i, c) in commit_cells.iter().enumerate() {
+        let comma = if i + 1 < commit_cells.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"protocol\": \"{}\", \"mode\": \"{}\", \"tps\": {:.1}, \
+             \"commit_decisions\": {}, \"decide_mean_us\": {:.1}, \"decide_p99_us\": {}}}{comma}",
+            c.protocol, c.mode, c.tps, c.commit_decisions, c.decide_mean_us, c.decide_p99_us
+        );
+    }
+    json.push_str("  ],\n");
     let _ = writeln!(
         json,
         "  \"trace_overhead\": {{\"limit_pct\": {OVERHEAD_LIMIT_PCT}, \
@@ -432,6 +496,6 @@ fn main() {
         ycsb_oh.overhead_pct
     );
     json.push_str("}\n");
-    std::fs::write(&out_path, json).expect("write BENCH_PR8.json");
+    std::fs::write(&out_path, json).expect("write BENCH_PR9.json");
     eprintln!("wrote {out_path}");
 }

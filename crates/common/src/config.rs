@@ -74,6 +74,35 @@ impl ProtocolKind {
     }
 }
 
+/// How a distributed transaction's commit decision is made atomic across its
+/// participants (the `AtomicCommit` layer in the runtime crate).
+///
+/// Classic 2PC blocks forever if the coordinating worker dies between the
+/// prepare round and the decision; Paxos Commit (Gray & Lamport, *Consensus
+/// on Transaction Commit*) makes prepare votes quorum-durable replicated-log
+/// entries so any replica can assemble the global verdict and terminate
+/// in-doubt transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CommitMode {
+    /// Classic blocking two-phase commit (the ablation baseline).
+    #[default]
+    TwoPc,
+    /// Non-blocking Paxos Commit over the replicated log: participants log
+    /// prepare votes as quorum-durable entries, the decision is itself a log
+    /// record, and an in-doubt transaction is terminated from the durable
+    /// vote set instead of blocking.
+    PaxosCommit,
+}
+
+impl CommitMode {
+    pub fn label(self) -> &'static str {
+        match self {
+            CommitMode::TwoPc => "2PC",
+            CommitMode::PaxosCommit => "PaxosCommit",
+        }
+    }
+}
+
 /// How durability is confirmed (Fig 11–13 compare these).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LoggingScheme {
@@ -225,6 +254,10 @@ pub struct ClusterConfig {
     pub wal: WalConfig,
     pub primo: PrimoConfig,
     pub trace: TraceConfig,
+    /// Atomic-commit protocol for distributed transactions (default: classic
+    /// blocking 2PC, the paper's baseline; [`CommitMode::PaxosCommit`] makes
+    /// the decision fault-tolerant).
+    pub commit_mode: CommitMode,
     /// Initial back-off after an abort, microseconds (paper: 0.5 ms, doubling).
     pub backoff_initial_us: u64,
     /// Upper bound on the exponential back-off, microseconds.
@@ -246,6 +279,7 @@ impl Default for ClusterConfig {
             wal: WalConfig::default(),
             primo: PrimoConfig::default(),
             trace: TraceConfig::default(),
+            commit_mode: CommitMode::default(),
             backoff_initial_us: 500,
             backoff_max_us: 8_000,
             aria_batch_size: 32,
@@ -282,6 +316,7 @@ impl ClusterConfig {
                 ring_capacity: 512,
                 ..TraceConfig::default()
             },
+            commit_mode: CommitMode::default(),
             backoff_initial_us: 20,
             backoff_max_us: 500,
             aria_batch_size: 8,
@@ -303,6 +338,7 @@ mod tests {
         assert_eq!(c.wal.scheme, LoggingScheme::Watermark);
         assert_eq!(c.wal.replication_factor, 1, "single-copy log by default");
         assert_eq!(c.wal.replica_persist_delay_us, None);
+        assert_eq!(c.commit_mode, CommitMode::TwoPc, "blocking 2PC by default");
     }
 
     #[test]

@@ -36,6 +36,11 @@ pub enum AbortReason {
     /// Aria-style deterministic conflict (write-after-write / read-after-write
     /// reservation clash within a batch).
     DeterministicConflict,
+    /// The coordinating worker died between the prepare round and the commit
+    /// decision, and the atomic-commit layer terminated the in-doubt
+    /// transaction with a global abort (Paxos Commit's non-blocking
+    /// resolution; classic 2PC never reports this — it blocks instead).
+    CoordinatorCrash,
 }
 
 impl AbortReason {
@@ -61,7 +66,10 @@ impl AbortReason {
     pub fn is_crash(self) -> bool {
         matches!(
             self,
-            AbortReason::CrashAbort | AbortReason::RemoteUnavailable | AbortReason::EpochAbort
+            AbortReason::CrashAbort
+                | AbortReason::RemoteUnavailable
+                | AbortReason::EpochAbort
+                | AbortReason::CoordinatorCrash
         )
     }
 }
@@ -130,6 +138,7 @@ mod tests {
             AbortReason::RemoteUnavailable,
             AbortReason::EpochAbort,
             AbortReason::DeterministicConflict,
+            AbortReason::CoordinatorCrash,
         ] {
             assert!(!(r.is_conflict() && r.is_crash()), "{r} classified twice");
         }

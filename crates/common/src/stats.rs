@@ -211,6 +211,19 @@ pub struct ClusterStats {
     pub wal_append_wait_us: u64,
     /// Mean log entries shipped per replication-pump batch.
     pub replication_batch_len: f64,
+    /// In-doubt atomic commits terminated from the durable vote set (live
+    /// Paxos Commit resolution plus recovery-time sealing).
+    pub in_doubt_resolved: u64,
+    /// Transactions orphaned by a coordinator crash under classic 2PC
+    /// (blocked forever; always 0 under Paxos Commit).
+    pub orphaned_txns: u64,
+    /// Distributed commit decisions whose prepare→decide latency was
+    /// recorded by the atomic-commit layer.
+    pub commit_decisions: u64,
+    /// Mean prepare→decide latency of distributed commits, microseconds.
+    pub commit_decide_mean_us: f64,
+    /// p99 prepare→decide latency of distributed commits, microseconds.
+    pub commit_decide_p99_us: u64,
     /// Windowed TPS / abort-rate / p99 series sampled during the run.
     pub timeline: Vec<TimelineWindow>,
 }
@@ -228,6 +241,11 @@ impl ClusterStats {
             replication_lag_us: 0,
             wal_append_wait_us: 0,
             replication_batch_len: 0.0,
+            in_doubt_resolved: 0,
+            orphaned_txns: 0,
+            commit_decisions: 0,
+            commit_decide_mean_us: 0.0,
+            commit_decide_p99_us: 0,
             timeline: Vec::new(),
         }
     }
@@ -388,6 +406,11 @@ impl Metrics {
             replication_lag_us: cluster.replication_lag_us,
             wal_append_wait_us: cluster.wal_append_wait_us,
             replication_batch_len: cluster.replication_batch_len,
+            in_doubt_resolved: cluster.in_doubt_resolved,
+            orphaned_txns: cluster.orphaned_txns,
+            commit_decisions: cluster.commit_decisions,
+            commit_decide_mean_us: cluster.commit_decide_mean_us,
+            commit_decide_p99_us: cluster.commit_decide_p99_us,
             timeline: cluster.timeline,
         }
     }
@@ -455,6 +478,26 @@ pub struct MetricsSnapshot {
     /// alone; larger values mean the pump amortized follower lock
     /// acquisitions across committers. Filled in by the experiment driver.
     pub replication_batch_len: f64,
+    /// In-doubt atomic commits terminated from the durable vote set: the
+    /// coordinator died between the vote round and the decision, and the
+    /// transaction was resolved (live Paxos Commit resolution or
+    /// recovery-time presumed-abort sealing) instead of blocking. Filled in
+    /// by the experiment driver from the cluster.
+    pub in_doubt_resolved: u64,
+    /// Transactions orphaned by a coordinator crash under classic 2PC —
+    /// nobody can decide, their locks leak, participants block. Always 0
+    /// under Paxos Commit. Filled in by the experiment driver.
+    pub orphaned_txns: u64,
+    /// Distributed commit decisions whose prepare→decide latency the
+    /// atomic-commit layer recorded (one per distributed commit).
+    pub commit_decisions: u64,
+    /// Mean prepare→decide latency of distributed commits, microseconds —
+    /// the cost of the decision phase itself (a full round trip under
+    /// classic 2PC, durable log appends + a one-way notification under
+    /// Paxos Commit).
+    pub commit_decide_mean_us: f64,
+    /// p99 prepare→decide latency of distributed commits, microseconds.
+    pub commit_decide_p99_us: u64,
     /// Windowed (~100 ms) TPS / abort-rate / p99 series sampled while the
     /// run was live. Empty when the driver did not sample (short unit-test
     /// runs).
@@ -662,6 +705,11 @@ mod tests {
                 replication_lag_us: 250,
                 wal_append_wait_us: 75,
                 replication_batch_len: 2.5,
+                in_doubt_resolved: 2,
+                orphaned_txns: 1,
+                commit_decisions: 7,
+                commit_decide_mean_us: 340.0,
+                commit_decide_p99_us: 900,
                 timeline: vec![TimelineWindow {
                     start_us: 0,
                     len_us: 100_000,
@@ -685,6 +733,11 @@ mod tests {
         assert_eq!(s.replication_lag_us, 250);
         assert_eq!(s.wal_append_wait_us, 75);
         assert_eq!(s.replication_batch_len, 2.5);
+        assert_eq!(s.in_doubt_resolved, 2);
+        assert_eq!(s.orphaned_txns, 1);
+        assert_eq!(s.commit_decisions, 7);
+        assert_eq!(s.commit_decide_mean_us, 340.0);
+        assert_eq!(s.commit_decide_p99_us, 900);
         assert_eq!(s.timeline.len(), 1);
         assert_eq!(s.timeline[0].committed, 2);
         assert_eq!(s.committed, 2);

@@ -4,6 +4,7 @@ use crate::context::{Mode, PrimoCtx};
 use primo_common::{AbortReason, Phase, PhaseTimers, Ts, TxnError, TxnId, TxnResult};
 use primo_runtime::access::{recheck_locked_record, resolve_write_record, AccessSet, WriteKind};
 use primo_runtime::cluster::Cluster;
+use primo_runtime::commit::PrepareOutcome;
 use primo_runtime::durability::log_txn_writes;
 use primo_runtime::protocol::{CommittedTxn, Protocol};
 use primo_runtime::txn::TxnProgram;
@@ -360,32 +361,28 @@ impl PrimoProtocol {
         let home = ctx.home;
         let participants = ctx.access.participants(home);
 
-        // Prepare round: ship write-sets, acquire exclusive locks everywhere
-        // (upgrading shared read locks), wait for every participant's vote.
-        cluster.recorder.emit(
-            Some(txn),
-            Some(home),
-            TraceEventKind::Prepare {
-                participants: participants.len() as u32,
-            },
-        );
-        let prepare_ok = timers.time(Phase::TwoPc, || {
-            if !participants.is_empty() && !cluster.net.round_trip_multi(home, &participants) {
-                return Err(AbortReason::RemoteUnavailable);
+        // Prepare round through the cluster's atomic-commit layer: ship
+        // write-sets, acquire exclusive locks everywhere (upgrading shared
+        // read locks), wait for every participant's vote (under Paxos Commit
+        // the votes are additionally logged quorum-durably).
+        let prepared = match timers.time(Phase::TwoPc, || {
+            cluster
+                .atomic_commit()
+                .prepare(cluster, txn, home, &participants)
+        }) {
+            PrepareOutcome::Prepared(at) => at,
+            PrepareOutcome::Aborted(reason) => {
+                ctx.abort_cleanup();
+                return Err(TxnError::Aborted(reason));
             }
-            Ok(())
-        });
-        cluster.recorder.emit(
-            Some(txn),
-            Some(home),
-            TraceEventKind::Vote {
-                ok: prepare_ok.is_ok(),
-            },
-        );
-        if let Err(reason) = prepare_ok {
-            ctx.abort_cleanup();
-            return Err(TxnError::Aborted(reason));
-        }
+            PrepareOutcome::Orphaned => {
+                // Classic 2PC's blocking failure: the coordinator died with
+                // the votes in hand and nobody can decide — nothing is
+                // cleaned up, the participants stay blocked on this
+                // attempt's locks.
+                return Err(TxnError::Aborted(AbortReason::CoordinatorCrash));
+            }
+        };
 
         let mut locked: Vec<Arc<Record>> = Vec::new();
         let lock_result = timers.time(Phase::TwoPc, || {
@@ -415,9 +412,9 @@ impl PrimoProtocol {
                 r.release(txn);
             }
             // Abort decision still needs to reach the participants.
-            if !participants.is_empty() {
-                cluster.net.one_way_multi(home, &participants);
-            }
+            cluster
+                .atomic_commit()
+                .decide_abort(cluster, txn, home, &participants);
             ctx.abort_cleanup();
             return Err(TxnError::Aborted(reason));
         }
@@ -460,9 +457,9 @@ impl PrimoProtocol {
             for r in &locked {
                 r.release(txn);
             }
-            if !participants.is_empty() {
-                cluster.net.one_way_multi(home, &participants);
-            }
+            cluster
+                .atomic_commit()
+                .decide_abort(cluster, txn, home, &participants);
             ctx.abort_cleanup();
             return Err(TxnError::Aborted(reason));
         }
@@ -482,9 +479,9 @@ impl PrimoProtocol {
 
         // Commit round: propagate the decision, then release all locks.
         timers.time(Phase::TwoPc, || {
-            if !participants.is_empty() {
-                cluster.net.round_trip_multi(home, &participants);
-            }
+            cluster
+                .atomic_commit()
+                .decide_commit(cluster, txn, home, &participants, prepared);
         });
         for r in &locked {
             r.release(txn);

@@ -62,6 +62,10 @@ pub struct SimNetwork {
     messages: AtomicU64,
     /// Total round trips charged.
     round_trips: AtomicU64,
+    /// Of `messages`: the one-way hops attributable to the atomic-commit
+    /// layer's vote/decision fan-out (Paxos Commit). A breakdown counter,
+    /// not an additional charge — the hops are already in `messages`.
+    commit_messages: AtomicU64,
     /// Jitter source (per-call cheap hash, not a shared RNG, to avoid
     /// contention). Derived from the experiment seed so different seeds
     /// sample different jitter while each run stays reproducible.
@@ -92,6 +96,7 @@ impl SimNetwork {
                 .collect(),
             messages: AtomicU64::new(0),
             round_trips: AtomicU64::new(0),
+            commit_messages: AtomicU64::new(0),
             jitter_salt: splitmix64(seed),
             recorder: OnceLock::new(),
         }
@@ -266,6 +271,21 @@ impl SimNetwork {
         self.messages.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Attribute `n` already-charged one-way hops to the atomic-commit
+    /// layer's vote/decision fan-out. Call this *alongside* the charging
+    /// send (`round_trip_multi` / `one_way_multi` / the replication pump's
+    /// `note_background_messages`), never instead of it: this increments
+    /// only the breakdown counter, not the message total.
+    pub fn note_commit_messages(&self, n: u64) {
+        self.commit_messages.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Of [`SimNetwork::messages_sent`]: hops attributed to atomic-commit
+    /// vote/decision fan-out.
+    pub fn commit_messages_sent(&self) -> u64 {
+        self.commit_messages.load(Ordering::Relaxed)
+    }
+
     /// Number of one-way messages charged so far.
     pub fn messages_sent(&self) -> u64 {
         self.messages.load(Ordering::Relaxed)
@@ -409,6 +429,15 @@ mod tests {
         n.note_background_messages(3);
         assert!(start.elapsed().as_millis() < 2);
         assert_eq!(n.messages_sent(), 3);
+    }
+
+    #[test]
+    fn commit_message_breakdown_does_not_inflate_the_total() {
+        let n = net(10);
+        n.round_trip_multi(PartitionId(0), &[PartitionId(1), PartitionId(2)]);
+        n.note_commit_messages(4);
+        assert_eq!(n.messages_sent(), 4, "breakdown must not double-count");
+        assert_eq!(n.commit_messages_sent(), 4);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use primo_common::{PartitionId, Ts};
 use primo_net::{PartitionHealth, SimNetwork};
 use primo_storage::PartitionStore;
 use primo_trace::{FlightRecorder, TraceEventKind};
-use primo_wal::{GroupCommit, LoggedOp, ReplayedTxn, ReplicatedLog};
+use primo_wal::{GroupCommit, LogPayload, LoggedOp, ReplayedTxn, ReplicatedLog};
 use std::time::Instant;
 
 /// Everything captured at the instant a partition crashed. Recovery needs
@@ -67,6 +67,11 @@ pub struct RecoveryReport {
     /// Replicas re-seeded from the elected leader after the replay (wiped
     /// or lagging copies brought back to full strength).
     pub repaired_replicas: usize,
+    /// In-doubt transactions terminated during this recovery: commit votes
+    /// that were quorum-durable at the crash with no durable resolution
+    /// (decision, installed write-set, or rollback marker) are sealed with
+    /// the presumed-abort verdict so every future reader agrees.
+    pub in_doubt_resolved: usize,
 }
 
 /// Apply a replayed transaction sequence to a store, in order. The sequence
@@ -216,6 +221,39 @@ impl RecoveryManager {
         // set can absorb the *next* crash.
         let repaired_replicas = log.repair_replicas();
 
+        // Terminate in-doubt atomic commits (Paxos Commit's non-blocking
+        // guarantee): a vote that was quorum-durable at the crash but has no
+        // durable resolution — no decision entry, no installed write-set, no
+        // rollback marker — belongs to a transaction whose coordinator died
+        // between prepare and decide. No durable decision means nobody ever
+        // decided COMMIT, so the presumed-abort verdict is sealed durably;
+        // a classic-2PC cluster logs no votes and resolves nothing here.
+        let in_doubt = log.unresolved_commit_votes(crash.durable_lsn);
+        let in_doubt_resolved = in_doubt.len();
+        if !in_doubt.is_empty() {
+            log.append_batch(
+                in_doubt
+                    .iter()
+                    .map(|txn| LogPayload::CommitDecision {
+                        txn: *txn,
+                        commit: false,
+                    })
+                    .collect(),
+            );
+            if let Some(rec) = recorder {
+                for txn in &in_doubt {
+                    rec.emit(
+                        Some(*txn),
+                        Some(p),
+                        TraceEventKind::DecisionReached {
+                            commit: false,
+                            in_doubt: true,
+                        },
+                    );
+                }
+            }
+        }
+
         // §5.2: the new leader retrieves the latest Wp from its (replicated)
         // log — only one that was quorum-durable at the crash, never one the
         // dead leader's agent appended during the outage. The cluster-wide
@@ -237,6 +275,7 @@ impl RecoveryManager {
             duration_us: started.elapsed().as_micros() as u64,
             mid_replay_handoffs,
             repaired_replicas,
+            in_doubt_resolved,
         }
     }
 }
@@ -371,6 +410,66 @@ mod tests {
         let report = RecoveryManager::recover(&store, &wal, &gc, &net, &crash);
         assert_eq!(report.replayed_txns, 1);
         assert_eq!(store.get(TableId(0), 1).unwrap().read().value.as_u64(), 50);
+    }
+
+    #[test]
+    fn recovery_seals_in_doubt_votes_with_the_presumed_abort_verdict() {
+        let store = PartitionStore::new(PartitionId(0));
+        let wal = ReplicatedLog::single(PartitionId(0), 0);
+        let net = net();
+        let gc = DurableIsCommitted;
+        let p = PartitionId(0);
+        store.insert(TableId(0), 1, Value::from_u64(1));
+        Checkpointer::initial(&store, &wal);
+
+        // Three transactions voted before the crash. txn_a reached its
+        // decision, txn_b installed its write-set (commit evidence), txn_c
+        // is genuinely in doubt: coordinator died between prepare & decide.
+        let txn_a = TxnId::new(p, 10);
+        let txn_b = TxnId::new(p, 11);
+        let txn_c = TxnId::new(p, 12);
+        for txn in [txn_a, txn_b, txn_c] {
+            wal.append(LogPayload::CommitVote {
+                txn,
+                coordinator: p,
+                commit: true,
+            });
+        }
+        wal.append(LogPayload::CommitDecision {
+            txn: txn_a,
+            commit: true,
+        });
+        wal.append(LogPayload::TxnWrites {
+            txn: txn_b,
+            ts: 9,
+            writes: vec![LoggedWrite::put(TableId(0), 2, Value::from_u64(2))],
+        });
+        std::thread::sleep(std::time::Duration::from_millis(1));
+
+        net.set_crashed(p, true);
+        let crash = CrashContext::capture(p, gc.on_partition_crash(p), &wal);
+        let report = RecoveryManager::recover(&store, &wal, &gc, &net, &crash);
+        assert_eq!(report.in_doubt_resolved, 1, "only txn_c was in doubt");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert_eq!(
+            wal.commit_decision_for(txn_c, None),
+            Some(false),
+            "the presumed-abort verdict is sealed durably"
+        );
+        assert_eq!(
+            wal.commit_decision_for(txn_a, None),
+            Some(true),
+            "the durable COMMIT decision is never overridden"
+        );
+        assert!(
+            wal.unresolved_commit_votes(None).is_empty(),
+            "no vote stays unresolved after recovery"
+        );
+        // Running recovery again resolves nothing new (idempotent).
+        net.set_crashed(p, true);
+        let crash = CrashContext::capture(p, gc.on_partition_crash(p), &wal);
+        let report = RecoveryManager::recover(&store, &wal, &gc, &net, &crash);
+        assert_eq!(report.in_doubt_resolved, 0);
     }
 
     #[test]

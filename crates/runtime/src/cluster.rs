@@ -2,9 +2,10 @@
 //! plus the simulated network, control bus and group-commit scheme shared by
 //! all of them.
 
+use crate::commit::{build_atomic_commit, AtomicCommit};
 use parking_lot::Mutex;
 use primo_common::config::ClusterConfig;
-use primo_common::{PartitionId, Ts, TxnId};
+use primo_common::{Histogram, PartitionId, Ts, TxnId};
 use primo_net::{DelayedBus, SimNetwork};
 use primo_recovery::{
     compensate_survivors, CheckpointStats, Checkpointer, CrashContext, RecoveryManager,
@@ -78,6 +79,23 @@ pub struct Cluster {
     /// events here. Always present; recording itself is gated by
     /// `config.trace.enabled`.
     pub recorder: Arc<FlightRecorder>,
+    /// The distributed atomic-commit protocol every prepare/decide path runs
+    /// through (classic blocking 2PC or non-blocking Paxos Commit, per
+    /// `config.commit_mode`).
+    atomic_commit: Arc<dyn AtomicCommit>,
+    /// One-shot coordinator-crash injection: `partition.0 + 1` when armed
+    /// for that partition, 0 when disarmed. The next distributed prepare
+    /// coordinated by the armed partition consumes it and "dies" between
+    /// the vote round and the decision.
+    coordinator_crash: AtomicU64,
+    /// Transactions orphaned by a coordinator crash under classic 2PC
+    /// (their locks leak; the participants block).
+    orphaned_txns: AtomicU64,
+    /// In-doubt transactions terminated from the durable vote set (live
+    /// Paxos Commit resolution plus recovery-time sealing).
+    in_doubt_resolved: AtomicU64,
+    /// Prepare→decide latency of distributed commits, microseconds.
+    commit_decide_us: Histogram,
     /// Global transaction sequence (see [`Partition::next_txn_id`]).
     global_seq: AtomicU64,
     /// Crash-time state of currently-crashed partitions, captured by
@@ -150,6 +168,7 @@ impl Cluster {
             .enumerate()
             .map(|(p, log)| Arc::new(Partition::new(PartitionId(p as u32), log, max_versions)))
             .collect();
+        let atomic_commit = build_atomic_commit(config.commit_mode);
         Arc::new(Cluster {
             config,
             partitions,
@@ -157,6 +176,11 @@ impl Cluster {
             bus,
             group_commit,
             recorder,
+            atomic_commit,
+            coordinator_crash: AtomicU64::new(0),
+            orphaned_txns: AtomicU64::new(0),
+            in_doubt_resolved: AtomicU64::new(0),
+            commit_decide_us: Histogram::new(),
             global_seq: AtomicU64::new(1),
             pending_crashes: Mutex::new(HashMap::new()),
             compensated_txns: AtomicU64::new(0),
@@ -175,6 +199,82 @@ impl Cluster {
     /// Assign a new TID coordinated by `coord`.
     pub fn next_txn_id(&self, coord: PartitionId) -> TxnId {
         self.partitions[coord.idx()].next_txn_id(&self.global_seq)
+    }
+
+    /// The atomic-commit protocol this cluster runs distributed commits
+    /// through (see [`AtomicCommit`]).
+    pub fn atomic_commit(&self) -> &Arc<dyn AtomicCommit> {
+        &self.atomic_commit
+    }
+
+    /// Arm a one-shot coordinator crash: the next distributed prepare
+    /// coordinated by `p` dies between its vote round and the decision.
+    /// Unlike [`Cluster::crash_partition`] this fells a single worker's
+    /// transaction, not the partition — the partition keeps serving, but
+    /// nobody is left to finish that transaction's commit protocol.
+    pub fn arm_coordinator_crash(&self, p: PartitionId) {
+        self.coordinator_crash
+            .store(u64::from(p.0) + 1, Ordering::SeqCst);
+    }
+
+    /// Consume an armed coordinator crash for coordinator `p`. Returns true
+    /// at most once per arming (the commit layer calls this at its
+    /// injection point).
+    pub fn take_coordinator_crash(&self, p: PartitionId) -> bool {
+        self.coordinator_crash
+            .compare_exchange(u64::from(p.0) + 1, 0, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Whether a coordinator crash is still armed (i.e. no distributed
+    /// prepare has consumed it yet).
+    pub fn coordinator_crash_armed(&self) -> bool {
+        self.coordinator_crash.load(Ordering::SeqCst) != 0
+    }
+
+    /// Account one transaction orphaned by a coordinator crash under
+    /// classic 2PC.
+    pub fn note_orphaned_txn(&self) {
+        self.orphaned_txns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Transactions orphaned by coordinator crashes (blocked forever —
+    /// classic 2PC's failure mode; always 0 under Paxos Commit).
+    pub fn orphaned_txns(&self) -> u64 {
+        self.orphaned_txns.load(Ordering::Relaxed)
+    }
+
+    /// Account one in-doubt transaction terminated from the durable vote
+    /// set (live resolution or recovery-time sealing).
+    pub fn note_in_doubt_resolved(&self) {
+        self.in_doubt_resolved.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// In-doubt transactions resolved so far (reported as
+    /// `in_doubt_resolved` in
+    /// [`MetricsSnapshot`](primo_common::MetricsSnapshot)).
+    pub fn in_doubt_resolved(&self) -> u64 {
+        self.in_doubt_resolved.load(Ordering::Relaxed)
+    }
+
+    /// Record one distributed commit's prepare→decide latency.
+    pub fn record_commit_decision(&self, us: u64) {
+        self.commit_decide_us.record_us(us);
+    }
+
+    /// Number of distributed commit decisions whose latency was recorded.
+    pub fn commit_decisions(&self) -> u64 {
+        self.commit_decide_us.count()
+    }
+
+    /// Mean prepare→decide latency of distributed commits, microseconds.
+    pub fn commit_decide_mean_us(&self) -> f64 {
+        self.commit_decide_us.mean_us()
+    }
+
+    /// p99 prepare→decide latency of distributed commits, microseconds.
+    pub fn commit_decide_p99_us(&self) -> u64 {
+        self.commit_decide_us.percentile_us(0.99)
     }
 
     /// All partition ids.
@@ -333,7 +433,7 @@ impl Cluster {
             return None;
         };
         let partition = self.partition(p);
-        Some(RecoveryManager::recover_with_fault(
+        let report = RecoveryManager::recover_with_fault(
             &partition.store,
             &partition.log,
             self.group_commit.as_ref(),
@@ -341,7 +441,10 @@ impl Cluster {
             &crash,
             Some(&self.recorder),
             mid_replay,
-        ))
+        );
+        self.in_doubt_resolved
+            .fetch_add(report.in_doubt_resolved as u64, Ordering::Relaxed);
+        Some(report)
     }
 
     /// Checkpoint one partition: the base image (quiescent store scan) if

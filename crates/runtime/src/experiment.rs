@@ -95,7 +95,24 @@ fn sample_timeline(metrics: &Metrics, stop: &AtomicBool) -> Vec<TimelineWindow> 
     windows
 }
 
-/// A scheduled partition crash (Fig 12b measures the resulting crash-abort
+/// What kind of failure a [`CrashPlan`] injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashKind {
+    /// The whole partition leader fails: in-memory state is wiped, the
+    /// partition is unreachable for the outage, and a replacement replays
+    /// the durable log (Fig 12b; §5.2).
+    PartitionLoss,
+    /// Only the coordinator role fails, at worker granularity: a one-shot
+    /// trap is armed on the partition, and the next distributed commit it
+    /// coordinates dies *between* the vote round and the decision — the
+    /// classic 2PC in-doubt window. The partition itself stays up, so no
+    /// recovery step runs; what happens to the stranded transaction is
+    /// entirely down to the atomic-commit layer (blocks under classic 2PC,
+    /// resolves from the durable vote set under Paxos Commit).
+    Coordinator,
+}
+
+/// A scheduled failure injection (Fig 12b measures the resulting crash-abort
 /// rate; §5.2 describes the recovery).
 ///
 /// Both durations are clamped to the measurement window by the driver, and
@@ -104,14 +121,42 @@ fn sample_timeline(metrics: &Metrics, stop: &AtomicBool) -> Vec<TimelineWindow> 
 /// timing.
 #[derive(Debug, Clone, Copy)]
 pub struct CrashPlan {
-    /// Which partition's leader crashes.
+    /// Which partition fails (or, for [`CrashKind::Coordinator`], which
+    /// partition's coordinator role is trapped).
     pub partition: PartitionId,
     /// When (after measurement starts).
     pub at: Duration,
     /// How long the leader stays down before the replacement starts its
     /// recovery (the replacement then replays the durable log, so the
     /// partition is unreachable for `recover_after` *plus* the replay time).
+    /// Ignored for [`CrashKind::Coordinator`] — nothing goes down.
     pub recover_after: Duration,
+    /// What fails.
+    pub kind: CrashKind,
+}
+
+impl CrashPlan {
+    /// A whole-partition leader crash followed by real recovery.
+    pub fn partition_loss(partition: PartitionId, at: Duration, recover_after: Duration) -> Self {
+        CrashPlan {
+            partition,
+            at,
+            recover_after,
+            kind: CrashKind::PartitionLoss,
+        }
+    }
+
+    /// Arm a one-shot coordinator crash on `partition` at `at`: the next
+    /// distributed commit that partition coordinates dies between its vote
+    /// round and the decision.
+    pub fn coordinator(partition: PartitionId, at: Duration) -> Self {
+        CrashPlan {
+            partition,
+            at,
+            recover_after: Duration::ZERO,
+            kind: CrashKind::Coordinator,
+        }
+    }
 }
 
 /// Knobs for one experiment run.
@@ -220,23 +265,35 @@ pub fn run_on_cluster(
     // Both the crash point and the outage are clamped to the measurement
     // window so the recovery always happens inside this function.
     let mut post_recovery: Option<(u64, Instant)> = None;
-    if let Some(crash) = options.crash {
-        let remaining = options.duration;
-        let to_crash = crash.at.min(remaining);
-        std::thread::sleep(to_crash);
-        cluster.crash_partition(crash.partition);
-        let outage = crash.recover_after.min(remaining.saturating_sub(to_crash));
-        std::thread::sleep(outage);
-        // Real recovery: wipe + checkpoint restore + durable-log replay. The
-        // partition stays unreachable while it runs.
-        if let Some(report) = cluster.recover_partition(crash.partition) {
-            metrics.record_recovery(report.duration_us, report.replayed_txns as u64);
+    match options.crash {
+        Some(crash) if crash.kind == CrashKind::PartitionLoss => {
+            let remaining = options.duration;
+            let to_crash = crash.at.min(remaining);
+            std::thread::sleep(to_crash);
+            cluster.crash_partition(crash.partition);
+            let outage = crash.recover_after.min(remaining.saturating_sub(to_crash));
+            std::thread::sleep(outage);
+            // Real recovery: wipe + checkpoint restore + durable-log replay.
+            // The partition stays unreachable while it runs.
+            if let Some(report) = cluster.recover_partition(crash.partition) {
+                metrics.record_recovery(report.duration_us, report.replayed_txns as u64);
+            }
+            post_recovery = Some((metrics.committed(), Instant::now()));
+            let rest = remaining.saturating_sub(to_crash + outage);
+            std::thread::sleep(rest);
         }
-        post_recovery = Some((metrics.committed(), Instant::now()));
-        let rest = remaining.saturating_sub(to_crash + outage);
-        std::thread::sleep(rest);
-    } else {
-        std::thread::sleep(options.duration);
+        Some(crash) => {
+            // Coordinator crash: arm the one-shot trap and let the workers
+            // run on. The partition never goes down, so there is nothing to
+            // recover — the atomic-commit layer decides the stranded
+            // transaction's fate.
+            let remaining = options.duration;
+            let to_crash = crash.at.min(remaining);
+            std::thread::sleep(to_crash);
+            cluster.arm_coordinator_crash(crash.partition);
+            std::thread::sleep(remaining.saturating_sub(to_crash));
+        }
+        None => std::thread::sleep(options.duration),
     }
 
     let elapsed = started.elapsed();
@@ -280,6 +337,11 @@ pub fn run_on_cluster(
             replication_lag_us: cluster.replication_lag_us(),
             wal_append_wait_us: cluster.wal_append_wait_us(),
             replication_batch_len: cluster.replication_batch_len(),
+            in_doubt_resolved: cluster.in_doubt_resolved(),
+            orphaned_txns: cluster.orphaned_txns(),
+            commit_decisions: cluster.commit_decisions(),
+            commit_decide_mean_us: cluster.commit_decide_mean_us(),
+            commit_decide_p99_us: cluster.commit_decide_p99_us(),
             timeline,
         },
     );
@@ -424,11 +486,11 @@ mod tests {
         let opts = ExperimentOptions {
             warmup: Duration::from_millis(20),
             duration: Duration::from_millis(300),
-            crash: Some(CrashPlan {
-                partition: PartitionId(1),
-                at: Duration::from_millis(100),
-                recover_after: Duration::from_millis(50),
-            }),
+            crash: Some(CrashPlan::partition_loss(
+                PartitionId(1),
+                Duration::from_millis(100),
+                Duration::from_millis(50),
+            )),
             ..Default::default()
         };
         let snap = run_experiment(
@@ -455,11 +517,11 @@ mod tests {
         let opts = ExperimentOptions {
             warmup: Duration::from_millis(10),
             duration: Duration::from_millis(120),
-            crash: Some(CrashPlan {
-                partition: PartitionId(1),
-                at: Duration::from_millis(40),
-                recover_after: Duration::from_secs(3600),
-            }),
+            crash: Some(CrashPlan::partition_loss(
+                PartitionId(1),
+                Duration::from_millis(40),
+                Duration::from_secs(3600),
+            )),
             ..Default::default()
         };
         let snap = run_on_cluster(

@@ -10,6 +10,7 @@
 
 pub mod access;
 pub mod cluster;
+pub mod commit;
 pub mod durability;
 pub mod experiment;
 pub mod protocol;
@@ -19,6 +20,7 @@ pub mod worker;
 
 pub use access::{AccessSet, ReadEntry, WriteEntry, WriteKind};
 pub use cluster::{Cluster, Partition};
+pub use commit::{AtomicCommit, ClassicTwoPc, PaxosCommit, PrepareOutcome, PreparedAt};
 pub use durability::log_txn_writes;
 pub use experiment::{run_experiment, run_on_cluster, CrashPlan, ExperimentOptions};
 pub use protocol::{CommittedTxn, Protocol};

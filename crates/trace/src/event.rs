@@ -71,6 +71,19 @@ pub enum TraceEventKind {
     LeaderChange { term: u64, leader: u32 },
     /// A simulated network hop (optional, off by default).
     MsgHop { from: u32, to: u32 },
+    /// Paxos Commit: a prepare vote was appended to a partition's replicated
+    /// log at `lsn` (`commit` is the vote itself).
+    VoteLogged { lsn: u64, commit: bool },
+    /// Paxos Commit: the vote at `lsn` became quorum-durable, so the verdict
+    /// for this participant survives any single replica loss.
+    VoteQuorumDurable { lsn: u64 },
+    /// The atomic-commit layer reached a global verdict. `in_doubt` marks
+    /// verdicts assembled *without* the coordinator (crash resolution), as
+    /// opposed to the coordinator's own decision.
+    DecisionReached { commit: bool, in_doubt: bool },
+    /// The coordinating worker was killed between prepare and decision
+    /// (worker-granularity crash injection, not a partition crash).
+    CoordinatorCrashed,
 }
 
 /// Stable wire codes for [`AbortReason`]; the trace crate owns the mapping
@@ -87,6 +100,7 @@ fn abort_code(r: AbortReason) -> u64 {
         AbortReason::RemoteUnavailable => 7,
         AbortReason::EpochAbort => 8,
         AbortReason::DeterministicConflict => 9,
+        AbortReason::CoordinatorCrash => 10,
     }
 }
 
@@ -102,6 +116,7 @@ fn abort_from_code(c: u64) -> Option<AbortReason> {
         7 => AbortReason::RemoteUnavailable,
         8 => AbortReason::EpochAbort,
         9 => AbortReason::DeterministicConflict,
+        10 => AbortReason::CoordinatorCrash,
         _ => return None,
     })
 }
@@ -141,6 +156,10 @@ impl TraceEventKind {
             RecoveryReplay { pass, entries } => (19, pass as u64, entries, 0),
             LeaderChange { term, leader } => (20, term, leader as u64, 0),
             MsgHop { from, to } => (21, from as u64, to as u64, 0),
+            VoteLogged { lsn, commit } => (22, lsn, commit as u64, 0),
+            VoteQuorumDurable { lsn } => (23, lsn, 0, 0),
+            DecisionReached { commit, in_doubt } => (24, commit as u64, in_doubt as u64, 0),
+            CoordinatorCrashed => (25, 0, 0, 0),
         }
     }
 
@@ -193,6 +212,16 @@ impl TraceEventKind {
                 from: a as u32,
                 to: b as u32,
             },
+            22 => VoteLogged {
+                lsn: a,
+                commit: b != 0,
+            },
+            23 => VoteQuorumDurable { lsn: a },
+            24 => DecisionReached {
+                commit: a != 0,
+                in_doubt: b != 0,
+            },
+            25 => CoordinatorCrashed,
             _ => return None,
         })
     }
@@ -237,6 +266,12 @@ impl fmt::Display for TraceEventKind {
                 write!(f, "leader-change term={term} leader=r{leader}")
             }
             MsgHop { from, to } => write!(f, "msg P{from}->P{to}"),
+            VoteLogged { lsn, commit } => write!(f, "vote-logged lsn={lsn} commit={commit}"),
+            VoteQuorumDurable { lsn } => write!(f, "vote-quorum-durable lsn={lsn}"),
+            DecisionReached { commit, in_doubt } => {
+                write!(f, "decision-reached commit={commit} in-doubt={in_doubt}")
+            }
+            CoordinatorCrashed => write!(f, "coordinator-crashed"),
         }
     }
 }
@@ -319,6 +354,19 @@ mod tests {
             },
             TraceEventKind::LeaderChange { term: 3, leader: 1 },
             TraceEventKind::MsgHop { from: 0, to: 2 },
+            TraceEventKind::VoteLogged {
+                lsn: 12,
+                commit: true,
+            },
+            TraceEventKind::VoteQuorumDurable { lsn: 12 },
+            TraceEventKind::DecisionReached {
+                commit: false,
+                in_doubt: true,
+            },
+            TraceEventKind::CoordinatorCrashed,
+            TraceEventKind::Abort {
+                reason: AbortReason::CoordinatorCrash,
+            },
         ];
         for kind in all {
             let (d, a, b, c) = kind.encode();

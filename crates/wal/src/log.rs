@@ -150,6 +150,22 @@ pub enum LogPayload {
     /// checkpoint truncation can never drop the marker while the entries
     /// remain.
     TxnRolledBack { txn: TxnId },
+    /// Paxos Commit: a prepare vote for `txn`, logged quorum-durably so the
+    /// commit decision no longer depends on the coordinating worker staying
+    /// alive — any replica holding a durable vote set can assemble (or, in
+    /// doubt, terminate) the global verdict. `coordinator` is the home
+    /// partition that ran the prepare round.
+    CommitVote {
+        txn: TxnId,
+        coordinator: PartitionId,
+        commit: bool,
+    },
+    /// Paxos Commit: the global verdict for `txn`. Written by the
+    /// coordinator on the normal path, or by whoever resolved the
+    /// transaction after the coordinator died in the in-doubt window
+    /// (crash-time resolution always decides abort, the presumed-abort
+    /// rule).
+    CommitDecision { txn: TxnId, commit: bool },
 }
 
 /// One record in the log. The payload sits behind an `Arc` so the
@@ -668,6 +684,71 @@ impl PartitionWal {
         Self::sort_dedup_by_txn(picked)
     }
 
+    /// The newest durable [`LogPayload::CommitDecision`] verdict for `txn`
+    /// at or below `cutoff_lsn`, if any.
+    pub fn commit_decision_for(&self, txn: TxnId, cutoff_lsn: Option<u64>) -> Option<bool> {
+        let now = now_us();
+        let inner = self.folded();
+        let durable = self.durable_len(&inner.entries, cutoff_lsn, now);
+        inner.entries[..durable]
+            .iter()
+            .rev()
+            .filter(|e| cutoff_lsn.is_none_or(|cut| e.lsn <= cut))
+            .find_map(|e| match *e.payload {
+                LogPayload::CommitDecision { txn: t, commit } if t == txn => Some(commit),
+                _ => None,
+            })
+    }
+
+    /// The durable [`LogPayload::CommitVote`] for `txn` at or below
+    /// `cutoff_lsn`, if any (verdict assembly and tests).
+    pub fn commit_vote_for(&self, txn: TxnId, cutoff_lsn: Option<u64>) -> Option<bool> {
+        let now = now_us();
+        let inner = self.folded();
+        let durable = self.durable_len(&inner.entries, cutoff_lsn, now);
+        inner.entries[..durable]
+            .iter()
+            .rev()
+            .filter(|e| cutoff_lsn.is_none_or(|cut| e.lsn <= cut))
+            .find_map(|e| match *e.payload {
+                LogPayload::CommitVote { txn: t, commit, .. } if t == txn => Some(commit),
+                _ => None,
+            })
+    }
+
+    /// Transaction ids with a durable [`LogPayload::CommitVote`] at or below
+    /// `cutoff_lsn` but no resolution: no durable [`LogPayload::CommitDecision`],
+    /// no installed [`LogPayload::TxnWrites`] (evidence the commit round ran
+    /// to completion on this partition) and no [`LogPayload::TxnRolledBack`]
+    /// marker. These are the in-doubt transactions recovery must terminate;
+    /// it seals each with a global abort decision (presumed abort). Returned
+    /// in first-vote order.
+    pub fn unresolved_commit_votes(&self, cutoff_lsn: Option<u64>) -> Vec<TxnId> {
+        let now = now_us();
+        let inner = self.folded();
+        let durable = self.durable_len(&inner.entries, cutoff_lsn, now);
+        let mut voted: Vec<TxnId> = Vec::new();
+        let mut resolved: std::collections::HashSet<TxnId> = std::collections::HashSet::new();
+        for e in inner.entries[..durable]
+            .iter()
+            .filter(|e| cutoff_lsn.is_none_or(|cut| e.lsn <= cut))
+        {
+            match e.payload.as_ref() {
+                LogPayload::CommitVote { txn, .. } if !voted.contains(txn) => {
+                    voted.push(*txn);
+                }
+                LogPayload::CommitDecision { txn, .. }
+                | LogPayload::TxnWrites { txn, .. }
+                | LogPayload::TxnRolledBack { txn } => {
+                    resolved.insert(*txn);
+                }
+                _ => {}
+            }
+        }
+        voted.retain(|t| !resolved.contains(t));
+        voted
+    }
+
     /// Clone the suffix of the log starting at `from_lsn`.
     pub fn entries_from(&self, from_lsn: u64) -> Vec<LogEntry> {
         let inner = self.folded();
@@ -1162,6 +1243,76 @@ mod tests {
         let doomed = wal.collect_rolled_back(&ReplayBound::PersistWindow(crash_instant), None);
         assert_eq!(doomed.len(), 1);
         assert_eq!(doomed[0].0, txn(2));
+    }
+
+    #[test]
+    fn unresolved_commit_votes_track_decisions_installs_and_rollbacks() {
+        let wal = PartitionWal::new(PartitionId(0), 0);
+        let vote = |t: TxnId, commit: bool| LogPayload::CommitVote {
+            txn: t,
+            coordinator: PartitionId(0),
+            commit,
+        };
+        // txn 1: voted, decided — resolved.
+        wal.append(vote(txn(1), true));
+        wal.append(LogPayload::CommitDecision {
+            txn: txn(1),
+            commit: true,
+        });
+        // txn 2: voted, writes installed — resolved (commit completed).
+        wal.append(vote(txn(2), true));
+        wal.append(LogPayload::TxnWrites {
+            txn: txn(2),
+            ts: 5,
+            writes: writes(2),
+        });
+        // txn 3: voted, rolled back by compensation — resolved.
+        wal.append(vote(txn(3), true));
+        wal.append(LogPayload::TxnRolledBack { txn: txn(3) });
+        // txn 4: voted, nothing else — in doubt.
+        let in_doubt_lsn = wal.append(vote(txn(4), true));
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(wal.unresolved_commit_votes(None), vec![txn(4)]);
+        assert_eq!(wal.commit_vote_for(txn(4), None), Some(true));
+        assert_eq!(wal.commit_decision_for(txn(4), None), None);
+        assert_eq!(wal.commit_decision_for(txn(1), None), Some(true));
+        // Sealing the in-doubt vote with an abort decision resolves it.
+        wal.append(LogPayload::CommitDecision {
+            txn: txn(4),
+            commit: false,
+        });
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(wal.unresolved_commit_votes(None).is_empty());
+        assert_eq!(wal.commit_decision_for(txn(4), None), Some(false));
+        // A cutoff below the seal re-exposes the in-doubt vote (crash-time
+        // durable horizon), and one below the vote hides it entirely.
+        assert_eq!(
+            wal.unresolved_commit_votes(Some(in_doubt_lsn)),
+            vec![txn(4)]
+        );
+        assert!(wal
+            .unresolved_commit_votes(Some(in_doubt_lsn - 1))
+            .is_empty());
+    }
+
+    #[test]
+    fn commit_votes_survive_log_repair() {
+        let wal = PartitionWal::new(PartitionId(0), 0);
+        wal.append(LogPayload::CommitVote {
+            txn: txn(1),
+            coordinator: PartitionId(0),
+            commit: true,
+        });
+        wal.append(LogPayload::CommitDecision {
+            txn: txn(1),
+            commit: false,
+        });
+        std::thread::sleep(Duration::from_millis(1));
+        // Votes and decisions are control entries: the recovery-time purge
+        // never drops them, whatever the bound.
+        let removed = wal.retain_replayable(0, &ReplayBound::Ts(0), Some(wal.end_lsn()));
+        assert_eq!(removed, 0);
+        assert_eq!(wal.commit_decision_for(txn(1), None), Some(false));
     }
 
     #[test]

@@ -453,6 +453,35 @@ impl ReplicatedLog {
         }
     }
 
+    /// The newest quorum-durable [`LogPayload::CommitDecision`] verdict for
+    /// `txn` at or below `cutoff_lsn` (Paxos Commit verdict assembly).
+    pub fn commit_decision_for(&self, txn: TxnId, cutoff_lsn: Option<u64>) -> Option<bool> {
+        let cut = self.core.quorum_cutoff(cutoff_lsn)?;
+        self.core
+            .leader_replica()
+            .commit_decision_for(txn, Some(cut))
+    }
+
+    /// The quorum-durable [`LogPayload::CommitVote`] for `txn` at or below
+    /// `cutoff_lsn`, if any.
+    pub fn commit_vote_for(&self, txn: TxnId, cutoff_lsn: Option<u64>) -> Option<bool> {
+        let cut = self.core.quorum_cutoff(cutoff_lsn)?;
+        self.core.leader_replica().commit_vote_for(txn, Some(cut))
+    }
+
+    /// Transaction ids with a quorum-durable prepare vote but no resolution
+    /// at or below `cutoff_lsn` — the in-doubt set recovery terminates (see
+    /// [`PartitionWal::unresolved_commit_votes`]).
+    pub fn unresolved_commit_votes(&self, cutoff_lsn: Option<u64>) -> Vec<TxnId> {
+        match self.core.quorum_cutoff(cutoff_lsn) {
+            Some(cut) => self
+                .core
+                .leader_replica()
+                .unresolved_commit_votes(Some(cut)),
+            None => Vec::new(),
+        }
+    }
+
     /// Transaction ids with a rollback marker anywhere in the log,
     /// regardless of durability.
     pub fn rolled_back_txns(&self) -> HashSet<TxnId> {
@@ -1322,6 +1351,33 @@ mod tests {
             })
             .collect();
         assert_eq!(ts, vec![6, 7, 8]);
+    }
+
+    #[test]
+    fn commit_votes_and_decisions_survive_leader_disk_loss() {
+        let log = rf3(0, 0, 0);
+        let t = txn(1);
+        log.append(LogPayload::CommitVote {
+            txn: t,
+            coordinator: PartitionId(0),
+            commit: true,
+        });
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(log.commit_vote_for(t, None), Some(true));
+        assert_eq!(log.unresolved_commit_votes(None), vec![t]);
+        // The coordinator's replica loses its disk: the quorum still holds
+        // the vote, so any survivor can terminate the in-doubt transaction.
+        let cutoff = log.durable_lsn();
+        log.fail_over(true);
+        assert_eq!(log.commit_vote_for(t, cutoff), Some(true));
+        assert_eq!(log.unresolved_commit_votes(cutoff), vec![t]);
+        log.append(LogPayload::CommitDecision {
+            txn: t,
+            commit: false,
+        });
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(log.commit_decision_for(t, None), Some(false));
+        assert!(log.unresolved_commit_votes(None).is_empty());
     }
 
     #[test]

@@ -18,8 +18,8 @@
 //! Run with: `cargo run --release --example crash_recovery`
 
 use primo_repro::{
-    ClosureProgram, CrashPlan, Experiment, PartitionId, Primo, ProtocolKind, Scale, TableId,
-    TraceEventKind, Value,
+    ClosureProgram, CommitMode, CrashPlan, Experiment, PartitionId, Primo, ProtocolKind, Scale,
+    TableId, TraceEventKind, Value,
 };
 use std::time::Duration;
 
@@ -42,11 +42,11 @@ fn main() {
             // loss — and the quorum-ack delay shows up as replication lag.
             .replication_factor(3)
             .checkpoint_interval_ms(150)
-            .crash(CrashPlan {
-                partition: PartitionId(1),
-                at: Duration::from_millis(300),
-                recover_after: Duration::from_millis(30),
-            })
+            .crash(CrashPlan::partition_loss(
+                PartitionId(1),
+                Duration::from_millis(300),
+                Duration::from_millis(30),
+            ))
             .run();
         println!(
             "watermark interval {:>3} ms: {:>8.1} ktps, crash-abort rate {:.4}, avg latency {:.2} ms",
@@ -73,6 +73,14 @@ fn main() {
              pump batches averaged {:.1} entr(ies)",
             snap.wal_append_wait_us, snap.replication_batch_len
         );
+        println!(
+            "    atomic commit: {} distributed decisions, prepare->decide mean {:.0} us \
+             / p99 {} us; {} in-doubt resolved",
+            snap.commit_decisions,
+            snap.commit_decide_mean_us,
+            snap.commit_decide_p99_us,
+            snap.in_doubt_resolved
+        );
     }
     println!();
     println!("Larger watermark intervals widen the window of transactions that a crash");
@@ -80,7 +88,42 @@ fn main() {
     println!("the paper tunes in Fig 12. Checkpoints bound the replay a recovery must do;");
     println!("shorten the checkpoint interval to shrink recovery time further.");
 
+    coordinator_crash(&scale);
     trace_excerpt();
+}
+
+/// Crash the *coordinator* instead of a partition: a one-shot trap fires
+/// between the vote round and the decision of one distributed commit — the
+/// classic 2PC in-doubt window. Under blocking 2PC the transaction is
+/// orphaned (its locks leak); under Paxos Commit it is terminated from the
+/// quorum-durable vote set.
+fn coordinator_crash(scale: &Scale) {
+    println!();
+    for mode in [CommitMode::TwoPc, CommitMode::PaxosCommit] {
+        let snap = Experiment::new()
+            .protocol(ProtocolKind::TwoPlNoWait)
+            .scale(*scale)
+            .commit_mode(mode)
+            .replication_factor(3)
+            .crash(CrashPlan::coordinator(
+                PartitionId(0),
+                Duration::from_millis(scale.duration_ms / 2),
+            ))
+            .run();
+        println!(
+            "coordinator crash under {:<11}: {:>8.1} ktps, {} decisions \
+             (mean {:.0} us, p99 {} us), {} in-doubt resolved, {} orphaned",
+            mode.label(),
+            snap.ktps(),
+            snap.commit_decisions,
+            snap.commit_decide_mean_us,
+            snap.commit_decide_p99_us,
+            snap.in_doubt_resolved,
+            snap.orphaned_txns
+        );
+    }
+    println!("Paxos Commit terminates the stranded transaction (in-doubt resolved, nothing");
+    println!("orphaned); classic 2PC leaves it blocked with its locks held.");
 }
 
 /// Re-run the crash in miniature through the cluster facade and print what

@@ -22,7 +22,7 @@
 //! ```
 
 use crate::registry::ProtocolRegistry;
-use primo_common::config::{ClusterConfig, LoggingScheme, ProtocolKind};
+use primo_common::config::{ClusterConfig, CommitMode, LoggingScheme, ProtocolKind};
 use primo_common::{MetricsSnapshot, PartitionId};
 use primo_runtime::experiment::{run_experiment, CrashPlan, ExperimentOptions};
 use primo_runtime::protocol::Protocol;
@@ -124,6 +124,7 @@ pub struct ExperimentBuilder {
     scale: Scale,
     workload: Option<WorkloadSpec>,
     logging_override: Option<LoggingScheme>,
+    commit_override: Option<CommitMode>,
     crash: Option<CrashPlan>,
     lag_partition: Option<(PartitionId, u64)>,
     slow_partition: Option<(PartitionId, u64)>,
@@ -150,6 +151,7 @@ impl ExperimentBuilder {
             scale: Scale::quick(),
             workload: None,
             logging_override: None,
+            commit_override: None,
             crash: None,
             lag_partition: None,
             slow_partition: None,
@@ -274,6 +276,14 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Force an atomic-commit mode instead of the registry's per-protocol
+    /// pairing: [`CommitMode::TwoPc`] (blocking, the paper's baseline) or
+    /// [`CommitMode::PaxosCommit`] (non-blocking over the replicated log).
+    pub fn commit_mode(mut self, mode: CommitMode) -> Self {
+        self.commit_override = Some(mode);
+        self
+    }
+
     /// Watermark interval / COCO epoch length in milliseconds (default 20 ms,
     /// the unified size of §6.2).
     pub fn wal_interval_ms(mut self, ms: u64) -> Self {
@@ -363,6 +373,9 @@ impl ExperimentBuilder {
         cfg.wal.scheme = self
             .logging_override
             .unwrap_or_else(|| self.registry.logging_scheme_for(self.kind));
+        cfg.commit_mode = self
+            .commit_override
+            .unwrap_or_else(|| self.registry.commit_mode_for(self.kind));
         if !self.fast_local {
             // Paper §6.2: the epoch size of COCO and the watermark interval
             // of WM are unified (20 ms) so all protocols see ~10 ms avg
@@ -439,6 +452,24 @@ mod tests {
             .protocol(ProtocolKind::Silo)
             .logging(LoggingScheme::Clv);
         assert_eq!(e.cluster_config().wal.scheme, LoggingScheme::Clv);
+    }
+
+    #[test]
+    fn builder_routes_the_commit_mode_knob() {
+        // Default: the registry pairing (classic 2PC everywhere).
+        let mut e = Experiment::new().protocol(ProtocolKind::Primo);
+        assert_eq!(e.cluster_config().commit_mode, CommitMode::TwoPc);
+        // Explicit override wins.
+        let mut e = Experiment::new().commit_mode(CommitMode::PaxosCommit);
+        assert_eq!(e.cluster_config().commit_mode, CommitMode::PaxosCommit);
+        // A registry knob flows through without an override.
+        let mut e = Experiment::new()
+            .registry(
+                ProtocolRegistry::standard()
+                    .with_commit_mode(ProtocolKind::Silo, CommitMode::PaxosCommit),
+            )
+            .protocol(ProtocolKind::Silo);
+        assert_eq!(e.cluster_config().commit_mode, CommitMode::PaxosCommit);
     }
 
     #[test]

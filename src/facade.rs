@@ -36,10 +36,10 @@
 //! ```
 
 use crate::registry::ProtocolRegistry;
-use primo_common::config::{ClusterConfig, LoggingScheme, ProtocolKind};
+use primo_common::config::{ClusterConfig, CommitMode, LoggingScheme, ProtocolKind};
 use primo_common::{AbortReason, Key, PartitionId, TableId, TxnResult, Value};
 use primo_runtime::cluster::Cluster;
-use primo_runtime::experiment::CrashPlan;
+use primo_runtime::experiment::{CrashKind, CrashPlan};
 use primo_runtime::protocol::Protocol;
 use primo_runtime::txn::{ClosureProgram, TxnContext, TxnProgram};
 use primo_runtime::worker::run_single_txn;
@@ -63,6 +63,7 @@ pub struct ClusterBuilder {
     protocol_override: Option<Arc<dyn Protocol>>,
     registry: ProtocolRegistry,
     logging_override: Option<LoggingScheme>,
+    commit_override: Option<CommitMode>,
     crash: Option<CrashPlan>,
     tweaks: Vec<ClusterTweak>,
 }
@@ -84,6 +85,7 @@ impl ClusterBuilder {
             protocol_override: None,
             registry: ProtocolRegistry::standard(),
             logging_override: None,
+            commit_override: None,
             crash: None,
             tweaks: Vec::new(),
         }
@@ -105,6 +107,15 @@ impl ClusterBuilder {
     /// Force a group-commit scheme instead of the protocol's §6.1.3 pairing.
     pub fn logging(mut self, scheme: LoggingScheme) -> Self {
         self.logging_override = Some(scheme);
+        self
+    }
+
+    /// Atomic-commit mode for distributed transactions:
+    /// [`CommitMode::TwoPc`] (blocking, the default) or
+    /// [`CommitMode::PaxosCommit`] (non-blocking over the replicated log).
+    /// Overrides the registry's per-protocol pairing.
+    pub fn commit_mode(mut self, mode: CommitMode) -> Self {
+        self.commit_override = Some(mode);
         self
     }
 
@@ -227,6 +238,9 @@ impl ClusterBuilder {
         config.wal.scheme = self
             .logging_override
             .unwrap_or_else(|| self.registry.logging_scheme_for(self.kind));
+        config.commit_mode = self
+            .commit_override
+            .unwrap_or_else(|| self.registry.commit_mode_for(self.kind));
         if let Some(ms) = self.wal_interval_ms {
             config.wal.interval_ms = ms;
         }
@@ -316,7 +330,9 @@ impl Primo {
 
     /// Execute the crash plan configured at build time on this thread:
     /// wait `plan.at`, crash the partition, wait `plan.recover_after`,
-    /// recover it. Blocks for the plan's whole timeline (run it from a
+    /// recover it. For a [`CrashKind::Coordinator`] plan nothing goes down —
+    /// the one-shot coordinator trap is armed instead and there is no
+    /// recovery step. Blocks for the plan's whole timeline (run it from a
     /// driver thread while sessions keep working on others). Returns false
     /// (and does nothing) if the builder configured no plan.
     pub fn trigger_crash_plan(&self) -> bool {
@@ -324,6 +340,10 @@ impl Primo {
             return false;
         };
         std::thread::sleep(plan.at);
+        if plan.kind == CrashKind::Coordinator {
+            self.cluster.arm_coordinator_crash(plan.partition);
+            return true;
+        }
         self.crash_partition(plan.partition);
         std::thread::sleep(plan.recover_after);
         self.recover_partition(plan.partition);
@@ -426,6 +446,21 @@ mod tests {
             .build();
         assert_eq!(primo.protocol().name(), "Sundial");
         assert_eq!(primo.cluster().group_commit.label(), "COCO");
+        primo.shutdown();
+    }
+
+    #[test]
+    fn commit_mode_knob_reaches_the_cluster() {
+        let primo = Primo::builder()
+            .partitions(2)
+            .fast_local()
+            .commit_mode(CommitMode::PaxosCommit)
+            .build();
+        assert_eq!(primo.cluster().atomic_commit().label(), "PaxosCommit");
+        primo.shutdown();
+        // Default stays the blocking baseline.
+        let primo = Primo::builder().partitions(1).fast_local().build();
+        assert_eq!(primo.cluster().atomic_commit().label(), "2PC");
         primo.shutdown();
     }
 

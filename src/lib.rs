@@ -62,7 +62,7 @@ pub use registry::{ProtocolEntry, ProtocolRegistry};
 // The shared vocabulary, re-exported flat so facade users rarely need the
 // namespaced modules.
 pub use primo_common::config::{
-    ClusterConfig, LoggingScheme, NetConfig, PrimoConfig, ProtocolKind, WalConfig,
+    ClusterConfig, CommitMode, LoggingScheme, NetConfig, PrimoConfig, ProtocolKind, WalConfig,
 };
 pub use primo_common::{
     AbortReason, FastRng, Key, MetricsSnapshot, PartitionId, Phase, TableId, TxnError, TxnId,
@@ -70,7 +70,8 @@ pub use primo_common::{
 };
 pub use primo_core::PrimoProtocol;
 pub use primo_recovery::{CheckpointStats, Checkpointer, RecoveryManager, RecoveryReport};
-pub use primo_runtime::experiment::CrashPlan;
+pub use primo_runtime::commit::{AtomicCommit, ClassicTwoPc, PaxosCommit, PrepareOutcome};
+pub use primo_runtime::experiment::{CrashKind, CrashPlan};
 pub use primo_runtime::protocol::{CommittedTxn, Protocol};
 pub use primo_runtime::snapshot::{execute_snapshot, SnapshotOutcome, SnapshotSession};
 pub use primo_runtime::txn::{ClosureProgram, TxnContext, TxnProgram, Workload};

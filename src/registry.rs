@@ -10,7 +10,7 @@
 //! scheme, Aria and TAPIR confirm durability themselves).
 
 use primo_baselines::{AriaProtocol, SiloProtocol, SundialProtocol, TapirProtocol, TwoPlProtocol};
-use primo_common::config::{LoggingScheme, ProtocolKind};
+use primo_common::config::{CommitMode, LoggingScheme, ProtocolKind};
 use primo_core::PrimoProtocol;
 use primo_runtime::protocol::Protocol;
 use std::sync::Arc;
@@ -27,6 +27,9 @@ pub struct ProtocolEntry {
     pub name: &'static str,
     /// The group-commit scheme this protocol is paired with by default.
     pub logging: LoggingScheme,
+    /// The atomic-commit mode distributed transactions of this protocol
+    /// decide with (default: classic blocking 2PC, the paper's baseline).
+    pub commit: CommitMode,
     ctor: ProtocolCtor,
 }
 
@@ -36,6 +39,7 @@ impl std::fmt::Debug for ProtocolEntry {
             .field("kind", &self.kind)
             .field("name", &self.name)
             .field("logging", &self.logging)
+            .field("commit", &self.commit)
             .finish()
     }
 }
@@ -130,8 +134,48 @@ impl ProtocolRegistry {
             kind,
             name: kind.label(),
             logging,
+            commit: CommitMode::default(),
             ctor,
         });
+    }
+
+    /// Named knob: set the atomic-commit mode one protocol's distributed
+    /// transactions decide with (chainable).
+    ///
+    /// # Panics
+    /// Panics if the kind is not registered — a silently dropped knob would
+    /// make an ablation run measure the wrong protocol.
+    pub fn with_commit_mode(mut self, kind: ProtocolKind, mode: CommitMode) -> Self {
+        self.set_commit_mode(kind, mode);
+        self
+    }
+
+    /// In-place form of [`ProtocolRegistry::with_commit_mode`].
+    ///
+    /// # Panics
+    /// Panics if the kind is not registered.
+    pub fn set_commit_mode(&mut self, kind: ProtocolKind, mode: CommitMode) {
+        let entry = self
+            .entries
+            .iter_mut()
+            .find(|e| e.kind == kind)
+            .unwrap_or_else(|| panic!("protocol {kind:?} is not registered"));
+        entry.commit = mode;
+    }
+
+    /// Set the atomic-commit mode of *every* registered protocol (chainable)
+    /// — the whole-matrix ablation switch.
+    pub fn with_commit_mode_everywhere(mut self, mode: CommitMode) -> Self {
+        for e in &mut self.entries {
+            e.commit = mode;
+        }
+        self
+    }
+
+    /// The atomic-commit mode a kind decides distributed transactions with.
+    /// Defaults to classic 2PC for unregistered kinds.
+    pub fn commit_mode_for(&self, kind: ProtocolKind) -> CommitMode {
+        self.entry(kind).map(|e| e.commit).unwrap_or_default()
     }
 
     /// All registered kinds, in registration order.
@@ -225,6 +269,29 @@ mod tests {
             ProtocolKind::TwoPlNoWait
         );
         assert!(reg.entry_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn commit_mode_knob_is_per_protocol() {
+        let reg = ProtocolRegistry::standard()
+            .with_commit_mode(ProtocolKind::TwoPlNoWait, CommitMode::PaxosCommit);
+        assert_eq!(
+            reg.commit_mode_for(ProtocolKind::TwoPlNoWait),
+            CommitMode::PaxosCommit
+        );
+        // Everyone else keeps the blocking default.
+        assert_eq!(reg.commit_mode_for(ProtocolKind::Primo), CommitMode::TwoPc);
+        let reg = reg.with_commit_mode_everywhere(CommitMode::PaxosCommit);
+        for kind in reg.kinds() {
+            assert_eq!(reg.commit_mode_for(kind), CommitMode::PaxosCommit);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "is not registered")]
+    fn commit_mode_knob_rejects_unregistered_kinds() {
+        let _ = ProtocolRegistry::empty()
+            .with_commit_mode(ProtocolKind::Primo, CommitMode::PaxosCommit);
     }
 
     #[test]

@@ -86,11 +86,11 @@ fn crash_injection_produces_crash_aborts_and_recovers() {
         .duration_ms(400)
         // Longer interval so in-flight transactions exist when the crash hits.
         .wal_interval_ms(20)
-        .crash(CrashPlan {
-            partition: PartitionId(1),
-            at: Duration::from_millis(150),
-            recover_after: Duration::from_millis(50),
-        })
+        .crash(CrashPlan::partition_loss(
+            PartitionId(1),
+            Duration::from_millis(150),
+            Duration::from_millis(50),
+        ))
         .run();
     assert!(
         snap.committed > 0,

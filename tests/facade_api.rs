@@ -135,11 +135,11 @@ fn crash_plan_from_builder_is_executable() {
     let primo = Primo::builder()
         .partitions(2)
         .fast_local()
-        .crash(CrashPlan {
-            partition: PartitionId(1),
-            at: Duration::from_millis(5),
-            recover_after: Duration::from_millis(5),
-        })
+        .crash(CrashPlan::partition_loss(
+            PartitionId(1),
+            Duration::from_millis(5),
+            Duration::from_millis(5),
+        ))
         .build();
     assert!(primo.crash_plan().is_some());
     assert!(primo.trigger_crash_plan());

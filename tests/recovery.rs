@@ -465,11 +465,11 @@ fn experiment_pipeline_reports_recovery_metrics() {
         })
         .fast_local()
         .checkpoint_interval_ms(50)
-        .crash(CrashPlan {
-            partition: PartitionId(1),
-            at: Duration::from_millis(100),
-            recover_after: Duration::from_millis(30),
-        })
+        .crash(CrashPlan::partition_loss(
+            PartitionId(1),
+            Duration::from_millis(100),
+            Duration::from_millis(30),
+        ))
         .run();
     assert!(snap.committed > 0);
     assert!(snap.recovery_time_us > 0, "recovery latency reported");
