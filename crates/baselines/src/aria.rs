@@ -20,6 +20,7 @@ use primo_common::{
 use primo_runtime::access::WriteKind;
 use primo_runtime::cluster::Cluster;
 use primo_runtime::durability::log_txn_writes;
+use primo_runtime::prefetch::ReadFanout;
 use primo_runtime::protocol::{CommittedTxn, Protocol};
 use primo_runtime::txn::TxnProgram;
 use std::collections::HashMap;
@@ -158,6 +159,7 @@ impl Protocol for AriaProtocol {
         program: &dyn TxnProgram,
         ticket: &primo_wal::TxnTicket,
         timers: &mut PhaseTimers,
+        fanout: &ReadFanout,
     ) -> TxnResult<CommittedTxn> {
         let home = program.home_partition();
         let priority = txn.pack();
@@ -172,7 +174,8 @@ impl Protocol for AriaProtocol {
         });
 
         // ---- Execution phase: run against the current snapshot, no locks. ----
-        let mut ctx = BaselineCtx::new(cluster, txn, home, ReadGuard::Optimistic);
+        let mut ctx =
+            BaselineCtx::new(cluster, txn, home, ReadGuard::Optimistic).with_fanout(fanout);
         let exec = timers.time(Phase::Execute, || program.execute(&mut ctx));
         let exec_failed = exec.is_err() || ctx.dead.is_some();
         if !exec_failed {
@@ -404,7 +407,14 @@ mod tests {
                 let ticket = cluster.group_commit.begin_txn(PartitionId(0), txn);
                 let mut timers = PhaseTimers::new();
                 protocol
-                    .execute_once(&cluster, txn, &prog, &ticket, &mut timers)
+                    .execute_once(
+                        &cluster,
+                        txn,
+                        &prog,
+                        &ticket,
+                        &mut timers,
+                        &ReadFanout::empty(),
+                    )
                     .map(|c| c.ops)
                     .map_err(|e| e.reason())
             }));

@@ -10,6 +10,7 @@ use primo_runtime::access::{
 use primo_runtime::cluster::Cluster;
 use primo_runtime::commit::{PrepareOutcome, PreparedAt};
 use primo_runtime::durability::log_txn_writes;
+use primo_runtime::prefetch::{PrefetchOutcome, ReadFanout};
 use primo_runtime::txn::TxnContext;
 use primo_storage::{LockMode, LockPolicy, LockRequestResult, Record};
 use primo_trace::TraceEventKind;
@@ -37,6 +38,10 @@ pub struct BaselineCtx<'a> {
     /// crash under classic 2PC): cleanup must NOT run — the locks leak and
     /// the participants stay blocked, which is the observable failure mode.
     orphaned: std::cell::Cell<bool>,
+    /// The attempt's batched-prefetch buffer, when the worker resolved one
+    /// (see [`primo_runtime::prefetch`]): consulted before paying a
+    /// per-record remote round trip.
+    fanout: Option<&'a ReadFanout>,
 }
 
 impl<'a> BaselineCtx<'a> {
@@ -49,12 +54,67 @@ impl<'a> BaselineCtx<'a> {
             access: AccessSet::new(),
             dead: None,
             orphaned: std::cell::Cell::new(false),
+            fanout: None,
         }
+    }
+
+    /// Attach the attempt's prefetch buffer. Without it every remote read
+    /// pays the sequential per-record round trip, as before.
+    pub fn with_fanout(mut self, fanout: &'a ReadFanout) -> Self {
+        self.fanout = Some(fanout);
+        self
     }
 
     fn fail(&mut self, reason: AbortReason) -> TxnError {
         self.dead = Some(reason);
         TxnError::Aborted(reason)
+    }
+
+    /// Pay the network cost of a remote read — unless the attempt's batched
+    /// fan-out already covers the key at the record's current version. A
+    /// stale or missing entry falls back to the per-record round trip; a hit
+    /// on a partition that crashed since the fan-out still fails, exactly as
+    /// the round trip would.
+    fn charge_remote_read(&mut self, p: PartitionId, table: TableId, key: Key) -> TxnResult<()> {
+        let outcome = match self.fanout {
+            None => PrefetchOutcome::Miss,
+            Some(f) => {
+                f.observe(p, table, key);
+                f.check_value(self.cluster, p, table, key)
+            }
+        };
+        match outcome {
+            PrefetchOutcome::Hit => {
+                if self.cluster.net.is_crashed(p) {
+                    return Err(self.fail(AbortReason::RemoteUnavailable));
+                }
+                self.cluster.note_prefetch_hit();
+                self.cluster.recorder.emit(
+                    Some(self.txn),
+                    Some(self.home),
+                    TraceEventKind::PrefetchHit,
+                );
+                Ok(())
+            }
+            outcome => {
+                if self.fanout.is_some() {
+                    if outcome == PrefetchOutcome::Stale {
+                        self.cluster.note_prefetch_stale();
+                        self.cluster.recorder.emit(
+                            Some(self.txn),
+                            Some(self.home),
+                            TraceEventKind::PrefetchStale,
+                        );
+                    } else {
+                        self.cluster.note_prefetch_miss();
+                    }
+                }
+                if !self.cluster.net.round_trip(self.home, p) {
+                    return Err(self.fail(AbortReason::RemoteUnavailable));
+                }
+                Ok(())
+            }
+        }
     }
 
     /// Unwind every record this attempt materialised for an insert, release
@@ -105,9 +165,7 @@ impl TxnContext for BaselineCtx<'_> {
         }
         let remote = p != self.home;
         if remote {
-            if !self.cluster.net.round_trip(self.home, p) {
-                return Err(self.fail(AbortReason::RemoteUnavailable));
-            }
+            self.charge_remote_read(p, table, key)?;
         } else if self.cluster.net.is_crashed(p) {
             return Err(self.fail(AbortReason::RemoteUnavailable));
         }

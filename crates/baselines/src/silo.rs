@@ -9,6 +9,7 @@ use crate::common::{
 };
 use primo_common::{AbortReason, Phase, PhaseTimers, TxnError, TxnId, TxnResult};
 use primo_runtime::cluster::Cluster;
+use primo_runtime::prefetch::ReadFanout;
 use primo_runtime::protocol::{CommittedTxn, Protocol};
 use primo_runtime::txn::TxnProgram;
 use primo_storage::LockPolicy;
@@ -36,9 +37,11 @@ impl Protocol for SiloProtocol {
         program: &dyn TxnProgram,
         ticket: &TxnTicket,
         timers: &mut PhaseTimers,
+        fanout: &ReadFanout,
     ) -> TxnResult<CommittedTxn> {
         let home = program.home_partition();
-        let mut ctx = BaselineCtx::new(cluster, txn, home, ReadGuard::Optimistic);
+        let mut ctx =
+            BaselineCtx::new(cluster, txn, home, ReadGuard::Optimistic).with_fanout(fanout);
 
         // Execution phase: optimistic reads, buffered writes.
         let exec = timers.time(Phase::Execute, || program.execute(&mut ctx));

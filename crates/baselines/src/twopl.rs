@@ -11,6 +11,7 @@ use crate::common::{
 };
 use primo_common::{Phase, PhaseTimers, TxnError, TxnId, TxnResult};
 use primo_runtime::cluster::Cluster;
+use primo_runtime::prefetch::ReadFanout;
 use primo_runtime::protocol::{CommittedTxn, Protocol};
 use primo_runtime::txn::TxnProgram;
 use primo_storage::LockPolicy;
@@ -55,9 +56,11 @@ impl Protocol for TwoPlProtocol {
         program: &dyn TxnProgram,
         ticket: &TxnTicket,
         timers: &mut PhaseTimers,
+        fanout: &ReadFanout,
     ) -> TxnResult<CommittedTxn> {
         let home = program.home_partition();
-        let mut ctx = BaselineCtx::new(cluster, txn, home, ReadGuard::SharedLock(self.policy));
+        let mut ctx = BaselineCtx::new(cluster, txn, home, ReadGuard::SharedLock(self.policy))
+            .with_fanout(fanout);
 
         // Execution phase: shared-lock reads, buffered writes.
         let exec = timers.time(Phase::Execute, || program.execute(&mut ctx));
@@ -206,7 +209,14 @@ mod tests {
         let mut timers = PhaseTimers::new();
         let txn = cluster.next_txn_id(PartitionId(0));
         let err = protocol
-            .execute_once(&cluster, txn, &prog, &ticket, &mut timers)
+            .execute_once(
+                &cluster,
+                txn,
+                &prog,
+                &ticket,
+                &mut timers,
+                &ReadFanout::empty(),
+            )
             .unwrap_err();
         assert!(err.reason().is_conflict());
         rec.release(blocker);

@@ -1,4 +1,4 @@
-//! Emit `BENCH_PR9.json`: the standing per-PR performance trajectory matrix.
+//! Emit `BENCH_PR10.json`: the standing per-PR performance trajectory matrix.
 //!
 //! Unlike the one-off `bench_pr6` snapshot, this emitter is the **fixed
 //! matrix** ROADMAP.md asks for — the same cells re-run (and re-committed)
@@ -20,6 +20,15 @@
 //!   YCSB cell under classic 2PC vs Paxos Commit for a lock-based and an
 //!   OCC-ish protocol, reporting committed TPS plus the prepare→decide
 //!   latency of distributed commits (the round trip Paxos Commit removes).
+//! * `remote_read` — the batched fan-out ablation (PR 10): a fully
+//!   distributed 10-op YCSB cell (every transaction remote on every
+//!   operation) with `batch_remote_reads` on vs off, swept over one-way
+//!   network latencies of 5 / 50 / 200 µs, for Primo and 2PL(NW). Reports
+//!   remote round trips per committed distributed transaction (the batched
+//!   cell must stay ≥ 2× below the sequential one), the prefetch hit rate,
+//!   and the distributed-only mean/p99 latency — the p99 gap widens with the
+//!   one-way latency because the fan-out pays the slowest partition once
+//!   instead of one round trip per record.
 //! * `trace_overhead` — the cost of the always-on flight recorder: the two
 //!   most recording-sensitive probes (contended append at RF 3 × 4 threads,
 //!   and write-heavy YCSB under Primo/watermark) run with recording enabled
@@ -31,7 +40,7 @@
 //! bench_matrix --trace-overhead [--duration-ms N] ...   # gate mode
 //! ```
 //!
-//! The committed `BENCH_PR9.json` at the repo root is generated with the
+//! The committed `BENCH_PR10.json` at the repo root is generated with the
 //! defaults; CI smoke-runs the emitter at a reduced duration and asserts the
 //! schema plus non-zero TPS, and runs `--trace-overhead` in release, which
 //! exits non-zero past the gate: the contract limit (5 %) on the
@@ -305,6 +314,56 @@ fn run_commit_cell(kind: ProtocolKind, mode: CommitMode, scale: &Scale) -> Commi
     }
 }
 
+/// One remote-read ablation cell: fully distributed, fully remote YCSB with
+/// the batched fan-out on or off, at a given one-way network latency.
+struct RemoteReadCell {
+    protocol: &'static str,
+    one_way_us: u64,
+    batched: bool,
+    tps: f64,
+    round_trips_per_dist_txn: f64,
+    prefetch_hit_rate: f64,
+    dist_mean_ms: f64,
+    dist_p99_ms: f64,
+}
+
+const ONE_WAY_POINTS: [u64; 3] = [5, 50, 200];
+
+fn run_remote_read_cell(
+    kind: ProtocolKind,
+    one_way_us: u64,
+    batched: bool,
+    scale: &Scale,
+) -> RemoteReadCell {
+    let snap = Experiment::new()
+        .protocol(kind)
+        .scale(*scale)
+        .replication_factor(REPLICATION_FACTOR)
+        .checkpoint_interval_ms(scale.duration_ms.max(4) / 4)
+        .ycsb_with(|y| {
+            y.read_ratio = READ_RATIO;
+            // Every transaction distributed, every operation remote: the
+            // worst case for per-record round trips, the best for batching.
+            y.distributed_ratio = 1.0;
+            y.remote_op_ratio = 1.0;
+        })
+        .tweak_cluster(move |c| {
+            c.net.one_way_us = one_way_us;
+            c.batch_remote_reads = batched;
+        })
+        .run();
+    RemoteReadCell {
+        protocol: kind.label(),
+        one_way_us,
+        batched,
+        tps: snap.throughput_tps,
+        round_trips_per_dist_txn: snap.remote_round_trips_per_dist_txn,
+        prefetch_hit_rate: snap.prefetch_hit_rate,
+        dist_mean_ms: snap.dist_txn_mean_ms,
+        dist_p99_ms: snap.dist_txn_p99_ms,
+    }
+}
+
 fn run_cell(kind: ProtocolKind, scheme: LoggingScheme, scale: &Scale) -> Cell {
     let snap = write_heavy_snapshot(kind, scheme, scale, true);
     Cell {
@@ -321,7 +380,7 @@ fn run_cell(kind: ProtocolKind, scheme: LoggingScheme, scale: &Scale) -> Cell {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::quick();
-    let mut out_path = String::from("BENCH_PR9.json");
+    let mut out_path = String::from("BENCH_PR10.json");
     let mut gate_only = false;
     let mut i = 0;
     while i < args.len() {
@@ -431,13 +490,40 @@ fn main() {
         }
     }
 
+    eprintln!("# remote-read batching: one-way {ONE_WAY_POINTS:?} us, batched vs sequential");
+    let mut remote_cells = Vec::new();
+    for kind in [ProtocolKind::Primo, ProtocolKind::TwoPlNoWait] {
+        for one_way_us in ONE_WAY_POINTS {
+            for batched in [false, true] {
+                let cell = run_remote_read_cell(kind, one_way_us, batched, &scale);
+                eprintln!(
+                    "{:<12} one-way={:>3}us {} tps={:>9.0} rt/dist-txn={:>6.2} hit={:>5.1}% \
+                     dist-mean={:>7.2}ms dist-p99={:>7.2}ms",
+                    cell.protocol,
+                    cell.one_way_us,
+                    if cell.batched {
+                        "batched   "
+                    } else {
+                        "sequential"
+                    },
+                    cell.tps,
+                    cell.round_trips_per_dist_txn,
+                    cell.prefetch_hit_rate * 100.0,
+                    cell.dist_mean_ms,
+                    cell.dist_p99_ms
+                );
+                remote_cells.push(cell);
+            }
+        }
+    }
+
     eprintln!("# flight-recorder overhead (recording on vs off)");
     let (append_oh, ycsb_oh) = trace_overhead(&scale);
     report_overhead(&append_oh, &ycsb_oh);
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"pr\": 9,");
+    let _ = writeln!(json, "  \"pr\": 10,");
     let _ = writeln!(
         json,
         "  \"matrix\": {{\"read_ratio\": {READ_RATIO}, \
@@ -483,6 +569,26 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
+    json.push_str("  \"remote_read\": [\n");
+    for (i, c) in remote_cells.iter().enumerate() {
+        let comma = if i + 1 < remote_cells.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"protocol\": \"{}\", \"one_way_us\": {}, \"batched\": {}, \
+             \"tps\": {:.1}, \"round_trips_per_dist_txn\": {:.2}, \
+             \"prefetch_hit_rate\": {:.3}, \"dist_mean_ms\": {:.3}, \
+             \"dist_p99_ms\": {:.3}}}{comma}",
+            c.protocol,
+            c.one_way_us,
+            c.batched,
+            c.tps,
+            c.round_trips_per_dist_txn,
+            c.prefetch_hit_rate,
+            c.dist_mean_ms,
+            c.dist_p99_ms
+        );
+    }
+    json.push_str("  ],\n");
     let _ = writeln!(
         json,
         "  \"trace_overhead\": {{\"limit_pct\": {OVERHEAD_LIMIT_PCT}, \
@@ -496,6 +602,6 @@ fn main() {
         ycsb_oh.overhead_pct
     );
     json.push_str("}\n");
-    std::fs::write(&out_path, json).expect("write BENCH_PR9.json");
+    std::fs::write(&out_path, json).expect("write BENCH_PR10.json");
     eprintln!("wrote {out_path}");
 }

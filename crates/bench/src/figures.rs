@@ -81,6 +81,19 @@ fn print_abort_breakdown(label: &str, snap: &MetricsSnapshot) {
     println!("{label:<22} aborts: {}", parts.join(" "));
 }
 
+/// Remote-read economics of a run: round trips charged per committed
+/// distributed transaction, the batched-prefetch hit rate and the
+/// distributed-only tail latency. One row per protocol in fig 4/5.
+fn print_remote_reads(label: &str, snap: &MetricsSnapshot) {
+    println!(
+        "{label:<22} {:>8.2} rt/dist-txn   hit {:>5.1}%   dist p99 {:>8.2} ms   ({} dist txns)",
+        snap.remote_round_trips_per_dist_txn,
+        snap.prefetch_hit_rate * 100.0,
+        snap.dist_txn_p99_ms,
+        snap.dist_committed
+    );
+}
+
 fn print_breakdown(label: &str, snap: &MetricsSnapshot) {
     let mut parts = String::new();
     for p in Phase::ALL {
@@ -156,6 +169,11 @@ pub fn fig4(scale: &Scale) {
     for (kind, snap) in &snaps {
         println!("{:<22} {:>8.2} ms", kind.label(), snap.p99_latency_ms);
     }
+
+    header("Fig 4e: remote-read batching (round trips / dist txn, prefetch hits)");
+    for (kind, snap) in &snaps {
+        print_remote_reads(kind.label(), snap);
+    }
 }
 
 /// Fig. 5: the same four panels on TPC-C.
@@ -206,6 +224,11 @@ pub fn fig5(scale: &Scale) {
     header("Fig 5d: 99th-percentile latency (ms)");
     for (kind, snap) in &snaps {
         println!("{:<22} {:>8.2} ms", kind.label(), snap.p99_latency_ms);
+    }
+
+    header("Fig 5e: remote-read batching (round trips / dist txn, prefetch hits)");
+    for (kind, snap) in &snaps {
+        print_remote_reads(kind.label(), snap);
     }
 }
 
@@ -720,6 +743,30 @@ pub fn appendix_a() {
             );
         }
     }
+
+    header("Appendix A': remote-read round trips (sequential vs batched fan-out)");
+    println!(
+        "{:>8} {:>12} {:>10} {:>12}",
+        "r_op", "seq rt/txn", "batched", "advantage"
+    );
+    for r_op in [0.05, 0.1, 0.3, 0.5, 1.0] {
+        let p = ModelParams {
+            remote_op_ratio: r_op,
+            ..Default::default()
+        };
+        println!(
+            "{:>8.2} {:>12.2} {:>10.2} {:>12.2}x",
+            r_op,
+            analysis::read_round_trips_sequential(&p),
+            analysis::read_round_trips_batched(&p),
+            analysis::batching_advantage(&p)
+        );
+    }
+    println!(
+        "(crossover at one expected remote op per txn: below it the batched fan-out is\n\
+         the same single round trip the sequential path pays; above it the advantage is\n\
+         exactly m·r, the per-record round trips the footprint collapses into one)"
+    );
 }
 
 /// Run every figure.

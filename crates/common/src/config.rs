@@ -264,6 +264,12 @@ pub struct ClusterConfig {
     pub backoff_max_us: u64,
     /// Aria batch size (transactions per partition per batch).
     pub aria_batch_size: usize,
+    /// Batch the remote reads of an attempt into one parallel fan-out
+    /// (footprint-hinted or learned from the previous attempt) instead of a
+    /// round trip per record. Purely a network-accounting optimization — the
+    /// commit/abort outcome of every transaction is identical either way, so
+    /// it is on by default; off reproduces the sequential per-record model.
+    pub batch_remote_reads: bool,
     /// Experiment seed: deterministic randomness derived from it (e.g. the
     /// network jitter salt) varies across seeds while each run stays
     /// reproducible.
@@ -283,6 +289,7 @@ impl Default for ClusterConfig {
             backoff_initial_us: 500,
             backoff_max_us: 8_000,
             aria_batch_size: 32,
+            batch_remote_reads: true,
             seed: 0x5EED,
         }
     }
@@ -320,6 +327,7 @@ impl ClusterConfig {
             backoff_initial_us: 20,
             backoff_max_us: 500,
             aria_batch_size: 8,
+            batch_remote_reads: true,
             seed: 0x5EED,
         }
     }
@@ -339,6 +347,7 @@ mod tests {
         assert_eq!(c.wal.replication_factor, 1, "single-copy log by default");
         assert_eq!(c.wal.replica_persist_delay_us, None);
         assert_eq!(c.commit_mode, CommitMode::TwoPc, "blocking 2PC by default");
+        assert!(c.batch_remote_reads, "batched remote reads on by default");
     }
 
     #[test]

@@ -224,6 +224,12 @@ pub struct ClusterStats {
     pub commit_decide_mean_us: f64,
     /// p99 prepare→decide latency of distributed commits, microseconds.
     pub commit_decide_p99_us: u64,
+    /// Network round trips charged per committed distributed transaction
+    /// (the metric the batched remote-read fan-out improves).
+    pub remote_round_trips_per_dist_txn: f64,
+    /// Fraction of consulted remote reads served from the batched prefetch
+    /// buffer (hits / (hits + stale + misses); 0 with batching off).
+    pub prefetch_hit_rate: f64,
     /// Windowed TPS / abort-rate / p99 series sampled during the run.
     pub timeline: Vec<TimelineWindow>,
 }
@@ -246,6 +252,8 @@ impl ClusterStats {
             commit_decisions: 0,
             commit_decide_mean_us: 0.0,
             commit_decide_p99_us: 0,
+            remote_round_trips_per_dist_txn: 0.0,
+            prefetch_hit_rate: 0.0,
             timeline: Vec::new(),
         }
     }
@@ -276,6 +284,12 @@ pub struct Metrics {
     /// locks, no validation, no group-commit wait). Also counted into
     /// `committed`.
     snapshot_reads: AtomicU64,
+    /// Committed transactions that touched more than one partition (a subset
+    /// of `committed`).
+    dist_committed: AtomicU64,
+    /// Latency histogram over only the distributed commits — dominated by
+    /// remote round trips, so this is where the batched fan-out shows up.
+    dist_latency: Histogram,
 }
 
 impl Metrics {
@@ -283,9 +297,13 @@ impl Metrics {
         Self::default()
     }
 
-    pub fn record_commit(&self, latency_us: u64, phases: &PhaseTimers) {
+    pub fn record_commit(&self, latency_us: u64, phases: &PhaseTimers, distributed: bool) {
         self.committed.fetch_add(1, Ordering::Relaxed);
         self.latency.record_us(latency_us);
+        if distributed {
+            self.dist_committed.fetch_add(1, Ordering::Relaxed);
+            self.dist_latency.record_us(latency_us);
+        }
         let arr = phases.as_array();
         for (slot, v) in self.phase_nanos.iter().zip(arr.iter()) {
             slot.fetch_add(*v, Ordering::Relaxed);
@@ -331,6 +349,11 @@ impl Metrics {
 
     pub fn committed(&self) -> u64 {
         self.committed.load(Ordering::Relaxed)
+    }
+
+    /// Committed transactions that touched more than one partition.
+    pub fn dist_committed(&self) -> u64 {
+        self.dist_committed.load(Ordering::Relaxed)
     }
 
     pub fn aborted_attempts(&self) -> u64 {
@@ -387,6 +410,9 @@ impl Metrics {
             p50_latency_ms: self.latency.percentile_us(0.50) as f64 / 1000.0,
             p99_latency_ms: self.latency.percentile_us(0.99) as f64 / 1000.0,
             max_latency_ms: self.latency.max_us() as f64 / 1000.0,
+            dist_committed: self.dist_committed(),
+            dist_txn_mean_ms: self.dist_latency.mean_us() / 1000.0,
+            dist_txn_p99_ms: self.dist_latency.percentile_us(0.99) as f64 / 1000.0,
             phase_ms,
             abort_reasons,
             messages: self.messages.load(Ordering::Relaxed),
@@ -411,6 +437,8 @@ impl Metrics {
             commit_decisions: cluster.commit_decisions,
             commit_decide_mean_us: cluster.commit_decide_mean_us,
             commit_decide_p99_us: cluster.commit_decide_p99_us,
+            remote_round_trips_per_dist_txn: cluster.remote_round_trips_per_dist_txn,
+            prefetch_hit_rate: cluster.prefetch_hit_rate,
             timeline: cluster.timeline,
         }
     }
@@ -432,6 +460,14 @@ pub struct MetricsSnapshot {
     pub p50_latency_ms: f64,
     pub p99_latency_ms: f64,
     pub max_latency_ms: f64,
+    /// Committed transactions that touched more than one partition (a subset
+    /// of `committed`).
+    pub dist_committed: u64,
+    /// Mean commit latency over only the distributed commits, milliseconds.
+    pub dist_txn_mean_ms: f64,
+    /// p99 commit latency over only the distributed commits, milliseconds —
+    /// the latency figure the batched remote-read fan-out improves.
+    pub dist_txn_p99_ms: f64,
     /// Average milliseconds per committed transaction spent in each phase.
     pub phase_ms: HashMap<Phase, f64>,
     pub abort_reasons: HashMap<AbortReason, u64>,
@@ -498,6 +534,13 @@ pub struct MetricsSnapshot {
     pub commit_decide_mean_us: f64,
     /// p99 prepare→decide latency of distributed commits, microseconds.
     pub commit_decide_p99_us: u64,
+    /// Network round trips charged per committed distributed transaction
+    /// (filled in by the experiment driver from the cluster's network
+    /// counters; the headline number for the batched remote-read fan-out).
+    pub remote_round_trips_per_dist_txn: f64,
+    /// Fraction of consulted remote reads served from the batched prefetch
+    /// buffer (0 with batching off; filled in by the experiment driver).
+    pub prefetch_hit_rate: f64,
     /// Windowed (~100 ms) TPS / abort-rate / p99 series sampled while the
     /// run was live. Empty when the driver did not sample (short unit-test
     /// runs).
@@ -689,8 +732,8 @@ mod tests {
         let m = Metrics::new();
         let mut ph = PhaseTimers::new();
         ph.add(Phase::Execute, Duration::from_micros(100));
-        m.record_commit(500, &ph);
-        m.record_commit(1500, &ph);
+        m.record_commit(500, &ph, false);
+        m.record_commit(1500, &ph, true);
         m.record_abort(AbortReason::LockConflict);
         m.record_abort(AbortReason::CrashAbort);
         m.record_recovery(1_500, 42);
@@ -710,6 +753,8 @@ mod tests {
                 commit_decisions: 7,
                 commit_decide_mean_us: 340.0,
                 commit_decide_p99_us: 900,
+                remote_round_trips_per_dist_txn: 2.5,
+                prefetch_hit_rate: 0.75,
                 timeline: vec![TimelineWindow {
                     start_us: 0,
                     len_us: 100_000,
@@ -738,6 +783,12 @@ mod tests {
         assert_eq!(s.commit_decisions, 7);
         assert_eq!(s.commit_decide_mean_us, 340.0);
         assert_eq!(s.commit_decide_p99_us, 900);
+        assert_eq!(s.remote_round_trips_per_dist_txn, 2.5);
+        assert_eq!(s.prefetch_hit_rate, 0.75);
+        // Only the 1500us commit was distributed.
+        assert_eq!(s.dist_committed, 1);
+        assert!(s.dist_txn_p99_ms > 1.0 && s.dist_txn_p99_ms < 2.0);
+        assert!(s.dist_txn_mean_ms > 1.0 && s.dist_txn_mean_ms < 2.0);
         assert_eq!(s.timeline.len(), 1);
         assert_eq!(s.timeline[0].committed, 2);
         assert_eq!(s.committed, 2);

@@ -31,6 +31,10 @@ pub struct ModelParams {
     pub remote_time: f64,
     /// Local transactions concurrent with the observed one `N_l`.
     pub concurrent_local: f64,
+    /// Probability that each operation of a distributed transaction goes to
+    /// a remote partition (the YCSB `remote_op_ratio`). Governs how many
+    /// per-record round trips the batched fan-out can collapse.
+    pub remote_op_ratio: f64,
 }
 
 impl Default for ModelParams {
@@ -47,6 +51,7 @@ impl Default for ModelParams {
             local_time: 10.0,
             remote_time: 200.0,
             concurrent_local: 48.0,
+            remote_op_ratio: 0.3,
         }
     }
 }
@@ -107,6 +112,61 @@ pub fn advantage_ratio(p: &ModelParams) -> f64 {
         f64::INFINITY
     } else {
         twopc / primo
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Remote-read message model (batched fan-out vs per-record round trips).
+//
+// The conflict model above is about *what aborts*; this block is about *what
+// the read phase costs on the wire*. A distributed transaction with `m`
+// operations, each remote with probability `r`, performs `m·r` remote reads
+// in expectation. Sequentially each read is its own round trip; the batched
+// fan-out resolves the whole footprint in one parallel round per attempt
+// (cost = the slowest partition, charged once), so the read phase collapses
+// to a single round trip whenever the transaction is distributed at all.
+// ---------------------------------------------------------------------------
+
+/// Expected remote-read round trips per distributed transaction with
+/// per-record (sequential) reads: one per remote operation.
+pub fn read_round_trips_sequential(p: &ModelParams) -> f64 {
+    p.ops_per_txn as f64 * p.remote_op_ratio
+}
+
+/// Expected remote-read round trips per distributed transaction with the
+/// batched fan-out: one parallel round whenever at least one operation is
+/// remote (the generator forces ≥ 1 remote op in a distributed transaction,
+/// so this is exactly 1 for `r > 0`).
+pub fn read_round_trips_batched(p: &ModelParams) -> f64 {
+    if p.remote_op_ratio > 0.0 && p.ops_per_txn > 0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Read-phase latency of one distributed transaction (same unit as
+/// `remote_time`) under sequential per-record reads.
+pub fn read_latency_sequential(p: &ModelParams) -> f64 {
+    read_round_trips_sequential(p) * p.remote_time
+}
+
+/// Read-phase latency under the batched fan-out: one round trip, because the
+/// fan-out is charged at the slowest partition rather than the sum.
+pub fn read_latency_batched(p: &ModelParams) -> f64 {
+    read_round_trips_batched(p) * p.remote_time
+}
+
+/// The ratio `sequential / batched` of remote-read round trips (> 1 means
+/// batching saves messages). Crosses 1 exactly where a distributed
+/// transaction has one expected remote operation: below that the fan-out is
+/// the same single round trip the sequential path would pay.
+pub fn batching_advantage(p: &ModelParams) -> f64 {
+    let batched = read_round_trips_batched(p);
+    if batched <= f64::EPSILON {
+        1.0
+    } else {
+        read_round_trips_sequential(p) / batched
     }
 }
 
@@ -207,5 +267,52 @@ mod tests {
     fn primo_has_fewer_concurrent_distributed_txns() {
         let p = ModelParams::default();
         assert!(concurrent_distributed_primo(&p) < concurrent_distributed_2pc(&p));
+    }
+
+    #[test]
+    fn batching_crossover_is_at_one_expected_remote_op() {
+        // Below one expected remote operation per transaction the fan-out is
+        // the same single round trip the sequential path pays — no advantage.
+        let at_crossover = ModelParams {
+            ops_per_txn: 10,
+            remote_op_ratio: 0.1,
+            ..Default::default()
+        };
+        assert!((batching_advantage(&at_crossover) - 1.0).abs() < 1e-9);
+        // Above it the advantage is exactly the expected remote-read count.
+        let above = ModelParams {
+            ops_per_txn: 10,
+            remote_op_ratio: 0.5,
+            ..Default::default()
+        };
+        assert!((batching_advantage(&above) - 5.0).abs() < 1e-9);
+        assert!(batching_advantage(&above) > batching_advantage(&at_crossover));
+        // Fully remote 10-op transactions: 10× fewer read round trips — the
+        // acceptance bar (≥ 2×) with a wide margin.
+        let fully_remote = ModelParams {
+            ops_per_txn: 10,
+            remote_op_ratio: 1.0,
+            ..Default::default()
+        };
+        assert!((batching_advantage(&fully_remote) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batched_read_latency_is_one_round_trip() {
+        let p = ModelParams {
+            ops_per_txn: 10,
+            remote_op_ratio: 1.0,
+            remote_time: 200.0,
+            ..Default::default()
+        };
+        assert!((read_latency_batched(&p) - 200.0).abs() < 1e-9);
+        assert!((read_latency_sequential(&p) - 2000.0).abs() < 1e-9);
+        // A purely local mix charges nothing either way.
+        let local = ModelParams {
+            remote_op_ratio: 0.0,
+            ..Default::default()
+        };
+        assert_eq!(read_round_trips_sequential(&local), 0.0);
+        assert_eq!(read_round_trips_batched(&local), 0.0);
     }
 }

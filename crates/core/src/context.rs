@@ -17,8 +17,10 @@ use primo_runtime::access::{
     WriteKind,
 };
 use primo_runtime::cluster::Cluster;
+use primo_runtime::prefetch::{PrefetchOutcome, ReadFanout};
 use primo_runtime::txn::TxnContext;
 use primo_storage::{LockMode, LockPolicy, LockRequestResult, Record};
+use primo_trace::TraceEventKind;
 use primo_wal::TxnTicket;
 use std::sync::Arc;
 
@@ -46,6 +48,10 @@ pub struct PrimoCtx<'a> {
     /// Sticky abort: once an operation fails, all further operations fail
     /// with the same reason (the program unwinds by propagating the error).
     pub(crate) dead: Option<AbortReason>,
+    /// The attempt's batched-prefetch buffer, when the worker resolved one:
+    /// consulted before paying a per-record remote round trip, and fed the
+    /// observed remote access set for footprint learning.
+    pub(crate) fanout: Option<&'a ReadFanout>,
 }
 
 impl<'a> PrimoCtx<'a> {
@@ -65,7 +71,16 @@ impl<'a> PrimoCtx<'a> {
             wcf,
             access: AccessSet::new(),
             dead: None,
+            fanout: None,
         }
+    }
+
+    /// Attach the attempt's prefetch buffer (see
+    /// [`primo_runtime::prefetch`]). Without it every remote access pays the
+    /// sequential per-record round trip, as before.
+    pub fn with_fanout(mut self, fanout: &'a ReadFanout) -> Self {
+        self.fanout = Some(fanout);
+        self
     }
 
     pub fn mode(&self) -> Mode {
@@ -120,6 +135,72 @@ impl<'a> PrimoCtx<'a> {
     /// Acquire a lock for this transaction under WAIT_DIE.
     fn acquire(&self, record: &Record, mode: LockMode) -> LockRequestResult {
         record.acquire(self.txn, mode, LockPolicy::WaitDie)
+    }
+
+    /// Pay the network cost of touching `(table, key)` on remote partition
+    /// `p` — unless the attempt's batched fan-out already covers it. A
+    /// *value* read hits only if the record is unchanged since the fan-out; a
+    /// *dummy* read (lock-only, no value consumed) hits on presence, since
+    /// the exclusive lock plus the post-lock lifecycle re-check pin the live
+    /// record either way. A stale or missing entry falls back to the
+    /// per-record round trip, exactly the sequential path.
+    fn charge_remote_access(
+        &mut self,
+        p: PartitionId,
+        table: TableId,
+        key: Key,
+        dummy: bool,
+    ) -> TxnResult<()> {
+        let outcome = match self.fanout {
+            None => PrefetchOutcome::Miss,
+            Some(f) => {
+                f.observe(p, table, key);
+                if dummy {
+                    if f.covers(p, table, key) {
+                        PrefetchOutcome::Hit
+                    } else {
+                        PrefetchOutcome::Miss
+                    }
+                } else {
+                    f.check_value(self.cluster, p, table, key)
+                }
+            }
+        };
+        match outcome {
+            PrefetchOutcome::Hit => {
+                // Served from the batch — but a partition that crashed since
+                // the fan-out still fails the access, exactly as the round
+                // trip would.
+                if self.cluster.net.is_crashed(p) {
+                    return Err(self.fail(AbortReason::RemoteUnavailable));
+                }
+                self.cluster.note_prefetch_hit();
+                self.cluster.recorder.emit(
+                    Some(self.txn),
+                    Some(self.home),
+                    TraceEventKind::PrefetchHit,
+                );
+                Ok(())
+            }
+            outcome => {
+                if self.fanout.is_some() {
+                    if outcome == PrefetchOutcome::Stale {
+                        self.cluster.note_prefetch_stale();
+                        self.cluster.recorder.emit(
+                            Some(self.txn),
+                            Some(self.home),
+                            TraceEventKind::PrefetchStale,
+                        );
+                    } else {
+                        self.cluster.note_prefetch_miss();
+                    }
+                }
+                if !self.cluster.net.round_trip(self.home, p) {
+                    return Err(self.fail(AbortReason::RemoteUnavailable));
+                }
+                Ok(())
+            }
+        }
     }
 
     /// Switch from local to distributed mode: lock every record read so far
@@ -177,11 +258,11 @@ impl<'a> PrimoCtx<'a> {
         }
         let remote = p != self.home;
         if remote {
-            // A dummy read that cannot piggyback on another remote read costs
-            // an extra round trip (studied in Fig 9).
-            if !self.cluster.net.round_trip(self.home, p) {
-                return Err(self.fail(AbortReason::RemoteUnavailable));
-            }
+            // A dummy read piggybacks on the attempt's batched fan-out when
+            // the write key was part of the footprint (hinted write keys /
+            // learned retries); only an uncovered one still costs its own
+            // round trip (studied in Fig 9).
+            self.charge_remote_access(p, table, key, true)?;
         }
         let record = match if create {
             self.record_for_insert(p, table, key)
@@ -325,9 +406,7 @@ impl TxnContext for PrimoCtx<'_> {
             Mode::Distributed => {
                 let remote = p != self.home;
                 if remote {
-                    if !self.cluster.net.round_trip(self.home, p) {
-                        return Err(self.fail(AbortReason::RemoteUnavailable));
-                    }
+                    self.charge_remote_access(p, table, key, false)?;
                 } else if self.cluster.net.is_crashed(p) {
                     return Err(self.fail(AbortReason::RemoteUnavailable));
                 }

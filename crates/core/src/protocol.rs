@@ -6,6 +6,7 @@ use primo_runtime::access::{recheck_locked_record, resolve_write_record, AccessS
 use primo_runtime::cluster::Cluster;
 use primo_runtime::commit::PrepareOutcome;
 use primo_runtime::durability::log_txn_writes;
+use primo_runtime::prefetch::ReadFanout;
 use primo_runtime::protocol::{CommittedTxn, Protocol};
 use primo_runtime::txn::TxnProgram;
 use primo_storage::{LockMode, LockPolicy, LockRequestResult, Record};
@@ -525,10 +526,11 @@ impl Protocol for PrimoProtocol {
         program: &dyn TxnProgram,
         ticket: &TxnTicket,
         timers: &mut PhaseTimers,
+        fanout: &ReadFanout,
     ) -> TxnResult<CommittedTxn> {
         let home = program.home_partition();
         let wcf = self.use_wcf_for(program);
-        let mut ctx = PrimoCtx::new(cluster, ticket, txn, home, wcf);
+        let mut ctx = PrimoCtx::new(cluster, ticket, txn, home, wcf).with_fanout(fanout);
 
         // Execution phase: run the program (reads lock per mode, writes are
         // buffered).

@@ -108,6 +108,17 @@ pub struct Cluster {
     /// Superseded record versions garbage-collected at checkpoints (the
     /// version-chain GC piggybacks on [`Cluster::checkpoint_partition`]).
     pruned_versions: AtomicU64,
+    /// Batched remote-read fan-outs issued (one per resolved non-empty
+    /// [`Footprint`](crate::prefetch::Footprint)).
+    prefetch_fanouts: AtomicU64,
+    /// Remote reads served from a prefetch buffer (no round trip charged).
+    prefetch_hits: AtomicU64,
+    /// Remote reads whose prefetched record moved underneath the buffer
+    /// (fell back to a fresh round trip).
+    prefetch_stale: AtomicU64,
+    /// Remote reads with no prefetch entry (unplanned keys, or batching
+    /// off) — the sequential path.
+    prefetch_misses: AtomicU64,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -185,6 +196,10 @@ impl Cluster {
             pending_crashes: Mutex::new(HashMap::new()),
             compensated_txns: AtomicU64::new(0),
             pruned_versions: AtomicU64::new(0),
+            prefetch_fanouts: AtomicU64::new(0),
+            prefetch_hits: AtomicU64::new(0),
+            prefetch_stale: AtomicU64::new(0),
+            prefetch_misses: AtomicU64::new(0),
         })
     }
 
@@ -255,6 +270,60 @@ impl Cluster {
     /// [`MetricsSnapshot`](primo_common::MetricsSnapshot)).
     pub fn in_doubt_resolved(&self) -> u64 {
         self.in_doubt_resolved.load(Ordering::Relaxed)
+    }
+
+    /// Account one batched remote-read fan-out.
+    pub fn note_prefetch_fanout(&self) {
+        self.prefetch_fanouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Batched remote-read fan-outs issued so far.
+    pub fn prefetch_fanouts(&self) -> u64 {
+        self.prefetch_fanouts.load(Ordering::Relaxed)
+    }
+
+    /// Account one remote read served from a prefetch buffer.
+    pub fn note_prefetch_hit(&self) {
+        self.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Remote reads served from prefetch buffers so far.
+    pub fn prefetch_hits(&self) -> u64 {
+        self.prefetch_hits.load(Ordering::Relaxed)
+    }
+
+    /// Account one stale prefetch (entry present, record moved).
+    pub fn note_prefetch_stale(&self) {
+        self.prefetch_stale.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Stale prefetches so far.
+    pub fn prefetch_stale(&self) -> u64 {
+        self.prefetch_stale.load(Ordering::Relaxed)
+    }
+
+    /// Account one remote read without a prefetch entry.
+    pub fn note_prefetch_miss(&self) {
+        self.prefetch_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Prefetch-less remote reads so far.
+    pub fn prefetch_misses(&self) -> u64 {
+        self.prefetch_misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of remote reads served from a prefetch buffer (reported as
+    /// `prefetch_hit_rate` in
+    /// [`MetricsSnapshot`](primo_common::MetricsSnapshot); 0 when no remote
+    /// read ran).
+    pub fn prefetch_hit_rate(&self) -> f64 {
+        let hits = self.prefetch_hits();
+        let total = hits + self.prefetch_stale() + self.prefetch_misses();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
     }
 
     /// Record one distributed commit's prepare→decide latency.

@@ -342,6 +342,15 @@ pub fn run_on_cluster(
             commit_decisions: cluster.commit_decisions(),
             commit_decide_mean_us: cluster.commit_decide_mean_us(),
             commit_decide_p99_us: cluster.commit_decide_p99_us(),
+            remote_round_trips_per_dist_txn: {
+                let dist = metrics.dist_committed();
+                if dist > 0 {
+                    cluster.net.round_trips_charged() as f64 / dist as f64
+                } else {
+                    0.0
+                }
+            },
+            prefetch_hit_rate: cluster.prefetch_hit_rate(),
             timeline,
         },
     );
@@ -419,6 +428,7 @@ mod tests {
             program: &dyn TxnProgram,
             _ticket: &TxnTicket,
             _timers: &mut PhaseTimers,
+            _fanout: &crate::prefetch::ReadFanout,
         ) -> TxnResult<CommittedTxn> {
             let mut ctx = CounterCtx { cluster };
             program.execute(&mut ctx)?;

@@ -13,6 +13,7 @@ pub mod cluster;
 pub mod commit;
 pub mod durability;
 pub mod experiment;
+pub mod prefetch;
 pub mod protocol;
 pub mod snapshot;
 pub mod txn;
@@ -23,6 +24,7 @@ pub use cluster::{Cluster, Partition};
 pub use commit::{AtomicCommit, ClassicTwoPc, PaxosCommit, PrepareOutcome, PreparedAt};
 pub use durability::log_txn_writes;
 pub use experiment::{run_experiment, run_on_cluster, CrashPlan, ExperimentOptions};
+pub use prefetch::{Footprint, PrefetchOutcome, ReadFanout};
 pub use protocol::{CommittedTxn, Protocol};
 pub use snapshot::{execute_snapshot, SnapshotOutcome, SnapshotSession};
 pub use txn::{ClosureProgram, TxnContext, TxnProgram, Workload};

@@ -8,6 +8,7 @@
 //! paper uses by implementing all competitors in one framework.
 
 use crate::cluster::Cluster;
+use crate::prefetch::ReadFanout;
 use crate::txn::TxnProgram;
 use primo_common::{PhaseTimers, Ts, TxnId, TxnResult};
 use primo_wal::TxnTicket;
@@ -42,6 +43,14 @@ pub trait Protocol: Send + Sync {
     /// On success the write-set is fully installed on all involved
     /// partitions and all locks are released; on failure every partial
     /// effect has been undone / released.
+    ///
+    /// `fanout` is the attempt's prefetch buffer (resolved by the worker
+    /// from the program's hint or the previous attempt's learned footprint;
+    /// [`ReadFanout::empty`] when batching is off): the protocol's context
+    /// consults it before charging per-record remote round trips, and
+    /// reports the remote accesses it actually performs for footprint
+    /// learning. It never changes what commits — only what the network
+    /// charges.
     fn execute_once(
         &self,
         cluster: &Cluster,
@@ -49,6 +58,7 @@ pub trait Protocol: Send + Sync {
         program: &dyn TxnProgram,
         ticket: &TxnTicket,
         timers: &mut PhaseTimers,
+        fanout: &ReadFanout,
     ) -> TxnResult<CommittedTxn>;
 }
 
@@ -72,6 +82,7 @@ mod tests {
             _program: &dyn TxnProgram,
             _ticket: &TxnTicket,
             _timers: &mut PhaseTimers,
+            _fanout: &ReadFanout,
         ) -> TxnResult<CommittedTxn> {
             Ok(CommittedTxn {
                 ts: 1,
@@ -94,7 +105,14 @@ mod tests {
         };
         let mut timers = PhaseTimers::new();
         let out = p
-            .execute_once(&cluster, txn, &prog, &ticket, &mut timers)
+            .execute_once(
+                &cluster,
+                txn,
+                &prog,
+                &ticket,
+                &mut timers,
+                &ReadFanout::empty(),
+            )
             .unwrap();
         assert_eq!(out.ts, 1);
         assert!(!out.distributed);

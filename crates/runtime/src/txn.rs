@@ -89,6 +89,18 @@ pub trait TxnProgram: Send + Sync {
         0.5
     }
 
+    /// Statically-known access set, if any: the keys the program will touch
+    /// regardless of what it reads (YCSB op lists; the key-determined
+    /// fraction of TPC-C). The worker prefetches the remote subset with one
+    /// batched fan-out per attempt instead of a round trip per record.
+    /// Include write keys too — in distributed WCF mode their dummy reads
+    /// piggyback on the same batch. Purely an optimization hint: an empty,
+    /// partial or even wrong hint never affects correctness, only how many
+    /// reads fall back to per-record round trips.
+    fn read_hint(&self) -> Vec<(PartitionId, TableId, Key)> {
+        Vec::new()
+    }
+
     /// Short label for debugging ("ycsb", "new_order", ...).
     fn label(&self) -> &'static str {
         "txn"

@@ -7,6 +7,7 @@
 //! WAIT_DIE priorities age and starvation is avoided).
 
 use crate::cluster::Cluster;
+use crate::prefetch::{Footprint, ReadFanout};
 use crate::protocol::Protocol;
 use crate::txn::Workload;
 use primo_common::sim_time::charge_latency_us;
@@ -35,6 +36,7 @@ struct PendingCommit {
     started: Instant,
     committed_at: Instant,
     timers: PhaseTimers,
+    distributed: bool,
 }
 
 /// Everything a worker thread needs.
@@ -68,7 +70,8 @@ fn drain_pending(ctx: &WorkerContext, pending: &mut VecDeque<PendingCommit>) {
                     match outcome {
                         CommitOutcome::Committed => {
                             let latency_us = done.started.elapsed().as_micros() as u64;
-                            ctx.metrics.record_commit(latency_us, &done.timers);
+                            ctx.metrics
+                                .record_commit(latency_us, &done.timers, done.distributed);
                         }
                         CommitOutcome::CrashAborted => {
                             ctx.metrics.record_abort(AbortReason::CrashAbort);
@@ -100,7 +103,8 @@ fn block_on_oldest(ctx: &WorkerContext, pending: &mut VecDeque<PendingCommit>) {
             match outcome {
                 CommitOutcome::Committed => {
                     let latency_us = oldest.started.elapsed().as_micros() as u64;
-                    ctx.metrics.record_commit(latency_us, &oldest.timers);
+                    ctx.metrics
+                        .record_commit(latency_us, &oldest.timers, oldest.distributed);
                 }
                 CommitOutcome::CrashAborted => ctx.metrics.record_abort(AbortReason::CrashAbort),
             }
@@ -150,7 +154,10 @@ pub fn worker_loop(ctx: WorkerContext) {
                     match result {
                         Ok(()) => {
                             let latency_us = started.elapsed().as_micros() as u64;
-                            ctx.metrics.record_commit(latency_us, &timers);
+                            // Snapshot reads pay no remote round trips and
+                            // never enter the protocol path, so they stay
+                            // out of the distributed-latency histogram.
+                            ctx.metrics.record_commit(latency_us, &timers, false);
                             ctx.metrics.record_snapshot_read();
                         }
                         Err(e) => {
@@ -169,6 +176,17 @@ pub fn worker_loop(ctx: WorkerContext) {
         let mut backoff_us = backoff_initial;
         let slowdown = ctx.cluster.partition(ctx.home).slowdown_us();
 
+        // The remote-read plan: the program's static hint for the first
+        // attempt, then each aborted attempt's observed access set for the
+        // retry (reconnaissance-style), so even hint-less programs converge
+        // to one batched fan-out per attempt.
+        let batching = ctx.cluster.config.batch_remote_reads;
+        let mut plan = if batching {
+            Footprint::from_keys(ctx.home, program.read_hint())
+        } else {
+            Footprint::default()
+        };
+
         let mut attempts = 0;
         'attempts: while attempts < MAX_ATTEMPTS && !ctx.stop.load(Ordering::Relaxed) {
             attempts += 1;
@@ -185,12 +203,19 @@ pub fn worker_loop(ctx: WorkerContext) {
                 timers.time(Phase::Execute, || charge_latency_us(slowdown));
             }
             let ticket = ctx.cluster.group_commit.begin_txn(ctx.home, txn);
+            let mut fanout = ReadFanout::empty();
+            if batching && !plan.is_empty() {
+                timers.time(Phase::Execute, || {
+                    fanout.resolve(&ctx.cluster, ctx.home, txn, &plan)
+                });
+            }
             let result = ctx.protocol.execute_once(
                 &ctx.cluster,
                 txn,
                 program.as_ref(),
                 &ticket,
                 &mut timers,
+                &fanout,
             );
             match result {
                 Ok(commit) => {
@@ -206,7 +231,8 @@ pub fn worker_loop(ctx: WorkerContext) {
                     if ctx.protocol.manages_durability() {
                         if ctx.recording.load(Ordering::Relaxed) {
                             let latency_us = started.elapsed().as_micros() as u64;
-                            ctx.metrics.record_commit(latency_us, &timers);
+                            ctx.metrics
+                                .record_commit(latency_us, &timers, commit.distributed);
                         }
                     } else {
                         // The client keeps waiting for the watermark / epoch;
@@ -216,6 +242,7 @@ pub fn worker_loop(ctx: WorkerContext) {
                             started,
                             committed_at: Instant::now(),
                             timers: std::mem::take(&mut timers),
+                            distributed: commit.distributed,
                         });
                     }
                     break 'attempts;
@@ -236,6 +263,14 @@ pub fn worker_loop(ctx: WorkerContext) {
                             ctx.metrics.record_abandoned();
                         }
                         break 'attempts;
+                    }
+                    if batching {
+                        // Learn the aborted attempt's remote footprint as the
+                        // retry's prefetch plan.
+                        let learned = fanout.learned(ctx.home);
+                        if !learned.is_empty() {
+                            plan = learned;
+                        }
                     }
                 }
             }
@@ -319,6 +354,14 @@ pub fn run_single_txn(
     // When MAX_ATTEMPTS runs out, report what actually aborted the last
     // attempt rather than a blanket LockConflict.
     let mut last_reason = AbortReason::LockConflict;
+    // Same prefetch plan lifecycle as the worker loop: static hint first,
+    // then the aborted attempt's learned footprint.
+    let batching = cluster.config.batch_remote_reads;
+    let mut plan = if batching {
+        Footprint::from_keys(home, program.read_hint())
+    } else {
+        Footprint::default()
+    };
     loop {
         attempts += 1;
         if attempts > MAX_ATTEMPTS {
@@ -327,7 +370,11 @@ pub fn run_single_txn(
         let txn = cluster.next_txn_id(home);
         let ticket = cluster.group_commit.begin_txn(home, txn);
         let mut timers = PhaseTimers::new();
-        match protocol.execute_once(cluster, txn, program, &ticket, &mut timers) {
+        let mut fanout = ReadFanout::empty();
+        if batching && !plan.is_empty() {
+            timers.time(Phase::Execute, || fanout.resolve(cluster, home, txn, &plan));
+        }
+        match protocol.execute_once(cluster, txn, program, &ticket, &mut timers, &fanout) {
             Ok(commit) => {
                 let waiter = cluster
                     .group_commit
@@ -346,6 +393,12 @@ pub fn run_single_txn(
                     return Err(e.reason());
                 }
                 last_reason = e.reason();
+                if batching {
+                    let learned = fanout.learned(home);
+                    if !learned.is_empty() {
+                        plan = learned;
+                    }
+                }
             }
         }
         std::thread::sleep(Duration::from_micros(backoff_us));
@@ -378,6 +431,7 @@ mod tests {
             _program: &dyn TxnProgram,
             ticket: &TxnTicket,
             _timers: &mut primo_common::PhaseTimers,
+            _fanout: &ReadFanout,
         ) -> primo_common::TxnResult<CommittedTxn> {
             let ts = cluster.group_commit.finalize_commit_ts(ticket, 0);
             let writes = vec![WriteEntry::insert(
@@ -454,6 +508,7 @@ mod tests {
             _program: &dyn TxnProgram,
             _ticket: &TxnTicket,
             _timers: &mut primo_common::PhaseTimers,
+            _fanout: &ReadFanout,
         ) -> primo_common::TxnResult<CommittedTxn> {
             Err(TxnError::Aborted(AbortReason::Validation))
         }

@@ -84,6 +84,15 @@ pub enum TraceEventKind {
     /// The coordinating worker was killed between prepare and decision
     /// (worker-granularity crash injection, not a partition crash).
     CoordinatorCrashed,
+    /// A batched remote-read fan-out was issued: `keys` keys fetched from
+    /// `partitions` remote partitions in one parallel round trip.
+    PrefetchIssued { partitions: u32, keys: u32 },
+    /// A remote read was served from the attempt's prefetch buffer (no
+    /// round trip charged).
+    PrefetchHit,
+    /// A prefetched record moved underneath the buffer; the read fell back
+    /// to a fresh round trip (an ordinary conflict, never an anomaly).
+    PrefetchStale,
 }
 
 /// Stable wire codes for [`AbortReason`]; the trace crate owns the mapping
@@ -160,6 +169,9 @@ impl TraceEventKind {
             VoteQuorumDurable { lsn } => (23, lsn, 0, 0),
             DecisionReached { commit, in_doubt } => (24, commit as u64, in_doubt as u64, 0),
             CoordinatorCrashed => (25, 0, 0, 0),
+            PrefetchIssued { partitions, keys } => (26, partitions as u64, keys as u64, 0),
+            PrefetchHit => (27, 0, 0, 0),
+            PrefetchStale => (28, 0, 0, 0),
         }
     }
 
@@ -222,6 +234,12 @@ impl TraceEventKind {
                 in_doubt: b != 0,
             },
             25 => CoordinatorCrashed,
+            26 => PrefetchIssued {
+                partitions: a as u32,
+                keys: b as u32,
+            },
+            27 => PrefetchHit,
+            28 => PrefetchStale,
             _ => return None,
         })
     }
@@ -272,6 +290,11 @@ impl fmt::Display for TraceEventKind {
                 write!(f, "decision-reached commit={commit} in-doubt={in_doubt}")
             }
             CoordinatorCrashed => write!(f, "coordinator-crashed"),
+            PrefetchIssued { partitions, keys } => {
+                write!(f, "prefetch-issued partitions={partitions} keys={keys}")
+            }
+            PrefetchHit => write!(f, "prefetch-hit"),
+            PrefetchStale => write!(f, "prefetch-stale"),
         }
     }
 }
@@ -367,6 +390,12 @@ mod tests {
             TraceEventKind::Abort {
                 reason: AbortReason::CoordinatorCrash,
             },
+            TraceEventKind::PrefetchIssued {
+                partitions: 2,
+                keys: 7,
+            },
+            TraceEventKind::PrefetchHit,
+            TraceEventKind::PrefetchStale,
         ];
         for kind in all {
             let (d, a, b, c) = kind.encode();

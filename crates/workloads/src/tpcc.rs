@@ -381,6 +381,33 @@ impl TxnProgram for TpccTxn {
         self.home
     }
 
+    fn read_hint(&self) -> Vec<(PartitionId, TableId, Key)> {
+        // Only the key-determined accesses that can leave the home partition
+        // are worth hinting: NewOrder's stock rows at the supplying
+        // warehouses and Payment's customer row at the paying warehouse.
+        // Everything else (district cursors, order rows) is home-resident or
+        // depends on values read inside the transaction.
+        match self.kind {
+            TpccTxnKind::NewOrder => self
+                .items
+                .iter()
+                .map(|(i_id, supply_w, _)| {
+                    (
+                        self.part(*supply_w),
+                        STOCK,
+                        self.cfg.stock_key(*supply_w, *i_id),
+                    )
+                })
+                .collect(),
+            TpccTxnKind::Payment => vec![(
+                self.part(self.c_w_id),
+                CUSTOMER,
+                self.cfg.customer_key(self.c_w_id, self.c_d_id, self.c_id),
+            )],
+            _ => Vec::new(),
+        }
+    }
+
     fn is_read_only(&self) -> bool {
         matches!(
             self.kind,

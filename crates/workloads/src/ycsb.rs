@@ -159,6 +159,18 @@ impl TxnProgram for YcsbTxn {
         self.home
     }
 
+    fn read_hint(&self) -> Vec<(PartitionId, TableId, Key)> {
+        // YCSB's key list is drawn up front, so the whole access set is a
+        // static footprint: reads and read-modify-writes alike can be served
+        // from one batched fan-out per remote partition. (Churn inserts and
+        // deletes ride on the home partition and are dropped by the
+        // footprint's home filter.)
+        self.ops
+            .iter()
+            .map(|o| (o.partition, YCSB_TABLE, o.key))
+            .collect()
+    }
+
     fn is_read_only(&self) -> bool {
         self.ops.iter().all(|o| o.kind == YcsbOpKind::Read)
     }

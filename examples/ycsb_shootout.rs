@@ -23,13 +23,24 @@ fn main() {
         scale.partitions
     );
     println!(
-        "{:<12} {:>12} {:>12} {:>12} {:>12} {:>12}",
-        "protocol", "ktps", "abort rate", "avg lat ms", "p99 lat ms", "snap reads"
+        "{:<12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>10} {:>12}",
+        "protocol",
+        "ktps",
+        "abort rate",
+        "avg lat ms",
+        "p99 lat ms",
+        "snap reads",
+        "rt/dist-txn",
+        "hit rate",
+        "dist p99 ms"
     );
     // Each protocol runs with the group-commit scheme the registry pairs it
     // with (§6.1.3): Primo on Watermark, the baselines on COCO. Fully
     // read-only transactions (all 10 ops draw "read") commit through the
-    // MVCC snapshot path — the last column counts them.
+    // MVCC snapshot path — the snap-reads column counts them. The last three
+    // columns show the remote-read economics: round trips charged per
+    // committed distributed transaction, the batched-prefetch hit rate and
+    // the distributed-only p99.
     for kind in [
         ProtocolKind::Primo,
         ProtocolKind::Sundial,
@@ -37,13 +48,16 @@ fn main() {
     ] {
         let snap = Experiment::new().protocol(kind).scale(scale).run();
         println!(
-            "{:<12} {:>12.1} {:>12.3} {:>12.2} {:>12.2} {:>12}",
+            "{:<12} {:>12.1} {:>12.3} {:>12.2} {:>12.2} {:>12} {:>12.2} {:>9.1}% {:>12.2}",
             kind.label(),
             snap.ktps(),
             snap.abort_rate,
             snap.mean_latency_ms,
             snap.p99_latency_ms,
-            snap.snapshot_reads
+            snap.snapshot_reads,
+            snap.remote_round_trips_per_dist_txn,
+            snap.prefetch_hit_rate * 100.0,
+            snap.dist_txn_p99_ms
         );
     }
 }

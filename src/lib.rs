@@ -72,6 +72,7 @@ pub use primo_core::PrimoProtocol;
 pub use primo_recovery::{CheckpointStats, Checkpointer, RecoveryManager, RecoveryReport};
 pub use primo_runtime::commit::{AtomicCommit, ClassicTwoPc, PaxosCommit, PrepareOutcome};
 pub use primo_runtime::experiment::{CrashKind, CrashPlan};
+pub use primo_runtime::prefetch::{Footprint, PrefetchOutcome, ReadFanout};
 pub use primo_runtime::protocol::{CommittedTxn, Protocol};
 pub use primo_runtime::snapshot::{execute_snapshot, SnapshotOutcome, SnapshotSession};
 pub use primo_runtime::txn::{ClosureProgram, TxnContext, TxnProgram, Workload};

@@ -243,7 +243,14 @@ fn commit_phase_conflict_unwinds_materialised_inserts() {
         let mut timers = PhaseTimers::new();
         let err = primo
             .protocol()
-            .execute_once(cluster, txn, &program, &ticket, &mut timers)
+            .execute_once(
+                cluster,
+                txn,
+                &program,
+                &ticket,
+                &mut timers,
+                &primo_repro::ReadFanout::empty(),
+            )
             .unwrap_err();
         cluster.group_commit.txn_aborted(&ticket);
         assert!(

@@ -608,10 +608,14 @@ fn execute_installed(primo: &Primo, program: &dyn TxnProgram) -> CommitWaiter {
         let txn = cluster.next_txn_id(home);
         let ticket = cluster.group_commit.begin_txn(home, txn);
         let mut timers = PhaseTimers::new();
-        match primo
-            .protocol()
-            .execute_once(cluster, txn, program, &ticket, &mut timers)
-        {
+        match primo.protocol().execute_once(
+            cluster,
+            txn,
+            program,
+            &ticket,
+            &mut timers,
+            &primo_repro::ReadFanout::empty(),
+        ) {
             Ok(c) => return cluster.group_commit.txn_committed(&ticket, c.ts, c.ops),
             Err(e) => {
                 cluster.group_commit.txn_aborted(&ticket);
